@@ -1,0 +1,354 @@
+//! One-call experiment runners for the benchmark harness and examples.
+//!
+//! The paper's nine measured applications are enumerated by [`App`];
+//! [`run_sim`] executes one on a simulated SpaceCAKE tile with a given
+//! core count, [`sequential_cycles`] measures its hand-written sequential
+//! baseline on the same cache model, and [`AppConfig`] selects between the
+//! paper's full-size setup and a reduced one for quick runs.
+//!
+//! Input videos are generated once per (app family, scale) and cached
+//! process-wide — the generation and JPEG encoding are by far the most
+//! expensive host-side steps.
+
+use crate::registry::AppAssets;
+use crate::{blur, jpip, pip};
+use hinch::engine::{run_native, run_sim as hinch_run_sim, RunConfig};
+use hinch::meter::Meter;
+use hinch::report::{RunReport, SimReport};
+use parking_lot::Mutex;
+use spacecake::{Machine, Solo, TileConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The nine applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    Pip1,
+    Pip2,
+    Jpip1,
+    Jpip2,
+    Blur3,
+    Blur5,
+    /// PiP-12: second picture toggled every 12 frames.
+    Pip12,
+    /// JPiP-12.
+    Jpip12,
+    /// Blur-35: kernel switched every 12 frames.
+    Blur35,
+}
+
+impl App {
+    /// The six static applications of Fig. 8 / Fig. 9, in paper order.
+    pub const STATIC: [App; 6] =
+        [App::Pip1, App::Pip2, App::Jpip1, App::Jpip2, App::Blur3, App::Blur5];
+
+    /// The three reconfigurable applications of Fig. 10.
+    pub const RECONFIG: [App; 3] = [App::Pip12, App::Jpip12, App::Blur35];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            App::Pip1 => "PiP-1",
+            App::Pip2 => "PiP-2",
+            App::Jpip1 => "JPiP-1",
+            App::Jpip2 => "JPiP-2",
+            App::Blur3 => "Blur-3x3",
+            App::Blur5 => "Blur-5x5",
+            App::Pip12 => "PiP-12",
+            App::Jpip12 => "JPiP-12",
+            App::Blur35 => "Blur-35",
+        }
+    }
+
+    /// Frames processed in the paper (§4: PiP and Blur process 96 frames;
+    /// JPiP 24 because of limited simulation speed).
+    pub fn paper_frames(&self) -> u64 {
+        match self {
+            App::Jpip1 | App::Jpip2 | App::Jpip12 => 24,
+            _ => 96,
+        }
+    }
+
+    /// The static applications whose average the paper divides a
+    /// reconfigurable run by (Fig. 10).
+    pub fn static_counterparts(&self) -> &'static [App] {
+        match self {
+            App::Pip12 => &[App::Pip1, App::Pip2],
+            App::Jpip12 => &[App::Jpip1, App::Jpip2],
+            App::Blur35 => &[App::Blur3, App::Blur5],
+            _ => &[],
+        }
+    }
+}
+
+/// Scale of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The paper's dimensions and slice counts.
+    Paper,
+    /// Reduced dimensions for tests and quick demos.
+    Small,
+}
+
+/// One experiment: an app at a scale, for some number of frames.
+#[derive(Debug, Clone, Copy)]
+pub struct AppConfig {
+    pub app: App,
+    pub scale: Scale,
+    pub frames: u64,
+}
+
+impl AppConfig {
+    /// The paper's configuration for `app`.
+    pub fn paper(app: App) -> Self {
+        Self { app, scale: Scale::Paper, frames: app.paper_frames() }
+    }
+
+    /// A fast configuration for tests/demos.
+    pub fn small(app: App) -> Self {
+        Self { app, scale: Scale::Small, frames: 8 }
+    }
+
+    pub fn frames(mut self, frames: u64) -> Self {
+        self.frames = frames;
+        self
+    }
+}
+
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum Family {
+    Pip,
+    Jpip,
+    Blur,
+}
+
+impl App {
+    fn family(&self) -> Family {
+        match self {
+            App::Pip1 | App::Pip2 | App::Pip12 => Family::Pip,
+            App::Jpip1 | App::Jpip2 | App::Jpip12 => Family::Jpip,
+            App::Blur3 | App::Blur5 | App::Blur35 => Family::Blur,
+        }
+    }
+}
+
+/// Process-wide input cache: videos are generated/encoded once per
+/// (family, scale).
+fn cached_assets(app: App, scale: Scale) -> Arc<AppAssets> {
+    type AssetCache = HashMap<(Family, Scale), Arc<AppAssets>>;
+    static CACHE: Mutex<Option<AssetCache>> = Mutex::new(None);
+    let mut guard = CACHE.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry((app.family(), scale)).or_default().clone()
+}
+
+/// A built application, ready to run.
+pub struct Built {
+    pub spec: hinch::GraphSpec,
+    pub assets: Arc<AppAssets>,
+    pub xml: String,
+    /// Name of the capture set holding the outputs.
+    pub capture: &'static str,
+    /// Captured plane ports (3 for PiP/JPiP, 1 for Blur).
+    pub capture_ports: usize,
+}
+
+/// Build `cfg.app` (reusing cached inputs).
+pub fn build(cfg: AppConfig) -> Built {
+    let assets = cached_assets(cfg.app, cfg.scale);
+    // Fresh capture contents per build/run.
+    assets.clear_captures();
+    match cfg.app {
+        App::Pip1 | App::Pip2 | App::Pip12 => {
+            let mut c = match cfg.scale {
+                Scale::Paper => pip::PipConfig::paper(if cfg.app == App::Pip1 { 1 } else { 2 }),
+                Scale::Small => pip::PipConfig::small(if cfg.app == App::Pip1 { 1 } else { 2 }),
+            };
+            if cfg.app == App::Pip12 {
+                c.reconfig_every = Some(12);
+            }
+            let app = pip::build_on(&c, assets).expect("PiP compiles");
+            Built {
+                spec: app.elaborated.spec,
+                assets: app.assets,
+                xml: app.xml,
+                capture: "out",
+                capture_ports: 3,
+            }
+        }
+        App::Jpip1 | App::Jpip2 | App::Jpip12 => {
+            let mut c = match cfg.scale {
+                Scale::Paper => jpip::JpipConfig::paper(if cfg.app == App::Jpip1 { 1 } else { 2 }),
+                Scale::Small => jpip::JpipConfig::small(if cfg.app == App::Jpip1 { 1 } else { 2 }),
+            };
+            if cfg.app == App::Jpip12 {
+                c.reconfig_every = Some(12);
+            }
+            let app = jpip::build_on(&c, assets).expect("JPiP compiles");
+            Built {
+                spec: app.elaborated.spec,
+                assets: app.assets,
+                xml: app.xml,
+                capture: "out",
+                capture_ports: 3,
+            }
+        }
+        App::Blur3 | App::Blur5 | App::Blur35 => {
+            let mut c = match cfg.scale {
+                Scale::Paper => blur::BlurConfig::paper(if cfg.app == App::Blur5 { 5 } else { 3 }),
+                Scale::Small => blur::BlurConfig::small(if cfg.app == App::Blur5 { 5 } else { 3 }),
+            };
+            if cfg.app == App::Blur35 {
+                c.reconfig_every = Some(12);
+            }
+            let app = blur::build_on(&c, assets).expect("Blur compiles");
+            Built {
+                spec: app.elaborated.spec,
+                assets: app.assets,
+                xml: app.xml,
+                capture: "out",
+                capture_ports: 1,
+            }
+        }
+    }
+}
+
+/// Run `cfg.app` on a simulated tile with `cores` cores (the paper's
+/// measurement mode). Pipeline depth 5, as in §4.
+pub fn run_sim(cfg: AppConfig, cores: usize) -> SimReport {
+    let built = build(cfg);
+    let mut machine = Machine::new(TileConfig::with_cores(cores));
+    let run_cfg = RunConfig::new(cfg.frames).pipeline_depth(5);
+    hinch_run_sim(&built.spec, &run_cfg, &mut machine).expect("sim run")
+}
+
+/// Run `cfg.app` on native worker threads (wall-clock mode).
+pub fn run_threads(cfg: AppConfig, workers: usize) -> RunReport {
+    let built = build(cfg);
+    let run_cfg = RunConfig::new(cfg.frames).pipeline_depth(5).workers(workers);
+    run_native(&built.spec, &run_cfg).expect("native run")
+}
+
+/// Cycles of the hand-written sequential baseline of `cfg.app` on the
+/// same (single-core) cache model. For Blur-35 the baseline switches
+/// kernels on the paper's schedule; PiP-12/JPiP-12 have no dedicated
+/// baseline (Fig. 10 normalizes against the static apps instead).
+pub fn sequential_cycles(cfg: AppConfig) -> u64 {
+    let built = build(cfg); // ensures the inputs exist
+    let mut solo = Solo::new();
+    let (_, cycles) = solo.run(|meter| run_baseline(cfg, &built.assets, meter));
+    cycles
+}
+
+/// Execute the sequential baseline of `cfg.app` against `assets`,
+/// charging `meter` (exposed for the benchmark harness).
+pub fn run_baseline(cfg: AppConfig, assets: &Arc<AppAssets>, meter: &mut dyn Meter) {
+    match cfg.app {
+        App::Pip1 | App::Pip2 | App::Pip12 => {
+            let mut c = match cfg.scale {
+                Scale::Paper => pip::PipConfig::paper(if cfg.app == App::Pip1 { 1 } else { 2 }),
+                Scale::Small => pip::PipConfig::small(if cfg.app == App::Pip1 { 1 } else { 2 }),
+            };
+            if cfg.app == App::Pip12 {
+                c.pips = 2;
+            }
+            let _ = pip::sequential(&c, assets, cfg.frames, meter);
+        }
+        App::Jpip1 | App::Jpip2 | App::Jpip12 => {
+            let c = match cfg.scale {
+                Scale::Paper => jpip::JpipConfig::paper(if cfg.app == App::Jpip1 { 1 } else { 2 }),
+                Scale::Small => jpip::JpipConfig::small(if cfg.app == App::Jpip1 { 1 } else { 2 }),
+            };
+            let _ = jpip::sequential(&c, assets, cfg.frames, meter);
+        }
+        App::Blur3 | App::Blur5 => {
+            let ksize = if cfg.app == App::Blur5 { 5 } else { 3 };
+            let c = match cfg.scale {
+                Scale::Paper => blur::BlurConfig::paper(ksize),
+                Scale::Small => blur::BlurConfig::small(ksize),
+            };
+            let _ = blur::sequential(&c, assets, cfg.frames, |_| ksize, meter);
+        }
+        App::Blur35 => {
+            let c = match cfg.scale {
+                Scale::Paper => blur::BlurConfig::paper(3),
+                Scale::Small => blur::BlurConfig::small(3),
+            };
+            let _ = blur::sequential(
+                &c,
+                assets,
+                cfg.frames,
+                |i| blur::baseline_ksize(i, 12, 3),
+                meter,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_frames() {
+        assert_eq!(App::Pip1.label(), "PiP-1");
+        assert_eq!(App::Jpip2.paper_frames(), 24);
+        assert_eq!(App::Blur3.paper_frames(), 96);
+        assert_eq!(App::Pip12.static_counterparts(), &[App::Pip1, App::Pip2]);
+    }
+
+    #[test]
+    fn sim_runs_every_small_app() {
+        for app in App::STATIC {
+            let cfg = AppConfig::small(app).frames(4);
+            let r = run_sim(cfg, 2);
+            assert_eq!(r.iterations, 4, "{}", app.label());
+            assert!(r.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn reconfig_apps_reconfigure_in_sim() {
+        for app in App::RECONFIG {
+            // reconfig every 12 frames; run 30 to see at least 2
+            let cfg = AppConfig::small(app).frames(30);
+            let r = run_sim(cfg, 2);
+            assert_eq!(r.iterations, 30, "{}", app.label());
+            assert!(r.reconfigs >= 1, "{} reconfigs = {}", app.label(), r.reconfigs);
+        }
+    }
+
+    #[test]
+    fn baseline_is_cheaper_or_similar_to_xspcl_at_one_core() {
+        for app in [App::Pip1, App::Blur3] {
+            let cfg = AppConfig::small(app).frames(6);
+            let seq = sequential_cycles(cfg);
+            let xspcl = run_sim(cfg, 1).cycles;
+            assert!(seq > 0);
+            // XSPCL carries the RTS overhead; it should not be faster by
+            // much, nor absurdly slower.
+            assert!(
+                (xspcl as f64) > (seq as f64) * 0.8,
+                "{}: xspcl {} vs seq {}",
+                app.label(),
+                xspcl,
+                seq
+            );
+            assert!(
+                (xspcl as f64) < (seq as f64) * 2.5,
+                "{}: xspcl {} vs seq {}",
+                app.label(),
+                xspcl,
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn more_cores_do_not_slow_down_much() {
+        let cfg = AppConfig::small(App::Pip1).frames(6);
+        let one = run_sim(cfg, 1).cycles;
+        let four = run_sim(cfg, 4).cycles;
+        assert!(four < one, "4 cores ({four}) should beat 1 core ({one})");
+    }
+}

@@ -1,0 +1,217 @@
+//! Mosaic: the paper's motivating scenario from §1 — "watching multiple
+//! compressed video streams on a single screen".
+//!
+//! `tiles` MJPEG streams are each entropy-decoded, inverse-transformed,
+//! scaled down by 2 and composed into quadrants of one screen. Built
+//! entirely from the existing component classes and the `jpeg_in` /
+//! `sliced_idct` / `sliced_downscale` / `sliced_blend` procedures — the
+//! reuse story the coordination language promises: a new application is a
+//! new XSPCL document, not new component code.
+
+use crate::registry::{registry, AppAssets};
+use media::jpeg::mjpeg::MjpegVideo;
+use media::scale::scaled_dims;
+use media::video::VideoSpec;
+use std::sync::Arc;
+use xspcl::{compile, Elaborated, XspclError};
+
+/// Configuration of a mosaic build.
+#[derive(Debug, Clone)]
+pub struct MosaicConfig {
+    /// Number of video tiles (1..=4, composed into quadrants).
+    pub tiles: usize,
+    /// Size of each input stream (and of the screen).
+    pub width: usize,
+    pub height: usize,
+    /// Slices for the IDCT/scale/blend groups.
+    pub slices: usize,
+    pub quality: u8,
+    pub distinct_frames: usize,
+    pub seed: u64,
+}
+
+impl MosaicConfig {
+    /// A CE-plausible default: four 640×360 MJPEG streams on one screen.
+    pub fn standard() -> Self {
+        Self {
+            tiles: 4,
+            width: 640,
+            height: 360,
+            slices: 9,
+            quality: 75,
+            distinct_frames: 4,
+            seed: 7777,
+        }
+    }
+
+    /// Small configuration for tests.
+    pub fn small(tiles: usize) -> Self {
+        Self {
+            tiles,
+            width: 64,
+            height: 32,
+            slices: 2,
+            quality: 80,
+            distinct_frames: 2,
+            seed: 31,
+        }
+    }
+
+    /// Quadrant position of tile `k`.
+    pub fn position(&self, k: usize) -> (usize, usize) {
+        let (qw, qh) = scaled_dims(self.width, self.height, 2);
+        (if k.is_multiple_of(2) { 0 } else { qw }, if k < 2 { 0 } else { qh })
+    }
+}
+
+/// Emit the XSPCL document for `cfg`.
+pub fn mosaic_xml(cfg: &MosaicConfig) -> String {
+    assert!((1..=4).contains(&cfg.tiles), "1..=4 tiles");
+    let mut s = String::from("<xspcl>\n");
+    s.push_str(crate::jpip::JPEG_PROCS);
+    s.push_str(crate::pip::SLICED_OPS);
+    s.push_str("  <procedure name=\"main\">\n");
+    for f in 0..3 {
+        s.push_str(&format!("    <stream name=\"screen{f}\"/>\n"));
+        for t in 0..cfg.tiles {
+            s.push_str(&format!(
+                "    <stream name=\"c_t{t}_{f}\"/><stream name=\"px_t{t}_{f}\"/><stream name=\"small_t{t}_{f}\"/><stream name=\"o{t}_{f}\"/>\n"
+            ));
+        }
+    }
+    s.push_str("    <body>\n");
+    // per-field chains: screen source + per tile (decode → idct → scale →
+    // blend), blends chained in place across the quadrants
+    s.push_str("      <parallel shape=\"task\" name=\"fields\">\n");
+    // tile inputs are shared across fields, so they sit in their own
+    // parblocks (each jpeg_in produces all three coefficient fields)
+    for t in 0..cfg.tiles {
+        s.push_str(&format!(
+            "        <parblock><call procedure=\"jpeg_in\"><param name=\"file\" value=\"tile{t}\"/><bind formal=\"cy\" stream=\"c_t{t}_0\"/><bind formal=\"cu\" stream=\"c_t{t}_1\"/><bind formal=\"cv\" stream=\"c_t{t}_2\"/></call></parblock>\n"
+        ));
+    }
+    for f in 0..3 {
+        s.push_str(&format!(
+            "        <parblock><component name=\"screen_in{f}\" class=\"plane_source\"><out port=\"output\" stream=\"screen{f}\"/><param name=\"file\" value=\"screen\"/><param name=\"field\" value=\"{f}\"/></component></parblock>\n"
+        ));
+    }
+    s.push_str("      </parallel>\n");
+    // IDCTs + scales, fields concurrent
+    s.push_str("      <parallel shape=\"task\" name=\"transform\">\n");
+    for t in 0..cfg.tiles {
+        for f in 0..3 {
+            s.push_str(&format!(
+                "        <parblock><call procedure=\"sliced_idct\"><bind formal=\"input\" stream=\"c_t{t}_{f}\"/><bind formal=\"output\" stream=\"px_t{t}_{f}\"/><param name=\"slices\" value=\"{}\"/></call><call procedure=\"sliced_downscale\"><bind formal=\"input\" stream=\"px_t{t}_{f}\"/><bind formal=\"output\" stream=\"small_t{t}_{f}\"/><param name=\"factor\" value=\"2\"/><param name=\"slices\" value=\"{}\"/></call></parblock>\n",
+                cfg.slices, cfg.slices
+            ));
+        }
+    }
+    s.push_str("      </parallel>\n");
+    // blends: chained per field (in place on the screen buffer)
+    for t in 0..cfg.tiles {
+        let (x, y) = cfg.position(t);
+        let prev = if t == 0 { "screen".to_string() } else { format!("o{}_", t - 1) };
+        s.push_str(&format!("      <parallel shape=\"task\" name=\"blend{t}\">\n"));
+        for f in 0..3 {
+            let bg = if t == 0 { format!("screen{f}") } else { format!("o{}_{f}", t - 1) };
+            let _ = &prev;
+            s.push_str(&format!(
+                "        <parblock><call procedure=\"sliced_blend\"><bind formal=\"background\" stream=\"{bg}\"/><bind formal=\"picture\" stream=\"small_t{t}_{f}\"/><bind formal=\"output\" stream=\"o{t}_{f}\"/><param name=\"x\" value=\"{x}\"/><param name=\"y\" value=\"{y}\"/><param name=\"slices\" value=\"{}\"/></call></parblock>\n",
+                cfg.slices
+            ));
+        }
+        s.push_str("      </parallel>\n");
+    }
+    let last = cfg.tiles - 1;
+    s.push_str(&format!(
+        "      <component name=\"output\" class=\"frame_sink\"><in port=\"y\" stream=\"o{last}_0\"/><in port=\"u\" stream=\"o{last}_1\"/><in port=\"v\" stream=\"o{last}_2\"/><param name=\"capture\" value=\"out\"/></component>\n"
+    ));
+    s.push_str("    </body>\n  </procedure>\n</xspcl>\n");
+    s
+}
+
+/// A compiled mosaic application.
+pub struct MosaicApp {
+    pub cfg: MosaicConfig,
+    pub assets: Arc<AppAssets>,
+    pub elaborated: Elaborated,
+    pub xml: String,
+}
+
+pub fn build(cfg: &MosaicConfig) -> Result<MosaicApp, XspclError> {
+    build_on(cfg, AppAssets::new())
+}
+
+pub fn build_on(cfg: &MosaicConfig, assets: Arc<AppAssets>) -> Result<MosaicApp, XspclError> {
+    let spec = VideoSpec::new(cfg.width, cfg.height, cfg.distinct_frames, cfg.seed);
+    for t in 0..cfg.tiles {
+        let tile_spec = VideoSpec { seed: cfg.seed + 1 + t as u64, ..spec };
+        assets.ensure_mjpeg(format!("tile{t}"), || {
+            Arc::new(MjpegVideo::generate(tile_spec, cfg.quality))
+        });
+    }
+    assets.ensure_raw("screen", || {
+        Arc::new(media::video::RawVideo::generate(VideoSpec { seed: cfg.seed, ..spec }))
+    });
+    assets.capture_set("out", 3);
+    let xml = mosaic_xml(cfg);
+    let reg = registry(&assets);
+    let elaborated = compile(&xml, &reg)?;
+    Ok(MosaicApp { cfg: cfg.clone(), assets, elaborated, xml })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinch::engine::{run_native, RunConfig};
+    use media::jpeg::codec::decode_plane;
+    use media::jpeg::quant::Channel;
+    use media::scale::downscale_rows;
+
+    #[test]
+    fn compiles_for_all_tile_counts() {
+        for tiles in 1..=4 {
+            let app = build(&MosaicConfig::small(tiles)).expect("compiles");
+            assert!(app.elaborated.spec.leaf_count() > 0, "tiles={tiles}");
+        }
+    }
+
+    #[test]
+    fn four_tiles_compose_the_quadrants() {
+        let cfg = MosaicConfig::small(4);
+        let app = build(&cfg).unwrap();
+        let frames = 3u64;
+        run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(3)).unwrap();
+        let got = app.assets.captured("out", 0);
+        assert_eq!(got.len(), frames as usize);
+
+        // reference: decode tile 0's Y plane, downscale by 2 — must appear
+        // verbatim in the top-left quadrant of every frame
+        let (w, h) = (cfg.width, cfg.height);
+        let (qw, qh) = scaled_dims(w, h, 2);
+        for (frame_idx, frame) in got.iter().enumerate() {
+            let tile0 = app.assets.mjpeg("tile0");
+            let img = tile0.frame(frame_idx);
+            let (pixels, _) = decode_plane(&img.scans[0], w, h, Channel::Luma, img.quality);
+            let mut small = vec![0u8; qw * qh];
+            downscale_rows(&pixels, w, h, 2, 0..qh, &mut small);
+            for row in 0..qh {
+                assert_eq!(
+                    &frame[row * w..row * w + qw],
+                    &small[row * qw..(row + 1) * qw],
+                    "frame {frame_idx} row {row} of the top-left quadrant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positions_tile_the_screen() {
+        let cfg = MosaicConfig::standard();
+        let (qw, qh) = scaled_dims(cfg.width, cfg.height, 2);
+        assert_eq!(cfg.position(0), (0, 0));
+        assert_eq!(cfg.position(1), (qw, 0));
+        assert_eq!(cfg.position(2), (0, qh));
+        assert_eq!(cfg.position(3), (qw, qh));
+    }
+}

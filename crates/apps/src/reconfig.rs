@@ -1,0 +1,141 @@
+//! Scripted event injection for the reconfigurable application variants.
+//!
+//! The paper toggles the second picture-in-picture (PiP-12 / JPiP-12) and
+//! switches the blur kernel (Blur-35) every 12 frames. The stimulus is a
+//! graph component that sends an event to the manager's queue — standing
+//! in for the paper's "user pressed a key" and exercising exactly the
+//! asynchronous-event machinery of §3.1/§3.4.
+
+use hinch::component::{Component, RunCtx};
+use hinch::event::{Event, EventQueue};
+
+/// Sends `event` to `queue` every `every` iterations, cycling through
+/// `payloads`.
+///
+/// `lead` fires each event that many iterations early: a reconfiguration
+/// detected at the manager entry of iteration *i* only takes effect after
+/// the admitted pipeline (depth *K*) drains, so an event meant to switch
+/// the application at frame `k*every` must be sent around iteration
+/// `k*every - 1 - K`. Without the lead the first window is systematically
+/// longer than the rest, biasing the duty cycle.
+pub struct Injector {
+    queue: EventQueue,
+    event: String,
+    every: u64,
+    lead: u64,
+    payloads: Vec<i64>,
+    sent: u64,
+}
+
+impl Injector {
+    pub fn new(queue: EventQueue, event: impl Into<String>, every: u64) -> Self {
+        Self::with_payloads(queue, event, every, vec![0])
+    }
+
+    /// Cycle through `payloads` on successive events (Blur-35 alternates
+    /// kernel sizes 5, 3, 5, ...).
+    pub fn with_payloads(
+        queue: EventQueue,
+        event: impl Into<String>,
+        every: u64,
+        payloads: Vec<i64>,
+    ) -> Self {
+        assert!(every >= 1);
+        assert!(!payloads.is_empty());
+        Self { queue, event: event.into(), every, lead: 0, payloads, sent: 0 }
+    }
+
+    /// Fire events `lead` iterations early (pipeline-drain compensation).
+    pub fn lead(mut self, lead: u64) -> Self {
+        assert!(lead + 1 < self.every, "lead must leave room within the period");
+        self.lead = lead;
+        self
+    }
+}
+
+impl Component for Injector {
+    fn class(&self) -> &'static str {
+        "injector"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        if (ctx.iteration() + 1 + self.lead).is_multiple_of(self.every) {
+            let payload = self.payloads[(self.sent as usize) % self.payloads.len()];
+            self.queue.send(Event::with_payload(self.event.clone(), payload));
+            self.sent += 1;
+        }
+        ctx.charge(20);
+    }
+}
+
+/// Forwards its input packet unchanged: the complementary-option
+/// pass-through used when an optional processing stage is disabled (the
+/// sink keeps a fixed input stream; see `DESIGN.md`).
+pub struct Pass;
+
+impl Component for Pass {
+    fn class(&self) -> &'static str {
+        "pass"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        for port in 0..ctx.num_inputs() {
+            let packet = ctx.read::<media::Plane>(port);
+            ctx.write_arc(port, packet);
+        }
+        ctx.charge(50);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinch::meter::NullMeter;
+    use hinch::stream::Stream;
+    use std::sync::Arc;
+
+    fn run_at(inj: &mut Injector, iter: u64) {
+        let mut meter = NullMeter;
+        let mut ctx = RunCtx::new(iter, &[], &[], &mut meter);
+        inj.run(&mut ctx);
+    }
+
+    #[test]
+    fn fires_every_n_iterations() {
+        let q = EventQueue::new("q");
+        let mut inj = Injector::new(q.clone(), "flip", 12);
+        for i in 0..36 {
+            run_at(&mut inj, i);
+        }
+        assert_eq!(q.len(), 3);
+        // fired at iterations 11, 23, 35
+        run_at(&mut inj, 36);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn cycles_payloads() {
+        let q = EventQueue::new("q");
+        let mut inj = Injector::with_payloads(q.clone(), "switch", 2, vec![5, 3]);
+        for i in 0..8 {
+            run_at(&mut inj, i);
+        }
+        let payloads: Vec<i64> = q.drain().into_iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![5, 3, 5, 3]);
+    }
+
+    #[test]
+    fn pass_forwards_same_arc() {
+        let input = Stream::new("i");
+        let output = Stream::new("o");
+        let plane = Arc::new(media::Plane::from_pixels("p", 2, 2, vec![1, 2, 3, 4]));
+        input.write(0, plane.clone());
+        let mut meter = NullMeter;
+        let inputs = [input];
+        let outputs = [output.clone()];
+        let mut ctx = RunCtx::new(0, &inputs, &outputs, &mut meter);
+        Pass.run(&mut ctx);
+        let forwarded = output.read_as::<media::Plane>(0);
+        assert!(Arc::ptr_eq(&plane, &forwarded));
+    }
+}

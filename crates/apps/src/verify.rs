@@ -1,0 +1,60 @@
+//! Output verification helpers: XSPCL runs vs sequential baselines.
+
+/// Compare two frame sequences; panics with a precise location on any
+/// mismatch.
+pub fn assert_frames_equal(got: &[Vec<u8>], want: &[Vec<u8>], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: frame count {} vs {}", got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g.len(), w.len(), "{label}: frame {i} size differs");
+        if g != w {
+            let first = g.iter().zip(w.iter()).position(|(a, b)| a != b).unwrap();
+            panic!(
+                "{label}: frame {i} differs first at pixel {first} ({} vs {})",
+                g[first], w[first]
+            );
+        }
+    }
+}
+
+/// Number of differing pixels between two frame sequences.
+pub fn diff_pixels(got: &[Vec<u8>], want: &[Vec<u8>]) -> usize {
+    got.iter()
+        .zip(want.iter())
+        .map(|(g, w)| g.iter().zip(w.iter()).filter(|(a, b)| a != b).count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_frames_pass() {
+        let a = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        assert_frames_equal(&a, &a.clone(), "t");
+        assert_eq!(diff_pixels(&a, &a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs first at pixel 1")]
+    fn unequal_frames_report_position() {
+        let a = vec![vec![1, 2, 3]];
+        let b = vec![vec![1, 9, 3]];
+        assert_frames_equal(&a, &b, "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "frame count")]
+    fn missing_frames_detected() {
+        let a = vec![vec![1]];
+        let b: Vec<Vec<u8>> = vec![];
+        assert_frames_equal(&a, &b, "t");
+    }
+
+    #[test]
+    fn diff_pixels_counts() {
+        let a = vec![vec![1, 2, 3, 4]];
+        let b = vec![vec![1, 0, 3, 0]];
+        assert_eq!(diff_pixels(&a, &b), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Ablations of the design choices called out in `DESIGN.md`.
+//!
+//! Each ablation disables or sweeps one mechanism and reports the effect
+//! on the simulated PiP-1 run, so the contribution of every modelling
+//! decision is measurable:
+//!
+//! * pipeline depth (the paper's 5 concurrent iterations),
+//! * dispatch / job-base overhead (the RTS cost model),
+//! * L2 capacity (the locality effect behind the JPiP overhead).
+
+use apps::experiment::{build, App, AppConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hinch::engine::{run_sim, RunConfig};
+use spacecake::{CacheConfig, Machine, TileConfig};
+
+const FRAMES: u64 = 8;
+
+fn pipeline_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pipeline_depth");
+    group.sample_size(10);
+    let cfg = AppConfig::small(App::Pip1).frames(FRAMES);
+    for depth in [1usize, 2, 5, 8] {
+        let built = build(cfg);
+        let mut m = Machine::with_cores(4);
+        let cycles = run_sim(&built.spec, &RunConfig::new(FRAMES).pipeline_depth(depth), &mut m)
+            .unwrap()
+            .cycles;
+        eprintln!("depth={depth}: {cycles} cycles @4 cores");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let built = build(cfg);
+                let mut m = Machine::with_cores(4);
+                run_sim(&built.spec, &RunConfig::new(FRAMES).pipeline_depth(depth), &mut m)
+                    .unwrap()
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dispatch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dispatch_cost");
+    group.sample_size(10);
+    let cfg = AppConfig::small(App::Pip1).frames(FRAMES);
+    for dispatch in [0u64, 600, 6000] {
+        let built = build(cfg);
+        let mut m = Machine::with_cores(4);
+        let mut rc = RunConfig::new(FRAMES).pipeline_depth(5);
+        rc.overhead.dispatch = dispatch;
+        let cycles = run_sim(&built.spec, &rc, &mut m).unwrap().cycles;
+        eprintln!("dispatch={dispatch}: {cycles} cycles @4 cores");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dispatch),
+            &dispatch,
+            |b, &dispatch| {
+                b.iter(|| {
+                    let built = build(cfg);
+                    let mut m = Machine::with_cores(4);
+                    let mut rc = RunConfig::new(FRAMES).pipeline_depth(5);
+                    rc.overhead.dispatch = dispatch;
+                    run_sim(&built.spec, &rc, &mut m).unwrap().cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Build a mid-size JPiP whose coefficient planes (≈ 0.4 MiB per field,
+/// 2.4 MiB per frame across both streams) straddle the swept L2 sizes —
+/// the small test config fits *any* cache and would show nothing.
+fn midsize_jpip() -> apps::jpip::JpipApp {
+    use apps::jpip::{build as build_jpip, JpipConfig};
+    let cfg = JpipConfig {
+        width: 640,
+        height: 320,
+        factor: 8,
+        slices: 8,
+        distinct_frames: 2,
+        ..JpipConfig::small(1)
+    };
+    build_jpip(&cfg).expect("jpip compiles")
+}
+
+fn l2_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_l2_size");
+    group.sample_size(10);
+    // JPiP is the cache-sensitive app (coefficient planes between decode
+    // and IDCT) — shrink/grow the L2 and watch the memory stalls move.
+    let app = midsize_jpip();
+    for l2_kib in [256usize, 2048, 8192] {
+        let tile = TileConfig {
+            l2: CacheConfig { size: l2_kib * 1024, line: 128, assoc: 8 },
+            ..TileConfig::with_cores(1)
+        };
+        app.assets.clear_captures();
+        let mut m = Machine::new(tile.clone());
+        let r =
+            run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES).pipeline_depth(5), &mut m)
+                .unwrap();
+        eprintln!(
+            "L2={l2_kib}KiB: {} cycles, {} mem cycles, {} L2 misses",
+            r.cycles, r.stats.mem_cycles, r.stats.l2_misses
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(l2_kib), &l2_kib, |b, _| {
+            b.iter(|| {
+                app.assets.clear_captures();
+                let mut m = Machine::new(tile.clone());
+                run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES).pipeline_depth(5), &mut m)
+                    .unwrap()
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, pipeline_depth, dispatch_overhead, l2_capacity);
+criterion_main!(ablation);

@@ -1,0 +1,92 @@
+//! Criterion benches regenerating the paper's figures at reduced scale.
+//!
+//! One bench group per figure of the evaluation section. These measure the
+//! *host* time of running each experiment; the experiment itself reports
+//! simulated cycles (printed once per bench so `cargo bench` output doubles
+//! as a small-scale figure regeneration). Use the `paper-figures` binary
+//! for the full-scale numbers.
+
+use apps::experiment::{run_sim, sequential_cycles, App, AppConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const FRAMES: u64 = 8;
+
+/// Figure 8: one-core XSPCL vs sequential, per app.
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_sequential_overhead");
+    group.sample_size(10);
+    for app in App::STATIC {
+        let cfg = AppConfig::small(app).frames(FRAMES);
+        // print the small-scale figure row once
+        let seq = sequential_cycles(cfg);
+        let xspcl = run_sim(cfg, 1).cycles;
+        eprintln!(
+            "fig8[{}]: seq={} xspcl={} overhead={:.1}%",
+            app.label(),
+            seq,
+            xspcl,
+            (xspcl as f64 / seq as f64 - 1.0) * 100.0
+        );
+        group.bench_function(BenchmarkId::new("xspcl_1core", app.label()), |b| {
+            b.iter(|| run_sim(cfg, 1).cycles)
+        });
+        group.bench_function(BenchmarkId::new("sequential", app.label()), |b| {
+            b.iter(|| sequential_cycles(cfg))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9: node sweep, per app (host time of the simulated runs).
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_speedup");
+    group.sample_size(10);
+    for app in [App::Pip1, App::Jpip1, App::Blur5] {
+        let cfg = AppConfig::small(app).frames(FRAMES);
+        let reference = sequential_cycles(cfg);
+        for cores in [1usize, 4, 9] {
+            let cycles = run_sim(cfg, cores).cycles;
+            eprintln!(
+                "fig9[{} n={}]: cycles={} speedup={:.2}",
+                app.label(),
+                cores,
+                cycles,
+                reference as f64 / cycles as f64
+            );
+            group.bench_function(
+                BenchmarkId::new(app.label().to_string(), cores),
+                |b| b.iter(|| run_sim(cfg, cores).cycles),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 10: reconfigurable vs static average (host time).
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_reconfiguration");
+    group.sample_size(10);
+    for app in App::RECONFIG {
+        let cfg = AppConfig::small(app).frames(24);
+        let reconfig = run_sim(cfg, 4);
+        let static_avg: u64 = app
+            .static_counterparts()
+            .iter()
+            .map(|&a| run_sim(AppConfig::small(a).frames(24), 4).cycles)
+            .sum::<u64>()
+            / app.static_counterparts().len() as u64;
+        eprintln!(
+            "fig10[{} n=4]: reconfig={} static_avg={} overhead={:.1}% ({} reconfigs)",
+            app.label(),
+            reconfig.cycles,
+            static_avg,
+            (reconfig.cycles as f64 / static_avg as f64 - 1.0) * 100.0,
+            reconfig.reconfigs,
+        );
+        group.bench_function(app.label(), |b| b.iter(|| run_sim(cfg, 4).cycles));
+    }
+    group.finish();
+}
+
+criterion_group!(figures, fig8, fig9, fig10);
+criterion_main!(figures);

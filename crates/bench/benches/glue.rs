@@ -1,0 +1,55 @@
+//! The paper's low-overhead claim: XSPCL glue runs at initialization only.
+//!
+//! Measures the complete XSPCL processing pipeline (XML parse → validate →
+//! elaborate) for the real application documents and compares it against
+//! one steady-state iteration of the same application — showing the glue
+//! is a one-time cost amortized over the whole run.
+
+use apps::experiment::{run_sim, App, AppConfig};
+use apps::pip::{pip_xml, PipConfig};
+use apps::registry::{registry, AppAssets};
+use criterion::{criterion_group, criterion_main, Criterion};
+use media::video::{RawVideo, VideoSpec};
+use std::sync::Arc;
+
+fn glue_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glue_overhead");
+
+    // the full PiP-2 document (the largest static app spec)
+    let cfg = PipConfig::paper(2);
+    let xml = pip_xml(&cfg);
+    eprintln!("glue: PiP-2 XSPCL document is {} bytes", xml.len());
+
+    group.bench_function("parse_only", |b| {
+        b.iter(|| xspcl::xml::parse(&xml).unwrap().children.len())
+    });
+
+    group.bench_function("parse_validate", |b| {
+        b.iter(|| xspcl::parse_and_validate(&xml).unwrap().procedures.len())
+    });
+
+    // elaboration against a live registry (videos pre-generated once)
+    let assets = AppAssets::new();
+    let spec = VideoSpec::new(cfg.width, cfg.height, 2, cfg.seed);
+    assets.add_raw("bg", Arc::new(RawVideo::generate(spec)));
+    assets.add_raw("pip1", Arc::new(RawVideo::generate(VideoSpec { seed: 1, ..spec })));
+    assets.add_raw("pip2", Arc::new(RawVideo::generate(VideoSpec { seed: 2, ..spec })));
+    let reg = registry(&assets);
+    group.bench_function("parse_validate_elaborate", |b| {
+        b.iter(|| xspcl::compile(&xml, &reg).unwrap().spec.leaf_count())
+    });
+
+    group.finish();
+
+    // context: simulated cycles of ONE steady-state iteration, so the
+    // reader can relate glue time to frame time
+    let cfg8 = AppConfig::small(App::Pip2).frames(8);
+    let r = run_sim(cfg8, 1);
+    eprintln!(
+        "context: small PiP-2 costs ~{} simulated cycles/frame at steady state",
+        r.cycles / r.iterations.max(1)
+    );
+}
+
+criterion_group!(glue, glue_pipeline);
+criterion_main!(glue);

@@ -1,0 +1,216 @@
+//! `paper-figures` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! paper-figures --fig 8            Figure 8 (sequential overhead)
+//! paper-figures --fig 9            Figure 9 (speedup on 1..=9 nodes)
+//! paper-figures --fig 10           Figure 10 (reconfiguration overhead)
+//! paper-figures --fig 7            Figure 7 (JPiP task graph, DOT)
+//! paper-figures --cache-stats      §4.1 cache-miss comparison
+//! paper-figures --predict          SPC prediction vs simulation (Fig. 1)
+//! paper-figures --fig all          everything
+//!
+//! options:
+//!   --scale small|paper   (default: paper)
+//!   --frames N            override the per-app frame count
+//!   --nodes a,b,c         node sweep (default: 1..=9)
+//! ```
+//!
+//! Absolute cycle counts come from this repository's SpaceCAKE tile model;
+//! compare *shapes* against the paper (see `EXPERIMENTS.md`).
+
+use apps::experiment::{App, Scale};
+use bench::{cache_comparison, figure10, figure7_dot, figure8, figure9, prediction_validation};
+use std::process::ExitCode;
+
+struct Options {
+    fig: String,
+    scale: Scale,
+    frames: Option<u64>,
+    nodes: Vec<usize>,
+    cache_stats: bool,
+    predict: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        fig: String::new(),
+        scale: Scale::Paper,
+        frames: None,
+        nodes: (1..=9).collect(),
+        cache_stats: false,
+        predict: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => opts.fig = args.next().ok_or("--fig needs a value")?,
+            "--scale" => {
+                opts.scale = match args.next().as_deref() {
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => return Err(format!("bad --scale {other:?}")),
+                }
+            }
+            "--frames" => {
+                opts.frames = Some(
+                    args.next()
+                        .ok_or("--frames needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --frames: {e}"))?,
+                )
+            }
+            "--nodes" => {
+                opts.nodes = args
+                    .next()
+                    .ok_or("--nodes needs a value")?
+                    .split(',')
+                    .map(|n| n.trim().parse::<usize>().map_err(|e| format!("bad node: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--cache-stats" => opts.cache_stats = true,
+            "--predict" => opts.predict = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.fig.is_empty() && !opts.cache_stats && !opts.predict {
+        return Err(
+            "nothing to do: pass --fig 7|8|9|10|all, --cache-stats and/or --predict".into(),
+        );
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("paper-figures: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let all = opts.fig == "all";
+    if all || opts.fig == "7" {
+        print_fig7(&opts);
+    }
+    if all || opts.fig == "8" {
+        print_fig8(&opts);
+    }
+    if all || opts.fig == "9" {
+        print_fig9(&opts);
+    }
+    if all || opts.fig == "10" {
+        print_fig10(&opts);
+    }
+    if opts.cache_stats || all {
+        print_cache_stats(&opts);
+    }
+    if opts.predict || all {
+        print_prediction(&opts);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_prediction(opts: &Options) {
+    println!("== SPC performance prediction vs simulation ==");
+    println!("(calibrated from the 1-core profile; Fig. 1's estimation tool)");
+    print!("{:<10}", "app");
+    for n in &opts.nodes {
+        print!(" {:>8}", format!("n={n}"));
+    }
+    println!();
+    let rows = prediction_validation(opts.scale, &opts.nodes, opts.frames);
+    for app in App::STATIC {
+        print!("{:<10}", app.label());
+        for row in rows.iter().filter(|r| r.app == app) {
+            print!(" {:>+7.1}%", row.error_pct());
+        }
+        println!();
+    }
+    println!("(prediction error; + = predicted slower than simulated)");
+    println!();
+}
+
+fn print_fig7(opts: &Options) {
+    println!("== Figure 7: JPiP task graph (Graphviz DOT) ==");
+    println!("{}", figure7_dot(opts.scale));
+}
+
+fn print_fig8(opts: &Options) {
+    println!("== Figure 8: sequential overhead (cycles x 1,000,000) ==");
+    println!(
+        "{:<10} {:>8} {:>16} {:>16} {:>10}   paper",
+        "app", "frames", "sequential", "XSPCL", "overhead"
+    );
+    let paper = ["~5%", "~5%", "~18%", "~18%", "<1.1%", "<1.1%"];
+    for (row, paper_val) in figure8(opts.scale, opts.frames).iter().zip(paper) {
+        println!(
+            "{:<10} {:>8} {:>16.1} {:>16.1} {:>9.1}%   {}",
+            row.app.label(),
+            row.frames,
+            row.sequential_cycles as f64 / 1e6,
+            row.xspcl_cycles as f64 / 1e6,
+            row.overhead_pct(),
+            paper_val,
+        );
+    }
+    println!();
+}
+
+fn print_fig9(opts: &Options) {
+    println!("== Figure 9: speedup vs fastest sequential version ==");
+    print!("{:<10}", "app");
+    for n in &opts.nodes {
+        print!(" {:>6}", format!("n={n}"));
+    }
+    println!();
+    for series in figure9(opts.scale, &opts.nodes, opts.frames) {
+        print!("{:<10}", series.app.label());
+        for (_, _, speedup) in &series.points {
+            print!(" {speedup:>6.2}");
+        }
+        println!();
+    }
+    println!("(paper: all scale well; Blur best, JPiP worst)");
+    println!();
+}
+
+fn print_fig10(opts: &Options) {
+    println!("== Figure 10: reconfiguration overhead (%) ==");
+    print!("{:<10}", "app");
+    for n in &opts.nodes {
+        print!(" {:>7}", format!("n={n}"));
+    }
+    println!();
+    for series in figure10(opts.scale, &opts.nodes, opts.frames) {
+        print!("{:<10}", series.app.label());
+        for (_, _, _, overhead) in &series.points {
+            print!(" {overhead:>6.1}%");
+        }
+        println!();
+    }
+    println!("(paper: below 15%, increasing with the number of nodes)");
+    println!();
+}
+
+fn print_cache_stats(opts: &Options) {
+    println!("== §4.1 profiling: cache misses, XSPCL vs sequential ==");
+    println!(
+        "{:<10} {:>14} {:>14} {:>9}  {:>14} {:>14}",
+        "app", "xspcl L1 miss", "seq L1 miss", "ratio", "xspcl memcyc", "seq memcyc"
+    );
+    let frames = opts.frames.unwrap_or(8);
+    for app in [App::Jpip1, App::Pip1, App::Blur3] {
+        let c = cache_comparison(app, opts.scale, frames);
+        println!(
+            "{:<10} {:>14} {:>14} {:>8.2}x {:>14} {:>14}",
+            c.app.label(),
+            c.xspcl.l1_misses,
+            c.sequential.l1_misses,
+            c.xspcl.l1_misses as f64 / c.sequential.l1_misses.max(1) as f64,
+            c.xspcl.mem_cycles,
+            c.sequential.mem_cycles,
+        );
+    }
+    println!("(paper: JPiP XSPCL has significantly more misses; Blur identical)");
+    println!();
+}

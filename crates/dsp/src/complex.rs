@@ -1,0 +1,88 @@
+//! A minimal single-precision complex number (no external crates).
+
+use std::ops::{Add, Mul, Sub};
+
+/// `re + i·im`, single precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl Complex32 {
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f32) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    pub fn scale(self, s: f32) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    fn add(self, o: Complex32) -> Complex32 {
+        Complex32 { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    fn sub(self, o: Complex32) -> Complex32 {
+        Complex32 { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    fn mul(self, o: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        assert_eq!(a + b, Complex32::new(4.0, 1.0));
+        assert_eq!(a - b, Complex32::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex32::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex32::new(1.0, -2.0));
+        assert_eq!(a.norm_sqr(), 5.0);
+    }
+
+    #[test]
+    fn cis_is_on_the_unit_circle() {
+        for k in 0..8 {
+            let c = Complex32::cis(k as f32 * std::f32::consts::FRAC_PI_4);
+            assert!((c.norm_sqr() - 1.0).abs() < 1e-6);
+        }
+        let i = Complex32::cis(std::f32::consts::FRAC_PI_2);
+        assert!(i.re.abs() < 1e-6 && (i.im - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,208 @@
+//! Iterative radix-2 decimation-in-time FFT.
+//!
+//! Classic textbook structure: bit-reversal permutation followed by
+//! `log₂ N` butterfly stages over precomputed twiddle factors. Enough for
+//! a channelizing spectrometer; deliberately straightforward (the
+//! simulation charges a documented cycle cost, so host speed is not the
+//! point — determinism and correctness are).
+
+use crate::complex::Complex32;
+
+/// A planned FFT of fixed power-of-two size.
+pub struct Fft {
+    n: usize,
+    /// Twiddles `e^{-2πik/N}` for `k < N/2`.
+    twiddles: Vec<Complex32>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Plan an FFT of size `n` (power of two, ≥ 2).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two ≥ 2, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|k| Complex32::cis(-2.0 * std::f32::consts::PI * k as f32 / n as f32))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        Self { n, twiddles, rev }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        assert_eq!(data.len(), self.n);
+        // bit-reversal permutation
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // butterflies
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let step = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let w = self.twiddles[k * step];
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// In-place inverse transform (including the 1/N normalization).
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let s = 1.0 / self.n as f32;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(s);
+        }
+    }
+
+    /// Butterfly count (`N/2 · log₂ N`), the unit of the FFT cost model.
+    pub fn butterflies(&self) -> u64 {
+        (self.n as u64 / 2) * self.n.trailing_zeros() as u64
+    }
+}
+
+/// Naive DFT reference (tests only — O(N²)).
+pub fn dft_reference(input: &[Complex32]) -> Vec<Complex32> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex32::ZERO;
+            for (t, &x) in input.iter().enumerate() {
+                let w = Complex32::cis(-2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32);
+                acc = acc + x * w;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// A periodic Hann window of length `n`.
+pub fn hann_window(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / n as f32).cos())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32, eps: f32) -> bool {
+        (a.re - b.re).abs() <= eps && (a.im - b.im).abs() <= eps
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let input: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new(((i * 7) % 5) as f32 - 2.0, ((i * 3) % 4) as f32))
+                .collect();
+            let want = dft_reference(&input);
+            let mut got = input.clone();
+            Fft::new(n).forward(&mut got);
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!(close(*g, *w, 1e-3 * n as f32), "n={n}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 32;
+        let mut data = vec![Complex32::ZERO; n];
+        data[0] = Complex32::ONE;
+        Fft::new(n).forward(&mut data);
+        for v in &data {
+            assert!(close(*v, Complex32::ONE, 1e-5));
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 128;
+        let bin = 5;
+        let mut data: Vec<Complex32> = (0..n)
+            .map(|t| Complex32::cis(2.0 * std::f32::consts::PI * (bin * t) as f32 / n as f32))
+            .collect();
+        Fft::new(n).forward(&mut data);
+        for (k, v) in data.iter().enumerate() {
+            if k == bin {
+                assert!((v.norm_sqr().sqrt() - n as f32).abs() < 1e-2);
+            } else {
+                assert!(v.norm_sqr().sqrt() < 1e-2, "leakage into bin {k}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 64;
+        let input: Vec<Complex32> =
+            (0..n).map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.7).cos())).collect();
+        let mut data = input.clone();
+        let fft = Fft::new(n);
+        fft.forward(&mut data);
+        fft.inverse(&mut data);
+        for (g, w) in data.iter().zip(input.iter()) {
+            assert!(close(*g, *w, 1e-4));
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 64;
+        let input: Vec<Complex32> =
+            (0..n).map(|i| Complex32::new(((i % 9) as f32) - 4.0, 0.0)).collect();
+        let mut freq = input.clone();
+        Fft::new(n).forward(&mut freq);
+        let e_time: f32 = input.iter().map(|v| v.norm_sqr()).sum();
+        let e_freq: f32 = freq.iter().map(|v| v.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((e_time - e_freq).abs() / e_time < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Fft::new(12);
+    }
+
+    #[test]
+    fn butterfly_count() {
+        assert_eq!(Fft::new(8).butterflies(), 4 * 3);
+        assert_eq!(Fft::new(1024).butterflies(), 512 * 10);
+    }
+
+    #[test]
+    fn hann_window_properties() {
+        let w = hann_window(64);
+        assert_eq!(w.len(), 64);
+        assert!(w[0].abs() < 1e-6);
+        assert!((w[32] - 1.0).abs() < 1e-6);
+        // symmetric around the center (periodic Hann: w[i] == w[n-i])
+        for i in 1..32 {
+            assert!((w[i] - w[64 - i]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # dsp — streaming signal processing for the HPC direction
+//!
+//! The paper closes (§6) by arguing that XSPCL extends beyond consumer
+//! electronics to High Performance Computing streaming workloads, naming
+//! radio astronomy: *"Modern radio telescopes produce huge data streams
+//! (>100Gb/s) and require compute power in the order of teraflops."*
+//! This crate provides the substrate for that workload, built from
+//! scratch like the rest of the repository:
+//!
+//! * [`complex`] — a minimal `Complex32`;
+//! * [`fft`] — an iterative radix-2 decimation-in-time FFT with
+//!   precomputed twiddles (tested against a naive DFT and by
+//!   round-tripping);
+//! * [`signal`] — deterministic synthetic antenna data: tones buried in
+//!   seeded noise;
+//! * [`components`] — the Hinch components of a channelizing
+//!   spectrometer: antenna source → window+FFT (data-parallel over the
+//!   batch of spectra) → power detection → spectrum integration — the
+//!   classic first stages of a radio-telescope correlator.
+//!
+//! The `apps::telescope` application assembles these through XSPCL; the
+//! `radio_telescope` example runs it end-to-end.
+
+pub mod complex;
+pub mod components;
+pub mod fft;
+pub mod signal;
+
+pub use complex::Complex32;
+pub use fft::Fft;
+pub use signal::AntennaSignal;

@@ -1,0 +1,402 @@
+//! Native engine: worker threads against a central job queue.
+//!
+//! This is Hinch's production execution mode: `workers` threads repeatedly
+//! take a ready job from the central queue, execute it, and feed the
+//! completion back into the shared [`Tracker`]. Load balancing is automatic
+//! — whichever worker is idle takes the next job, exactly the central-job-
+//! queue policy of the paper.
+
+use super::{apply_plans, exec_manager_entry, PreparedReconfig, RunConfig};
+use crate::component::RunCtx;
+use crate::error::HinchError;
+use crate::graph::flatten::{flatten, JobKind};
+use crate::graph::instance::{instantiate_graph, InstanceGraph};
+use crate::graph::GraphSpec;
+use crate::meter::NullMeter;
+use crate::report::RunReport;
+use crate::sched::{Effect, JobRef, Tracker};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct State {
+    tracker: Tracker,
+    inst: InstanceGraph,
+    ready: VecDeque<JobRef>,
+    pending: Vec<PreparedReconfig>,
+    version: u64,
+    reconfigs: u64,
+    per_node: std::collections::HashMap<String, (u64, std::time::Duration)>,
+    /// Set when a worker panicked; remaining workers drain out.
+    aborted: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// Run `spec` for `cfg.iterations` iterations on `cfg.workers` threads.
+///
+/// Returns once every iteration completed. Component panics propagate to
+/// the caller.
+pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchError> {
+    spec.validate()?;
+    cfg.validate()?;
+    let inst = instantiate_graph(spec);
+    let dag = Arc::new(flatten(&inst.root, &inst.streams, 0));
+    let mut tracker = Tracker::new(dag, cfg.pipeline_depth, cfg.iterations);
+    let mut ready = Vec::new();
+    tracker.admit(&mut ready);
+
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            tracker,
+            inst,
+            ready: ready.into_iter().collect(),
+            pending: Vec::new(),
+            version: 0,
+            reconfigs: 0,
+            per_node: std::collections::HashMap::new(),
+            aborted: false,
+        }),
+        cv: Condvar::new(),
+    });
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..cfg.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("hinch-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let mut panicked = None;
+    for w in workers {
+        if let Err(payload) = w.join() {
+            panicked = Some(payload);
+        }
+    }
+    if let Some(payload) = panicked {
+        std::panic::resume_unwind(payload);
+    }
+
+    let elapsed = start.elapsed();
+    let state = shared.state.lock();
+    Ok(RunReport {
+        iterations: state.tracker.completed_iterations(),
+        elapsed,
+        jobs_executed: state.tracker.jobs_executed(),
+        reconfigs: state.reconfigs,
+        workers: cfg.workers,
+        per_node: state.per_node.clone(),
+    })
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock();
+            loop {
+                if state.aborted {
+                    return;
+                }
+                if let Some(job) = state.ready.pop_front() {
+                    break job;
+                }
+                if state.tracker.finished() {
+                    shared.cv.notify_all();
+                    return;
+                }
+                shared.cv.wait(&mut state);
+            }
+        };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| execute(shared, job)));
+        if let Err(payload) = result {
+            let mut state = shared.state.lock();
+            state.aborted = true;
+            shared.cv.notify_all();
+            drop(state);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn execute(shared: &Shared, job: JobRef) {
+    let kind = {
+        let state = shared.state.lock();
+        state.tracker.kind(job)
+    };
+    match kind {
+        JobKind::Comp(leaf) => {
+            // Run outside the engine lock: this is where the real work
+            // happens and where parallelism comes from.
+            let started = Instant::now();
+            let mut meter = NullMeter;
+            let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
+            leaf.comp.lock().run(&mut ctx);
+            let busy = started.elapsed();
+            let mut state = shared.state.lock();
+            let entry = state.per_node.entry(leaf.name.clone()).or_default();
+            entry.0 += 1;
+            entry.1 += busy;
+            finish_locked(shared, &mut state, job);
+        }
+        JobKind::MgrEntry(mgr) => {
+            let mut state = shared.state.lock();
+            let streams = state.inst.streams.clone();
+            let (plan, _cost) = exec_manager_entry(&mgr, &streams, &state.pending);
+            if let Some(plan) = plan {
+                state.pending.push(plan);
+                state.tracker.halt();
+            }
+            finish_locked(shared, &mut state, job);
+        }
+        JobKind::MgrExit(_) => {
+            // Synchronization point only.
+            finish(shared, job);
+        }
+    }
+}
+
+fn finish(shared: &Shared, job: JobRef) {
+    let mut state = shared.state.lock();
+    finish_locked(shared, &mut state, job);
+}
+
+fn finish_locked(shared: &Shared, state: &mut State, job: JobRef) {
+    let mut newly = Vec::new();
+    let effect = state.tracker.complete(job, &mut newly);
+    state.ready.extend(newly);
+    if effect == Effect::Quiescent {
+        let plans = std::mem::take(&mut state.pending);
+        if plans.is_empty() {
+            // halted but no plans (defensive): resume with the same dag
+            let dag = state.tracker.current_dag();
+            let mut resumed = Vec::new();
+            state.tracker.resume_with(dag, &mut resumed);
+            state.ready.extend(resumed);
+        } else {
+            state.version += 1;
+            let outcome = apply_plans(&state.inst, plans, state.version);
+            state.reconfigs += outcome.applied;
+            let mut resumed = Vec::new();
+            state.tracker.resume_with(outcome.dag, &mut resumed);
+            state.ready.extend(resumed);
+        }
+    }
+    // Wake workers: new jobs, or the run may be finished.
+    shared.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, Params};
+    use crate::event::{Event, EventQueue};
+    use crate::graph::testutil::{leaf, slice_leaf};
+    use crate::graph::{factory, ComponentSpec, GraphSpec, ManagerSpec};
+    use crate::manager::EventAction;
+    use crate::sharedbuf::RegionBuf;
+    use parking_lot::Mutex as PMutex;
+    use std::sync::Arc;
+
+    /// Sink that records the i64 it reads each iteration.
+    struct Recorder {
+        out: Arc<PMutex<Vec<i64>>>,
+    }
+    impl Component for Recorder {
+        fn class(&self) -> &'static str {
+            "recorder"
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>) {
+            let v = *ctx.read::<i64>(0);
+            self.out.lock().push(v);
+        }
+    }
+
+    fn recorder_leaf(stream: &str, out: Arc<PMutex<Vec<i64>>>) -> GraphSpec {
+        let f = factory(
+            move |_p: &Params| -> Box<dyn Component> { Box::new(Recorder { out: out.clone() }) },
+            Params::new(),
+        );
+        GraphSpec::Leaf(ComponentSpec::new("rec", "recorder", f).input(stream))
+    }
+
+    /// Sink that sums a shared RegionBuf<i64> and records the sum.
+    struct BufRecorder {
+        out: Arc<PMutex<Vec<i64>>>,
+    }
+    impl Component for BufRecorder {
+        fn class(&self) -> &'static str {
+            "buf_recorder"
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>) {
+            let buf = ctx.read::<RegionBuf<i64>>(0);
+            let sum: i64 = buf.lease_read_all().iter().sum();
+            self.out.lock().push(sum);
+        }
+    }
+
+    fn buf_recorder_leaf(stream: &str, out: Arc<PMutex<Vec<i64>>>) -> GraphSpec {
+        let f = factory(
+            move |_p: &Params| -> Box<dyn Component> {
+                Box::new(BufRecorder { out: out.clone() })
+            },
+            Params::new(),
+        );
+        GraphSpec::Leaf(ComponentSpec::new("brec", "buf_recorder", f).input(stream))
+    }
+
+    #[test]
+    fn pipeline_produces_every_iteration() {
+        for workers in [1, 2, 4] {
+            let out = Arc::new(PMutex::new(Vec::new()));
+            let g = GraphSpec::seq(vec![
+                leaf("src", &[], &["a"], 1),
+                leaf("mid", &["a"], &["b"], 10),
+                recorder_leaf("b", out.clone()),
+            ]);
+            let report = run_native(&g, &RunConfig::new(20).workers(workers)).unwrap();
+            assert_eq!(report.iterations, 20);
+            let vals = out.lock();
+            // adder chain: 1 then +10 → 11, every iteration, in order
+            assert_eq!(*vals, vec![11i64; 20]);
+        }
+    }
+
+    #[test]
+    fn task_parallel_graph_runs() {
+        let out = Arc::new(PMutex::new(Vec::new()));
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["s"], 5),
+            GraphSpec::task(vec![
+                leaf("l", &["s"], &["ls"], 1),
+                leaf("r", &["s"], &["rs"], 2),
+            ]),
+            leaf("join", &["ls", "rs"], &["out"], 0),
+            recorder_leaf("out", out.clone()),
+        ]);
+        let report = run_native(&g, &RunConfig::new(8).workers(3)).unwrap();
+        assert_eq!(report.iterations, 8);
+        // join = (5+1) + (5+2) = 13
+        assert_eq!(*out.lock(), vec![13i64; 8]);
+    }
+
+    #[test]
+    fn sliced_group_fills_shared_buffer() {
+        for workers in [1, 3] {
+            let out = Arc::new(PMutex::new(Vec::new()));
+            let g = GraphSpec::seq(vec![
+                leaf("src", &[], &["s"], 2),
+                GraphSpec::slice("sl", 4, slice_leaf("w", "s", "o", 3)),
+                buf_recorder_leaf("o", out.clone()),
+            ]);
+            let report = run_native(&g, &RunConfig::new(10).workers(workers)).unwrap();
+            assert_eq!(report.iterations, 10);
+            // each copy writes (2+3+index); sum = 4*5 + (0+1+2+3) = 26
+            assert_eq!(*out.lock(), vec![26i64; 10]);
+        }
+    }
+
+    #[test]
+    fn reconfiguration_toggles_option() {
+        // src -> [option add100] -> recorder; an injector toggles the
+        // option via the manager every 4 iterations.
+        struct Injector {
+            queue: EventQueue,
+            every: u64,
+        }
+        impl Component for Injector {
+            fn class(&self) -> &'static str {
+                "injector"
+            }
+            fn run(&mut self, ctx: &mut RunCtx<'_>) {
+                if ctx.iteration() % self.every == self.every - 1 {
+                    self.queue.send(Event::new("flip"));
+                }
+            }
+        }
+        let q = EventQueue::new("mq");
+        let qc = q.clone();
+        let injector = factory(
+            move |_p: &Params| -> Box<dyn Component> {
+                Box::new(Injector { queue: qc.clone(), every: 4 })
+            },
+            Params::new(),
+        );
+
+        let out = Arc::new(PMutex::new(Vec::new()));
+        let mgr =
+            ManagerSpec::new("m", q.clone()).on("flip", vec![EventAction::Toggle("bonus".into())]);
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                GraphSpec::Leaf(ComponentSpec::new("inj", "injector", injector)),
+                leaf("src", &[], &["a"], 1),
+                GraphSpec::option("bonus", false, leaf("bonus", &["a"], &["a2"], 100)),
+                recorder_leaf("a", out.clone()),
+            ]),
+        );
+        let report = run_native(&g, &RunConfig::new(24).workers(2)).unwrap();
+        assert_eq!(report.iterations, 24);
+        assert!(
+            report.reconfigs >= 2,
+            "expected several reconfigurations, got {}",
+            report.reconfigs
+        );
+        assert_eq!(out.lock().len(), 24);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let mk = |workers| {
+            let out = Arc::new(PMutex::new(Vec::new()));
+            let g = GraphSpec::seq(vec![
+                leaf("src", &[], &["s"], 2),
+                GraphSpec::slice("sl", 4, slice_leaf("w", "s", "o", 3)),
+                buf_recorder_leaf("o", out.clone()),
+            ]);
+            run_native(&g, &RunConfig::new(10).workers(workers)).unwrap();
+            let vals = out.lock().clone();
+            vals
+        };
+        let one = mk(1);
+        let four = mk(4);
+        assert_eq!(one, four);
+        assert_eq!(one.len(), 10);
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let g = leaf("a", &[], &["s"], 0);
+        let err = run_native(&g, &RunConfig::new(1).workers(0)).unwrap_err();
+        assert!(matches!(err, HinchError::BadConfig(_)));
+    }
+
+    #[test]
+    fn component_panic_propagates() {
+        struct Bomb;
+        impl Component for Bomb {
+            fn class(&self) -> &'static str {
+                "bomb"
+            }
+            fn run(&mut self, ctx: &mut RunCtx<'_>) {
+                if ctx.iteration() == 3 {
+                    panic!("boom at iteration 3");
+                }
+            }
+        }
+        let f = factory(|_p: &Params| -> Box<dyn Component> { Box::new(Bomb) }, Params::new());
+        let g = GraphSpec::Leaf(ComponentSpec::new("bomb", "bomb", f));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = run_native(&g, &RunConfig::new(10).workers(2));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! Simulation engine: deterministic discrete-event execution.
+//!
+//! Jobs execute host-sequentially (so component outputs are bit-identical
+//! to the native engine) but are *placed* on the virtual cores of a
+//! [`Platform`] by an event-driven list scheduler that mirrors the central
+//! job queue: when a job becomes ready it is assigned to the earliest-free
+//! core, FIFO by readiness time. Each job's duration comes from the
+//! platform (compute charges + cache-modelled memory cycles), plus the
+//! dispatch overhead of the run-time system when more than one core is in
+//! use (with one core all synchronization is disabled, paper §4.2).
+//!
+//! Reconfigurations follow the quiesce protocol of the tracker; the
+//! quiescent window contributes `resync_base + resync_per_component ×
+//! grafted` cycles to a *barrier time* before which no later iteration may
+//! start.
+
+use super::{apply_plans, exec_manager_entry, PreparedReconfig, RunConfig};
+use crate::component::RunCtx;
+use crate::error::HinchError;
+use crate::graph::flatten::{flatten, JobKind};
+use crate::graph::instance::instantiate_graph;
+use crate::graph::GraphSpec;
+use crate::meter::{Platform, PlatformMeter};
+use crate::report::SimReport;
+use crate::sched::{Effect, JobRef, Tracker};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A ready job awaiting a free core. Priority: the *oldest iteration*
+/// first (bounding latency, keeping one iteration's data hot instead of
+/// interleaving admitted iterations round-robin); within an iteration the
+/// most recently readied job first — LIFO, the depth-first policy work
+/// queues use so a producer's freshly written data is consumed while
+/// still in the cache. The readiness `time` does not affect priority; it
+/// only lower-bounds the start time.
+#[derive(PartialEq, Eq)]
+struct ReadyJob {
+    time: u64,
+    seq: u64,
+    job: JobRef,
+}
+
+impl Ord for ReadyJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.job.iter, std::cmp::Reverse(self.seq))
+            .cmp(&(other.job.iter, std::cmp::Reverse(other.seq)))
+    }
+}
+impl PartialOrd for ReadyJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A dispatched job, ordered by virtual completion time.
+#[derive(PartialEq, Eq)]
+struct Completion {
+    time: u64,
+    seq: u64,
+    job: JobRef,
+}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Run `spec` on the virtual platform, returning cycle-accurate results.
+pub fn run_sim(
+    spec: &GraphSpec,
+    cfg: &RunConfig,
+    platform: &mut dyn Platform,
+) -> Result<SimReport, HinchError> {
+    spec.validate()?;
+    cfg.validate()?;
+    let cores = platform.cores();
+    if cores == 0 {
+        return Err(HinchError::BadConfig("platform has no cores".into()));
+    }
+
+    let inst = instantiate_graph(spec);
+    let mut version = 0u64;
+    let dag = Arc::new(flatten(&inst.root, &inst.streams, version));
+    let mut tracker = Tracker::new(dag, cfg.pipeline_depth, cfg.iterations);
+
+    let mut core_free = vec![0u64; cores];
+    let mut core_busy = vec![0u64; cores];
+    let mut ready_q: BinaryHeap<Reverse<ReadyJob>> = BinaryHeap::new();
+    let mut running: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut barrier = 0u64;
+    let mut clock = 0u64;
+    let mut reconfigs = 0u64;
+    let mut pending_plans: Vec<PreparedReconfig> = Vec::new();
+    let mut per_node: std::collections::HashMap<String, crate::report::NodeProfile> =
+        std::collections::HashMap::new();
+
+    let mut newly = Vec::new();
+    tracker.admit(&mut newly);
+    for job in newly.drain(..) {
+        seq += 1;
+        ready_q.push(Reverse(ReadyJob { time: barrier, seq, job }));
+    }
+
+    loop {
+        // Dispatch policy: a job is handed to a core only when that core is
+        // virtually idle (at most one outstanding job per core), taking the
+        // highest-priority ready job at that moment — the behaviour of
+        // workers pulling from a central queue. Host-side execution order
+        // therefore matches virtual order, which matters because the cache
+        // model observes accesses in host order.
+        if running.len() < cores {
+            if let Some(Reverse(head)) = ready_q.peek() {
+                let core = (0..cores).min_by_key(|&c| core_free[c]).expect("cores > 0");
+                let start = head.time.max(core_free[core]).max(barrier);
+                // process any completion that (virtually) precedes this
+                // dispatch: it may ready a higher-priority job
+                let completion_first =
+                    running.peek().map(|Reverse(c)| c.time <= start).unwrap_or(false);
+                if !completion_first {
+                    let Some(Reverse(t)) = ready_q.pop() else { unreachable!() };
+                    let dispatch = cfg.overhead.job_base
+                        + if cores > 1 { cfg.overhead.dispatch } else { 0 };
+
+                    // Execute on the host *now*; dependencies are complete.
+                    platform.begin_job(core);
+                    let plan = exec_job(&tracker, t.job, platform, cfg, &inst, &pending_plans);
+                    let cycles = platform.end_job();
+                    if let Some(plan) = plan {
+                        pending_plans.push(plan);
+                        tracker.halt();
+                    }
+
+                    let end = start + dispatch + cycles;
+                    core_free[core] = end;
+                    core_busy[core] += dispatch + cycles;
+                    let entry = per_node.entry(tracker.kind(t.job).label()).or_default();
+                    entry.jobs += 1;
+                    entry.cycles += dispatch + cycles;
+                    seq += 1;
+                    running.push(Reverse(Completion { time: end, seq, job: t.job }));
+                    continue;
+                }
+            }
+        }
+
+        // Advance to the earliest completion.
+        let Some(Reverse(done)) = running.pop() else {
+            break;
+        };
+        clock = done.time;
+
+        // Completions are processed in virtual-time order, so a job becomes
+        // ready exactly at the clock of the completion that unblocked it
+        // (its last dependency, or the retirement that admitted its
+        // iteration).
+        let effect = tracker.complete(done.job, &mut newly);
+        for job in newly.drain(..) {
+            seq += 1;
+            ready_q.push(Reverse(ReadyJob { time: clock.max(barrier), seq, job }));
+        }
+
+        if effect == Effect::Quiescent {
+            let plans = std::mem::take(&mut pending_plans);
+            let resync = if plans.is_empty() {
+                0
+            } else {
+                version += 1;
+                let outcome = apply_plans(&inst, plans, version);
+                reconfigs += outcome.applied;
+                let cost = cfg.overhead.resync_base
+                    + cfg.overhead.resync_per_component * outcome.grafted as u64
+                    + cfg.overhead.broadcast_per_component * outcome.broadcast_targets as u64;
+                let mut resumed = Vec::new();
+                tracker.resume_with(outcome.dag, &mut resumed);
+                barrier = clock + cost;
+                for job in resumed {
+                    seq += 1;
+                    ready_q.push(Reverse(ReadyJob { time: barrier, seq, job }));
+                }
+                cost
+            };
+            let _ = resync;
+        }
+    }
+
+    debug_assert!(tracker.finished() || tracker.is_halted());
+    let makespan = core_free.iter().copied().max().unwrap_or(clock).max(clock);
+    Ok(SimReport {
+        cycles: makespan,
+        iterations: tracker.completed_iterations(),
+        jobs_executed: tracker.jobs_executed(),
+        reconfigs,
+        core_busy,
+        stats: platform.stats(),
+        per_node,
+    })
+}
+
+/// Execute one job on the host, charging its costs to `platform`.
+/// Returns a reconfiguration plan when a manager entry produced one (the
+/// caller halts the tracker).
+fn exec_job(
+    tracker: &Tracker,
+    job: JobRef,
+    platform: &mut dyn Platform,
+    cfg: &RunConfig,
+    inst: &crate::graph::instance::InstanceGraph,
+    pending: &[PreparedReconfig],
+) -> Option<PreparedReconfig> {
+    match tracker.kind(job) {
+        JobKind::Comp(leaf) => {
+            let mut meter = PlatformMeter::new(platform);
+            let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
+            leaf.comp.lock().run(&mut ctx);
+            None
+        }
+        JobKind::MgrEntry(mgr) => {
+            let (plan, cost) = exec_manager_entry(&mgr, &inst.streams, pending);
+            platform.charge(
+                cfg.overhead.event_poll + cfg.overhead.create_component * cost.created as u64,
+            );
+            plan
+        }
+        JobKind::MgrExit(_) => {
+            platform.charge(cfg.overhead.mgr_exit);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, Params};
+    use crate::event::{Event, EventQueue};
+    use crate::graph::testutil::leaf;
+    use crate::graph::{factory, ComponentSpec, GraphSpec, ManagerSpec};
+    use crate::manager::EventAction;
+    use crate::meter::NullPlatform;
+
+    #[test]
+    fn single_core_serializes() {
+        // 3 jobs à 10 cycles, 4 iterations → 120 cycles on one core.
+        let g = GraphSpec::seq(vec![
+            leaf("a", &[], &["s1"], 0),
+            leaf("b", &["s1"], &["s2"], 0),
+            leaf("c", &["s2"], &[], 0),
+        ]);
+        let mut p = NullPlatform::new(1);
+        let mut cfg = RunConfig::new(4);
+        cfg.overhead.job_base = 0;
+        let r = run_sim(&g, &cfg, &mut p).unwrap();
+        assert_eq!(r.iterations, 4);
+        assert_eq!(r.cycles, 120); // Adder charges 10 per run
+        assert_eq!(r.core_busy, vec![120]);
+    }
+
+    #[test]
+    fn task_parallelism_shortens_makespan() {
+        // a → {x, y} → z; x and y (10 cycles each) overlap on 2 cores.
+        let g = GraphSpec::seq(vec![
+            leaf("a", &[], &["s"], 0),
+            GraphSpec::task(vec![leaf("x", &["s"], &["xs"], 0), leaf("y", &["s"], &["ys"], 0)]),
+            leaf("z", &["xs", "ys"], &[], 0),
+        ]);
+        let mut p1 = NullPlatform::new(1);
+        let mut cfg = RunConfig::new(1);
+        cfg.overhead.dispatch = 0; // isolate the structural effect
+        cfg.overhead.job_base = 0;
+        let seq_cycles = run_sim(&g, &cfg, &mut p1).unwrap().cycles;
+        let mut p2 = NullPlatform::new(2);
+        let par_cycles = run_sim(&g, &cfg, &mut p2).unwrap().cycles;
+        assert_eq!(seq_cycles, 40);
+        assert_eq!(par_cycles, 30);
+    }
+
+    #[test]
+    fn pipeline_overlaps_iterations() {
+        // two-stage pipeline on 2 cores: stages of different iterations
+        // overlap, so 10 iterations take ~11 stage-times, not 20.
+        let g = GraphSpec::seq(vec![leaf("a", &[], &["s"], 0), leaf("b", &["s"], &[], 0)]);
+        let mut p = NullPlatform::new(2);
+        let mut cfg = RunConfig::new(10).pipeline_depth(5);
+        cfg.overhead.dispatch = 0;
+        cfg.overhead.job_base = 0;
+        let r = run_sim(&g, &cfg, &mut p).unwrap();
+        assert_eq!(r.iterations, 10);
+        assert_eq!(r.cycles, 110);
+    }
+
+    #[test]
+    fn pipeline_depth_one_disables_overlap() {
+        let g = GraphSpec::seq(vec![leaf("a", &[], &["s"], 0), leaf("b", &["s"], &[], 0)]);
+        let mut p = NullPlatform::new(2);
+        let mut cfg = RunConfig::new(10).pipeline_depth(1);
+        cfg.overhead.dispatch = 0;
+        cfg.overhead.job_base = 0;
+        let r = run_sim(&g, &cfg, &mut p).unwrap();
+        assert_eq!(r.cycles, 200);
+    }
+
+    #[test]
+    fn dispatch_overhead_only_with_multiple_cores() {
+        let g = leaf("a", &[], &["s"], 0);
+        let mut cfg = RunConfig::new(5).pipeline_depth(1);
+        cfg.overhead.dispatch = 1000;
+        cfg.overhead.job_base = 0;
+        let mut p1 = NullPlatform::new(1);
+        let c1 = run_sim(&g, &cfg, &mut p1).unwrap().cycles;
+        let mut p2 = NullPlatform::new(2);
+        let c2 = run_sim(&g, &cfg, &mut p2).unwrap().cycles;
+        assert_eq!(c1, 50); // no dispatch cost at 1 core
+        assert_eq!(c2, 5 * (10 + 1000));
+    }
+
+    #[test]
+    fn determinism() {
+        let g = GraphSpec::seq(vec![
+            leaf("a", &[], &["s"], 0),
+            GraphSpec::task(vec![
+                leaf("x", &["s"], &["x1"], 0),
+                leaf("y", &["s"], &["y1"], 0),
+                leaf("w", &["s"], &["w1"], 0),
+            ]),
+            leaf("z", &["x1", "y1", "w1"], &[], 0),
+        ]);
+        let run = || {
+            let mut p = NullPlatform::new(3);
+            run_sim(&g, &RunConfig::new(20), &mut p).unwrap().cycles
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reconfiguration_charges_resync_and_drains() {
+        struct Injector {
+            queue: EventQueue,
+        }
+        impl Component for Injector {
+            fn class(&self) -> &'static str {
+                "inj"
+            }
+            fn run(&mut self, ctx: &mut RunCtx<'_>) {
+                if ctx.iteration() == 2 {
+                    self.queue.send(Event::new("flip"));
+                }
+                ctx.charge(10);
+            }
+        }
+        let q = EventQueue::new("mq");
+        let qc = q.clone();
+        let inj = factory(
+            move |_p: &Params| -> Box<dyn Component> { Box::new(Injector { queue: qc.clone() }) },
+            Params::new(),
+        );
+        let mgr = ManagerSpec::new("m", q).on("flip", vec![EventAction::Toggle("o".into())]);
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                GraphSpec::Leaf(ComponentSpec::new("inj", "inj", inj)),
+                leaf("a", &[], &["s"], 0),
+                GraphSpec::option("o", false, leaf("extra", &["s"], &["s2"], 0)),
+            ]),
+        );
+        let mut p = NullPlatform::new(2);
+        let r = run_sim(&g, &RunConfig::new(12), &mut p).unwrap();
+        assert_eq!(r.iterations, 12);
+        assert_eq!(r.reconfigs, 1);
+
+        // the same app without the toggle is faster (drain + resync cost)
+        let mgr2 = ManagerSpec::new("m", EventQueue::new("mq2"));
+        let inj2 = factory(
+            |_p: &Params| -> Box<dyn Component> {
+                struct Noop;
+                impl Component for Noop {
+                    fn class(&self) -> &'static str {
+                        "noop"
+                    }
+                    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+                        ctx.charge(10);
+                    }
+                }
+                Box::new(Noop)
+            },
+            Params::new(),
+        );
+        let g2 = GraphSpec::managed(
+            mgr2,
+            GraphSpec::seq(vec![
+                GraphSpec::Leaf(ComponentSpec::new("inj", "noop", inj2)),
+                leaf("a", &[], &["s"], 0),
+                GraphSpec::option("o", false, leaf("extra", &["s"], &["s2"], 0)),
+            ]),
+        );
+        let mut p2 = NullPlatform::new(2);
+        let r2 = run_sim(&g2, &RunConfig::new(12), &mut p2).unwrap();
+        assert!(r.cycles > r2.cycles, "{} should exceed {}", r.cycles, r2.cycles);
+    }
+}

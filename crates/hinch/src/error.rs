@@ -1,0 +1,60 @@
+//! Error type for graph construction and execution.
+
+use std::fmt;
+
+/// Errors produced while building, instantiating or running a graph.
+///
+/// Component-level programming errors (reading the wrong packet type,
+/// overlapping buffer leases) are reported by panicking — they are bugs in
+/// application code, comparable to out-of-bounds indexing — while structural
+/// problems detected when assembling a graph are reported as values of this
+/// type so that front-ends (such as the XSPCL processing tool) can surface
+/// them to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HinchError {
+    /// A stream is written by more than one leaf outside a sliced group.
+    MultipleWriters { stream: String, writers: Vec<String> },
+    /// A leaf reads a stream that no leaf writes.
+    NoWriter { stream: String, reader: String },
+    /// A `slice` group was declared with `n == 0`.
+    EmptySlice { group: String },
+    /// A `crossdep` group has fewer than two parallel blocks.
+    CrossDepTooFewBlocks { group: String, blocks: usize },
+    /// An option name is used more than once inside one manager.
+    DuplicateOption { option: String },
+    /// A manager rule refers to an option that does not exist in its body.
+    UnknownOption { option: String, manager: String },
+    /// The graph has no leaf components at all.
+    EmptyGraph,
+    /// Configuration error (zero workers, zero iterations, ...).
+    BadConfig(String),
+}
+
+impl fmt::Display for HinchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HinchError::MultipleWriters { stream, writers } => {
+                write!(f, "stream '{stream}' has multiple writers: {writers:?}")
+            }
+            HinchError::NoWriter { stream, reader } => {
+                write!(f, "component '{reader}' reads stream '{stream}' which has no writer")
+            }
+            HinchError::EmptySlice { group } => {
+                write!(f, "slice group '{group}' has n == 0")
+            }
+            HinchError::CrossDepTooFewBlocks { group, blocks } => {
+                write!(f, "crossdep group '{group}' needs at least 2 parblocks, has {blocks}")
+            }
+            HinchError::DuplicateOption { option } => {
+                write!(f, "duplicate option name '{option}'")
+            }
+            HinchError::UnknownOption { option, manager } => {
+                write!(f, "manager '{manager}' refers to unknown option '{option}'")
+            }
+            HinchError::EmptyGraph => write!(f, "graph contains no components"),
+            HinchError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HinchError {}

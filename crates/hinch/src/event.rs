@@ -1,0 +1,157 @@
+//! Asynchronous event communication.
+//!
+//! Events are the second communication primitive of the model (next to
+//! streams): small, asynchronous messages that can be sent at any moment,
+//! independent of the current iteration. A component obtains an
+//! [`EventQueue`] handle through its initialization parameters and pushes
+//! [`Event`]s into it; the queue's owner — typically a *manager* — polls it
+//! when invoked and reacts (enable/disable options, forward, broadcast a
+//! reconfiguration request).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// A small asynchronous message.
+///
+/// `kind` selects the manager rule that handles the event; `payload` is a
+/// free-form argument (e.g. a new blend position packed into an integer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub kind: String,
+    pub payload: i64,
+}
+
+impl Event {
+    pub fn new(kind: impl Into<String>) -> Self {
+        Self { kind: kind.into(), payload: 0 }
+    }
+
+    pub fn with_payload(kind: impl Into<String>, payload: i64) -> Self {
+        Self { kind: kind.into(), payload }
+    }
+}
+
+struct Inner {
+    name: String,
+    queue: Mutex<VecDeque<Event>>,
+}
+
+/// A cloneable handle to an unbounded MPMC event queue.
+///
+/// Handles compare equal when they refer to the same underlying queue.
+#[derive(Clone)]
+pub struct EventQueue {
+    inner: Arc<Inner>,
+}
+
+impl EventQueue {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            inner: Arc::new(Inner { name: name.into(), queue: Mutex::new(VecDeque::new()) }),
+        }
+    }
+
+    /// Name given at creation (the XSPCL queue name).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Enqueue an event. Never blocks.
+    pub fn send(&self, event: Event) {
+        self.inner.queue.lock().push_back(event);
+    }
+
+    /// Dequeue the oldest pending event, if any.
+    pub fn poll(&self) -> Option<Event> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Dequeue all pending events at once.
+    pub fn drain(&self) -> Vec<Event> {
+        self.inner.queue.lock().drain(..).collect()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether two handles refer to the same queue.
+    pub fn same_queue(&self, other: &EventQueue) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("name", &self.inner.name)
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = EventQueue::new("q");
+        q.send(Event::new("a"));
+        q.send(Event::with_payload("b", 7));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.poll().unwrap().kind, "a");
+        let b = q.poll().unwrap();
+        assert_eq!(b.kind, "b");
+        assert_eq!(b.payload, 7);
+        assert!(q.poll().is_none());
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let q = EventQueue::new("q");
+        let q2 = q.clone();
+        q2.send(Event::new("x"));
+        assert!(q.same_queue(&q2));
+        assert_eq!(q.poll().unwrap().kind, "x");
+    }
+
+    #[test]
+    fn drain_empties() {
+        let q = EventQueue::new("q");
+        for i in 0..5 {
+            q.send(Event::with_payload("e", i));
+        }
+        let all = q.drain();
+        assert_eq!(all.len(), 5);
+        assert!(q.is_empty());
+        assert_eq!(all[4].payload, 4);
+    }
+
+    #[test]
+    fn distinct_queues_differ() {
+        let a = EventQueue::new("a");
+        let b = EventQueue::new("a");
+        assert!(!a.same_queue(&b));
+    }
+
+    #[test]
+    fn cross_thread_send() {
+        let q = EventQueue::new("q");
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                q2.send(Event::with_payload("t", i));
+            }
+        });
+        h.join().unwrap();
+        assert_eq!(q.len(), 100);
+    }
+}

@@ -1,0 +1,477 @@
+//! Live instance tree: component instances wired to streams.
+//!
+//! Instantiation turns a [`GraphSpec`] into a tree of live nodes:
+//!
+//! * `slice` and `crossdep` groups are *expanded* — their bodies are
+//!   replicated `n` times and every copy receives its position through the
+//!   reconfiguration interface (`ReconfigRequest::Slice`);
+//! * stream keys are resolved to shared [`Stream`] objects. A stream whose
+//!   writer and readers both live inside one replicated body is *private*:
+//!   each copy gets its own instance (key suffixed with the copy index).
+//!   Streams crossing a replication boundary are shared — the copies
+//!   cooperate on one shared payload per iteration (see
+//!   [`Stream::write_shared`]);
+//! * `option` subgraphs keep their (already renamed) spec so the body can
+//!   be re-instantiated when a manager re-enables the option.
+
+use super::{ComponentSpec, GraphSpec, ManagerSpec, NodeId};
+use crate::component::{Component, ReconfigRequest, SliceAssign};
+use crate::event::EventQueue;
+use crate::manager::EventRule;
+use crate::stream::Stream;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Shared name → stream table. Grows monotonically; re-enabled options
+/// reconnect to the same streams by key.
+pub type StreamTable = Arc<Mutex<HashMap<String, Arc<Stream>>>>;
+
+pub fn new_stream_table() -> StreamTable {
+    Arc::new(Mutex::new(HashMap::new()))
+}
+
+fn get_or_create(table: &StreamTable, key: &str) -> Arc<Stream> {
+    table.lock().entry(key.to_string()).or_insert_with(|| Stream::new(key)).clone()
+}
+
+/// A live component instance bound to its streams.
+pub struct LeafRt {
+    pub id: NodeId,
+    pub name: String,
+    pub class: String,
+    pub inputs: Vec<Arc<Stream>>,
+    pub outputs: Vec<Arc<Stream>>,
+    /// The instance itself. The per-node self-dependency in the scheduler
+    /// guarantees the lock is uncontended during normal execution.
+    pub comp: Mutex<Box<dyn Component>>,
+}
+
+impl LeafRt {
+    fn create(
+        spec: &ComponentSpec,
+        inputs: Vec<Arc<Stream>>,
+        outputs: Vec<Arc<Stream>>,
+        slice: Option<SliceAssign>,
+        copy_suffix: &str,
+    ) -> Arc<Self> {
+        let mut comp = (spec.factory)();
+        for req in &spec.initial_reconfig {
+            comp.reconfigure(req);
+        }
+        if let Some(assign) = slice {
+            comp.reconfigure(&ReconfigRequest::Slice(assign));
+        }
+        Arc::new(LeafRt {
+            id: NodeId::fresh(),
+            name: format!("{}{}", spec.name, copy_suffix),
+            class: spec.class.clone(),
+            inputs,
+            outputs,
+            comp: Mutex::new(comp),
+        })
+    }
+}
+
+/// State of an option subgraph.
+pub struct OptState {
+    pub enabled: bool,
+    pub body: Option<Node>,
+}
+
+/// An option subgraph: live body (when enabled) plus everything needed to
+/// re-create it (spec with the rename context captured at instantiation).
+pub struct OptCell {
+    pub name: String,
+    pub spec: GraphSpec,
+    pub rename: HashMap<String, String>,
+    pub state: Mutex<OptState>,
+}
+
+impl OptCell {
+    /// Instantiate a fresh body for this option (pre-creation step of a
+    /// reconfiguration). `mgr_stack` must name the enclosing managers so
+    /// that options nested inside the rebuilt body re-register with them.
+    /// Returns the number of leaves created as well.
+    pub fn build_body(&self, streams: &StreamTable, mgr_stack: Vec<Arc<ManagerRt>>) -> (Node, usize) {
+        let mut env = InstEnv {
+            streams: streams.clone(),
+            rename: self.rename.clone(),
+            slice: None,
+            mgr_stack,
+            name_suffix: String::new(),
+        };
+        let node = instantiate(&self.spec, &mut env);
+        let leaves = node.count_leaves();
+        (node, leaves)
+    }
+}
+
+/// A live manager.
+pub struct ManagerRt {
+    pub entry_id: NodeId,
+    pub exit_id: NodeId,
+    pub name: String,
+    pub queue: EventQueue,
+    pub rules: Vec<EventRule>,
+    /// Options in this manager's scope, by name.
+    pub options: Mutex<HashMap<String, Arc<OptCell>>>,
+}
+
+/// The live instance tree.
+pub enum Node {
+    Leaf(Arc<LeafRt>),
+    Seq(Vec<Node>),
+    /// Concurrent children (a `task` group, or an expanded `slice` group).
+    Par(Vec<Node>),
+    /// Expanded crossdep group: `blocks[j][i]` is copy `i` of parblock `j`.
+    CrossDep { blocks: Vec<Vec<Node>> },
+    Managed { mgr: Arc<ManagerRt>, body: Box<Node> },
+    Opt(Arc<OptCell>),
+}
+
+impl Node {
+    /// Collect all currently-live leaves below this node.
+    pub fn collect_leaves(&self, out: &mut Vec<Arc<LeafRt>>) {
+        match self {
+            Node::Leaf(l) => out.push(l.clone()),
+            Node::Seq(cs) | Node::Par(cs) => {
+                for c in cs {
+                    c.collect_leaves(out);
+                }
+            }
+            Node::CrossDep { blocks } => {
+                for b in blocks {
+                    for c in b {
+                        c.collect_leaves(out);
+                    }
+                }
+            }
+            Node::Managed { body, .. } => body.collect_leaves(out),
+            Node::Opt(cell) => {
+                if let Some(body) = &cell.state.lock().body {
+                    body.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    pub fn count_leaves(&self) -> usize {
+        let mut v = Vec::new();
+        self.collect_leaves(&mut v);
+        v.len()
+    }
+
+    /// Find the managed subtree of a manager (by entry id).
+    pub fn find_managed(&self, entry_id: NodeId) -> Option<&Node> {
+        match self {
+            Node::Leaf(_) => None,
+            Node::Seq(cs) | Node::Par(cs) => cs.iter().find_map(|c| c.find_managed(entry_id)),
+            Node::CrossDep { blocks } => blocks
+                .iter()
+                .flat_map(|b| b.iter())
+                .find_map(|c| c.find_managed(entry_id)),
+            Node::Managed { mgr, body } => {
+                if mgr.entry_id == entry_id {
+                    Some(body)
+                } else {
+                    body.find_managed(entry_id)
+                }
+            }
+            Node::Opt(_) => None,
+        }
+    }
+}
+
+/// Instantiation context.
+pub struct InstEnv {
+    pub streams: StreamTable,
+    /// Stream-key rename map for the current replication scope.
+    pub rename: HashMap<String, String>,
+    /// Slice assignment delivered to leaves created in this scope.
+    pub slice: Option<SliceAssign>,
+    /// Enclosing managers, innermost last (options register with the
+    /// innermost one).
+    pub mgr_stack: Vec<Arc<ManagerRt>>,
+    /// Accumulated copy suffix for instance names (e.g. `"#2"`, `".b1#0"`).
+    pub name_suffix: String,
+}
+
+impl InstEnv {
+    fn resolve(&self, key: &str) -> String {
+        self.rename.get(key).cloned().unwrap_or_else(|| key.to_string())
+    }
+}
+
+/// Stream keys that are *private* to `body`: written and read inside it.
+fn private_keys(body: &GraphSpec) -> HashSet<String> {
+    let mut written = HashSet::new();
+    let mut read = HashSet::new();
+    body.visit_leaves(&mut |c| {
+        for s in &c.outputs {
+            written.insert(s.clone());
+        }
+        for s in &c.inputs {
+            read.insert(s.clone());
+        }
+    });
+    written.intersection(&read).cloned().collect()
+}
+
+/// Instantiate `spec` under `env`.
+pub fn instantiate(spec: &GraphSpec, env: &mut InstEnv) -> Node {
+    match spec {
+        GraphSpec::Leaf(c) => {
+            let inputs = c.inputs.iter().map(|k| get_or_create(&env.streams, &env.resolve(k))).collect();
+            let outputs =
+                c.outputs.iter().map(|k| get_or_create(&env.streams, &env.resolve(k))).collect();
+            Node::Leaf(LeafRt::create(c, inputs, outputs, env.slice, &env.name_suffix))
+        }
+        GraphSpec::Seq(cs) => Node::Seq(cs.iter().map(|c| instantiate(c, env)).collect()),
+        GraphSpec::Task(cs) => Node::Par(cs.iter().map(|c| instantiate(c, env)).collect()),
+        GraphSpec::Slice { name, n, body } => {
+            let private = private_keys(body);
+            let copies = (0..*n)
+                .map(|i| {
+                    let mut rename = env.rename.clone();
+                    for key in &private {
+                        rename.insert(key.clone(), format!("{}@{name}#{i}", env.resolve(key)));
+                    }
+                    let mut child = InstEnv {
+                        streams: env.streams.clone(),
+                        rename,
+                        slice: Some(SliceAssign { index: i, total: *n }),
+                        mgr_stack: env.mgr_stack.clone(),
+                        name_suffix: format!("{}#{i}", env.name_suffix),
+                    };
+                    instantiate(body, &mut child)
+                })
+                .collect();
+            Node::Par(copies)
+        }
+        GraphSpec::CrossDep { name, n, blocks } => {
+            let expanded = blocks
+                .iter()
+                .enumerate()
+                .map(|(j, block)| {
+                    let private = private_keys(block);
+                    (0..*n)
+                        .map(|i| {
+                            let mut rename = env.rename.clone();
+                            for key in &private {
+                                rename.insert(
+                                    key.clone(),
+                                    format!("{}@{name}.b{j}#{i}", env.resolve(key)),
+                                );
+                            }
+                            let mut child = InstEnv {
+                                streams: env.streams.clone(),
+                                rename,
+                                slice: Some(SliceAssign { index: i, total: *n }),
+                                mgr_stack: env.mgr_stack.clone(),
+                                name_suffix: format!("{}.b{j}#{i}", env.name_suffix),
+                            };
+                            instantiate(block, &mut child)
+                        })
+                        .collect()
+                })
+                .collect();
+            Node::CrossDep { blocks: expanded }
+        }
+        GraphSpec::Managed { manager, body } => {
+            let mgr = Arc::new(make_manager_rt(manager));
+            env.mgr_stack.push(mgr.clone());
+            let body = instantiate(body, env);
+            env.mgr_stack.pop();
+            Node::Managed { mgr, body: Box::new(body) }
+        }
+        GraphSpec::Option { name, enabled, body } => {
+            let cell = Arc::new(OptCell {
+                name: name.clone(),
+                spec: (**body).clone(),
+                rename: env.rename.clone(),
+                state: Mutex::new(OptState { enabled: *enabled, body: None }),
+            });
+            if let Some(mgr) = env.mgr_stack.last() {
+                mgr.options.lock().insert(name.clone(), cell.clone());
+            }
+            if *enabled {
+                // instantiate within the current environment so nested
+                // options register with the enclosing managers too
+                let node = instantiate(body, env);
+                cell.state.lock().body = Some(node);
+            }
+            Node::Opt(cell)
+        }
+    }
+}
+
+fn make_manager_rt(spec: &ManagerSpec) -> ManagerRt {
+    ManagerRt {
+        entry_id: NodeId::fresh(),
+        exit_id: NodeId::fresh(),
+        name: spec.name.clone(),
+        queue: spec.queue.clone(),
+        rules: spec.rules.clone(),
+        options: Mutex::new(HashMap::new()),
+    }
+}
+
+/// A fully-instantiated application.
+pub struct InstanceGraph {
+    pub root: Node,
+    pub streams: StreamTable,
+}
+
+/// Instantiate a validated spec.
+pub fn instantiate_graph(spec: &GraphSpec) -> InstanceGraph {
+    let streams = new_stream_table();
+    let mut env = InstEnv {
+        streams: streams.clone(),
+        rename: HashMap::new(),
+        slice: None,
+        mgr_stack: Vec::new(),
+        name_suffix: String::new(),
+    };
+    let root = instantiate(spec, &mut env);
+    InstanceGraph { root, streams }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil::leaf;
+    use crate::graph::GraphSpec;
+    use crate::manager::EventAction;
+
+    #[test]
+    fn slice_expansion_creates_copies_with_assignments() {
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["in"], 1),
+            GraphSpec::slice("sl", 4, leaf("work", &["in"], &["out"], 0)),
+            leaf("snk", &["out"], &[], 0),
+        ]);
+        let inst = instantiate_graph(&g);
+        let mut leaves = Vec::new();
+        inst.root.collect_leaves(&mut leaves);
+        // 1 src + 4 copies + 1 sink
+        assert_eq!(leaves.len(), 6);
+        let copies: Vec<_> = leaves.iter().filter(|l| l.name.starts_with("work")).collect();
+        assert_eq!(copies.len(), 4);
+        assert_eq!(copies[0].name, "work#0");
+        assert_eq!(copies[3].name, "work#3");
+        // boundary streams are shared: 'in' and 'out' exist exactly once
+        let table = inst.streams.lock();
+        assert_eq!(table.len(), 2);
+        assert!(table.contains_key("in"));
+        assert!(table.contains_key("out"));
+    }
+
+    #[test]
+    fn private_streams_are_replicated_per_copy() {
+        // inside the body: a -> b via 'mid' (written and read inside)
+        let body = GraphSpec::seq(vec![
+            leaf("a", &["in"], &["mid"], 0),
+            leaf("b", &["mid"], &["out"], 0),
+        ]);
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["in"], 1),
+            GraphSpec::slice("sl", 3, body),
+            leaf("snk", &["out"], &[], 0),
+        ]);
+        let inst = instantiate_graph(&g);
+        let table = inst.streams.lock();
+        // in, out shared; mid@sl#0..2 private
+        assert_eq!(table.len(), 5);
+        assert!(table.contains_key("mid@sl#0"));
+        assert!(table.contains_key("mid@sl#2"));
+        assert!(!table.contains_key("mid"));
+    }
+
+    #[test]
+    fn crossdep_expansion_shares_interblock_streams() {
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["in"], 1),
+            GraphSpec::crossdep(
+                "cd",
+                3,
+                vec![leaf("h", &["in"], &["hout"], 0), leaf("v", &["hout"], &["out"], 0)],
+            ),
+            leaf("snk", &["out"], &[], 0),
+        ]);
+        let inst = instantiate_graph(&g);
+        let mut leaves = Vec::new();
+        inst.root.collect_leaves(&mut leaves);
+        assert_eq!(leaves.len(), 8); // src + 3 h + 3 v + snk
+        let table = inst.streams.lock();
+        // hout crosses blocks → shared, not replicated
+        assert_eq!(table.len(), 3);
+        assert!(table.contains_key("hout"));
+    }
+
+    #[test]
+    fn disabled_option_has_no_body() {
+        let mgr = crate::graph::ManagerSpec::new("m", EventQueue::new("q"))
+            .on("t", vec![EventAction::Toggle("o".into())]);
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                leaf("always", &[], &["s"], 0),
+                GraphSpec::option("o", false, leaf("opt", &[], &["s2"], 0)),
+            ]),
+        );
+        let inst = instantiate_graph(&g);
+        assert_eq!(inst.root.count_leaves(), 1);
+        // the option is registered with the manager
+        if let Node::Managed { mgr, .. } = &inst.root {
+            let opts = mgr.options.lock();
+            let cell = opts.get("o").expect("registered");
+            assert!(!cell.state.lock().enabled);
+        } else {
+            panic!("expected managed root");
+        }
+    }
+
+    #[test]
+    fn option_body_can_be_rebuilt() {
+        let mgr = crate::graph::ManagerSpec::new("m", EventQueue::new("q"));
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::option("o", true, leaf("opt", &[], &["s"], 0)),
+        );
+        let inst = instantiate_graph(&g);
+        if let Node::Managed { mgr, .. } = &inst.root {
+            let cell = mgr.options.lock().get("o").unwrap().clone();
+            assert_eq!(inst.root.count_leaves(), 1);
+            // disable: body dropped
+            cell.state.lock().body = None;
+            cell.state.lock().enabled = false;
+            assert_eq!(inst.root.count_leaves(), 0);
+            // re-enable: fresh instance, same stream key
+            let (node, n) = cell.build_body(&inst.streams, Vec::new());
+            assert_eq!(n, 1);
+            cell.state.lock().body = Some(node);
+            cell.state.lock().enabled = true;
+            assert_eq!(inst.root.count_leaves(), 1);
+            assert_eq!(inst.streams.lock().len(), 1);
+        }
+    }
+
+    #[test]
+    fn nested_slice_renames_compose() {
+        let inner = GraphSpec::seq(vec![
+            leaf("p", &["x"], &["t"], 0),
+            leaf("q", &["t"], &["y"], 0),
+        ]);
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["x"], 0),
+            GraphSpec::slice("outer", 2, GraphSpec::slice("inner", 2, inner)),
+            leaf("snk", &["y"], &[], 0),
+        ]);
+        let inst = instantiate_graph(&g);
+        let table = inst.streams.lock();
+        // x, y shared; t replicated 4 ways with composed names
+        assert_eq!(table.len(), 6);
+        assert!(table.keys().any(|k| k.contains("@outer#0@inner#1") || k.contains("@inner#1")));
+    }
+}

@@ -1,0 +1,52 @@
+//! Type-erased stream payloads.
+//!
+//! Streams carry [`Packet`]s — reference-counted, type-erased values. A
+//! writer produces a concrete `T`, readers downcast back to `Arc<T>`.
+//! Because payloads are shared by `Arc`, fan-out (one writer, several
+//! readers, e.g. every copy of a sliced group reading the same input frame)
+//! costs one atomic increment per reader, never a copy of the data.
+
+use std::any::Any;
+use std::sync::Arc;
+
+/// A reference-counted, type-erased stream payload.
+pub type Packet = Arc<dyn Any + Send + Sync>;
+
+/// Erase a concrete value into a [`Packet`].
+pub fn pack<T: Send + Sync + 'static>(value: T) -> Packet {
+    Arc::new(value)
+}
+
+/// Recover the concrete payload type from a [`Packet`].
+///
+/// Returns `None` when the packet holds a different type.
+pub fn unpack<T: Send + Sync + 'static>(packet: &Packet) -> Option<Arc<T>> {
+    Arc::clone(packet).downcast::<T>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = pack(vec![1u8, 2, 3]);
+        let v = unpack::<Vec<u8>>(&p).expect("type matches");
+        assert_eq!(*v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wrong_type_is_none() {
+        let p = pack(42i64);
+        assert!(unpack::<String>(&p).is_none());
+        assert!(unpack::<i64>(&p).is_some());
+    }
+
+    #[test]
+    fn sharing_does_not_copy() {
+        let p = pack(vec![0u8; 1024]);
+        let a = unpack::<Vec<u8>>(&p).unwrap();
+        let b = unpack::<Vec<u8>>(&p).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

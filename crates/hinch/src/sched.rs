@@ -1,0 +1,360 @@
+//! The scheduler core shared by both engines.
+//!
+//! [`Tracker`] implements the data-flow iteration machinery: it *admits* up
+//! to `pipeline_depth` concurrent iterations (pipeline parallelism — no
+//! special tags needed, the run-time starts multiple iterations by
+//! itself), tracks per-job dependency counters within each iteration,
+//! enforces the per-node ordering between consecutive iterations (a
+//! component instance runs its iterations in order, one at a time), and
+//! retires iterations — reclaiming stream slots — once all their jobs are
+//! done.
+//!
+//! Reconfiguration support: [`Tracker::halt`] stops admission; when the
+//! last in-flight iteration retires the tracker reports quiescence, the
+//! engine mutates the instance tree, and [`Tracker::resume_with`] installs
+//! the re-flattened DAG. The new *version window* starts with no
+//! cross-iteration dependencies (everything before it already completed).
+
+use crate::graph::flatten::{Dag, JobKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A job instance: job `idx` of the DAG for iteration `iter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobRef {
+    pub iter: u64,
+    pub idx: u32,
+}
+
+/// Per-iteration execution state.
+struct IterRun {
+    dag: Arc<Dag>,
+    /// Unsatisfied dependency count per job (structural preds + the
+    /// self-dependency on the previous iteration of the same node).
+    pending: Vec<u32>,
+    done: Vec<bool>,
+    ndone: usize,
+}
+
+/// Result of processing a job completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    None,
+    /// An iteration retired.
+    Retired,
+    /// An iteration retired *and* the tracker is halted with nothing in
+    /// flight — the engine must apply pending reconfigurations now and
+    /// call [`Tracker::resume_with`].
+    Quiescent,
+}
+
+pub struct Tracker {
+    dag: Arc<Dag>,
+    runs: HashMap<u64, IterRun>,
+    depth: usize,
+    total: u64,
+    next_admit: u64,
+    /// First iteration of the current DAG version window.
+    window_start: u64,
+    in_flight: usize,
+    completed: u64,
+    halted: bool,
+    jobs_executed: u64,
+}
+
+impl Tracker {
+    pub fn new(dag: Arc<Dag>, pipeline_depth: usize, total_iterations: u64) -> Self {
+        Self {
+            dag,
+            runs: HashMap::new(),
+            depth: pipeline_depth.max(1),
+            total: total_iterations,
+            next_admit: 0,
+            window_start: 0,
+            in_flight: 0,
+            completed: 0,
+            halted: false,
+            jobs_executed: 0,
+        }
+    }
+
+    pub fn completed_iterations(&self) -> u64 {
+        self.completed
+    }
+
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs_executed
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// All iterations done?
+    pub fn finished(&self) -> bool {
+        self.completed == self.total
+    }
+
+    /// The DAG executing iteration `iter` (current window's version).
+    pub fn dag_of(&self, iter: u64) -> Arc<Dag> {
+        self.runs.get(&iter).map(|r| r.dag.clone()).unwrap_or_else(|| self.dag.clone())
+    }
+
+    pub fn current_dag(&self) -> Arc<Dag> {
+        self.dag.clone()
+    }
+
+    /// Admit as many iterations as the pipeline depth allows, appending the
+    /// immediately-ready jobs to `ready`.
+    pub fn admit(&mut self, ready: &mut Vec<JobRef>) {
+        while !self.halted && self.next_admit < self.total && self.in_flight < self.depth {
+            let iter = self.next_admit;
+            let dag = self.dag.clone();
+            let njobs = dag.jobs.len();
+            let mut pending = vec![0u32; njobs];
+            let prev = if iter > self.window_start { self.runs.get(&(iter - 1)) } else { None };
+            for (idx, slot) in pending.iter_mut().enumerate() {
+                let mut p = dag.jobs[idx].preds.len() as u32;
+                if iter > self.window_start {
+                    // Self-dependency on the previous iteration of the same
+                    // node: pending unless that iteration already retired
+                    // (run removed) or that job already completed.
+                    match prev {
+                        Some(prev_run) if !prev_run.done[idx] => p += 1,
+                        _ => {}
+                    }
+                }
+                *slot = p;
+            }
+            for (idx, &p) in pending.iter().enumerate() {
+                if p == 0 {
+                    ready.push(JobRef { iter, idx: idx as u32 });
+                }
+            }
+            self.runs.insert(iter, IterRun { dag, pending, done: vec![false; njobs], ndone: 0 });
+            self.next_admit += 1;
+            self.in_flight += 1;
+        }
+    }
+
+    /// Kind of a job (for execution).
+    pub fn kind(&self, job: JobRef) -> JobKind {
+        self.runs[&job.iter].dag.jobs[job.idx as usize].kind.clone()
+    }
+
+    /// Stop admitting new iterations (a reconfiguration is pending).
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Install a new DAG after a reconfiguration and resume admission.
+    ///
+    /// Must only be called when quiescent (`in_flight == 0`).
+    pub fn resume_with(&mut self, dag: Arc<Dag>, ready: &mut Vec<JobRef>) {
+        assert_eq!(self.in_flight, 0, "resume_with requires quiescence");
+        self.dag = dag;
+        self.window_start = self.next_admit;
+        self.halted = false;
+        self.admit(ready);
+    }
+
+    /// Record the completion of `job`, appending newly-ready jobs to
+    /// `ready`.
+    pub fn complete(&mut self, job: JobRef, ready: &mut Vec<JobRef>) -> Effect {
+        self.jobs_executed += 1;
+        let (retired, dag) = {
+            let run = self.runs.get_mut(&job.iter).expect("completing job of a live iteration");
+            let idx = job.idx as usize;
+            assert!(!run.done[idx], "job completed twice: {job:?}");
+            run.done[idx] = true;
+            run.ndone += 1;
+            // Collect successor indices first (borrow juggling).
+            let succs: Vec<u32> = run.dag.jobs[idx].succs.clone();
+            for s in succs {
+                let p = &mut run.pending[s as usize];
+                *p -= 1;
+                if *p == 0 {
+                    ready.push(JobRef { iter: job.iter, idx: s });
+                }
+            }
+            (run.ndone == run.dag.jobs.len(), run.dag.clone())
+        };
+        // Self-dependency: the same node in the next iteration (if admitted).
+        if let Some(next) = self.runs.get_mut(&(job.iter + 1)) {
+            // Same version window ⇒ same DAG ⇒ same job indexing.
+            if Arc::ptr_eq(&next.dag, &dag) {
+                let p = &mut next.pending[job.idx as usize];
+                *p -= 1;
+                if *p == 0 {
+                    ready.push(JobRef { iter: job.iter + 1, idx: job.idx });
+                }
+            }
+        }
+        if !retired {
+            return Effect::None;
+        }
+        // Retire the iteration: reclaim stream slots, admit a successor.
+        self.runs.remove(&job.iter);
+        for s in &dag.streams {
+            s.clear(job.iter);
+        }
+        self.in_flight -= 1;
+        self.completed += 1;
+        if self.halted {
+            if self.in_flight == 0 {
+                Effect::Quiescent
+            } else {
+                Effect::Retired
+            }
+        } else {
+            self.admit(ready);
+            Effect::Retired
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::flatten::flatten;
+    use crate::graph::instance::instantiate_graph;
+    use crate::graph::testutil::leaf;
+    use crate::graph::GraphSpec;
+
+    fn make_tracker(depth: usize, total: u64) -> (Tracker, usize) {
+        let g = GraphSpec::seq(vec![
+            leaf("a", &[], &["s1"], 0),
+            leaf("b", &["s1"], &["s2"], 0),
+            leaf("c", &["s2"], &[], 0),
+        ]);
+        let inst = instantiate_graph(&g);
+        let dag = Arc::new(flatten(&inst.root, &inst.streams, 0));
+        let n = dag.jobs.len();
+        (Tracker::new(dag, depth, total), n)
+    }
+
+    /// Drain the tracker sequentially, returning the executed labels.
+    fn drain(tracker: &mut Tracker) -> Vec<(u64, String)> {
+        let mut ready = Vec::new();
+        tracker.admit(&mut ready);
+        let mut order = Vec::new();
+        while let Some(job) = ready.pop() {
+            order.push((job.iter, tracker.kind(job).label()));
+            tracker.complete(job, &mut ready);
+        }
+        order
+    }
+
+    #[test]
+    fn runs_all_iterations() {
+        let (mut t, njobs) = make_tracker(2, 5);
+        let order = drain(&mut t);
+        assert!(t.finished());
+        assert_eq!(order.len(), njobs * 5);
+        assert_eq!(t.jobs_executed(), (njobs * 5) as u64);
+    }
+
+    #[test]
+    fn respects_sequence_within_iteration() {
+        let (mut t, _) = make_tracker(1, 3);
+        let order = drain(&mut t);
+        for it in 0..3 {
+            let pos =
+                |l: &str| order.iter().position(|(i, n)| *i == it && n == l).unwrap();
+            assert!(pos("a") < pos("b"));
+            assert!(pos("b") < pos("c"));
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_bounds_admission() {
+        let (mut t, _) = make_tracker(2, 10);
+        let mut ready = Vec::new();
+        t.admit(&mut ready);
+        assert_eq!(t.in_flight(), 2);
+        // only iteration 0 and 1 are admitted; their 'a' jobs are ready,
+        // but iteration 1's 'a' waits for iteration 0's 'a' (self-dep).
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].iter, 0);
+    }
+
+    #[test]
+    fn self_dependency_orders_iterations_per_node() {
+        let (mut t, _) = make_tracker(3, 3);
+        let order = drain(&mut t);
+        for label in ["a", "b", "c"] {
+            let iters: Vec<u64> = order
+                .iter()
+                .filter(|(_, n)| n == label)
+                .map(|(i, _)| *i)
+                .collect();
+            assert_eq!(iters, vec![0, 1, 2], "node {label} must run iterations in order");
+        }
+    }
+
+    #[test]
+    fn halt_stops_admission_and_reports_quiescence() {
+        let (mut t, _) = make_tracker(1, 4);
+        let mut ready = Vec::new();
+        t.admit(&mut ready);
+        t.halt();
+        let mut effects = Vec::new();
+        while let Some(job) = ready.pop() {
+            effects.push(t.complete(job, &mut ready));
+        }
+        assert_eq!(*effects.last().unwrap(), Effect::Quiescent);
+        assert_eq!(t.completed_iterations(), 1);
+        assert!(!t.finished());
+        // resume with the same dag; the rest of the iterations run
+        let dag = t.current_dag();
+        t.resume_with(dag, &mut ready);
+        while let Some(job) = ready.pop() {
+            t.complete(job, &mut ready);
+        }
+        assert!(t.finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires quiescence")]
+    fn resume_requires_quiescence() {
+        let (mut t, _) = make_tracker(2, 4);
+        let mut ready = Vec::new();
+        t.admit(&mut ready);
+        let dag = t.current_dag();
+        t.resume_with(dag, &mut ready);
+    }
+
+    #[test]
+    fn streams_are_reclaimed_on_retire() {
+        let g = GraphSpec::seq(vec![leaf("a", &[], &["s"], 1), leaf("b", &["s"], &[], 0)]);
+        let inst = instantiate_graph(&g);
+        let dag = Arc::new(flatten(&inst.root, &inst.streams, 0));
+        let stream = inst.streams.lock().get("s").unwrap().clone();
+        let mut t = Tracker::new(dag, 1, 2);
+        let mut ready = Vec::new();
+        t.admit(&mut ready);
+        // run iteration 0 manually: a writes, b reads
+        while let Some(job) = ready.pop() {
+            if let JobKind::Comp(l) = t.kind(job) {
+                let mut meter = crate::meter::NullMeter;
+                let mut ctx = crate::component::RunCtx::new(
+                    job.iter,
+                    &l.inputs,
+                    &l.outputs,
+                    &mut meter,
+                );
+                l.comp.lock().run(&mut ctx);
+            }
+            t.complete(job, &mut ready);
+            if t.completed_iterations() == 1 && t.in_flight() == 1 {
+                // after iteration 0 retired its slot must be gone
+                assert!(!stream.has(0));
+            }
+        }
+        assert!(t.finished());
+    }
+}

@@ -1,0 +1,371 @@
+//! `RegionBuf`: one allocation, many concurrent writers of *disjoint* regions.
+//!
+//! Data-parallel (`slice`) groups in the model all write into a single
+//! shared output buffer — copy *i* fills rows `[i*h/n, (i+1)*h/n)` of the
+//! output frame. On the paper's C/SpaceCAKE platform this is plain shared
+//! memory; in safe Rust we need a structure that proves the writes are
+//! race-free.
+//!
+//! [`RegionBuf<T>`] is that structure: an interior-mutable slice guarded by
+//! a run-time *lease registry*. A writer takes a [`WriteLease`] on an index
+//! range and receives `&mut [T]` access to exactly that range; a reader
+//! takes a [`ReadLease`]. Taking a lease that overlaps an active write
+//! lease (or a write overlapping an active read) panics — by construction
+//! of the task graph this never happens in a correct schedule, so a panic
+//! here is a *scheduling-bug detector*, not a recoverable condition.
+//!
+//! # Safety argument
+//!
+//! All unsafe access goes through leases. The registry (a mutex-protected
+//! interval list) guarantees that at any moment the set of outstanding
+//! write leases is pairwise disjoint and disjoint from all outstanding read
+//! leases. A `WriteLease` therefore has exclusive access to its elements
+//! and a `ReadLease` only observes elements no writer can touch, so no data
+//! race is possible. Leases release their interval on `Drop`.
+
+use crate::meter::{sim_alloc, AccessKind, MemAccess};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut, Range};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeaseKind {
+    Read,
+    Write,
+}
+
+#[derive(Debug)]
+struct Registry {
+    /// Outstanding leases as (range, kind). Small (≤ #slice copies), so a
+    /// linear scan is faster than anything clever.
+    active: Vec<(Range<usize>, LeaseKind)>,
+}
+
+impl Registry {
+    fn overlaps(a: &Range<usize>, b: &Range<usize>) -> bool {
+        a.start < b.end && b.start < a.end
+    }
+
+    fn acquire(&mut self, range: Range<usize>, kind: LeaseKind, name: &str) {
+        for (r, k) in &self.active {
+            let conflict = match (kind, *k) {
+                (LeaseKind::Read, LeaseKind::Read) => false,
+                _ => Self::overlaps(&range, r),
+            };
+            if conflict {
+                panic!(
+                    "RegionBuf '{name}': {kind:?} lease {range:?} overlaps active {k:?} lease \
+                     {r:?} — two graph nodes raced on the same region (scheduling bug)"
+                );
+            }
+        }
+        self.active.push((range, kind));
+    }
+
+    fn release(&mut self, range: &Range<usize>, kind: LeaseKind) {
+        let pos = self
+            .active
+            .iter()
+            .position(|(r, k)| r == range && *k == kind)
+            .expect("lease must be registered");
+        self.active.swap_remove(pos);
+    }
+}
+
+/// A shared buffer of `T` that hands out run-time-checked disjoint leases.
+pub struct RegionBuf<T> {
+    /// Elements in `UnsafeCell`s: taking `&data[i]` never asserts
+    /// uniqueness over the payload, so concurrent disjoint leases are sound.
+    data: Box<[UnsafeCell<T>]>,
+    len: usize,
+    name: String,
+    sim_base: u64,
+    registry: Mutex<Registry>,
+}
+
+// SAFETY: all mutable access is mediated by the lease registry, which
+// guarantees that concurrently outstanding mutable ranges are disjoint from
+// each other and from outstanding shared ranges (see module docs).
+unsafe impl<T: Send> Send for RegionBuf<T> {}
+unsafe impl<T: Send + Sync> Sync for RegionBuf<T> {}
+
+impl<T> RegionBuf<T> {
+    /// Wrap an existing vector.
+    pub fn from_vec(name: impl Into<String>, data: Vec<T>) -> Self {
+        let len = data.len();
+        let sim_base = sim_alloc((len * std::mem::size_of::<T>()) as u64);
+        Self {
+            data: data.into_iter().map(UnsafeCell::new).collect(),
+            len,
+            name: name.into(),
+            sim_base,
+            registry: Mutex::new(Registry { active: Vec::new() }),
+        }
+    }
+
+    /// Raw slice over `range`. SAFETY: caller must hold a lease covering
+    /// `range` of the matching kind.
+    #[inline]
+    fn range_ptr(&self, range: &Range<usize>) -> *mut T {
+        if range.start == range.end {
+            std::ptr::NonNull::<T>::dangling().as_ptr()
+        } else {
+            self.data[range.start].get()
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base of this buffer in the simulated address space (see
+    /// [`crate::meter::sim_alloc`]).
+    pub fn sim_base(&self) -> u64 {
+        self.sim_base
+    }
+
+    /// Simulated-address access record covering elements `range`.
+    pub fn access(&self, range: Range<usize>, kind: AccessKind) -> MemAccess {
+        let esz = std::mem::size_of::<T>() as u64;
+        MemAccess {
+            base: self.sim_base + range.start as u64 * esz,
+            len: (range.end - range.start) as u64 * esz,
+            kind,
+        }
+    }
+
+    fn check_range(&self, range: &Range<usize>) {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "RegionBuf '{}': lease {:?} out of bounds (len {})",
+            self.name,
+            range,
+            self.len
+        );
+    }
+
+    /// Take exclusive access to `range`.
+    ///
+    /// # Panics
+    /// If `range` is out of bounds or overlaps any active lease.
+    pub fn lease_write(&self, range: Range<usize>) -> WriteLease<'_, T> {
+        self.check_range(&range);
+        self.registry.lock().acquire(range.clone(), LeaseKind::Write, &self.name);
+        WriteLease { buf: self, range }
+    }
+
+    /// Take shared access to `range`.
+    ///
+    /// # Panics
+    /// If `range` is out of bounds or overlaps an active *write* lease.
+    pub fn lease_read(&self, range: Range<usize>) -> ReadLease<'_, T> {
+        self.check_range(&range);
+        self.registry.lock().acquire(range.clone(), LeaseKind::Read, &self.name);
+        ReadLease { buf: self, range }
+    }
+
+    /// Shared access to the whole buffer.
+    pub fn lease_read_all(&self) -> ReadLease<'_, T> {
+        self.lease_read(0..self.len)
+    }
+
+    /// Exclusive access to the whole buffer.
+    pub fn lease_write_all(&self) -> WriteLease<'_, T> {
+        self.lease_write(0..self.len)
+    }
+}
+
+impl<T: Default + Clone> RegionBuf<T> {
+    /// Allocate `len` default-initialized elements.
+    pub fn new(name: impl Into<String>, len: usize) -> Self {
+        Self::from_vec(name, vec![T::default(); len])
+    }
+}
+
+impl<T: Clone> RegionBuf<T> {
+    /// Copy the contents out (takes a whole-buffer read lease).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.lease_read_all().to_vec()
+    }
+}
+
+impl<T> fmt::Debug for RegionBuf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegionBuf")
+            .field("name", &self.name)
+            .field("len", &self.len)
+            .field("active_leases", &self.registry.lock().active.len())
+            .finish()
+    }
+}
+
+/// Exclusive access to a sub-range of a [`RegionBuf`]. Released on drop.
+pub struct WriteLease<'a, T> {
+    buf: &'a RegionBuf<T>,
+    range: Range<usize>,
+}
+
+impl<T> WriteLease<'_, T> {
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+}
+
+impl<T> Deref for WriteLease<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // SAFETY: the registry guarantees no other lease overlaps `range`.
+        unsafe {
+            std::slice::from_raw_parts(self.buf.range_ptr(&self.range), self.range.len())
+        }
+    }
+}
+
+impl<T> DerefMut for WriteLease<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: as above; this lease is the unique accessor of `range`.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.buf.range_ptr(&self.range), self.range.len())
+        }
+    }
+}
+
+impl<T> Drop for WriteLease<'_, T> {
+    fn drop(&mut self) {
+        self.buf.registry.lock().release(&self.range, LeaseKind::Write);
+    }
+}
+
+/// Shared access to a sub-range of a [`RegionBuf`]. Released on drop.
+pub struct ReadLease<'a, T> {
+    buf: &'a RegionBuf<T>,
+    range: Range<usize>,
+}
+
+impl<T> ReadLease<'_, T> {
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+}
+
+impl<T> Deref for ReadLease<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // SAFETY: the registry guarantees no write lease overlaps `range`,
+        // so these elements are immutable while this lease is alive.
+        unsafe {
+            std::slice::from_raw_parts(self.buf.range_ptr(&self.range), self.range.len())
+        }
+    }
+}
+
+impl<T> Drop for ReadLease<'_, T> {
+    fn drop(&mut self) {
+        self.buf.registry.lock().release(&self.range, LeaseKind::Read);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disjoint_writes_both_land() {
+        let buf = RegionBuf::<u8>::new("b", 10);
+        {
+            let mut a = buf.lease_write(0..5);
+            let mut b = buf.lease_write(5..10);
+            a.fill(1);
+            b.fill(2);
+        }
+        assert_eq!(buf.snapshot(), vec![1, 1, 1, 1, 1, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps active")]
+    fn overlapping_writes_panic() {
+        let buf = RegionBuf::<u8>::new("b", 10);
+        let _a = buf.lease_write(0..6);
+        let _b = buf.lease_write(5..10);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps active")]
+    fn read_under_write_panics() {
+        let buf = RegionBuf::<u8>::new("b", 10);
+        let _w = buf.lease_write(2..4);
+        let _r = buf.lease_read(3..5);
+    }
+
+    #[test]
+    fn reads_share() {
+        let buf = RegionBuf::<u8>::new("b", 10);
+        let _a = buf.lease_read(0..10);
+        let _b = buf.lease_read(0..10);
+    }
+
+    #[test]
+    fn lease_released_on_drop() {
+        let buf = RegionBuf::<u8>::new("b", 10);
+        {
+            let _a = buf.lease_write_all();
+        }
+        let _b = buf.lease_write_all(); // would panic if the first leaked
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_conflict() {
+        let buf = RegionBuf::<u16>::new("b", 8);
+        let _a = buf.lease_write(0..4);
+        let _b = buf.lease_write(4..8);
+        let _c = buf.lease_read(4..4); // empty range never conflicts
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_lease_panics() {
+        let buf = RegionBuf::<u8>::new("b", 4);
+        let _ = buf.lease_read(0..5);
+    }
+
+    #[test]
+    fn parallel_disjoint_writers() {
+        let buf = Arc::new(RegionBuf::<u32>::new("p", 4096));
+        let n = 8;
+        let chunk = 4096 / n;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let buf = Arc::clone(&buf);
+                std::thread::spawn(move || {
+                    let mut w = buf.lease_write(i * chunk..(i + 1) * chunk);
+                    for (k, v) in w.iter_mut().enumerate() {
+                        *v = (i * chunk + k) as u32;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = buf.snapshot();
+        for (k, v) in snap.iter().enumerate() {
+            assert_eq!(*v, k as u32);
+        }
+    }
+
+    #[test]
+    fn access_record_uses_sim_addresses() {
+        let buf = RegionBuf::<u16>::new("b", 100);
+        let a = buf.access(10..20, AccessKind::Write);
+        assert_eq!(a.base, buf.sim_base() + 20);
+        assert_eq!(a.len, 20);
+        assert_eq!(a.kind, AccessKind::Write);
+    }
+}

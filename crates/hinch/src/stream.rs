@@ -1,0 +1,210 @@
+//! Streams: the synchronous, iteration-indexed communication primitive.
+//!
+//! A stream connects component output ports to input ports. The data in a
+//! stream is only used in the current and possibly a few next iterations,
+//! after which it is discarded: slot *i* holds the packet produced in
+//! iteration *i* and is reclaimed when that iteration *retires* (all of its
+//! jobs are done). Capacity is bounded by the engine's pipeline depth — the
+//! admission controller never lets more than `K` iterations be in flight,
+//! so a stream never holds more than `K` live slots.
+//!
+//! Writers are single (per iteration) except for *shared* writes used by
+//! sliced groups: every copy of the group calls [`Stream::write_shared`],
+//! the first call allocates the shared payload (e.g. an output frame backed
+//! by [`crate::sharedbuf::RegionBuf`]) and all calls return the same `Arc`,
+//! after which each copy leases its disjoint region and fills it.
+
+use crate::packet::{pack, unpack, Packet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An iteration-indexed stream.
+pub struct Stream {
+    name: String,
+    slots: Mutex<HashMap<u64, Packet>>,
+}
+
+impl Stream {
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(Self { name: name.into(), slots: Mutex::new(HashMap::new()) })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Store the packet for `iter`.
+    ///
+    /// # Panics
+    /// If the slot is already filled — a stream has a single writer per
+    /// iteration (use [`Stream::write_shared`] for sliced groups).
+    pub fn write(&self, iter: u64, packet: Packet) {
+        let mut slots = self.slots.lock();
+        let prev = slots.insert(iter, packet);
+        assert!(
+            prev.is_none(),
+            "stream '{}': slot for iteration {iter} written twice (two writers?)",
+            self.name
+        );
+    }
+
+    /// Store-or-get the shared packet for `iter`.
+    ///
+    /// The first caller's `init` runs and fills the slot; later callers get
+    /// the same value. Panics if the slot holds a value of a different type.
+    pub fn write_shared<T, F>(&self, iter: u64, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut slots = self.slots.lock();
+        let packet = slots.entry(iter).or_insert_with(|| pack(init()));
+        unpack::<T>(packet).unwrap_or_else(|| {
+            panic!(
+                "stream '{}': shared slot for iteration {iter} holds a different payload type",
+                self.name
+            )
+        })
+    }
+
+    /// Store-or-verify a shared packet for `iter` (used by components that
+    /// forward or mutate a buffer in place: every data-parallel copy calls
+    /// this with the same `Arc`).
+    ///
+    /// # Panics
+    /// If the slot already holds a *different* payload.
+    pub fn write_shared_packet(&self, iter: u64, packet: Packet) {
+        let mut slots = self.slots.lock();
+        match slots.entry(iter) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(packet);
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                assert!(
+                    Arc::ptr_eq(o.get(), &packet),
+                    "stream '{}': iteration {iter} forwarded two different buffers",
+                    self.name
+                );
+            }
+        }
+    }
+
+    /// Read the packet for `iter`.
+    ///
+    /// # Panics
+    /// If the slot is empty — the task graph must schedule the writer
+    /// before every reader, so an empty slot is a scheduling bug.
+    pub fn read(&self, iter: u64) -> Packet {
+        self.slots
+            .lock()
+            .get(&iter)
+            .cloned()
+            .unwrap_or_else(|| {
+                panic!(
+                    "stream '{}': read of iteration {iter} before it was written \
+                     (scheduling bug)",
+                    self.name
+                )
+            })
+    }
+
+    /// Read and downcast the packet for `iter`.
+    pub fn read_as<T: Send + Sync + 'static>(&self, iter: u64) -> Arc<T> {
+        let packet = self.read(iter);
+        unpack::<T>(&packet).unwrap_or_else(|| {
+            panic!(
+                "stream '{}': payload of iteration {iter} has unexpected type \
+                 (wanted {})",
+                self.name,
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Whether iteration `iter` has been written.
+    pub fn has(&self, iter: u64) -> bool {
+        self.slots.lock().contains_key(&iter)
+    }
+
+    /// Reclaim the slot of a retired iteration.
+    pub fn clear(&self, iter: u64) {
+        self.slots.lock().remove(&iter);
+    }
+
+    /// Number of live slots (bounded by the pipeline depth at run time).
+    pub fn live_slots(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+impl fmt::Debug for Stream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stream")
+            .field("name", &self.name)
+            .field("live_slots", &self.live_slots())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let s = Stream::new("s");
+        s.write(0, pack(11i32));
+        s.write(1, pack(22i32));
+        assert_eq!(*s.read_as::<i32>(0), 11);
+        assert_eq!(*s.read_as::<i32>(1), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "written twice")]
+    fn double_write_panics() {
+        let s = Stream::new("s");
+        s.write(0, pack(1i32));
+        s.write(0, pack(2i32));
+    }
+
+    #[test]
+    #[should_panic(expected = "before it was written")]
+    fn read_empty_panics() {
+        let s = Stream::new("s");
+        let _ = s.read(3);
+    }
+
+    #[test]
+    fn shared_write_first_caller_wins() {
+        let s = Stream::new("s");
+        let a = s.write_shared(0, || vec![1u8, 2]);
+        let b = s.write_shared(0, || vec![9u8, 9]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*b, vec![1, 2]);
+    }
+
+    #[test]
+    fn clear_reclaims() {
+        let s = Stream::new("s");
+        s.write(0, pack(1u8));
+        s.write(1, pack(2u8));
+        assert_eq!(s.live_slots(), 2);
+        s.clear(0);
+        assert_eq!(s.live_slots(), 1);
+        assert!(!s.has(0));
+        assert!(s.has(1));
+        // slot can be refilled after clearing (ring-buffer reuse)
+        s.write(0, pack(3u8));
+        assert_eq!(*s.read_as::<u8>(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn wrong_type_read_panics() {
+        let s = Stream::new("s");
+        s.write(0, pack(1u8));
+        let _ = s.read_as::<String>(0);
+    }
+}

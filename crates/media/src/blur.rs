@@ -1,0 +1,186 @@
+//! Separable Gaussian blur (3×3 and 5×5, σ = 1).
+//!
+//! The paper's Blur application applies the kernel to the luminance field
+//! in two phases — horizontal then vertical — run in parallel with *cross
+//! dependencies*: the vertical phase of slice *i* needs the horizontal
+//! results of slices *i−1*, *i*, *i+1* for its boundary rows.
+//!
+//! Kernels are fixed-point (weights summing to 256), the classic embedded
+//! formulation, which also makes every execution bit-identical. Borders
+//! clamp.
+
+use std::ops::Range;
+
+/// Fixed-point kernel weights (sum = 256) for `ksize` ∈ {3, 5}, σ = 1.
+pub fn kernel(ksize: usize) -> &'static [u32] {
+    match ksize {
+        // exp(-x²/2) for x=-1..1, normalized to 256
+        3 => &[70, 116, 70],
+        // exp(-x²/2) for x=-2..2, normalized to 256
+        5 => &[14, 62, 104, 62, 14],
+        _ => panic!("unsupported kernel size {ksize} (3 or 5)"),
+    }
+}
+
+#[inline]
+fn clamp_idx(i: isize, max: usize) -> usize {
+    i.clamp(0, max as isize - 1) as usize
+}
+
+/// Horizontal phase over absolute rows `rows`.
+///
+/// `dst` holds exactly those rows. Returns the pixels produced.
+pub fn blur_h_rows(
+    src: &[u8],
+    w: usize,
+    h: usize,
+    ksize: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
+    assert_eq!(src.len(), w * h);
+    assert_eq!(dst.len(), rows.len() * w, "destination must cover exactly the requested rows");
+    let k = kernel(ksize);
+    let r = (ksize / 2) as isize;
+    for (ri, y) in rows.clone().enumerate() {
+        let src_row = &src[y * w..(y + 1) * w];
+        let dst_row = &mut dst[ri * w..(ri + 1) * w];
+        for (x, out) in dst_row.iter_mut().enumerate() {
+            let mut acc: u32 = 128; // rounding
+            for (ki, &kw) in k.iter().enumerate() {
+                let sx = clamp_idx(x as isize + ki as isize - r, w);
+                acc += kw * src_row[sx] as u32;
+            }
+            *out = (acc >> 8) as u8;
+        }
+    }
+    (rows.len() * w) as u64
+}
+
+/// Vertical phase over absolute rows `rows`.
+///
+/// `src` is the *full* horizontally-blurred plane (the cross dependencies
+/// guarantee the needed neighbor rows are complete); `dst` holds exactly
+/// `rows`. Returns the pixels produced.
+pub fn blur_v_rows(
+    src: &[u8],
+    w: usize,
+    h: usize,
+    ksize: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
+    assert_eq!(src.len(), w * h);
+    assert_eq!(dst.len(), rows.len() * w, "destination must cover exactly the requested rows");
+    let k = kernel(ksize);
+    let r = (ksize / 2) as isize;
+    for (ri, y) in rows.clone().enumerate() {
+        for x in 0..w {
+            let mut acc: u32 = 128;
+            for (ki, &kw) in k.iter().enumerate() {
+                let sy = clamp_idx(y as isize + ki as isize - r, h);
+                acc += kw * src[sy * w + x] as u32;
+            }
+            dst[ri * w + x] = (acc >> 8) as u8;
+        }
+    }
+    (rows.len() * w) as u64
+}
+
+/// Convenience: full two-phase blur (used by the sequential baseline and
+/// by tests).
+pub fn blur_plane(src: &[u8], w: usize, h: usize, ksize: usize) -> Vec<u8> {
+    let mut tmp = vec![0u8; w * h];
+    blur_h_rows(src, w, h, ksize, 0..h, &mut tmp);
+    let mut out = vec![0u8; w * h];
+    blur_v_rows(&tmp, w, h, ksize, 0..h, &mut out);
+    out
+}
+
+/// The rows of the horizontal result that the vertical phase of `rows`
+/// reads (clamped to the plane).
+pub fn v_input_rows(rows: &Range<usize>, h: usize, ksize: usize) -> Range<usize> {
+    let r = ksize / 2;
+    rows.start.saturating_sub(r)..(rows.end + r).min(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_sum_to_256() {
+        assert_eq!(kernel(3).iter().sum::<u32>(), 256);
+        assert_eq!(kernel(5).iter().sum::<u32>(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported kernel")]
+    fn bad_kernel_size_panics() {
+        let _ = kernel(7);
+    }
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        let src = vec![77u8; 16 * 16];
+        let out = blur_plane(&src, 16, 16, 3);
+        assert!(out.iter().all(|&p| p == 77));
+        let out5 = blur_plane(&src, 16, 16, 5);
+        assert!(out5.iter().all(|&p| p == 77));
+    }
+
+    #[test]
+    fn blur_smooths_an_impulse() {
+        let mut src = vec![0u8; 9 * 9];
+        src[4 * 9 + 4] = 255;
+        let out = blur_plane(&src, 9, 9, 3);
+        let center = out[4 * 9 + 4];
+        let neighbor = out[4 * 9 + 5];
+        let diag = out[3 * 9 + 5];
+        assert!(center > neighbor, "{center} > {neighbor}");
+        assert!(neighbor > diag);
+        assert!(out[0] == 0, "far corner untouched by 3x3");
+    }
+
+    #[test]
+    fn five_tap_spreads_further_than_three_tap() {
+        let mut src = vec![0u8; 11 * 11];
+        src[5 * 11 + 5] = 255;
+        let o3 = blur_plane(&src, 11, 11, 3);
+        let o5 = blur_plane(&src, 11, 11, 5);
+        // two pixels away: zero for 3x3, nonzero for 5x5
+        assert_eq!(o3[5 * 11 + 7], 0);
+        assert!(o5[5 * 11 + 7] > 0);
+    }
+
+    #[test]
+    fn row_bands_compose_with_crossdep_inputs() {
+        let src: Vec<u8> = (0..36 * 36).map(|i| ((i * 7) % 256) as u8).collect();
+        let w = 36;
+        let h = 36;
+        for ksize in [3usize, 5] {
+            let full = blur_plane(&src, w, h, ksize);
+            // H in 3 bands into one buffer, V in 3 bands reading it whole
+            let mut hbuf = vec![0u8; w * h];
+            for band in [0..12usize, 12..24, 24..36] {
+                let mut part = vec![0u8; band.len() * w];
+                blur_h_rows(&src, w, h, ksize, band.clone(), &mut part);
+                hbuf[band.start * w..band.end * w].copy_from_slice(&part);
+            }
+            let mut out = vec![0u8; w * h];
+            for band in [0..12usize, 12..24, 24..36] {
+                let mut part = vec![0u8; band.len() * w];
+                blur_v_rows(&hbuf, w, h, ksize, band.clone(), &mut part);
+                out[band.start * w..band.end * w].copy_from_slice(&part);
+            }
+            assert_eq!(out, full, "ksize {ksize}");
+        }
+    }
+
+    #[test]
+    fn v_input_rows_clamp() {
+        assert_eq!(v_input_rows(&(0..32), 288, 5), 0..34);
+        assert_eq!(v_input_rows(&(256..288), 288, 5), 254..288);
+        assert_eq!(v_input_rows(&(32..64), 288, 3), 31..65);
+    }
+}

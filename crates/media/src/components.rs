@@ -1,0 +1,644 @@
+//! Hinch [`Component`] wrappers for the media substrate.
+//!
+//! Every component follows the model's contract: read the input ports,
+//! compute, write the output ports, and describe the work to the meter
+//! (compute charges from [`crate::costs`], memory sweeps for the cache
+//! model). Data-parallel components keep the [`SliceAssign`] they received
+//! through the reconfiguration interface and operate only on their region,
+//! writing into the iteration's shared output plane.
+
+use crate::blend::unpack_pos;
+use crate::blur::{blur_h_rows, blur_v_rows, v_input_rows};
+use crate::costs::*;
+use crate::frame::{CoefPlane, Plane};
+use crate::jpeg::codec::{decode_scan, idct_block_rows, JpegImage};
+use crate::jpeg::mjpeg::MjpegVideo;
+use crate::scale::{downscale_rows, scaled_dims};
+use crate::video::RawVideo;
+use hinch::component::{Component, ReconfigRequest, RunCtx, SliceAssign};
+use hinch::meter::{sim_alloc, AccessKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Captured output frames (one `Vec<u8>` per iteration per captured port).
+pub type Capture = Arc<Mutex<Vec<Vec<u8>>>>;
+
+/// Fresh empty capture buffer.
+pub fn capture() -> Capture {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Reads one color field of an uncompressed video, one frame per
+/// iteration. Output port 0: [`Plane`].
+pub struct PlaneSource {
+    video: Arc<RawVideo>,
+    field: usize,
+    label: String,
+}
+
+impl PlaneSource {
+    pub fn new(video: Arc<RawVideo>, field: usize, label: impl Into<String>) -> Self {
+        Self { video, field, label: label.into() }
+    }
+}
+
+impl Component for PlaneSource {
+    fn class(&self) -> &'static str {
+        "plane_source"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let frame = ctx.iteration() as usize;
+        let plane = self.video.plane(frame, self.field, &self.label);
+        let px = (plane.width() * plane.height()) as u64;
+        ctx.touch(self.video.read_access(frame, self.field));
+        plane.touch_write(ctx, 0..plane.height());
+        ctx.charge(CYC_SOURCE_PX * px);
+        ctx.write(0, plane);
+    }
+}
+
+/// Reads compressed frames of an MJPEG stream. Output port 0:
+/// `Arc<JpegImage>`.
+pub struct MjpegSource {
+    video: Arc<MjpegVideo>,
+}
+
+impl MjpegSource {
+    pub fn new(video: Arc<MjpegVideo>) -> Self {
+        Self { video }
+    }
+}
+
+impl Component for MjpegSource {
+    fn class(&self) -> &'static str {
+        "mjpeg_source"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let frame = ctx.iteration() as usize;
+        let img = Arc::clone(self.video.frame(frame));
+        for field in 0..3 {
+            ctx.touch(self.video.read_access(frame, field));
+        }
+        ctx.charge(img.byte_len() as u64 / 4); // stream-in cost, ~4 B/cycle
+        ctx.write_arc(0, img);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+/// Collects 1..=3 plane inputs per iteration into capture buffers and
+/// models the write-out of the output file. The paper's "Output"
+/// component.
+pub struct FrameSink {
+    captures: Vec<Option<Capture>>,
+    out_base: Option<u64>,
+}
+
+impl FrameSink {
+    /// `captures[i]` receives input port `i`'s pixels (None = discard).
+    pub fn new(captures: Vec<Option<Capture>>) -> Self {
+        Self { captures, out_base: None }
+    }
+
+    /// Capture only port 0.
+    pub fn single(cap: Capture) -> Self {
+        Self::new(vec![Some(cap)])
+    }
+}
+
+impl Component for FrameSink {
+    fn class(&self) -> &'static str {
+        "frame_sink"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let mut total_px = 0u64;
+        for port in 0..ctx.num_inputs() {
+            let plane = ctx.read::<Plane>(port);
+            let px = (plane.width() * plane.height()) as u64;
+            total_px += px;
+            plane.touch_read(ctx, 0..plane.height());
+            if let Some(Some(cap)) = self.captures.get(port) {
+                cap.lock().push(plane.to_vec());
+            }
+        }
+        // the reused output buffer of the "file writer"
+        let base = *self.out_base.get_or_insert_with(|| sim_alloc(total_px));
+        ctx.touch_write(base, total_px);
+        ctx.charge(CYC_COPY_PX * total_px);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Filters
+// ---------------------------------------------------------------------
+
+/// Spatial down scaler (factor `k`), data-parallel by output rows.
+pub struct Downscale {
+    factor: usize,
+    assign: SliceAssign,
+    label: String,
+}
+
+impl Downscale {
+    pub fn new(factor: usize, label: impl Into<String>) -> Self {
+        assert!(factor >= 1);
+        Self { factor, assign: SliceAssign::WHOLE, label: label.into() }
+    }
+}
+
+impl Component for Downscale {
+    fn class(&self) -> &'static str {
+        "downscale"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let src = ctx.read::<Plane>(0);
+        let (ow, oh) = scaled_dims(src.width(), src.height(), self.factor);
+        let label = self.label.clone();
+        let out = ctx.write_shared::<Plane, _>(0, || Plane::new(&label, ow, oh));
+        let rows = self.assign.range(oh);
+        if rows.is_empty() {
+            return;
+        }
+        let in_rows = rows.start * self.factor..rows.end * self.factor;
+        let consumed = {
+            let src_px = src.read_all();
+            let mut dst = out.write_rows(rows.clone());
+            downscale_rows(&src_px, src.width(), src.height(), self.factor, rows.clone(), &mut dst)
+        };
+        src.touch_read(ctx, in_rows);
+        out.touch_write(ctx, rows);
+        ctx.charge(CYC_DOWNSCALE_IN_PX * consumed);
+    }
+
+    fn reconfigure(&mut self, req: &ReconfigRequest) {
+        if let ReconfigRequest::Slice(a) = req {
+            self.assign = *a;
+        }
+    }
+}
+
+/// Picture-in-picture blender; position reconfigurable via a broadcast
+/// `{ key: "pos", value: pack_pos(x, y) }` request.
+///
+/// Blends *in place*: the stream model hands a buffer from producer to
+/// consumer and discards it after the iteration, so a sole consumer may
+/// mutate it and forward the same buffer — the classic zero-copy
+/// optimization of streaming run-time systems. Each data-parallel copy
+/// leases only the rows of its band that the picture overlaps (checked
+/// disjointness via `RegionBuf`), then forwards the background buffer to
+/// the output stream.
+pub struct Blend {
+    x: u32,
+    y: u32,
+    assign: SliceAssign,
+}
+
+impl Blend {
+    pub fn new(x: u32, y: u32, _label: impl Into<String>) -> Self {
+        Self { x, y, assign: SliceAssign::WHOLE }
+    }
+}
+
+impl Component for Blend {
+    fn class(&self) -> &'static str {
+        "blend"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let bg = ctx.read::<Plane>(0);
+        let pip = ctx.read::<Plane>(1);
+        let (w, h) = (bg.width(), bg.height());
+        let (px, py) = (self.x as usize, self.y as usize);
+        let rows = self.assign.range(h);
+        // rows of this band covered by the picture
+        let y0 = rows.start.max(py).min(py + pip.height());
+        let y1 = rows.end.max(py).min(py + pip.height());
+        let mut blended = 0u64;
+        if y1 > y0 {
+            let x0 = px.min(w);
+            let x1 = (px + pip.width()).min(w);
+            if x1 > x0 {
+                let mut dst = bg.write_rows(y0..y1);
+                let src = pip.read_rows(y0 - py..y1 - py);
+                for (ri, _y) in (y0..y1).enumerate() {
+                    let pr = ri * pip.width();
+                    dst[ri * w + x0..ri * w + x1]
+                        .copy_from_slice(&src[pr..pr + (x1 - x0)]);
+                    blended += (x1 - x0) as u64;
+                }
+                bg.touch_write(ctx, y0..y1);
+                pip.touch_read(ctx, y0 - py..y1 - py);
+            }
+        }
+        ctx.charge(CYC_BLEND_PX * blended);
+        // forward the (mutated) background buffer downstream
+        ctx.forward_shared(0, bg);
+    }
+
+    fn reconfigure(&mut self, req: &ReconfigRequest) {
+        match req {
+            ReconfigRequest::Slice(a) => self.assign = *a,
+            ReconfigRequest::User { key, value } if key == "pos" => {
+                if let Some(p) = value.as_int() {
+                    let (x, y) = unpack_pos(p);
+                    self.x = x;
+                    self.y = y;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Horizontal Gaussian blur phase; kernel size reconfigurable via
+/// `{ key: "ksize", value: 3|5 }`.
+pub struct BlurH {
+    ksize: usize,
+    assign: SliceAssign,
+    label: String,
+}
+
+impl BlurH {
+    pub fn new(ksize: usize, label: impl Into<String>) -> Self {
+        Self { ksize, assign: SliceAssign::WHOLE, label: label.into() }
+    }
+}
+
+impl Component for BlurH {
+    fn class(&self) -> &'static str {
+        "blur_h"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let src = ctx.read::<Plane>(0);
+        let (w, h) = (src.width(), src.height());
+        let label = self.label.clone();
+        let out = ctx.write_shared::<Plane, _>(0, || Plane::new(&label, w, h));
+        let rows = self.assign.range(h);
+        if rows.is_empty() {
+            return;
+        }
+        let px = {
+            let src_px = src.read_rows(rows.clone());
+            let mut dst = out.write_rows(rows.clone());
+            // horizontal phase only needs its own rows
+            blur_h_band(&src_px, w, self.ksize, rows.len(), &mut dst)
+        };
+        src.touch_read(ctx, rows.clone());
+        out.touch_write(ctx, rows);
+        let per_px = if self.ksize == 3 { CYC_BLUR_H3_PX } else { CYC_BLUR_H5_PX };
+        ctx.charge(per_px * px);
+    }
+
+    fn reconfigure(&mut self, req: &ReconfigRequest) {
+        match req {
+            ReconfigRequest::Slice(a) => self.assign = *a,
+            ReconfigRequest::User { key, value } if key == "ksize" => {
+                if let Some(k) = value.as_int() {
+                    assert!(k == 3 || k == 5, "ksize must be 3 or 5");
+                    self.ksize = k as usize;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Horizontal blur over a self-contained row band.
+fn blur_h_band(band: &[u8], w: usize, ksize: usize, n_rows: usize, dst: &mut [u8]) -> u64 {
+    blur_h_rows(band, w, n_rows, ksize, 0..n_rows, dst)
+}
+
+/// Vertical Gaussian blur phase (the crossdep consumer): reads its rows
+/// plus the kernel radius from the neighbors.
+pub struct BlurV {
+    ksize: usize,
+    assign: SliceAssign,
+    label: String,
+}
+
+impl BlurV {
+    pub fn new(ksize: usize, label: impl Into<String>) -> Self {
+        Self { ksize, assign: SliceAssign::WHOLE, label: label.into() }
+    }
+}
+
+impl Component for BlurV {
+    fn class(&self) -> &'static str {
+        "blur_v"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let src = ctx.read::<Plane>(0);
+        let (w, h) = (src.width(), src.height());
+        let label = self.label.clone();
+        let out = ctx.write_shared::<Plane, _>(0, || Plane::new(&label, w, h));
+        let rows = self.assign.range(h);
+        if rows.is_empty() {
+            return;
+        }
+        let input = v_input_rows(&rows, h, self.ksize);
+        let px = {
+            let src_px = src.read_rows(input.clone());
+            let mut dst = out.write_rows(rows.clone());
+            blur_v_band(&src_px, w, input.clone(), self.ksize, rows.clone(), &mut dst)
+        };
+        src.touch_read(ctx, input);
+        out.touch_write(ctx, rows);
+        let per_px = if self.ksize == 3 { CYC_BLUR_V3_PX } else { CYC_BLUR_V5_PX };
+        ctx.charge(per_px * px);
+    }
+
+    fn reconfigure(&mut self, req: &ReconfigRequest) {
+        match req {
+            ReconfigRequest::Slice(a) => self.assign = *a,
+            ReconfigRequest::User { key, value } if key == "ksize" => {
+                if let Some(k) = value.as_int() {
+                    assert!(k == 3 || k == 5, "ksize must be 3 or 5");
+                    self.ksize = k as usize;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Vertical blur where `band` holds absolute rows `input` of the source.
+fn blur_v_band(
+    band: &[u8],
+    w: usize,
+    input: std::ops::Range<usize>,
+    ksize: usize,
+    rows: std::ops::Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
+    // Translate absolute coordinates into the band's local frame; clamping
+    // at the band edges equals clamping at the plane edges because the
+    // band already includes the radius except at the real borders.
+    let local_rows = rows.start - input.start..rows.end - input.start;
+    blur_v_rows(band, w, input.len(), ksize, local_rows, dst)
+}
+
+// ---------------------------------------------------------------------
+// JPEG pipeline components
+// ---------------------------------------------------------------------
+
+/// Entropy decode of all three scans of a frame: input `Arc<JpegImage>`,
+/// outputs three [`CoefPlane`]s (Y, U, V). The paper's "JPEG decode".
+pub struct JpegDecode {
+    label: String,
+}
+
+impl JpegDecode {
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into() }
+    }
+}
+
+impl Component for JpegDecode {
+    fn class(&self) -> &'static str {
+        "jpeg_decode"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let img = ctx.read::<JpegImage>(0);
+        for field in 0..3 {
+            let name = format!("{}.coef{}", self.label, field);
+            let plane = CoefPlane::new(&name, img.w, img.h);
+            let stats = {
+                let mut coefs = plane.write_block_rows(0..plane.blocks_h());
+                decode_scan(
+                    &img.scans[field],
+                    img.w,
+                    img.h,
+                    JpegImage::channel_of(field),
+                    img.quality,
+                    &mut coefs,
+                )
+            };
+            ctx.touch(img.scan_access(field));
+            ctx.charge(CYC_ENTROPY_BLOCK * stats.blocks + CYC_ENTROPY_COEF * stats.coded_coefs);
+            plane.touch_block_rows(ctx.meter_mut(), 0..plane.blocks_h(), AccessKind::Write);
+            ctx.write(field, plane);
+        }
+    }
+}
+
+/// IDCT of one coefficient plane into pixels, data-parallel by block rows
+/// (the paper slices this 45 ways for JPiP).
+pub struct Idct {
+    assign: SliceAssign,
+    label: String,
+}
+
+impl Idct {
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { assign: SliceAssign::WHOLE, label: label.into() }
+    }
+}
+
+impl Component for Idct {
+    fn class(&self) -> &'static str {
+        "idct"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let coefs = ctx.read::<CoefPlane>(0);
+        let (w, h) = (coefs.width(), coefs.height());
+        let label = self.label.clone();
+        let out = ctx.write_shared::<Plane, _>(0, || Plane::new(&label, w, h));
+        let block_rows = self.assign.range(coefs.blocks_h());
+        if block_rows.is_empty() {
+            return;
+        }
+        let pixel_rows = block_rows.start * 8..block_rows.end * 8;
+        let blocks = {
+            let src = coefs.read_block_rows(block_rows.clone());
+            let mut dst = out.write_rows(pixel_rows.clone());
+            idct_block_rows(&src, coefs.blocks_w(), &mut dst)
+        };
+        coefs.touch_block_rows(ctx.meter_mut(), block_rows, AccessKind::Read);
+        out.touch_write(ctx, pixel_rows);
+        ctx.charge(CYC_IDCT_BLOCK * blocks);
+    }
+
+    fn reconfigure(&mut self, req: &ReconfigRequest) {
+        if let ReconfigRequest::Slice(a) = req {
+            self.assign = *a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoSpec;
+    use hinch::meter::NullMeter;
+    use hinch::stream::Stream;
+
+    fn run_component(
+        comp: &mut dyn Component,
+        inputs: &[Arc<Stream>],
+        outputs: &[Arc<Stream>],
+        iter: u64,
+    ) {
+        let mut meter = NullMeter;
+        let mut ctx = RunCtx::new(iter, inputs, outputs, &mut meter);
+        comp.run(&mut ctx);
+    }
+
+    #[test]
+    fn plane_source_emits_video_frames() {
+        let video = Arc::new(RawVideo::generate(VideoSpec::new(16, 8, 2, 1)));
+        let out = Stream::new("o");
+        let mut src = PlaneSource::new(video.clone(), 0, "y");
+        run_component(&mut src, &[], &[out.clone()], 0);
+        run_component(&mut src, &[], &[out.clone()], 1);
+        let p0 = out.read_as::<Plane>(0);
+        let p1 = out.read_as::<Plane>(1);
+        assert_eq!(p0.to_vec(), video.field(0, 0));
+        assert_eq!(p1.to_vec(), video.field(1, 0));
+    }
+
+    #[test]
+    fn downscale_component_slices_compose() {
+        let video = Arc::new(RawVideo::generate(VideoSpec::new(32, 32, 1, 2)));
+        let input = Stream::new("in");
+        let out = Stream::new("out");
+        let mut src = PlaneSource::new(video, 0, "y");
+        run_component(&mut src, &[], &[input.clone()], 0);
+
+        // 4 slice copies write one shared output plane
+        for i in 0..4 {
+            let mut d = Downscale::new(4, "small");
+            d.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 4 }));
+            run_component(&mut d, &[input.clone()], &[out.clone()], 0);
+        }
+        let small = out.read_as::<Plane>(0);
+        assert_eq!((small.width(), small.height()), (8, 8));
+
+        // must equal the whole-plane reference
+        let reference = {
+            let p = input.read_as::<Plane>(0);
+            let src_px = p.read_all();
+            let mut dst = vec![0u8; 8 * 8];
+            downscale_rows(&src_px, 32, 32, 4, 0..8, &mut dst);
+            dst
+        };
+        assert_eq!(small.to_vec(), reference);
+    }
+
+    #[test]
+    fn blend_component_overlays_picture() {
+        let input_bg = Stream::new("bg");
+        let input_pip = Stream::new("pip");
+        let out = Stream::new("out");
+        input_bg.write(0, Arc::new(Plane::from_pixels("bg", 8, 8, vec![9; 64])));
+        input_pip.write(0, Arc::new(Plane::from_pixels("pip", 2, 2, vec![1; 4])));
+        let mut b = Blend::new(3, 3, "out");
+        run_component(&mut b, &[input_bg, input_pip], &[out.clone()], 0);
+        let o = out.read_as::<Plane>(0);
+        let v = o.to_vec();
+        assert_eq!(v[3 * 8 + 3], 1);
+        assert_eq!(v[0], 9);
+    }
+
+    #[test]
+    fn blend_reconfigures_position() {
+        let mut b = Blend::new(0, 0, "out");
+        b.reconfigure(&ReconfigRequest::User {
+            key: "pos".into(),
+            value: hinch::component::ParamValue::Int(crate::blend::pack_pos(5, 2)),
+        });
+        let input_bg = Stream::new("bg");
+        let input_pip = Stream::new("pip");
+        let out = Stream::new("out");
+        input_bg.write(0, Arc::new(Plane::from_pixels("bg", 8, 8, vec![0; 64])));
+        input_pip.write(0, Arc::new(Plane::from_pixels("pip", 2, 2, vec![255; 4])));
+        run_component(&mut b, &[input_bg, input_pip], &[out.clone()], 0);
+        let v = out.read_as::<Plane>(0).to_vec();
+        assert_eq!(v[2 * 8 + 5], 255);
+        assert_eq!(v[0], 0);
+    }
+
+    #[test]
+    fn blur_phases_match_reference() {
+        let video = Arc::new(RawVideo::generate(VideoSpec::new(24, 24, 1, 7)));
+        let input = Stream::new("in");
+        let hout = Stream::new("h");
+        let vout = Stream::new("v");
+        let mut src = PlaneSource::new(video.clone(), 0, "y");
+        run_component(&mut src, &[], &[input.clone()], 0);
+        for i in 0..3 {
+            let mut h = BlurH::new(5, "h");
+            h.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 3 }));
+            run_component(&mut h, &[input.clone()], &[hout.clone()], 0);
+        }
+        for i in 0..3 {
+            let mut v = BlurV::new(5, "v");
+            v.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 3 }));
+            run_component(&mut v, &[hout.clone()], &[vout.clone()], 0);
+        }
+        let got = vout.read_as::<Plane>(0).to_vec();
+        let want = crate::blur::blur_plane(video.field(0, 0), 24, 24, 5);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn jpeg_decode_and_idct_reconstruct() {
+        let spec = VideoSpec::new(32, 16, 1, 3);
+        let raw = RawVideo::generate(spec);
+        let mj = Arc::new(MjpegVideo::from_raw(&raw, 85));
+        let cstream = Stream::new("jpeg");
+        let coef = [Stream::new("cy"), Stream::new("cu"), Stream::new("cv")];
+        let pix = Stream::new("py");
+        let mut src = MjpegSource::new(mj.clone());
+        run_component(&mut src, &[], &[cstream.clone()], 0);
+        let mut dec = JpegDecode::new("dec");
+        run_component(
+            &mut dec,
+            &[cstream],
+            &[coef[0].clone(), coef[1].clone(), coef[2].clone()],
+            0,
+        );
+        for i in 0..2 {
+            let mut idct = Idct::new("y");
+            idct.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 2 }));
+            run_component(&mut idct, &[coef[0].clone()], &[pix.clone()], 0);
+        }
+        let got = pix.read_as::<Plane>(0).to_vec();
+        let (want, _) = crate::jpeg::codec::decode_plane(
+            &mj.frame(0).scans[0],
+            32,
+            16,
+            crate::jpeg::quant::Channel::Luma,
+            85,
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn frame_sink_captures() {
+        let cap = capture();
+        let input = Stream::new("in");
+        input.write(0, Arc::new(Plane::from_pixels("p", 4, 2, vec![3; 8])));
+        input.write(1, Arc::new(Plane::from_pixels("p", 4, 2, vec![4; 8])));
+        let mut sink = FrameSink::single(cap.clone());
+        run_component(&mut sink, &[input.clone()], &[], 0);
+        run_component(&mut sink, &[input], &[], 1);
+        let frames = cap.lock();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], vec![3; 8]);
+        assert_eq!(frames[1], vec![4; 8]);
+    }
+}

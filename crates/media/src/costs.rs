@@ -1,0 +1,62 @@
+//! Documented compute-cost constants for the media components.
+//!
+//! One place for every "cycles per unit of work" constant, so the cost
+//! model is auditable and the ablation bench can reason about it. The
+//! values are chosen to be plausible for a ~450 MHz 5-issue TriMedia VLIW
+//! (the SpaceCAKE tile core) and — more importantly — to preserve the
+//! *ratios* the paper's result shapes depend on: JPEG entropy decoding and
+//! IDCT dominate JPiP; blur has the largest compute-to-communication
+//! ratio; blending and scaling are cheap per pixel.
+//!
+//! Memory costs are *not* in these constants — they come from the cache
+//! model, driven by the `touch` sweeps every component reports.
+
+/// Copying one pixel (source read-in, background copy, sink write-out).
+pub const CYC_COPY_PX: u64 = 1;
+
+/// Down-scaling, per *input* pixel. Real CE down scalers are polyphase
+/// FIR filters, not plain box averages; ~6 cycles per consumed pixel.
+pub const CYC_DOWNSCALE_IN_PX: u64 = 6;
+
+/// Blending one overlapped pixel of the picture-in-picture region.
+pub const CYC_BLEND_PX: u64 = 4;
+
+/// Horizontal blur phase, per pixel, 3-tap kernel (multiply-accumulate,
+/// clamped borders).
+pub const CYC_BLUR_H3_PX: u64 = 12;
+/// Vertical blur phase, per pixel, 3-tap kernel.
+pub const CYC_BLUR_V3_PX: u64 = 12;
+/// Horizontal blur phase, per pixel, 5-tap kernel.
+pub const CYC_BLUR_H5_PX: u64 = 26;
+/// Vertical blur phase, per pixel, 5-tap kernel.
+pub const CYC_BLUR_V5_PX: u64 = 26;
+
+/// One 8×8 inverse DCT (row/column passes + clamp/store). VLIW media
+/// processors run highly software-pipelined IDCTs; ~6 cycles/pixel.
+pub const CYC_IDCT_BLOCK: u64 = 400;
+
+/// Entropy-decoding one coded (non-zero) coefficient: Huffman lookup,
+/// receive/extend, dequantize.
+pub const CYC_ENTROPY_COEF: u64 = 35;
+/// Per-block fixed entropy cost (DC prediction, EOB handling).
+pub const CYC_ENTROPY_BLOCK: u64 = 60;
+
+/// Per-pixel cost of generating a synthetic source frame (the "file read"
+/// of the paper's uncompressed inputs).
+pub const CYC_SOURCE_PX: u64 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_preserve_paper_regime() {
+        // blur does much more compute per pixel than blend/scale — that is
+        // why Blur has the best compute-to-communication ratio (§4.2).
+        assert!(CYC_BLUR_H5_PX + CYC_BLUR_V5_PX > 4 * (CYC_BLEND_PX + CYC_COPY_PX));
+        // an IDCT block (64 px) costs more per pixel than blending.
+        assert!(CYC_IDCT_BLOCK / 64 > CYC_BLEND_PX);
+        // 5×5 blur is distinctly more expensive than 3×3.
+        assert!(CYC_BLUR_H5_PX > 2 * CYC_BLUR_H3_PX);
+    }
+}

@@ -1,0 +1,195 @@
+//! MSB-first bit I/O for the entropy-coded scans.
+//!
+//! JPEG writes Huffman codes most-significant-bit first. Our scans live in
+//! their own container, so no `0xFF` byte stuffing is needed (that is a
+//! JFIF framing concern, not part of the entropy computation).
+
+/// MSB-first bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `n` bits of `value` (n ≤ 24), MSB first.
+    pub fn put(&mut self, value: u32, n: u32) {
+        debug_assert!(n <= 24);
+        if n == 0 {
+            return;
+        }
+        debug_assert!(value < (1u32 << n), "value {value} wider than {n} bits");
+        self.acc = (self.acc << n) | (value & ((1u32 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push((self.acc >> self.nbits) as u8);
+        }
+    }
+
+    /// Pad the final partial byte with 1-bits (as JPEG does) and return the
+    /// bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.acc = (self.acc << pad) | ((1 << pad) - 1);
+            self.out.push(self.acc as u8);
+            self.nbits = 0;
+        }
+        self.out
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.out.len() * 8 + self.nbits as usize
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    byte: usize,
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, byte: 0, bit: 0 }
+    }
+
+    /// Next bit; 1-bits past the end (matches the writer's padding, and
+    /// makes a truncated stream decode to garbage rather than panicking).
+    #[inline]
+    pub fn bit(&mut self) -> u32 {
+        if self.byte >= self.data.len() {
+            return 1;
+        }
+        let b = (self.data[self.byte] >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+        b as u32
+    }
+
+    /// Read `n` bits (n ≤ 24), MSB first.
+    pub fn bits(&mut self, n: u32) -> u32 {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit();
+        }
+        v
+    }
+
+    /// Whether the reader consumed all complete bytes.
+    pub fn exhausted(&self) -> bool {
+        self.byte >= self.data.len()
+    }
+}
+
+/// JPEG "receive and extend": decode a `size`-bit magnitude into a signed
+/// coefficient difference.
+#[inline]
+pub fn extend(value: u32, size: u32) -> i32 {
+    if size == 0 {
+        0
+    } else if value < (1 << (size - 1)) {
+        value as i32 - (1 << size) + 1
+    } else {
+        value as i32
+    }
+}
+
+/// JPEG magnitude category of `v` (number of bits needed).
+#[inline]
+pub fn category(v: i32) -> u32 {
+    32 - v.unsigned_abs().leading_zeros()
+}
+
+/// The `category(v)`-bit code that [`extend`] maps back to `v`.
+#[inline]
+pub fn magnitude_bits(v: i32) -> u32 {
+    if v >= 0 {
+        v as u32
+    } else {
+        (v - 1) as u32 & ((1 << category(v)) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0b0110, 4);
+        w.put(0xABC, 12);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(3), 0b101);
+        assert_eq!(r.bits(4), 0b0110);
+        assert_eq!(r.bits(12), 0xABC);
+    }
+
+    #[test]
+    fn padding_is_ones() {
+        let mut w = BitWriter::new();
+        w.put(0, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0111_1111]);
+    }
+
+    #[test]
+    fn reader_returns_ones_past_end() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.bits(5), 0b11111);
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn extend_matches_jpeg_spec() {
+        // size 3: values 0..3 → -7..-4; 4..7 → 4..7
+        assert_eq!(extend(0, 3), -7);
+        assert_eq!(extend(3, 3), -4);
+        assert_eq!(extend(4, 3), 4);
+        assert_eq!(extend(7, 3), 7);
+        assert_eq!(extend(0, 0), 0);
+        assert_eq!(extend(1, 1), 1);
+        assert_eq!(extend(0, 1), -1);
+    }
+
+    #[test]
+    fn category_and_magnitude_roundtrip() {
+        for v in -1023i32..=1023 {
+            if v == 0 {
+                assert_eq!(category(0), 0);
+                continue;
+            }
+            let c = category(v);
+            let bits = magnitude_bits(v);
+            assert!(bits < (1 << c));
+            assert_eq!(extend(bits, c), v, "v={v} c={c} bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.put(0x7f, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.put(0, 3);
+        assert_eq!(w.bit_len(), 11);
+    }
+}

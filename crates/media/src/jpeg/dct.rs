@@ -1,0 +1,149 @@
+//! 8×8 forward and inverse DCT (type II / III), the JPEG transform.
+//!
+//! Straightforward separable implementation over a precomputed cosine
+//! table. Not the fastest formulation (AAN would be), but exact, obviously
+//! correct, and deterministic — the component charges its cycle cost from
+//! the documented constant, not from host speed.
+
+/// `COS[x][u] = cos((2x+1)·u·π / 16)`.
+fn cos_table() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0f32; 8]; 8];
+        for (x, row) in t.iter_mut().enumerate() {
+            for (u, v) in row.iter_mut().enumerate() {
+                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
+                    as f32;
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn c(u: usize) -> f32 {
+    if u == 0 {
+        std::f32::consts::FRAC_1_SQRT_2
+    } else {
+        1.0
+    }
+}
+
+/// Forward DCT of a level-shifted block (`samples` are pixel − 128),
+/// row-major. Output coefficients in natural (row-major) order.
+pub fn fdct(samples: &[i16; 64]) -> [f32; 64] {
+    let cos = cos_table();
+    let mut out = [0.0f32; 64];
+    // rows then columns (separable)
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for x in 0..8 {
+                acc += samples[y * 8 + x] as f32 * cos[x][u];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0f32;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * cos[y][v];
+            }
+            out[v * 8 + u] = 0.25 * c(u) * c(v) * acc;
+        }
+    }
+    out
+}
+
+/// Inverse DCT: natural-order coefficients → level-shifted samples
+/// (caller adds 128 and clamps).
+pub fn idct(coefs: &[i16; 64]) -> [i16; 64] {
+    let cos = cos_table();
+    let mut tmp = [0.0f32; 64];
+    // columns first
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0f32;
+            for v in 0..8 {
+                acc += c(v) * coefs[v * 8 + u] as f32 * cos[y][v];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    let mut out = [0i16; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f32;
+            for u in 0..8 {
+                acc += c(u) * tmp[y * 8 + u] * cos[x][u];
+            }
+            out[y * 8 + x] = (0.25 * acc).round() as i16;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(samples: [i16; 64]) -> [i16; 64] {
+        let f = fdct(&samples);
+        let mut q = [0i16; 64];
+        for (dst, src) in q.iter_mut().zip(f.iter()) {
+            *dst = src.round() as i16;
+        }
+        idct(&q)
+    }
+
+    #[test]
+    fn dc_only_block() {
+        // constant block: all energy in DC
+        let samples = [64i16; 64];
+        let f = fdct(&samples);
+        assert!((f[0] - 512.0).abs() < 0.01, "DC = 8 * value, got {}", f[0]);
+        for (i, &v) in f.iter().enumerate().skip(1) {
+            assert!(v.abs() < 0.01, "AC[{i}] = {v} should be ~0");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_near_exact() {
+        let mut samples = [0i16; 64];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s = (((i * 37) % 256) as i16) - 128;
+        }
+        let back = roundtrip(samples);
+        for (a, b) in samples.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn impulse_roundtrip() {
+        let mut samples = [0i16; 64];
+        samples[0] = 127;
+        samples[63] = -128;
+        let back = roundtrip(samples);
+        assert!((back[0] - 127).abs() <= 1);
+        assert!((back[63] + 128).abs() <= 1);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut samples = [0i16; 64];
+        for (i, s) in samples.iter_mut().enumerate() {
+            *s = ((i as i16 * 13) % 200) - 100;
+        }
+        let f = fdct(&samples);
+        let e_spatial: f64 = samples.iter().map(|&s| (s as f64) * (s as f64)).sum();
+        let e_freq: f64 = f.iter().map(|&s| (s as f64) * (s as f64)).sum();
+        assert!(
+            (e_spatial - e_freq).abs() / e_spatial < 1e-4,
+            "{e_spatial} vs {e_freq}"
+        );
+    }
+}

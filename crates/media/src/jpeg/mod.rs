@@ -1,0 +1,31 @@
+//! Baseline-JPEG-style codec.
+//!
+//! The JPiP application decodes MJPEG streams. Since neither the paper's
+//! input files nor an off-the-shelf JPEG crate are available offline, this
+//! module implements the codec from scratch, with the real algorithmic
+//! ingredients of baseline JPEG:
+//!
+//! * 8×8 forward/inverse DCT ([`dct`]);
+//! * Annex-K quantization tables with libjpeg-style quality scaling and
+//!   zigzag ordering ([`quant`]);
+//! * the Annex-K canonical Huffman tables with (run, size) AC coding, DC
+//!   prediction, ZRL and EOB symbols ([`huffman`]);
+//! * an MSB-first bitstream ([`bitio`]).
+//!
+//! The container is a minimal in-memory framing (per-plane scans,
+//! non-interleaved 4:4:4) rather than JFIF byte-compatibility — the JPiP
+//! experiments exercise the *decode computation* (entropy decode →
+//! dequantize → IDCT), not file parsing. The decoder is split exactly at
+//! the paper's Fig. 7 component boundary: [`codec::decode_scan`] produces a
+//! dequantized coefficient plane, and [`codec::idct_block_rows`] turns
+//! block rows into pixels (sliceable, 45 ways in the paper).
+
+pub mod bitio;
+pub mod codec;
+pub mod dct;
+pub mod huffman;
+pub mod mjpeg;
+pub mod quant;
+
+pub use codec::{decode_scan, encode_plane, idct_block_rows, DecodeStats, JpegImage};
+pub use mjpeg::MjpegVideo;

@@ -1,0 +1,116 @@
+//! Spatial down scaler (the paper's Fig. 2 example component).
+//!
+//! Box filter: every output pixel is the average of a `k`×`k` input block.
+//! The kernel is a plain function over row ranges so the sliced Hinch
+//! component and the fused sequential baselines share the exact same
+//! arithmetic (bit-identical outputs).
+
+use std::ops::Range;
+
+/// Down-scale rows `out_rows` of the output.
+///
+/// * `src` — full input plane, `sw`×`sh`;
+/// * `factor` — down-scale factor `k` (output is `sw/k` × `sh/k`);
+/// * `dst` — the leased output rows (`out_rows.len() * (sw/factor)` bytes).
+///
+/// Returns the number of *input* pixels consumed (for cost accounting).
+pub fn downscale_rows(
+    src: &[u8],
+    sw: usize,
+    sh: usize,
+    factor: usize,
+    out_rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
+    assert!(factor >= 1);
+    assert_eq!(src.len(), sw * sh, "source size mismatch");
+    let ow = sw / factor;
+    assert_eq!(
+        dst.len(),
+        out_rows.len() * ow,
+        "destination must cover exactly the requested rows"
+    );
+    let area = (factor * factor) as u32;
+    for (ri, oy) in out_rows.clone().enumerate() {
+        let iy0 = oy * factor;
+        for ox in 0..ow {
+            let ix0 = ox * factor;
+            let mut acc: u32 = 0;
+            for dy in 0..factor {
+                let row = &src[(iy0 + dy) * sw + ix0..(iy0 + dy) * sw + ix0 + factor];
+                acc += row.iter().map(|&p| p as u32).sum::<u32>();
+            }
+            dst[ri * ow + ox] = ((acc + area / 2) / area) as u8;
+        }
+    }
+    (out_rows.len() * ow * factor * factor) as u64
+}
+
+/// Output dimensions for a `w`×`h` input scaled down by `factor`.
+pub fn scaled_dims(w: usize, h: usize, factor: usize) -> (usize, usize) {
+    (w / factor, h / factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_one_is_identity() {
+        let src: Vec<u8> = (0..16).collect();
+        let mut dst = vec![0u8; 16];
+        downscale_rows(&src, 4, 4, 1, 0..4, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn averages_blocks() {
+        // 4x4 → 2x2 with factor 2
+        #[rustfmt::skip]
+        let src = vec![
+            0, 0,   10, 10,
+            0, 0,   10, 10,
+            100, 100, 200, 200,
+            100, 100, 200, 200,
+        ];
+        let mut dst = vec![0u8; 4];
+        downscale_rows(&src, 4, 4, 2, 0..2, &mut dst);
+        assert_eq!(dst, vec![0, 10, 100, 200]);
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        let src = vec![0, 1, 1, 1]; // avg 0.75 → 1
+        let mut dst = vec![0u8; 1];
+        downscale_rows(&src, 2, 2, 2, 0..1, &mut dst);
+        assert_eq!(dst, vec![1]);
+    }
+
+    #[test]
+    fn row_ranges_compose_to_full_output() {
+        let src: Vec<u8> = (0..64 * 64).map(|i| (i % 251) as u8).collect();
+        let mut full = vec![0u8; 16 * 16];
+        downscale_rows(&src, 64, 64, 4, 0..16, &mut full);
+        // now in two bands
+        let mut top = vec![0u8; 8 * 16];
+        let mut bottom = vec![0u8; 8 * 16];
+        downscale_rows(&src, 64, 64, 4, 0..8, &mut top);
+        downscale_rows(&src, 64, 64, 4, 8..16, &mut bottom);
+        assert_eq!(&full[..8 * 16], &top[..]);
+        assert_eq!(&full[8 * 16..], &bottom[..]);
+    }
+
+    #[test]
+    fn paper_factors() {
+        assert_eq!(scaled_dims(720, 576, 4), (180, 144)); // PiP
+        assert_eq!(scaled_dims(1280, 720, 16), (80, 45)); // JPiP
+    }
+
+    #[test]
+    #[should_panic(expected = "destination must cover")]
+    fn wrong_dst_size_panics() {
+        let src = vec![0u8; 16];
+        let mut dst = vec![0u8; 3];
+        downscale_rows(&src, 4, 4, 2, 0..2, &mut dst);
+    }
+}

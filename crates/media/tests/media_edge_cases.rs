@@ -1,0 +1,156 @@
+//! Edge cases of the media substrate: codec extremes, filter borders,
+//! degenerate geometries.
+
+use media::blend::blend_rows;
+use media::blur::{blur_plane, v_input_rows};
+use media::jpeg::codec::{decode_plane, encode_plane};
+use media::jpeg::quant::Channel;
+use media::scale::{downscale_rows, scaled_dims};
+
+#[test]
+fn jpeg_minimum_image_one_block() {
+    let img: Vec<u8> = (0..64).map(|i| (i * 4) as u8).collect();
+    let scan = encode_plane(&img, 8, 8, Channel::Luma, 90);
+    let (back, stats) = decode_plane(&scan, 8, 8, Channel::Luma, 90);
+    assert_eq!(stats.blocks, 1);
+    let mae: f64 =
+        img.iter().zip(back.iter()).map(|(&a, &b)| (a as f64 - b as f64).abs()).sum::<f64>() / 64.0;
+    assert!(mae < 6.0, "mae {mae}");
+}
+
+#[test]
+fn jpeg_zrl_long_zero_runs() {
+    // a single bright pixel per block puts isolated high-frequency
+    // coefficients after long zero runs — exercising ZRL (16-zero) symbols
+    let (w, h) = (32usize, 32usize);
+    let mut img = vec![128u8; w * h];
+    for by in 0..h / 8 {
+        for bx in 0..w / 8 {
+            img[(by * 8 + 7) * w + bx * 8 + 7] = 255;
+        }
+    }
+    let scan = encode_plane(&img, w, h, Channel::Luma, 95);
+    let (back, stats) = decode_plane(&scan, w, h, Channel::Luma, 95);
+    assert_eq!(stats.blocks as usize, 16);
+    // the bright corners survive (within quantization error)
+    for by in 0..h / 8 {
+        for bx in 0..w / 8 {
+            let v = back[(by * 8 + 7) * w + bx * 8 + 7];
+            assert!(v > 180, "corner of block ({bx},{by}) came back as {v}");
+        }
+    }
+}
+
+#[test]
+fn jpeg_worst_quality_still_decodes() {
+    let (w, h) = (16usize, 16usize);
+    let img: Vec<u8> = (0..w * h).map(|i| ((i * 31) % 256) as u8).collect();
+    for quality in [1u8, 5, 100] {
+        let scan = encode_plane(&img, w, h, Channel::Luma, quality);
+        let (back, stats) = decode_plane(&scan, w, h, Channel::Luma, quality);
+        assert_eq!(stats.blocks, 4, "q={quality}");
+        assert_eq!(back.len(), w * h);
+    }
+}
+
+#[test]
+fn jpeg_quality_monotonically_improves_fidelity() {
+    let (w, h) = (32usize, 32usize);
+    let img: Vec<u8> = (0..w * h)
+        .map(|i| {
+            let x = i % w;
+            let y = i / w;
+            (128.0 + 60.0 * ((x as f64) * 0.4).sin() + 40.0 * ((y as f64) * 0.3).cos()) as u8
+        })
+        .collect();
+    let mae = |quality: u8| {
+        let scan = encode_plane(&img, w, h, Channel::Luma, quality);
+        let (back, _) = decode_plane(&scan, w, h, Channel::Luma, quality);
+        img.iter().zip(back.iter()).map(|(&a, &b)| (a as f64 - b as f64).abs()).sum::<f64>()
+            / img.len() as f64
+    };
+    let (m20, m60, m95) = (mae(20), mae(60), mae(95));
+    assert!(m95 <= m60 + 0.25, "{m95} vs {m60}");
+    assert!(m60 <= m20 + 0.25, "{m60} vs {m20}");
+    assert!(m95 < 2.0);
+}
+
+#[test]
+fn chroma_tables_compress_broadband_content_smaller() {
+    // the chroma table quantizes far more coarsely, so noisy (broadband)
+    // content produces more zero coefficients and a smaller scan
+    use rand::{Rng, SeedableRng};
+    let (w, h) = (64usize, 64usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let img: Vec<u8> = (0..w * h).map(|_| rng.gen_range(0u8..=255)).collect();
+    let luma = encode_plane(&img, w, h, Channel::Luma, 50).len();
+    let chroma = encode_plane(&img, w, h, Channel::Chroma, 50).len();
+    assert!(chroma < luma, "chroma scan {chroma} must be smaller than luma {luma}");
+}
+
+#[test]
+fn downscale_factor_equal_to_dimension() {
+    // factor == w: the entire image collapses into one pixel per band
+    let src: Vec<u8> = (0..16).collect(); // 4x4, avg 7.5 → 8
+    let mut dst = vec![0u8; 1];
+    downscale_rows(&src, 4, 4, 4, 0..1, &mut dst);
+    assert_eq!(dst, vec![8]);
+    assert_eq!(scaled_dims(4, 4, 4), (1, 1));
+}
+
+#[test]
+fn blend_picture_fully_off_screen_right() {
+    let bg = vec![7u8; 8 * 4];
+    let pip = vec![200u8; 4 * 2];
+    let mut dst = vec![0u8; 8 * 4];
+    // x = 8 puts the picture completely off the right edge
+    let work = blend_rows(&bg, 8, &pip, 4, 2, 8, 1, 0..4, &mut dst);
+    assert_eq!(work.blended, 0);
+    assert!(dst.iter().all(|&v| v == 7));
+}
+
+#[test]
+fn blend_single_row_bands() {
+    // 1-row bands (the paper's JPiP blends 720 rows over 45 slices — and
+    // tiny test frames can give 1-row bands)
+    let bg: Vec<u8> = (0..6 * 6).map(|i| i as u8).collect();
+    let pip = vec![250u8; 2 * 2];
+    let mut full = vec![0u8; 6 * 6];
+    blend_rows(&bg, 6, &pip, 2, 2, 2, 2, 0..6, &mut full);
+    let mut banded = vec![0u8; 6 * 6];
+    for row in 0..6 {
+        let mut part = vec![0u8; 6];
+        blend_rows(&bg, 6, &pip, 2, 2, 2, 2, row..row + 1, &mut part);
+        banded[row * 6..(row + 1) * 6].copy_from_slice(&part);
+    }
+    assert_eq!(full, banded);
+}
+
+#[test]
+fn blur_one_row_image() {
+    // degenerate height: vertical clamp makes V a no-op
+    let src: Vec<u8> = (0..32).map(|i| (i * 8) as u8).collect();
+    let out = blur_plane(&src, 32, 1, 3);
+    assert_eq!(out.len(), 32);
+    // vertical pass over h=1 uses the same row three times: identity on
+    // the horizontal result
+    let mut href = vec![0u8; 32];
+    media::blur::blur_h_rows(&src, 32, 1, 3, 0..1, &mut href);
+    assert_eq!(out, href);
+}
+
+#[test]
+fn v_input_rows_degenerate() {
+    assert_eq!(v_input_rows(&(0..1), 1, 5), 0..1);
+    assert_eq!(v_input_rows(&(0..0), 10, 3), 0..1);
+}
+
+#[test]
+fn mjpeg_zero_quality_floor_is_clamped() {
+    use media::jpeg::quant::scaled_table;
+    // quality is clamped to 1..=100; entries never reach 0
+    let t = scaled_table(Channel::Luma, 0);
+    assert!(t.iter().all(|&v| v >= 1));
+    let t = scaled_table(Channel::Luma, 255);
+    assert!(t.iter().all(|&v| v >= 1));
+}

@@ -1,0 +1,36 @@
+//! # predict — analytical SPC performance prediction for XSPCL
+//!
+//! The SP@CE framework (the paper's Fig. 1) feeds the XSPCL specification
+//! not only to the run-time system but also to a *performance estimation
+//! tool* that "provides feedback for parallelization decisions" — the
+//! reason XSPCL adopts the Series-Parallel Contention model in the first
+//! place (§2: "SPC allows efficient performance prediction ... it can be
+//! used to verify that the application meets its deadlines" and "to tune
+//! application parameters"). The paper leaves that tool to a companion
+//! system (PAM-SoC); this crate implements the analytical core:
+//!
+//! * [`cost::CostDb`] — per-node cost estimates, either hand-written or
+//!   *calibrated* from a one-core simulation profile
+//!   ([`cost::CostDb::from_profile`]);
+//! * [`model::predict`] — recursive evaluation of the SPC tree:
+//!   - sequential composition adds, parallel composition takes the
+//!     maximum, bounded by the work/`P` contention term (the classic
+//!     Graham/Brent bound, recursively per group),
+//!   - `crossdep` groups are first converted to SP form by a
+//!     synchronization point between parblocks — exactly the
+//!     transformation §3.3 prescribes for prediction,
+//!   - pipeline parallelism bounds the steady-state iteration period by
+//!     `max(W/P, heaviest node, span/K)`;
+//! * deadline verification ([`model::Prediction::meets_deadline`]) — the
+//!   §6 future-work item of estimating whether the graph can sustain a
+//!   frame rate, by recursive traversal of the component graph.
+//!
+//! The validation experiment (prediction vs. simulation across 1..=9
+//! cores for the paper's applications) lives in the `bench` crate
+//! (`paper-figures --predict`) and in this repo's integration tests.
+
+pub mod cost;
+pub mod model;
+
+pub use cost::CostDb;
+pub use model::{predict, Prediction, PredictConfig};

@@ -1,0 +1,361 @@
+//! The analytical SPC model.
+//!
+//! A [`hinch::GraphSpec`] is expanded (mirroring the run-time's slice and
+//! crossdep replication, including instance naming, so calibrated costs
+//! line up) into a cost tree and evaluated recursively:
+//!
+//! * `Seq` — times add;
+//! * `Par` — the Graham/Brent contention bound per group:
+//!   `max(max_i T_i(P), Σ_i W_i / P)`;
+//! * `crossdep` — converted to SP form by inserting a synchronization
+//!   point between the parblocks first, exactly as §3.3 prescribes for
+//!   performance prediction on that non-SP structure.
+//!
+//! Pipeline parallelism (the run-time keeps `K` iterations in flight)
+//! bounds the steady-state *period* by three terms: the machine's work
+//! rate (`W/P`), the heaviest single node (a component instance runs its
+//! iterations serially), and the per-iteration critical path spread over
+//! `K` overlapped iterations.
+
+use crate::cost::CostDb;
+use hinch::engine::OverheadModel;
+use hinch::graph::GraphSpec;
+
+/// What to predict for.
+#[derive(Debug, Clone)]
+pub struct PredictConfig {
+    /// Processor count (the paper sweeps 1..=9).
+    pub cores: usize,
+    /// Concurrent iterations (the paper uses 5).
+    pub pipeline_depth: usize,
+    /// Iterations (frames) in the run.
+    pub iterations: u64,
+    /// Run-time-system cost model (same defaults as the engines).
+    pub overhead: OverheadModel,
+}
+
+impl PredictConfig {
+    pub fn new(cores: usize, iterations: u64) -> Self {
+        Self {
+            cores,
+            pipeline_depth: 5,
+            iterations,
+            overhead: OverheadModel::default(),
+        }
+    }
+}
+
+/// The prediction for one configuration.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Total work per iteration (cycles).
+    pub work: f64,
+    /// Critical path per iteration on infinitely many processors.
+    pub span: f64,
+    /// Bounded time of one iteration on `cores` processors.
+    pub iteration_time: f64,
+    /// Heaviest single node (per-instance serialization bound).
+    pub bottleneck: f64,
+    /// Steady-state period between iteration completions.
+    pub period: f64,
+    /// Predicted makespan for the whole run.
+    pub makespan: f64,
+    /// Jobs per iteration (components + manager invocations).
+    pub jobs_per_iteration: u64,
+}
+
+impl Prediction {
+    /// Predicted speedup versus a reference (e.g. the measured sequential
+    /// cycles).
+    pub fn speedup_vs(&self, reference_cycles: f64) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            reference_cycles / self.makespan
+        }
+    }
+
+    /// Deadline verification (§6): can the application sustain a frame
+    /// budget of `cycles_per_frame` in steady state?
+    pub fn meets_deadline(&self, cycles_per_frame: f64) -> bool {
+        self.period <= cycles_per_frame
+    }
+
+    /// The smallest sustainable frame budget.
+    pub fn min_frame_budget(&self) -> f64 {
+        self.period
+    }
+}
+
+/// Expanded cost tree.
+enum CTree {
+    Leaf(f64),
+    Seq(Vec<CTree>),
+    Par(Vec<CTree>),
+}
+
+struct Builder<'a> {
+    db: &'a CostDb,
+    per_job: f64,
+    leaves: u64,
+}
+
+impl Builder<'_> {
+    fn leaf(&mut self, label: &str, class: &str) -> CTree {
+        self.leaves += 1;
+        CTree::Leaf(self.db.cost(label, class) + self.per_job)
+    }
+
+    fn build(&mut self, spec: &GraphSpec, suffix: &str) -> CTree {
+        match spec {
+            GraphSpec::Leaf(c) => {
+                let label = format!("{}{}", c.name, suffix);
+                self.leaf(&label, &c.class)
+            }
+            GraphSpec::Seq(children) => {
+                CTree::Seq(children.iter().map(|c| self.build(c, suffix)).collect())
+            }
+            GraphSpec::Task(children) => {
+                CTree::Par(children.iter().map(|c| self.build(c, suffix)).collect())
+            }
+            GraphSpec::Slice { n, body, .. } => CTree::Par(
+                (0..*n)
+                    .map(|i| self.build(body, &format!("{suffix}#{i}")))
+                    .collect(),
+            ),
+            GraphSpec::CrossDep { n, blocks, .. } => {
+                // SP transformation: a synchronization point between the
+                // parblocks (§3.3) — a Seq of Par groups.
+                CTree::Seq(
+                    blocks
+                        .iter()
+                        .enumerate()
+                        .map(|(j, block)| {
+                            CTree::Par(
+                                (0..*n)
+                                    .map(|i| self.build(block, &format!("{suffix}.b{j}#{i}")))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+            GraphSpec::Managed { manager, body } => CTree::Seq(vec![
+                self.leaf(&format!("{}.entry", manager.name), "manager"),
+                self.build(body, suffix),
+                self.leaf(&format!("{}.exit", manager.name), "manager"),
+            ]),
+            GraphSpec::Option { enabled, body, .. } => {
+                if *enabled {
+                    self.build(body, suffix)
+                } else {
+                    CTree::Seq(Vec::new())
+                }
+            }
+        }
+    }
+}
+
+fn work(t: &CTree) -> f64 {
+    match t {
+        CTree::Leaf(c) => *c,
+        CTree::Seq(cs) | CTree::Par(cs) => cs.iter().map(work).sum(),
+    }
+}
+
+fn span(t: &CTree) -> f64 {
+    match t {
+        CTree::Leaf(c) => *c,
+        CTree::Seq(cs) => cs.iter().map(span).sum(),
+        CTree::Par(cs) => cs.iter().map(span).fold(0.0, f64::max),
+    }
+}
+
+/// Graham/Brent-style contention bound, applied recursively per group.
+fn bounded(t: &CTree, p: f64) -> f64 {
+    match t {
+        CTree::Leaf(c) => *c,
+        CTree::Seq(cs) => cs.iter().map(|c| bounded(c, p)).sum(),
+        CTree::Par(cs) => {
+            let longest = cs.iter().map(|c| bounded(c, p)).fold(0.0, f64::max);
+            let area = cs.iter().map(work).sum::<f64>() / p;
+            longest.max(area)
+        }
+    }
+}
+
+fn bottleneck(t: &CTree) -> f64 {
+    match t {
+        CTree::Leaf(c) => *c,
+        CTree::Seq(cs) | CTree::Par(cs) => cs.iter().map(bottleneck).fold(0.0, f64::max),
+    }
+}
+
+/// Predict the performance of `spec` under `cfg`, using `db` for node
+/// costs.
+pub fn predict(spec: &GraphSpec, db: &CostDb, cfg: &PredictConfig) -> Prediction {
+    let p = cfg.cores.max(1) as f64;
+    let per_job = cfg.overhead.job_base as f64
+        + if cfg.cores > 1 { cfg.overhead.dispatch as f64 } else { 0.0 };
+    let mut builder = Builder { db, per_job, leaves: 0 };
+    let tree = builder.build(spec, "");
+
+    let work = work(&tree);
+    let span = span(&tree);
+    let iteration_time = bounded(&tree, p);
+    let bottleneck = bottleneck(&tree);
+    let k = cfg.pipeline_depth.max(1) as f64;
+    // steady-state period: machine rate, per-instance serialization, and
+    // critical-path overlap across K in-flight iterations
+    let period = (work / p).max(bottleneck).max(iteration_time / k);
+    let iters = cfg.iterations.max(1) as f64;
+    let makespan = iteration_time + (iters - 1.0) * period;
+
+    Prediction {
+        work,
+        span,
+        iteration_time,
+        bottleneck,
+        period,
+        makespan,
+        jobs_per_iteration: builder.leaves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hinch::component::{Component, Params, RunCtx};
+    use hinch::graph::{factory, ComponentSpec};
+
+    struct Noop;
+    impl Component for Noop {
+        fn class(&self) -> &'static str {
+            "noop"
+        }
+        fn run(&mut self, _ctx: &mut RunCtx<'_>) {}
+    }
+
+    fn leaf(name: &str, outputs: &[&str], inputs: &[&str]) -> GraphSpec {
+        let mut c = ComponentSpec::new(
+            name,
+            "noop",
+            factory(|_p: &Params| -> Box<dyn Component> { Box::new(Noop) }, Params::new()),
+        );
+        for o in outputs {
+            c = c.output(*o);
+        }
+        for i in inputs {
+            c = c.input(*i);
+        }
+        GraphSpec::Leaf(c)
+    }
+
+    fn db(costs: &[(&str, f64)]) -> CostDb {
+        let mut db = CostDb::new().with_default(0.0);
+        for (k, v) in costs {
+            db.set(*k, *v);
+        }
+        db
+    }
+
+    fn cfg(cores: usize) -> PredictConfig {
+        let mut c = PredictConfig::new(cores, 1);
+        c.overhead.job_base = 0;
+        c.overhead.dispatch = 0;
+        c
+    }
+
+    #[test]
+    fn sequential_chain_adds() {
+        let g = GraphSpec::seq(vec![leaf("a", &["s"], &[]), leaf("b", &[], &["s"])]);
+        let p = predict(&g, &db(&[("a", 100.0), ("b", 50.0)]), &cfg(4));
+        assert_eq!(p.work, 150.0);
+        assert_eq!(p.span, 150.0);
+        assert_eq!(p.iteration_time, 150.0);
+        assert_eq!(p.bottleneck, 100.0);
+    }
+
+    #[test]
+    fn task_group_takes_max_with_contention() {
+        let g = GraphSpec::task(vec![
+            leaf("a", &["x"], &[]),
+            leaf("b", &["y"], &[]),
+            leaf("c", &["z"], &[]),
+        ]);
+        let d = db(&[("a", 100.0), ("b", 100.0), ("c", 100.0)]);
+        // 3 tasks of 100 on 3 cores → 100; on 1 core → 300; on 2 → 150
+        assert_eq!(predict(&g, &d, &cfg(3)).iteration_time, 100.0);
+        assert_eq!(predict(&g, &d, &cfg(1)).iteration_time, 300.0);
+        assert_eq!(predict(&g, &d, &cfg(2)).iteration_time, 150.0);
+    }
+
+    #[test]
+    fn slice_copies_share_base_cost() {
+        let g = GraphSpec::seq(vec![
+            leaf("src", &["in"], &[]),
+            GraphSpec::slice("sl", 4, leaf("w", &["out"], &["in"])),
+        ]);
+        // per-copy cost from the base name
+        let d = db(&[("src", 40.0), ("w", 25.0)]);
+        let p = predict(&g, &d, &cfg(4));
+        assert_eq!(p.work, 40.0 + 4.0 * 25.0);
+        assert_eq!(p.span, 40.0 + 25.0);
+        assert_eq!(p.iteration_time, 40.0 + 25.0);
+        assert_eq!(p.jobs_per_iteration, 5);
+    }
+
+    #[test]
+    fn crossdep_is_sp_transformed() {
+        let g = GraphSpec::crossdep(
+            "cd",
+            2,
+            vec![leaf("h", &["m"], &[]), leaf("v", &[], &["m"])],
+        );
+        let d = db(&[("h", 10.0), ("v", 20.0)]);
+        let p = predict(&g, &d, &cfg(2));
+        // Seq(Par(h,h), Par(v,v)): 10 + 20 on 2 cores
+        assert_eq!(p.iteration_time, 30.0);
+        assert_eq!(p.work, 60.0);
+        assert_eq!(p.span, 30.0);
+    }
+
+    #[test]
+    fn pipeline_period_bounded_by_heaviest_node() {
+        let g = GraphSpec::seq(vec![leaf("a", &["s"], &[]), leaf("b", &[], &["s"])]);
+        let d = db(&[("a", 10.0), ("b", 100.0)]);
+        let mut c = cfg(9);
+        c.iterations = 101;
+        c.pipeline_depth = 5;
+        let p = predict(&g, &d, &c);
+        // b serializes across iterations: period = 100
+        assert_eq!(p.period, 100.0);
+        assert_eq!(p.makespan, 110.0 + 100.0 * 100.0);
+        assert!(p.meets_deadline(100.0));
+        assert!(!p.meets_deadline(99.0));
+    }
+
+    #[test]
+    fn disabled_options_cost_nothing() {
+        let g = GraphSpec::seq(vec![
+            leaf("a", &["s"], &[]),
+            GraphSpec::option("o", false, leaf("x", &[], &["s"])),
+        ]);
+        let p = predict(&g, &db(&[("a", 10.0), ("x", 1000.0)]), &cfg(1));
+        assert_eq!(p.work, 10.0);
+    }
+
+    #[test]
+    fn rts_overheads_added_per_job() {
+        let g = leaf("a", &["s"], &[]);
+        let mut c = PredictConfig::new(1, 1);
+        c.overhead.job_base = 7;
+        c.overhead.dispatch = 100; // not charged at 1 core
+        let p = predict(&g, &db(&[("a", 10.0)]), &c);
+        assert_eq!(p.work, 17.0);
+        let mut c2 = c.clone();
+        c2.cores = 2;
+        let p2 = predict(&g, &db(&[("a", 10.0)]), &c2);
+        assert_eq!(p2.work, 117.0);
+    }
+}

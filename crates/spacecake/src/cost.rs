@@ -1,0 +1,54 @@
+//! The run-time-system cost presets used for the paper experiments.
+//!
+//! Compute costs of the *components* (cycles per pixel of a blend, per 8×8
+//! IDCT block, ...) live next to the component implementations in the
+//! `media` crate — they describe the component's work, not the platform.
+//! This module holds the platform-side knobs: the Hinch overhead model and
+//! the tile geometry presets, all in one place so the ablation bench can
+//! sweep them.
+
+use crate::machine::TileConfig;
+use hinch::engine::{OverheadModel, RunConfig};
+
+/// The overhead model used for every reported experiment (the `hinch`
+/// defaults, restated here so the harness has a single source of truth).
+pub fn paper_overheads() -> OverheadModel {
+    OverheadModel::default()
+}
+
+/// The run configuration used by the paper's experiments: `frames`
+/// iterations with five concurrently scheduled iterations (§4).
+pub fn paper_run_config(frames: u64) -> RunConfig {
+    RunConfig::new(frames).pipeline_depth(5).overhead(paper_overheads())
+}
+
+/// Tile preset for `cores` cores (1..=9 in the paper's sweeps).
+pub fn paper_tile(cores: usize) -> TileConfig {
+    TileConfig::with_cores(cores)
+}
+
+/// The node counts of the paper's Figure 9 / Figure 10 sweeps.
+pub const PAPER_NODE_SWEEP: [usize; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let cfg = paper_run_config(96);
+        assert_eq!(cfg.iterations, 96);
+        assert_eq!(cfg.pipeline_depth, 5);
+        assert_eq!(paper_tile(9).cores, 9);
+        assert_eq!(PAPER_NODE_SWEEP.len(), 9);
+    }
+
+    #[test]
+    fn one_core_pays_no_dispatch() {
+        // documented invariant used throughout the harness
+        let o = paper_overheads();
+        assert!(o.dispatch > 0);
+        // (the engine, not the model, zeroes it at cores == 1; see
+        // hinch::engine::sim tests)
+    }
+}

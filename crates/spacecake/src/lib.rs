@@ -1,0 +1,32 @@
+//! # spacecake — a simulated SpaceCAKE MPSoC tile
+//!
+//! The paper evaluates XSPCL/Hinch on a cycle-accurate simulator of the
+//! Philips SpaceCAKE architecture: one tile with up to 9 TriMedia VLIW
+//! cores, a private L1 data cache per core, and an L2 cache shared by all
+//! cores of the tile. That simulator is proprietary; this crate provides a
+//! deterministic substitute exposing the same three effects the paper's
+//! results depend on:
+//!
+//! 1. **Parallel scheduling** — [`Machine`] implements
+//!    [`hinch::meter::Platform`], so the Hinch simulation engine can place
+//!    jobs on 1..=9 virtual cores;
+//! 2. **Cache locality** — components report their memory sweeps; a
+//!    set-associative LRU [`cache::Cache`] hierarchy converts them into L2
+//!    and DRAM stall cycles (this is what makes the XSPCL JPiP slower than
+//!    the fused sequential version, as in the paper's §4.1 profiling);
+//! 3. **Synchronization overhead** — the run-time-system cost model
+//!    (dispatch per job, manager polls, reconfiguration resync) is charged
+//!    only when more than one core is in use.
+//!
+//! Sequential baselines run on the same cache model through [`solo::Solo`],
+//! without any Hinch involvement — mirroring the paper's hand-written
+//! sequential versions.
+
+pub mod cache;
+pub mod cost;
+pub mod machine;
+pub mod solo;
+
+pub use cache::{Cache, CacheConfig};
+pub use machine::{Machine, TileConfig};
+pub use solo::Solo;

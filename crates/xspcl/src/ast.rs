@@ -1,0 +1,213 @@
+//! The XSPCL document model.
+//!
+//! A document declares event queues and procedures; the procedure named
+//! `main` is the application root (§3.2). Statement sequences express
+//! sequential composition; `parallel` groups carry one of the three shapes
+//! of §3.3; managers and options carry the reconfiguration structure of
+//! §3.4.
+
+use crate::xml::Span;
+
+/// A whole XSPCL document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Declared event queues (application-global).
+    pub queues: Vec<QueueDecl>,
+    pub procedures: Vec<Procedure>,
+}
+
+impl Document {
+    pub fn procedure(&self, name: &str) -> Option<&Procedure> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+
+    pub fn main(&self) -> Option<&Procedure> {
+        self.procedure("main")
+    }
+}
+
+/// `<queue name="..."/>`
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueDecl {
+    pub name: String,
+    pub span: Span,
+}
+
+/// `<procedure name="...">` with formals, local streams and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    pub name: String,
+    /// Value formals, substitutable as `$name` in attribute values.
+    pub formals: Vec<Formal>,
+    /// Formal streams, bound by `<bind>` at call sites.
+    pub formal_streams: Vec<String>,
+    /// Streams local to this procedure instance.
+    pub streams: Vec<String>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// `<formal name="..." default="..."/>`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Formal {
+    pub name: String,
+    pub default: Option<String>,
+}
+
+/// One statement in a body (sequential composition by position).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Component(ComponentStmt),
+    Call(CallStmt),
+    Parallel(ParallelStmt),
+    Manager(ManagerStmt),
+    Option(OptionStmt),
+}
+
+impl Stmt {
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Component(s) => s.span,
+            Stmt::Call(s) => s.span,
+            Stmt::Parallel(s) => s.span,
+            Stmt::Manager(s) => s.span,
+            Stmt::Option(s) => s.span,
+        }
+    }
+}
+
+/// `<component name="..." class="...">` with ports and parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentStmt {
+    pub name: String,
+    pub class: String,
+    /// `(port, stream)` in port order.
+    pub inputs: Vec<(String, String)>,
+    pub outputs: Vec<(String, String)>,
+    /// `(name, value)`; values may reference formals with `$`.
+    /// A parameter may instead name a queue: `<param name=".." queue=".."/>`.
+    pub params: Vec<ParamStmt>,
+    /// `<reconfig key="..." value="..."/>` requests delivered at creation.
+    pub reconfigs: Vec<(String, String)>,
+    pub span: Span,
+}
+
+/// A component/call parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamStmt {
+    pub name: String,
+    pub value: ParamKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamKind {
+    /// `value="..."` — typed at elaboration (int / float / string).
+    Value(String),
+    /// `queue="..."` — resolves to an event-queue handle.
+    Queue(String),
+}
+
+/// `<call procedure="...">` with stream bindings and actual parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallStmt {
+    pub procedure: String,
+    /// `(formal stream, actual stream)`.
+    pub binds: Vec<(String, String)>,
+    pub params: Vec<ParamStmt>,
+    pub span: Span,
+}
+
+/// The three shapes of `<parallel>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    Task,
+    Slice,
+    CrossDep,
+}
+
+impl Shape {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Shape::Task => "task",
+            Shape::Slice => "slice",
+            Shape::CrossDep => "crossdep",
+        }
+    }
+}
+
+/// `<parallel shape="..." n="..." name="...">` containing parblocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelStmt {
+    pub name: String,
+    pub shape: Shape,
+    /// Replication count for slice/crossdep; may reference a formal.
+    pub n: Option<String>,
+    pub parblocks: Vec<Vec<Stmt>>,
+    pub span: Span,
+}
+
+/// `<manager name="..." queue="...">` with rules and a managed body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerStmt {
+    pub name: String,
+    pub queue: String,
+    pub rules: Vec<RuleStmt>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// `<on event="...">` with actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleStmt {
+    pub event: String,
+    pub actions: Vec<ActionStmt>,
+    pub span: Span,
+}
+
+/// A manager action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionStmt {
+    Enable(String),
+    Disable(String),
+    Toggle(String),
+    Forward(String),
+    Broadcast(String),
+}
+
+/// `<option name="..." enabled="...">`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptionStmt {
+    pub name: String,
+    pub enabled: bool,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_lookup() {
+        let doc = Document {
+            queues: vec![],
+            procedures: vec![Procedure {
+                name: "main".into(),
+                formals: vec![],
+                formal_streams: vec![],
+                streams: vec![],
+                body: vec![],
+                span: Span::UNKNOWN,
+            }],
+        };
+        assert!(doc.main().is_some());
+        assert!(doc.procedure("other").is_none());
+    }
+
+    #[test]
+    fn shape_names() {
+        assert_eq!(Shape::Task.as_str(), "task");
+        assert_eq!(Shape::Slice.as_str(), "slice");
+        assert_eq!(Shape::CrossDep.as_str(), "crossdep");
+    }
+}

@@ -1,0 +1,156 @@
+//! `xspclc` — the XSPCL processing tool.
+//!
+//! Converts an XSPCL specification into artifacts:
+//!
+//! ```text
+//! xspclc check  app.xml            validate, print a summary
+//! xspclc dot    app.xml [out.dot]  elaborated topology as Graphviz DOT
+//! xspclc rust   app.xml [out.rs]   Rust glue source (the paper's C glue)
+//! xspclc format app.xml            pretty-print the document
+//! ```
+//!
+//! Component classes are resolved against a stub registry — the tool
+//! analyzes structure; linking real factories happens in the application
+//! build (see the `apps` crate).
+
+use std::process::ExitCode;
+use xspcl::elaborate::ComponentRegistry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path, out_path) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str(), None),
+        [cmd, path, out] => (cmd.as_str(), path.as_str(), Some(out.as_str())),
+        _ => {
+            eprintln!("usage: xspclc <check|dot|rust|format> <file.xml> [output]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xspclc: cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = run(cmd, &source);
+    match result {
+        Ok(output) => {
+            match out_path {
+                Some(out) => {
+                    if let Err(e) = std::fs::write(out, output) {
+                        eprintln!("xspclc: cannot write '{out}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("xspclc: wrote {out}");
+                }
+                None => print!("{output}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("xspclc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, source: &str) -> Result<String, String> {
+    let doc = xspcl::parse_and_validate(source).map_err(|e| e.to_string())?;
+    match cmd {
+        "check" => {
+            let e = xspcl::elaborate(&doc, &ComponentRegistry::stubbed())
+                .map_err(|e| e.to_string())?;
+            let mut classes = std::collections::BTreeSet::new();
+            e.spec.visit_leaves(&mut |c| {
+                classes.insert(c.class.clone());
+            });
+            Ok(format!(
+                "ok: {} procedures, {} queues, {} component instances, {} classes: {}\n",
+                doc.procedures.len(),
+                e.queues.len(),
+                e.spec.leaf_count(),
+                classes.len(),
+                classes.into_iter().collect::<Vec<_>>().join(", ")
+            ))
+        }
+        "dot" => {
+            let e = xspcl::elaborate(&doc, &ComponentRegistry::stubbed())
+                .map_err(|e| e.to_string())?;
+            Ok(xspcl::codegen::to_dot(&e.spec))
+        }
+        "rust" => {
+            let e = xspcl::elaborate(&doc, &ComponentRegistry::stubbed())
+                .map_err(|e| e.to_string())?;
+            let queues: Vec<String> = e.queues.keys().cloned().collect();
+            Ok(xspcl::codegen::emit_rust(&e.spec, &queues))
+        }
+        "format" => Ok(xspcl::codegen::to_xml(&doc)),
+        other => Err(format!("unknown command '{other}' (check|dot|rust|format)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run;
+
+    const SAMPLE: &str = r#"<xspcl>
+      <queue name="mq"/>
+      <procedure name="main">
+        <stream name="s"/>
+        <body>
+          <manager name="m" queue="mq">
+            <on event="t"><toggle option="o"/></on>
+            <body>
+              <component name="a" class="source"><out port="o" stream="s"/></component>
+              <option name="o" enabled="true">
+                <component name="b" class="sink"><in port="i" stream="s"/></component>
+              </option>
+            </body>
+          </manager>
+        </body>
+      </procedure>
+    </xspcl>"#;
+
+    #[test]
+    fn check_reports_summary() {
+        let out = run("check", SAMPLE).unwrap();
+        assert!(out.contains("1 procedures"), "{out}");
+        assert!(out.contains("1 queues"), "{out}");
+        assert!(out.contains("2 component instances"), "{out}");
+        assert!(out.contains("sink, source"), "{out}");
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = run("dot", SAMPLE).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("main/a"));
+    }
+
+    #[test]
+    fn rust_emits_glue() {
+        let out = run("rust", SAMPLE).unwrap();
+        assert!(out.contains("pub fn build"));
+        assert!(out.contains("ManagerSpec::new"));
+        assert!(out.contains("GraphSpec::option(\"o\", true"));
+    }
+
+    #[test]
+    fn format_round_trips() {
+        let formatted = run("format", SAMPLE).unwrap();
+        let again = run("format", &formatted).unwrap();
+        assert_eq!(formatted, again, "formatting must be idempotent");
+    }
+
+    #[test]
+    fn errors_are_reported_with_location() {
+        let err = run("check", "<xspcl><procedure name=\"main\"><body><widget/></body></procedure></xspcl>")
+            .unwrap_err();
+        assert!(err.contains("unexpected <widget>"), "{err}");
+        let err = run("nope", SAMPLE).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+}

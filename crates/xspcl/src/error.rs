@@ -1,0 +1,79 @@
+//! Errors for the XSPCL processing pipeline.
+
+use crate::xml::{Span, XmlError};
+use std::fmt;
+
+/// Any error from parsing, validating or elaborating an XSPCL document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XspclError {
+    /// Malformed XML.
+    Xml(XmlError),
+    /// Structurally invalid XSPCL (wrong tags/attributes).
+    Parse { message: String, span: Span },
+    /// Semantically invalid XSPCL.
+    Semantic { message: String, span: Span },
+    /// Elaboration failure (unknown class, unbound formal, ...).
+    Elaborate { message: String, span: Span },
+    /// The elaborated graph failed the run-time system's structural checks.
+    Graph(hinch::HinchError),
+}
+
+impl XspclError {
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        XspclError::Parse { message: message.into(), span }
+    }
+
+    pub fn semantic(message: impl Into<String>, span: Span) -> Self {
+        XspclError::Semantic { message: message.into(), span }
+    }
+
+    pub fn elaborate(message: impl Into<String>, span: Span) -> Self {
+        XspclError::Elaborate { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for XspclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XspclError::Xml(e) => write!(f, "{e}"),
+            XspclError::Parse { message, span } => {
+                write!(f, "XSPCL parse error at {span}: {message}")
+            }
+            XspclError::Semantic { message, span } => {
+                write!(f, "XSPCL semantic error at {span}: {message}")
+            }
+            XspclError::Elaborate { message, span } => {
+                write!(f, "XSPCL elaboration error at {span}: {message}")
+            }
+            XspclError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XspclError {}
+
+impl From<XmlError> for XspclError {
+    fn from(e: XmlError) -> Self {
+        XspclError::Xml(e)
+    }
+}
+
+impl From<hinch::HinchError> for XspclError {
+    fn from(e: hinch::HinchError) -> Self {
+        XspclError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span() {
+        let e = XspclError::semantic("duplicate procedure 'main'", Span { line: 7, col: 3 });
+        assert_eq!(
+            e.to_string(),
+            "XSPCL semantic error at 7:3: duplicate procedure 'main'"
+        );
+    }
+}

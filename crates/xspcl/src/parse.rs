@@ -1,0 +1,400 @@
+//! XML tree → XSPCL AST.
+
+use crate::ast::*;
+use crate::error::XspclError;
+use crate::xml::Element;
+
+type Result<T> = std::result::Result<T, XspclError>;
+
+fn require_attr<'a>(e: &'a Element, name: &str) -> Result<&'a str> {
+    e.attr(name).ok_or_else(|| {
+        XspclError::parse(format!("<{}> requires attribute '{}'", e.name, name), e.span)
+    })
+}
+
+/// Parse the `<xspcl>` root element.
+pub fn document(root: &Element) -> Result<Document> {
+    if root.name != "xspcl" {
+        return Err(XspclError::parse(
+            format!("root element must be <xspcl>, found <{}>", root.name),
+            root.span,
+        ));
+    }
+    let mut queues = Vec::new();
+    let mut procedures = Vec::new();
+    for child in &root.children {
+        match child.name.as_str() {
+            "queue" => queues.push(QueueDecl {
+                name: require_attr(child, "name")?.to_string(),
+                span: child.span,
+            }),
+            "procedure" => procedures.push(procedure(child)?),
+            other => {
+                return Err(XspclError::parse(
+                    format!("unexpected <{other}> under <xspcl> (expected <queue> or <procedure>)"),
+                    child.span,
+                ))
+            }
+        }
+    }
+    Ok(Document { queues, procedures })
+}
+
+fn procedure(e: &Element) -> Result<Procedure> {
+    let name = require_attr(e, "name")?.to_string();
+    let mut formals = Vec::new();
+    let mut formal_streams = Vec::new();
+    let mut streams = Vec::new();
+    let mut body = Vec::new();
+    for child in &e.children {
+        match child.name.as_str() {
+            "formal" => formals.push(Formal {
+                name: require_attr(child, "name")?.to_string(),
+                default: child.attr("default").map(str::to_string),
+            }),
+            "formalstream" => formal_streams.push(require_attr(child, "name")?.to_string()),
+            "stream" => streams.push(require_attr(child, "name")?.to_string()),
+            "body" => body = stmts(&child.children)?,
+            other => {
+                return Err(XspclError::parse(
+                    format!("unexpected <{other}> in <procedure>"),
+                    child.span,
+                ))
+            }
+        }
+    }
+    Ok(Procedure { name, formals, formal_streams, streams, body, span: e.span })
+}
+
+fn stmts(elements: &[Element]) -> Result<Vec<Stmt>> {
+    elements.iter().map(stmt).collect()
+}
+
+fn stmt(e: &Element) -> Result<Stmt> {
+    match e.name.as_str() {
+        "component" => component(e).map(Stmt::Component),
+        "call" => call(e).map(Stmt::Call),
+        "parallel" => parallel(e).map(Stmt::Parallel),
+        "manager" => manager(e).map(Stmt::Manager),
+        "option" => option(e).map(Stmt::Option),
+        other => Err(XspclError::parse(
+            format!("unexpected <{other}> in a body (expected component/call/parallel/manager/option)"),
+            e.span,
+        )),
+    }
+}
+
+fn params_of(e: &Element) -> Result<Vec<ParamStmt>> {
+    e.children_named("param")
+        .map(|p| {
+            let name = require_attr(p, "name")?.to_string();
+            let value = match (p.attr("value"), p.attr("queue")) {
+                (Some(v), None) => ParamKind::Value(v.to_string()),
+                (None, Some(q)) => ParamKind::Queue(q.to_string()),
+                _ => {
+                    return Err(XspclError::parse(
+                        "a <param> needs exactly one of 'value' or 'queue'",
+                        p.span,
+                    ))
+                }
+            };
+            Ok(ParamStmt { name, value })
+        })
+        .collect()
+}
+
+fn component(e: &Element) -> Result<ComponentStmt> {
+    let name = require_attr(e, "name")?.to_string();
+    let class = require_attr(e, "class")?.to_string();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut reconfigs = Vec::new();
+    for child in &e.children {
+        match child.name.as_str() {
+            "in" => inputs.push((
+                child.attr("port").unwrap_or("input").to_string(),
+                require_attr(child, "stream")?.to_string(),
+            )),
+            "out" => outputs.push((
+                child.attr("port").unwrap_or("output").to_string(),
+                require_attr(child, "stream")?.to_string(),
+            )),
+            "param" => {} // handled below
+            "reconfig" => reconfigs.push((
+                require_attr(child, "key")?.to_string(),
+                require_attr(child, "value")?.to_string(),
+            )),
+            other => {
+                return Err(XspclError::parse(
+                    format!("unexpected <{other}> in <component>"),
+                    child.span,
+                ))
+            }
+        }
+    }
+    Ok(ComponentStmt {
+        name,
+        class,
+        inputs,
+        outputs,
+        params: params_of(e)?,
+        reconfigs,
+        span: e.span,
+    })
+}
+
+fn call(e: &Element) -> Result<CallStmt> {
+    let procedure = require_attr(e, "procedure")?.to_string();
+    let mut binds = Vec::new();
+    for child in &e.children {
+        match child.name.as_str() {
+            "bind" => binds.push((
+                require_attr(child, "formal")?.to_string(),
+                require_attr(child, "stream")?.to_string(),
+            )),
+            "param" => {}
+            other => {
+                return Err(XspclError::parse(
+                    format!("unexpected <{other}> in <call>"),
+                    child.span,
+                ))
+            }
+        }
+    }
+    Ok(CallStmt { procedure, binds, params: params_of(e)?, span: e.span })
+}
+
+fn parallel(e: &Element) -> Result<ParallelStmt> {
+    let shape = match require_attr(e, "shape")? {
+        "task" => Shape::Task,
+        "slice" => Shape::Slice,
+        "crossdep" => Shape::CrossDep,
+        other => {
+            return Err(XspclError::parse(
+                format!("unknown parallel shape '{other}' (task/slice/crossdep)"),
+                e.span,
+            ))
+        }
+    };
+    let mut parblocks = Vec::new();
+    for child in &e.children {
+        if child.name == "parblock" {
+            parblocks.push(stmts(&child.children)?);
+        } else {
+            return Err(XspclError::parse(
+                format!("unexpected <{}> in <parallel> (expected <parblock>)", child.name),
+                child.span,
+            ));
+        }
+    }
+    Ok(ParallelStmt {
+        name: e.attr("name").unwrap_or("par").to_string(),
+        shape,
+        n: e.attr("n").map(str::to_string),
+        parblocks,
+        span: e.span,
+    })
+}
+
+fn manager(e: &Element) -> Result<ManagerStmt> {
+    let name = require_attr(e, "name")?.to_string();
+    let queue = require_attr(e, "queue")?.to_string();
+    let mut rules = Vec::new();
+    let mut body = Vec::new();
+    for child in &e.children {
+        match child.name.as_str() {
+            "on" => {
+                let event = require_attr(child, "event")?.to_string();
+                let actions = child
+                    .children
+                    .iter()
+                    .map(|a| match a.name.as_str() {
+                        "enable" => Ok(ActionStmt::Enable(require_attr(a, "option")?.to_string())),
+                        "disable" => {
+                            Ok(ActionStmt::Disable(require_attr(a, "option")?.to_string()))
+                        }
+                        "toggle" => Ok(ActionStmt::Toggle(require_attr(a, "option")?.to_string())),
+                        "forward" => {
+                            Ok(ActionStmt::Forward(require_attr(a, "queue")?.to_string()))
+                        }
+                        "broadcast" => {
+                            Ok(ActionStmt::Broadcast(require_attr(a, "key")?.to_string()))
+                        }
+                        other => Err(XspclError::parse(
+                            format!("unknown manager action <{other}>"),
+                            a.span,
+                        )),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                rules.push(RuleStmt { event, actions, span: child.span });
+            }
+            "body" => body = stmts(&child.children)?,
+            other => {
+                return Err(XspclError::parse(
+                    format!("unexpected <{other}> in <manager>"),
+                    child.span,
+                ))
+            }
+        }
+    }
+    Ok(ManagerStmt { name, queue, rules, body, span: e.span })
+}
+
+fn option(e: &Element) -> Result<OptionStmt> {
+    let enabled = match e.attr("enabled").unwrap_or("false") {
+        "true" | "1" | "yes" => true,
+        "false" | "0" | "no" => false,
+        other => {
+            return Err(XspclError::parse(
+                format!("bad 'enabled' value '{other}' (true/false)"),
+                e.span,
+            ))
+        }
+    };
+    Ok(OptionStmt {
+        name: require_attr(e, "name")?.to_string(),
+        enabled,
+        body: stmts(&e.children)?,
+        span: e.span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml;
+
+    fn parse_doc(src: &str) -> Document {
+        document(&xml::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_figure2_component() {
+        // the spatial down scaler of the paper's Fig. 2
+        let doc = parse_doc(
+            r#"<xspcl><procedure name="main">
+                 <stream name="big"/><stream name="small"/>
+                 <body>
+                   <component name="scaler" class="downscale">
+                     <in port="input" stream="big"/>
+                     <out port="output" stream="small"/>
+                     <param name="factor" value="3"/>
+                   </component>
+                 </body>
+               </procedure></xspcl>"#,
+        );
+        let main = doc.main().unwrap();
+        assert_eq!(main.streams, vec!["big", "small"]);
+        let Stmt::Component(c) = &main.body[0] else { panic!() };
+        assert_eq!(c.class, "downscale");
+        assert_eq!(c.inputs, vec![("input".to_string(), "big".to_string())]);
+        assert_eq!(c.params[0].name, "factor");
+        assert_eq!(c.params[0].value, ParamKind::Value("3".into()));
+    }
+
+    #[test]
+    fn paper_figure3_procedure_and_call() {
+        let doc = parse_doc(
+            r#"<xspcl>
+                 <procedure name="main">
+                   <stream name="s"/>
+                   <body>
+                     <call procedure="p">
+                       <bind formal="x" stream="s"/>
+                       <param name="n" value="4"/>
+                     </call>
+                   </body>
+                 </procedure>
+                 <procedure name="p">
+                   <formal name="n" default="2"/>
+                   <formalstream name="x"/>
+                   <body/>
+                 </procedure>
+               </xspcl>"#,
+        );
+        assert_eq!(doc.procedures.len(), 2);
+        let Stmt::Call(c) = &doc.main().unwrap().body[0] else { panic!() };
+        assert_eq!(c.procedure, "p");
+        assert_eq!(c.binds, vec![("x".to_string(), "s".to_string())]);
+        let p = doc.procedure("p").unwrap();
+        assert_eq!(p.formals[0].default.as_deref(), Some("2"));
+        assert_eq!(p.formal_streams, vec!["x"]);
+    }
+
+    #[test]
+    fn paper_figure4_parallel_shapes() {
+        let doc = parse_doc(
+            r#"<xspcl><procedure name="main"><body>
+                 <parallel shape="task" name="t">
+                   <parblock/>
+                   <parblock/>
+                 </parallel>
+                 <parallel shape="slice" n="8" name="s">
+                   <parblock/>
+                 </parallel>
+                 <parallel shape="crossdep" n="9" name="c">
+                   <parblock/>
+                   <parblock/>
+                 </parallel>
+               </body></procedure></xspcl>"#,
+        );
+        let body = &doc.main().unwrap().body;
+        let Stmt::Parallel(t) = &body[0] else { panic!() };
+        assert_eq!(t.shape, Shape::Task);
+        assert_eq!(t.parblocks.len(), 2);
+        let Stmt::Parallel(s) = &body[1] else { panic!() };
+        assert_eq!(s.shape, Shape::Slice);
+        assert_eq!(s.n.as_deref(), Some("8"));
+        let Stmt::Parallel(c) = &body[2] else { panic!() };
+        assert_eq!(c.shape, Shape::CrossDep);
+    }
+
+    #[test]
+    fn paper_figure6_manager() {
+        let doc = parse_doc(
+            r#"<xspcl>
+                 <queue name="mq"/>
+                 <procedure name="main"><body>
+                   <manager name="m" queue="mq">
+                     <on event="key"><toggle option="pip2"/></on>
+                     <on event="move"><broadcast key="pos"/></on>
+                     <on event="pass"><forward queue="mq"/></on>
+                     <body>
+                       <option name="pip2" enabled="false"/>
+                     </body>
+                   </manager>
+                 </body></procedure>
+               </xspcl>"#,
+        );
+        assert_eq!(doc.queues[0].name, "mq");
+        let Stmt::Manager(m) = &doc.main().unwrap().body[0] else { panic!() };
+        assert_eq!(m.rules.len(), 3);
+        assert_eq!(m.rules[0].actions, vec![ActionStmt::Toggle("pip2".into())]);
+        assert_eq!(m.rules[1].actions, vec![ActionStmt::Broadcast("pos".into())]);
+        let Stmt::Option(o) = &m.body[0] else { panic!() };
+        assert!(!o.enabled);
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let root = xml::parse(r#"<xspcl><widget/></xspcl>"#).unwrap();
+        assert!(matches!(document(&root), Err(XspclError::Parse { .. })));
+    }
+
+    #[test]
+    fn param_needs_value_or_queue() {
+        let root = xml::parse(
+            r#"<xspcl><procedure name="main"><body>
+                 <component name="c" class="k"><param name="p"/></component>
+               </body></procedure></xspcl>"#,
+        )
+        .unwrap();
+        assert!(document(&root).is_err());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let root = xml::parse("<spcxml/>").unwrap();
+        assert!(document(&root).is_err());
+    }
+}

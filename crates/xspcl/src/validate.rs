@@ -1,0 +1,556 @@
+//! Semantic validation of an XSPCL document.
+//!
+//! These are the language-level rules; the structural graph rules (single
+//! stream writer, crossdep arity, ...) are re-checked by the run-time
+//! system on the elaborated graph.
+
+use crate::ast::*;
+use crate::error::XspclError;
+use std::collections::{HashMap, HashSet};
+
+type Result<T> = std::result::Result<T, XspclError>;
+
+/// Validate a parsed document.
+pub fn check(doc: &Document) -> Result<()> {
+    // unique queues
+    let mut queues = HashSet::new();
+    for q in &doc.queues {
+        if !queues.insert(q.name.as_str()) {
+            return Err(XspclError::semantic(format!("duplicate queue '{}'", q.name), q.span));
+        }
+    }
+    // unique procedures, main exists
+    let mut procs = HashMap::new();
+    for p in &doc.procedures {
+        if procs.insert(p.name.as_str(), p).is_some() {
+            return Err(XspclError::semantic(
+                format!("duplicate procedure '{}'", p.name),
+                p.span,
+            ));
+        }
+    }
+    let main = doc
+        .main()
+        .ok_or_else(|| XspclError::semantic("no 'main' procedure", crate::xml::Span::UNKNOWN))?;
+    if !main.formals.is_empty() || !main.formal_streams.is_empty() {
+        return Err(XspclError::semantic("'main' may not declare formals", main.span));
+    }
+
+    no_recursion(doc)?;
+
+    for p in &doc.procedures {
+        check_procedure(doc, p, &queues)?;
+    }
+    Ok(())
+}
+
+/// Recursion is not supported: there is no way to end it (§3.2).
+fn no_recursion(doc: &Document) -> Result<()> {
+    fn visit<'a>(
+        doc: &'a Document,
+        name: &'a str,
+        stack: &mut Vec<&'a str>,
+        done: &mut HashSet<&'a str>,
+    ) -> Result<()> {
+        if done.contains(name) {
+            return Ok(());
+        }
+        if let Some(pos) = stack.iter().position(|&s| s == name) {
+            let cycle: Vec<&str> = stack[pos..].iter().copied().chain([name]).collect();
+            let p = doc.procedure(name).expect("checked");
+            return Err(XspclError::semantic(
+                format!("recursive procedure call: {}", cycle.join(" -> ")),
+                p.span,
+            ));
+        }
+        let Some(p) = doc.procedure(name) else {
+            return Ok(()); // unknown callee reported elsewhere
+        };
+        stack.push(name);
+        let mut calls = Vec::new();
+        collect_calls(&p.body, &mut calls);
+        for callee in calls {
+            visit(doc, callee, stack, done)?;
+        }
+        stack.pop();
+        done.insert(name);
+        Ok(())
+    }
+    let mut done = HashSet::new();
+    for p in &doc.procedures {
+        visit(doc, &p.name, &mut Vec::new(), &mut done)?;
+    }
+    Ok(())
+}
+
+fn collect_calls<'a>(body: &'a [Stmt], out: &mut Vec<&'a str>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Call(c) => out.push(&c.procedure),
+            Stmt::Parallel(p) => {
+                for b in &p.parblocks {
+                    collect_calls(b, out);
+                }
+            }
+            Stmt::Manager(m) => collect_calls(&m.body, out),
+            Stmt::Option(o) => collect_calls(&o.body, out),
+            Stmt::Component(_) => {}
+        }
+    }
+}
+
+fn check_procedure(doc: &Document, p: &Procedure, queues: &HashSet<&str>) -> Result<()> {
+    // stream namespace: locals + formal streams, no duplicates
+    let mut streams: HashSet<&str> = HashSet::new();
+    for s in p.streams.iter().chain(p.formal_streams.iter()) {
+        if !streams.insert(s) {
+            return Err(XspclError::semantic(
+                format!("duplicate stream '{s}' in procedure '{}'", p.name),
+                p.span,
+            ));
+        }
+    }
+    let formals: HashSet<&str> = p.formals.iter().map(|f| f.name.as_str()).collect();
+    let ctx = Ctx { doc, proc: p, streams: &streams, formals: &formals, queues, in_manager: false };
+    check_body(&p.body, &ctx)
+}
+
+struct Ctx<'a> {
+    doc: &'a Document,
+    proc: &'a Procedure,
+    streams: &'a HashSet<&'a str>,
+    formals: &'a HashSet<&'a str>,
+    queues: &'a HashSet<&'a str>,
+    in_manager: bool,
+}
+
+fn stream_ok(ctx: &Ctx<'_>, s: &str) -> bool {
+    // `$x` refers to a formal stream only through <bind>; plain names must
+    // be declared. A `$name` value is allowed if it names a value formal
+    // (substituted textually) — rare but legal for computed stream names.
+    if let Some(f) = s.strip_prefix('$') {
+        return ctx.formals.contains(f) || ctx.streams.contains(f);
+    }
+    ctx.streams.contains(s)
+}
+
+fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
+    for stmt in body {
+        match stmt {
+            Stmt::Component(c) => {
+                for (_, s) in c.inputs.iter().chain(c.outputs.iter()) {
+                    if !stream_ok(ctx, s) {
+                        return Err(XspclError::semantic(
+                            format!(
+                                "component '{}' uses undeclared stream '{}' (procedure '{}')",
+                                c.name, s, ctx.proc.name
+                            ),
+                            c.span,
+                        ));
+                    }
+                }
+                for param in &c.params {
+                    check_param(param, ctx, c.span)?;
+                }
+            }
+            Stmt::Call(call) => {
+                let Some(callee) = ctx.doc.procedure(&call.procedure) else {
+                    return Err(XspclError::semantic(
+                        format!("call to unknown procedure '{}'", call.procedure),
+                        call.span,
+                    ));
+                };
+                // every formal stream bound exactly once, no unknown binds
+                let mut bound = HashSet::new();
+                for (formal, actual) in &call.binds {
+                    if !callee.formal_streams.iter().any(|f| f == formal) {
+                        return Err(XspclError::semantic(
+                            format!(
+                                "'{}' is not a formal stream of procedure '{}'",
+                                formal, call.procedure
+                            ),
+                            call.span,
+                        ));
+                    }
+                    if !bound.insert(formal.as_str()) {
+                        return Err(XspclError::semantic(
+                            format!("formal stream '{formal}' bound twice"),
+                            call.span,
+                        ));
+                    }
+                    if !stream_ok(ctx, actual) {
+                        return Err(XspclError::semantic(
+                            format!("bind to undeclared stream '{actual}'"),
+                            call.span,
+                        ));
+                    }
+                }
+                for f in &callee.formal_streams {
+                    if !bound.contains(f.as_str()) {
+                        return Err(XspclError::semantic(
+                            format!(
+                                "call to '{}' does not bind formal stream '{}'",
+                                call.procedure, f
+                            ),
+                            call.span,
+                        ));
+                    }
+                }
+                // params must name formals; formals without default need a value
+                for param in &call.params {
+                    if !callee.formals.iter().any(|f| f.name == param.name) {
+                        return Err(XspclError::semantic(
+                            format!(
+                                "'{}' is not a formal of procedure '{}'",
+                                param.name, call.procedure
+                            ),
+                            call.span,
+                        ));
+                    }
+                    check_param(param, ctx, call.span)?;
+                }
+                for f in &callee.formals {
+                    if f.default.is_none() && !call.params.iter().any(|p| p.name == f.name) {
+                        return Err(XspclError::semantic(
+                            format!(
+                                "call to '{}' misses required parameter '{}'",
+                                call.procedure, f.name
+                            ),
+                            call.span,
+                        ));
+                    }
+                }
+            }
+            Stmt::Parallel(par) => {
+                match par.shape {
+                    Shape::Task => {
+                        if par.parblocks.is_empty() {
+                            return Err(XspclError::semantic(
+                                "task group needs at least one parblock",
+                                par.span,
+                            ));
+                        }
+                    }
+                    Shape::Slice => {
+                        if par.parblocks.len() != 1 {
+                            return Err(XspclError::semantic(
+                                format!(
+                                    "slice group must have exactly one parblock, has {}",
+                                    par.parblocks.len()
+                                ),
+                                par.span,
+                            ));
+                        }
+                        if par.n.is_none() {
+                            return Err(XspclError::semantic(
+                                "slice group requires the 'n' attribute",
+                                par.span,
+                            ));
+                        }
+                    }
+                    Shape::CrossDep => {
+                        if par.parblocks.len() < 2 {
+                            return Err(XspclError::semantic(
+                                "crossdep group needs at least two parblocks",
+                                par.span,
+                            ));
+                        }
+                        if par.n.is_none() {
+                            return Err(XspclError::semantic(
+                                "crossdep group requires the 'n' attribute",
+                                par.span,
+                            ));
+                        }
+                    }
+                }
+                if let Some(n) = &par.n {
+                    if let Some(f) = n.strip_prefix('$') {
+                        if !ctx.formals.contains(f) {
+                            return Err(XspclError::semantic(
+                                format!("'n' references unknown formal '${f}'"),
+                                par.span,
+                            ));
+                        }
+                    } else if n.parse::<usize>().is_err() {
+                        return Err(XspclError::semantic(
+                            format!("'n' must be a positive integer or $formal, got '{n}'"),
+                            par.span,
+                        ));
+                    }
+                }
+                for b in &par.parblocks {
+                    check_body(b, ctx)?;
+                }
+            }
+            Stmt::Manager(m) => {
+                if !ctx.queues.contains(m.queue.as_str()) {
+                    return Err(XspclError::semantic(
+                        format!("manager '{}' polls undeclared queue '{}'", m.name, m.queue),
+                        m.span,
+                    ));
+                }
+                // options in this manager's scope
+                let mut options = HashSet::new();
+                collect_options(&m.body, &mut options);
+                for rule in &m.rules {
+                    for action in &rule.actions {
+                        match action {
+                            ActionStmt::Enable(o)
+                            | ActionStmt::Disable(o)
+                            | ActionStmt::Toggle(o) => {
+                                if !options.contains(o.as_str()) {
+                                    return Err(XspclError::semantic(
+                                        format!(
+                                            "manager '{}' refers to unknown option '{}'",
+                                            m.name, o
+                                        ),
+                                        rule.span,
+                                    ));
+                                }
+                            }
+                            ActionStmt::Forward(q) => {
+                                if !ctx.queues.contains(q.as_str()) {
+                                    return Err(XspclError::semantic(
+                                        format!("forward to undeclared queue '{q}'"),
+                                        rule.span,
+                                    ));
+                                }
+                            }
+                            ActionStmt::Broadcast(_) => {}
+                        }
+                    }
+                }
+                let inner = Ctx { in_manager: true, ..*ctx };
+                check_body(&m.body, &inner)?;
+            }
+            Stmt::Option(o) => {
+                if !ctx.in_manager {
+                    return Err(XspclError::semantic(
+                        format!(
+                            "option '{}' must be contained inside a manager (§3.4)",
+                            o.name
+                        ),
+                        o.span,
+                    ));
+                }
+                check_body(&o.body, ctx)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_param(param: &ParamStmt, ctx: &Ctx<'_>, span: crate::xml::Span) -> Result<()> {
+    match &param.value {
+        ParamKind::Value(v) => {
+            if let Some(f) = v.strip_prefix('$') {
+                if !ctx.formals.contains(f) {
+                    return Err(XspclError::semantic(
+                        format!("parameter '{}' references unknown formal '${f}'", param.name),
+                        span,
+                    ));
+                }
+            }
+            Ok(())
+        }
+        ParamKind::Queue(q) => {
+            if !ctx.queues.contains(q.as_str()) {
+                return Err(XspclError::semantic(
+                    format!("parameter '{}' references undeclared queue '{q}'", param.name),
+                    span,
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Option names within one manager scope (not descending into nested
+/// managers).
+fn collect_options<'a>(body: &'a [Stmt], out: &mut HashSet<&'a str>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Option(o) => {
+                out.insert(&o.name);
+                collect_options(&o.body, out);
+            }
+            Stmt::Parallel(p) => {
+                for b in &p.parblocks {
+                    collect_options(b, out);
+                }
+            }
+            Stmt::Manager(_) | Stmt::Component(_) | Stmt::Call(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_and_validate;
+
+    fn err_of(src: &str) -> String {
+        parse_and_validate(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn accepts_minimal_valid_doc() {
+        parse_and_validate(
+            r#"<xspcl><procedure name="main">
+                 <stream name="s"/>
+                 <body>
+                   <component name="a" class="x"><out stream="s"/></component>
+                   <component name="b" class="y"><in stream="s"/></component>
+                 </body>
+               </procedure></xspcl>"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn requires_main() {
+        let e = err_of(r#"<xspcl><procedure name="p"><body/></procedure></xspcl>"#);
+        assert!(e.contains("no 'main'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_procedures() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><body/></procedure>
+               <procedure name="main"><body/></procedure></xspcl>"#,
+        );
+        assert!(e.contains("duplicate procedure"), "{e}");
+    }
+
+    #[test]
+    fn rejects_recursion() {
+        let e = err_of(
+            r#"<xspcl>
+                 <procedure name="main"><body><call procedure="p"/></body></procedure>
+                 <procedure name="p"><body><call procedure="q"/></body></procedure>
+                 <procedure name="q"><body><call procedure="p"/></body></procedure>
+               </xspcl>"#,
+        );
+        assert!(e.contains("recursive"), "{e}");
+        assert!(e.contains("p -> q -> p"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undeclared_stream() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><body>
+                 <component name="a" class="x"><out stream="ghost"/></component>
+               </body></procedure></xspcl>"#,
+        );
+        assert!(e.contains("undeclared stream 'ghost'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unbound_formal_stream() {
+        let e = err_of(
+            r#"<xspcl>
+                 <procedure name="main"><stream name="s"/><body>
+                   <call procedure="p"/>
+                 </body></procedure>
+                 <procedure name="p"><formalstream name="x"/><body/></procedure>
+               </xspcl>"#,
+        );
+        assert!(e.contains("does not bind formal stream 'x'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_required_param() {
+        let e = err_of(
+            r#"<xspcl>
+                 <procedure name="main"><body><call procedure="p"/></body></procedure>
+                 <procedure name="p"><formal name="n"/><body/></procedure>
+               </xspcl>"#,
+        );
+        assert!(e.contains("misses required parameter 'n'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_slice_with_two_parblocks() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><body>
+                 <parallel shape="slice" n="4"><parblock/><parblock/></parallel>
+               </body></procedure></xspcl>"#,
+        );
+        assert!(e.contains("exactly one parblock"), "{e}");
+    }
+
+    #[test]
+    fn rejects_crossdep_with_one_parblock() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><body>
+                 <parallel shape="crossdep" n="4"><parblock/></parallel>
+               </body></procedure></xspcl>"#,
+        );
+        assert!(e.contains("at least two parblocks"), "{e}");
+    }
+
+    #[test]
+    fn rejects_option_outside_manager() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><body>
+                 <option name="o"/>
+               </body></procedure></xspcl>"#,
+        );
+        assert!(e.contains("inside a manager"), "{e}");
+    }
+
+    #[test]
+    fn rejects_manager_with_unknown_queue() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><body>
+                 <manager name="m" queue="nope"><body/></manager>
+               </body></procedure></xspcl>"#,
+        );
+        assert!(e.contains("undeclared queue 'nope'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_rule_for_unknown_option() {
+        let e = err_of(
+            r#"<xspcl><queue name="q"/><procedure name="main"><body>
+                 <manager name="m" queue="q">
+                   <on event="e"><toggle option="nope"/></on>
+                   <body/>
+                 </manager>
+               </body></procedure></xspcl>"#,
+        );
+        assert!(e.contains("unknown option 'nope'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_n() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><body>
+                 <parallel shape="slice" n="lots"><parblock/></parallel>
+               </body></procedure></xspcl>"#,
+        );
+        assert!(e.contains("'n' must be"), "{e}");
+    }
+
+    #[test]
+    fn accepts_n_from_formal() {
+        parse_and_validate(
+            r#"<xspcl>
+                 <procedure name="main"><stream name="s"/><body>
+                   <call procedure="p"><param name="n" value="4"/></call>
+                 </body></procedure>
+                 <procedure name="p"><formal name="n"/><body>
+                   <parallel shape="slice" n="$n"><parblock/></parallel>
+                 </body></procedure>
+               </xspcl>"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_main_with_formals() {
+        let e = err_of(
+            r#"<xspcl><procedure name="main"><formal name="x"/><body/></procedure></xspcl>"#,
+        );
+        assert!(e.contains("may not declare formals"), "{e}");
+    }
+}

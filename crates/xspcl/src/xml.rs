@@ -1,0 +1,432 @@
+//! A small XML parser: exactly what an XSPCL document needs.
+//!
+//! Supports elements, attributes (single or double quoted), text content,
+//! comments, CDATA sections, processing instructions / XML declarations
+//! (skipped), the five predefined entities and numeric character
+//! references. Every element carries its source line and column for error
+//! reporting. No namespaces, no DTDs — XSPCL uses neither.
+
+use std::fmt;
+
+/// Position in the source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub const UNKNOWN: Span = Span { line: 0, col: 0 };
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// XML parse error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<Element>,
+    /// Concatenated text content directly inside this element.
+    pub text: String,
+    pub span: Span,
+}
+
+impl Element {
+    /// Attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with a given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// The single child with a given tag name, if present.
+    pub fn child<'a>(&'a self, name: &'a str) -> Option<&'a Element> {
+        self.children_named(name).next()
+    }
+}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { input: input.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError { message: message.into(), span: self.span() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{}', found {:?}",
+                b as char,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+}
+
+/// Decode entities in a text span.
+fn decode_entities(raw: &str, span: Span) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices();
+    while let Some((_, ch)) = chars.next() {
+        if ch != '&' {
+            out.push(ch);
+            continue;
+        }
+        let mut entity = String::new();
+        let mut closed = false;
+        for (_, e) in chars.by_ref() {
+            if e == ';' {
+                closed = true;
+                break;
+            }
+            entity.push(e);
+            if entity.len() > 10 {
+                break;
+            }
+        }
+        if !closed {
+            return Err(XmlError { message: format!("unterminated entity '&{entity}'"), span });
+        }
+        match entity.as_str() {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| XmlError {
+                        message: format!("bad character reference '&{entity};'"),
+                        span,
+                    })?;
+                out.push(code);
+            }
+            _ if entity.starts_with('#') => {
+                let code = entity[1..]
+                    .parse::<u32>()
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| XmlError {
+                        message: format!("bad character reference '&{entity};'"),
+                        span,
+                    })?;
+                out.push(code);
+            }
+            _ => {
+                return Err(XmlError {
+                    message: format!("unknown entity '&{entity};'"),
+                    span,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a complete document, returning the root element.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut c = Cursor::new(input);
+    skip_misc(&mut c)?;
+    if c.peek() != Some(b'<') {
+        return Err(c.err("expected root element"));
+    }
+    let root = element(&mut c)?;
+    skip_misc(&mut c)?;
+    if c.peek().is_some() {
+        return Err(c.err("content after root element"));
+    }
+    Ok(root)
+}
+
+/// Skip whitespace, comments, PIs and the XML declaration.
+fn skip_misc(c: &mut Cursor<'_>) -> Result<(), XmlError> {
+    loop {
+        c.skip_ws();
+        if c.starts_with("<!--") {
+            c.bump_n(4);
+            while !c.starts_with("-->") {
+                if c.bump().is_none() {
+                    return Err(c.err("unterminated comment"));
+                }
+            }
+            c.bump_n(3);
+        } else if c.starts_with("<?") {
+            c.bump_n(2);
+            while !c.starts_with("?>") {
+                if c.bump().is_none() {
+                    return Err(c.err("unterminated processing instruction"));
+                }
+            }
+            c.bump_n(2);
+        } else {
+            return Ok(());
+        }
+    }
+}
+
+fn element(c: &mut Cursor<'_>) -> Result<Element, XmlError> {
+    let span = c.span();
+    c.expect(b'<')?;
+    let name = c.name()?;
+    let mut attrs = Vec::new();
+    loop {
+        c.skip_ws();
+        match c.peek() {
+            Some(b'/') => {
+                c.bump();
+                c.expect(b'>')?;
+                return Ok(Element { name, attrs, children: Vec::new(), text: String::new(), span });
+            }
+            Some(b'>') => {
+                c.bump();
+                break;
+            }
+            Some(_) => {
+                let key = c.name()?;
+                c.skip_ws();
+                c.expect(b'=')?;
+                c.skip_ws();
+                let quote = match c.peek() {
+                    Some(q @ (b'"' | b'\'')) => {
+                        c.bump();
+                        q
+                    }
+                    _ => return Err(c.err("expected quoted attribute value")),
+                };
+                let vspan = c.span();
+                let start = c.pos;
+                while c.peek() != Some(quote) {
+                    if c.bump().is_none() {
+                        return Err(c.err("unterminated attribute value"));
+                    }
+                }
+                let raw = String::from_utf8_lossy(&c.input[start..c.pos]).into_owned();
+                c.bump(); // closing quote
+                attrs.push((key, decode_entities(&raw, vspan)?));
+            }
+            None => return Err(c.err("unterminated start tag")),
+        }
+    }
+
+    // content
+    let mut children = Vec::new();
+    let mut text = String::new();
+    loop {
+        if c.starts_with("</") {
+            c.bump_n(2);
+            let end_name = c.name()?;
+            if end_name != name {
+                return Err(c.err(format!("mismatched end tag: expected </{name}>, found </{end_name}>")));
+            }
+            c.skip_ws();
+            c.expect(b'>')?;
+            return Ok(Element { name, attrs, children, text: text.trim().to_string(), span });
+        } else if c.starts_with("<!--") || c.starts_with("<?") {
+            skip_misc(c)?;
+        } else if c.starts_with("<![CDATA[") {
+            c.bump_n(9);
+            let start = c.pos;
+            while !c.starts_with("]]>") {
+                if c.bump().is_none() {
+                    return Err(c.err("unterminated CDATA section"));
+                }
+            }
+            text.push_str(&String::from_utf8_lossy(&c.input[start..c.pos]));
+            c.bump_n(3);
+        } else if c.peek() == Some(b'<') {
+            children.push(element(c)?);
+        } else {
+            let tspan = c.span();
+            let start = c.pos;
+            while c.peek().is_some() && c.peek() != Some(b'<') {
+                c.bump();
+            }
+            if c.peek().is_none() {
+                return Err(c.err(format!("unterminated element <{name}>")));
+            }
+            let raw = String::from_utf8_lossy(&c.input[start..c.pos]).into_owned();
+            text.push_str(&decode_entities(&raw, tspan)?);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.attrs.is_empty());
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn attributes_and_nesting() {
+        let e = parse(r#"<app version="1"><item id='x' n="3"/><item id="y"/></app>"#).unwrap();
+        assert_eq!(e.attr("version"), Some("1"));
+        assert_eq!(e.children.len(), 2);
+        assert_eq!(e.children[0].attr("id"), Some("x"));
+        assert_eq!(e.children[0].attr("n"), Some("3"));
+        assert_eq!(e.children_named("item").count(), 2);
+        assert!(e.child("missing").is_none());
+    }
+
+    #[test]
+    fn text_content() {
+        let e = parse("<p>  hello <b>bold</b> world </p>").unwrap();
+        assert!(e.text.contains("hello"));
+        assert!(e.text.contains("world"));
+        assert_eq!(e.child("b").unwrap().text, "bold");
+    }
+
+    #[test]
+    fn comments_and_declaration_skipped() {
+        let e = parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>").unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn entities_decode() {
+        let e = parse(r#"<a v="&lt;&gt;&amp;&quot;&apos;">&#65;&#x42;</a>"#).unwrap();
+        assert_eq!(e.attr("v"), Some("<>&\"'"));
+        assert_eq!(e.text, "AB");
+    }
+
+    #[test]
+    fn cdata_passes_through() {
+        let e = parse("<a><![CDATA[<not><parsed>&amp;]]></a>").unwrap();
+        assert_eq!(e.text, "<not><parsed>&amp;");
+    }
+
+    #[test]
+    fn error_has_position() {
+        let err = parse("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.span.line, 3, "{err}");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<a attr=\"x>").is_err());
+        assert!(parse("<!-- never ends").is_err());
+    }
+
+    #[test]
+    fn spans_track_elements() {
+        let e = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(e.span.line, 1);
+        assert_eq!(e.children[0].span.line, 2);
+        assert_eq!(e.children[0].span.col, 3);
+    }
+}

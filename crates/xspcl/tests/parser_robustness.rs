@@ -1,0 +1,97 @@
+//! Parser robustness: arbitrary input must never panic — only parse or
+//! return a located error — and valid documents must survive mutation
+//! into either state, never a crash.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn arbitrary_bytes_never_panic(input in "[ -~<>&\"'/=\\n]{0,200}") {
+        let _ = xspcl::xml::parse(&input); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn arbitrary_angle_soup_never_panics(
+        tags in proptest::collection::vec("[a-z]{1,4}", 0..12),
+        closers in proptest::collection::vec(proptest::bool::ANY, 0..12),
+    ) {
+        let mut s = String::new();
+        for (i, t) in tags.iter().enumerate() {
+            if *closers.get(i).unwrap_or(&false) {
+                s.push_str(&format!("</{t}>"));
+            } else {
+                s.push_str(&format!("<{t} a=\"1\">text"));
+            }
+        }
+        let _ = xspcl::xml::parse(&s);
+    }
+
+    #[test]
+    fn truncations_of_a_valid_document_never_panic(cut in 0usize..400) {
+        let doc = r#"<?xml version="1.0"?>
+          <xspcl>
+            <queue name="mq"/>
+            <procedure name="main">
+              <stream name="s"/>
+              <body>
+                <component name="a" class="x"><out port="o" stream="s"/>
+                  <param name="p" value="&lt;&amp;&gt;"/>
+                </component>
+              </body>
+            </procedure>
+          </xspcl>"#;
+        let cut = cut.min(doc.len());
+        // cut at a char boundary
+        let mut end = cut;
+        while !doc.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = xspcl::parse_and_validate(&doc[..end]);
+    }
+
+    #[test]
+    fn validation_never_panics_on_structurally_valid_xml(
+        name in "[a-z]{1,6}",
+        attr in "[a-z]{1,6}",
+        n in 0u32..100,
+    ) {
+        // structurally fine XML that is semantically arbitrary XSPCL
+        let doc = format!(
+            "<xspcl><procedure name=\"main\"><body>\
+             <parallel shape=\"slice\" n=\"{n}\" name=\"{name}\">\
+             <parblock><component name=\"{name}\" class=\"{attr}\">\
+             <out port=\"o\" stream=\"{attr}\"/></component></parblock>\
+             </parallel></body></procedure></xspcl>"
+        );
+        let _ = xspcl::parse_and_validate(&doc);
+    }
+}
+
+#[test]
+fn deeply_nested_elements_are_fine() {
+    // 256 levels of nesting: recursion depth must be manageable
+    let mut s = String::new();
+    for _ in 0..256 {
+        s.push_str("<a>");
+    }
+    for _ in 0..256 {
+        s.push_str("</a>");
+    }
+    let root = xspcl::xml::parse(&s).unwrap();
+    let mut depth = 0;
+    let mut cur = &root;
+    while let Some(child) = cur.children.first() {
+        depth += 1;
+        cur = child;
+    }
+    assert_eq!(depth, 255);
+}
+
+#[test]
+fn enormous_attribute_values_are_fine() {
+    let big = "x".repeat(100_000);
+    let doc = format!("<a v=\"{big}\"/>");
+    let e = xspcl::xml::parse(&doc).unwrap();
+    assert_eq!(e.attr("v").unwrap().len(), 100_000);
+}

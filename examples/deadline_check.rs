@@ -1,0 +1,74 @@
+//! Deadline verification with the SPC predictor (§2: "performance
+//! prediction can be used to verify that the application meets its
+//! deadlines"; §6 lists WCET estimation by graph traversal as future
+//! work).
+//!
+//! Question: on a 450 MHz tile, how many cores does PiP-2 need to sustain
+//! 25 frames per second? Calibrate the predictor from one single-core
+//! simulation, then answer analytically — no further simulation.
+//!
+//! ```sh
+//! cargo run --release --example deadline_check
+//! ```
+
+use apps::experiment::{build, run_sim, App, AppConfig};
+use predict::{predict, CostDb, PredictConfig};
+
+const CLOCK_HZ: f64 = 450e6;
+const TARGET_FPS: f64 = 25.0;
+
+fn main() {
+    let cfg = AppConfig::paper(App::Pip2).frames(8);
+
+    // one calibration run on a single simulated core
+    let profile = run_sim(cfg, 1);
+    let mut db = CostDb::new();
+    db.absorb_profile(&profile.per_node);
+    println!(
+        "calibrated from a 1-core profile: {} node measurements, {} cycles total",
+        profile.per_node.len(),
+        profile.cycles
+    );
+
+    let built = build(cfg);
+    let budget = CLOCK_HZ / TARGET_FPS; // cycles per frame
+    println!(
+        "\nframe budget at {:.0} MHz / {} fps: {:.2} Mcycles",
+        CLOCK_HZ / 1e6,
+        TARGET_FPS,
+        budget / 1e6
+    );
+    println!("\n{:<7} {:>14} {:>14} {:>9}", "cores", "period (Mcyc)", "fps @450MHz", "meets?");
+    let mut needed = None;
+    for cores in 1..=9 {
+        let mut pcfg = PredictConfig::new(cores, cfg.frames);
+        pcfg.overhead.job_base = 0; // folded into the measured means
+        let p = predict(&built.spec, &db, &pcfg);
+        let fps = CLOCK_HZ / p.period;
+        let ok = p.meets_deadline(budget);
+        println!(
+            "{:<7} {:>14.2} {:>14.1} {:>9}",
+            cores,
+            p.period / 1e6,
+            fps,
+            if ok { "yes" } else { "no" }
+        );
+        if ok && needed.is_none() {
+            needed = Some(cores);
+        }
+    }
+    match needed {
+        Some(n) => {
+            println!("\n→ {n} core(s) suffice for {TARGET_FPS} fps.");
+            // cross-check the analytical answer against the simulator
+            let sim = run_sim(cfg, n);
+            let sim_period = sim.cycles as f64 / sim.iterations as f64;
+            println!(
+                "   simulator check at {n} core(s): {:.2} Mcycles/frame ({:.1} fps)",
+                sim_period / 1e6,
+                CLOCK_HZ / sim_period
+            );
+        }
+        None => println!("\n→ not sustainable on this tile; reduce work or raise the clock."),
+    }
+}

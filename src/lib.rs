@@ -1,0 +1,11 @@
+//! Umbrella crate for the XSPCL / Hinch / SpaceCAKE reproduction suite.
+//!
+//! Re-exports the workspace crates so examples and integration tests have a
+//! single dependency root. See `README.md` for the tour and `DESIGN.md` for
+//! the system inventory.
+
+pub use apps;
+pub use hinch;
+pub use media;
+pub use spacecake;
+pub use xspcl;

@@ -1,0 +1,182 @@
+//! Cross-crate end-to-end tests: XSPCL documents through the full stack.
+//!
+//! Every application must produce bit-identical output whichever way it is
+//! executed: native threads (any worker count), the SpaceCAKE simulator
+//! (any core count), or the hand-written sequential baseline.
+
+use apps::blur::{self, BlurConfig};
+use apps::jpip::{self, JpipConfig};
+use apps::pip::{self, PipConfig};
+use apps::verify::assert_frames_equal;
+use hinch::engine::{run_native, run_sim, RunConfig};
+use hinch::meter::NullMeter;
+use spacecake::Machine;
+
+const FRAMES: u64 = 8;
+
+fn captured_fields(assets: &apps::AppAssets, ports: usize) -> Vec<Vec<Vec<u8>>> {
+    (0..ports).map(|p| assets.captured("out", p)).collect()
+}
+
+#[test]
+fn pip_native_equals_sim_equals_baseline() {
+    let cfg = PipConfig::small(2);
+    // baseline
+    let app = pip::build(&cfg).unwrap();
+    let mut meter = NullMeter;
+    let want = pip::sequential(&cfg, &app.assets, FRAMES, &mut meter);
+    let reference: Vec<Vec<Vec<u8>>> =
+        (0..3).map(|f| want.iter().map(|fr| fr[f].clone()).collect()).collect();
+
+    // native, several worker counts
+    for workers in [1usize, 3] {
+        let app = pip::build(&cfg).unwrap();
+        run_native(&app.elaborated.spec, &RunConfig::new(FRAMES).workers(workers)).unwrap();
+        for (f, reference_f) in reference.iter().enumerate() {
+            assert_frames_equal(
+                &app.assets.captured("out", f),
+                reference_f,
+                &format!("native w={workers} field {f}"),
+            );
+        }
+    }
+
+    // simulated, several core counts
+    for cores in [1usize, 5, 9] {
+        let app = pip::build(&cfg).unwrap();
+        let mut m = Machine::with_cores(cores);
+        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m).unwrap();
+        for (f, reference_f) in reference.iter().enumerate() {
+            assert_frames_equal(
+                &app.assets.captured("out", f),
+                reference_f,
+                &format!("sim n={cores} field {f}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn jpip_native_equals_sim_equals_baseline() {
+    let cfg = JpipConfig::small(1);
+    let app = jpip::build(&cfg).unwrap();
+    let mut meter = NullMeter;
+    let want = jpip::sequential(&cfg, &app.assets, FRAMES, &mut meter);
+    let reference: Vec<Vec<Vec<u8>>> =
+        (0..3).map(|f| want.iter().map(|fr| fr[f].clone()).collect()).collect();
+
+    let app = jpip::build(&cfg).unwrap();
+    run_native(&app.elaborated.spec, &RunConfig::new(FRAMES).workers(4)).unwrap();
+    for (f, reference_f) in reference.iter().enumerate() {
+        assert_frames_equal(&app.assets.captured("out", f), reference_f, "native");
+    }
+
+    let app = jpip::build(&cfg).unwrap();
+    let mut m = Machine::with_cores(3);
+    run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m).unwrap();
+    for (f, reference_f) in reference.iter().enumerate() {
+        assert_frames_equal(&app.assets.captured("out", f), reference_f, "sim");
+    }
+}
+
+#[test]
+fn blur_native_equals_sim_equals_baseline() {
+    for ksize in [3usize, 5] {
+        let cfg = BlurConfig::small(ksize);
+        let app = blur::build(&cfg).unwrap();
+        let mut meter = NullMeter;
+        let want = blur::sequential(&cfg, &app.assets, FRAMES, |_| ksize, &mut meter);
+
+        let app = blur::build(&cfg).unwrap();
+        run_native(&app.elaborated.spec, &RunConfig::new(FRAMES).workers(2)).unwrap();
+        assert_frames_equal(&app.assets.captured("out", 0), &want, "native");
+
+        let app = blur::build(&cfg).unwrap();
+        let mut m = Machine::with_cores(4);
+        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m).unwrap();
+        assert_frames_equal(&app.assets.captured("out", 0), &want, "sim");
+    }
+}
+
+#[test]
+fn pipeline_depth_does_not_change_output() {
+    let cfg = PipConfig::small(1);
+    let mut reference: Option<Vec<Vec<Vec<u8>>>> = None;
+    for depth in [1usize, 2, 5, 7] {
+        let app = pip::build(&cfg).unwrap();
+        run_native(
+            &app.elaborated.spec,
+            &RunConfig::new(FRAMES).workers(2).pipeline_depth(depth),
+        )
+        .unwrap();
+        let got = captured_fields(&app.assets, 3);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "depth {depth} changed the output"),
+        }
+    }
+}
+
+#[test]
+fn sim_cycles_are_deterministic() {
+    let cfg = BlurConfig::small(5);
+    let run = || {
+        let app = blur::build(&cfg).unwrap();
+        let mut m = Machine::with_cores(6);
+        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m).unwrap().cycles
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "the simulator must be fully deterministic");
+}
+
+#[test]
+fn more_cores_never_lose_badly() {
+    // sanity of the scheduler: 4 cores must beat 1 core on a parallel app
+    let cfg = PipConfig::small(2);
+    let cycles = |cores: usize| {
+        let app = pip::build(&cfg).unwrap();
+        let mut m = Machine::with_cores(cores);
+        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m).unwrap().cycles
+    };
+    let one = cycles(1);
+    let four = cycles(4);
+    assert!(four < one, "expected speedup: 1 core {one}, 4 cores {four}");
+}
+
+#[test]
+fn reconfigurable_apps_match_static_halves() {
+    // PiP-12 output frames must each equal either the 1-pip or the 2-pip
+    // rendering of that frame, and both must occur.
+    let cfg = PipConfig { reconfig_every: Some(4), ..PipConfig::small(2) };
+    let frames = 16u64;
+    let app = pip::build(&cfg).unwrap();
+    run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(2)).unwrap();
+    let got = app.assets.captured("out", 0);
+
+    let mut meter = NullMeter;
+    let one = pip::sequential(
+        &PipConfig { pips: 1, reconfig_every: None, ..cfg.clone() },
+        &app.assets,
+        frames,
+        &mut meter,
+    );
+    let two = pip::sequential(
+        &PipConfig { reconfig_every: None, ..cfg.clone() },
+        &app.assets,
+        frames,
+        &mut meter,
+    );
+    let mut saw_one = false;
+    let mut saw_two = false;
+    for (i, frame) in got.iter().enumerate() {
+        if frame == &one[i][0] {
+            saw_one = true;
+        } else if frame == &two[i][0] {
+            saw_two = true;
+        } else {
+            panic!("frame {i} matches neither the 1-pip nor the 2-pip rendering");
+        }
+    }
+    assert!(saw_one && saw_two, "the option must toggle during the run");
+}

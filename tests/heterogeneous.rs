@@ -1,0 +1,71 @@
+//! Heterogeneous-tile behaviour (the paper's §6 Cell direction).
+
+use hinch::component::{Component, Params, RunCtx};
+use hinch::engine::{run_sim, RunConfig};
+use hinch::graph::{factory, ComponentSpec, GraphSpec};
+use spacecake::{Machine, TileConfig};
+
+struct Work(u64);
+impl Component for Work {
+    fn class(&self) -> &'static str {
+        "work"
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        for p in 0..ctx.num_outputs() {
+            ctx.write(p, 1i64);
+        }
+        ctx.charge(self.0);
+    }
+}
+
+fn leaf(name: &str, inputs: &[&str], outputs: &[&str], cost: u64) -> GraphSpec {
+    let mut c = ComponentSpec::new(
+        name,
+        "work",
+        factory(move |_p: &Params| -> Box<dyn Component> { Box::new(Work(cost)) }, Params::new()),
+    );
+    for i in inputs {
+        c = c.input(*i);
+    }
+    for o in outputs {
+        c = c.output(*o);
+    }
+    GraphSpec::Leaf(c)
+}
+
+#[test]
+fn a_fast_core_speeds_up_the_pipeline() {
+    let g = GraphSpec::seq(vec![leaf("a", &[], &["s"], 1000), leaf("z", &["s"], &[], 1)]);
+    let mut cfg = RunConfig::new(6).pipeline_depth(3);
+    cfg.overhead.job_base = 0;
+    cfg.overhead.dispatch = 0;
+    let mut fast = Machine::new(TileConfig::heterogeneous(vec![1.0, 8.0]));
+    let het = run_sim(&g, &cfg, &mut fast).unwrap();
+    let mut homo = Machine::with_cores(2);
+    let hom = run_sim(&g, &cfg, &mut homo).unwrap();
+    assert_eq!(het.iterations, 6);
+    assert!(
+        het.cycles < hom.cycles,
+        "a tile with one 8x core must finish sooner: {} vs {}",
+        het.cycles,
+        hom.cycles
+    );
+}
+
+#[test]
+fn hetero_apps_still_produce_correct_output() {
+    // the PiP app on a wildly asymmetric tile: output stays bit-identical
+    let cfg = apps::pip::PipConfig::small(1);
+    let app = apps::pip::build(&cfg).unwrap();
+    let mut meter = hinch::meter::NullMeter;
+    let want = apps::pip::sequential(&cfg, &app.assets, 4, &mut meter);
+
+    let app = apps::pip::build(&cfg).unwrap();
+    let mut m = Machine::new(TileConfig::heterogeneous(vec![0.5, 1.0, 4.0]));
+    run_sim(&app.elaborated.spec, &RunConfig::new(4), &mut m).unwrap();
+    for field in 0..3 {
+        let got = app.assets.captured("out", field);
+        let reference: Vec<Vec<u8>> = want.iter().map(|f| f[field].clone()).collect();
+        apps::verify::assert_frames_equal(&got, &reference, "hetero");
+    }
+}

@@ -1,0 +1,99 @@
+//! The performance-estimation workflow of the paper's Fig. 1: calibrate
+//! the SPC predictor from one simulated profile, then predict other
+//! parallelizations analytically and check against the simulator.
+
+use apps::experiment::{build, run_sim, App, AppConfig};
+use predict::{predict, CostDb, PredictConfig};
+
+fn calibrated_prediction(app: App, frames: u64, cores: usize) -> (f64, u64) {
+    let cfg = AppConfig::small(app).frames(frames);
+    let profile = run_sim(cfg, 1);
+    let mut db = CostDb::new();
+    db.absorb_profile(&profile.per_node);
+    let built = build(cfg);
+    let mut pcfg = PredictConfig::new(cores, frames);
+    pcfg.overhead.job_base = 0; // already inside the measured means
+    let prediction = predict(&built.spec, &db, &pcfg);
+    let simulated = if cores == 1 { profile.cycles } else { run_sim(cfg, cores).cycles };
+    (prediction.makespan, simulated)
+}
+
+#[test]
+fn one_core_prediction_matches_simulation_closely() {
+    for app in [App::Pip1, App::Blur3, App::Jpip1] {
+        let (predicted, simulated) = calibrated_prediction(app, 8, 1);
+        let err = (predicted / simulated as f64 - 1.0).abs();
+        assert!(
+            err < 0.05,
+            "{}: predicted {predicted:.0} vs simulated {simulated} ({:.1}% off)",
+            app.label(),
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn multi_core_prediction_within_tolerance() {
+    // cross-core cache effects are invisible to a 1-core calibration, so
+    // the tolerance is wider — the paper's tool has the same caveat.
+    for app in [App::Pip1, App::Blur5] {
+        for cores in [2usize, 4, 9] {
+            let (predicted, simulated) = calibrated_prediction(app, 8, cores);
+            let err = (predicted / simulated as f64 - 1.0).abs();
+            assert!(
+                err < 0.35,
+                "{} @{cores}: predicted {predicted:.0} vs simulated {simulated} ({:.1}% off)",
+                app.label(),
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn prediction_ranks_parallelizations_correctly() {
+    // the tool's purpose: choosing between parallelizations without
+    // simulating them — more cores must predict (weakly) faster, and the
+    // predicted ranking must match the simulated one
+    let cfg = AppConfig::small(App::Pip2).frames(8);
+    let profile = run_sim(cfg, 1);
+    let mut db = CostDb::new();
+    db.absorb_profile(&profile.per_node);
+    let built = build(cfg);
+    let mut last_pred = f64::INFINITY;
+    let mut last_sim = u64::MAX;
+    for cores in [1usize, 2, 4, 8] {
+        let mut pcfg = PredictConfig::new(cores, 8);
+        pcfg.overhead.job_base = 0;
+        let p = predict(&built.spec, &db, &pcfg).makespan;
+        let s = run_sim(cfg, cores).cycles;
+        assert!(p <= last_pred * 1.001, "prediction must not grow with cores");
+        assert!(s <= last_sim, "simulation must not grow with cores here");
+        last_pred = p;
+        last_sim = s;
+    }
+}
+
+#[test]
+fn deadline_verification_is_consistent() {
+    let cfg = AppConfig::small(App::Blur3).frames(8);
+    let profile = run_sim(cfg, 1);
+    let mut db = CostDb::new();
+    db.absorb_profile(&profile.per_node);
+    let built = build(cfg);
+    let mut pcfg = PredictConfig::new(4, 8);
+    pcfg.overhead.job_base = 0;
+    let p = predict(&built.spec, &db, &pcfg);
+    // the minimum budget is exactly the steady-state period
+    assert!(p.meets_deadline(p.min_frame_budget()));
+    assert!(!p.meets_deadline(p.min_frame_budget() * 0.9));
+    // and the simulated per-frame cost at 4 cores respects it roughly
+    let sim = run_sim(cfg, 4);
+    let sim_period = sim.cycles as f64 / sim.iterations as f64;
+    assert!(
+        p.min_frame_budget() < sim_period * 1.5,
+        "predicted budget {:.0} vs simulated period {:.0}",
+        p.min_frame_budget(),
+        sim_period
+    );
+}
