@@ -53,7 +53,10 @@ impl BlurConfig {
 
     /// The paper's Blur-35 (kernel switched every 12 frames, starting 3×3).
     pub fn paper_reconfig() -> Self {
-        Self { reconfig_every: Some(12), ..Self::paper(3) }
+        Self {
+            reconfig_every: Some(12),
+            ..Self::paper(3)
+        }
     }
 
     /// A small configuration for tests.
@@ -150,7 +153,12 @@ pub fn build_on(cfg: &BlurConfig, assets: Arc<AppAssets>) -> Result<BlurApp, Xsp
     let xml = blur_xml(cfg);
     let reg = registry(&assets);
     let elaborated = compile(&xml, &reg)?;
-    Ok(BlurApp { cfg: cfg.clone(), assets, elaborated, xml })
+    Ok(BlurApp {
+        cfg: cfg.clone(),
+        assets,
+        elaborated,
+        xml,
+    })
 }
 
 /// Kernel size of iteration `iter` under the Blur-35 schedule: the
@@ -194,21 +202,61 @@ pub fn sequential(
         // read the frame from the file into the working buffer
         meter.touch(video.read_access(frame as usize, 0));
         buf.copy_from_slice(video.field(frame as usize, 0));
-        meter.touch(MemAccess { base: buf_base, len: plane, kind: AccessKind::Write });
+        meter.touch(MemAccess {
+            base: buf_base,
+            len: plane,
+            kind: AccessKind::Write,
+        });
         meter.charge(CYC_SOURCE_PX * plane);
         // horizontal phase
         let px = blur_h_rows(&buf, w, h, ksize, 0..h, &mut tmp);
-        meter.touch(MemAccess { base: buf_base, len: plane, kind: AccessKind::Read });
-        meter.touch(MemAccess { base: tmp_base, len: plane, kind: AccessKind::Write });
-        meter.charge(if ksize == 3 { CYC_BLUR_H3_PX } else { CYC_BLUR_H5_PX } * px);
+        meter.touch(MemAccess {
+            base: buf_base,
+            len: plane,
+            kind: AccessKind::Read,
+        });
+        meter.touch(MemAccess {
+            base: tmp_base,
+            len: plane,
+            kind: AccessKind::Write,
+        });
+        meter.charge(
+            if ksize == 3 {
+                CYC_BLUR_H3_PX
+            } else {
+                CYC_BLUR_H5_PX
+            } * px,
+        );
         // vertical phase
         let px = blur_v_rows(&tmp, w, h, ksize, 0..h, &mut out);
-        meter.touch(MemAccess { base: tmp_base, len: plane, kind: AccessKind::Read });
-        meter.touch(MemAccess { base: out_base, len: plane, kind: AccessKind::Write });
-        meter.charge(if ksize == 3 { CYC_BLUR_V3_PX } else { CYC_BLUR_V5_PX } * px);
+        meter.touch(MemAccess {
+            base: tmp_base,
+            len: plane,
+            kind: AccessKind::Read,
+        });
+        meter.touch(MemAccess {
+            base: out_base,
+            len: plane,
+            kind: AccessKind::Write,
+        });
+        meter.charge(
+            if ksize == 3 {
+                CYC_BLUR_V3_PX
+            } else {
+                CYC_BLUR_V5_PX
+            } * px,
+        );
         // write out
-        meter.touch(MemAccess { base: out_base, len: plane, kind: AccessKind::Read });
-        meter.touch(MemAccess { base: file_base, len: plane, kind: AccessKind::Write });
+        meter.touch(MemAccess {
+            base: out_base,
+            len: plane,
+            kind: AccessKind::Read,
+        });
+        meter.touch(MemAccess {
+            base: file_base,
+            len: plane,
+            kind: AccessKind::Write,
+        });
         meter.charge(CYC_COPY_PX * plane);
         outputs.push(out.clone());
     }
@@ -226,7 +274,10 @@ mod tests {
         for cfg in [
             BlurConfig::small(3),
             BlurConfig::small(5),
-            BlurConfig { reconfig_every: Some(4), ..BlurConfig::small(3) },
+            BlurConfig {
+                reconfig_every: Some(4),
+                ..BlurConfig::small(3)
+            },
         ] {
             let app = build(&cfg).expect("compiles");
             assert!(app.elaborated.spec.leaf_count() > 0);
@@ -259,7 +310,10 @@ mod tests {
 
     #[test]
     fn blur35_switches_kernels() {
-        let cfg = BlurConfig { reconfig_every: Some(3), ..BlurConfig::small(3) };
+        let cfg = BlurConfig {
+            reconfig_every: Some(3),
+            ..BlurConfig::small(3)
+        };
         let app = build(&cfg).unwrap();
         let frames = 12u64;
         let report = run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(2)).unwrap();
@@ -283,7 +337,10 @@ mod tests {
                 panic!("frame {i} matches neither kernel");
             }
         }
-        assert!(used3 && used5, "both kernels must be exercised (3:{used3} 5:{used5})");
+        assert!(
+            used3 && used5,
+            "both kernels must be exercised (3:{used3} 5:{used5})"
+        );
     }
 
     #[test]

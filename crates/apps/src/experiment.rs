@@ -15,6 +15,7 @@ use crate::{blur, jpip, pip};
 use hinch::engine::{run_native, run_sim as hinch_run_sim, RunConfig};
 use hinch::meter::Meter;
 use hinch::report::{RunReport, SimReport};
+use hinch::trace;
 use parking_lot::Mutex;
 use spacecake::{Machine, Solo, TileConfig};
 use std::collections::HashMap;
@@ -39,8 +40,14 @@ pub enum App {
 
 impl App {
     /// The six static applications of Fig. 8 / Fig. 9, in paper order.
-    pub const STATIC: [App; 6] =
-        [App::Pip1, App::Pip2, App::Jpip1, App::Jpip2, App::Blur3, App::Blur5];
+    pub const STATIC: [App; 6] = [
+        App::Pip1,
+        App::Pip2,
+        App::Jpip1,
+        App::Jpip2,
+        App::Blur3,
+        App::Blur5,
+    ];
 
     /// The three reconfigurable applications of Fig. 10.
     pub const RECONFIG: [App; 3] = [App::Pip12, App::Jpip12, App::Blur35];
@@ -101,12 +108,20 @@ pub struct AppConfig {
 impl AppConfig {
     /// The paper's configuration for `app`.
     pub fn paper(app: App) -> Self {
-        Self { app, scale: Scale::Paper, frames: app.paper_frames() }
+        Self {
+            app,
+            scale: Scale::Paper,
+            frames: app.paper_frames(),
+        }
     }
 
     /// A fast configuration for tests/demos.
     pub fn small(app: App) -> Self {
-        Self { app, scale: Scale::Small, frames: 8 }
+        Self {
+            app,
+            scale: Scale::Small,
+            frames: 8,
+        }
     }
 
     pub fn frames(mut self, frames: u64) -> Self {
@@ -225,8 +240,38 @@ pub fn run_sim(cfg: AppConfig, cores: usize) -> SimReport {
 /// Run `cfg.app` on native worker threads (wall-clock mode).
 pub fn run_threads(cfg: AppConfig, workers: usize) -> RunReport {
     let built = build(cfg);
-    let run_cfg = RunConfig::new(cfg.frames).pipeline_depth(5).workers(workers);
+    let run_cfg = RunConfig::new(cfg.frames)
+        .pipeline_depth(5)
+        .workers(workers);
     run_native(&built.spec, &run_cfg).expect("native run")
+}
+
+/// Like [`run_sim`], but with a flight recorder attached: returns the
+/// report plus the [`trace::Recorder`] holding the run's trace (virtual
+/// cycles). Feed it to `hinch::trace::export` for Chrome-trace JSON, CSV
+/// or a per-core utilization summary.
+pub fn run_sim_traced(cfg: AppConfig, cores: usize) -> (SimReport, trace::Recorder) {
+    let built = build(cfg);
+    let mut machine = Machine::new(TileConfig::with_cores(cores));
+    let recorder = trace::Recorder::new(trace::Clock::VirtualCycles);
+    let run_cfg = RunConfig::new(cfg.frames)
+        .pipeline_depth(5)
+        .trace(recorder.sink());
+    let report = hinch_run_sim(&built.spec, &run_cfg, &mut machine).expect("sim run");
+    (report, recorder)
+}
+
+/// Like [`run_threads`], but with a flight recorder attached (wall-clock
+/// nanoseconds).
+pub fn run_threads_traced(cfg: AppConfig, workers: usize) -> (RunReport, trace::Recorder) {
+    let built = build(cfg);
+    let recorder = trace::Recorder::new(trace::Clock::WallNanos);
+    let run_cfg = RunConfig::new(cfg.frames)
+        .pipeline_depth(5)
+        .workers(workers)
+        .trace(recorder.sink());
+    let report = run_native(&built.spec, &run_cfg).expect("native run");
+    (report, recorder)
 }
 
 /// Cycles of the hand-written sequential baseline of `cfg.app` on the
@@ -314,7 +359,12 @@ mod tests {
             let cfg = AppConfig::small(app).frames(30);
             let r = run_sim(cfg, 2);
             assert_eq!(r.iterations, 30, "{}", app.label());
-            assert!(r.reconfigs >= 1, "{} reconfigs = {}", app.label(), r.reconfigs);
+            assert!(
+                r.reconfigs >= 1,
+                "{} reconfigs = {}",
+                app.label(),
+                r.reconfigs
+            );
         }
     }
 
@@ -342,6 +392,21 @@ mod tests {
                 seq
             );
         }
+    }
+
+    #[test]
+    fn traced_sim_records_a_well_formed_trace() {
+        let cfg = AppConfig::small(App::Pip1).frames(4);
+        let (r, rec) = run_sim_traced(cfg, 2);
+        assert_eq!(r.iterations, 4);
+        assert!(!rec.is_empty());
+        let events = rec.events();
+        trace::check_invariants(&events).expect("trace invariants hold");
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, trace::TraceEvent::JobSpan { .. }))
+            .count();
+        assert_eq!(spans as u64, r.jobs_executed);
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl JpipConfig {
 
     /// The paper's JPiP-12 (second picture toggled every 12 frames).
     pub fn paper_reconfig() -> Self {
-        Self { reconfig_every: Some(12), ..Self::paper(2) }
+        Self {
+            reconfig_every: Some(12),
+            ..Self::paper(2)
+        }
     }
 
     /// A small configuration for tests (dimensions must be multiples of 8).
@@ -123,7 +126,10 @@ pub(crate) const JPEG_PROCS: &str = r#"
 
 /// Emit the XSPCL document for `cfg`.
 pub fn jpip_xml(cfg: &JpipConfig) -> String {
-    assert!(cfg.pips >= 1 && cfg.pips <= 2, "JPiP supports 1 or 2 pictures");
+    assert!(
+        cfg.pips >= 1 && cfg.pips <= 2,
+        "JPiP supports 1 or 2 pictures"
+    );
     let mut s = String::from("<xspcl>\n");
     if cfg.reconfig_every.is_some() {
         s.push_str("  <queue name=\"mq\"/>\n");
@@ -142,7 +148,9 @@ pub fn jpip_xml(cfg: &JpipConfig) -> String {
         s.push_str(&streams_of("p2"));
     }
     for f in 0..3 {
-        s.push_str(&format!("    <stream name=\"small1_{f}\"/><stream name=\"o1_{f}\"/>\n"));
+        s.push_str(&format!(
+            "    <stream name=\"small1_{f}\"/><stream name=\"o1_{f}\"/>\n"
+        ));
         if cfg.pips == 2 {
             s.push_str(&format!(
                 "    <stream name=\"small2_{f}\"/><stream name=\"o2_{f}\"/>\n"
@@ -180,8 +188,14 @@ pub fn jpip_xml(cfg: &JpipConfig) -> String {
 
     // inputs + decodes (bg and picture 1)
     s.push_str("      <parallel shape=\"task\" name=\"inputs\">\n");
-    s.push_str(&format!("        <parblock>{}</parblock>\n", jpeg_in_call("bg", "bg")));
-    s.push_str(&format!("        <parblock>{}</parblock>\n", jpeg_in_call("p1", "pip1")));
+    s.push_str(&format!(
+        "        <parblock>{}</parblock>\n",
+        jpeg_in_call("bg", "bg")
+    ));
+    s.push_str(&format!(
+        "        <parblock>{}</parblock>\n",
+        jpeg_in_call("p1", "pip1")
+    ));
     s.push_str("      </parallel>\n");
     // IDCTs for all fields of bg and p1 (one operation, fields concurrent)
     s.push_str("      <parallel shape=\"task\" name=\"idcts\">\n");
@@ -287,18 +301,35 @@ pub fn build_on(cfg: &JpipConfig, assets: Arc<AppAssets>) -> Result<JpipApp, Xsp
     let spec = VideoSpec::new(cfg.width, cfg.height, cfg.distinct_frames, cfg.seed);
     assets.ensure_mjpeg("bg", || Arc::new(MjpegVideo::generate(spec, cfg.quality)));
     assets.ensure_mjpeg("pip1", || {
-        Arc::new(MjpegVideo::generate(VideoSpec { seed: cfg.seed + 1, ..spec }, cfg.quality))
+        Arc::new(MjpegVideo::generate(
+            VideoSpec {
+                seed: cfg.seed + 1,
+                ..spec
+            },
+            cfg.quality,
+        ))
     });
     if cfg.pips == 2 {
         assets.ensure_mjpeg("pip2", || {
-            Arc::new(MjpegVideo::generate(VideoSpec { seed: cfg.seed + 2, ..spec }, cfg.quality))
+            Arc::new(MjpegVideo::generate(
+                VideoSpec {
+                    seed: cfg.seed + 2,
+                    ..spec
+                },
+                cfg.quality,
+            ))
         });
     }
     assets.capture_set("out", 3);
     let xml = jpip_xml(cfg);
     let reg = registry(&assets);
     let elaborated = compile(&xml, &reg)?;
-    Ok(JpipApp { cfg: cfg.clone(), assets, elaborated, xml })
+    Ok(JpipApp {
+        cfg: cfg.clone(),
+        assets,
+        elaborated,
+        xml,
+    })
 }
 
 /// Decode one plane block-wise, fusing entropy decode and IDCT (the
@@ -353,8 +384,9 @@ pub fn sequential(
     meter: &mut dyn Meter,
 ) -> Vec<[Vec<u8>; 3]> {
     let bg = assets.mjpeg("bg");
-    let pips: Vec<Arc<MjpegVideo>> =
-        (0..cfg.pips).map(|k| assets.mjpeg(&format!("pip{}", k + 1))).collect();
+    let pips: Vec<Arc<MjpegVideo>> = (0..cfg.pips)
+        .map(|k| assets.mjpeg(&format!("pip{}", k + 1)))
+        .collect();
     let (w, h) = (cfg.width, cfg.height);
     let (pw, ph) = scaled_dims(w, h, cfg.factor);
     let composed_base = hinch::meter::sim_alloc((w * h) as u64);
@@ -365,7 +397,7 @@ pub fn sequential(
     let mut outputs = Vec::with_capacity(frames as usize);
     for frame in 0..frames as usize {
         let mut fields: [Vec<u8>; 3] = Default::default();
-        for field in 0..3 {
+        for field in [0, 1, 2] {
             let channel = media::jpeg::codec::JpegImage::channel_of(field);
             // decode the background straight into the composed buffer
             let img = bg.frame(frame);
@@ -449,7 +481,10 @@ mod tests {
         for cfg in [
             JpipConfig::small(1),
             JpipConfig::small(2),
-            JpipConfig { reconfig_every: Some(4), ..JpipConfig::small(2) },
+            JpipConfig {
+                reconfig_every: Some(4),
+                ..JpipConfig::small(2)
+            },
         ] {
             let app = build(&cfg).expect("compiles");
             assert!(app.elaborated.spec.leaf_count() > 0);
@@ -482,7 +517,7 @@ mod tests {
             run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(3)).unwrap();
             let mut meter = NullMeter;
             let want = sequential(&cfg, &app.assets, frames, &mut meter);
-            for field in 0..3 {
+            for field in [0, 1, 2] {
                 let got = app.assets.captured("out", field);
                 assert_eq!(got.len(), frames as usize);
                 for (i, frame) in got.iter().enumerate() {
@@ -497,7 +532,10 @@ mod tests {
 
     #[test]
     fn reconfigurable_variant_runs() {
-        let cfg = JpipConfig { reconfig_every: Some(3), ..JpipConfig::small(2) };
+        let cfg = JpipConfig {
+            reconfig_every: Some(3),
+            ..JpipConfig::small(2)
+        };
         let app = build(&cfg).unwrap();
         let report = run_native(&app.elaborated.spec, &RunConfig::new(9).workers(2)).unwrap();
         assert_eq!(report.iterations, 9);

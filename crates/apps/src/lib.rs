@@ -26,8 +26,8 @@ pub mod jpip;
 pub mod mosaic;
 pub mod pip;
 pub mod reconfig;
-pub mod telescope;
 pub mod registry;
+pub mod telescope;
 pub mod verify;
 
 pub use experiment::{App, AppConfig};

@@ -60,7 +60,10 @@ impl MosaicConfig {
     /// Quadrant position of tile `k`.
     pub fn position(&self, k: usize) -> (usize, usize) {
         let (qw, qh) = scaled_dims(self.width, self.height, 2);
-        (if k.is_multiple_of(2) { 0 } else { qw }, if k < 2 { 0 } else { qh })
+        (
+            if k.is_multiple_of(2) { 0 } else { qw },
+            if k < 2 { 0 } else { qh },
+        )
     }
 }
 
@@ -110,10 +113,20 @@ pub fn mosaic_xml(cfg: &MosaicConfig) -> String {
     // blends: chained per field (in place on the screen buffer)
     for t in 0..cfg.tiles {
         let (x, y) = cfg.position(t);
-        let prev = if t == 0 { "screen".to_string() } else { format!("o{}_", t - 1) };
-        s.push_str(&format!("      <parallel shape=\"task\" name=\"blend{t}\">\n"));
+        let prev = if t == 0 {
+            "screen".to_string()
+        } else {
+            format!("o{}_", t - 1)
+        };
+        s.push_str(&format!(
+            "      <parallel shape=\"task\" name=\"blend{t}\">\n"
+        ));
         for f in 0..3 {
-            let bg = if t == 0 { format!("screen{f}") } else { format!("o{}_{f}", t - 1) };
+            let bg = if t == 0 {
+                format!("screen{f}")
+            } else {
+                format!("o{}_{f}", t - 1)
+            };
             let _ = &prev;
             s.push_str(&format!(
                 "        <parblock><call procedure=\"sliced_blend\"><bind formal=\"background\" stream=\"{bg}\"/><bind formal=\"picture\" stream=\"small_t{t}_{f}\"/><bind formal=\"output\" stream=\"o{t}_{f}\"/><param name=\"x\" value=\"{x}\"/><param name=\"y\" value=\"{y}\"/><param name=\"slices\" value=\"{}\"/></call></parblock>\n",
@@ -145,19 +158,30 @@ pub fn build(cfg: &MosaicConfig) -> Result<MosaicApp, XspclError> {
 pub fn build_on(cfg: &MosaicConfig, assets: Arc<AppAssets>) -> Result<MosaicApp, XspclError> {
     let spec = VideoSpec::new(cfg.width, cfg.height, cfg.distinct_frames, cfg.seed);
     for t in 0..cfg.tiles {
-        let tile_spec = VideoSpec { seed: cfg.seed + 1 + t as u64, ..spec };
+        let tile_spec = VideoSpec {
+            seed: cfg.seed + 1 + t as u64,
+            ..spec
+        };
         assets.ensure_mjpeg(format!("tile{t}"), || {
             Arc::new(MjpegVideo::generate(tile_spec, cfg.quality))
         });
     }
     assets.ensure_raw("screen", || {
-        Arc::new(media::video::RawVideo::generate(VideoSpec { seed: cfg.seed, ..spec }))
+        Arc::new(media::video::RawVideo::generate(VideoSpec {
+            seed: cfg.seed,
+            ..spec
+        }))
     });
     assets.capture_set("out", 3);
     let xml = mosaic_xml(cfg);
     let reg = registry(&assets);
     let elaborated = compile(&xml, &reg)?;
-    Ok(MosaicApp { cfg: cfg.clone(), assets, elaborated, xml })
+    Ok(MosaicApp {
+        cfg: cfg.clone(),
+        assets,
+        elaborated,
+        xml,
+    })
 }
 
 #[cfg(test)]

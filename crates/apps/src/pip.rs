@@ -60,7 +60,11 @@ impl PipConfig {
     /// The paper's PiP-12: starts with one picture, toggles the second
     /// every 12 frames.
     pub fn paper_reconfig() -> Self {
-        Self { pips: 2, reconfig_every: Some(12), ..Self::paper(2) }
+        Self {
+            pips: 2,
+            reconfig_every: Some(12),
+            ..Self::paper(2)
+        }
     }
 
     /// A small configuration for tests.
@@ -128,7 +132,10 @@ pub(crate) const SLICED_OPS: &str = r#"
 
 /// Emit the XSPCL document for `cfg` (the front-end step of Fig. 1).
 pub fn pip_xml(cfg: &PipConfig) -> String {
-    assert!(cfg.pips >= 1 && cfg.pips <= 2, "PiP supports 1 or 2 pictures");
+    assert!(
+        cfg.pips >= 1 && cfg.pips <= 2,
+        "PiP supports 1 or 2 pictures"
+    );
     let mut s = String::from("<xspcl>\n");
     if cfg.reconfig_every.is_some() {
         s.push_str("  <queue name=\"mq\"/>\n");
@@ -263,18 +270,29 @@ pub fn build_on(cfg: &PipConfig, assets: Arc<AppAssets>) -> Result<PipApp, Xspcl
     let spec = VideoSpec::new(cfg.width, cfg.height, cfg.distinct_frames, cfg.seed);
     assets.ensure_raw("bg", || Arc::new(RawVideo::generate(spec)));
     assets.ensure_raw("pip1", || {
-        Arc::new(RawVideo::generate(VideoSpec { seed: cfg.seed + 1, ..spec }))
+        Arc::new(RawVideo::generate(VideoSpec {
+            seed: cfg.seed + 1,
+            ..spec
+        }))
     });
     if cfg.pips == 2 {
         assets.ensure_raw("pip2", || {
-            Arc::new(RawVideo::generate(VideoSpec { seed: cfg.seed + 2, ..spec }))
+            Arc::new(RawVideo::generate(VideoSpec {
+                seed: cfg.seed + 2,
+                ..spec
+            }))
         });
     }
     assets.capture_set("out", 3);
     let xml = pip_xml(cfg);
     let reg = registry(&assets);
     let elaborated = compile(&xml, &reg)?;
-    Ok(PipApp { cfg: cfg.clone(), assets, elaborated, xml })
+    Ok(PipApp {
+        cfg: cfg.clone(),
+        assets,
+        elaborated,
+        xml,
+    })
 }
 
 /// The hand-written sequential PiP: down scaling and blending fused into a
@@ -289,21 +307,23 @@ pub fn sequential(
     meter: &mut dyn Meter,
 ) -> Vec<[Vec<u8>; 3]> {
     let bg = assets.raw("bg");
-    let pips: Vec<Arc<RawVideo>> =
-        (0..cfg.pips).map(|k| assets.raw(&format!("pip{}", k + 1))).collect();
+    let pips: Vec<Arc<RawVideo>> = (0..cfg.pips)
+        .map(|k| assets.raw(&format!("pip{}", k + 1)))
+        .collect();
     let (w, h) = (cfg.width, cfg.height);
     let (pw, ph) = scaled_dims(w, h, cfg.factor);
     // reused working buffers: the composed frame, one input buffer per
     // picture, and the output "file" region
     let out_base = hinch::meter::sim_alloc((w * h) as u64);
-    let pip_bases: Vec<u64> =
-        (0..cfg.pips).map(|_| hinch::meter::sim_alloc((w * h) as u64)).collect();
+    let pip_bases: Vec<u64> = (0..cfg.pips)
+        .map(|_| hinch::meter::sim_alloc((w * h) as u64))
+        .collect();
     let file_base = hinch::meter::sim_alloc((w * h * 3) as u64);
     let mut outputs = Vec::with_capacity(frames as usize);
     let mut composed = vec![0u8; w * h];
     for frame in 0..frames as usize {
         let mut fields: [Vec<u8>; 3] = Default::default();
-        for field in 0..3 {
+        for field in [0, 1, 2] {
             // read background from the file, copy into the working buffer
             meter.touch(bg.read_access(frame, field));
             composed.copy_from_slice(bg.field(frame, field));
@@ -383,7 +403,10 @@ mod tests {
         for cfg in [
             PipConfig::small(1),
             PipConfig::small(2),
-            PipConfig { reconfig_every: Some(4), ..PipConfig::small(2) },
+            PipConfig {
+                reconfig_every: Some(4),
+                ..PipConfig::small(2)
+            },
         ] {
             let app = build(&cfg).expect("compiles");
             assert!(app.elaborated.spec.leaf_count() > 0);
@@ -414,7 +437,7 @@ mod tests {
             run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(2)).unwrap();
             let mut meter = NullMeter;
             let want = sequential(&cfg, &app.assets, frames, &mut meter);
-            for field in 0..3 {
+            for field in [0, 1, 2] {
                 let got = app.assets.captured("out", field);
                 assert_eq!(got.len(), frames as usize);
                 for (i, frame) in got.iter().enumerate() {
@@ -429,7 +452,10 @@ mod tests {
 
     #[test]
     fn reconfigurable_variant_runs_and_toggles() {
-        let cfg = PipConfig { reconfig_every: Some(4), ..PipConfig::small(2) };
+        let cfg = PipConfig {
+            reconfig_every: Some(4),
+            ..PipConfig::small(2)
+        };
         let app = build(&cfg).unwrap();
         let report = run_native(&app.elaborated.spec, &RunConfig::new(16).workers(2)).unwrap();
         assert_eq!(report.iterations, 16);

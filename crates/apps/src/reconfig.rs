@@ -42,12 +42,22 @@ impl Injector {
     ) -> Self {
         assert!(every >= 1);
         assert!(!payloads.is_empty());
-        Self { queue, event: event.into(), every, lead: 0, payloads, sent: 0 }
+        Self {
+            queue,
+            event: event.into(),
+            every,
+            lead: 0,
+            payloads,
+            sent: 0,
+        }
     }
 
     /// Fire events `lead` iterations early (pipeline-drain compensation).
     pub fn lead(mut self, lead: u64) -> Self {
-        assert!(lead + 1 < self.every, "lead must leave room within the period");
+        assert!(
+            lead + 1 < self.every,
+            "lead must leave room within the period"
+        );
         self.lead = lead;
         self
     }
@@ -61,7 +71,8 @@ impl Component for Injector {
     fn run(&mut self, ctx: &mut RunCtx<'_>) {
         if (ctx.iteration() + 1 + self.lead).is_multiple_of(self.every) {
             let payload = self.payloads[(self.sent as usize) % self.payloads.len()];
-            self.queue.send(Event::with_payload(self.event.clone(), payload));
+            self.queue
+                .send(Event::with_payload(self.event.clone(), payload));
             self.sent += 1;
         }
         ctx.charge(20);

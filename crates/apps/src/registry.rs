@@ -68,7 +68,11 @@ impl AppAssets {
         name: impl Into<String>,
         make: impl FnOnce() -> Arc<RawVideo>,
     ) -> Arc<RawVideo> {
-        self.raw.lock().entry(name.into()).or_insert_with(make).clone()
+        self.raw
+            .lock()
+            .entry(name.into())
+            .or_insert_with(make)
+            .clone()
     }
 
     /// Insert the MJPEG video only if absent.
@@ -77,7 +81,11 @@ impl AppAssets {
         name: impl Into<String>,
         make: impl FnOnce() -> Arc<MjpegVideo>,
     ) -> Arc<MjpegVideo> {
-        self.mjpeg.lock().entry(name.into()).or_insert_with(make).clone()
+        self.mjpeg
+            .lock()
+            .entry(name.into())
+            .or_insert_with(make)
+            .clone()
     }
 
     /// Insert an antenna signal only if absent.
@@ -86,7 +94,11 @@ impl AppAssets {
         name: impl Into<String>,
         make: impl FnOnce() -> Arc<AntennaSignal>,
     ) -> Arc<AntennaSignal> {
-        self.signals.lock().entry(name.into()).or_insert_with(make).clone()
+        self.signals
+            .lock()
+            .entry(name.into())
+            .or_insert_with(make)
+            .clone()
     }
 
     pub fn signal(&self, name: &str) -> Arc<AntennaSignal> {
@@ -99,7 +111,11 @@ impl AppAssets {
 
     /// Create (or fetch) a named spectrum accumulator with `bins` bins.
     pub fn accumulator(&self, name: impl Into<String>, bins: usize) -> SpectrumAccum {
-        self.accums.lock().entry(name.into()).or_insert_with(|| spectrum_accum(bins)).clone()
+        self.accums
+            .lock()
+            .entry(name.into())
+            .or_insert_with(|| spectrum_accum(bins))
+            .clone()
     }
 
     /// Create (or fetch) a named capture set with `ports` buffers.
@@ -131,8 +147,9 @@ impl AppAssets {
     pub fn captured(&self, name: &str, port: usize) -> Vec<Vec<u8>> {
         let cap = {
             let caps = self.captures.lock();
-            let set =
-                caps.get(name).unwrap_or_else(|| panic!("capture set '{name}' missing"));
+            let set = caps
+                .get(name)
+                .unwrap_or_else(|| panic!("capture set '{name}' missing"));
             set[port].clone()
         };
         let frames = cap.lock().clone();
@@ -183,11 +200,16 @@ pub fn registry(assets: &Arc<AppAssets>) -> ComponentRegistry {
         Box::new(JpegDecode::new(p.str_or("label", "dec").to_string()))
     });
 
-    reg.register("idct", |p| Box::new(Idct::new(p.str_or("label", "idct").to_string())));
+    reg.register("idct", |p| {
+        Box::new(Idct::new(p.str_or("label", "idct").to_string()))
+    });
 
     reg.register("downscale", |p| {
         let factor = p.int("factor") as usize;
-        Box::new(Downscale::new(factor, p.str_or("label", "small").to_string()))
+        Box::new(Downscale::new(
+            factor,
+            p.str_or("label", "small").to_string(),
+        ))
     });
 
     reg.register("blend", |p| {
@@ -199,11 +221,17 @@ pub fn registry(assets: &Arc<AppAssets>) -> ComponentRegistry {
     });
 
     reg.register("blur_h", |p| {
-        Box::new(BlurH::new(p.int_or("ksize", 3) as usize, p.str_or("label", "hout").to_string()))
+        Box::new(BlurH::new(
+            p.int_or("ksize", 3) as usize,
+            p.str_or("label", "hout").to_string(),
+        ))
     });
 
     reg.register("blur_v", |p| {
-        Box::new(BlurV::new(p.int_or("ksize", 3) as usize, p.str_or("label", "vout").to_string()))
+        Box::new(BlurV::new(
+            p.int_or("ksize", 3) as usize,
+            p.str_or("label", "vout").to_string(),
+        ))
     });
 
     let a = assets.clone();
@@ -221,16 +249,23 @@ pub fn registry(assets: &Arc<AppAssets>) -> ComponentRegistry {
         Box::new(AntennaSource::new(a.signal(p.str("signal"))))
     });
 
-    reg.register("channelize", |p| Box::new(Channelize::new(p.int("n") as usize)));
+    reg.register("channelize", |p| {
+        Box::new(Channelize::new(p.int("n") as usize))
+    });
 
-    reg.register("power_detect", |p| Box::new(PowerDetect::new(p.int("n") as usize)));
+    reg.register("power_detect", |p| {
+        Box::new(PowerDetect::new(p.int("n") as usize))
+    });
 
     reg.register("combine_power", |_p| Box::new(CombinePower));
 
     let a = assets.clone();
     reg.register("spectrum_integrator", move |p| {
         let bins = p.int("bins") as usize;
-        Box::new(SpectrumIntegrator::new(bins, a.accumulator(p.str("accum"), bins)))
+        Box::new(SpectrumIntegrator::new(
+            bins,
+            a.accumulator(p.str("accum"), bins),
+        ))
     });
 
     reg.register("injector", |p| {
@@ -295,7 +330,10 @@ mod tests {
     #[test]
     fn assets_lookup() {
         let assets = AppAssets::new();
-        assets.add_raw("bg", Arc::new(RawVideo::generate(VideoSpec::new(8, 8, 1, 0))));
+        assets.add_raw(
+            "bg",
+            Arc::new(RawVideo::generate(VideoSpec::new(8, 8, 1, 0))),
+        );
         assert_eq!(assets.raw("bg").spec.width, 8);
     }
 

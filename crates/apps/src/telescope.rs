@@ -40,8 +40,14 @@ impl TelescopeConfig {
             spectra_per_block: 16,
             slices: 8,
             tones: vec![
-                Tone { freq: 0.121, amplitude: 1.4 },
-                Tone { freq: 0.33, amplitude: 0.8 },
+                Tone {
+                    freq: 0.121,
+                    amplitude: 1.4,
+                },
+                Tone {
+                    freq: 0.33,
+                    amplitude: 0.8,
+                },
             ],
             noise: 0.5,
             distinct_blocks: 4,
@@ -56,7 +62,10 @@ impl TelescopeConfig {
             fft_size: 128,
             spectra_per_block: 4,
             slices: 2,
-            tones: vec![Tone { freq: 16.0 / 128.0, amplitude: 2.0 }],
+            tones: vec![Tone {
+                freq: 16.0 / 128.0,
+                amplitude: 2.0,
+            }],
             noise: 0.1,
             distinct_blocks: 2,
             seed: 99,
@@ -117,7 +126,9 @@ pub fn telescope_xml(cfg: &TelescopeConfig) -> String {
     s.push_str("      </parallel>\n");
     s.push_str("      <component name=\"combine\" class=\"combine_power\">\n");
     for a in 0..cfg.antennas {
-        s.push_str(&format!("        <in port=\"ant{a}\" stream=\"power{a}\"/>\n"));
+        s.push_str(&format!(
+            "        <in port=\"ant{a}\" stream=\"power{a}\"/>\n"
+        ));
     }
     s.push_str("        <out port=\"output\" stream=\"combined\"/>\n      </component>\n");
     s.push_str(&format!(
@@ -146,14 +157,21 @@ pub fn build_on(cfg: &TelescopeConfig, assets: Arc<AppAssets>) -> Result<Telesco
         let tones = cfg.tones.clone();
         let (noise, seed, blocks) = (cfg.noise, cfg.seed + a as u64, cfg.distinct_blocks);
         assets.ensure_signal(format!("ant{a}"), || {
-            Arc::new(AntennaSignal::generate(block_len, blocks, &tones, noise, seed))
+            Arc::new(AntennaSignal::generate(
+                block_len, blocks, &tones, noise, seed,
+            ))
         });
     }
     assets.accumulator("spectrum", cfg.fft_size / 2);
     let xml = telescope_xml(cfg);
     let reg = registry(&assets);
     let elaborated = compile(&xml, &reg)?;
-    Ok(TelescopeApp { cfg: cfg.clone(), assets, elaborated, xml })
+    Ok(TelescopeApp {
+        cfg: cfg.clone(),
+        assets,
+        elaborated,
+        xml,
+    })
 }
 
 /// The integrated mean spectrum after a run.
@@ -202,7 +220,10 @@ mod tests {
         let mut m = Machine::with_cores(4);
         run_sim(&app.elaborated.spec, &RunConfig::new(4), &mut m).unwrap();
         let sim = mean_spectrum(&app);
-        assert_eq!(native, sim, "floating-point results are order-fixed, so bit-equal");
+        assert_eq!(
+            native, sim,
+            "floating-point results are order-fixed, so bit-equal"
+        );
     }
 
     #[test]
@@ -212,7 +233,9 @@ mod tests {
             let app = build(&cfg).unwrap();
             app.assets.clear_captures();
             let mut m = Machine::with_cores(cores);
-            run_sim(&app.elaborated.spec, &RunConfig::new(6), &mut m).unwrap().cycles
+            run_sim(&app.elaborated.spec, &RunConfig::new(6), &mut m)
+                .unwrap()
+                .cycles
         };
         let one = cycles(1);
         let four = cycles(4);

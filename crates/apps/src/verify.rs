@@ -3,7 +3,13 @@
 /// Compare two frame sequences; panics with a precise location on any
 /// mismatch.
 pub fn assert_frames_equal(got: &[Vec<u8>], want: &[Vec<u8>], label: &str) {
-    assert_eq!(got.len(), want.len(), "{label}: frame count {} vs {}", got.len(), want.len());
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{label}: frame count {} vs {}",
+        got.len(),
+        want.len()
+    );
     for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
         assert_eq!(g.len(), w.len(), "{label}: frame {i} size differs");
         if g != w {

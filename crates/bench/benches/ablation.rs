@@ -22,17 +22,25 @@ fn pipeline_depth(c: &mut Criterion) {
     for depth in [1usize, 2, 5, 8] {
         let built = build(cfg);
         let mut m = Machine::with_cores(4);
-        let cycles = run_sim(&built.spec, &RunConfig::new(FRAMES).pipeline_depth(depth), &mut m)
-            .unwrap()
-            .cycles;
+        let cycles = run_sim(
+            &built.spec,
+            &RunConfig::new(FRAMES).pipeline_depth(depth),
+            &mut m,
+        )
+        .unwrap()
+        .cycles;
         eprintln!("depth={depth}: {cycles} cycles @4 cores");
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
             b.iter(|| {
                 let built = build(cfg);
                 let mut m = Machine::with_cores(4);
-                run_sim(&built.spec, &RunConfig::new(FRAMES).pipeline_depth(depth), &mut m)
-                    .unwrap()
-                    .cycles
+                run_sim(
+                    &built.spec,
+                    &RunConfig::new(FRAMES).pipeline_depth(depth),
+                    &mut m,
+                )
+                .unwrap()
+                .cycles
             })
         });
     }
@@ -91,14 +99,21 @@ fn l2_capacity(c: &mut Criterion) {
     let app = midsize_jpip();
     for l2_kib in [256usize, 2048, 8192] {
         let tile = TileConfig {
-            l2: CacheConfig { size: l2_kib * 1024, line: 128, assoc: 8 },
+            l2: CacheConfig {
+                size: l2_kib * 1024,
+                line: 128,
+                assoc: 8,
+            },
             ..TileConfig::with_cores(1)
         };
         app.assets.clear_captures();
         let mut m = Machine::new(tile.clone());
-        let r =
-            run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES).pipeline_depth(5), &mut m)
-                .unwrap();
+        let r = run_sim(
+            &app.elaborated.spec,
+            &RunConfig::new(FRAMES).pipeline_depth(5),
+            &mut m,
+        )
+        .unwrap();
         eprintln!(
             "L2={l2_kib}KiB: {} cycles, {} mem cycles, {} L2 misses",
             r.cycles, r.stats.mem_cycles, r.stats.l2_misses
@@ -107,9 +122,13 @@ fn l2_capacity(c: &mut Criterion) {
             b.iter(|| {
                 app.assets.clear_captures();
                 let mut m = Machine::new(tile.clone());
-                run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES).pipeline_depth(5), &mut m)
-                    .unwrap()
-                    .cycles
+                run_sim(
+                    &app.elaborated.spec,
+                    &RunConfig::new(FRAMES).pipeline_depth(5),
+                    &mut m,
+                )
+                .unwrap()
+                .cycles
             })
         });
     }

@@ -53,10 +53,9 @@ fn fig9(c: &mut Criterion) {
                 cycles,
                 reference as f64 / cycles as f64
             );
-            group.bench_function(
-                BenchmarkId::new(app.label().to_string(), cores),
-                |b| b.iter(|| run_sim(cfg, cores).cycles),
-            );
+            group.bench_function(BenchmarkId::new(app.label().to_string(), cores), |b| {
+                b.iter(|| run_sim(cfg, cores).cycles)
+            });
         }
     }
     group.finish();

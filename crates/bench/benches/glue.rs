@@ -32,8 +32,14 @@ fn glue_pipeline(c: &mut Criterion) {
     let assets = AppAssets::new();
     let spec = VideoSpec::new(cfg.width, cfg.height, 2, cfg.seed);
     assets.add_raw("bg", Arc::new(RawVideo::generate(spec)));
-    assets.add_raw("pip1", Arc::new(RawVideo::generate(VideoSpec { seed: 1, ..spec })));
-    assets.add_raw("pip2", Arc::new(RawVideo::generate(VideoSpec { seed: 2, ..spec })));
+    assets.add_raw(
+        "pip1",
+        Arc::new(RawVideo::generate(VideoSpec { seed: 1, ..spec })),
+    );
+    assets.add_raw(
+        "pip2",
+        Arc::new(RawVideo::generate(VideoSpec { seed: 2, ..spec })),
+    );
     let reg = registry(&assets);
     group.bench_function("parse_validate_elaborate", |b| {
         b.iter(|| xspcl::compile(&xml, &reg).unwrap().spec.leaf_count())

@@ -5,10 +5,10 @@
 //! that the coordination layer is cheap next to the component work.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hinch::component::{Component, Params, RunCtx};
 use hinch::engine::{run_native, RunConfig};
 use hinch::event::{Event, EventQueue};
 use hinch::graph::{factory, ComponentSpec, GraphSpec};
-use hinch::component::{Component, Params, RunCtx};
 use hinch::packet::pack;
 use hinch::sharedbuf::RegionBuf;
 use hinch::stream::Stream;
@@ -101,13 +101,18 @@ fn engine_dispatch(c: &mut Criterion) {
                         GraphSpec::Leaf(ComponentSpec::new(
                             format!("n{i}"),
                             "spin",
-                            factory(|_p: &Params| -> Box<dyn Component> { Box::new(Spin(7)) }, Params::new()),
+                            factory(
+                                |_p: &Params| -> Box<dyn Component> { Box::new(Spin(7)) },
+                                Params::new(),
+                            ),
                         ))
                     })
                     .collect(),
             );
             b.iter(|| {
-                run_native(&spec, &RunConfig::new(100).workers(workers)).unwrap().jobs_executed
+                run_native(&spec, &RunConfig::new(100).workers(workers))
+                    .unwrap()
+                    .jobs_executed
             })
         });
     }

@@ -7,19 +7,27 @@
 //! paper-figures --fig 7            Figure 7 (JPiP task graph, DOT)
 //! paper-figures --cache-stats      §4.1 cache-miss comparison
 //! paper-figures --predict          SPC prediction vs simulation (Fig. 1)
+//! paper-figures --trace <app>      record a flight-recorder trace of one
+//!                                  simulated run (pip, pip2, pip12, jpip,
+//!                                  jpip2, jpip12, blur, blur5, blur35);
+//!                                  writes <app>-trace.json (Chrome/Perfetto)
+//!                                  and prints the per-core utilization
+//!                                  summary
 //! paper-figures --fig all          everything
 //!
 //! options:
 //!   --scale small|paper   (default: paper)
 //!   --frames N            override the per-app frame count
 //!   --nodes a,b,c         node sweep (default: 1..=9)
+//!   --cores N             simulated cores for --trace (default: 4)
 //! ```
 //!
 //! Absolute cycle counts come from this repository's SpaceCAKE tile model;
 //! compare *shapes* against the paper (see `EXPERIMENTS.md`).
 
-use apps::experiment::{App, Scale};
+use apps::experiment::{run_sim_traced, App, AppConfig, Scale};
 use bench::{cache_comparison, figure10, figure7_dot, figure8, figure9, prediction_validation};
+use hinch::trace::export::{chrome_trace_json, utilization_summary};
 use std::process::ExitCode;
 
 struct Options {
@@ -29,6 +37,8 @@ struct Options {
     nodes: Vec<usize>,
     cache_stats: bool,
     predict: bool,
+    trace: Option<String>,
+    cores: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -39,6 +49,8 @@ fn parse_args() -> Result<Options, String> {
         nodes: (1..=9).collect(),
         cache_stats: false,
         predict: false,
+        trace: None,
+        cores: 4,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,17 +76,33 @@ fn parse_args() -> Result<Options, String> {
                     .next()
                     .ok_or("--nodes needs a value")?
                     .split(',')
-                    .map(|n| n.trim().parse::<usize>().map_err(|e| format!("bad node: {e}")))
+                    .map(|n| {
+                        n.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad node: {e}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--cache-stats" => opts.cache_stats = true,
             "--predict" => opts.predict = true,
+            "--trace" => opts.trace = Some(args.next().ok_or("--trace needs an app name")?),
+            "--cores" => {
+                opts.cores = args
+                    .next()
+                    .ok_or("--cores needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cores: {e}"))?;
+                if opts.cores == 0 {
+                    return Err("--cores must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if opts.fig.is_empty() && !opts.cache_stats && !opts.predict {
+    if opts.fig.is_empty() && !opts.cache_stats && !opts.predict && opts.trace.is_none() {
         return Err(
-            "nothing to do: pass --fig 7|8|9|10|all, --cache-stats and/or --predict".into(),
+            "nothing to do: pass --fig 7|8|9|10|all, --trace <app>, --cache-stats and/or --predict"
+                .into(),
         );
     }
     Ok(opts)
@@ -107,7 +135,74 @@ fn main() -> ExitCode {
     if opts.predict || all {
         print_prediction(&opts);
     }
+    if let Some(name) = &opts.trace {
+        if let Err(e) = run_trace(&opts, name) {
+            eprintln!("paper-figures: {e}");
+            return ExitCode::from(2);
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Map a command-line app name (case/punctuation-insensitive) to an [`App`].
+fn parse_app(name: &str) -> Option<App> {
+    let key: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_lowercase();
+    Some(match key.as_str() {
+        "pip" | "pip1" => App::Pip1,
+        "pip2" => App::Pip2,
+        "pip12" => App::Pip12,
+        "jpip" | "jpip1" => App::Jpip1,
+        "jpip2" => App::Jpip2,
+        "jpip12" => App::Jpip12,
+        "blur" | "blur3" | "blur3x3" => App::Blur3,
+        "blur5" | "blur5x5" => App::Blur5,
+        "blur35" => App::Blur35,
+        _ => return None,
+    })
+}
+
+/// `--trace <app>`: run one app on the simulator with the flight recorder
+/// attached, write the Chrome-trace JSON next to the working directory and
+/// print the per-core utilization summary.
+fn run_trace(opts: &Options, name: &str) -> Result<(), String> {
+    let app = parse_app(name).ok_or_else(|| {
+        format!(
+            "unknown app '{name}' (try pip, pip2, pip12, jpip, jpip2, jpip12, blur, blur5, blur35)"
+        )
+    })?;
+    let mut cfg = match opts.scale {
+        Scale::Paper => AppConfig::paper(app),
+        Scale::Small => AppConfig::small(app),
+    };
+    if let Some(frames) = opts.frames {
+        cfg = cfg.frames(frames);
+    }
+    println!(
+        "== trace: {} — {} frames on {} simulated cores ==",
+        app.label(),
+        cfg.frames,
+        opts.cores
+    );
+    let (report, recorder) = run_sim_traced(cfg, opts.cores);
+    let events = recorder.events();
+    let path = format!("{}-trace.json", name.to_lowercase());
+    std::fs::write(&path, chrome_trace_json(&events, recorder.clock()))
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "{} events over {} cycles ({} iterations, {} reconfigurations)",
+        events.len(),
+        report.cycles,
+        report.iterations,
+        report.reconfigs
+    );
+    println!("wrote {path} — open with Perfetto (ui.perfetto.dev) or chrome://tracing");
+    println!();
+    println!("{}", utilization_summary(&events, recorder.clock()));
+    Ok(())
 }
 
 fn print_prediction(opts: &Options) {

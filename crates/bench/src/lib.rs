@@ -54,7 +54,12 @@ pub fn figure8(scale: Scale, frames_override: Option<u64>) -> Vec<Fig8Row> {
             }
             let sequential = sequential_cycles(cfg);
             let xspcl = run_sim(cfg, 1).cycles;
-            Fig8Row { app, frames: cfg.frames, sequential_cycles: sequential, xspcl_cycles: xspcl }
+            Fig8Row {
+                app,
+                frames: cfg.frames,
+                sequential_cycles: sequential,
+                xspcl_cycles: xspcl,
+            }
         })
         .collect()
 }
@@ -91,11 +96,19 @@ pub fn figure9(scale: Scale, nodes: &[usize], frames_override: Option<u64>) -> V
             let points = nodes
                 .iter()
                 .map(|&n| {
-                    let cycles = if n == 1 { one_node } else { run_sim(cfg, n).cycles };
+                    let cycles = if n == 1 {
+                        one_node
+                    } else {
+                        run_sim(cfg, n).cycles
+                    };
                     (n, cycles, reference_cycles as f64 / cycles as f64)
                 })
                 .collect();
-            Fig9Series { app, reference_cycles, points }
+            Fig9Series {
+                app,
+                reference_cycles,
+                points,
+            }
         })
         .collect()
 }
@@ -198,8 +211,17 @@ pub fn prediction_validation(
             let mut pcfg = predict::PredictConfig::new(cores, cfg.frames);
             pcfg.overhead.job_base = 0;
             let prediction = predict::predict(&built.spec, &db, &pcfg);
-            let simulated = if cores == 1 { profile_run.cycles } else { run_sim(cfg, cores).cycles };
-            rows.push(PredictRow { app, cores, predicted: prediction.makespan, simulated });
+            let simulated = if cores == 1 {
+                profile_run.cycles
+            } else {
+                run_sim(cfg, cores).cycles
+            };
+            rows.push(PredictRow {
+                app,
+                cores,
+                predicted: prediction.makespan,
+                simulated,
+            });
         }
     }
     rows
@@ -227,7 +249,11 @@ pub fn cache_comparison(app: App, scale: Scale, frames: u64) -> CacheComparison 
     solo.run(|meter| {
         apps::experiment::run_baseline(cfg, &assets, meter);
     });
-    CacheComparison { app, xspcl, sequential: solo.stats() }
+    CacheComparison {
+        app,
+        xspcl,
+        sequential: solo.stats(),
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@ impl Complex32 {
 
     /// `e^{iθ}`.
     pub fn cis(theta: f32) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared magnitude `re² + im²`.
@@ -28,25 +31,37 @@ impl Complex32 {
     }
 
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     pub fn scale(self, s: f32) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for Complex32 {
     type Output = Complex32;
     fn add(self, o: Complex32) -> Complex32 {
-        Complex32 { re: self.re + o.re, im: self.im + o.im }
+        Complex32 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
 impl Sub for Complex32 {
     type Output = Complex32;
     fn sub(self, o: Complex32) -> Complex32 {
-        Complex32 { re: self.re - o.re, im: self.im - o.im }
+        Complex32 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 

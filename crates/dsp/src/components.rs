@@ -70,7 +70,11 @@ pub struct Channelize {
 
 impl Channelize {
     pub fn new(n: usize) -> Self {
-        Self { fft: Fft::new(n), window: hann_window(n), assign: SliceAssign::WHOLE }
+        Self {
+            fft: Fft::new(n),
+            window: hann_window(n),
+            assign: SliceAssign::WHOLE,
+        }
     }
 }
 
@@ -105,7 +109,10 @@ impl Component for Channelize {
             }
         }
         let count = range.len() as u64;
-        ctx.touch(input.access(range.start * n..range.end * n, hinch::meter::AccessKind::Read));
+        ctx.touch(input.access(
+            range.start * n..range.end * n,
+            hinch::meter::AccessKind::Read,
+        ));
         ctx.touch(out.access(
             range.start * n * 2..range.end * n * 2,
             hinch::meter::AccessKind::Write,
@@ -132,7 +139,10 @@ pub struct PowerDetect {
 
 impl PowerDetect {
     pub fn new(n: usize) -> Self {
-        Self { n, assign: SliceAssign::WHOLE }
+        Self {
+            n,
+            assign: SliceAssign::WHOLE,
+        }
     }
 }
 
@@ -166,7 +176,10 @@ impl Component for PowerDetect {
             range.start * n * 2..range.end * n * 2,
             hinch::meter::AccessKind::Read,
         ));
-        ctx.touch(out.access(range.start * bins..range.end * bins, hinch::meter::AccessKind::Write));
+        ctx.touch(out.access(
+            range.start * bins..range.end * bins,
+            hinch::meter::AccessKind::Write,
+        ));
         ctx.charge(range.len() as u64 * bins as u64 * CYC_POWER_PER_BIN);
     }
     fn reconfigure(&mut self, req: &ReconfigRequest) {
@@ -276,7 +289,10 @@ mod tests {
         let signal = Arc::new(AntennaSignal::generate(
             n * spectra_per_block,
             2,
-            &[Tone { freq: bin as f32 / n as f32, amplitude: 2.0 }],
+            &[Tone {
+                freq: bin as f32 / n as f32,
+                amplitude: 2.0,
+            }],
             0.05,
             77,
         ));
@@ -286,21 +302,36 @@ mod tests {
         let accum = spectrum_accum(n / 2);
 
         for iter in 0..2u64 {
-            run_component(&mut AntennaSource::new(signal.clone()), &[], &[s_in.clone()], iter);
+            run_component(
+                &mut AntennaSource::new(signal.clone()),
+                &[],
+                std::slice::from_ref(&s_in),
+                iter,
+            );
             // sliced channelize: 2 copies
             for i in 0..2 {
                 let mut c = Channelize::new(n);
                 c.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 2 }));
-                run_component(&mut c, &[s_in.clone()], &[s_fft.clone()], iter);
+                run_component(
+                    &mut c,
+                    std::slice::from_ref(&s_in),
+                    std::slice::from_ref(&s_fft),
+                    iter,
+                );
             }
             for i in 0..2 {
                 let mut p = PowerDetect::new(n);
                 p.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 2 }));
-                run_component(&mut p, &[s_fft.clone()], &[s_pow.clone()], iter);
+                run_component(
+                    &mut p,
+                    std::slice::from_ref(&s_fft),
+                    std::slice::from_ref(&s_pow),
+                    iter,
+                );
             }
             run_component(
                 &mut SpectrumIntegrator::new(n / 2, accum.clone()),
-                &[s_pow.clone()],
+                std::slice::from_ref(&s_pow),
                 &[],
                 iter,
             );
@@ -331,7 +362,7 @@ mod tests {
         let out = Stream::new("o");
         a.write(0, Arc::new(RegionBuf::from_vec("a", vec![1.0f32, 2.0])));
         b.write(0, Arc::new(RegionBuf::from_vec("b", vec![10.0f32, 20.0])));
-        run_component(&mut CombinePower, &[a, b], &[out.clone()], 0);
+        run_component(&mut CombinePower, &[a, b], std::slice::from_ref(&out), 0);
         let sum = out.read_as::<RegionBuf<f32>>(0);
         assert_eq!(sum.snapshot(), vec![11.0, 22.0]);
     }
@@ -340,7 +371,10 @@ mod tests {
     fn integrator_counts_spectra() {
         let accum = spectrum_accum(2);
         let s = Stream::new("p");
-        s.write(0, Arc::new(RegionBuf::from_vec("p", vec![1.0f32, 3.0, 5.0, 7.0])));
+        s.write(
+            0,
+            Arc::new(RegionBuf::from_vec("p", vec![1.0f32, 3.0, 5.0, 7.0])),
+        );
         run_component(&mut SpectrumIntegrator::new(2, accum.clone()), &[s], &[], 0);
         // two spectra of two bins
         assert_eq!(mean_spectrum(&accum), vec![3.0, 5.0]);

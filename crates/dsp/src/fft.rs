@@ -20,12 +20,17 @@ pub struct Fft {
 impl Fft {
     /// Plan an FFT of size `n` (power of two, ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two ≥ 2, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT size must be a power of two ≥ 2, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Complex32::cis(-2.0 * std::f32::consts::PI * k as f32 / n as f32))
             .collect();
         let bits = n.trailing_zeros();
-        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
         Self { n, twiddles, rev }
     }
 
@@ -159,8 +164,9 @@ mod tests {
     #[test]
     fn forward_inverse_roundtrip() {
         let n = 64;
-        let input: Vec<Complex32> =
-            (0..n).map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.7).cos())).collect();
+        let input: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.7).cos()))
+            .collect();
         let mut data = input.clone();
         let fft = Fft::new(n);
         fft.forward(&mut data);
@@ -173,8 +179,9 @@ mod tests {
     #[test]
     fn parseval() {
         let n = 64;
-        let input: Vec<Complex32> =
-            (0..n).map(|i| Complex32::new(((i % 9) as f32) - 4.0, 0.0)).collect();
+        let input: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new(((i % 9) as f32) - 4.0, 0.0))
+            .collect();
         let mut freq = input.clone();
         Fft::new(n).forward(&mut freq);
         let e_time: f32 = input.iter().map(|v| v.norm_sqr()).sum();

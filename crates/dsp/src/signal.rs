@@ -45,8 +45,8 @@ impl AntennaSignal {
                         t_global += 1;
                         let mut v = 0.0f32;
                         for tone in tones {
-                            v += tone.amplitude
-                                * (2.0 * std::f32::consts::PI * tone.freq * t).sin();
+                            v +=
+                                tone.amplitude * (2.0 * std::f32::consts::PI * tone.freq * t).sin();
                         }
                         // cheap approximate Gaussian: sum of uniforms
                         let n: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum();
@@ -56,7 +56,11 @@ impl AntennaSignal {
             })
             .collect();
         let bytes = (blocks * block_len * 4) as u64;
-        Self { block_len, samples, sim_base: sim_alloc(bytes) }
+        Self {
+            block_len,
+            samples,
+            sim_base: sim_alloc(bytes),
+        }
     }
 
     pub fn blocks(&self) -> usize {
@@ -85,7 +89,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let t = [Tone { freq: 0.1, amplitude: 1.0 }];
+        let t = [Tone {
+            freq: 0.1,
+            amplitude: 1.0,
+        }];
         let a = AntennaSignal::generate(256, 3, &t, 0.2, 9);
         let b = AntennaSignal::generate(256, 3, &t, 0.2, 9);
         for i in 0..3 {
@@ -108,12 +115,14 @@ mod tests {
         let s = AntennaSignal::generate(
             n,
             1,
-            &[Tone { freq: bin as f32 / n as f32, amplitude: 2.0 }],
+            &[Tone {
+                freq: bin as f32 / n as f32,
+                amplitude: 2.0,
+            }],
             0.1,
             1,
         );
-        let mut data: Vec<Complex32> =
-            s.block(0).iter().map(|&v| Complex32::new(v, 0.0)).collect();
+        let mut data: Vec<Complex32> = s.block(0).iter().map(|&v| Complex32::new(v, 0.0)).collect();
         Fft::new(n).forward(&mut data);
         let power: Vec<f32> = data[..n / 2].iter().map(|v| v.norm_sqr()).collect();
         let peak = power
@@ -130,10 +139,18 @@ mod tests {
         // the generator advances global time, so a tone is phase-coherent
         // from block to block (no spectral splatter at block boundaries)
         let freq = 0.25f32; // period of 4 samples
-        let s = AntennaSignal::generate(8, 2, &[Tone { freq, amplitude: 1.0 }], 0.0, 0);
+        let s = AntennaSignal::generate(
+            8,
+            2,
+            &[Tone {
+                freq,
+                amplitude: 1.0,
+            }],
+            0.0,
+            0,
+        );
         // sample 8 (start of block 1) continues the sine from sample 7
-        let expected =
-            (2.0 * std::f32::consts::PI * freq * 8.0).sin();
+        let expected = (2.0 * std::f32::consts::PI * freq * 8.0).sin();
         assert!((s.block(1)[0] - expected).abs() < 1e-5);
     }
 }

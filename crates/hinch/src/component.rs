@@ -248,7 +248,12 @@ impl<'a> RunCtx<'a> {
         outputs: &'a [Arc<Stream>],
         meter: &'a mut dyn Meter,
     ) -> Self {
-        Self { iter, inputs, outputs, meter }
+        Self {
+            iter,
+            inputs,
+            outputs,
+            meter,
+        }
     }
 
     /// The current iteration number (0-based).
@@ -271,7 +276,12 @@ impl<'a> RunCtx<'a> {
     pub fn read<T: Send + Sync + 'static>(&self, port: usize) -> Arc<T> {
         self.inputs
             .get(port)
-            .unwrap_or_else(|| panic!("input port {port} out of range ({} ports)", self.inputs.len()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "input port {port} out of range ({} ports)",
+                    self.inputs.len()
+                )
+            })
             .read_as::<T>(self.iter)
     }
 
@@ -286,7 +296,12 @@ impl<'a> RunCtx<'a> {
     pub fn write_arc<T: Send + Sync + 'static>(&self, port: usize, value: Arc<T>) {
         self.outputs
             .get(port)
-            .unwrap_or_else(|| panic!("output port {port} out of range ({} ports)", self.outputs.len()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "output port {port} out of range ({} ports)",
+                    self.outputs.len()
+                )
+            })
             .write(self.iter, value);
     }
 
@@ -297,7 +312,12 @@ impl<'a> RunCtx<'a> {
     pub fn forward_shared<T: Send + Sync + 'static>(&self, port: usize, value: Arc<T>) {
         self.outputs
             .get(port)
-            .unwrap_or_else(|| panic!("output port {port} out of range ({} ports)", self.outputs.len()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "output port {port} out of range ({} ports)",
+                    self.outputs.len()
+                )
+            })
             .write_shared_packet(self.iter, value);
     }
 
@@ -319,7 +339,12 @@ impl<'a> RunCtx<'a> {
     {
         self.outputs
             .get(port)
-            .unwrap_or_else(|| panic!("output port {port} out of range ({} ports)", self.outputs.len()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "output port {port} out of range ({} ports)",
+                    self.outputs.len()
+                )
+            })
             .write_shared(self.iter, init)
     }
 
@@ -332,13 +357,21 @@ impl<'a> RunCtx<'a> {
     /// Report a read sweep over simulated memory.
     #[inline]
     pub fn touch_read(&mut self, base: u64, len: u64) {
-        self.meter.touch(MemAccess { base, len, kind: AccessKind::Read });
+        self.meter.touch(MemAccess {
+            base,
+            len,
+            kind: AccessKind::Read,
+        });
     }
 
     /// Report a write sweep over simulated memory.
     #[inline]
     pub fn touch_write(&mut self, base: u64, len: u64) {
-        self.meter.touch(MemAccess { base, len, kind: AccessKind::Write });
+        self.meter.touch(MemAccess {
+            base,
+            len,
+            kind: AccessKind::Write,
+        });
     }
 
     /// Report a pre-built access record.
@@ -391,7 +424,11 @@ mod tests {
     #[test]
     fn slice_range_balance() {
         // 720 rows over 45 slices → 16 each (the paper's JPiP split).
-        let r = SliceAssign { index: 44, total: 45 }.range(720);
+        let r = SliceAssign {
+            index: 44,
+            total: 45,
+        }
+        .range(720);
         assert_eq!(r, 704..720);
         // 576 rows over 8 slices → 72 each (PiP).
         let r = SliceAssign { index: 0, total: 8 }.range(576);

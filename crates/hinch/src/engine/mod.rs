@@ -68,7 +68,7 @@ impl Default for OverheadModel {
 }
 
 /// Execution configuration shared by both engines.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunConfig {
     /// Worker threads (native engine). The simulation engine takes its
     /// core count from the platform instead.
@@ -80,6 +80,21 @@ pub struct RunConfig {
     pub iterations: u64,
     /// Run-time-system cost model (simulation engine only).
     pub overhead: OverheadModel,
+    /// Optional flight-recorder sink. `None` (the default) costs one
+    /// branch per would-be event and allocates nothing.
+    pub trace: Option<Arc<dyn trace::TraceSink>>,
+}
+
+impl std::fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("workers", &self.workers)
+            .field("pipeline_depth", &self.pipeline_depth)
+            .field("iterations", &self.iterations)
+            .field("overhead", &self.overhead)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 impl RunConfig {
@@ -89,6 +104,7 @@ impl RunConfig {
             pipeline_depth: 5,
             iterations,
             overhead: OverheadModel::default(),
+            trace: None,
         }
     }
 
@@ -104,6 +120,13 @@ impl RunConfig {
 
     pub fn overhead(mut self, overhead: OverheadModel) -> Self {
         self.overhead = overhead;
+        self
+    }
+
+    /// Attach a trace sink; both engines will emit job spans, scheduler
+    /// events and occupancy samples into it (see the `trace` crate).
+    pub fn trace(mut self, sink: Arc<dyn trace::TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 
@@ -138,6 +161,8 @@ pub(crate) struct PreparedReconfig {
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct EntryCost {
     pub created: usize,
+    /// Events drained from the manager's queue by this poll.
+    pub events: usize,
 }
 
 /// Execute the entry invocation of a manager: poll the queue, run the
@@ -151,6 +176,7 @@ pub(crate) fn exec_manager_entry(
 ) -> (Option<PreparedReconfig>, EntryCost) {
     let mut cost = EntryCost::default();
     let events: Vec<Event> = mgr.queue.drain();
+    cost.events = events.len();
     if events.is_empty() {
         return (None, cost);
     }
@@ -203,7 +229,11 @@ pub(crate) fn exec_manager_entry(
                         } else {
                             None
                         };
-                        toggles.push(ToggleOp { cell, target, prepared });
+                        toggles.push(ToggleOp {
+                            cell,
+                            target,
+                            prepared,
+                        });
                     }
                     EventAction::Forward(queue) => queue.send(event.clone()),
                     EventAction::Broadcast { key } => {
@@ -217,7 +247,14 @@ pub(crate) fn exec_manager_entry(
     if toggles.is_empty() && broadcasts.is_empty() {
         (None, cost)
     } else {
-        (Some(PreparedReconfig { mgr: mgr.clone(), toggles, broadcasts }), cost)
+        (
+            Some(PreparedReconfig {
+                mgr: mgr.clone(),
+                toggles,
+                broadcasts,
+            }),
+            cost,
+        )
     }
 }
 
@@ -251,10 +288,9 @@ pub(crate) fn apply_plans(
             state.enabled = op.target;
             if op.target {
                 grafted += op.prepared.as_ref().map(|n| n.count_leaves()).unwrap_or(0);
-                state.body = Some(
-                    op.prepared
-                        .unwrap_or_else(|| op.cell.build_body(&inst.streams, vec![plan.mgr.clone()]).0),
-                );
+                state.body = Some(op.prepared.unwrap_or_else(|| {
+                    op.cell.build_body(&inst.streams, vec![plan.mgr.clone()]).0
+                }));
             } else {
                 state.body = None; // components of the option are destroyed
             }
@@ -265,10 +301,12 @@ pub(crate) fn apply_plans(
                 body.collect_leaves(&mut leaves);
                 for (key, payload) in &plan.broadcasts {
                     for leaf in &leaves {
-                        leaf.comp.lock().reconfigure(&crate::component::ReconfigRequest::User {
-                            key: key.clone(),
-                            value: crate::component::ParamValue::Int(*payload),
-                        });
+                        leaf.comp
+                            .lock()
+                            .reconfigure(&crate::component::ReconfigRequest::User {
+                                key: key.clone(),
+                                value: crate::component::ParamValue::Int(*payload),
+                            });
                     }
                     broadcast_targets += leaves.len();
                 }
@@ -277,5 +315,10 @@ pub(crate) fn apply_plans(
         applied += 1;
     }
     let dag = Arc::new(flatten(&inst.root, &inst.streams, version));
-    ApplyOutcome { dag, applied, grafted, broadcast_targets }
+    ApplyOutcome {
+        dag,
+        applied,
+        grafted,
+        broadcast_targets,
+    }
 }

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Instant;
+use trace::{SpanKind, TraceEvent, TraceSink};
 
 struct State {
     tracker: Tracker,
@@ -36,6 +37,16 @@ struct State {
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
+    /// Flight-recorder sink; `None` costs one branch per would-be event.
+    trace: Option<Arc<dyn TraceSink>>,
+    /// Trace timestamps are nanoseconds since this instant.
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
 }
 
 /// Run `spec` for `cfg.iterations` iterations on `cfg.workers` threads.
@@ -51,6 +62,7 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
     let mut ready = Vec::new();
     tracker.admit(&mut ready);
 
+    let admitted = tracker.next_admit();
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             tracker,
@@ -63,7 +75,14 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
             aborted: false,
         }),
         cv: Condvar::new(),
+        trace: cfg.trace.clone(),
+        epoch: Instant::now(),
     });
+    if let Some(sink) = &shared.trace {
+        for iter in 0..admitted {
+            sink.record(TraceEvent::IterationAdmitted { iter, at: 0 });
+        }
+    }
 
     let start = Instant::now();
     let workers: Vec<_> = (0..cfg.workers)
@@ -71,7 +90,7 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("hinch-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i as u32))
                 .expect("spawn worker")
         })
         .collect();
@@ -98,7 +117,7 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
     })
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, core: u32) {
     loop {
         let job = {
             let mut state = shared.state.lock();
@@ -116,7 +135,7 @@ fn worker_loop(shared: &Shared) {
                 shared.cv.wait(&mut state);
             }
         };
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| execute(shared, job)));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| execute(shared, job, core)));
         if let Err(payload) = result {
             let mut state = shared.state.lock();
             state.aborted = true;
@@ -127,7 +146,7 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn execute(shared: &Shared, job: JobRef) {
+fn execute(shared: &Shared, job: JobRef, core: u32) {
     let kind = {
         let state = shared.state.lock();
         state.tracker.kind(job)
@@ -141,6 +160,19 @@ fn execute(shared: &Shared, job: JobRef) {
             let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
             leaf.comp.lock().run(&mut ctx);
             let busy = started.elapsed();
+            if let Some(sink) = &shared.trace {
+                let end = shared.now();
+                sink.record(TraceEvent::JobSpan {
+                    label: leaf.name.clone(),
+                    kind: SpanKind::Component,
+                    iter: job.iter,
+                    core,
+                    start: end.saturating_sub(busy.as_nanos() as u64),
+                    end,
+                    cycles: 0,
+                    cache: None,
+                });
+            }
             let mut state = shared.state.lock();
             let entry = state.per_node.entry(leaf.name.clone()).or_default();
             entry.0 += 1;
@@ -148,17 +180,52 @@ fn execute(shared: &Shared, job: JobRef) {
             finish_locked(shared, &mut state, job);
         }
         JobKind::MgrEntry(mgr) => {
+            let start = shared.trace.as_ref().map(|_| shared.now());
             let mut state = shared.state.lock();
             let streams = state.inst.streams.clone();
-            let (plan, _cost) = exec_manager_entry(&mgr, &streams, &state.pending);
+            let (plan, cost) = exec_manager_entry(&mgr, &streams, &state.pending);
+            if let Some(sink) = &shared.trace {
+                let end = shared.now();
+                sink.record(TraceEvent::JobSpan {
+                    label: format!("{}.entry", mgr.name),
+                    kind: SpanKind::ManagerEntry,
+                    iter: job.iter,
+                    core,
+                    start: start.unwrap_or(end),
+                    end,
+                    cycles: 0,
+                    cache: None,
+                });
+                sink.record(TraceEvent::EventPoll {
+                    manager: mgr.name.clone(),
+                    events: cost.events as u64,
+                    at: end,
+                });
+                if plan.is_some() && !state.tracker.is_halted() {
+                    sink.record(TraceEvent::QuiesceBegin { at: end });
+                }
+            }
             if let Some(plan) = plan {
                 state.pending.push(plan);
                 state.tracker.halt();
             }
             finish_locked(shared, &mut state, job);
         }
-        JobKind::MgrExit(_) => {
+        JobKind::MgrExit(mgr) => {
             // Synchronization point only.
+            if let Some(sink) = &shared.trace {
+                let now = shared.now();
+                sink.record(TraceEvent::JobSpan {
+                    label: format!("{}.exit", mgr.name),
+                    kind: SpanKind::ManagerExit,
+                    iter: job.iter,
+                    core,
+                    start: now,
+                    end: now,
+                    cycles: 0,
+                    cache: None,
+                });
+            }
             finish(shared, job);
         }
     }
@@ -170,9 +237,27 @@ fn finish(shared: &Shared, job: JobRef) {
 }
 
 fn finish_locked(shared: &Shared, state: &mut State, job: JobRef) {
+    let admitted_before = if shared.trace.is_some() {
+        state.tracker.next_admit()
+    } else {
+        0
+    };
     let mut newly = Vec::new();
     let effect = state.tracker.complete(job, &mut newly);
     state.ready.extend(newly);
+    if let Some(sink) = &shared.trace {
+        if effect != Effect::None {
+            let at = shared.now();
+            sink.record(TraceEvent::IterationRetired { iter: job.iter, at });
+            for stream in state.tracker.dag_of(job.iter).streams.iter() {
+                sink.record(TraceEvent::StreamOccupancy {
+                    stream: stream.name().to_string(),
+                    live_slots: stream.live_slots() as u64,
+                    at,
+                });
+            }
+        }
+    }
     if effect == Effect::Quiescent {
         let plans = std::mem::take(&mut state.pending);
         if plans.is_empty() {
@@ -181,6 +266,9 @@ fn finish_locked(shared: &Shared, state: &mut State, job: JobRef) {
             let mut resumed = Vec::new();
             state.tracker.resume_with(dag, &mut resumed);
             state.ready.extend(resumed);
+            if let Some(sink) = &shared.trace {
+                sink.record(TraceEvent::QuiesceEnd { at: shared.now() });
+            }
         } else {
             state.version += 1;
             let outcome = apply_plans(&state.inst, plans, state.version);
@@ -188,6 +276,25 @@ fn finish_locked(shared: &Shared, state: &mut State, job: JobRef) {
             let mut resumed = Vec::new();
             state.tracker.resume_with(outcome.dag, &mut resumed);
             state.ready.extend(resumed);
+            if let Some(sink) = &shared.trace {
+                let at = shared.now();
+                sink.record(TraceEvent::ReconfigApplied {
+                    plans: outcome.applied,
+                    grafted: outcome.grafted as u64,
+                    at,
+                });
+                sink.record(TraceEvent::DagSwap {
+                    version: state.version,
+                    at,
+                });
+                sink.record(TraceEvent::QuiesceEnd { at });
+            }
+        }
+    }
+    if let Some(sink) = &shared.trace {
+        let at = shared.now();
+        for iter in admitted_before..state.tracker.next_admit() {
+            sink.record(TraceEvent::IterationAdmitted { iter, at });
         }
     }
     // Wake workers: new jobs, or the run may be finished.
@@ -245,9 +352,7 @@ mod tests {
 
     fn buf_recorder_leaf(stream: &str, out: Arc<PMutex<Vec<i64>>>) -> GraphSpec {
         let f = factory(
-            move |_p: &Params| -> Box<dyn Component> {
-                Box::new(BufRecorder { out: out.clone() })
-            },
+            move |_p: &Params| -> Box<dyn Component> { Box::new(BufRecorder { out: out.clone() }) },
             Params::new(),
         );
         GraphSpec::Leaf(ComponentSpec::new("brec", "buf_recorder", f).input(stream))
@@ -326,7 +431,10 @@ mod tests {
         let qc = q.clone();
         let injector = factory(
             move |_p: &Params| -> Box<dyn Component> {
-                Box::new(Injector { queue: qc.clone(), every: 4 })
+                Box::new(Injector {
+                    queue: qc.clone(),
+                    every: 4,
+                })
             },
             Params::new(),
         );
@@ -392,7 +500,10 @@ mod tests {
                 }
             }
         }
-        let f = factory(|_p: &Params| -> Box<dyn Component> { Box::new(Bomb) }, Params::new());
+        let f = factory(
+            |_p: &Params| -> Box<dyn Component> { Box::new(Bomb) },
+            Params::new(),
+        );
         let g = GraphSpec::Leaf(ComponentSpec::new("bomb", "bomb", f));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = run_native(&g, &RunConfig::new(10).workers(2));

@@ -26,6 +26,7 @@ use crate::sched::{Effect, JobRef, Tracker};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+use trace::{CacheDelta, SpanKind, TraceEvent};
 
 /// A ready job awaiting a free core. Priority: the *oldest iteration*
 /// first (bounding latency, keeping one iteration's data hot instead of
@@ -106,7 +107,16 @@ pub fn run_sim(
     tracker.admit(&mut newly);
     for job in newly.drain(..) {
         seq += 1;
-        ready_q.push(Reverse(ReadyJob { time: barrier, seq, job }));
+        ready_q.push(Reverse(ReadyJob {
+            time: barrier,
+            seq,
+            job,
+        }));
+    }
+    if let Some(sink) = &cfg.trace {
+        for iter in 0..tracker.next_admit() {
+            sink.record(TraceEvent::IterationAdmitted { iter, at: 0 });
+        }
     }
 
     loop {
@@ -122,17 +132,27 @@ pub fn run_sim(
                 let start = head.time.max(core_free[core]).max(barrier);
                 // process any completion that (virtually) precedes this
                 // dispatch: it may ready a higher-priority job
-                let completion_first =
-                    running.peek().map(|Reverse(c)| c.time <= start).unwrap_or(false);
+                let completion_first = running
+                    .peek()
+                    .map(|Reverse(c)| c.time <= start)
+                    .unwrap_or(false);
                 if !completion_first {
-                    let Some(Reverse(t)) = ready_q.pop() else { unreachable!() };
-                    let dispatch = cfg.overhead.job_base
-                        + if cores > 1 { cfg.overhead.dispatch } else { 0 };
+                    let Some(Reverse(t)) = ready_q.pop() else {
+                        unreachable!()
+                    };
+                    let dispatch =
+                        cfg.overhead.job_base + if cores > 1 { cfg.overhead.dispatch } else { 0 };
+
+                    let kind = tracker.kind(t.job);
+                    let stats_before = cfg.trace.as_ref().map(|_| platform.stats());
+                    let was_halted = tracker.is_halted();
 
                     // Execute on the host *now*; dependencies are complete.
                     platform.begin_job(core);
-                    let plan = exec_job(&tracker, t.job, platform, cfg, &inst, &pending_plans);
+                    let plan =
+                        exec_job(&tracker, t.job, platform, cfg, &inst, &pending_plans, start);
                     let cycles = platform.end_job();
+                    let halting = plan.is_some();
                     if let Some(plan) = plan {
                         pending_plans.push(plan);
                         tracker.halt();
@@ -141,11 +161,43 @@ pub fn run_sim(
                     let end = start + dispatch + cycles;
                     core_free[core] = end;
                     core_busy[core] += dispatch + cycles;
-                    let entry = per_node.entry(tracker.kind(t.job).label()).or_default();
+                    let entry = per_node.entry(kind.label()).or_default();
                     entry.jobs += 1;
                     entry.cycles += dispatch + cycles;
+                    if let Some(sink) = &cfg.trace {
+                        let delta = platform
+                            .stats()
+                            .delta_since(&stats_before.unwrap_or_default());
+                        sink.record(TraceEvent::JobSpan {
+                            label: kind.label(),
+                            kind: match kind {
+                                JobKind::Comp(_) => SpanKind::Component,
+                                JobKind::MgrEntry(_) => SpanKind::ManagerEntry,
+                                JobKind::MgrExit(_) => SpanKind::ManagerExit,
+                            },
+                            iter: t.job.iter,
+                            core: core as u32,
+                            start,
+                            end,
+                            cycles: dispatch + cycles,
+                            cache: Some(CacheDelta {
+                                l1_misses: delta.l1_misses,
+                                l2_misses: delta.l2_misses,
+                                mem_cycles: delta.mem_cycles,
+                            }),
+                        });
+                        // The drain window opens when the entry job that
+                        // produced the plan finishes.
+                        if halting && !was_halted {
+                            sink.record(TraceEvent::QuiesceBegin { at: end });
+                        }
+                    }
                     seq += 1;
-                    running.push(Reverse(Completion { time: end, seq, job: t.job }));
+                    running.push(Reverse(Completion {
+                        time: end,
+                        seq,
+                        job: t.job,
+                    }));
                     continue;
                 }
             }
@@ -161,17 +213,35 @@ pub fn run_sim(
         // ready exactly at the clock of the completion that unblocked it
         // (its last dependency, or the retirement that admitted its
         // iteration).
+        let admitted_before = tracker.next_admit();
         let effect = tracker.complete(done.job, &mut newly);
         for job in newly.drain(..) {
             seq += 1;
-            ready_q.push(Reverse(ReadyJob { time: clock.max(barrier), seq, job }));
+            ready_q.push(Reverse(ReadyJob {
+                time: clock.max(barrier),
+                seq,
+                job,
+            }));
+        }
+        if let Some(sink) = &cfg.trace {
+            if effect != Effect::None {
+                sink.record(TraceEvent::IterationRetired {
+                    iter: done.job.iter,
+                    at: clock,
+                });
+                for stream in tracker.dag_of(done.job.iter).streams.iter() {
+                    sink.record(TraceEvent::StreamOccupancy {
+                        stream: stream.name().to_string(),
+                        live_slots: stream.live_slots() as u64,
+                        at: clock,
+                    });
+                }
+            }
         }
 
         if effect == Effect::Quiescent {
             let plans = std::mem::take(&mut pending_plans);
-            let resync = if plans.is_empty() {
-                0
-            } else {
+            if !plans.is_empty() {
                 version += 1;
                 let outcome = apply_plans(&inst, plans, version);
                 reconfigs += outcome.applied;
@@ -183,11 +253,31 @@ pub fn run_sim(
                 barrier = clock + cost;
                 for job in resumed {
                     seq += 1;
-                    ready_q.push(Reverse(ReadyJob { time: barrier, seq, job }));
+                    ready_q.push(Reverse(ReadyJob {
+                        time: barrier,
+                        seq,
+                        job,
+                    }));
                 }
-                cost
-            };
-            let _ = resync;
+                if let Some(sink) = &cfg.trace {
+                    sink.record(TraceEvent::ReconfigApplied {
+                        plans: outcome.applied,
+                        grafted: outcome.grafted as u64,
+                        at: clock,
+                    });
+                    sink.record(TraceEvent::DagSwap { version, at: clock });
+                    // The resync barrier closes the Fig. 10 window.
+                    sink.record(TraceEvent::QuiesceEnd { at: barrier });
+                }
+            }
+        }
+        if let Some(sink) = &cfg.trace {
+            for iter in admitted_before..tracker.next_admit() {
+                sink.record(TraceEvent::IterationAdmitted {
+                    iter,
+                    at: clock.max(barrier),
+                });
+            }
         }
     }
 
@@ -206,7 +296,9 @@ pub fn run_sim(
 
 /// Execute one job on the host, charging its costs to `platform`.
 /// Returns a reconfiguration plan when a manager entry produced one (the
-/// caller halts the tracker).
+/// caller halts the tracker). `at` is the job's virtual start time, used
+/// to timestamp event-poll trace events.
+#[allow(clippy::too_many_arguments)]
 fn exec_job(
     tracker: &Tracker,
     job: JobRef,
@@ -214,6 +306,7 @@ fn exec_job(
     cfg: &RunConfig,
     inst: &crate::graph::instance::InstanceGraph,
     pending: &[PreparedReconfig],
+    at: u64,
 ) -> Option<PreparedReconfig> {
     match tracker.kind(job) {
         JobKind::Comp(leaf) => {
@@ -227,6 +320,13 @@ fn exec_job(
             platform.charge(
                 cfg.overhead.event_poll + cfg.overhead.create_component * cost.created as u64,
             );
+            if let Some(sink) = &cfg.trace {
+                sink.record(TraceEvent::EventPoll {
+                    manager: mgr.name.clone(),
+                    events: cost.events as u64,
+                    at,
+                });
+            }
             plan
         }
         JobKind::MgrExit(_) => {
@@ -268,7 +368,10 @@ mod tests {
         // a → {x, y} → z; x and y (10 cycles each) overlap on 2 cores.
         let g = GraphSpec::seq(vec![
             leaf("a", &[], &["s"], 0),
-            GraphSpec::task(vec![leaf("x", &["s"], &["xs"], 0), leaf("y", &["s"], &["ys"], 0)]),
+            GraphSpec::task(vec![
+                leaf("x", &["s"], &["xs"], 0),
+                leaf("y", &["s"], &["ys"], 0),
+            ]),
             leaf("z", &["xs", "ys"], &[], 0),
         ]);
         let mut p1 = NullPlatform::new(1);
@@ -402,6 +505,11 @@ mod tests {
         );
         let mut p2 = NullPlatform::new(2);
         let r2 = run_sim(&g2, &RunConfig::new(12), &mut p2).unwrap();
-        assert!(r.cycles > r2.cycles, "{} should exceed {}", r.cycles, r2.cycles);
+        assert!(
+            r.cycles > r2.cycles,
+            "{} should exceed {}",
+            r.cycles,
+            r2.cycles
+        );
     }
 }

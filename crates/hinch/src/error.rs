@@ -13,7 +13,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HinchError {
     /// A stream is written by more than one leaf outside a sliced group.
-    MultipleWriters { stream: String, writers: Vec<String> },
+    MultipleWriters {
+        stream: String,
+        writers: Vec<String>,
+    },
     /// A leaf reads a stream that no leaf writes.
     NoWriter { stream: String, reader: String },
     /// A `slice` group was declared with `n == 0`.
@@ -37,13 +40,19 @@ impl fmt::Display for HinchError {
                 write!(f, "stream '{stream}' has multiple writers: {writers:?}")
             }
             HinchError::NoWriter { stream, reader } => {
-                write!(f, "component '{reader}' reads stream '{stream}' which has no writer")
+                write!(
+                    f,
+                    "component '{reader}' reads stream '{stream}' which has no writer"
+                )
             }
             HinchError::EmptySlice { group } => {
                 write!(f, "slice group '{group}' has n == 0")
             }
             HinchError::CrossDepTooFewBlocks { group, blocks } => {
-                write!(f, "crossdep group '{group}' needs at least 2 parblocks, has {blocks}")
+                write!(
+                    f,
+                    "crossdep group '{group}' needs at least 2 parblocks, has {blocks}"
+                )
             }
             HinchError::DuplicateOption { option } => {
                 write!(f, "duplicate option name '{option}'")

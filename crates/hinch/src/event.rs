@@ -25,11 +25,17 @@ pub struct Event {
 
 impl Event {
     pub fn new(kind: impl Into<String>) -> Self {
-        Self { kind: kind.into(), payload: 0 }
+        Self {
+            kind: kind.into(),
+            payload: 0,
+        }
     }
 
     pub fn with_payload(kind: impl Into<String>, payload: i64) -> Self {
-        Self { kind: kind.into(), payload }
+        Self {
+            kind: kind.into(),
+            payload,
+        }
     }
 }
 
@@ -49,7 +55,10 @@ pub struct EventQueue {
 impl EventQueue {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
-            inner: Arc::new(Inner { name: name.into(), queue: Mutex::new(VecDeque::new()) }),
+            inner: Arc::new(Inner {
+                name: name.into(),
+                queue: Mutex::new(VecDeque::new()),
+            }),
         }
     }
 

@@ -81,8 +81,9 @@ impl Dag {
     /// and by the property suite).
     pub fn is_acyclic(&self) -> bool {
         let mut indeg: Vec<usize> = self.jobs.iter().map(|j| j.preds.len()).collect();
-        let mut queue: Vec<u32> =
-            (0..self.jobs.len() as u32).filter(|&j| indeg[j as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..self.jobs.len() as u32)
+            .filter(|&j| indeg[j as usize] == 0)
+            .collect();
         let mut seen = 0;
         while let Some(j) = queue.pop() {
             seen += 1;
@@ -105,7 +106,13 @@ impl Dag {
                 JobKind::Comp(_) => "box",
                 _ => "diamond",
             };
-            let _ = writeln!(out, "  n{} [label=\"{}\", shape={}];", i, job.kind.label(), shape);
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", shape={}];",
+                i,
+                job.kind.label(),
+                shape
+            );
         }
         for (i, job) in self.jobs.iter().enumerate() {
             for &s in &job.succs {
@@ -124,7 +131,11 @@ struct Builder {
 impl Builder {
     fn push(&mut self, kind: JobKind) -> u32 {
         let idx = self.jobs.len() as u32;
-        self.jobs.push(JobDef { kind, preds: Vec::new(), succs: Vec::new() });
+        self.jobs.push(JobDef {
+            kind,
+            preds: Vec::new(),
+            succs: Vec::new(),
+        });
         idx
     }
 
@@ -186,9 +197,7 @@ fn walk(node: &Node, b: &mut Builder) -> Ends {
                 .collect();
             for j in 0..ends.len().saturating_sub(1) {
                 let n = ends[j + 1].len();
-                for (i, (next_sources, _)) in
-                    ends[j + 1].iter().map(|(s, k)| (s, k)).enumerate()
-                {
+                for (i, (next_sources, _)) in ends[j + 1].iter().map(|(s, k)| (s, k)).enumerate() {
                     for di in [-1i64, 0, 1] {
                         let ii = i as i64 + di;
                         if ii >= 0 && (ii as usize) < ends[j].len() {
@@ -199,8 +208,14 @@ fn walk(node: &Node, b: &mut Builder) -> Ends {
                 }
                 debug_assert_eq!(n, ends[j].len(), "crossdep blocks share n");
             }
-            let sources = ends.first().map(|row| row.iter().flat_map(|(s, _)| s.iter().copied()).collect()).unwrap_or_default();
-            let sinks = ends.last().map(|row| row.iter().flat_map(|(_, k)| k.iter().copied()).collect()).unwrap_or_default();
+            let sources = ends
+                .first()
+                .map(|row| row.iter().flat_map(|(s, _)| s.iter().copied()).collect())
+                .unwrap_or_default();
+            let sinks = ends
+                .last()
+                .map(|row| row.iter().flat_map(|(_, k)| k.iter().copied()).collect())
+                .unwrap_or_default();
             (sources, sinks)
         }
         Node::Managed { mgr, body } => {
@@ -254,10 +269,10 @@ pub fn flatten(root: &Node, streams: &super::instance::StreamTable, version: u64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::EventQueue;
     use crate::graph::instance::instantiate_graph;
     use crate::graph::testutil::leaf;
     use crate::graph::{GraphSpec, ManagerSpec};
-    use crate::event::EventQueue;
 
     fn flat(g: &GraphSpec) -> Dag {
         let inst = instantiate_graph(g);
@@ -289,7 +304,10 @@ mod tests {
     fn task_group_is_parallel_with_join() {
         let d = flat(&GraphSpec::seq(vec![
             leaf("src", &[], &["s"], 0),
-            GraphSpec::task(vec![leaf("x", &["s"], &["x1"], 0), leaf("y", &["s"], &["y1"], 0)]),
+            GraphSpec::task(vec![
+                leaf("x", &["s"], &["x1"], 0),
+                leaf("y", &["s"], &["y1"], 0),
+            ]),
             leaf("snk", &["x1"], &[], 0),
         ]));
         // src → {x, y} → snk (both x and y precede snk)
@@ -308,7 +326,10 @@ mod tests {
             GraphSpec::crossdep(
                 "cd",
                 4,
-                vec![leaf("h", &["in"], &["m"], 0), leaf("v", &["m"], &["out"], 0)],
+                vec![
+                    leaf("h", &["in"], &["m"], 0),
+                    leaf("v", &["m"], &["out"], 0),
+                ],
             ),
             leaf("snk", &["out"], &[], 0),
         ]));
@@ -316,8 +337,11 @@ mod tests {
         let la = labels(&d);
         let v_preds = |i: usize| {
             let vi = la.iter().position(|l| l == &format!("v.b1#{i}")).unwrap();
-            let mut names: Vec<String> =
-                d.jobs[vi].preds.iter().map(|&p| la[p as usize].clone()).collect();
+            let mut names: Vec<String> = d.jobs[vi]
+                .preds
+                .iter()
+                .map(|&p| la[p as usize].clone())
+                .collect();
             names.sort();
             names
         };

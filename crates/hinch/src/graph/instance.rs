@@ -32,7 +32,11 @@ pub fn new_stream_table() -> StreamTable {
 }
 
 fn get_or_create(table: &StreamTable, key: &str) -> Arc<Stream> {
-    table.lock().entry(key.to_string()).or_insert_with(|| Stream::new(key)).clone()
+    table
+        .lock()
+        .entry(key.to_string())
+        .or_insert_with(|| Stream::new(key))
+        .clone()
 }
 
 /// A live component instance bound to its streams.
@@ -93,7 +97,11 @@ impl OptCell {
     /// reconfiguration). `mgr_stack` must name the enclosing managers so
     /// that options nested inside the rebuilt body re-register with them.
     /// Returns the number of leaves created as well.
-    pub fn build_body(&self, streams: &StreamTable, mgr_stack: Vec<Arc<ManagerRt>>) -> (Node, usize) {
+    pub fn build_body(
+        &self,
+        streams: &StreamTable,
+        mgr_stack: Vec<Arc<ManagerRt>>,
+    ) -> (Node, usize) {
         let mut env = InstEnv {
             streams: streams.clone(),
             rename: self.rename.clone(),
@@ -125,8 +133,13 @@ pub enum Node {
     /// Concurrent children (a `task` group, or an expanded `slice` group).
     Par(Vec<Node>),
     /// Expanded crossdep group: `blocks[j][i]` is copy `i` of parblock `j`.
-    CrossDep { blocks: Vec<Vec<Node>> },
-    Managed { mgr: Arc<ManagerRt>, body: Box<Node> },
+    CrossDep {
+        blocks: Vec<Vec<Node>>,
+    },
+    Managed {
+        mgr: Arc<ManagerRt>,
+        body: Box<Node>,
+    },
     Opt(Arc<OptCell>),
 }
 
@@ -199,7 +212,27 @@ pub struct InstEnv {
 
 impl InstEnv {
     fn resolve(&self, key: &str) -> String {
-        self.rename.get(key).cloned().unwrap_or_else(|| key.to_string())
+        self.rename
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| key.to_string())
+    }
+}
+
+/// Compose a replication-group assignment with the enclosing scope's.
+///
+/// Copy `i` of an `n`-way group nested inside outer copy `(o, m)` is copy
+/// `o*n + i` of `m*n` — so leaves of *nested* data-parallel groups that
+/// write a stream shared across the outer copies still lease disjoint
+/// regions (without composition, inner copies of different outer copies
+/// would collide on the same range, making results schedule-dependent).
+fn compose_assign(outer: Option<SliceAssign>, i: usize, n: usize) -> SliceAssign {
+    match outer {
+        Some(o) => SliceAssign {
+            index: o.index * n + i,
+            total: o.total * n,
+        },
+        None => SliceAssign { index: i, total: n },
     }
 }
 
@@ -222,10 +255,23 @@ fn private_keys(body: &GraphSpec) -> HashSet<String> {
 pub fn instantiate(spec: &GraphSpec, env: &mut InstEnv) -> Node {
     match spec {
         GraphSpec::Leaf(c) => {
-            let inputs = c.inputs.iter().map(|k| get_or_create(&env.streams, &env.resolve(k))).collect();
-            let outputs =
-                c.outputs.iter().map(|k| get_or_create(&env.streams, &env.resolve(k))).collect();
-            Node::Leaf(LeafRt::create(c, inputs, outputs, env.slice, &env.name_suffix))
+            let inputs = c
+                .inputs
+                .iter()
+                .map(|k| get_or_create(&env.streams, &env.resolve(k)))
+                .collect();
+            let outputs = c
+                .outputs
+                .iter()
+                .map(|k| get_or_create(&env.streams, &env.resolve(k)))
+                .collect();
+            Node::Leaf(LeafRt::create(
+                c,
+                inputs,
+                outputs,
+                env.slice,
+                &env.name_suffix,
+            ))
         }
         GraphSpec::Seq(cs) => Node::Seq(cs.iter().map(|c| instantiate(c, env)).collect()),
         GraphSpec::Task(cs) => Node::Par(cs.iter().map(|c| instantiate(c, env)).collect()),
@@ -240,7 +286,7 @@ pub fn instantiate(spec: &GraphSpec, env: &mut InstEnv) -> Node {
                     let mut child = InstEnv {
                         streams: env.streams.clone(),
                         rename,
-                        slice: Some(SliceAssign { index: i, total: *n }),
+                        slice: Some(compose_assign(env.slice, i, *n)),
                         mgr_stack: env.mgr_stack.clone(),
                         name_suffix: format!("{}#{i}", env.name_suffix),
                     };
@@ -267,7 +313,7 @@ pub fn instantiate(spec: &GraphSpec, env: &mut InstEnv) -> Node {
                             let mut child = InstEnv {
                                 streams: env.streams.clone(),
                                 rename,
-                                slice: Some(SliceAssign { index: i, total: *n }),
+                                slice: Some(compose_assign(env.slice, i, *n)),
                                 mgr_stack: env.mgr_stack.clone(),
                                 name_suffix: format!("{}.b{j}#{i}", env.name_suffix),
                             };
@@ -283,14 +329,24 @@ pub fn instantiate(spec: &GraphSpec, env: &mut InstEnv) -> Node {
             env.mgr_stack.push(mgr.clone());
             let body = instantiate(body, env);
             env.mgr_stack.pop();
-            Node::Managed { mgr, body: Box::new(body) }
+            Node::Managed {
+                mgr,
+                body: Box::new(body),
+            }
         }
-        GraphSpec::Option { name, enabled, body } => {
+        GraphSpec::Option {
+            name,
+            enabled,
+            body,
+        } => {
             let cell = Arc::new(OptCell {
                 name: name.clone(),
                 spec: (**body).clone(),
                 rename: env.rename.clone(),
-                state: Mutex::new(OptState { enabled: *enabled, body: None }),
+                state: Mutex::new(OptState {
+                    enabled: *enabled,
+                    body: None,
+                }),
             });
             if let Some(mgr) = env.mgr_stack.last() {
                 mgr.options.lock().insert(name.clone(), cell.clone());
@@ -356,7 +412,10 @@ mod tests {
         inst.root.collect_leaves(&mut leaves);
         // 1 src + 4 copies + 1 sink
         assert_eq!(leaves.len(), 6);
-        let copies: Vec<_> = leaves.iter().filter(|l| l.name.starts_with("work")).collect();
+        let copies: Vec<_> = leaves
+            .iter()
+            .filter(|l| l.name.starts_with("work"))
+            .collect();
         assert_eq!(copies.len(), 4);
         assert_eq!(copies[0].name, "work#0");
         assert_eq!(copies[3].name, "work#3");
@@ -395,7 +454,10 @@ mod tests {
             GraphSpec::crossdep(
                 "cd",
                 3,
-                vec![leaf("h", &["in"], &["hout"], 0), leaf("v", &["hout"], &["out"], 0)],
+                vec![
+                    leaf("h", &["in"], &["hout"], 0),
+                    leaf("v", &["hout"], &["out"], 0),
+                ],
             ),
             leaf("snk", &["out"], &[], 0),
         ]);
@@ -472,6 +534,8 @@ mod tests {
         let table = inst.streams.lock();
         // x, y shared; t replicated 4 ways with composed names
         assert_eq!(table.len(), 6);
-        assert!(table.keys().any(|k| k.contains("@outer#0@inner#1") || k.contains("@inner#1")));
+        assert!(table
+            .keys()
+            .any(|k| k.contains("@outer#0@inner#1") || k.contains("@inner#1")));
     }
 }

@@ -129,7 +129,11 @@ pub struct ManagerSpec {
 
 impl ManagerSpec {
     pub fn new(name: impl Into<String>, queue: EventQueue) -> Self {
-        Self { name: name.into(), queue, rules: Vec::new() }
+        Self {
+            name: name.into(),
+            queue,
+            rules: Vec::new(),
+        }
     }
 
     pub fn on(mut self, event: impl Into<String>, actions: Vec<EventAction>) -> Self {
@@ -151,15 +155,30 @@ pub enum GraphSpec {
     /// `parallel shape="slice"`: the body is replicated `n` times; each
     /// copy is told its position via the reconfiguration interface and
     /// operates on its assigned region of the data.
-    Slice { name: String, n: usize, body: Box<GraphSpec> },
+    Slice {
+        name: String,
+        n: usize,
+        body: Box<GraphSpec>,
+    },
     /// `parallel shape="crossdep"`: every block is replicated `n` times,
     /// with copy `i` of block `j+1` depending on copies `i-1`, `i`, `i+1`
     /// of block `j` (the non-SP pattern of the paper's Fig. 5).
-    CrossDep { name: String, n: usize, blocks: Vec<GraphSpec> },
+    CrossDep {
+        name: String,
+        n: usize,
+        blocks: Vec<GraphSpec>,
+    },
     /// A manager container wrapping a reconfigurable subgraph.
-    Managed { manager: ManagerSpec, body: Box<GraphSpec> },
+    Managed {
+        manager: ManagerSpec,
+        body: Box<GraphSpec>,
+    },
     /// An optional subgraph, togglable at run time by its manager.
-    Option { name: String, enabled: bool, body: Box<GraphSpec> },
+    Option {
+        name: String,
+        enabled: bool,
+        body: Box<GraphSpec>,
+    },
 }
 
 impl GraphSpec {
@@ -176,19 +195,34 @@ impl GraphSpec {
     }
 
     pub fn slice(name: impl Into<String>, n: usize, body: GraphSpec) -> Self {
-        GraphSpec::Slice { name: name.into(), n, body: Box::new(body) }
+        GraphSpec::Slice {
+            name: name.into(),
+            n,
+            body: Box::new(body),
+        }
     }
 
     pub fn crossdep(name: impl Into<String>, n: usize, blocks: Vec<GraphSpec>) -> Self {
-        GraphSpec::CrossDep { name: name.into(), n, blocks }
+        GraphSpec::CrossDep {
+            name: name.into(),
+            n,
+            blocks,
+        }
     }
 
     pub fn managed(manager: ManagerSpec, body: GraphSpec) -> Self {
-        GraphSpec::Managed { manager, body: Box::new(body) }
+        GraphSpec::Managed {
+            manager,
+            body: Box::new(body),
+        }
     }
 
     pub fn option(name: impl Into<String>, enabled: bool, body: GraphSpec) -> Self {
-        GraphSpec::Option { name: name.into(), enabled, body: Box::new(body) }
+        GraphSpec::Option {
+            name: name.into(),
+            enabled,
+            body: Box::new(body),
+        }
     }
 
     /// Visit every component spec (regardless of option state).
@@ -236,13 +270,17 @@ impl GraphSpec {
             }
             GraphSpec::Slice { name, n, body } => {
                 if *n == 0 {
-                    return Err(HinchError::EmptySlice { group: name.clone() });
+                    return Err(HinchError::EmptySlice {
+                        group: name.clone(),
+                    });
                 }
                 body.validate_structure(true)
             }
             GraphSpec::CrossDep { name, n, blocks } => {
                 if *n == 0 {
-                    return Err(HinchError::EmptySlice { group: name.clone() });
+                    return Err(HinchError::EmptySlice {
+                        group: name.clone(),
+                    });
                 }
                 if blocks.len() < 2 {
                     return Err(HinchError::CrossDepTooFewBlocks {
@@ -293,7 +331,9 @@ impl GraphSpec {
                         readers.push((s, &c.name));
                     }
                 }
-                GraphSpec::Seq(cs) | GraphSpec::Task(cs) | GraphSpec::CrossDep { blocks: cs, .. } => {
+                GraphSpec::Seq(cs)
+                | GraphSpec::Task(cs)
+                | GraphSpec::CrossDep { blocks: cs, .. } => {
                     for c in cs {
                         walk(c, in_option, writers, readers);
                     }
@@ -385,7 +425,9 @@ fn collect_option_names<'a>(
         GraphSpec::Slice { body, .. } => collect_option_names(body, out),
         GraphSpec::Option { name, body, .. } => {
             if !out.insert(name) {
-                return Err(HinchError::DuplicateOption { option: name.clone() });
+                return Err(HinchError::DuplicateOption {
+                    option: name.clone(),
+                });
             }
             collect_option_names(body, out)
         }
@@ -457,9 +499,16 @@ pub(crate) mod testutil {
     /// Leaf spec for [`SliceAdd`] with one input and one output stream.
     pub fn slice_leaf(name: &str, input: &str, output: &str, add: i64) -> GraphSpec {
         let f: ComponentFactory = Arc::new(move || {
-            Box::new(SliceAdd { add, assign: crate::component::SliceAssign::WHOLE })
+            Box::new(SliceAdd {
+                add,
+                assign: crate::component::SliceAssign::WHOLE,
+            })
         });
-        GraphSpec::Leaf(ComponentSpec::new(name, "slice_add", f).input(input).output(output))
+        GraphSpec::Leaf(
+            ComponentSpec::new(name, "slice_add", f)
+                .input(input)
+                .output(output),
+        )
     }
 
     pub fn leaf(name: &str, inputs: &[&str], outputs: &[&str], add: i64) -> GraphSpec {
@@ -515,16 +564,19 @@ mod tests {
             GraphSpec::option("a", false, leaf("w2", &[], &["s"], 0)),
             leaf("snk", &["s"], &[], 0),
         ]);
-        assert!(matches!(g.validate(), Err(HinchError::MultipleWriters { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(HinchError::MultipleWriters { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_multiple_writers() {
-        let g = GraphSpec::task(vec![
-            leaf("w1", &[], &["s"], 1),
-            leaf("w2", &[], &["s"], 2),
-        ]);
-        assert!(matches!(g.validate(), Err(HinchError::MultipleWriters { .. })));
+        let g = GraphSpec::task(vec![leaf("w1", &[], &["s"], 1), leaf("w2", &[], &["s"], 2)]);
+        assert!(matches!(
+            g.validate(),
+            Err(HinchError::MultipleWriters { .. })
+        ));
     }
 
     #[test]
@@ -563,7 +615,10 @@ mod tests {
         let mgr = ManagerSpec::new("m", EventQueue::new("q"))
             .on("toggle", vec![EventAction::Toggle("nope".into())]);
         let g = GraphSpec::managed(mgr, leaf("x", &[], &["s"], 0));
-        assert!(matches!(g.validate(), Err(HinchError::UnknownOption { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(HinchError::UnknownOption { .. })
+        ));
     }
 
     #[test]
@@ -576,13 +631,16 @@ mod tests {
                 GraphSpec::option("o", true, leaf("y", &[], &["s2"], 0)),
             ]),
         );
-        assert!(matches!(g.validate(), Err(HinchError::DuplicateOption { .. })));
+        assert!(matches!(
+            g.validate(),
+            Err(HinchError::DuplicateOption { .. })
+        ));
     }
 
     #[test]
     fn nested_manager_options_are_scoped() {
-        let inner =
-            ManagerSpec::new("inner", EventQueue::new("qi")).on("t", vec![EventAction::Toggle("io".into())]);
+        let inner = ManagerSpec::new("inner", EventQueue::new("qi"))
+            .on("t", vec![EventAction::Toggle("io".into())]);
         let outer = ManagerSpec::new("outer", EventQueue::new("qo"));
         let g = GraphSpec::managed(
             outer,

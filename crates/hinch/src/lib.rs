@@ -52,3 +52,7 @@ pub use graph::{ComponentFactory, ComponentSpec, GraphSpec, ManagerSpec};
 pub use manager::{EventAction, EventRule};
 pub use meter::{MemAccess, Meter, NullMeter, Platform, PlatformStats};
 pub use report::{RunReport, SimReport};
+
+/// Re-export of the flight-recorder crate, so downstream users can build
+/// sinks and exporters without a separate dependency (`hinch::trace`).
+pub use trace;

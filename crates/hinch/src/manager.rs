@@ -45,7 +45,10 @@ pub struct EventRule {
 
 impl EventRule {
     pub fn new(event: impl Into<String>, actions: Vec<EventAction>) -> Self {
-        Self { event: event.into(), actions }
+        Self {
+            event: event.into(),
+            actions,
+        }
     }
 }
 

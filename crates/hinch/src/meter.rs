@@ -99,6 +99,20 @@ impl PlatformStats {
     pub fn accesses(&self) -> u64 {
         self.l1_hits + self.l1_misses
     }
+
+    /// Counter increase since `earlier` (a snapshot taken before some
+    /// window of interest, e.g. one job). Saturating, so a platform
+    /// `reset` between the snapshots yields zeros instead of wrapping.
+    pub fn delta_since(&self, earlier: &PlatformStats) -> PlatformStats {
+        PlatformStats {
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l1_misses: self.l1_misses.saturating_sub(earlier.l1_misses),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            mem_cycles: self.mem_cycles.saturating_sub(earlier.mem_cycles),
+            compute_cycles: self.compute_cycles.saturating_sub(earlier.compute_cycles),
+        }
+    }
 }
 
 /// A virtual execution platform used by the simulation engine.
@@ -156,7 +170,11 @@ pub struct NullPlatform {
 
 impl NullPlatform {
     pub fn new(cores: usize) -> Self {
-        Self { cores, compute: 0, current: 0 }
+        Self {
+            cores,
+            compute: 0,
+            current: 0,
+        }
     }
 }
 
@@ -178,7 +196,10 @@ impl Platform for NullPlatform {
         c
     }
     fn stats(&self) -> PlatformStats {
-        PlatformStats { compute_cycles: self.compute, ..Default::default() }
+        PlatformStats {
+            compute_cycles: self.compute,
+            ..Default::default()
+        }
     }
     fn reset(&mut self) {
         self.compute = 0;
@@ -219,7 +240,11 @@ mod tests {
         let mut m = TallyMeter::default();
         m.charge(5);
         m.charge(7);
-        m.touch(MemAccess { base: 0, len: 64, kind: AccessKind::Read });
+        m.touch(MemAccess {
+            base: 0,
+            len: 64,
+            kind: AccessKind::Read,
+        });
         assert_eq!(m.cycles, 12);
         assert_eq!(m.accesses.len(), 1);
     }
@@ -240,7 +265,11 @@ mod tests {
     fn miss_ratio_handles_zero() {
         let s = PlatformStats::default();
         assert_eq!(s.l1_miss_ratio(), 0.0);
-        let s2 = PlatformStats { l1_hits: 3, l1_misses: 1, ..Default::default() };
+        let s2 = PlatformStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            ..Default::default()
+        };
         assert!((s2.l1_miss_ratio() - 0.25).abs() < 1e-12);
     }
 }

@@ -27,14 +27,19 @@ impl RunReport {
         if self.iterations == 0 {
             Duration::ZERO
         } else {
-            self.elapsed / self.iterations as u32
+            // Divide in nanoseconds: `Duration / u32` would silently
+            // truncate iteration counts above `u32::MAX`.
+            Duration::from_nanos((self.elapsed.as_nanos() / self.iterations as u128) as u64)
         }
     }
 
     /// Per-node busy time, descending.
     pub fn hottest_nodes(&self) -> Vec<(String, u64, Duration)> {
-        let mut out: Vec<_> =
-            self.per_node.iter().map(|(k, (j, d))| (k.clone(), *j, *d)).collect();
+        let mut out: Vec<_> = self
+            .per_node
+            .iter()
+            .map(|(k, (j, d))| (k.clone(), *j, *d))
+            .collect();
         out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         out
     }
@@ -130,6 +135,32 @@ mod tests {
     }
 
     #[test]
+    fn per_iteration_survives_huge_iteration_counts() {
+        let r = RunReport {
+            iterations: 10_000_000_000, // > u32::MAX
+            elapsed: Duration::from_secs(100),
+            jobs_executed: 0,
+            reconfigs: 0,
+            workers: 1,
+            per_node: HashMap::new(),
+        };
+        assert_eq!(r.per_iteration(), Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn per_iteration_mean() {
+        let r = RunReport {
+            iterations: 4,
+            elapsed: Duration::from_millis(100),
+            jobs_executed: 12,
+            reconfigs: 0,
+            workers: 2,
+            per_node: HashMap::new(),
+        };
+        assert_eq!(r.per_iteration(), Duration::from_millis(25));
+    }
+
+    #[test]
     fn utilization_and_speedup() {
         let r = SimReport {
             cycles: 100,
@@ -147,9 +178,27 @@ mod tests {
     #[test]
     fn profile_aggregation() {
         let mut per_node = HashMap::new();
-        per_node.insert("main/a#0".to_string(), NodeProfile { jobs: 2, cycles: 10 });
-        per_node.insert("main/a#1".to_string(), NodeProfile { jobs: 2, cycles: 30 });
-        per_node.insert("main/b".to_string(), NodeProfile { jobs: 4, cycles: 15 });
+        per_node.insert(
+            "main/a#0".to_string(),
+            NodeProfile {
+                jobs: 2,
+                cycles: 10,
+            },
+        );
+        per_node.insert(
+            "main/a#1".to_string(),
+            NodeProfile {
+                jobs: 2,
+                cycles: 30,
+            },
+        );
+        per_node.insert(
+            "main/b".to_string(),
+            NodeProfile {
+                jobs: 4,
+                cycles: 15,
+            },
+        );
         let r = SimReport {
             cycles: 55,
             iterations: 2,

@@ -90,6 +90,13 @@ impl Tracker {
         self.in_flight
     }
 
+    /// Iterations admitted so far (the next iteration to admit). The
+    /// engines diff this across [`Tracker::complete`] /
+    /// [`Tracker::resume_with`] calls to emit admission trace events.
+    pub fn next_admit(&self) -> u64 {
+        self.next_admit
+    }
+
     pub fn is_halted(&self) -> bool {
         self.halted
     }
@@ -101,7 +108,10 @@ impl Tracker {
 
     /// The DAG executing iteration `iter` (current window's version).
     pub fn dag_of(&self, iter: u64) -> Arc<Dag> {
-        self.runs.get(&iter).map(|r| r.dag.clone()).unwrap_or_else(|| self.dag.clone())
+        self.runs
+            .get(&iter)
+            .map(|r| r.dag.clone())
+            .unwrap_or_else(|| self.dag.clone())
     }
 
     pub fn current_dag(&self) -> Arc<Dag> {
@@ -116,7 +126,11 @@ impl Tracker {
             let dag = self.dag.clone();
             let njobs = dag.jobs.len();
             let mut pending = vec![0u32; njobs];
-            let prev = if iter > self.window_start { self.runs.get(&(iter - 1)) } else { None };
+            let prev = if iter > self.window_start {
+                self.runs.get(&(iter - 1))
+            } else {
+                None
+            };
             for (idx, slot) in pending.iter_mut().enumerate() {
                 let mut p = dag.jobs[idx].preds.len() as u32;
                 if iter > self.window_start {
@@ -132,10 +146,21 @@ impl Tracker {
             }
             for (idx, &p) in pending.iter().enumerate() {
                 if p == 0 {
-                    ready.push(JobRef { iter, idx: idx as u32 });
+                    ready.push(JobRef {
+                        iter,
+                        idx: idx as u32,
+                    });
                 }
             }
-            self.runs.insert(iter, IterRun { dag, pending, done: vec![false; njobs], ndone: 0 });
+            self.runs.insert(
+                iter,
+                IterRun {
+                    dag,
+                    pending,
+                    done: vec![false; njobs],
+                    ndone: 0,
+                },
+            );
             self.next_admit += 1;
             self.in_flight += 1;
         }
@@ -167,7 +192,10 @@ impl Tracker {
     pub fn complete(&mut self, job: JobRef, ready: &mut Vec<JobRef>) -> Effect {
         self.jobs_executed += 1;
         let (retired, dag) = {
-            let run = self.runs.get_mut(&job.iter).expect("completing job of a live iteration");
+            let run = self
+                .runs
+                .get_mut(&job.iter)
+                .expect("completing job of a live iteration");
             let idx = job.idx as usize;
             assert!(!run.done[idx], "job completed twice: {job:?}");
             run.done[idx] = true;
@@ -178,7 +206,10 @@ impl Tracker {
                 let p = &mut run.pending[s as usize];
                 *p -= 1;
                 if *p == 0 {
-                    ready.push(JobRef { iter: job.iter, idx: s });
+                    ready.push(JobRef {
+                        iter: job.iter,
+                        idx: s,
+                    });
                 }
             }
             (run.ndone == run.dag.jobs.len(), run.dag.clone())
@@ -190,7 +221,10 @@ impl Tracker {
                 let p = &mut next.pending[job.idx as usize];
                 *p -= 1;
                 if *p == 0 {
-                    ready.push(JobRef { iter: job.iter + 1, idx: job.idx });
+                    ready.push(JobRef {
+                        iter: job.iter + 1,
+                        idx: job.idx,
+                    });
                 }
             }
         }
@@ -263,8 +297,7 @@ mod tests {
         let (mut t, _) = make_tracker(1, 3);
         let order = drain(&mut t);
         for it in 0..3 {
-            let pos =
-                |l: &str| order.iter().position(|(i, n)| *i == it && n == l).unwrap();
+            let pos = |l: &str| order.iter().position(|(i, n)| *i == it && n == l).unwrap();
             assert!(pos("a") < pos("b"));
             assert!(pos("b") < pos("c"));
         }
@@ -292,7 +325,11 @@ mod tests {
                 .filter(|(_, n)| n == label)
                 .map(|(i, _)| *i)
                 .collect();
-            assert_eq!(iters, vec![0, 1, 2], "node {label} must run iterations in order");
+            assert_eq!(
+                iters,
+                vec![0, 1, 2],
+                "node {label} must run iterations in order"
+            );
         }
     }
 
@@ -341,12 +378,8 @@ mod tests {
         while let Some(job) = ready.pop() {
             if let JobKind::Comp(l) = t.kind(job) {
                 let mut meter = crate::meter::NullMeter;
-                let mut ctx = crate::component::RunCtx::new(
-                    job.iter,
-                    &l.inputs,
-                    &l.outputs,
-                    &mut meter,
-                );
+                let mut ctx =
+                    crate::component::RunCtx::new(job.iter, &l.inputs, &l.outputs, &mut meter);
                 l.comp.lock().run(&mut ctx);
             }
             t.complete(job, &mut ready);

@@ -156,7 +156,9 @@ impl<T> RegionBuf<T> {
     /// If `range` is out of bounds or overlaps any active lease.
     pub fn lease_write(&self, range: Range<usize>) -> WriteLease<'_, T> {
         self.check_range(&range);
-        self.registry.lock().acquire(range.clone(), LeaseKind::Write, &self.name);
+        self.registry
+            .lock()
+            .acquire(range.clone(), LeaseKind::Write, &self.name);
         WriteLease { buf: self, range }
     }
 
@@ -166,7 +168,9 @@ impl<T> RegionBuf<T> {
     /// If `range` is out of bounds or overlaps an active *write* lease.
     pub fn lease_read(&self, range: Range<usize>) -> ReadLease<'_, T> {
         self.check_range(&range);
-        self.registry.lock().acquire(range.clone(), LeaseKind::Read, &self.name);
+        self.registry
+            .lock()
+            .acquire(range.clone(), LeaseKind::Read, &self.name);
         ReadLease { buf: self, range }
     }
 
@@ -221,24 +225,23 @@ impl<T> Deref for WriteLease<'_, T> {
     type Target = [T];
     fn deref(&self) -> &[T] {
         // SAFETY: the registry guarantees no other lease overlaps `range`.
-        unsafe {
-            std::slice::from_raw_parts(self.buf.range_ptr(&self.range), self.range.len())
-        }
+        unsafe { std::slice::from_raw_parts(self.buf.range_ptr(&self.range), self.range.len()) }
     }
 }
 
 impl<T> DerefMut for WriteLease<'_, T> {
     fn deref_mut(&mut self) -> &mut [T] {
         // SAFETY: as above; this lease is the unique accessor of `range`.
-        unsafe {
-            std::slice::from_raw_parts_mut(self.buf.range_ptr(&self.range), self.range.len())
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.buf.range_ptr(&self.range), self.range.len()) }
     }
 }
 
 impl<T> Drop for WriteLease<'_, T> {
     fn drop(&mut self) {
-        self.buf.registry.lock().release(&self.range, LeaseKind::Write);
+        self.buf
+            .registry
+            .lock()
+            .release(&self.range, LeaseKind::Write);
     }
 }
 
@@ -259,15 +262,16 @@ impl<T> Deref for ReadLease<'_, T> {
     fn deref(&self) -> &[T] {
         // SAFETY: the registry guarantees no write lease overlaps `range`,
         // so these elements are immutable while this lease is alive.
-        unsafe {
-            std::slice::from_raw_parts(self.buf.range_ptr(&self.range), self.range.len())
-        }
+        unsafe { std::slice::from_raw_parts(self.buf.range_ptr(&self.range), self.range.len()) }
     }
 }
 
 impl<T> Drop for ReadLease<'_, T> {
     fn drop(&mut self) {
-        self.buf.registry.lock().release(&self.range, LeaseKind::Read);
+        self.buf
+            .registry
+            .lock()
+            .release(&self.range, LeaseKind::Read);
     }
 }
 

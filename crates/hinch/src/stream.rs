@@ -28,7 +28,10 @@ pub struct Stream {
 
 impl Stream {
     pub fn new(name: impl Into<String>) -> Arc<Self> {
-        Arc::new(Self { name: name.into(), slots: Mutex::new(HashMap::new()) })
+        Arc::new(Self {
+            name: name.into(),
+            slots: Mutex::new(HashMap::new()),
+        })
     }
 
     pub fn name(&self) -> &str {
@@ -97,17 +100,13 @@ impl Stream {
     /// If the slot is empty — the task graph must schedule the writer
     /// before every reader, so an empty slot is a scheduling bug.
     pub fn read(&self, iter: u64) -> Packet {
-        self.slots
-            .lock()
-            .get(&iter)
-            .cloned()
-            .unwrap_or_else(|| {
-                panic!(
-                    "stream '{}': read of iteration {iter} before it was written \
+        self.slots.lock().get(&iter).cloned().unwrap_or_else(|| {
+            panic!(
+                "stream '{}': read of iteration {iter} before it was written \
                      (scheduling bug)",
-                    self.name
-                )
-            })
+                self.name
+            )
+        })
     }
 
     /// Read and downcast the packet for `iter`.

@@ -25,7 +25,8 @@ impl Component for Tick {
     }
     fn run(&mut self, ctx: &mut RunCtx<'_>) {
         if let Some(log) = &self.log {
-            log.lock().push(format!("{}@{}", self.name, ctx.iteration()));
+            log.lock()
+                .push(format!("{}@{}", self.name, ctx.iteration()));
         }
         for p in 0..ctx.num_outputs() {
             ctx.write(p, ctx.iteration() as i64);
@@ -41,7 +42,11 @@ fn tick(name: &str, inputs: &[&str], outputs: &[&str], cost: u64, log: Option<Lo
         "tick",
         factory(
             move |_p: &Params| -> Box<dyn Component> {
-                Box::new(Tick { name: name_s.clone(), cost, log: log.clone() })
+                Box::new(Tick {
+                    name: name_s.clone(),
+                    cost,
+                    log: log.clone(),
+                })
             },
             Params::new(),
         ),
@@ -68,10 +73,7 @@ fn nested_task_in_slice_in_task_flattens_and_runs() {
             GraphSpec::slice(
                 "sl",
                 3,
-                GraphSpec::task(vec![
-                    sink("a", &["s"]),
-                    sink("b", &["s"]),
-                ]),
+                GraphSpec::task(vec![sink("a", &["s"]), sink("b", &["s"])]),
             ),
             sink("c", &["s"]),
         ]),
@@ -148,7 +150,11 @@ fn reconfiguration_cost_appears_in_the_makespan() {
     // + resync 500 + 100
     // exact enabled-iteration count depends on the drain; assert bounds
     assert!(r.cycles >= 160 + 1000 + 600 + 10, "cycles = {}", r.cycles);
-    assert!(r.cycles <= 160 + 1000 + 600 + 8 * 10, "cycles = {}", r.cycles);
+    assert!(
+        r.cycles <= 160 + 1000 + 600 + 8 * 10,
+        "cycles = {}",
+        r.cycles
+    );
 }
 
 #[test]
@@ -184,7 +190,10 @@ fn enable_when_already_enabled_is_ignored() {
     );
     let r = run_native(&g, &RunConfig::new(12).workers(2)).unwrap();
     // exactly one reconfiguration: the first enable; the rest are ignored
-    assert_eq!(r.reconfigs, 1, "enable of an enabled option must be ignored");
+    assert_eq!(
+        r.reconfigs, 1,
+        "enable of an enabled option must be ignored"
+    );
 }
 
 #[test]
@@ -222,7 +231,11 @@ fn many_reconfigurations_back_to_back_stay_consistent() {
     // every entry sees a toggle → reconfig storm; depth 4 exercises drain
     let r = run_native(&g, &RunConfig::new(20).workers(3).pipeline_depth(4)).unwrap();
     assert_eq!(r.iterations, 20);
-    assert!(r.reconfigs >= 4, "storm must cause many reconfigs: {}", r.reconfigs);
+    assert!(
+        r.reconfigs >= 4,
+        "storm must cause many reconfigs: {}",
+        r.reconfigs
+    );
     // x ran in some iterations but not all
     let n = log.lock().len();
     assert!(n > 0 && n < 20, "x ran {n}/20 iterations");
@@ -317,13 +330,30 @@ fn nested_options_stay_toggleable_after_outer_reenable() {
     // iteration: 0 enable outer, 3 enable inner, 6 disable outer,
     // 9 enable outer (re-create; inner state was captured in the spec as
     // disabled), 12 enable inner again
-    let script = vec!["outer", "", "", "inner", "", "", "outer_off", "", "", "outer", "", "", "inner"];
+    let script = vec![
+        "outer",
+        "",
+        "",
+        "inner",
+        "",
+        "",
+        "outer_off",
+        "",
+        "",
+        "outer",
+        "",
+        "",
+        "inner",
+    ];
     let pulse = GraphSpec::Leaf(ComponentSpec::new(
         "pulse",
         "pulse",
         factory(
             move |_p: &Params| -> Box<dyn Component> {
-                Box::new(Pulse { queue: qc.clone(), script: script.clone() })
+                Box::new(Pulse {
+                    queue: qc.clone(),
+                    script: script.clone(),
+                })
             },
             Params::new(),
         ),
@@ -342,7 +372,11 @@ fn nested_options_stay_toggleable_after_outer_reenable() {
                 false,
                 GraphSpec::seq(vec![
                     tick("base", &[], &["s"], 1, None),
-                    GraphSpec::option("in", false, tick("deep", &["s"], &["s2"], 1, Some(log.clone()))),
+                    GraphSpec::option(
+                        "in",
+                        false,
+                        tick("deep", &["s"], &["s2"], 1, Some(log.clone())),
+                    ),
                 ]),
             ),
         ]),
@@ -361,7 +395,10 @@ fn nested_options_stay_toggleable_after_outer_reenable() {
         .map(|e| e.rsplit('@').next().unwrap().parse::<u64>().unwrap())
         .max()
         .unwrap();
-    assert!(last >= 14, "inner option must run again after the outer re-enable (last={last})");
+    assert!(
+        last >= 14,
+        "inner option must run again after the outer re-enable (last={last})"
+    );
 }
 
 #[test]

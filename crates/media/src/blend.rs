@@ -37,7 +37,11 @@ pub fn blend_rows(
     rows: Range<usize>,
     dst: &mut [u8],
 ) -> BlendWork {
-    assert_eq!(dst.len(), rows.len() * w, "destination must cover exactly the requested rows");
+    assert_eq!(
+        dst.len(),
+        rows.len() * w,
+        "destination must cover exactly the requested rows"
+    );
     let mut work = BlendWork::default();
     for (ri, y) in rows.clone().enumerate() {
         let out_row = &mut dst[ri * w..(ri + 1) * w];
@@ -64,7 +68,10 @@ pub fn pack_pos(x: u32, y: u32) -> i64 {
 
 /// Inverse of [`pack_pos`].
 pub fn unpack_pos(payload: i64) -> (u32, u32) {
-    (((payload >> 32) & 0xffff_ffff) as u32, (payload & 0xffff_ffff) as u32)
+    (
+        ((payload >> 32) & 0xffff_ffff) as u32,
+        (payload & 0xffff_ffff) as u32,
+    )
 }
 
 #[cfg(test)]

@@ -39,7 +39,11 @@ pub fn blur_h_rows(
     dst: &mut [u8],
 ) -> u64 {
     assert_eq!(src.len(), w * h);
-    assert_eq!(dst.len(), rows.len() * w, "destination must cover exactly the requested rows");
+    assert_eq!(
+        dst.len(),
+        rows.len() * w,
+        "destination must cover exactly the requested rows"
+    );
     let k = kernel(ksize);
     let r = (ksize / 2) as isize;
     for (ri, y) in rows.clone().enumerate() {
@@ -71,7 +75,11 @@ pub fn blur_v_rows(
     dst: &mut [u8],
 ) -> u64 {
     assert_eq!(src.len(), w * h);
-    assert_eq!(dst.len(), rows.len() * w, "destination must cover exactly the requested rows");
+    assert_eq!(
+        dst.len(),
+        rows.len() * w,
+        "destination must cover exactly the requested rows"
+    );
     let k = kernel(ksize);
     let r = (ksize / 2) as isize;
     for (ri, y) in rows.clone().enumerate() {

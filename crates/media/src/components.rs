@@ -42,7 +42,11 @@ pub struct PlaneSource {
 
 impl PlaneSource {
     pub fn new(video: Arc<RawVideo>, field: usize, label: impl Into<String>) -> Self {
-        Self { video, field, label: label.into() }
+        Self {
+            video,
+            field,
+            label: label.into(),
+        }
     }
 }
 
@@ -105,7 +109,10 @@ pub struct FrameSink {
 impl FrameSink {
     /// `captures[i]` receives input port `i`'s pixels (None = discard).
     pub fn new(captures: Vec<Option<Capture>>) -> Self {
-        Self { captures, out_base: None }
+        Self {
+            captures,
+            out_base: None,
+        }
     }
 
     /// Capture only port 0.
@@ -151,7 +158,11 @@ pub struct Downscale {
 impl Downscale {
     pub fn new(factor: usize, label: impl Into<String>) -> Self {
         assert!(factor >= 1);
-        Self { factor, assign: SliceAssign::WHOLE, label: label.into() }
+        Self {
+            factor,
+            assign: SliceAssign::WHOLE,
+            label: label.into(),
+        }
     }
 }
 
@@ -173,7 +184,14 @@ impl Component for Downscale {
         let consumed = {
             let src_px = src.read_all();
             let mut dst = out.write_rows(rows.clone());
-            downscale_rows(&src_px, src.width(), src.height(), self.factor, rows.clone(), &mut dst)
+            downscale_rows(
+                &src_px,
+                src.width(),
+                src.height(),
+                self.factor,
+                rows.clone(),
+                &mut dst,
+            )
         };
         src.touch_read(ctx, in_rows);
         out.touch_write(ctx, rows);
@@ -205,7 +223,11 @@ pub struct Blend {
 
 impl Blend {
     pub fn new(x: u32, y: u32, _label: impl Into<String>) -> Self {
-        Self { x, y, assign: SliceAssign::WHOLE }
+        Self {
+            x,
+            y,
+            assign: SliceAssign::WHOLE,
+        }
     }
 }
 
@@ -232,8 +254,7 @@ impl Component for Blend {
                 let src = pip.read_rows(y0 - py..y1 - py);
                 for (ri, _y) in (y0..y1).enumerate() {
                     let pr = ri * pip.width();
-                    dst[ri * w + x0..ri * w + x1]
-                        .copy_from_slice(&src[pr..pr + (x1 - x0)]);
+                    dst[ri * w + x0..ri * w + x1].copy_from_slice(&src[pr..pr + (x1 - x0)]);
                     blended += (x1 - x0) as u64;
                 }
                 bg.touch_write(ctx, y0..y1);
@@ -270,7 +291,11 @@ pub struct BlurH {
 
 impl BlurH {
     pub fn new(ksize: usize, label: impl Into<String>) -> Self {
-        Self { ksize, assign: SliceAssign::WHOLE, label: label.into() }
+        Self {
+            ksize,
+            assign: SliceAssign::WHOLE,
+            label: label.into(),
+        }
     }
 }
 
@@ -296,7 +321,11 @@ impl Component for BlurH {
         };
         src.touch_read(ctx, rows.clone());
         out.touch_write(ctx, rows);
-        let per_px = if self.ksize == 3 { CYC_BLUR_H3_PX } else { CYC_BLUR_H5_PX };
+        let per_px = if self.ksize == 3 {
+            CYC_BLUR_H3_PX
+        } else {
+            CYC_BLUR_H5_PX
+        };
         ctx.charge(per_px * px);
     }
 
@@ -329,7 +358,11 @@ pub struct BlurV {
 
 impl BlurV {
     pub fn new(ksize: usize, label: impl Into<String>) -> Self {
-        Self { ksize, assign: SliceAssign::WHOLE, label: label.into() }
+        Self {
+            ksize,
+            assign: SliceAssign::WHOLE,
+            label: label.into(),
+        }
     }
 }
 
@@ -351,11 +384,22 @@ impl Component for BlurV {
         let px = {
             let src_px = src.read_rows(input.clone());
             let mut dst = out.write_rows(rows.clone());
-            blur_v_band(&src_px, w, input.clone(), self.ksize, rows.clone(), &mut dst)
+            blur_v_band(
+                &src_px,
+                w,
+                input.clone(),
+                self.ksize,
+                rows.clone(),
+                &mut dst,
+            )
         };
         src.touch_read(ctx, input);
         out.touch_write(ctx, rows);
-        let per_px = if self.ksize == 3 { CYC_BLUR_V3_PX } else { CYC_BLUR_V5_PX };
+        let per_px = if self.ksize == 3 {
+            CYC_BLUR_V3_PX
+        } else {
+            CYC_BLUR_V5_PX
+        };
         ctx.charge(per_px * px);
     }
 
@@ -401,7 +445,9 @@ pub struct JpegDecode {
 
 impl JpegDecode {
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into() }
+        Self {
+            label: label.into(),
+        }
     }
 }
 
@@ -443,7 +489,10 @@ pub struct Idct {
 
 impl Idct {
     pub fn new(label: impl Into<String>) -> Self {
-        Self { assign: SliceAssign::WHOLE, label: label.into() }
+        Self {
+            assign: SliceAssign::WHOLE,
+            label: label.into(),
+        }
     }
 }
 
@@ -502,8 +551,8 @@ mod tests {
         let video = Arc::new(RawVideo::generate(VideoSpec::new(16, 8, 2, 1)));
         let out = Stream::new("o");
         let mut src = PlaneSource::new(video.clone(), 0, "y");
-        run_component(&mut src, &[], &[out.clone()], 0);
-        run_component(&mut src, &[], &[out.clone()], 1);
+        run_component(&mut src, &[], std::slice::from_ref(&out), 0);
+        run_component(&mut src, &[], std::slice::from_ref(&out), 1);
         let p0 = out.read_as::<Plane>(0);
         let p1 = out.read_as::<Plane>(1);
         assert_eq!(p0.to_vec(), video.field(0, 0));
@@ -516,13 +565,18 @@ mod tests {
         let input = Stream::new("in");
         let out = Stream::new("out");
         let mut src = PlaneSource::new(video, 0, "y");
-        run_component(&mut src, &[], &[input.clone()], 0);
+        run_component(&mut src, &[], std::slice::from_ref(&input), 0);
 
         // 4 slice copies write one shared output plane
         for i in 0..4 {
             let mut d = Downscale::new(4, "small");
             d.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 4 }));
-            run_component(&mut d, &[input.clone()], &[out.clone()], 0);
+            run_component(
+                &mut d,
+                std::slice::from_ref(&input),
+                std::slice::from_ref(&out),
+                0,
+            );
         }
         let small = out.read_as::<Plane>(0);
         assert_eq!((small.width(), small.height()), (8, 8));
@@ -546,7 +600,12 @@ mod tests {
         input_bg.write(0, Arc::new(Plane::from_pixels("bg", 8, 8, vec![9; 64])));
         input_pip.write(0, Arc::new(Plane::from_pixels("pip", 2, 2, vec![1; 4])));
         let mut b = Blend::new(3, 3, "out");
-        run_component(&mut b, &[input_bg, input_pip], &[out.clone()], 0);
+        run_component(
+            &mut b,
+            &[input_bg, input_pip],
+            std::slice::from_ref(&out),
+            0,
+        );
         let o = out.read_as::<Plane>(0);
         let v = o.to_vec();
         assert_eq!(v[3 * 8 + 3], 1);
@@ -565,7 +624,12 @@ mod tests {
         let out = Stream::new("out");
         input_bg.write(0, Arc::new(Plane::from_pixels("bg", 8, 8, vec![0; 64])));
         input_pip.write(0, Arc::new(Plane::from_pixels("pip", 2, 2, vec![255; 4])));
-        run_component(&mut b, &[input_bg, input_pip], &[out.clone()], 0);
+        run_component(
+            &mut b,
+            &[input_bg, input_pip],
+            std::slice::from_ref(&out),
+            0,
+        );
         let v = out.read_as::<Plane>(0).to_vec();
         assert_eq!(v[2 * 8 + 5], 255);
         assert_eq!(v[0], 0);
@@ -578,16 +642,26 @@ mod tests {
         let hout = Stream::new("h");
         let vout = Stream::new("v");
         let mut src = PlaneSource::new(video.clone(), 0, "y");
-        run_component(&mut src, &[], &[input.clone()], 0);
+        run_component(&mut src, &[], std::slice::from_ref(&input), 0);
         for i in 0..3 {
             let mut h = BlurH::new(5, "h");
             h.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 3 }));
-            run_component(&mut h, &[input.clone()], &[hout.clone()], 0);
+            run_component(
+                &mut h,
+                std::slice::from_ref(&input),
+                std::slice::from_ref(&hout),
+                0,
+            );
         }
         for i in 0..3 {
             let mut v = BlurV::new(5, "v");
             v.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 3 }));
-            run_component(&mut v, &[hout.clone()], &[vout.clone()], 0);
+            run_component(
+                &mut v,
+                std::slice::from_ref(&hout),
+                std::slice::from_ref(&vout),
+                0,
+            );
         }
         let got = vout.read_as::<Plane>(0).to_vec();
         let want = crate::blur::blur_plane(video.field(0, 0), 24, 24, 5);
@@ -603,7 +677,7 @@ mod tests {
         let coef = [Stream::new("cy"), Stream::new("cu"), Stream::new("cv")];
         let pix = Stream::new("py");
         let mut src = MjpegSource::new(mj.clone());
-        run_component(&mut src, &[], &[cstream.clone()], 0);
+        run_component(&mut src, &[], std::slice::from_ref(&cstream), 0);
         let mut dec = JpegDecode::new("dec");
         run_component(
             &mut dec,
@@ -614,7 +688,12 @@ mod tests {
         for i in 0..2 {
             let mut idct = Idct::new("y");
             idct.reconfigure(&ReconfigRequest::Slice(SliceAssign { index: i, total: 2 }));
-            run_component(&mut idct, &[coef[0].clone()], &[pix.clone()], 0);
+            run_component(
+                &mut idct,
+                std::slice::from_ref(&coef[0]),
+                std::slice::from_ref(&pix),
+                0,
+            );
         }
         let got = pix.read_as::<Plane>(0).to_vec();
         let (want, _) = crate::jpeg::codec::decode_plane(
@@ -634,7 +713,7 @@ mod tests {
         input.write(0, Arc::new(Plane::from_pixels("p", 4, 2, vec![3; 8])));
         input.write(1, Arc::new(Plane::from_pixels("p", 4, 2, vec![4; 8])));
         let mut sink = FrameSink::single(cap.clone());
-        run_component(&mut sink, &[input.clone()], &[], 0);
+        run_component(&mut sink, std::slice::from_ref(&input), &[], 0);
         run_component(&mut sink, &[input], &[], 1);
         let frames = cap.lock();
         assert_eq!(frames.len(), 2);

@@ -45,18 +45,11 @@ pub const CYC_ENTROPY_BLOCK: u64 = 60;
 /// of the paper's uncompressed inputs).
 pub const CYC_SOURCE_PX: u64 = 1;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ratios_preserve_paper_regime() {
-        // blur does much more compute per pixel than blend/scale — that is
-        // why Blur has the best compute-to-communication ratio (§4.2).
-        assert!(CYC_BLUR_H5_PX + CYC_BLUR_V5_PX > 4 * (CYC_BLEND_PX + CYC_COPY_PX));
-        // an IDCT block (64 px) costs more per pixel than blending.
-        assert!(CYC_IDCT_BLOCK / 64 > CYC_BLEND_PX);
-        // 5×5 blur is distinctly more expensive than 3×3.
-        assert!(CYC_BLUR_H5_PX > 2 * CYC_BLUR_H3_PX);
-    }
-}
+// Compile-time checks that the constants preserve the paper's regime:
+// blur does much more compute per pixel than blend/scale (that is why
+// Blur has the best compute-to-communication ratio, §4.2), an IDCT block
+// (64 px) costs more per pixel than blending, and 5×5 blur is distinctly
+// more expensive than 3×3.
+const _: () = assert!(CYC_BLUR_H5_PX + CYC_BLUR_V5_PX > 4 * (CYC_BLEND_PX + CYC_COPY_PX));
+const _: () = assert!(CYC_IDCT_BLOCK / 64 > CYC_BLEND_PX);
+const _: () = assert!(CYC_BLUR_H5_PX > 2 * CYC_BLUR_H3_PX);

@@ -22,13 +22,21 @@ pub struct Plane {
 impl Plane {
     /// Zero-filled plane.
     pub fn new(name: &str, w: usize, h: usize) -> Self {
-        Self { w, h, data: RegionBuf::new(name, w * h) }
+        Self {
+            w,
+            h,
+            data: RegionBuf::new(name, w * h),
+        }
     }
 
     /// Plane from raster-order pixels (len must be `w*h`).
     pub fn from_pixels(name: &str, w: usize, h: usize, pixels: Vec<u8>) -> Self {
         assert_eq!(pixels.len(), w * h, "pixel count must match dimensions");
-        Self { w, h, data: RegionBuf::from_vec(name, pixels) }
+        Self {
+            w,
+            h,
+            data: RegionBuf::from_vec(name, pixels),
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -41,7 +49,8 @@ impl Plane {
 
     /// Lease rows `[rows.start, rows.end)` for writing.
     pub fn write_rows(&self, rows: Range<usize>) -> WriteLease<'_, u8> {
-        self.data.lease_write(rows.start * self.w..rows.end * self.w)
+        self.data
+            .lease_write(rows.start * self.w..rows.end * self.w)
     }
 
     /// Lease rows `[rows.start, rows.end)` for reading.
@@ -61,12 +70,18 @@ impl Plane {
 
     /// Report a read sweep over `rows` to the platform.
     pub fn touch_read(&self, ctx: &mut RunCtx<'_>, rows: Range<usize>) {
-        ctx.touch(self.data.access(rows.start * self.w..rows.end * self.w, AccessKind::Read));
+        ctx.touch(
+            self.data
+                .access(rows.start * self.w..rows.end * self.w, AccessKind::Read),
+        );
     }
 
     /// Report a write sweep over `rows` to the platform.
     pub fn touch_write(&self, ctx: &mut RunCtx<'_>, rows: Range<usize>) {
-        ctx.touch(self.data.access(rows.start * self.w..rows.end * self.w, AccessKind::Write));
+        ctx.touch(
+            self.data
+                .access(rows.start * self.w..rows.end * self.w, AccessKind::Write),
+        );
     }
 
     /// Report sweeps against any [`hinch::meter::Meter`] (for baselines
@@ -77,7 +92,10 @@ impl Plane {
         rows: Range<usize>,
         kind: AccessKind,
     ) {
-        meter.touch(self.data.access(rows.start * self.w..rows.end * self.w, kind));
+        meter.touch(
+            self.data
+                .access(rows.start * self.w..rows.end * self.w, kind),
+        );
     }
 }
 
@@ -104,10 +122,19 @@ pub struct CoefPlane {
 impl CoefPlane {
     /// Zeroed coefficient plane for a `w`×`h` image (multiples of 8).
     pub fn new(name: &str, w: usize, h: usize) -> Self {
-        assert!(w.is_multiple_of(8) && h.is_multiple_of(8), "dimensions must be multiples of 8");
+        assert!(
+            w.is_multiple_of(8) && h.is_multiple_of(8),
+            "dimensions must be multiples of 8"
+        );
         let blocks_w = w / 8;
         let blocks_h = h / 8;
-        Self { w, h, blocks_w, blocks_h, data: RegionBuf::new(name, blocks_w * blocks_h * 64) }
+        Self {
+            w,
+            h,
+            blocks_w,
+            blocks_h,
+            data: RegionBuf::new(name, blocks_w * blocks_h * 64),
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -158,7 +185,11 @@ impl CoefPlane {
 
 impl std::fmt::Debug for CoefPlane {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CoefPlane({}x{}, {}x{} blocks)", self.w, self.h, self.blocks_w, self.blocks_h)
+        write!(
+            f,
+            "CoefPlane({}x{}, {}x{} blocks)",
+            self.w, self.h, self.blocks_w, self.blocks_h
+        )
     }
 }
 

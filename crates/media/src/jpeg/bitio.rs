@@ -60,7 +60,11 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, byte: 0, bit: 0 }
+        Self {
+            data,
+            byte: 0,
+            bit: 0,
+        }
     }
 
     /// Next bit; 1-bits past the end (matches the writer's padding, and

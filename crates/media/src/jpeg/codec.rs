@@ -46,7 +46,10 @@ impl JpegImage {
 
 /// Encode one plane (dimensions must be multiples of 8).
 pub fn encode_plane(pixels: &[u8], w: usize, h: usize, channel: Channel, quality: u8) -> Vec<u8> {
-    assert!(w.is_multiple_of(8) && h.is_multiple_of(8), "dimensions must be multiples of 8");
+    assert!(
+        w.is_multiple_of(8) && h.is_multiple_of(8),
+        "dimensions must be multiples of 8"
+    );
     assert_eq!(pixels.len(), w * h);
     let table = scaled_table(channel, quality);
     let (dc_spec, ac_spec) = match channel {
@@ -64,8 +67,7 @@ pub fn encode_plane(pixels: &[u8], w: usize, h: usize, channel: Channel, quality
         for bx in 0..blocks_w {
             for y in 0..8 {
                 for x in 0..8 {
-                    samples[y * 8 + x] =
-                        pixels[(by * 8 + y) * w + bx * 8 + x] as i16 - 128;
+                    samples[y * 8 + x] = pixels[(by * 8 + y) * w + bx * 8 + x] as i16 - 128;
                 }
             }
             let coefs = fdct(&samples);
@@ -214,7 +216,11 @@ pub fn idct_block_to_pixels(coefs: &[i16; 64], out: &mut [u8; 64]) {
 /// block rows, block-major) into `out` — the matching pixel rows
 /// (`n_block_rows * 8` rows of width `blocks_w * 8`).
 pub fn idct_block_rows(coefs: &[i16], blocks_w: usize, out: &mut [u8]) -> u64 {
-    assert_eq!(coefs.len() % (blocks_w * 64), 0, "whole block rows required");
+    assert_eq!(
+        coefs.len() % (blocks_w * 64),
+        0,
+        "whole block rows required"
+    );
     let n_block_rows = coefs.len() / (blocks_w * 64);
     let w = blocks_w * 8;
     assert_eq!(out.len(), n_block_rows * 8 * w);
@@ -246,7 +252,13 @@ pub fn encode_frame(planes: [&[u8]; 3], w: usize, h: usize, quality: u8) -> Jpeg
         hinch::meter::sim_alloc(scans[1].len() as u64),
         hinch::meter::sim_alloc(scans[2].len() as u64),
     ];
-    JpegImage { w, h, quality, scans, sim_bases }
+    JpegImage {
+        w,
+        h,
+        quality,
+        scans,
+        sim_bases,
+    }
 }
 
 impl JpegImage {

@@ -13,8 +13,7 @@ fn cos_table() -> &'static [[f32; 8]; 8] {
         let mut t = [[0.0f32; 8]; 8];
         for (x, row) in t.iter_mut().enumerate() {
             for (u, v) in row.iter_mut().enumerate() {
-                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos()
-                    as f32;
+                *v = ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos() as f32;
             }
         }
         t

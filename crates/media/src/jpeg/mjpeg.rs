@@ -37,7 +37,11 @@ impl MjpegVideo {
                 ))
             })
             .collect();
-        Self { spec, quality, frames }
+        Self {
+            spec,
+            quality,
+            frames,
+        }
     }
 
     pub fn frames(&self) -> usize {
@@ -100,7 +104,11 @@ mod tests {
     fn compression_actually_compresses() {
         let spec = VideoSpec::new(64, 64, 1, 3);
         let v = MjpegVideo::generate(spec, 50);
-        assert!(v.mean_frame_bytes() < 3 * 64 * 64 / 2, "got {}", v.mean_frame_bytes());
+        assert!(
+            v.mean_frame_bytes() < 3 * 64 * 64 / 2,
+            "got {}",
+            v.mean_frame_bytes()
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub enum Channel {
 /// Scale a base table by JPEG quality (1..=100, libjpeg formula).
 pub fn scaled_table(channel: Channel, quality: u8) -> [u16; 64] {
     let quality = quality.clamp(1, 100) as u32;
-    let scale = if quality < 50 { 5000 / quality } else { 200 - 2 * quality };
+    let scale = if quality < 50 {
+        5000 / quality
+    } else {
+        200 - 2 * quality
+    };
     let base = match channel {
         Channel::Luma => &LUMA_Q,
         Channel::Chroma => &CHROMA_Q,

@@ -24,7 +24,12 @@ pub struct VideoSpec {
 
 impl VideoSpec {
     pub fn new(width: usize, height: usize, frames: usize, seed: u64) -> Self {
-        Self { width, height, frames, seed }
+        Self {
+            width,
+            height,
+            frames,
+            seed,
+        }
     }
 
     /// The paper's PiP input format: 720×576.
@@ -66,7 +71,11 @@ impl RawVideo {
             })
             .collect();
         let bytes = (spec.frames * spec.width * spec.height * 3) as u64;
-        Self { spec, planes, sim_base: sim_alloc(bytes) }
+        Self {
+            spec,
+            planes,
+            sim_base: sim_alloc(bytes),
+        }
     }
 
     pub fn frames(&self) -> usize {

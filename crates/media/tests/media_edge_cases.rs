@@ -13,8 +13,12 @@ fn jpeg_minimum_image_one_block() {
     let scan = encode_plane(&img, 8, 8, Channel::Luma, 90);
     let (back, stats) = decode_plane(&scan, 8, 8, Channel::Luma, 90);
     assert_eq!(stats.blocks, 1);
-    let mae: f64 =
-        img.iter().zip(back.iter()).map(|(&a, &b)| (a as f64 - b as f64).abs()).sum::<f64>() / 64.0;
+    let mae: f64 = img
+        .iter()
+        .zip(back.iter())
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .sum::<f64>()
+        / 64.0;
     assert!(mae < 6.0, "mae {mae}");
 }
 
@@ -66,7 +70,10 @@ fn jpeg_quality_monotonically_improves_fidelity() {
     let mae = |quality: u8| {
         let scan = encode_plane(&img, w, h, Channel::Luma, quality);
         let (back, _) = decode_plane(&scan, w, h, Channel::Luma, quality);
-        img.iter().zip(back.iter()).map(|(&a, &b)| (a as f64 - b as f64).abs()).sum::<f64>()
+        img.iter()
+            .zip(back.iter())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
             / img.len() as f64
     };
     let (m20, m60, m95) = (mae(20), mae(60), mae(95));
@@ -85,7 +92,10 @@ fn chroma_tables_compress_broadband_content_smaller() {
     let img: Vec<u8> = (0..w * h).map(|_| rng.gen_range(0u8..=255)).collect();
     let luma = encode_plane(&img, w, h, Channel::Luma, 50).len();
     let chroma = encode_plane(&img, w, h, Channel::Chroma, 50).len();
-    assert!(chroma < luma, "chroma scan {chroma} must be smaller than luma {luma}");
+    assert!(
+        chroma < luma,
+        "chroma scan {chroma} must be smaller than luma {luma}"
+    );
 }
 
 #[test]

@@ -128,8 +128,20 @@ mod tests {
     #[test]
     fn profile_calibration() {
         let mut per_node = HashMap::new();
-        per_node.insert("a".to_string(), NodeProfile { jobs: 4, cycles: 100 });
-        per_node.insert("b".to_string(), NodeProfile { jobs: 2, cycles: 100 });
+        per_node.insert(
+            "a".to_string(),
+            NodeProfile {
+                jobs: 4,
+                cycles: 100,
+            },
+        );
+        per_node.insert(
+            "b".to_string(),
+            NodeProfile {
+                jobs: 2,
+                cycles: 100,
+            },
+        );
         let mut db = CostDb::new();
         db.absorb_profile(&per_node);
         assert_eq!(db.cost("a", "x"), 25.0);

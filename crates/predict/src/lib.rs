@@ -33,4 +33,4 @@ pub mod cost;
 pub mod model;
 
 pub use cost::CostDb;
-pub use model::{predict, Prediction, PredictConfig};
+pub use model::{predict, PredictConfig, Prediction};

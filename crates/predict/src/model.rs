@@ -196,8 +196,16 @@ fn bottleneck(t: &CTree) -> f64 {
 pub fn predict(spec: &GraphSpec, db: &CostDb, cfg: &PredictConfig) -> Prediction {
     let p = cfg.cores.max(1) as f64;
     let per_job = cfg.overhead.job_base as f64
-        + if cfg.cores > 1 { cfg.overhead.dispatch as f64 } else { 0.0 };
-    let mut builder = Builder { db, per_job, leaves: 0 };
+        + if cfg.cores > 1 {
+            cfg.overhead.dispatch as f64
+        } else {
+            0.0
+        };
+    let mut builder = Builder {
+        db,
+        per_job,
+        leaves: 0,
+    };
     let tree = builder.build(spec, "");
 
     let work = work(&tree);
@@ -240,7 +248,10 @@ mod tests {
         let mut c = ComponentSpec::new(
             name,
             "noop",
-            factory(|_p: &Params| -> Box<dyn Component> { Box::new(Noop) }, Params::new()),
+            factory(
+                |_p: &Params| -> Box<dyn Component> { Box::new(Noop) },
+                Params::new(),
+            ),
         );
         for o in outputs {
             c = c.output(*o);

@@ -25,12 +25,20 @@ impl CacheConfig {
 
     /// A 16 KiB, 64 B-line, 4-way L1 data cache (TriMedia-class).
     pub fn l1_default() -> Self {
-        Self { size: 16 * 1024, line: 64, assoc: 4 }
+        Self {
+            size: 16 * 1024,
+            line: 64,
+            assoc: 4,
+        }
     }
 
     /// A 2 MiB, 128 B-line, 8-way shared L2 (SpaceCAKE tile-class).
     pub fn l2_default() -> Self {
-        Self { size: 2 * 1024 * 1024, line: 128, assoc: 8 }
+        Self {
+            size: 2 * 1024 * 1024,
+            line: 128,
+            assoc: 8,
+        }
     }
 }
 
@@ -54,12 +62,22 @@ pub struct Cache {
 
 impl Cache {
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.assoc >= 1);
         let n_sets = config.sets();
         Self {
             config,
-            sets: vec![Way { tag: 0, age: 0, valid: false }; n_sets * config.assoc],
+            sets: vec![
+                Way {
+                    tag: 0,
+                    age: 0,
+                    valid: false
+                };
+                n_sets * config.assoc
+            ],
             n_sets,
             tick: 0,
             hits: 0,
@@ -129,7 +147,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B
-        Cache::new(CacheConfig { size: 512, line: 64, assoc: 2 })
+        Cache::new(CacheConfig {
+            size: 512,
+            line: 64,
+            assoc: 2,
+        })
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub fn paper_overheads() -> OverheadModel {
 /// The run configuration used by the paper's experiments: `frames`
 /// iterations with five concurrently scheduled iterations (§4).
 pub fn paper_run_config(frames: u64) -> RunConfig {
-    RunConfig::new(frames).pipeline_depth(5).overhead(paper_overheads())
+    RunConfig::new(frames)
+        .pipeline_depth(5)
+        .overhead(paper_overheads())
 }
 
 /// Tile preset for `cores` cores (1..=9 in the paper's sweeps).

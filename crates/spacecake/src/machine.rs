@@ -54,8 +54,15 @@ impl TileConfig {
     /// A heterogeneous tile: per-core compute-speed factors.
     pub fn heterogeneous(speeds: Vec<f64>) -> Self {
         assert!(!speeds.is_empty());
-        assert!(speeds.iter().all(|&s| s > 0.0), "speed factors must be positive");
-        Self { cores: speeds.len(), core_speeds: Some(speeds), ..Self::with_cores(1) }
+        assert!(
+            speeds.iter().all(|&s| s > 0.0),
+            "speed factors must be positive"
+        );
+        Self {
+            cores: speeds.len(),
+            core_speeds: Some(speeds),
+            ..Self::with_cores(1)
+        }
     }
 }
 
@@ -184,7 +191,11 @@ mod tests {
     use hinch::meter::{sim_alloc, AccessKind};
 
     fn read(base: u64, len: u64) -> MemAccess {
-        MemAccess { base, len, kind: AccessKind::Read }
+        MemAccess {
+            base,
+            len,
+            kind: AccessKind::Read,
+        }
     }
 
     #[test]

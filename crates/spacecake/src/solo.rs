@@ -24,7 +24,10 @@ impl Solo {
     /// Custom tile geometry (core count is forced to 1).
     pub fn with_tile(mut tile: TileConfig) -> Self {
         tile.cores = 1;
-        Self { machine: Machine::new(tile), total: 0 }
+        Self {
+            machine: Machine::new(tile),
+            total: 0,
+        }
     }
 
     /// Run `f` with a meter; returns the cycles this call cost. Cache state
@@ -81,7 +84,11 @@ mod tests {
     fn cache_state_persists_between_calls() {
         let mut solo = Solo::new();
         let base = sim_alloc(4096);
-        let sweep = MemAccess { base, len: 4096, kind: AccessKind::Read };
+        let sweep = MemAccess {
+            base,
+            len: 4096,
+            kind: AccessKind::Read,
+        };
         let (_, cold) = solo.run(|m| m.touch(sweep));
         let (_, warm) = solo.run(|m| m.touch(sweep));
         assert!(cold > 0);

@@ -1,0 +1,555 @@
+//! Exporters: Chrome-trace JSON (Perfetto / `chrome://tracing`),
+//! per-core utilization summary, and CSV.
+//!
+//! All exporters are pure functions of the event slice, so a
+//! deterministic trace (simulation engine) exports byte-identically.
+
+use crate::{CacheDelta, Clock, Time, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Synthetic Chrome-trace thread id for the scheduler lane (instant
+/// events and quiesce windows live there, below the per-core lanes).
+const SCHED_TID: u64 = 1_000;
+
+/// Export as Chrome trace-event JSON.
+///
+/// Open the output in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`: one lane per core with a span per job (carrying
+/// iteration, kind, charged cycles and cache counters in `args`), a
+/// scheduler lane with quiesce windows as spans plus instant events for
+/// admissions/retirements/DAG swaps/event polls, and one counter track
+/// per sampled stream.
+///
+/// Native-engine timestamps (nanoseconds) are scaled to the microseconds
+/// Chrome expects, keeping nanosecond precision via fractional values;
+/// virtual cycles are exported 1 cycle = 1 µs so cycle numbers read
+/// directly off the Perfetto ruler.
+pub fn chrome_trace_json(events: &[TraceEvent], clock: Clock) -> String {
+    let ts = |t: Time| -> String {
+        match clock {
+            Clock::WallNanos => format!("{}.{:03}", t / 1000, t % 1000),
+            Clock::VirtualCycles => t.to_string(),
+        }
+    };
+    let mut entries: Vec<String> = Vec::new();
+    entries.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"name\":\"hinch ({})\"}}}}",
+        clock.unit()
+    ));
+    entries.push(format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{SCHED_TID},\
+         \"args\":{{\"name\":\"scheduler\"}}}}"
+    ));
+    let mut named_cores: Vec<u32> = Vec::new();
+    let mut quiesce_open: Option<Time> = None;
+    for event in events {
+        match event {
+            TraceEvent::JobSpan {
+                label,
+                kind,
+                iter,
+                core,
+                start,
+                end,
+                cycles,
+                cache,
+            } => {
+                if !named_cores.contains(core) {
+                    named_cores.push(*core);
+                    entries.push(format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{core},\
+                         \"args\":{{\"name\":\"core {core}\"}}}}"
+                    ));
+                }
+                let mut args = format!(
+                    "\"iteration\":{iter},\"kind\":\"{}\",\"cycles\":{cycles}",
+                    kind.as_str()
+                );
+                if let Some(CacheDelta {
+                    l1_misses,
+                    l2_misses,
+                    mem_cycles,
+                }) = cache
+                {
+                    let _ = write!(
+                        args,
+                        ",\"l1_misses\":{l1_misses},\"l2_misses\":{l2_misses},\
+                         \"mem_cycles\":{mem_cycles}"
+                    );
+                }
+                entries.push(format!(
+                    "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":0,\"tid\":{core},\"args\":{{{args}}}}}",
+                    json_string(label),
+                    kind.as_str(),
+                    ts(*start),
+                    ts(end.saturating_sub(*start)),
+                ));
+            }
+            TraceEvent::QuiesceBegin { at } => quiesce_open = Some(*at),
+            TraceEvent::QuiesceEnd { at } => {
+                let begin = quiesce_open.take().unwrap_or(*at);
+                entries.push(format!(
+                    "{{\"name\":\"quiesce\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":{},\
+                     \"dur\":{},\"pid\":0,\"tid\":{SCHED_TID},\
+                     \"args\":{{\"drain_resync\":{}}}}}",
+                    ts(begin),
+                    ts(at.saturating_sub(begin)),
+                    at.saturating_sub(begin),
+                ));
+            }
+            TraceEvent::StreamOccupancy {
+                stream,
+                live_slots,
+                at,
+            } => {
+                entries.push(format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":0,\
+                     \"args\":{{\"live_slots\":{live_slots}}}}}",
+                    json_string(&format!("stream {stream}")),
+                    ts(*at),
+                ));
+            }
+            other => {
+                let (name, args) = match other {
+                    TraceEvent::IterationAdmitted { iter, .. } => (
+                        "iteration admitted".to_string(),
+                        format!("\"iteration\":{iter}"),
+                    ),
+                    TraceEvent::IterationRetired { iter, .. } => (
+                        "iteration retired".to_string(),
+                        format!("\"iteration\":{iter}"),
+                    ),
+                    TraceEvent::DagSwap { version, .. } => {
+                        ("dag swap".to_string(), format!("\"version\":{version}"))
+                    }
+                    TraceEvent::ReconfigApplied { plans, grafted, .. } => (
+                        "reconfig applied".to_string(),
+                        format!("\"plans\":{plans},\"grafted\":{grafted}"),
+                    ),
+                    TraceEvent::EventPoll {
+                        manager, events, ..
+                    } => (format!("poll {manager}"), format!("\"events\":{events}")),
+                    _ => unreachable!("span/quiesce/occupancy handled above"),
+                };
+                entries.push(format!(
+                    "{{\"name\":{},\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{SCHED_TID},\"args\":{{{args}}}}}",
+                    json_string(&name),
+                    ts(other.at()),
+                ));
+            }
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Export every event as one CSV row (for the bench harness / plotting).
+pub fn csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from(
+        "event,label,iter,core,start,end,cycles,l1_misses,l2_misses,mem_cycles,value\n",
+    );
+    for event in events {
+        match event {
+            TraceEvent::JobSpan {
+                label,
+                kind,
+                iter,
+                core,
+                start,
+                end,
+                cycles,
+                cache,
+            } => {
+                let c = cache.unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{},{},{iter},{core},{start},{end},{cycles},{},{},{},",
+                    kind.as_str(),
+                    csv_field(label),
+                    c.l1_misses,
+                    c.l2_misses,
+                    c.mem_cycles,
+                );
+            }
+            TraceEvent::IterationAdmitted { iter, at } => {
+                let _ = writeln!(out, "admit,,{iter},,{at},{at},,,,,");
+            }
+            TraceEvent::IterationRetired { iter, at } => {
+                let _ = writeln!(out, "retire,,{iter},,{at},{at},,,,,");
+            }
+            TraceEvent::QuiesceBegin { at } => {
+                let _ = writeln!(out, "quiesce_begin,,,,{at},{at},,,,,");
+            }
+            TraceEvent::QuiesceEnd { at } => {
+                let _ = writeln!(out, "quiesce_end,,,,{at},{at},,,,,");
+            }
+            TraceEvent::DagSwap { version, at } => {
+                let _ = writeln!(out, "dag_swap,,,,{at},{at},,,,,{version}");
+            }
+            TraceEvent::ReconfigApplied { plans, grafted, at } => {
+                let _ = writeln!(out, "reconfig,,,,{at},{at},,,,,{plans}+{grafted}");
+            }
+            TraceEvent::EventPoll {
+                manager,
+                events,
+                at,
+            } => {
+                let _ = writeln!(out, "poll,{},,,{at},{at},,,,,{events}", csv_field(manager));
+            }
+            TraceEvent::StreamOccupancy {
+                stream,
+                live_slots,
+                at,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "occupancy,{},,,{at},{at},,,,,{live_slots}",
+                    csv_field(stream)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Per-node aggregate used by the summary.
+#[derive(Default, Clone)]
+struct NodeBusy {
+    jobs: u64,
+    busy: u64,
+}
+
+/// Per-core utilization / Gantt text summary: idle percentage per core,
+/// load imbalance, the critical-path (busiest) node, and the quiesce
+/// windows of Fig. 10.
+pub fn utilization_summary(events: &[TraceEvent], clock: Clock) -> String {
+    let unit = clock.unit();
+    let mut per_core: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut per_node: BTreeMap<String, NodeBusy> = BTreeMap::new();
+    let mut span_min: Option<Time> = None;
+    let mut span_max: Time = 0;
+    let mut spans: Vec<(u32, Time, Time)> = Vec::new();
+    let mut quiesce_open: Option<Time> = None;
+    let mut windows: Vec<(Time, Time)> = Vec::new();
+    for event in events {
+        match event {
+            TraceEvent::JobSpan {
+                label,
+                core,
+                start,
+                end,
+                ..
+            } => {
+                let busy = end.saturating_sub(*start);
+                *per_core.entry(*core).or_default() += busy;
+                let node = per_node.entry(label.clone()).or_default();
+                node.jobs += 1;
+                node.busy += busy;
+                span_min = Some(span_min.map_or(*start, |m| m.min(*start)));
+                span_max = span_max.max(*end);
+                spans.push((*core, *start, *end));
+            }
+            TraceEvent::QuiesceBegin { at } => quiesce_open = Some(*at),
+            TraceEvent::QuiesceEnd { at } => {
+                windows.push((quiesce_open.take().unwrap_or(*at), *at));
+            }
+            _ => {}
+        }
+    }
+    let t0 = span_min.unwrap_or(0);
+    let total = span_max.saturating_sub(t0);
+    let mut out = String::new();
+    let _ = writeln!(out, "== per-core utilization ({unit}) ==");
+    let _ = writeln!(
+        out,
+        "window: {total} {unit} across {} core(s)",
+        per_core.len()
+    );
+    for (&core, &busy) in &per_core {
+        let pct_busy = percent(busy, total);
+        let _ = writeln!(
+            out,
+            "core {core}: busy {busy:>12} {unit}  idle {:>5.1}%  |{}|",
+            100.0 - pct_busy,
+            gantt_bar(&spans, core, t0, span_max),
+        );
+    }
+    if !per_core.is_empty() {
+        let max = per_core.values().copied().max().unwrap_or(0);
+        let mean = per_core.values().sum::<u64>() as f64 / per_core.len() as f64;
+        let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        let _ = writeln!(out, "load imbalance (max/mean busy): {imbalance:.3}");
+    }
+    if let Some((label, node)) = per_node
+        .iter()
+        .max_by(|a, b| a.1.busy.cmp(&b.1.busy).then(b.0.cmp(a.0)))
+    {
+        let _ = writeln!(
+            out,
+            "critical-path node: {label} ({} jobs, {} {unit} busy)",
+            node.jobs, node.busy
+        );
+    }
+    let mut nodes: Vec<_> = per_node.iter().collect();
+    nodes.sort_by(|a, b| b.1.busy.cmp(&a.1.busy).then(a.0.cmp(b.0)));
+    let _ = writeln!(out, "-- hottest nodes --");
+    for (label, node) in nodes.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  {label:<28} {:>4} jobs  {:>12} {unit}  ({:>5.1}% of window)",
+            node.jobs,
+            node.busy,
+            percent(node.busy, total),
+        );
+    }
+    if !windows.is_empty() {
+        let _ = writeln!(out, "-- quiesce windows (drain + resync) --");
+        for (i, (begin, end)) in windows.iter().enumerate() {
+            let _ = writeln!(out, "  #{i}: [{begin}, {end}]  {} {unit}", end - begin);
+        }
+        let sum: u64 = windows.iter().map(|(b, e)| e - b).sum();
+        let _ = writeln!(
+            out,
+            "  total quiesced: {sum} {unit} ({:.2}% of window)",
+            percent(sum, total)
+        );
+    }
+    out
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// A fixed-width textual Gantt lane: each cell covers `total/width` of
+/// the run and is shaded by how busy the core was in that bucket.
+fn gantt_bar(spans: &[(u32, Time, Time)], core: u32, t0: Time, t1: Time) -> String {
+    const WIDTH: usize = 50;
+    const SHADES: [char; 5] = [' ', '.', ':', 'o', '#'];
+    let total = t1.saturating_sub(t0);
+    if total == 0 {
+        return " ".repeat(WIDTH);
+    }
+    let mut busy = vec![0u64; WIDTH];
+    let bucket = |t: Time| -> usize {
+        (((t - t0) as u128 * WIDTH as u128 / total as u128) as usize).min(WIDTH - 1)
+    };
+    for &(c, start, end) in spans {
+        if c != core || end <= start {
+            continue;
+        }
+        let (b0, b1) = (bucket(start), bucket(end.max(start + 1) - 1));
+        for (i, slot) in busy.iter_mut().enumerate().take(b1 + 1).skip(b0) {
+            let cell_start = t0 + (total as u128 * i as u128 / WIDTH as u128) as u64;
+            let cell_end = t0 + (total as u128 * (i + 1) as u128 / WIDTH as u128) as u64;
+            let overlap = end.min(cell_end).saturating_sub(start.max(cell_start));
+            *slot += overlap;
+        }
+    }
+    busy.iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            let cell_start = t0 + (total as u128 * i as u128 / WIDTH as u128) as u64;
+            let cell_end = t0 + (total as u128 * (i + 1) as u128 / WIDTH as u128) as u64;
+            let cell = (cell_end - cell_start).max(1);
+            let frac = (b as f64 / cell as f64).clamp(0.0, 1.0);
+            SHADES[((frac * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)]
+        })
+        .collect()
+}
+
+/// Escape a string as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanKind;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::IterationAdmitted { iter: 0, at: 0 },
+            TraceEvent::JobSpan {
+                label: "dec".into(),
+                kind: SpanKind::Component,
+                iter: 0,
+                core: 0,
+                start: 0,
+                end: 100,
+                cycles: 100,
+                cache: Some(CacheDelta {
+                    l1_misses: 3,
+                    l2_misses: 1,
+                    mem_cycles: 40,
+                }),
+            },
+            TraceEvent::JobSpan {
+                label: "scale".into(),
+                kind: SpanKind::Component,
+                iter: 0,
+                core: 1,
+                start: 20,
+                end: 60,
+                cycles: 40,
+                cache: None,
+            },
+            TraceEvent::EventPoll {
+                manager: "m".into(),
+                events: 1,
+                at: 100,
+            },
+            TraceEvent::QuiesceBegin { at: 100 },
+            TraceEvent::IterationRetired { iter: 0, at: 110 },
+            TraceEvent::StreamOccupancy {
+                stream: "s".into(),
+                live_slots: 2,
+                at: 110,
+            },
+            TraceEvent::ReconfigApplied {
+                plans: 1,
+                grafted: 2,
+                at: 110,
+            },
+            TraceEvent::DagSwap {
+                version: 1,
+                at: 110,
+            },
+            TraceEvent::QuiesceEnd { at: 150 },
+        ]
+    }
+
+    /// Minimal structural JSON validation: balanced braces/brackets
+    /// outside string literals.
+    fn assert_balanced_json(s: &str) {
+        let (mut depth, mut in_str, mut escape) = (0i64, false, false);
+        for c in s.chars() {
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == '\\' {
+                    escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced JSON");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_str, "unterminated string");
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_valid() {
+        let json = chrome_trace_json(&sample_events(), Clock::VirtualCycles);
+        assert_balanced_json(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"dec\""));
+        assert!(json.contains("\"iteration\":0"));
+        assert!(json.contains("\"l1_misses\":3"));
+        assert!(json.contains("\"name\":\"quiesce\""));
+        assert!(json.contains("\"drain_resync\":50"));
+        assert!(json.contains("core 1"));
+    }
+
+    #[test]
+    fn chrome_trace_scales_nanos_to_micros() {
+        let events = vec![TraceEvent::JobSpan {
+            label: "n".into(),
+            kind: SpanKind::Component,
+            iter: 0,
+            core: 0,
+            start: 1500,
+            end: 4500,
+            cycles: 0,
+            cache: None,
+        }];
+        let json = chrome_trace_json(&events, Clock::WallNanos);
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":3.000"), "{json}");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event() {
+        let events = sample_events();
+        let csv = csv(&events);
+        assert_eq!(csv.lines().count(), events.len() + 1);
+        assert!(csv.starts_with("event,label,"));
+        assert!(csv.contains("component,dec,0,0,0,100,100,3,1,40,"));
+        assert!(csv.contains("occupancy,s,,,110,110,,,,,2"));
+    }
+
+    #[test]
+    fn summary_reports_cores_and_quiesce() {
+        let summary = utilization_summary(&sample_events(), Clock::VirtualCycles);
+        assert!(summary.contains("core 0"), "{summary}");
+        assert!(summary.contains("core 1"), "{summary}");
+        assert!(summary.contains("load imbalance"), "{summary}");
+        assert!(summary.contains("critical-path node: dec"), "{summary}");
+        assert!(summary.contains("quiesce windows"), "{summary}");
+        assert!(summary.contains("50 cycles"), "{summary}");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let events = sample_events();
+        assert_eq!(
+            chrome_trace_json(&events, Clock::VirtualCycles),
+            chrome_trace_json(&events, Clock::VirtualCycles)
+        );
+        assert_eq!(csv(&events), csv(&events));
+        assert_eq!(
+            utilization_summary(&events, Clock::VirtualCycles),
+            utilization_summary(&events, Clock::VirtualCycles)
+        );
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

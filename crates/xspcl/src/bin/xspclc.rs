@@ -61,8 +61,8 @@ fn run(cmd: &str, source: &str) -> Result<String, String> {
     let doc = xspcl::parse_and_validate(source).map_err(|e| e.to_string())?;
     match cmd {
         "check" => {
-            let e = xspcl::elaborate(&doc, &ComponentRegistry::stubbed())
-                .map_err(|e| e.to_string())?;
+            let e =
+                xspcl::elaborate(&doc, &ComponentRegistry::stubbed()).map_err(|e| e.to_string())?;
             let mut classes = std::collections::BTreeSet::new();
             e.spec.visit_leaves(&mut |c| {
                 classes.insert(c.class.clone());
@@ -77,13 +77,13 @@ fn run(cmd: &str, source: &str) -> Result<String, String> {
             ))
         }
         "dot" => {
-            let e = xspcl::elaborate(&doc, &ComponentRegistry::stubbed())
-                .map_err(|e| e.to_string())?;
+            let e =
+                xspcl::elaborate(&doc, &ComponentRegistry::stubbed()).map_err(|e| e.to_string())?;
             Ok(xspcl::codegen::to_dot(&e.spec))
         }
         "rust" => {
-            let e = xspcl::elaborate(&doc, &ComponentRegistry::stubbed())
-                .map_err(|e| e.to_string())?;
+            let e =
+                xspcl::elaborate(&doc, &ComponentRegistry::stubbed()).map_err(|e| e.to_string())?;
             let queues: Vec<String> = e.queues.keys().cloned().collect();
             Ok(xspcl::codegen::emit_rust(&e.spec, &queues))
         }
@@ -147,8 +147,11 @@ mod tests {
 
     #[test]
     fn errors_are_reported_with_location() {
-        let err = run("check", "<xspcl><procedure name=\"main\"><body><widget/></body></procedure></xspcl>")
-            .unwrap_err();
+        let err = run(
+            "check",
+            "<xspcl><procedure name=\"main\"><body><widget/></body></procedure></xspcl>",
+        )
+        .unwrap_err();
         assert!(err.contains("unexpected <widget>"), "{err}");
         let err = run("nope", SAMPLE).unwrap_err();
         assert!(err.contains("unknown command"), "{err}");

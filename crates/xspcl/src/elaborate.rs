@@ -44,7 +44,10 @@ impl ComponentRegistry {
     /// Only for analysis and code generation — stub components do not
     /// touch their ports, so running them will trip stream checks.
     pub fn stubbed() -> Self {
-        Self { map: HashMap::new(), stub_unknown: true }
+        Self {
+            map: HashMap::new(),
+            stub_unknown: true,
+        }
     }
 
     /// Register a constructor for `class`.
@@ -80,10 +83,15 @@ impl ComponentRegistry {
         if self.stub_unknown {
             let class = class.to_string();
             return Ok(Arc::new(move |_p: &Params| -> Box<dyn Component> {
-                Box::new(StubComponent { class: class.clone() })
+                Box::new(StubComponent {
+                    class: class.clone(),
+                })
             }));
         }
-        Err(XspclError::elaborate(format!("unknown component class '{class}'"), span))
+        Err(XspclError::elaborate(
+            format!("unknown component class '{class}'"),
+            span,
+        ))
     }
 }
 
@@ -126,7 +134,12 @@ pub fn elaborate(doc: &Document, registry: &ComponentRegistry) -> Result<Elabora
     let main = doc
         .main()
         .ok_or_else(|| XspclError::semantic("no 'main' procedure", Span::UNKNOWN))?;
-    let mut elab = Elaborator { doc, registry, queues: &queues, call_counter: 0 };
+    let mut elab = Elaborator {
+        doc,
+        registry,
+        queues: &queues,
+        call_counter: 0,
+    };
     let env = Env {
         formals: HashMap::new(),
         streams: main
@@ -305,7 +318,11 @@ impl Elaborator<'_> {
             streams.insert(local.clone(), format!("{scope}/{local}"));
         }
 
-        let child = Env { formals, streams, scope };
+        let child = Env {
+            formals,
+            streams,
+            scope,
+        };
         let parts = self.body(&callee.body, &child)?;
         Ok(seq_of(parts))
     }
@@ -437,7 +454,8 @@ mod tests {
         e.spec.visit_leaves(&mut |c| names.push(c.name.clone()));
         assert_eq!(names, vec!["main/a", "main/b"]);
         let mut streams = Vec::new();
-        e.spec.visit_leaves(&mut |c| streams.extend(c.outputs.clone()));
+        e.spec
+            .visit_leaves(&mut |c| streams.extend(c.outputs.clone()));
         assert_eq!(streams, vec!["main/s"]);
     }
 
@@ -480,7 +498,11 @@ mod tests {
                 }
             }
         });
-        assert_eq!(tmps.len(), 2, "each call instance has a private tmp: {tmps:?}");
+        assert_eq!(
+            tmps.len(),
+            2,
+            "each call instance has a private tmp: {tmps:?}"
+        );
     }
 
     #[test]
@@ -518,9 +540,9 @@ mod tests {
         fn find_slice(g: &GraphSpec) -> Option<usize> {
             match g {
                 GraphSpec::Slice { n, .. } => Some(*n),
-                GraphSpec::Seq(cs) | GraphSpec::Task(cs) | GraphSpec::CrossDep { blocks: cs, .. } => {
-                    cs.iter().find_map(find_slice)
-                }
+                GraphSpec::Seq(cs)
+                | GraphSpec::Task(cs)
+                | GraphSpec::CrossDep { blocks: cs, .. } => cs.iter().find_map(find_slice),
                 GraphSpec::Managed { body, .. } | GraphSpec::Option { body, .. } => {
                     find_slice(body)
                 }

@@ -20,15 +20,24 @@ pub enum XspclError {
 
 impl XspclError {
     pub fn parse(message: impl Into<String>, span: Span) -> Self {
-        XspclError::Parse { message: message.into(), span }
+        XspclError::Parse {
+            message: message.into(),
+            span,
+        }
     }
 
     pub fn semantic(message: impl Into<String>, span: Span) -> Self {
-        XspclError::Semantic { message: message.into(), span }
+        XspclError::Semantic {
+            message: message.into(),
+            span,
+        }
     }
 
     pub fn elaborate(message: impl Into<String>, span: Span) -> Self {
-        XspclError::Elaborate { message: message.into(), span }
+        XspclError::Elaborate {
+            message: message.into(),
+            span,
+        }
     }
 }
 

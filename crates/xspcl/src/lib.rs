@@ -81,10 +81,7 @@ pub use elaborate::{elaborate, ComponentRegistry, Elaborated};
 pub use error::XspclError;
 
 /// Parse, validate and elaborate an XSPCL source string in one call.
-pub fn compile(
-    source: &str,
-    registry: &ComponentRegistry,
-) -> Result<Elaborated, XspclError> {
+pub fn compile(source: &str, registry: &ComponentRegistry) -> Result<Elaborated, XspclError> {
     let doc = parse_and_validate(source)?;
     elaborate(&doc, registry)
 }

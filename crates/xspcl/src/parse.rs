@@ -8,7 +8,10 @@ type Result<T> = std::result::Result<T, XspclError>;
 
 fn require_attr<'a>(e: &'a Element, name: &str) -> Result<&'a str> {
     e.attr(name).ok_or_else(|| {
-        XspclError::parse(format!("<{}> requires attribute '{}'", e.name, name), e.span)
+        XspclError::parse(
+            format!("<{}> requires attribute '{}'", e.name, name),
+            e.span,
+        )
     })
 }
 
@@ -63,7 +66,14 @@ fn procedure(e: &Element) -> Result<Procedure> {
             }
         }
     }
-    Ok(Procedure { name, formals, formal_streams, streams, body, span: e.span })
+    Ok(Procedure {
+        name,
+        formals,
+        formal_streams,
+        streams,
+        body,
+        span: e.span,
+    })
 }
 
 fn stmts(elements: &[Element]) -> Result<Vec<Stmt>> {
@@ -78,7 +88,9 @@ fn stmt(e: &Element) -> Result<Stmt> {
         "manager" => manager(e).map(Stmt::Manager),
         "option" => option(e).map(Stmt::Option),
         other => Err(XspclError::parse(
-            format!("unexpected <{other}> in a body (expected component/call/parallel/manager/option)"),
+            format!(
+                "unexpected <{other}> in a body (expected component/call/parallel/manager/option)"
+            ),
             e.span,
         )),
     }
@@ -161,7 +173,12 @@ fn call(e: &Element) -> Result<CallStmt> {
             }
         }
     }
-    Ok(CallStmt { procedure, binds, params: params_of(e)?, span: e.span })
+    Ok(CallStmt {
+        procedure,
+        binds,
+        params: params_of(e)?,
+        span: e.span,
+    })
 }
 
 fn parallel(e: &Element) -> Result<ParallelStmt> {
@@ -182,7 +199,10 @@ fn parallel(e: &Element) -> Result<ParallelStmt> {
             parblocks.push(stmts(&child.children)?);
         } else {
             return Err(XspclError::parse(
-                format!("unexpected <{}> in <parallel> (expected <parblock>)", child.name),
+                format!(
+                    "unexpected <{}> in <parallel> (expected <parblock>)",
+                    child.name
+                ),
                 child.span,
             ));
         }
@@ -214,9 +234,7 @@ fn manager(e: &Element) -> Result<ManagerStmt> {
                             Ok(ActionStmt::Disable(require_attr(a, "option")?.to_string()))
                         }
                         "toggle" => Ok(ActionStmt::Toggle(require_attr(a, "option")?.to_string())),
-                        "forward" => {
-                            Ok(ActionStmt::Forward(require_attr(a, "queue")?.to_string()))
-                        }
+                        "forward" => Ok(ActionStmt::Forward(require_attr(a, "queue")?.to_string())),
                         "broadcast" => {
                             Ok(ActionStmt::Broadcast(require_attr(a, "key")?.to_string()))
                         }
@@ -226,7 +244,11 @@ fn manager(e: &Element) -> Result<ManagerStmt> {
                         )),
                     })
                     .collect::<Result<Vec<_>>>()?;
-                rules.push(RuleStmt { event, actions, span: child.span });
+                rules.push(RuleStmt {
+                    event,
+                    actions,
+                    span: child.span,
+                });
             }
             "body" => body = stmts(&child.children)?,
             other => {
@@ -237,7 +259,13 @@ fn manager(e: &Element) -> Result<ManagerStmt> {
             }
         }
     }
-    Ok(ManagerStmt { name, queue, rules, body, span: e.span })
+    Ok(ManagerStmt {
+        name,
+        queue,
+        rules,
+        body,
+        span: e.span,
+    })
 }
 
 fn option(e: &Element) -> Result<OptionStmt> {
@@ -285,7 +313,9 @@ mod tests {
         );
         let main = doc.main().unwrap();
         assert_eq!(main.streams, vec!["big", "small"]);
-        let Stmt::Component(c) = &main.body[0] else { panic!() };
+        let Stmt::Component(c) = &main.body[0] else {
+            panic!()
+        };
         assert_eq!(c.class, "downscale");
         assert_eq!(c.inputs, vec![("input".to_string(), "big".to_string())]);
         assert_eq!(c.params[0].name, "factor");
@@ -313,7 +343,9 @@ mod tests {
                </xspcl>"#,
         );
         assert_eq!(doc.procedures.len(), 2);
-        let Stmt::Call(c) = &doc.main().unwrap().body[0] else { panic!() };
+        let Stmt::Call(c) = &doc.main().unwrap().body[0] else {
+            panic!()
+        };
         assert_eq!(c.procedure, "p");
         assert_eq!(c.binds, vec![("x".to_string(), "s".to_string())]);
         let p = doc.procedure("p").unwrap();
@@ -339,13 +371,19 @@ mod tests {
                </body></procedure></xspcl>"#,
         );
         let body = &doc.main().unwrap().body;
-        let Stmt::Parallel(t) = &body[0] else { panic!() };
+        let Stmt::Parallel(t) = &body[0] else {
+            panic!()
+        };
         assert_eq!(t.shape, Shape::Task);
         assert_eq!(t.parblocks.len(), 2);
-        let Stmt::Parallel(s) = &body[1] else { panic!() };
+        let Stmt::Parallel(s) = &body[1] else {
+            panic!()
+        };
         assert_eq!(s.shape, Shape::Slice);
         assert_eq!(s.n.as_deref(), Some("8"));
-        let Stmt::Parallel(c) = &body[2] else { panic!() };
+        let Stmt::Parallel(c) = &body[2] else {
+            panic!()
+        };
         assert_eq!(c.shape, Shape::CrossDep);
     }
 
@@ -367,11 +405,18 @@ mod tests {
                </xspcl>"#,
         );
         assert_eq!(doc.queues[0].name, "mq");
-        let Stmt::Manager(m) = &doc.main().unwrap().body[0] else { panic!() };
+        let Stmt::Manager(m) = &doc.main().unwrap().body[0] else {
+            panic!()
+        };
         assert_eq!(m.rules.len(), 3);
         assert_eq!(m.rules[0].actions, vec![ActionStmt::Toggle("pip2".into())]);
-        assert_eq!(m.rules[1].actions, vec![ActionStmt::Broadcast("pos".into())]);
-        let Stmt::Option(o) = &m.body[0] else { panic!() };
+        assert_eq!(
+            m.rules[1].actions,
+            vec![ActionStmt::Broadcast("pos".into())]
+        );
+        let Stmt::Option(o) = &m.body[0] else {
+            panic!()
+        };
         assert!(!o.enabled);
     }
 

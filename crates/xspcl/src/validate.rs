@@ -16,7 +16,10 @@ pub fn check(doc: &Document) -> Result<()> {
     let mut queues = HashSet::new();
     for q in &doc.queues {
         if !queues.insert(q.name.as_str()) {
-            return Err(XspclError::semantic(format!("duplicate queue '{}'", q.name), q.span));
+            return Err(XspclError::semantic(
+                format!("duplicate queue '{}'", q.name),
+                q.span,
+            ));
         }
     }
     // unique procedures, main exists
@@ -33,7 +36,10 @@ pub fn check(doc: &Document) -> Result<()> {
         .main()
         .ok_or_else(|| XspclError::semantic("no 'main' procedure", crate::xml::Span::UNKNOWN))?;
     if !main.formals.is_empty() || !main.formal_streams.is_empty() {
-        return Err(XspclError::semantic("'main' may not declare formals", main.span));
+        return Err(XspclError::semantic(
+            "'main' may not declare formals",
+            main.span,
+        ));
     }
 
     no_recursion(doc)?;
@@ -111,7 +117,14 @@ fn check_procedure(doc: &Document, p: &Procedure, queues: &HashSet<&str>) -> Res
         }
     }
     let formals: HashSet<&str> = p.formals.iter().map(|f| f.name.as_str()).collect();
-    let ctx = Ctx { doc, proc: p, streams: &streams, formals: &formals, queues, in_manager: false };
+    let ctx = Ctx {
+        doc,
+        proc: p,
+        streams: &streams,
+        formals: &formals,
+        queues,
+        in_manager: false,
+    };
     check_body(&p.body, &ctx)
 }
 
@@ -320,7 +333,10 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                         }
                     }
                 }
-                let inner = Ctx { in_manager: true, ..*ctx };
+                let inner = Ctx {
+                    in_manager: true,
+                    ..*ctx
+                };
                 check_body(&m.body, &inner)?;
             }
             Stmt::Option(o) => {
@@ -346,7 +362,10 @@ fn check_param(param: &ParamStmt, ctx: &Ctx<'_>, span: crate::xml::Span) -> Resu
             if let Some(f) = v.strip_prefix('$') {
                 if !ctx.formals.contains(f) {
                     return Err(XspclError::semantic(
-                        format!("parameter '{}' references unknown formal '${f}'", param.name),
+                        format!(
+                            "parameter '{}' references unknown formal '${f}'",
+                            param.name
+                        ),
                         span,
                     ));
                 }
@@ -356,7 +375,10 @@ fn check_param(param: &ParamStmt, ctx: &Ctx<'_>, span: crate::xml::Span) -> Resu
         ParamKind::Queue(q) => {
             if !ctx.queues.contains(q.as_str()) {
                 return Err(XspclError::semantic(
-                    format!("parameter '{}' references undeclared queue '{q}'", param.name),
+                    format!(
+                        "parameter '{}' references undeclared queue '{q}'",
+                        param.name
+                    ),
                     span,
                 ));
             }

@@ -54,7 +54,10 @@ pub struct Element {
 impl Element {
     /// Attribute value by name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Child elements with a given tag name.
@@ -77,15 +80,26 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(input: &'a str) -> Self {
-        Self { input: input.as_bytes(), pos: 0, line: 1, col: 1 }
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn span(&self) -> Span {
-        Span { line: self.line, col: self.col }
+        Span {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> XmlError {
-        XmlError { message: message.into(), span: self.span() }
+        XmlError {
+            message: message.into(),
+            span: self.span(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -174,7 +188,10 @@ fn decode_entities(raw: &str, span: Span) -> Result<String, XmlError> {
             }
         }
         if !closed {
-            return Err(XmlError { message: format!("unterminated entity '&{entity}'"), span });
+            return Err(XmlError {
+                message: format!("unterminated entity '&{entity}'"),
+                span,
+            });
         }
         match entity.as_str() {
             "lt" => out.push('<'),
@@ -266,7 +283,13 @@ fn element(c: &mut Cursor<'_>) -> Result<Element, XmlError> {
             Some(b'/') => {
                 c.bump();
                 c.expect(b'>')?;
-                return Ok(Element { name, attrs, children: Vec::new(), text: String::new(), span });
+                return Ok(Element {
+                    name,
+                    attrs,
+                    children: Vec::new(),
+                    text: String::new(),
+                    span,
+                });
             }
             Some(b'>') => {
                 c.bump();
@@ -307,11 +330,19 @@ fn element(c: &mut Cursor<'_>) -> Result<Element, XmlError> {
             c.bump_n(2);
             let end_name = c.name()?;
             if end_name != name {
-                return Err(c.err(format!("mismatched end tag: expected </{name}>, found </{end_name}>")));
+                return Err(c.err(format!(
+                    "mismatched end tag: expected </{name}>, found </{end_name}>"
+                )));
             }
             c.skip_ws();
             c.expect(b'>')?;
-            return Ok(Element { name, attrs, children, text: text.trim().to_string(), span });
+            return Ok(Element {
+                name,
+                attrs,
+                children,
+                text: text.trim().to_string(),
+                span,
+            });
         } else if c.starts_with("<!--") || c.starts_with("<?") {
             skip_misc(c)?;
         } else if c.starts_with("<![CDATA[") {

@@ -38,7 +38,10 @@ fn main() {
         TARGET_FPS,
         budget / 1e6
     );
-    println!("\n{:<7} {:>14} {:>14} {:>9}", "cores", "period (Mcyc)", "fps @450MHz", "meets?");
+    println!(
+        "\n{:<7} {:>14} {:>14} {:>9}",
+        "cores", "period (Mcyc)", "fps @450MHz", "meets?"
+    );
     let mut needed = None;
     for cores in 1..=9 {
         let mut pcfg = PredictConfig::new(cores, cfg.frames);

@@ -17,7 +17,12 @@ use spacecake::Machine;
 
 fn main() {
     let frames = 24u64;
-    let cfg = PipConfig { width: 240, height: 192, slices: 6, ..PipConfig::small(2) };
+    let cfg = PipConfig {
+        width: 240,
+        height: 192,
+        slices: 6,
+        ..PipConfig::small(2)
+    };
     let app = build(&cfg).expect("PiP compiles");
     println!("PiP-2 XSPCL document: {} bytes", app.xml.len());
     println!("components: {} specs", app.elaborated.spec.leaf_count());
@@ -37,7 +42,10 @@ fn main() {
         let reference: Vec<Vec<u8>> = want.iter().map(|f| f[field].clone()).collect();
         assert_frames_equal(&got, &reference, &format!("field {field}"));
     }
-    println!("ok: all {} frames bit-identical to the fused sequential baseline", frames);
+    println!(
+        "ok: all {} frames bit-identical to the fused sequential baseline",
+        frames
+    );
 
     // simulated speedup
     let mut cycles = Vec::new();

@@ -64,9 +64,9 @@ fn main() {
     let assets = apps::registry::AppAssets::new();
     assets.add_raw(
         "input",
-        Arc::new(media::video::RawVideo::generate(media::video::VideoSpec::new(
-            128, 96, 4, 1234,
-        ))),
+        Arc::new(media::video::RawVideo::generate(
+            media::video::VideoSpec::new(128, 96, 4, 1234),
+        )),
     );
     assets.capture_set("out", 1);
     let registry: ComponentRegistry = apps::registry::registry(&assets);
@@ -85,7 +85,12 @@ fn main() {
         report.iterations, report.elapsed, report.jobs_executed
     );
     let frames = assets.captured("out", 0);
-    println!("captured {} frames of {}x{} pixels", frames.len(), 128 / 4, 96 / 4);
+    println!(
+        "captured {} frames of {}x{} pixels",
+        frames.len(),
+        128 / 4,
+        96 / 4
+    );
 
     // ... and the same 12 frames on a simulated 4-core SpaceCAKE tile.
     assets.clear_captures();
@@ -101,6 +106,9 @@ fn main() {
 
     // Outputs are engine-independent: verify against a direct computation.
     let frames_sim = assets.captured("out", 0);
-    assert_eq!(frames, frames_sim, "both engines must produce identical pixels");
+    assert_eq!(
+        frames, frames_sim,
+        "both engines must produce identical pixels"
+    );
     println!("ok: native and simulated outputs are bit-identical");
 }

@@ -49,7 +49,9 @@ fn main() {
     for tone in &cfg.tones {
         let expected_bin = (tone.freq * cfg.fft_size as f32).round() as usize;
         assert!(
-            ranked[..3].iter().any(|(b, _)| (*b as i64 - expected_bin as i64).abs() <= 1),
+            ranked[..3]
+                .iter()
+                .any(|(b, _)| (*b as i64 - expected_bin as i64).abs() <= 1),
             "tone at f={} (bin {expected_bin}) must rank in the top 3",
             tone.freq
         );

@@ -21,7 +21,10 @@ fn main() {
 
 /// PiP-12: the second picture appears and disappears every 8 frames.
 fn pip12() {
-    let cfg = PipConfig { reconfig_every: Some(8), ..PipConfig::small(2) };
+    let cfg = PipConfig {
+        reconfig_every: Some(8),
+        ..PipConfig::small(2)
+    };
     let app = build_pip(&cfg).expect("compiles");
     let frames = 32u64;
     let report = run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(3)).unwrap();
@@ -33,7 +36,11 @@ fn pip12() {
     // The second picture overlays the top-right corner. Classify each
     // output frame by comparing against the one-picture reference: frames
     // where they differ have the second picture visible.
-    let one_pip = PipConfig { pips: 1, reconfig_every: None, ..cfg.clone() };
+    let one_pip = PipConfig {
+        pips: 1,
+        reconfig_every: None,
+        ..cfg.clone()
+    };
     let mut meter = NullMeter;
     let reference = apps::pip::sequential(&one_pip, &app.assets, frames, &mut meter);
     let y_frames = app.assets.captured("out", 0);
@@ -43,13 +50,19 @@ fn pip12() {
         .map(|(i, f)| if f == &reference[i][0] { '.' } else { '2' })
         .collect();
     println!("  second picture visible per frame: {visibility}");
-    assert!(visibility.contains('2') && visibility.contains('.'), "both states must occur");
+    assert!(
+        visibility.contains('2') && visibility.contains('.'),
+        "both states must occur"
+    );
 }
 
 /// Blur-35: the Gaussian kernel switches 3x3 ↔ 5x5 every 6 frames via a
 /// broadcast reconfiguration request.
 fn blur35() {
-    let cfg = BlurConfig { reconfig_every: Some(6), ..BlurConfig::small(3) };
+    let cfg = BlurConfig {
+        reconfig_every: Some(6),
+        ..BlurConfig::small(3)
+    };
     let app = build_blur(&cfg).expect("compiles");
     let frames = 24u64;
     let report = run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(3)).unwrap();
@@ -77,8 +90,18 @@ fn blur35() {
         })
         .collect();
     println!("  kernel per frame: {schedule}");
-    let intended: String =
-        (0..frames).map(|i| if baseline_ksize(i, 6, 3) == 3 { '3' } else { '5' }).collect();
+    let intended: String = (0..frames)
+        .map(|i| {
+            if baseline_ksize(i, 6, 3) == 3 {
+                '3'
+            } else {
+                '5'
+            }
+        })
+        .collect();
     println!("  intended        : {intended}");
-    assert!(!schedule.contains('?'), "every frame must match one kernel exactly");
+    assert!(
+        !schedule.contains('?'),
+        "every frame must match one kernel exactly"
+    );
 }

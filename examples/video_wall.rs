@@ -15,7 +15,11 @@ use hinch::engine::{run_native, run_sim, RunConfig};
 use spacecake::Machine;
 
 fn main() {
-    let cfg = MosaicConfig { width: 256, height: 128, ..MosaicConfig::small(4) };
+    let cfg = MosaicConfig {
+        width: 256,
+        height: 128,
+        ..MosaicConfig::small(4)
+    };
     let app = build(&cfg).expect("mosaic compiles");
     println!(
         "video wall: {} tiles of {}x{} → one {}x{} screen ({} component specs)",
@@ -29,7 +33,10 @@ fn main() {
 
     let frames = 12u64;
     let report = run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(4)).unwrap();
-    println!("native (4 workers): {} frames in {:.2?}", report.iterations, report.elapsed);
+    println!(
+        "native (4 workers): {} frames in {:.2?}",
+        report.iterations, report.elapsed
+    );
 
     // simulated run with a per-class cycle profile
     let app = build(&cfg).unwrap();

@@ -40,7 +40,11 @@ fn main() {
     let dot = xspcl::codegen::to_dot(&elaborated.spec);
     let dot_path = dir.join("blur.dot");
     std::fs::write(&dot_path, &dot).expect("write dot");
-    println!("dot: wrote {} ({} graph lines)", dot_path.display(), dot.lines().count());
+    println!(
+        "dot: wrote {} ({} graph lines)",
+        dot_path.display(),
+        dot.lines().count()
+    );
 
     // rust: generated glue source
     let queues: Vec<String> = elaborated.queues.keys().cloned().collect();

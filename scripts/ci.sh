@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, full test suite — all offline.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh --quick    # skip the release build (debug tests only)
+#
+# Mirrors what the repository expects of every change:
+#   1. cargo fmt --check      — no unformatted code
+#   2. cargo clippy -D warnings (workspace, all targets)
+#   3. tier-1 verify: cargo build --release && cargo test -q
+#   4. cargo test --workspace — every crate's suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    echo "== build (release) =="
+    cargo build --offline --release
+fi
+
+echo "== test (root package, tier 1) =="
+cargo test --offline -q
+
+echo "== test (workspace) =="
+cargo test --offline --workspace -q
+
+echo "ci: all green"

@@ -25,13 +25,18 @@ fn pip_native_equals_sim_equals_baseline() {
     let app = pip::build(&cfg).unwrap();
     let mut meter = NullMeter;
     let want = pip::sequential(&cfg, &app.assets, FRAMES, &mut meter);
-    let reference: Vec<Vec<Vec<u8>>> =
-        (0..3).map(|f| want.iter().map(|fr| fr[f].clone()).collect()).collect();
+    let reference: Vec<Vec<Vec<u8>>> = (0..3)
+        .map(|f| want.iter().map(|fr| fr[f].clone()).collect())
+        .collect();
 
     // native, several worker counts
     for workers in [1usize, 3] {
         let app = pip::build(&cfg).unwrap();
-        run_native(&app.elaborated.spec, &RunConfig::new(FRAMES).workers(workers)).unwrap();
+        run_native(
+            &app.elaborated.spec,
+            &RunConfig::new(FRAMES).workers(workers),
+        )
+        .unwrap();
         for (f, reference_f) in reference.iter().enumerate() {
             assert_frames_equal(
                 &app.assets.captured("out", f),
@@ -62,8 +67,9 @@ fn jpip_native_equals_sim_equals_baseline() {
     let app = jpip::build(&cfg).unwrap();
     let mut meter = NullMeter;
     let want = jpip::sequential(&cfg, &app.assets, FRAMES, &mut meter);
-    let reference: Vec<Vec<Vec<u8>>> =
-        (0..3).map(|f| want.iter().map(|fr| fr[f].clone()).collect()).collect();
+    let reference: Vec<Vec<Vec<u8>>> = (0..3)
+        .map(|f| want.iter().map(|fr| fr[f].clone()).collect())
+        .collect();
 
     let app = jpip::build(&cfg).unwrap();
     run_native(&app.elaborated.spec, &RunConfig::new(FRAMES).workers(4)).unwrap();
@@ -123,7 +129,9 @@ fn sim_cycles_are_deterministic() {
     let run = || {
         let app = blur::build(&cfg).unwrap();
         let mut m = Machine::with_cores(6);
-        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m).unwrap().cycles
+        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m)
+            .unwrap()
+            .cycles
     };
     let a = run();
     let b = run();
@@ -137,7 +145,9 @@ fn more_cores_never_lose_badly() {
     let cycles = |cores: usize| {
         let app = pip::build(&cfg).unwrap();
         let mut m = Machine::with_cores(cores);
-        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m).unwrap().cycles
+        run_sim(&app.elaborated.spec, &RunConfig::new(FRAMES), &mut m)
+            .unwrap()
+            .cycles
     };
     let one = cycles(1);
     let four = cycles(4);
@@ -148,7 +158,10 @@ fn more_cores_never_lose_badly() {
 fn reconfigurable_apps_match_static_halves() {
     // PiP-12 output frames must each equal either the 1-pip or the 2-pip
     // rendering of that frame, and both must occur.
-    let cfg = PipConfig { reconfig_every: Some(4), ..PipConfig::small(2) };
+    let cfg = PipConfig {
+        reconfig_every: Some(4),
+        ..PipConfig::small(2)
+    };
     let frames = 16u64;
     let app = pip::build(&cfg).unwrap();
     run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(2)).unwrap();
@@ -156,13 +169,20 @@ fn reconfigurable_apps_match_static_halves() {
 
     let mut meter = NullMeter;
     let one = pip::sequential(
-        &PipConfig { pips: 1, reconfig_every: None, ..cfg.clone() },
+        &PipConfig {
+            pips: 1,
+            reconfig_every: None,
+            ..cfg.clone()
+        },
         &app.assets,
         frames,
         &mut meter,
     );
     let two = pip::sequential(
-        &PipConfig { reconfig_every: None, ..cfg.clone() },
+        &PipConfig {
+            reconfig_every: None,
+            ..cfg.clone()
+        },
         &app.assets,
         frames,
         &mut meter,

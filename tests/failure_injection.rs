@@ -84,7 +84,11 @@ fn overlapping_slice_leases_are_detected() {
     }
     let g = GraphSpec::seq(vec![
         leaf_with("src", &[], &["in"], || Box::new(WriteInt)),
-        GraphSpec::slice("sl", 4, leaf_with("g", &["in"], &["out"], || Box::new(GreedyWriter))),
+        GraphSpec::slice(
+            "sl",
+            4,
+            leaf_with("g", &["in"], &["out"], || Box::new(GreedyWriter)),
+        ),
         leaf_with("snk", &["out"], &[], || {
             struct Sink;
             impl Component for Sink {
@@ -209,7 +213,10 @@ fn panicking_component_does_not_hang_other_workers() {
         let _ = run_native(&g, &RunConfig::new(100).workers(4));
     }));
     assert!(result.is_err());
-    assert!(start.elapsed() < std::time::Duration::from_secs(10), "must not hang");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(10),
+        "must not hang"
+    );
 }
 
 #[test]

@@ -22,7 +22,10 @@ fn leaf(name: &str, inputs: &[&str], outputs: &[&str], cost: u64) -> GraphSpec {
     let mut c = ComponentSpec::new(
         name,
         "work",
-        factory(move |_p: &Params| -> Box<dyn Component> { Box::new(Work(cost)) }, Params::new()),
+        factory(
+            move |_p: &Params| -> Box<dyn Component> { Box::new(Work(cost)) },
+            Params::new(),
+        ),
     );
     for i in inputs {
         c = c.input(*i);
@@ -35,7 +38,10 @@ fn leaf(name: &str, inputs: &[&str], outputs: &[&str], cost: u64) -> GraphSpec {
 
 #[test]
 fn a_fast_core_speeds_up_the_pipeline() {
-    let g = GraphSpec::seq(vec![leaf("a", &[], &["s"], 1000), leaf("z", &["s"], &[], 1)]);
+    let g = GraphSpec::seq(vec![
+        leaf("a", &[], &["s"], 1000),
+        leaf("z", &["s"], &[], 1),
+    ]);
     let mut cfg = RunConfig::new(6).pipeline_depth(3);
     cfg.overhead.job_base = 0;
     cfg.overhead.dispatch = 0;

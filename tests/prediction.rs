@@ -14,7 +14,11 @@ fn calibrated_prediction(app: App, frames: u64, cores: usize) -> (f64, u64) {
     let mut pcfg = PredictConfig::new(cores, frames);
     pcfg.overhead.job_base = 0; // already inside the measured means
     let prediction = predict(&built.spec, &db, &pcfg);
-    let simulated = if cores == 1 { profile.cycles } else { run_sim(cfg, cores).cycles };
+    let simulated = if cores == 1 {
+        profile.cycles
+    } else {
+        run_sim(cfg, cores).cycles
+    };
     (prediction.makespan, simulated)
 }
 
@@ -67,7 +71,10 @@ fn prediction_ranks_parallelizations_correctly() {
         pcfg.overhead.job_base = 0;
         let p = predict(&built.spec, &db, &pcfg).makespan;
         let s = run_sim(cfg, cores).cycles;
-        assert!(p <= last_pred * 1.001, "prediction must not grow with cores");
+        assert!(
+            p <= last_pred * 1.001,
+            "prediction must not grow with cores"
+        );
         assert!(s <= last_sim, "simulation must not grow with cores here");
         last_pred = p;
         last_sim = s;

@@ -166,7 +166,11 @@ impl Component for Journal {
         "journal"
     }
     fn run(&mut self, ctx: &mut RunCtx<'_>) {
-        let v: i64 = if ctx.num_inputs() > 0 { *ctx.read::<i64>(0) } else { 0 };
+        let v: i64 = if ctx.num_inputs() > 0 {
+            *ctx.read::<i64>(0)
+        } else {
+            0
+        };
         self.log.lock().push((self.stage, ctx.iteration()));
         if ctx.num_outputs() > 0 {
             ctx.write(0, v + 1);
@@ -185,7 +189,10 @@ fn journal_chain(stages: usize, log: Arc<Mutex<Vec<(usize, u64)>>>) -> GraphSpec
                     "journal",
                     factory(
                         move |_p: &Params| -> Box<dyn Component> {
-                            Box::new(Journal { stage: i, log: log.clone() })
+                            Box::new(Journal {
+                                stage: i,
+                                log: log.clone(),
+                            })
                         },
                         Params::new(),
                     ),

@@ -19,11 +19,15 @@ use std::sync::Arc;
 // ---------------------------------------------------------------------
 
 fn mix(a: i64, b: i64) -> i64 {
-    a.wrapping_mul(6364136223846793005).wrapping_add(b).rotate_left(17)
+    a.wrapping_mul(6364136223846793005)
+        .wrapping_add(b)
+        .rotate_left(17)
 }
 
 fn fold(buf: &RegionBuf<i64>) -> i64 {
-    buf.lease_read_all().iter().fold(0i64, |acc, &v| mix(acc, v))
+    buf.lease_read_all()
+        .iter()
+        .fold(0i64, |acc, &v| mix(acc, v))
 }
 
 struct Mix {
@@ -73,7 +77,10 @@ fn mix_leaf(name: String, inputs: Vec<String>, output: String, salt: i64) -> Gra
         "mix",
         factory(
             move |_p: &Params| -> Box<dyn Component> {
-                Box::new(Mix { salt, assign: SliceAssign::WHOLE })
+                Box::new(Mix {
+                    salt,
+                    assign: SliceAssign::WHOLE,
+                })
             },
             Params::new(),
         ),
@@ -123,7 +130,12 @@ impl GraphGen {
         match shape {
             Shape::Leaf => {
                 let name = self.fresh("leaf");
-                mix_leaf(name, vec![input.to_string()], output.to_string(), self.counter as i64)
+                mix_leaf(
+                    name,
+                    vec![input.to_string()],
+                    output.to_string(),
+                    self.counter as i64,
+                )
             }
             Shape::Seq(children) => {
                 let mut parts = Vec::new();
@@ -175,7 +187,9 @@ fn build_app(shape: &Shape) -> (GraphSpec, Arc<Mutex<Vec<i64>>>) {
             "record",
             factory(
                 move |_p: &Params| -> Box<dyn Component> {
-                    Box::new(Record { out: sink_out.clone() })
+                    Box::new(Record {
+                        out: sink_out.clone(),
+                    })
                 },
                 Params::new(),
             ),

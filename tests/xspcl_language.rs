@@ -27,7 +27,9 @@ fn registry(log: &Log) -> ComponentRegistry {
             "emit"
         }
         fn run(&mut self, ctx: &mut RunCtx<'_>) {
-            self.log.lock().push(format!("{}@{}", self.name, ctx.iteration()));
+            self.log
+                .lock()
+                .push(format!("{}@{}", self.name, ctx.iteration()));
             for p in 0..ctx.num_outputs() {
                 ctx.write(p, self.value);
             }
@@ -46,7 +48,9 @@ fn registry(log: &Log) -> ComponentRegistry {
             for p in 0..ctx.num_inputs() {
                 total += *ctx.read::<i64>(p);
             }
-            self.log.lock().push(format!("{}@{}", self.name, ctx.iteration()));
+            self.log
+                .lock()
+                .push(format!("{}@{}", self.name, ctx.iteration()));
             for p in 0..ctx.num_outputs() {
                 ctx.write(p, total);
             }
@@ -62,7 +66,9 @@ fn registry(log: &Log) -> ComponentRegistry {
         }
         fn run(&mut self, ctx: &mut RunCtx<'_>) {
             let v = *ctx.read::<i64>(0);
-            self.log.lock().push(format!("{}={}@{}", self.name, v, ctx.iteration()));
+            self.log
+                .lock()
+                .push(format!("{}={}@{}", self.name, v, ctx.iteration()));
         }
     }
     struct Ping {
@@ -74,7 +80,8 @@ fn registry(log: &Log) -> ComponentRegistry {
             "ping"
         }
         fn run(&mut self, _ctx: &mut RunCtx<'_>) {
-            self.queue.send(hinch::event::Event::new(self.event.clone()));
+            self.queue
+                .send(hinch::event::Event::new(self.event.clone()));
         }
     }
 
@@ -89,14 +96,23 @@ fn registry(log: &Log) -> ComponentRegistry {
     });
     let l = log.clone();
     reg.register("sum", move |p: &Params| -> Box<dyn Component> {
-        Box::new(Sum { name: p.str_or("name", "sum").to_string(), log: l.clone() })
+        Box::new(Sum {
+            name: p.str_or("name", "sum").to_string(),
+            log: l.clone(),
+        })
     });
     let l = log.clone();
     reg.register("probe", move |p: &Params| -> Box<dyn Component> {
-        Box::new(Probe { name: p.str_or("name", "probe").to_string(), log: l.clone() })
+        Box::new(Probe {
+            name: p.str_or("name", "probe").to_string(),
+            log: l.clone(),
+        })
     });
     reg.register("ping", |p: &Params| -> Box<dyn Component> {
-        Box::new(Ping { queue: p.queue("events"), event: p.str("event").to_string() })
+        Box::new(Ping {
+            queue: p.queue("events"),
+            event: p.str("event").to_string(),
+        })
     });
     reg
 }
@@ -139,7 +155,10 @@ fn procedures_expand_with_parameters() {
     let entries = log.lock().clone();
     // 10 (explicit) + 5 (default) = 15, every iteration
     for iter in 0..3 {
-        assert!(entries.contains(&format!("p=15@{iter}")), "missing p=15@{iter}: {entries:?}");
+        assert!(
+            entries.contains(&format!("p=15@{iter}")),
+            "missing p=15@{iter}: {entries:?}"
+        );
     }
 }
 
@@ -168,9 +187,15 @@ fn task_groups_synchronize_at_join() {
         assert!(entries.contains(&format!("p=3@{iter}")));
         // and runs after both (positions in the per-iteration log)
         let pos = |name: &str| {
-            entries.iter().position(|e| e == &format!("{name}@{iter}")).unwrap()
+            entries
+                .iter()
+                .position(|e| e == &format!("{name}@{iter}"))
+                .unwrap()
         };
-        let jpos = entries.iter().position(|e| e == &format!("j@{iter}")).unwrap();
+        let jpos = entries
+            .iter()
+            .position(|e| e == &format!("j@{iter}"))
+            .unwrap();
         assert!(pos("l") < jpos && pos("r") < jpos);
     }
 }
@@ -202,10 +227,17 @@ fn manager_toggles_option_from_component_events() {
     let reg = registry(&log);
     let e = xspcl::compile(src, &reg).expect("compiles");
     let report = run_native(&e.spec, &RunConfig::new(20).workers(2)).unwrap();
-    assert!(report.reconfigs >= 2, "toggling every iteration: {}", report.reconfigs);
+    assert!(
+        report.reconfigs >= 2,
+        "toggling every iteration: {}",
+        report.reconfigs
+    );
     let entries = log.lock().clone();
     let probes = entries.iter().filter(|e| e.starts_with("x=")).count();
-    assert!(probes > 0, "the option must have been enabled at some point");
+    assert!(
+        probes > 0,
+        "the option must have been enabled at some point"
+    );
     assert!(probes < 20, "and disabled again (got {probes}/20)");
 }
 
@@ -283,7 +315,9 @@ fn glue_codegen_compiles_structurally() {
     let queues: Vec<String> = app.elaborated.queues.keys().cloned().collect();
     let code = xspcl::codegen::emit_rust(&app.elaborated.spec, &queues);
     let mut names = Vec::new();
-    app.elaborated.spec.visit_leaves(&mut |c| names.push(c.name.clone()));
+    app.elaborated
+        .spec
+        .visit_leaves(&mut |c| names.push(c.name.clone()));
     for name in names {
         assert_eq!(
             code.matches(&format!("\"{name}\"")).count(),

@@ -1,0 +1,404 @@
+//! Strategies: deterministic samplers for test inputs.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A source of random values of one type. Unlike real proptest there is no
+/// value tree and no shrinking; a strategy is just a seeded sampler.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(move |rng| self.sample(rng))
+    }
+
+    /// Recursive strategies: `recurse` receives a strategy for the inner
+    /// level and builds the outer one. `depth` bounds the nesting; the
+    /// sampler takes the leaf branch one time in four at every level
+    /// (roughly mirroring proptest's size-driven decay). `desired_size`
+    /// and `expected_branch_size` are accepted for signature compatibility
+    /// but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            let fallback = leaf.clone();
+            strat = BoxedStrategy::new(move |rng: &mut TestRng| {
+                if rng.next_u64().is_multiple_of(4) {
+                    fallback.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            });
+        }
+        strat
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    pub(crate) fn new<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> Self {
+        Self(Rc::new(f))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0, self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy: `"[a-z][a-z0-9_]{0,8}"` etc.
+// ---------------------------------------------------------------------
+
+/// One regex atom: a set of candidate characters and a repetition range.
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parse the supported regex subset into atoms. Panics on unsupported
+/// syntax — a loud failure beats silently wrong test data.
+fn parse_regex(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut class: Vec<char> = Vec::new();
+                let mut pending: Vec<char> = Vec::new();
+                loop {
+                    let item = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in regex {pattern:?}")
+                    });
+                    match item {
+                        ']' => break,
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                            pending.push(unescape(esc));
+                        }
+                        '-' if !pending.is_empty() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = pending.pop().expect("range start");
+                            let hi = match chars.next() {
+                                Some('\\') => unescape(chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in regex {pattern:?}")
+                                })),
+                                Some(h) => h,
+                                None => panic!("unterminated range in regex {pattern:?}"),
+                            };
+                            assert!(lo <= hi, "inverted range {lo:?}-{hi:?} in {pattern:?}");
+                            class.extend(lo..=hi);
+                        }
+                        other => pending.push(other),
+                    }
+                }
+                class.extend(pending);
+                assert!(
+                    !class.is_empty(),
+                    "empty character class in regex {pattern:?}"
+                );
+                class
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                vec![unescape(esc)]
+            }
+            '.' => (' '..='~').collect(),
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            literal => vec![literal],
+        };
+        // optional quantifier
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in regex {pattern:?}");
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.usize_in(atom.min, atom.max + 1)
+            };
+            for _ in 0..reps {
+                out.push(atom.chars[rng.usize_in(0, atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_unit", 0)
+    }
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (0usize..4000).sample(&mut r);
+            assert!(v < 4000);
+            let w = (-32_000i32..32_000).sample(&mut r);
+            assert!((-32_000..32_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn regex_ident_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,8}".sample(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn regex_class_with_escapes_and_ranges() {
+        let mut r = rng();
+        let mut saw_newline = false;
+        for _ in 0..400 {
+            let s = "[ -~<>&\"'/=\\n]{0,200}".sample(&mut r);
+            assert!(s.len() <= 200);
+            for c in s.chars() {
+                assert!(c == '\n' || (' '..='~').contains(&c), "{c:?}");
+                saw_newline |= c == '\n';
+            }
+        }
+        assert!(saw_newline, "newline escape should be reachable");
+    }
+
+    #[test]
+    fn oneof_union_hits_every_arm() {
+        let u = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(u.sample(&mut r) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates_and_varies() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(T::Node)
+        });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let t = strat.sample(&mut r);
+            max_depth = max_depth.max(depth(&t));
+        }
+        assert!(max_depth >= 1, "recursion should produce nested nodes");
+        assert!(max_depth <= 3, "depth bound violated: {max_depth}");
+    }
+}
