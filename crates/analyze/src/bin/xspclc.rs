@@ -1,28 +1,119 @@
 //! `xspclc` — the XSPCL processing tool.
 //!
-//! Converts an XSPCL specification into artifacts:
+//! Converts an XSPCL specification into artifacts and reports:
 //!
 //! ```text
-//! xspclc check  app.xml            validate, print a summary
-//! xspclc dot    app.xml [out.dot]  elaborated topology as Graphviz DOT
-//! xspclc rust   app.xml [out.rs]   Rust glue source (the paper's C glue)
-//! xspclc format app.xml            pretty-print the document
+//! xspclc check   app.xml            validate, print a summary
+//! xspclc dot     app.xml [out.dot]  elaborated topology as Graphviz DOT
+//! xspclc rust    app.xml [out.rs]   Rust glue source (the paper's C glue)
+//! xspclc format  app.xml            pretty-print the document
+//! xspclc analyze app.xml [--format json|human] [--legacy-slices]
+//!                                   static analysis (XA0xx diagnostics)
 //! ```
+//!
+//! `--analyze` is accepted as an alias for the `analyze` command. The
+//! analyze mode exits 0 when the specification is clean, 1 when any
+//! diagnostic (warning or error) is reported.
 //!
 //! Component classes are resolved against a stub registry — the tool
 //! analyzes structure; linking real factories happens in the application
 //! build (see the `apps` crate).
 
+use analyze::AnalyzeOptions;
 use std::process::ExitCode;
 use xspcl::elaborate::ComponentRegistry;
 
+const USAGE: &str = "usage: xspclc <check|dot|rust|format> <file.xml> [output]\n\
+       xspclc analyze <file.xml> [--format json|human] [--legacy-slices]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, path, out_path) = match args.as_slice() {
+    match args.first().map(String::as_str) {
+        Some("analyze") | Some("--analyze") => main_analyze(&args[1..]),
+        _ => main_convert(&args),
+    }
+}
+
+fn main_analyze(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut format = "human".to_string();
+    let mut opts = AnalyzeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "json" || f == "human" => format = f.clone(),
+                _ => {
+                    eprintln!("xspclc: --format takes 'json' or 'human'");
+                    return ExitCode::from(2);
+                }
+            },
+            "--legacy-slices" => opts.legacy_uncomposed_slices = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("xspclc: unexpected argument '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xspclc: cannot read '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_analyze(&source, &format, &opts) {
+        Ok((report, clean)) => {
+            print!("{report}");
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("xspclc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Returns the rendered report plus whether the spec was clean.
+fn run_analyze(
+    source: &str,
+    format: &str,
+    opts: &AnalyzeOptions,
+) -> Result<(String, bool), String> {
+    let diags = analyze::check_source(source, opts).map_err(|e| e.to_string())?;
+    let clean = diags.is_empty();
+    let report = match format {
+        "json" => {
+            let mut j = diags.render_json();
+            j.push('\n');
+            j
+        }
+        _ => {
+            if clean {
+                "ok: no diagnostics\n".to_string()
+            } else {
+                diags.render_human()
+            }
+        }
+    };
+    Ok((report, clean))
+}
+
+fn main_convert(args: &[String]) -> ExitCode {
+    let (cmd, path, out_path) = match args {
         [cmd, path] => (cmd.as_str(), path.as_str(), None),
         [cmd, path, out] => (cmd.as_str(), path.as_str(), Some(out.as_str())),
         _ => {
-            eprintln!("usage: xspclc <check|dot|rust|format> <file.xml> [output]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -88,13 +179,16 @@ fn run(cmd: &str, source: &str) -> Result<String, String> {
             Ok(xspcl::codegen::emit_rust(&e.spec, &queues))
         }
         "format" => Ok(xspcl::codegen::to_xml(&doc)),
-        other => Err(format!("unknown command '{other}' (check|dot|rust|format)")),
+        other => Err(format!(
+            "unknown command '{other}' (check|dot|rust|format|analyze)"
+        )),
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::run;
+    use super::{run, run_analyze};
+    use analyze::AnalyzeOptions;
 
     const SAMPLE: &str = r#"<xspcl>
       <queue name="mq"/>
@@ -155,5 +249,24 @@ mod tests {
         assert!(err.contains("unexpected <widget>"), "{err}");
         let err = run("nope", SAMPLE).unwrap_err();
         assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn analyze_reports_clean_sample() {
+        let (report, clean) = run_analyze(SAMPLE, "human", &AnalyzeOptions::default()).unwrap();
+        assert!(clean, "{report}");
+        assert!(report.contains("no diagnostics"), "{report}");
+    }
+
+    #[test]
+    fn analyze_renders_json_diagnostics() {
+        // option 'o' never targeted + stream 's' read by nobody when 'o'
+        // is disabled? — here: remove the rule so XA013 fires
+        let src = SAMPLE.replace("<on event=\"t\"><toggle option=\"o\"/></on>", "");
+        let (report, clean) = run_analyze(&src, "json", &AnalyzeOptions::default()).unwrap();
+        assert!(!clean, "{report}");
+        assert!(report.contains("\"code\":\"XA013\""), "{report}");
+        assert!(report.contains("\"errors\":0"), "{report}");
+        assert!(report.trim_end().ends_with('}'), "{report}");
     }
 }

@@ -1,0 +1,239 @@
+//! XA002 — stream-dependency cycles, XA003 — unordered concurrent reads.
+//!
+//! The engines schedule an iteration from structural order alone (seq
+//! chains, crossdep block order); streams carry data but impose no
+//! ordering of their own. Two hazards follow:
+//!
+//! * a stream read by a component scheduled *before* (or in a cycle
+//!   with) its writer can never be satisfied — no FIFO capacity helps,
+//!   the iteration deadlocks or panics on read-before-write (XA002);
+//! * a stream read by a *task sibling* of its writer races: the group
+//!   provides no ordering, so the read may execute first (XA003).
+
+use crate::model::{relation, Model, Rel};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use xspcl::xml::Span;
+use xspcl::Diagnostic;
+
+pub const CYCLE: &str = "XA002";
+pub const CONCURRENT_READ: &str = "XA003";
+
+pub fn check(model: &Model, spans: &HashMap<String, Span>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = model.leaves.len();
+
+    // stream edges writer -> reader (skipping mutually exclusive options)
+    let mut writers: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, l) in model.leaves.iter().enumerate() {
+        for s in &l.outputs {
+            writers.entry(s).or_default().push(i);
+        }
+    }
+    // ordered edges feed the cycle search; concurrent stream edges are the
+    // race lint (a cycle through them would be a misdiagnosis: no ordering
+    // exists to contradict)
+    let mut edges: Vec<(usize, usize, String)> = Vec::new();
+    for (r, reader) in model.leaves.iter().enumerate() {
+        for s in &reader.inputs {
+            for &w in writers.get(s.as_str()).map_or(&[][..], |v| v) {
+                if w == r {
+                    diags.push(
+                        with_span(
+                            Diagnostic::error(
+                                CYCLE,
+                                format!(
+                                    "component '{}' reads its own output stream '{s}' — the value \
+                                     can never be produced",
+                                    reader.name
+                                ),
+                            ),
+                            spans,
+                            &reader.name,
+                        )
+                        .with_node(reader.name.clone()),
+                    );
+                    continue;
+                }
+                let writer = &model.leaves[w];
+                if !crate::model::option_paths_compatible(&writer.option_path, &reader.option_path)
+                {
+                    continue;
+                }
+                match relation(writer, reader) {
+                    Rel::Concurrent => diags.push(
+                        with_span(
+                            Diagnostic::error(
+                                CONCURRENT_READ,
+                                format!(
+                                    "component '{}' reads stream '{s}' concurrently with its \
+                                     writer '{}' — the task group imposes no ordering, so the \
+                                     read may precede the write",
+                                    reader.name, writer.name
+                                ),
+                            ),
+                            spans,
+                            &reader.name,
+                        )
+                        .with_node(reader.name.clone())
+                        .with_fix("order the writer before the reader with a seq group"),
+                    ),
+                    Rel::Before | Rel::After => edges.push((w, r, s.clone())),
+                }
+            }
+        }
+    }
+
+    // structural order edges between every Before pair
+    let mut adj: Vec<Vec<(usize, Option<&str>)>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (w, r, s) in &edges {
+        adj[*w].push((*r, Some(s.as_str())));
+        indegree[*r] += 1;
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let (f, t) = match relation(&model.leaves[a], &model.leaves[b]) {
+                Rel::Before => (a, b),
+                Rel::After => (b, a),
+                Rel::Concurrent => continue,
+            };
+            adj[f].push((t, None));
+            indegree[t] += 1;
+        }
+    }
+
+    // Kahn elimination: whatever survives sits on a cycle
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut alive = vec![true; n];
+    let mut remaining = n;
+    while let Some(i) = queue.pop_front() {
+        alive[i] = false;
+        remaining -= 1;
+        for &(t, _) in &adj[i] {
+            indegree[t] -= 1;
+            if indegree[t] == 0 {
+                queue.push_back(t);
+            }
+        }
+    }
+    if remaining > 0 {
+        // order alone is acyclic, so some stream edge closes the loop;
+        // report the minimal cycle through the first surviving one
+        if let Some((w, r, s)) = edges.iter().find(|(w, r, _)| alive[*w] && alive[*r]) {
+            let names = shortest_path(&adj, &alive, *r, *w)
+                .map(|path| {
+                    path.iter()
+                        .map(|&i| model.leaves[i].name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                })
+                .unwrap_or_else(|| model.leaves[*r].name.clone());
+            let writer = &model.leaves[*w];
+            diags.push(
+                with_span(
+                    Diagnostic::error(
+                        CYCLE,
+                        format!(
+                            "stream-dependency cycle no FIFO capacity can satisfy: '{}' writes \
+                             stream '{s}' consumed by '{}', but scheduling order runs {names}",
+                            writer.name, model.leaves[*r].name
+                        ),
+                    ),
+                    spans,
+                    &writer.name,
+                )
+                .with_node(writer.name.clone())
+                .with_fix("break the cycle: move the reader after the writer, or split the stream"),
+            );
+        }
+    }
+    diags
+}
+
+/// BFS over surviving nodes from `from` to `to`; returns the node path.
+fn shortest_path(
+    adj: &[Vec<(usize, Option<&str>)>],
+    alive: &[bool],
+    from: usize,
+    to: usize,
+) -> Option<Vec<usize>> {
+    let mut prev: Vec<Option<usize>> = vec![None; adj.len()];
+    let mut queue = VecDeque::from([from]);
+    let mut seen = vec![false; adj.len()];
+    seen[from] = true;
+    while let Some(i) = queue.pop_front() {
+        if i == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while let Some(p) = prev[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &(t, _) in &adj[i] {
+            if alive[t] && !seen[t] {
+                seen[t] = true;
+                prev[t] = Some(i);
+                queue.push_back(t);
+            }
+        }
+    }
+    None
+}
+
+fn with_span(d: Diagnostic, spans: &HashMap<String, Span>, key: &str) -> Diagnostic {
+    match spans.get(key) {
+        Some(span) => d.with_span(*span),
+        None => d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::leaf;
+    use hinch::graph::GraphSpec;
+
+    #[test]
+    fn backward_seq_data_edge_is_a_cycle() {
+        // reader scheduled before its writer: guaranteed deadlock
+        let g = GraphSpec::seq(vec![leaf("r", &["s"], &["t"]), leaf("w", &[], &["s"])]);
+        let diags = check(&crate::model::build(&g), &HashMap::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, CYCLE);
+        assert!(diags[0].message.contains("cycle"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn task_sibling_read_is_a_race() {
+        let g = GraphSpec::task(vec![leaf("w", &[], &["s"]), leaf("r", &["s"], &[])]);
+        let diags = check(&crate::model::build(&g), &HashMap::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, CONCURRENT_READ);
+    }
+
+    #[test]
+    fn forward_pipeline_is_clean() {
+        let g = GraphSpec::seq(vec![
+            leaf("a", &[], &["s"]),
+            GraphSpec::task(vec![leaf("b", &["s"], &["t"]), leaf("c", &["s"], &["u"])]),
+            leaf("d", &["t", "u"], &[]),
+        ]);
+        let diags = check(&crate::model::build(&g), &HashMap::new());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn self_read_is_reported() {
+        let g = GraphSpec::seq(vec![leaf("x", &["s"], &["s"])]);
+        let diags = check(&crate::model::build(&g), &HashMap::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("own output"),
+            "{}",
+            diags[0].message
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! XA001 — region-overlap analysis for shared boundary streams.
+//!
+//! Slice and crossdep copies of a component all write the same boundary
+//! stream; the runtime hands each copy a composed [`SliceAssign`] whose
+//! `range(len)` regions partition the buffer. This pass symbolically
+//! expands every replication group (via [`hinch::graph::introspect`]) and
+//! proves the write regions pairwise disjoint — or reports the first
+//! conflicting pair.
+//!
+//! Disjointness is decided without knowing the buffer length:
+//!
+//! * equal totals, distinct indices — disjoint for every length (the
+//!   `range` partition is exact);
+//! * equal totals, equal index — the same region twice: always a
+//!   conflict (this is exactly what uncomposed nested-slice assignments
+//!   produce);
+//! * differing totals — **not provably disjoint**: for buffer lengths
+//!   smaller than the totals' product the uneven remainder distribution
+//!   can make rationally-disjoint intervals share elements (e.g. copy
+//!   4/8 and copy 2/3 of a 6-element buffer both own element 4), so the
+//!   pair is conservatively reported.
+
+use crate::model::option_paths_compatible;
+use crate::AnalyzeOptions;
+use hinch::component::SliceAssign;
+use hinch::graph::introspect::{expand_copies, expand_copies_with, CopyInfo};
+use hinch::graph::GraphSpec;
+use std::collections::{BTreeMap, HashMap};
+use xspcl::xml::Span;
+use xspcl::Diagnostic;
+
+pub const CODE: &str = "XA001";
+
+pub fn check(
+    spec: &GraphSpec,
+    spans: &HashMap<String, Span>,
+    opts: &AnalyzeOptions,
+) -> Vec<Diagnostic> {
+    let copies = if opts.legacy_uncomposed_slices {
+        // the pre-fix semantics: every nesting level restarts at (i, n)
+        expand_copies_with(spec, &|_, i, n| SliceAssign { index: i, total: n })
+    } else {
+        expand_copies(spec)
+    };
+
+    let mut writers: BTreeMap<&str, Vec<&CopyInfo>> = BTreeMap::new();
+    for copy in &copies {
+        for out in &copy.outputs {
+            writers.entry(out).or_default().push(copy);
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (stream, ws) in &writers {
+        if ws.len() < 2 || ws.iter().all(|c| c.assign.is_none()) {
+            continue; // single writer, or no replication: XA011's territory
+        }
+        let mut conflicts: Vec<(&CopyInfo, &CopyInfo, String)> = Vec::new();
+        for (i, a) in ws.iter().enumerate() {
+            for b in &ws[i + 1..] {
+                if !option_paths_compatible(&a.option_path, &b.option_path) {
+                    continue; // mutually exclusive options
+                }
+                if let Some(reason) = conflict(a.assign, b.assign) {
+                    conflicts.push((a, b, reason));
+                }
+            }
+        }
+        if let Some((a, b, reason)) = conflicts.first() {
+            let mut message = format!(
+                "writers '{}' and '{}' of stream '{stream}' claim overlapping regions: {reason}",
+                a.name, b.name
+            );
+            if conflicts.len() > 1 {
+                message.push_str(&format!(
+                    " ({} more conflicting pair(s) on this stream)",
+                    conflicts.len() - 1
+                ));
+            }
+            let mut d = Diagnostic::error(CODE, message).with_node(a.name.clone()).with_fix(
+                "compose nested slice assignments (index = outer*n + inner, total = outer_total*n) \
+                 so the copies partition the buffer",
+            );
+            if let Some(span) = spans.get(&a.spec_name) {
+                d = d.with_span(*span);
+            }
+            diags.push(d);
+        }
+    }
+    diags
+}
+
+/// `Some(reason)` when the two write regions cannot be proven disjoint.
+fn conflict(a: Option<SliceAssign>, b: Option<SliceAssign>) -> Option<String> {
+    match (a, b) {
+        (Some(x), Some(y)) if x.total == y.total => (x.index == y.index).then(|| {
+            format!(
+                "both claim region {}/{} — their assignments were not composed across nesting levels",
+                x.index, x.total
+            )
+        }),
+        (Some(x), Some(y)) => Some(format!(
+            "incommensurate partitions {}/{} vs {}/{} cannot be proven disjoint for every buffer length",
+            x.index, x.total, y.index, y.total
+        )),
+        (Some(x), None) | (None, Some(x)) => Some(format!(
+            "a whole-buffer write overlaps the {}/{} region",
+            x.index, x.total
+        )),
+        // two unreplicated writers: the multiple-writers lint reports it
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::leaf;
+
+    fn nested(outer: usize, inner: usize) -> GraphSpec {
+        GraphSpec::seq(vec![
+            leaf("src", &[], &["x"]),
+            GraphSpec::slice(
+                "outer",
+                outer,
+                GraphSpec::slice("inner", inner, leaf("w", &["x"], &["y"])),
+            ),
+            leaf("snk", &["y"], &[]),
+        ])
+    }
+
+    #[test]
+    fn composed_nested_slices_are_clean() {
+        let diags = check(&nested(2, 2), &HashMap::new(), &AnalyzeOptions::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn legacy_uncomposed_nested_slices_overlap() {
+        let opts = AnalyzeOptions {
+            legacy_uncomposed_slices: true,
+        };
+        let diags = check(&nested(2, 2), &HashMap::new(), &opts);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("overlapping regions"),
+            "{}",
+            diags[0].message
+        );
+        assert!(
+            diags[0].message.contains("not composed"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn differing_totals_are_conservatively_flagged() {
+        // two separate slice groups of different widths writing one stream
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["x"]),
+            GraphSpec::task(vec![
+                GraphSpec::slice("a", 2, leaf("w1", &["x"], &["y"])),
+                GraphSpec::slice("b", 3, leaf("w2", &["x"], &["y"])),
+            ]),
+            leaf("snk", &["y"], &[]),
+        ]);
+        let diags = check(&g, &HashMap::new(), &AnalyzeOptions::default());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("incommensurate"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn sibling_option_writers_are_not_compared() {
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["x"]),
+            GraphSpec::option(
+                "a",
+                true,
+                GraphSpec::slice("sa", 2, leaf("w1", &["x"], &["y"])),
+            ),
+            GraphSpec::option(
+                "b",
+                false,
+                GraphSpec::slice("sb", 3, leaf("w2", &["x"], &["y"])),
+            ),
+            leaf("snk", &["y"], &[]),
+        ]);
+        let diags = check(&g, &HashMap::new(), &AnalyzeOptions::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

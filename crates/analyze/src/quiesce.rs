@@ -1,0 +1,300 @@
+//! XA020 — quiesce-safety of option swaps.
+//!
+//! Reconfiguration happens under quiescence, but quiescence only
+//! serializes the *swap*; it cannot conjure a writer for a stream whose
+//! sole producer was just disabled. This pass explores the reachable
+//! option-configuration space (initial configuration, then every manager
+//! rule applied transitively through forwards) and reports the first
+//! event path leading to a configuration in which some live reader's
+//! stream has no live writer — or two that race.
+
+use crate::model::{ActionInfo, Model};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use xspcl::xml::Span;
+use xspcl::Diagnostic;
+
+pub const CODE: &str = "XA020";
+
+/// Explored configurations are capped; specs with more reachable states
+/// than this are beyond the exhaustive check (none of the paper's apps
+/// come close).
+const MAX_CONFIGS: usize = 4096;
+
+/// How deep event forwarding is followed.
+const MAX_FORWARD_DEPTH: usize = 4;
+
+pub fn check(model: &Model, spans: &HashMap<String, Span>) -> Vec<Diagnostic> {
+    if model.options.is_empty() || model.managers.is_empty() {
+        return Vec::new();
+    }
+    // option name -> bit index; duplicate names across managers would make
+    // the state space ambiguous, so bail out (the duplicate itself is
+    // reported by the runtime's DuplicateOption check when within one
+    // manager)
+    let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, o) in model.options.iter().enumerate() {
+        if index.insert(&o.name, i).is_some() {
+            return Vec::new();
+        }
+    }
+
+    let initial: Vec<bool> = model.options.iter().map(|o| o.enabled).collect();
+
+    // per-stream writer/reader option paths (as bit-index lists)
+    let paths = |opt_path: &[String]| -> Vec<usize> {
+        opt_path
+            .iter()
+            .filter_map(|o| index.get(o.as_str()))
+            .copied()
+            .collect()
+    };
+    let mut writers: BTreeMap<&str, Vec<(usize, Vec<usize>)>> = BTreeMap::new();
+    let mut readers: BTreeMap<&str, Vec<(usize, Vec<usize>)>> = BTreeMap::new();
+    for (i, l) in model.leaves.iter().enumerate() {
+        for s in &l.outputs {
+            writers
+                .entry(s)
+                .or_default()
+                .push((i, paths(&l.option_path)));
+        }
+        for s in &l.inputs {
+            readers
+                .entry(s)
+                .or_default()
+                .push((i, paths(&l.option_path)));
+        }
+    }
+    let live = |config: &[bool], path: &[usize]| path.iter().all(|&b| config[b]);
+
+    let violations = |config: &[bool]| -> Vec<(String, &'static str, String)> {
+        let mut out = Vec::new();
+        for (stream, rs) in &readers {
+            let Some(ws) = writers.get(stream) else {
+                continue; // no writer at all: the wiring lint reports it
+            };
+            let Some(&(reader, _)) = rs.iter().find(|(_, p)| live(config, p)) else {
+                continue; // no live reader, nothing is orphaned
+            };
+            let live_ws: Vec<&str> = ws
+                .iter()
+                .filter(|(_, p)| live(config, p))
+                .map(|&(w, _)| model.leaves[w].name.as_str())
+                .collect();
+            if live_ws.is_empty() {
+                out.push((
+                    stream.to_string(),
+                    "orphaned",
+                    format!(
+                        "stream '{stream}' still has live reader '{}' but no live writer",
+                        model.leaves[reader].name
+                    ),
+                ));
+            } else if live_ws.len() > 1 {
+                out.push((
+                    stream.to_string(),
+                    "raced",
+                    format!(
+                        "stream '{stream}' has {} live writers: {}",
+                        live_ws.len(),
+                        live_ws.join(", ")
+                    ),
+                ));
+            }
+        }
+        out
+    };
+
+    let mut diags = Vec::new();
+    let mut reported: BTreeSet<(String, &'static str)> = BTreeSet::new();
+    let mut seen: BTreeSet<Vec<bool>> = BTreeSet::new();
+    let mut queue: VecDeque<(Vec<bool>, Vec<String>)> = VecDeque::new();
+    queue.push_back((initial, Vec::new()));
+    while let Some((config, path)) = queue.pop_front() {
+        if !seen.insert(config.clone()) {
+            continue;
+        }
+        for (stream, kind, detail) in violations(&config) {
+            if !reported.insert((stream.clone(), kind)) {
+                continue;
+            }
+            let message = if path.is_empty() {
+                format!("in the initial configuration, {detail}")
+            } else {
+                format!("after {}, {detail}", path.join(", then "))
+            };
+            let span_key = writers
+                .get(stream.as_str())
+                .and_then(|ws| ws.first())
+                .map(|&(w, _)| model.leaves[w].name.clone());
+            let mut d = Diagnostic::error(CODE, message).with_node(stream).with_fix(
+                "pair the disabling action with enabling a replacement writer in the same rule, \
+                 so the swap happens atomically under quiescence",
+            );
+            if let Some(span) = span_key.and_then(|k| spans.get(&k)) {
+                d = d.with_span(*span);
+            }
+            diags.push(d);
+        }
+        if seen.len() >= MAX_CONFIGS {
+            break;
+        }
+        for m in &model.managers {
+            for r in &m.rules {
+                let mut next = config.clone();
+                apply(model, m, r, &mut next, &index, MAX_FORWARD_DEPTH);
+                if next != config && !seen.contains(&next) {
+                    let mut next_path = path.clone();
+                    next_path.push(format!("event '{}' at manager '{}'", r.event, m.name));
+                    queue.push_back((next, next_path));
+                }
+            }
+        }
+    }
+    diags
+}
+
+fn apply(
+    model: &Model,
+    manager: &crate::model::ManagerInfo,
+    rule: &crate::model::RuleInfo,
+    config: &mut [bool],
+    index: &BTreeMap<&str, usize>,
+    depth: usize,
+) {
+    let _ = manager;
+    for action in &rule.actions {
+        match action {
+            ActionInfo::Enable(o) => set(config, index, o, true),
+            ActionInfo::Disable(o) => set(config, index, o, false),
+            ActionInfo::Toggle(o) => {
+                if let Some(&b) = index.get(o.as_str()) {
+                    config[b] = !config[b];
+                }
+            }
+            ActionInfo::Forward(q) => {
+                if depth == 0 {
+                    continue;
+                }
+                // the forwarded event keeps its kind; every manager polling
+                // the target queue applies its matching rules
+                for m2 in model.managers.iter().filter(|m2| &m2.queue == q) {
+                    for r2 in m2.rules.iter().filter(|r2| r2.event == rule.event) {
+                        apply(model, m2, r2, config, index, depth - 1);
+                    }
+                }
+            }
+            ActionInfo::Broadcast => {}
+        }
+    }
+}
+
+fn set(config: &mut [bool], index: &BTreeMap<&str, usize>, option: &str, value: bool) {
+    if let Some(&b) = index.get(option) {
+        config[b] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build;
+    use crate::testutil::leaf;
+    use hinch::event::EventQueue;
+    use hinch::graph::{GraphSpec, ManagerSpec};
+    use hinch::manager::EventAction;
+
+    #[test]
+    fn disabling_the_sole_writer_is_reported() {
+        let mgr = ManagerSpec::new("m", EventQueue::new("q"))
+            .on("off", vec![EventAction::Disable("w".into())]);
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                GraphSpec::option("w", true, leaf("src", &[], &["s"])),
+                leaf("snk", &["s"], &[]),
+            ]),
+        );
+        let diags = check(&build(&g), &HashMap::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("event 'off'"),
+            "{}",
+            diags[0].message
+        );
+        assert!(
+            diags[0].message.contains("no live writer"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn paired_toggles_stay_safe() {
+        // the PiP-12 idiom: exactly one of work/bypass is live at all times
+        let mgr = ManagerSpec::new("m", EventQueue::new("q")).on(
+            "flip",
+            vec![
+                EventAction::Toggle("work".into()),
+                EventAction::Toggle("bypass".into()),
+            ],
+        );
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                leaf("src", &[], &["s"]),
+                GraphSpec::option("work", true, leaf("w", &["s"], &["out"])),
+                GraphSpec::option("bypass", false, leaf("b", &["s"], &["out"])),
+                leaf("snk", &["out"], &[]),
+            ]),
+        );
+        let diags = check(&build(&g), &HashMap::new());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn enabling_a_second_writer_races() {
+        let mgr = ManagerSpec::new("m", EventQueue::new("q"))
+            .on("on", vec![EventAction::Enable("extra".into())]);
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                GraphSpec::option("base", true, leaf("w1", &["in"], &["s"])),
+                GraphSpec::option("extra", false, leaf("w2", &["in"], &["s"])),
+                leaf("src", &[], &["in"]),
+                leaf("snk", &["s"], &[]),
+            ]),
+        );
+        let diags = check(&build(&g), &HashMap::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("2 live writers"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn forwarded_events_are_followed() {
+        let front = ManagerSpec::new("front", EventQueue::new("q1"))
+            .on("off", vec![EventAction::Forward(EventQueue::new("q2"))]);
+        let back = ManagerSpec::new("back", EventQueue::new("q2"))
+            .on("off", vec![EventAction::Disable("w".into())]);
+        let g = GraphSpec::managed(
+            front,
+            GraphSpec::managed(
+                back,
+                GraphSpec::seq(vec![
+                    GraphSpec::option("w", true, leaf("src", &[], &["s"])),
+                    leaf("snk", &["s"], &[]),
+                ]),
+            ),
+        );
+        let diags = check(&build(&g), &HashMap::new());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("no live writer"),
+            "{}",
+            diags[0].message
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Wiring lints: XA010 (dead stream), XA011 (multiple writers), XA012
+//! (queue wiring), XA013 (untargeted option), XA014 (writerless stream).
+
+use crate::model::Model;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use xspcl::xml::Span;
+use xspcl::Diagnostic;
+
+pub const DEAD_STREAM: &str = "XA010";
+pub const MULTIPLE_WRITERS: &str = "XA011";
+pub const QUEUE_WIRING: &str = "XA012";
+pub const UNTARGETED_OPTION: &str = "XA013";
+pub const NO_WRITER: &str = "XA014";
+
+/// `declared_queues` is the set of queues the XSPCL document declares
+/// (`None` for programmatic graphs, which have no declarations to check).
+pub fn check(
+    model: &Model,
+    spans: &HashMap<String, Span>,
+    declared_queues: Option<&[String]>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // stream accounting at spec level, mirroring the runtime's writer rule
+    let mut writers: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut readers: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, l) in model.leaves.iter().enumerate() {
+        for s in &l.outputs {
+            writers.entry(s).or_default().push(i);
+        }
+        for s in &l.inputs {
+            readers.entry(s).or_default().push(i);
+        }
+    }
+
+    for (stream, ws) in &writers {
+        let outside = ws
+            .iter()
+            .filter(|&&w| model.leaves[w].option_path.is_empty())
+            .count();
+        if outside > 1 || (outside == 1 && ws.len() > 1) {
+            let first = &model.leaves[ws[0]];
+            let names: Vec<&str> = ws.iter().map(|&w| model.leaves[w].name.as_str()).collect();
+            diags.push(
+                with_span(
+                    Diagnostic::error(
+                        MULTIPLE_WRITERS,
+                        format!(
+                            "stream '{stream}' has multiple writers that can be live together: {}",
+                            names.join(", ")
+                        ),
+                    ),
+                    spans,
+                    &first.name,
+                )
+                .with_node(first.name.clone())
+                .with_fix(
+                    "give each writer its own stream, or make the writers mutually exclusive \
+                     options",
+                ),
+            );
+        }
+        if !readers.contains_key(stream) {
+            let first = &model.leaves[ws[0]];
+            diags.push(
+                with_span(
+                    Diagnostic::warning(
+                        DEAD_STREAM,
+                        format!(
+                            "stream '{stream}' is written by '{}' but never read",
+                            first.name
+                        ),
+                    ),
+                    spans,
+                    &first.name,
+                )
+                .with_node(first.name.clone())
+                .with_fix("remove the dead output, or connect a reader"),
+            );
+        }
+    }
+    for (stream, rs) in &readers {
+        if !writers.contains_key(stream) {
+            let first = &model.leaves[rs[0]];
+            diags.push(
+                with_span(
+                    Diagnostic::error(
+                        NO_WRITER,
+                        format!(
+                            "component '{}' reads stream '{stream}' which no component writes",
+                            first.name
+                        ),
+                    ),
+                    spans,
+                    &first.name,
+                )
+                .with_node(first.name.clone()),
+            );
+        }
+    }
+
+    // queue wiring: who can post, who polls
+    let polled: BTreeSet<&str> = model.managers.iter().map(|m| m.queue.as_str()).collect();
+    let mut posters: BTreeMap<&str, &str> = BTreeMap::new(); // queue -> first poster
+    for l in &model.leaves {
+        for q in &l.queue_params {
+            posters.entry(q).or_insert(&l.name);
+        }
+    }
+    for m in &model.managers {
+        for r in &m.rules {
+            for a in &r.actions {
+                if let crate::model::ActionInfo::Forward(q) = a {
+                    posters.entry(q).or_insert(&m.name);
+                }
+            }
+        }
+    }
+    for (queue, poster) in &posters {
+        if !polled.contains(queue) {
+            diags.push(
+                with_span(
+                    Diagnostic::warning(
+                        QUEUE_WIRING,
+                        format!(
+                            "events posted to queue '{queue}' (by '{poster}') are never polled \
+                             by any manager"
+                        ),
+                    ),
+                    spans,
+                    &format!("queue:{queue}"),
+                )
+                .with_node((*poster).to_string())
+                .with_fix("attach a manager to the queue, or drop the handle"),
+            );
+        }
+    }
+    if let Some(declared) = declared_queues {
+        for queue in declared {
+            if !polled.contains(queue.as_str()) && !posters.contains_key(queue.as_str()) {
+                diags.push(
+                    with_span(
+                        Diagnostic::warning(
+                            QUEUE_WIRING,
+                            format!("queue '{queue}' is declared but never posted to or polled"),
+                        ),
+                        spans,
+                        &format!("queue:{queue}"),
+                    )
+                    .with_fix("remove the declaration"),
+                );
+            }
+        }
+    }
+
+    // options no rule can ever flip
+    let targeted: BTreeSet<&str> = model
+        .managers
+        .iter()
+        .flat_map(|m| m.rules.iter())
+        .flat_map(|r| r.actions.iter())
+        .filter_map(|a| match a {
+            crate::model::ActionInfo::Enable(o)
+            | crate::model::ActionInfo::Disable(o)
+            | crate::model::ActionInfo::Toggle(o) => Some(o.as_str()),
+            _ => None,
+        })
+        .collect();
+    for opt in &model.options {
+        if !targeted.contains(opt.name.as_str()) {
+            let state = if opt.enabled { "enabled" } else { "disabled" };
+            diags.push(
+                with_span(
+                    Diagnostic::warning(
+                        UNTARGETED_OPTION,
+                        format!(
+                            "option '{}' is not targeted by any manager rule; it stays {state} \
+                             forever",
+                            opt.name
+                        ),
+                    ),
+                    spans,
+                    &format!("option:{}", opt.name),
+                )
+                .with_node(format!("option:{}", opt.name))
+                .with_fix("add an enable/disable/toggle rule for it, or inline the subgraph"),
+            );
+        }
+    }
+
+    diags
+}
+
+fn with_span(d: Diagnostic, spans: &HashMap<String, Span>, key: &str) -> Diagnostic {
+    match spans.get(key) {
+        Some(span) => d.with_span(*span),
+        None => d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build;
+    use crate::testutil::{leaf, leaf_with_queue};
+    use hinch::graph::{GraphSpec, ManagerSpec};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn dead_and_writerless_streams_are_flagged() {
+        let g = GraphSpec::seq(vec![
+            leaf("a", &[], &["used", "dead"]),
+            leaf("b", &["used", "ghost"], &[]),
+        ]);
+        let diags = check(&build(&g), &HashMap::new(), None);
+        assert_eq!(codes(&diags), vec![DEAD_STREAM, NO_WRITER], "{diags:?}");
+    }
+
+    #[test]
+    fn unconditional_plus_optional_writer_is_flagged() {
+        let g = GraphSpec::seq(vec![
+            leaf("w1", &[], &["s"]),
+            GraphSpec::option("o", false, leaf("w2", &[], &["s"])),
+            leaf("snk", &["s"], &[]),
+        ]);
+        let diags = check(&build(&g), &HashMap::new(), None);
+        assert_eq!(codes(&diags), vec![MULTIPLE_WRITERS, UNTARGETED_OPTION]);
+    }
+
+    #[test]
+    fn exclusive_option_writers_are_fine() {
+        let mgr = ManagerSpec::new("m", hinch::event::EventQueue::new("q")).on(
+            "flip",
+            vec![
+                hinch::manager::EventAction::Toggle("a".into()),
+                hinch::manager::EventAction::Toggle("b".into()),
+            ],
+        );
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                leaf("src", &[], &["s"]),
+                GraphSpec::option("a", true, leaf("work", &["s"], &["out"])),
+                GraphSpec::option("b", false, leaf("bypass", &["s"], &["out"])),
+                leaf("snk", &["out"], &[]),
+            ]),
+        );
+        let diags = check(&build(&g), &HashMap::new(), Some(&["q".to_string()]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn queue_lints_fire() {
+        // 'orphan' is posted to but unpolled; 'unused' is declared only
+        let g = GraphSpec::seq(vec![
+            leaf_with_queue("inj", &[], &["s"], "orphan"),
+            leaf("snk", &["s"], &[]),
+        ]);
+        let declared = vec!["orphan".to_string(), "unused".to_string()];
+        let diags = check(&build(&g), &HashMap::new(), Some(&declared));
+        assert_eq!(codes(&diags), vec![QUEUE_WIRING, QUEUE_WIRING], "{diags:?}");
+        assert!(
+            diags[0].message.contains("never polled"),
+            "{}",
+            diags[0].message
+        );
+        assert!(
+            diags[1].message.contains("declared but never"),
+            "{}",
+            diags[1].message
+        );
+    }
+}

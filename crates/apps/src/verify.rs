@@ -1,4 +1,42 @@
-//! Output verification helpers: XSPCL runs vs sequential baselines.
+//! Output verification helpers: XSPCL runs vs sequential baselines, and
+//! the registered-application corpus the static analyzer must pass.
+
+use crate::experiment::{self, App, AppConfig};
+use crate::{mosaic, telescope};
+
+/// The XSPCL source of every registered application, labelled: the nine
+/// measured apps of the paper plus the mosaic and telescope extensions.
+/// This is the corpus `xspclc analyze` and CI check stays diagnostic-free.
+pub fn app_specs() -> Vec<(String, String)> {
+    let mut specs: Vec<(String, String)> = Vec::new();
+    for app in App::STATIC.into_iter().chain(App::RECONFIG) {
+        let built = experiment::build(AppConfig::small(app));
+        specs.push((app.label().to_string(), built.xml));
+    }
+    specs.push((
+        "Mosaic".to_string(),
+        mosaic::mosaic_xml(&mosaic::MosaicConfig::small(4)),
+    ));
+    specs.push((
+        "Telescope".to_string(),
+        telescope::telescope_xml(&telescope::TelescopeConfig::small()),
+    ));
+    specs
+}
+
+/// Elaborate and statically analyze every registered application,
+/// returning `(label, diagnostics)` pairs. All should be empty; tests and
+/// CI fail on any finding.
+pub fn analyze_apps() -> Vec<(String, xspcl::Diagnostics)> {
+    app_specs()
+        .into_iter()
+        .map(|(label, xml)| {
+            let e = xspcl::compile(&xml, &xspcl::ComponentRegistry::stubbed())
+                .unwrap_or_else(|err| panic!("{label}: spec does not compile: {err}"));
+            (label, analyze::check_app(&e))
+        })
+        .collect()
+}
 
 /// Compare two frame sequences; panics with a precise location on any
 /// mismatch.
@@ -62,5 +100,16 @@ mod tests {
         let a = vec![vec![1, 2, 3, 4]];
         let b = vec![vec![1, 0, 3, 0]];
         assert_eq!(diff_pixels(&a, &b), 2);
+    }
+
+    #[test]
+    fn all_registered_apps_analyze_clean() {
+        for (label, diags) in analyze_apps() {
+            assert!(
+                diags.is_empty(),
+                "{label} has diagnostics:\n{}",
+                diags.render_human()
+            );
+        }
     }
 }

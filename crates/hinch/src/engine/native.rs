@@ -32,6 +32,9 @@ struct State {
     per_node: std::collections::HashMap<String, (u64, std::time::Duration)>,
     /// Set when a worker panicked; remaining workers drain out.
     aborted: bool,
+    /// A lease conflict caught by a worker, surfaced as a structured
+    /// error from [`run_native`] instead of a panic.
+    failure: Option<HinchError>,
 }
 
 struct Shared {
@@ -52,7 +55,8 @@ impl Shared {
 /// Run `spec` for `cfg.iterations` iterations on `cfg.workers` threads.
 ///
 /// Returns once every iteration completed. Component panics propagate to
-/// the caller.
+/// the caller, except shared-buffer lease conflicts, which return as
+/// [`HinchError::LeaseConflict`].
 pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchError> {
     spec.validate()?;
     cfg.validate()?;
@@ -73,6 +77,7 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
             reconfigs: 0,
             per_node: std::collections::HashMap::new(),
             aborted: false,
+            failure: None,
         }),
         cv: Condvar::new(),
         trace: cfg.trace.clone(),
@@ -107,6 +112,9 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
 
     let elapsed = start.elapsed();
     let state = shared.state.lock();
+    if let Some(failure) = state.failure.clone() {
+        return Err(failure);
+    }
     Ok(RunReport {
         iterations: state.tracker.completed_iterations(),
         elapsed,
@@ -139,9 +147,23 @@ fn worker_loop(shared: &Shared, core: u32) {
         if let Err(payload) = result {
             let mut state = shared.state.lock();
             state.aborted = true;
-            shared.cv.notify_all();
-            drop(state);
-            std::panic::resume_unwind(payload);
+            // A lease conflict is the scheduling-bug detector firing:
+            // surface it as a structured error from run_native. Any other
+            // panic is an application bug and keeps propagating.
+            match payload.downcast::<crate::sharedbuf::LeaseConflict>() {
+                Ok(conflict) => {
+                    state
+                        .failure
+                        .get_or_insert(HinchError::LeaseConflict(*conflict));
+                    shared.cv.notify_all();
+                    return;
+                }
+                Err(payload) => {
+                    shared.cv.notify_all();
+                    drop(state);
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
     }
 }
@@ -158,7 +180,10 @@ fn execute(shared: &Shared, job: JobRef, core: u32) {
             let started = Instant::now();
             let mut meter = NullMeter;
             let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
-            leaf.comp.lock().run(&mut ctx);
+            {
+                let _node = crate::sharedbuf::enter_node(&leaf.name);
+                leaf.comp.lock().run(&mut ctx);
+            }
             let busy = started.elapsed();
             if let Some(sink) = &shared.trace {
                 let end = shared.now();
@@ -509,5 +534,51 @@ mod tests {
             let _ = run_native(&g, &RunConfig::new(10).workers(2));
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn lease_conflict_surfaces_as_structured_error() {
+        // every copy ignores its assignment and claims the whole buffer
+        struct Greedy;
+        impl Component for Greedy {
+            fn class(&self) -> &'static str {
+                "greedy"
+            }
+            fn run(&mut self, ctx: &mut RunCtx<'_>) {
+                let buf =
+                    ctx.write_shared::<RegionBuf<i64>, _>(0, || RegionBuf::new("greedy.out", 32));
+                let mut w = buf.lease_write(0..32);
+                w[0] = 1;
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        let f = factory(
+            |_p: &Params| -> Box<dyn Component> { Box::new(Greedy) },
+            Params::new(),
+        );
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["s"], 0),
+            GraphSpec::slice(
+                "sl",
+                4,
+                GraphSpec::Leaf(ComponentSpec::new("g", "greedy", f).input("s").output("o")),
+            ),
+            buf_recorder_leaf("o", Arc::new(PMutex::new(Vec::new()))),
+        ]);
+        let err = run_native(&g, &RunConfig::new(4).workers(4)).unwrap_err();
+        let HinchError::LeaseConflict(c) = err else {
+            panic!("expected LeaseConflict, got {err}");
+        };
+        assert_eq!(c.buffer, "greedy.out");
+        assert!(
+            c.holder.as_deref().is_some_and(|h| h.starts_with("g#")),
+            "holder names the slice copy: {:?}",
+            c.holder
+        );
+        assert!(
+            c.requester.as_deref().is_some_and(|r| r.starts_with("g#")),
+            "requester names the slice copy: {:?}",
+            c.requester
+        );
     }
 }

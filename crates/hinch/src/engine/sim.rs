@@ -150,7 +150,7 @@ pub fn run_sim(
                     // Execute on the host *now*; dependencies are complete.
                     platform.begin_job(core);
                     let plan =
-                        exec_job(&tracker, t.job, platform, cfg, &inst, &pending_plans, start);
+                        exec_job(&tracker, t.job, platform, cfg, &inst, &pending_plans, start)?;
                     let cycles = platform.end_job();
                     let halting = plan.is_some();
                     if let Some(plan) = plan {
@@ -297,7 +297,9 @@ pub fn run_sim(
 /// Execute one job on the host, charging its costs to `platform`.
 /// Returns a reconfiguration plan when a manager entry produced one (the
 /// caller halts the tracker). `at` is the job's virtual start time, used
-/// to timestamp event-poll trace events.
+/// to timestamp event-poll trace events. A shared-buffer lease conflict
+/// becomes a structured [`HinchError::LeaseConflict`]; other component
+/// panics propagate.
 #[allow(clippy::too_many_arguments)]
 fn exec_job(
     tracker: &Tracker,
@@ -307,13 +309,22 @@ fn exec_job(
     inst: &crate::graph::instance::InstanceGraph,
     pending: &[PreparedReconfig],
     at: u64,
-) -> Option<PreparedReconfig> {
+) -> Result<Option<PreparedReconfig>, HinchError> {
     match tracker.kind(job) {
         JobKind::Comp(leaf) => {
             let mut meter = PlatformMeter::new(platform);
             let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
-            leaf.comp.lock().run(&mut ctx);
-            None
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _node = crate::sharedbuf::enter_node(&leaf.name);
+                leaf.comp.lock().run(&mut ctx);
+            }));
+            if let Err(payload) = run {
+                match payload.downcast::<crate::sharedbuf::LeaseConflict>() {
+                    Ok(conflict) => return Err(HinchError::LeaseConflict(*conflict)),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            Ok(None)
         }
         JobKind::MgrEntry(mgr) => {
             let (plan, cost) = exec_manager_entry(&mgr, &inst.streams, pending);
@@ -327,11 +338,11 @@ fn exec_job(
                     at,
                 });
             }
-            plan
+            Ok(plan)
         }
         JobKind::MgrExit(_) => {
             platform.charge(cfg.overhead.mgr_exit);
-            None
+            Ok(None)
         }
     }
 }

@@ -1,15 +1,18 @@
 //! Error type for graph construction and execution.
 
+use crate::sharedbuf::LeaseConflict;
 use std::fmt;
 
 /// Errors produced while building, instantiating or running a graph.
 ///
-/// Component-level programming errors (reading the wrong packet type,
-/// overlapping buffer leases) are reported by panicking — they are bugs in
-/// application code, comparable to out-of-bounds indexing — while structural
-/// problems detected when assembling a graph are reported as values of this
-/// type so that front-ends (such as the XSPCL processing tool) can surface
-/// them to the user.
+/// Component-level programming errors (reading the wrong packet type) are
+/// reported by panicking — they are bugs in application code, comparable
+/// to out-of-bounds indexing — while structural problems detected when
+/// assembling a graph are reported as values of this type so that
+/// front-ends (such as the XSPCL processing tool) can surface them to the
+/// user. Overlapping buffer leases sit in between: the lease registry
+/// panics with a structured [`LeaseConflict`] payload, which the engines
+/// catch and return as [`HinchError::LeaseConflict`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HinchError {
     /// A stream is written by more than one leaf outside a sliced group.
@@ -31,6 +34,10 @@ pub enum HinchError {
     EmptyGraph,
     /// Configuration error (zero workers, zero iterations, ...).
     BadConfig(String),
+    /// Two graph nodes raced on overlapping regions of a shared buffer.
+    /// Detected by the [`crate::sharedbuf::RegionBuf`] lease registry at
+    /// run time; the engines catch the conflict and surface it here.
+    LeaseConflict(LeaseConflict),
 }
 
 impl fmt::Display for HinchError {
@@ -62,7 +69,14 @@ impl fmt::Display for HinchError {
             }
             HinchError::EmptyGraph => write!(f, "graph contains no components"),
             HinchError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            HinchError::LeaseConflict(c) => write!(f, "{c}"),
         }
+    }
+}
+
+impl From<LeaseConflict> for HinchError {
+    fn from(c: LeaseConflict) -> Self {
+        HinchError::LeaseConflict(c)
     }
 }
 

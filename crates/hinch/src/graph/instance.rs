@@ -46,6 +46,9 @@ pub struct LeafRt {
     pub class: String,
     pub inputs: Vec<Arc<Stream>>,
     pub outputs: Vec<Arc<Stream>>,
+    /// The composed slice assignment delivered to this instance, if it
+    /// lives inside a replication group (for introspection/diagnostics).
+    pub slice: Option<SliceAssign>,
     /// The instance itself. The per-node self-dependency in the scheduler
     /// guarantees the lock is uncontended during normal execution.
     pub comp: Mutex<Box<dyn Component>>,
@@ -72,6 +75,7 @@ impl LeafRt {
             class: spec.class.clone(),
             inputs,
             outputs,
+            slice,
             comp: Mutex::new(comp),
         })
     }
@@ -226,7 +230,7 @@ impl InstEnv {
 /// write a stream shared across the outer copies still lease disjoint
 /// regions (without composition, inner copies of different outer copies
 /// would collide on the same range, making results schedule-dependent).
-fn compose_assign(outer: Option<SliceAssign>, i: usize, n: usize) -> SliceAssign {
+pub(crate) fn compose_assign(outer: Option<SliceAssign>, i: usize, n: usize) -> SliceAssign {
     match outer {
         Some(o) => SliceAssign {
             index: o.index * n + i,
@@ -237,7 +241,7 @@ fn compose_assign(outer: Option<SliceAssign>, i: usize, n: usize) -> SliceAssign
 }
 
 /// Stream keys that are *private* to `body`: written and read inside it.
-fn private_keys(body: &GraphSpec) -> HashSet<String> {
+pub(crate) fn private_keys(body: &GraphSpec) -> HashSet<String> {
     let mut written = HashSet::new();
     let mut read = HashSet::new();
     body.visit_leaves(&mut |c| {
@@ -390,7 +394,33 @@ pub fn instantiate_graph(spec: &GraphSpec) -> InstanceGraph {
         name_suffix: String::new(),
     };
     let root = instantiate(spec, &mut env);
+    #[cfg(debug_assertions)]
+    cross_check_expansion(spec, &root);
     InstanceGraph { root, streams }
+}
+
+/// Debug-build cross-check: the symbolic expansion model in
+/// [`super::introspect`] (which the static analyzer's region-overlap
+/// verdicts are built on) must agree with what was actually instantiated —
+/// same live copies, same composed slice assignments. A divergence would
+/// mean the analyzer certifies graphs the runtime lease registry rejects.
+#[cfg(debug_assertions)]
+fn cross_check_expansion(spec: &GraphSpec, root: &Node) {
+    let mut expected: Vec<(String, Option<SliceAssign>)> = super::introspect::expand_copies(spec)
+        .into_iter()
+        .filter(|c| c.enabled)
+        .map(|c| (c.name, c.assign))
+        .collect();
+    let mut live = Vec::new();
+    root.collect_leaves(&mut live);
+    let mut actual: Vec<(String, Option<SliceAssign>)> =
+        live.iter().map(|l| (l.name.clone(), l.slice)).collect();
+    expected.sort_by(|a, b| a.0.cmp(&b.0));
+    actual.sort_by(|a, b| a.0.cmp(&b.0));
+    debug_assert_eq!(
+        expected, actual,
+        "introspect::expand_copies diverged from runtime instantiation"
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! Symbolic expansion of replication groups, for static analysis.
+//!
+//! [`expand_copies`] walks a [`GraphSpec`] the same way
+//! [`super::instance::instantiate`] does — replicating `slice` and
+//! `crossdep` bodies, composing [`SliceAssign`]s across nesting levels,
+//! renaming private streams — but without creating any component
+//! instances. The result is the per-copy picture a static analyzer needs:
+//! which copy writes which resolved stream key under which composed
+//! assignment. `instantiate_graph` cross-checks this model against the
+//! real instantiation in debug builds, so the two cannot silently drift.
+
+use super::instance::{compose_assign, private_keys};
+use super::GraphSpec;
+use crate::component::SliceAssign;
+use std::collections::HashMap;
+
+/// One symbolic component copy produced by expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyInfo {
+    /// Spec-level instance name (`main/w`).
+    pub spec_name: String,
+    /// Runtime copy name: spec name plus the replication suffix
+    /// (`main/w#2`, `main/h.b0#1`).
+    pub name: String,
+    /// Component class.
+    pub class: String,
+    /// Composed slice assignment delivered to this copy, if it lives
+    /// inside a replication group.
+    pub assign: Option<SliceAssign>,
+    /// Resolved input stream keys (private streams renamed per copy).
+    pub inputs: Vec<String>,
+    /// Resolved output stream keys.
+    pub outputs: Vec<String>,
+    /// Whether this copy is live in the initial configuration (every
+    /// option on its path enabled).
+    pub enabled: bool,
+    /// Names of the options enclosing this copy, outermost first.
+    pub option_path: Vec<String>,
+    /// Names of the slice/crossdep groups enclosing this copy, outermost
+    /// first.
+    pub groups: Vec<String>,
+}
+
+/// How a replication group's index composes with the enclosing scope's
+/// assignment. The default is [`compose`]; the analyzer swaps in other
+/// policies to model historic (buggy) semantics.
+pub type ComposeFn<'a> = &'a dyn Fn(Option<SliceAssign>, usize, usize) -> SliceAssign;
+
+/// The runtime's composition rule: copy `i` of an `n`-way group nested in
+/// outer copy `(o, m)` becomes copy `o*n + i` of `m*n`.
+pub fn compose(outer: Option<SliceAssign>, i: usize, n: usize) -> SliceAssign {
+    compose_assign(outer, i, n)
+}
+
+/// Expand `spec` with the runtime's composition rule.
+pub fn expand_copies(spec: &GraphSpec) -> Vec<CopyInfo> {
+    expand_copies_with(spec, &compose)
+}
+
+/// Expand `spec` with a custom composition rule (see [`ComposeFn`]).
+pub fn expand_copies_with(spec: &GraphSpec, compose: ComposeFn<'_>) -> Vec<CopyInfo> {
+    let mut out = Vec::new();
+    let mut env = ExpandEnv {
+        rename: HashMap::new(),
+        slice: None,
+        name_suffix: String::new(),
+        enabled: true,
+        option_path: Vec::new(),
+        groups: Vec::new(),
+    };
+    expand(spec, &mut env, compose, &mut out);
+    out
+}
+
+#[derive(Clone)]
+struct ExpandEnv {
+    rename: HashMap<String, String>,
+    slice: Option<SliceAssign>,
+    name_suffix: String,
+    enabled: bool,
+    option_path: Vec<String>,
+    groups: Vec<String>,
+}
+
+impl ExpandEnv {
+    fn resolve(&self, key: &str) -> String {
+        self.rename
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| key.to_string())
+    }
+}
+
+fn expand(spec: &GraphSpec, env: &mut ExpandEnv, compose: ComposeFn<'_>, out: &mut Vec<CopyInfo>) {
+    match spec {
+        GraphSpec::Leaf(c) => {
+            out.push(CopyInfo {
+                spec_name: c.name.clone(),
+                name: format!("{}{}", c.name, env.name_suffix),
+                class: c.class.clone(),
+                assign: env.slice,
+                inputs: c.inputs.iter().map(|k| env.resolve(k)).collect(),
+                outputs: c.outputs.iter().map(|k| env.resolve(k)).collect(),
+                enabled: env.enabled,
+                option_path: env.option_path.clone(),
+                groups: env.groups.clone(),
+            });
+        }
+        GraphSpec::Seq(cs) | GraphSpec::Task(cs) => {
+            for c in cs {
+                expand(c, env, compose, out);
+            }
+        }
+        GraphSpec::Slice { name, n, body } => {
+            let private = private_keys(body);
+            for i in 0..*n {
+                let mut child = env.clone();
+                for key in &private {
+                    child
+                        .rename
+                        .insert(key.clone(), format!("{}@{name}#{i}", env.resolve(key)));
+                }
+                child.slice = Some(compose(env.slice, i, *n));
+                child.name_suffix = format!("{}#{i}", env.name_suffix);
+                child.groups.push(name.clone());
+                expand(body, &mut child, compose, out);
+            }
+        }
+        GraphSpec::CrossDep { name, n, blocks } => {
+            for (j, block) in blocks.iter().enumerate() {
+                let private = private_keys(block);
+                for i in 0..*n {
+                    let mut child = env.clone();
+                    for key in &private {
+                        child
+                            .rename
+                            .insert(key.clone(), format!("{}@{name}.b{j}#{i}", env.resolve(key)));
+                    }
+                    child.slice = Some(compose(env.slice, i, *n));
+                    child.name_suffix = format!("{}.b{j}#{i}", env.name_suffix);
+                    child.groups.push(name.clone());
+                    expand(block, &mut child, compose, out);
+                }
+            }
+        }
+        GraphSpec::Managed { body, .. } => expand(body, env, compose, out),
+        GraphSpec::Option {
+            name,
+            enabled,
+            body,
+        } => {
+            let mut child = env.clone();
+            child.enabled = env.enabled && *enabled;
+            child.option_path.push(name.clone());
+            expand(body, &mut child, compose, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::testutil::leaf;
+
+    #[test]
+    fn nested_slices_compose_assignments() {
+        let g = GraphSpec::seq(vec![
+            leaf("src", &[], &["x"], 0),
+            GraphSpec::slice(
+                "outer",
+                2,
+                GraphSpec::slice("inner", 2, leaf("w", &["x"], &["y"], 0)),
+            ),
+            leaf("snk", &["y"], &[], 0),
+        ]);
+        let copies = expand_copies(&g);
+        let ws: Vec<_> = copies.iter().filter(|c| c.spec_name == "w").collect();
+        assert_eq!(ws.len(), 4);
+        let mut assigns: Vec<_> = ws
+            .iter()
+            .map(|c| c.assign.expect("sliced"))
+            .map(|a| (a.index, a.total))
+            .collect();
+        assigns.sort_unstable();
+        assert_eq!(assigns, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+        assert_eq!(ws[0].name, "w#0#0");
+        assert_eq!(ws[0].groups, vec!["outer".to_string(), "inner".to_string()]);
+    }
+
+    #[test]
+    fn legacy_compose_reproduces_uncomposed_assignments() {
+        // the pre-fix semantics: every nesting level restarts at (i, n)
+        let legacy =
+            |_outer: Option<SliceAssign>, i: usize, n: usize| SliceAssign { index: i, total: n };
+        let g = GraphSpec::slice(
+            "outer",
+            2,
+            GraphSpec::slice("inner", 2, leaf("w", &["x"], &["y"], 0)),
+        );
+        let copies = expand_copies_with(&g, &legacy);
+        let assigns: Vec<_> = copies
+            .iter()
+            .map(|c| c.assign.expect("sliced"))
+            .map(|a| (a.index, a.total))
+            .collect();
+        // duplicates: both outer copies produce inner assignments (0,2),(1,2)
+        assert_eq!(assigns, vec![(0, 2), (1, 2), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn disabled_option_copies_are_reported_disabled() {
+        let mgr = crate::graph::ManagerSpec::new("m", crate::event::EventQueue::new("q"));
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                leaf("a", &[], &["s"], 0),
+                GraphSpec::option("o", false, leaf("x", &["s"], &["t"], 0)),
+            ]),
+        );
+        let copies = expand_copies(&g);
+        assert_eq!(copies.len(), 2);
+        let x = copies.iter().find(|c| c.spec_name == "x").unwrap();
+        assert!(!x.enabled);
+        assert_eq!(x.option_path, vec!["o".to_string()]);
+        assert!(copies.iter().find(|c| c.spec_name == "a").unwrap().enabled);
+    }
+
+    #[test]
+    fn private_streams_rename_per_copy() {
+        let body = GraphSpec::seq(vec![
+            leaf("a", &["in"], &["mid"], 0),
+            leaf("b", &["mid"], &["out"], 0),
+        ]);
+        let g = GraphSpec::slice("sl", 2, body);
+        let copies = expand_copies(&g);
+        let a0 = copies.iter().find(|c| c.name == "a#0").unwrap();
+        assert_eq!(a0.outputs, vec!["mid@sl#0".to_string()]);
+        let b1 = copies.iter().find(|c| c.name == "b#1").unwrap();
+        assert_eq!(b1.inputs, vec!["mid@sl#1".to_string()]);
+        // boundary streams stay shared
+        assert_eq!(a0.inputs, vec!["in".to_string()]);
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod flatten;
 pub mod instance;
+pub mod introspect;
 
 use crate::component::{Component, Params, ReconfigRequest};
 use crate::error::HinchError;

@@ -25,21 +25,94 @@
 
 use crate::meter::{sim_alloc, AccessKind, MemAccess};
 use parking_lot::Mutex;
-use std::cell::UnsafeCell;
+use std::cell::{RefCell, UnsafeCell};
 use std::fmt;
 use std::ops::{Deref, DerefMut, Range};
 
+/// Kind of access a lease grants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LeaseKind {
+pub enum LeaseKind {
     Read,
     Write,
 }
 
+/// A lease request that overlapped an active lease: the structured form of
+/// the scheduling-bug detector, carrying both ranges and — when the engines
+/// have tagged the executing threads — the names of the two graph nodes
+/// involved. Engines surface this as [`crate::error::HinchError::LeaseConflict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseConflict {
+    /// Name of the [`RegionBuf`] the race happened on.
+    pub buffer: String,
+    /// The lease that was being requested.
+    pub requested: Range<usize>,
+    pub requested_kind: LeaseKind,
+    /// Graph node requesting the lease, when known.
+    pub requester: Option<String>,
+    /// The already-active lease it overlapped.
+    pub active: Range<usize>,
+    pub active_kind: LeaseKind,
+    /// Graph node holding the active lease, when known.
+    pub holder: Option<String>,
+}
+
+impl fmt::Display for LeaseConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RegionBuf '{}': {:?} lease {:?}",
+            self.buffer, self.requested_kind, self.requested
+        )?;
+        if let Some(by) = &self.requester {
+            write!(f, " by '{by}'")?;
+        }
+        write!(
+            f,
+            " overlaps active {:?} lease {:?}",
+            self.active_kind, self.active
+        )?;
+        if let Some(holder) = &self.holder {
+            write!(f, " held by '{holder}'")?;
+        }
+        write!(
+            f,
+            " — two graph nodes raced on the same region (scheduling bug)"
+        )
+    }
+}
+
+thread_local! {
+    /// Name of the graph node the current thread is executing, set by the
+    /// engines around component runs so lease conflicts can name their
+    /// parties.
+    static CURRENT_NODE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Tag the current thread as executing graph node `name` until the guard
+/// drops. Used by the engines; nesting restores the previous tag.
+pub fn enter_node(name: &str) -> NodeGuard {
+    let prev = CURRENT_NODE.with(|c| c.replace(Some(name.to_string())));
+    NodeGuard(prev)
+}
+
+fn current_node() -> Option<String> {
+    CURRENT_NODE.with(|c| c.borrow().clone())
+}
+
+/// Restores the previous node tag on drop (see [`enter_node`]).
+pub struct NodeGuard(Option<String>);
+
+impl Drop for NodeGuard {
+    fn drop(&mut self) {
+        CURRENT_NODE.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
 #[derive(Debug)]
 struct Registry {
-    /// Outstanding leases as (range, kind). Small (≤ #slice copies), so a
-    /// linear scan is faster than anything clever.
-    active: Vec<(Range<usize>, LeaseKind)>,
+    /// Outstanding leases as (range, kind, holder). Small (≤ #slice
+    /// copies), so a linear scan is faster than anything clever.
+    active: Vec<(Range<usize>, LeaseKind, Option<String>)>,
 }
 
 impl Registry {
@@ -47,27 +120,38 @@ impl Registry {
         a.start < b.end && b.start < a.end
     }
 
-    fn acquire(&mut self, range: Range<usize>, kind: LeaseKind, name: &str) {
-        for (r, k) in &self.active {
+    fn acquire(
+        &mut self,
+        range: Range<usize>,
+        kind: LeaseKind,
+        name: &str,
+    ) -> Result<(), LeaseConflict> {
+        for (r, k, holder) in &self.active {
             let conflict = match (kind, *k) {
                 (LeaseKind::Read, LeaseKind::Read) => false,
                 _ => Self::overlaps(&range, r),
             };
             if conflict {
-                panic!(
-                    "RegionBuf '{name}': {kind:?} lease {range:?} overlaps active {k:?} lease \
-                     {r:?} — two graph nodes raced on the same region (scheduling bug)"
-                );
+                return Err(LeaseConflict {
+                    buffer: name.to_string(),
+                    requested: range,
+                    requested_kind: kind,
+                    requester: current_node(),
+                    active: r.clone(),
+                    active_kind: *k,
+                    holder: holder.clone(),
+                });
             }
         }
-        self.active.push((range, kind));
+        self.active.push((range, kind, current_node()));
+        Ok(())
     }
 
     fn release(&mut self, range: &Range<usize>, kind: LeaseKind) {
         let pos = self
             .active
             .iter()
-            .position(|(r, k)| r == range && *k == kind)
+            .position(|(r, k, _)| r == range && *k == kind)
             .expect("lease must be registered");
         self.active.swap_remove(pos);
     }
@@ -153,25 +237,46 @@ impl<T> RegionBuf<T> {
     /// Take exclusive access to `range`.
     ///
     /// # Panics
-    /// If `range` is out of bounds or overlaps any active lease.
+    /// If `range` is out of bounds, or overlaps any active lease — the
+    /// panic payload is the [`LeaseConflict`] (engines catch and surface
+    /// it as a [`crate::error::HinchError`]).
     pub fn lease_write(&self, range: Range<usize>) -> WriteLease<'_, T> {
-        self.check_range(&range);
-        self.registry
-            .lock()
-            .acquire(range.clone(), LeaseKind::Write, &self.name);
-        WriteLease { buf: self, range }
+        match self.try_lease_write(range) {
+            Ok(lease) => lease,
+            Err(conflict) => std::panic::panic_any(conflict),
+        }
     }
 
     /// Take shared access to `range`.
     ///
     /// # Panics
-    /// If `range` is out of bounds or overlaps an active *write* lease.
+    /// Like [`RegionBuf::lease_write`], for overlap with an active *write*
+    /// lease.
     pub fn lease_read(&self, range: Range<usize>) -> ReadLease<'_, T> {
+        match self.try_lease_read(range) {
+            Ok(lease) => lease,
+            Err(conflict) => std::panic::panic_any(conflict),
+        }
+    }
+
+    /// Fallible form of [`RegionBuf::lease_write`]: a conflicting request
+    /// returns the structured [`LeaseConflict`] instead of panicking.
+    /// Out-of-bounds ranges still panic (caller bug, not a race).
+    pub fn try_lease_write(&self, range: Range<usize>) -> Result<WriteLease<'_, T>, LeaseConflict> {
         self.check_range(&range);
         self.registry
             .lock()
-            .acquire(range.clone(), LeaseKind::Read, &self.name);
-        ReadLease { buf: self, range }
+            .acquire(range.clone(), LeaseKind::Write, &self.name)?;
+        Ok(WriteLease { buf: self, range })
+    }
+
+    /// Fallible form of [`RegionBuf::lease_read`].
+    pub fn try_lease_read(&self, range: Range<usize>) -> Result<ReadLease<'_, T>, LeaseConflict> {
+        self.check_range(&range);
+        self.registry
+            .lock()
+            .acquire(range.clone(), LeaseKind::Read, &self.name)?;
+        Ok(ReadLease { buf: self, range })
     }
 
     /// Shared access to the whole buffer.
@@ -293,19 +398,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overlaps active")]
-    fn overlapping_writes_panic() {
+    fn overlapping_writes_panic_with_structured_conflict() {
         let buf = RegionBuf::<u8>::new("b", 10);
-        let _a = buf.lease_write(0..6);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = enter_node("main/first");
+            let _a = buf.lease_write(0..6);
+            let _g2 = enter_node("main/second");
+            let _b = buf.lease_write(5..10);
+        }))
+        .expect_err("overlap must panic");
+        let c = payload
+            .downcast::<LeaseConflict>()
+            .expect("payload is a LeaseConflict");
+        assert_eq!(c.buffer, "b");
+        assert_eq!(c.requested, 5..10);
+        assert_eq!(c.active, 0..6);
+        assert_eq!(c.requested_kind, LeaseKind::Write);
+        assert_eq!(c.holder.as_deref(), Some("main/first"));
+        assert_eq!(c.requester.as_deref(), Some("main/second"));
+        assert!(c.to_string().contains("overlaps active"), "{c}");
+    }
+
+    #[test]
+    fn read_under_write_panics() {
+        let buf = RegionBuf::<u8>::new("b", 10);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _w = buf.lease_write(2..4);
+            let _r = buf.lease_read(3..5);
+        }))
+        .expect_err("read under write must panic");
+        let c = payload
+            .downcast::<LeaseConflict>()
+            .expect("payload is a LeaseConflict");
+        assert_eq!(c.requested_kind, LeaseKind::Read);
+        assert_eq!(c.active_kind, LeaseKind::Write);
+        assert_eq!(c.holder, None, "no engine tagged this thread");
+    }
+
+    #[test]
+    fn try_lease_reports_conflict_without_panicking() {
+        let buf = RegionBuf::<u8>::new("b", 10);
+        let _a = buf.try_lease_write(0..6).expect("first lease is free");
+        let err = match buf.try_lease_write(5..10) {
+            Ok(_) => panic!("overlap must be detected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.active, 0..6);
+        // the failed request must not have been registered
+        drop(_a);
         let _b = buf.lease_write(5..10);
     }
 
     #[test]
-    #[should_panic(expected = "overlaps active")]
-    fn read_under_write_panics() {
-        let buf = RegionBuf::<u8>::new("b", 10);
-        let _w = buf.lease_write(2..4);
-        let _r = buf.lease_read(3..5);
+    fn node_guard_nests_and_restores() {
+        let _outer = enter_node("outer");
+        {
+            let _inner = enter_node("inner");
+            assert_eq!(current_node().as_deref(), Some("inner"));
+        }
+        assert_eq!(current_node().as_deref(), Some("outer"));
     }
 
     #[test]

@@ -220,11 +220,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "overlaps")]
     fn overlapping_row_writes_panic() {
         let p = Plane::new("p", 8, 8);
-        let _a = p.write_rows(0..5);
-        let _b = p.write_rows(4..8);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _a = p.write_rows(0..5);
+            let _b = p.write_rows(4..8);
+        }))
+        .expect_err("overlapping row leases must panic");
+        let conflict = payload
+            .downcast_ref::<hinch::sharedbuf::LeaseConflict>()
+            .expect("panic carries a structured LeaseConflict");
+        assert!(conflict.to_string().contains("overlaps"), "{conflict}");
     }
 
     #[test]

@@ -113,6 +113,18 @@ impl Component for StubComponent {
 pub struct Elaborated {
     pub spec: GraphSpec,
     pub queues: HashMap<String, EventQueue>,
+    /// Source spans of elaborated constructs, for diagnostics. Keys are
+    /// elaborated names: component instances and slice/crossdep groups
+    /// and managers under their scoped name (`main/a`), options as
+    /// `option:NAME` and queues as `queue:NAME`.
+    pub spans: HashMap<String, Span>,
+}
+
+impl Elaborated {
+    /// The span recorded for elaborated construct `key`, if any.
+    pub fn span_of(&self, key: &str) -> Option<Span> {
+        self.spans.get(key).copied()
+    }
 }
 
 impl std::fmt::Debug for Elaborated {
@@ -126,6 +138,16 @@ impl std::fmt::Debug for Elaborated {
 
 /// Elaborate a validated document against a registry.
 pub fn elaborate(doc: &Document, registry: &ComponentRegistry) -> Result<Elaborated> {
+    let elaborated = elaborate_unchecked(doc, registry)?;
+    elaborated.spec.validate()?;
+    Ok(elaborated)
+}
+
+/// Like [`elaborate`], but without the run-time system's final structural
+/// validation. The static analyzer uses this so it can report structural
+/// problems itself — with spans and all at once — instead of receiving
+/// hinch's first error only.
+pub fn elaborate_unchecked(doc: &Document, registry: &ComponentRegistry) -> Result<Elaborated> {
     let queues: HashMap<String, EventQueue> = doc
         .queues
         .iter()
@@ -139,6 +161,11 @@ pub fn elaborate(doc: &Document, registry: &ComponentRegistry) -> Result<Elabora
         registry,
         queues: &queues,
         call_counter: 0,
+        spans: doc
+            .queues
+            .iter()
+            .map(|q| (format!("queue:{}", q.name), q.span))
+            .collect(),
     };
     let env = Env {
         formals: HashMap::new(),
@@ -150,8 +177,12 @@ pub fn elaborate(doc: &Document, registry: &ComponentRegistry) -> Result<Elabora
         scope: "main".to_string(),
     };
     let spec = seq_of(elab.body(&main.body, &env)?);
-    spec.validate()?;
-    Ok(Elaborated { spec, queues })
+    let spans = elab.spans;
+    Ok(Elaborated {
+        spec,
+        queues,
+        spans,
+    })
 }
 
 struct Env {
@@ -209,6 +240,7 @@ struct Elaborator<'a> {
     registry: &'a ComponentRegistry,
     queues: &'a HashMap<String, EventQueue>,
     call_counter: usize,
+    spans: HashMap<String, Span>,
 }
 
 impl Elaborator<'_> {
@@ -222,11 +254,14 @@ impl Elaborator<'_> {
             Stmt::Call(c) => self.call(c, env),
             Stmt::Parallel(p) => self.parallel(p, env),
             Stmt::Manager(m) => self.manager(m, env),
-            Stmt::Option(o) => Ok(GraphSpec::Option {
-                name: o.name.clone(),
-                enabled: o.enabled,
-                body: Box::new(seq_of(self.body(&o.body, env)?)),
-            }),
+            Stmt::Option(o) => {
+                self.spans.insert(format!("option:{}", o.name), o.span);
+                Ok(GraphSpec::Option {
+                    name: o.name.clone(),
+                    enabled: o.enabled,
+                    body: Box::new(seq_of(self.body(&o.body, env)?)),
+                })
+            }
         }
     }
 
@@ -247,8 +282,10 @@ impl Elaborator<'_> {
             }
         }
         let ctor = self.registry.constructor(&c.class, c.span)?;
+        let scoped = format!("{}/{}", env.scope, c.name);
+        self.spans.insert(scoped.clone(), c.span);
         let mut spec = ComponentSpec::new(
-            format!("{}/{}", env.scope, c.name),
+            scoped,
             c.class.clone(),
             hinch::graph::factory(move |p| ctor(p), params.clone()),
         )
@@ -342,6 +379,7 @@ impl Elaborator<'_> {
             }
         };
         let name = format!("{}/{}", env.scope, p.name);
+        self.spans.insert(name.clone(), p.span);
         match p.shape {
             Shape::Task => {
                 let blocks = p
@@ -378,7 +416,9 @@ impl Elaborator<'_> {
         let queue = self.queues.get(&m.queue).ok_or_else(|| {
             XspclError::elaborate(format!("undeclared queue '{}'", m.queue), m.span)
         })?;
-        let mut spec = ManagerSpec::new(format!("{}/{}", env.scope, m.name), queue.clone());
+        let scoped = format!("{}/{}", env.scope, m.name);
+        self.spans.insert(scoped.clone(), m.span);
+        let mut spec = ManagerSpec::new(scoped, queue.clone());
         for rule in &m.rules {
             let actions = rule
                 .actions

@@ -70,6 +70,7 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod diag;
 pub mod elaborate;
 pub mod error;
 pub mod parse;
@@ -77,7 +78,8 @@ pub mod validate;
 pub mod xml;
 
 pub use ast::Document;
-pub use elaborate::{elaborate, ComponentRegistry, Elaborated};
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use elaborate::{elaborate, elaborate_unchecked, ComponentRegistry, Elaborated};
 pub use error::XspclError;
 
 /// Parse, validate and elaborate an XSPCL source string in one call.

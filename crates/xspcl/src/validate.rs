@@ -3,90 +3,109 @@
 //! These are the language-level rules; the structural graph rules (single
 //! stream writer, crossdep arity, ...) are re-checked by the run-time
 //! system on the elaborated graph.
+//!
+//! [`check_all`] reports *every* semantic error in one pass as
+//! [`Diagnostics`] (code `XA090`), so a user fixing a document sees the
+//! full list instead of one error per compile. [`check`] is the
+//! fail-fast wrapper the compilation pipeline uses: it returns the first
+//! diagnostic as an [`XspclError`].
 
 use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics};
 use crate::error::XspclError;
 use std::collections::{HashMap, HashSet};
 
-type Result<T> = std::result::Result<T, XspclError>;
+/// Diagnostic code for document-level semantic errors.
+pub const SEMANTIC: &str = "XA090";
 
-/// Validate a parsed document.
-pub fn check(doc: &Document) -> Result<()> {
+/// Validate a parsed document, stopping at the first error.
+pub fn check(doc: &Document) -> Result<(), XspclError> {
+    match check_all(doc).into_iter().next() {
+        None => Ok(()),
+        Some(d) => Err(XspclError::semantic(d.message, d.span)),
+    }
+}
+
+/// Validate a parsed document, reporting every semantic error found.
+/// Diagnostics come out in document order (the first one is what
+/// [`check`] fails with).
+pub fn check_all(doc: &Document) -> Diagnostics {
+    let mut diags = Diagnostics::new();
     // unique queues
     let mut queues = HashSet::new();
     for q in &doc.queues {
         if !queues.insert(q.name.as_str()) {
-            return Err(XspclError::semantic(
-                format!("duplicate queue '{}'", q.name),
-                q.span,
-            ));
+            diags.push(semantic(format!("duplicate queue '{}'", q.name), q.span));
         }
     }
     // unique procedures, main exists
     let mut procs = HashMap::new();
     for p in &doc.procedures {
         if procs.insert(p.name.as_str(), p).is_some() {
-            return Err(XspclError::semantic(
+            diags.push(semantic(
                 format!("duplicate procedure '{}'", p.name),
                 p.span,
             ));
         }
     }
-    let main = doc
-        .main()
-        .ok_or_else(|| XspclError::semantic("no 'main' procedure", crate::xml::Span::UNKNOWN))?;
-    if !main.formals.is_empty() || !main.formal_streams.is_empty() {
-        return Err(XspclError::semantic(
-            "'main' may not declare formals",
-            main.span,
-        ));
+    match doc.main() {
+        None => diags.push(semantic("no 'main' procedure", crate::xml::Span::UNKNOWN)),
+        Some(main) => {
+            if !main.formals.is_empty() || !main.formal_streams.is_empty() {
+                diags.push(semantic("'main' may not declare formals", main.span));
+            }
+        }
     }
 
-    no_recursion(doc)?;
+    no_recursion(doc, &mut diags);
 
     for p in &doc.procedures {
-        check_procedure(doc, p, &queues)?;
+        check_procedure(doc, p, &queues, &mut diags);
     }
-    Ok(())
+    diags
+}
+
+fn semantic(message: impl Into<String>, span: crate::xml::Span) -> Diagnostic {
+    Diagnostic::error(SEMANTIC, message).with_span(span)
 }
 
 /// Recursion is not supported: there is no way to end it (§3.2).
-fn no_recursion(doc: &Document) -> Result<()> {
+fn no_recursion(doc: &Document, diags: &mut Diagnostics) {
     fn visit<'a>(
         doc: &'a Document,
         name: &'a str,
         stack: &mut Vec<&'a str>,
         done: &mut HashSet<&'a str>,
-    ) -> Result<()> {
+        diags: &mut Diagnostics,
+    ) {
         if done.contains(name) {
-            return Ok(());
+            return;
         }
         if let Some(pos) = stack.iter().position(|&s| s == name) {
             let cycle: Vec<&str> = stack[pos..].iter().copied().chain([name]).collect();
             let p = doc.procedure(name).expect("checked");
-            return Err(XspclError::semantic(
+            diags.push(semantic(
                 format!("recursive procedure call: {}", cycle.join(" -> ")),
                 p.span,
             ));
+            return;
         }
         let Some(p) = doc.procedure(name) else {
-            return Ok(()); // unknown callee reported elsewhere
+            return; // unknown callee reported elsewhere
         };
         stack.push(name);
         let mut calls = Vec::new();
         collect_calls(&p.body, &mut calls);
         for callee in calls {
-            visit(doc, callee, stack, done)?;
+            visit(doc, callee, stack, done, diags);
         }
         stack.pop();
         done.insert(name);
-        Ok(())
     }
     let mut done = HashSet::new();
     for p in &doc.procedures {
-        visit(doc, &p.name, &mut Vec::new(), &mut done)?;
+        visit(doc, &p.name, &mut Vec::new(), &mut done, diags);
     }
-    Ok(())
 }
 
 fn collect_calls<'a>(body: &'a [Stmt], out: &mut Vec<&'a str>) {
@@ -105,12 +124,12 @@ fn collect_calls<'a>(body: &'a [Stmt], out: &mut Vec<&'a str>) {
     }
 }
 
-fn check_procedure(doc: &Document, p: &Procedure, queues: &HashSet<&str>) -> Result<()> {
+fn check_procedure(doc: &Document, p: &Procedure, queues: &HashSet<&str>, diags: &mut Diagnostics) {
     // stream namespace: locals + formal streams, no duplicates
     let mut streams: HashSet<&str> = HashSet::new();
     for s in p.streams.iter().chain(p.formal_streams.iter()) {
         if !streams.insert(s) {
-            return Err(XspclError::semantic(
+            diags.push(semantic(
                 format!("duplicate stream '{s}' in procedure '{}'", p.name),
                 p.span,
             ));
@@ -125,7 +144,7 @@ fn check_procedure(doc: &Document, p: &Procedure, queues: &HashSet<&str>) -> Res
         queues,
         in_manager: false,
     };
-    check_body(&p.body, &ctx)
+    check_body(&p.body, &ctx, diags);
 }
 
 struct Ctx<'a> {
@@ -147,13 +166,13 @@ fn stream_ok(ctx: &Ctx<'_>, s: &str) -> bool {
     ctx.streams.contains(s)
 }
 
-fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
+fn check_body(body: &[Stmt], ctx: &Ctx<'_>, diags: &mut Diagnostics) {
     for stmt in body {
         match stmt {
             Stmt::Component(c) => {
                 for (_, s) in c.inputs.iter().chain(c.outputs.iter()) {
                     if !stream_ok(ctx, s) {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!(
                                 "component '{}' uses undeclared stream '{}' (procedure '{}')",
                                 c.name, s, ctx.proc.name
@@ -163,21 +182,22 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                     }
                 }
                 for param in &c.params {
-                    check_param(param, ctx, c.span)?;
+                    check_param(param, ctx, c.span, diags);
                 }
             }
             Stmt::Call(call) => {
                 let Some(callee) = ctx.doc.procedure(&call.procedure) else {
-                    return Err(XspclError::semantic(
+                    diags.push(semantic(
                         format!("call to unknown procedure '{}'", call.procedure),
                         call.span,
                     ));
+                    continue; // bind/param checks need the callee
                 };
                 // every formal stream bound exactly once, no unknown binds
                 let mut bound = HashSet::new();
                 for (formal, actual) in &call.binds {
                     if !callee.formal_streams.iter().any(|f| f == formal) {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!(
                                 "'{}' is not a formal stream of procedure '{}'",
                                 formal, call.procedure
@@ -186,13 +206,13 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                         ));
                     }
                     if !bound.insert(formal.as_str()) {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!("formal stream '{formal}' bound twice"),
                             call.span,
                         ));
                     }
                     if !stream_ok(ctx, actual) {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!("bind to undeclared stream '{actual}'"),
                             call.span,
                         ));
@@ -200,7 +220,7 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                 }
                 for f in &callee.formal_streams {
                     if !bound.contains(f.as_str()) {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!(
                                 "call to '{}' does not bind formal stream '{}'",
                                 call.procedure, f
@@ -212,7 +232,7 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                 // params must name formals; formals without default need a value
                 for param in &call.params {
                     if !callee.formals.iter().any(|f| f.name == param.name) {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!(
                                 "'{}' is not a formal of procedure '{}'",
                                 param.name, call.procedure
@@ -220,11 +240,11 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                             call.span,
                         ));
                     }
-                    check_param(param, ctx, call.span)?;
+                    check_param(param, ctx, call.span, diags);
                 }
                 for f in &callee.formals {
                     if f.default.is_none() && !call.params.iter().any(|p| p.name == f.name) {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!(
                                 "call to '{}' misses required parameter '{}'",
                                 call.procedure, f.name
@@ -238,15 +258,13 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                 match par.shape {
                     Shape::Task => {
                         if par.parblocks.is_empty() {
-                            return Err(XspclError::semantic(
-                                "task group needs at least one parblock",
-                                par.span,
-                            ));
+                            diags
+                                .push(semantic("task group needs at least one parblock", par.span));
                         }
                     }
                     Shape::Slice => {
                         if par.parblocks.len() != 1 {
-                            return Err(XspclError::semantic(
+                            diags.push(semantic(
                                 format!(
                                     "slice group must have exactly one parblock, has {}",
                                     par.parblocks.len()
@@ -255,21 +273,19 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                             ));
                         }
                         if par.n.is_none() {
-                            return Err(XspclError::semantic(
-                                "slice group requires the 'n' attribute",
-                                par.span,
-                            ));
+                            diags
+                                .push(semantic("slice group requires the 'n' attribute", par.span));
                         }
                     }
                     Shape::CrossDep => {
                         if par.parblocks.len() < 2 {
-                            return Err(XspclError::semantic(
+                            diags.push(semantic(
                                 "crossdep group needs at least two parblocks",
                                 par.span,
                             ));
                         }
                         if par.n.is_none() {
-                            return Err(XspclError::semantic(
+                            diags.push(semantic(
                                 "crossdep group requires the 'n' attribute",
                                 par.span,
                             ));
@@ -279,25 +295,25 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                 if let Some(n) = &par.n {
                     if let Some(f) = n.strip_prefix('$') {
                         if !ctx.formals.contains(f) {
-                            return Err(XspclError::semantic(
+                            diags.push(semantic(
                                 format!("'n' references unknown formal '${f}'"),
                                 par.span,
                             ));
                         }
                     } else if n.parse::<usize>().is_err() {
-                        return Err(XspclError::semantic(
+                        diags.push(semantic(
                             format!("'n' must be a positive integer or $formal, got '{n}'"),
                             par.span,
                         ));
                     }
                 }
                 for b in &par.parblocks {
-                    check_body(b, ctx)?;
+                    check_body(b, ctx, diags);
                 }
             }
             Stmt::Manager(m) => {
                 if !ctx.queues.contains(m.queue.as_str()) {
-                    return Err(XspclError::semantic(
+                    diags.push(semantic(
                         format!("manager '{}' polls undeclared queue '{}'", m.name, m.queue),
                         m.span,
                     ));
@@ -312,7 +328,7 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                             | ActionStmt::Disable(o)
                             | ActionStmt::Toggle(o) => {
                                 if !options.contains(o.as_str()) {
-                                    return Err(XspclError::semantic(
+                                    diags.push(semantic(
                                         format!(
                                             "manager '{}' refers to unknown option '{}'",
                                             m.name, o
@@ -323,7 +339,7 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                             }
                             ActionStmt::Forward(q) => {
                                 if !ctx.queues.contains(q.as_str()) {
-                                    return Err(XspclError::semantic(
+                                    diags.push(semantic(
                                         format!("forward to undeclared queue '{q}'"),
                                         rule.span,
                                     ));
@@ -337,11 +353,11 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                     in_manager: true,
                     ..*ctx
                 };
-                check_body(&m.body, &inner)?;
+                check_body(&m.body, &inner, diags);
             }
             Stmt::Option(o) => {
                 if !ctx.in_manager {
-                    return Err(XspclError::semantic(
+                    diags.push(semantic(
                         format!(
                             "option '{}' must be contained inside a manager (§3.4)",
                             o.name
@@ -349,19 +365,18 @@ fn check_body(body: &[Stmt], ctx: &Ctx<'_>) -> Result<()> {
                         o.span,
                     ));
                 }
-                check_body(&o.body, ctx)?;
+                check_body(&o.body, ctx, diags);
             }
         }
     }
-    Ok(())
 }
 
-fn check_param(param: &ParamStmt, ctx: &Ctx<'_>, span: crate::xml::Span) -> Result<()> {
+fn check_param(param: &ParamStmt, ctx: &Ctx<'_>, span: crate::xml::Span, diags: &mut Diagnostics) {
     match &param.value {
         ParamKind::Value(v) => {
             if let Some(f) = v.strip_prefix('$') {
                 if !ctx.formals.contains(f) {
-                    return Err(XspclError::semantic(
+                    diags.push(semantic(
                         format!(
                             "parameter '{}' references unknown formal '${f}'",
                             param.name
@@ -370,11 +385,10 @@ fn check_param(param: &ParamStmt, ctx: &Ctx<'_>, span: crate::xml::Span) -> Resu
                     ));
                 }
             }
-            Ok(())
         }
         ParamKind::Queue(q) => {
             if !ctx.queues.contains(q.as_str()) {
-                return Err(XspclError::semantic(
+                diags.push(semantic(
                     format!(
                         "parameter '{}' references undeclared queue '{q}'",
                         param.name
@@ -382,7 +396,6 @@ fn check_param(param: &ParamStmt, ctx: &Ctx<'_>, span: crate::xml::Span) -> Resu
                     span,
                 ));
             }
-            Ok(())
         }
     }
 }
@@ -574,5 +587,31 @@ mod tests {
             r#"<xspcl><procedure name="main"><formal name="x"/><body/></procedure></xspcl>"#,
         );
         assert!(e.contains("may not declare formals"), "{e}");
+    }
+
+    #[test]
+    fn check_all_collects_every_error() {
+        // three independent mistakes: a ghost stream, an unknown procedure
+        // call, and an option outside any manager
+        let doc = crate::parse::document(
+            &crate::xml::parse(
+                r#"<xspcl><procedure name="main"><body>
+                     <component name="a" class="x"><out stream="ghost"/></component>
+                     <call procedure="nope"/>
+                     <option name="o"/>
+                   </body></procedure></xspcl>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let diags = crate::validate::check_all(&doc);
+        assert_eq!(diags.len(), 3, "{}", diags.render_human());
+        let text = diags.render_human();
+        assert!(text.contains("undeclared stream 'ghost'"), "{text}");
+        assert!(text.contains("unknown procedure 'nope'"), "{text}");
+        assert!(text.contains("inside a manager"), "{text}");
+        // fail-fast check() reports the first of them
+        let first = crate::validate::check(&doc).unwrap_err().to_string();
+        assert!(first.contains("undeclared stream 'ghost'"), "{first}");
     }
 }

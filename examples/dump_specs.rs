@@ -1,0 +1,29 @@
+//! Dump every registered application's XSPCL document to a directory.
+//!
+//! CI feeds the result to `xspclc analyze` to prove the shipped specs are
+//! diagnostic-free; it is also a convenient way to eyeball the generated
+//! XML for all eleven applications.
+//!
+//! ```sh
+//! cargo run --example dump_specs -- target/specs
+//! ```
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/specs".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    for (label, xml) in apps::verify::app_specs() {
+        let file = format!(
+            "{}.xml",
+            label
+                .to_lowercase()
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+        );
+        let path = dir.join(file);
+        std::fs::write(&path, &xml).expect("write spec");
+        println!("wrote {} ({} bytes)", path.display(), xml.len());
+    }
+}

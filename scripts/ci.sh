@@ -9,6 +9,8 @@
 #   2. cargo clippy -D warnings (workspace, all targets)
 #   3. tier-1 verify: cargo build --release && cargo test -q
 #   4. cargo test --workspace — every crate's suite
+#   5. xspclc analyze over every generated app spec — zero diagnostics
+#      (warnings included) allowed
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,5 +33,18 @@ cargo test --offline -q
 
 echo "== test (workspace) =="
 cargo test --offline --workspace -q
+
+echo "== analyze (all app specs) =="
+specs_dir=target/specs
+cargo run --offline -q --example dump_specs -- "$specs_dir"
+for spec in "$specs_dir"/*.xml; do
+    out=$(cargo run --offline -q -p analyze --bin xspclc -- analyze "$spec" --format json)
+    if [[ "$out" != '{"diagnostics":[],"errors":0,"warnings":0}' ]]; then
+        echo "analyze: $spec is not clean:" >&2
+        cargo run --offline -q -p analyze --bin xspclc -- analyze "$spec" >&2 || true
+        exit 1
+    fi
+    echo "analyze: $spec clean"
+done
 
 echo "ci: all green"

@@ -102,10 +102,16 @@ fn overlapping_slice_leases_are_detected() {
             Box::new(Sink)
         }),
     ]);
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let _ = run_native(&g, &RunConfig::new(4).workers(4));
-    }));
-    assert!(result.is_err(), "racing whole-buffer leases must panic");
+    let err = run_native(&g, &RunConfig::new(4).workers(4))
+        .expect_err("racing whole-buffer leases must fail the run");
+    match err {
+        hinch::error::HinchError::LeaseConflict(c) => {
+            let msg = c.to_string();
+            assert!(msg.contains("shared"), "conflict names the buffer: {msg}");
+            assert!(msg.contains("overlaps active"), "got: {msg}");
+        }
+        other => panic!("expected LeaseConflict, got: {other}"),
+    }
 }
 
 #[test]

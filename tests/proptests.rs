@@ -1,6 +1,6 @@
 //! Property-based tests across the stack.
 
-use hinch::component::{Component, Params, RunCtx, SliceAssign};
+use hinch::component::{Component, Params, ReconfigRequest, RunCtx, SliceAssign};
 use hinch::engine::{run_native, run_sim, RunConfig};
 use hinch::graph::{factory, ComponentSpec, GraphSpec};
 use hinch::meter::NullPlatform;
@@ -306,4 +306,152 @@ proptest! {
         };
         prop_assert_eq!(v, &value);
     }
+}
+
+// ---------------------------------------------------------------------
+// Static analysis vs runtime: graphs the analyzer passes clean never
+// raise a lease conflict, however the copies are scheduled
+// ---------------------------------------------------------------------
+
+const BAND_LEN: usize = 64;
+
+/// Writes a band of a shared `RegionBuf<i64>`. Copies that honor their
+/// composed slice assignment partition the buffer; with `honor_assign`
+/// off every copy leases the whole buffer, reproducing the historic
+/// uncomposed-nesting bug at runtime.
+struct BandWriter {
+    assign: SliceAssign,
+    honor_assign: bool,
+}
+
+impl Component for BandWriter {
+    fn class(&self) -> &'static str {
+        "band_writer"
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let _v: i64 = *ctx.read::<i64>(0);
+        let buf = ctx.write_shared::<RegionBuf<i64>, _>(0, || RegionBuf::new("band", BAND_LEN));
+        let range = if self.honor_assign {
+            self.assign.range(BAND_LEN)
+        } else {
+            0..BAND_LEN
+        };
+        let mut w = buf.lease_write(range);
+        for slot in w.iter_mut() {
+            *slot = self.assign.index as i64 + 1;
+        }
+        if !self.honor_assign {
+            // hold the over-broad lease while "working" so copies collide
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        ctx.charge(20);
+    }
+    fn reconfigure(&mut self, req: &ReconfigRequest) {
+        if let ReconfigRequest::Slice(a) = req {
+            self.assign = *a;
+        }
+    }
+}
+
+/// `src -> (nested slice/crossdep groups around a BandWriter) -> sink`.
+/// `levels` lists the replication groups outermost first: `(0, n)` is an
+/// n-way slice, `(1, n)` an n-copy crossdep (with an inert second block,
+/// since crossdep requires at least two).
+fn replicated_band_graph(levels: &[(usize, usize)], honor_assign: bool) -> GraphSpec {
+    struct Src;
+    impl Component for Src {
+        fn class(&self) -> &'static str {
+            "src"
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>) {
+            ctx.write(0, 7i64);
+        }
+    }
+    struct BandReader;
+    impl Component for BandReader {
+        fn class(&self) -> &'static str {
+            "band_reader"
+        }
+        fn run(&mut self, ctx: &mut RunCtx<'_>) {
+            let buf = ctx.read::<RegionBuf<i64>>(0);
+            let _sum: i64 = buf.lease_read_all().iter().sum();
+        }
+    }
+    struct Nop;
+    impl Component for Nop {
+        fn class(&self) -> &'static str {
+            "nop"
+        }
+        fn run(&mut self, _ctx: &mut RunCtx<'_>) {}
+    }
+
+    let writer = factory(
+        move |_p: &Params| -> Box<dyn Component> {
+            Box::new(BandWriter {
+                assign: SliceAssign::WHOLE,
+                honor_assign,
+            })
+        },
+        Params::new(),
+    );
+    let mut g = GraphSpec::Leaf(
+        ComponentSpec::new("w", "band_writer", writer)
+            .input("s")
+            .output("o"),
+    );
+    for (k, &(kind, n)) in levels.iter().enumerate().rev() {
+        g = if kind == 0 {
+            GraphSpec::slice(format!("sl{k}"), n, g)
+        } else {
+            let nop = factory(
+                |_p: &Params| -> Box<dyn Component> { Box::new(Nop) },
+                Params::new(),
+            );
+            let pad = GraphSpec::Leaf(ComponentSpec::new(format!("pad{k}"), "nop", nop));
+            GraphSpec::crossdep(format!("cd{k}"), n, vec![g, pad])
+        };
+    }
+    let src = factory(
+        |_p: &Params| -> Box<dyn Component> { Box::new(Src) },
+        Params::new(),
+    );
+    let sink = factory(
+        |_p: &Params| -> Box<dyn Component> { Box::new(BandReader) },
+        Params::new(),
+    );
+    GraphSpec::seq(vec![
+        GraphSpec::Leaf(ComponentSpec::new("src", "src", src).output("s")),
+        g,
+        GraphSpec::Leaf(ComponentSpec::new("snk", "band_reader", sink).input("o")),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn analyzed_clean_graphs_never_lease_conflict(
+        levels in proptest::collection::vec((0usize..2, 1usize..4), 0..3),
+        workers in 1usize..5,
+    ) {
+        let g = replicated_band_graph(&levels, true);
+        let diags = analyze::check_spec(&g);
+        prop_assert!(diags.is_empty(), "{}", diags.render_human());
+        let report = run_native(&g, &RunConfig::new(6).workers(workers));
+        prop_assert!(report.is_ok(), "analyzer-clean graph failed: {:?}", report.err());
+    }
+}
+
+#[test]
+fn assign_ignoring_copies_raise_lease_conflict() {
+    // the analyzer models the spec, not component bodies, so this spec
+    // still checks clean — the runtime lease guard is the backstop that
+    // catches copies claiming regions they were not assigned
+    let g = replicated_band_graph(&[(0, 4)], false);
+    assert!(analyze::check_spec(&g).is_empty());
+    let err = run_native(&g, &RunConfig::new(16).workers(4))
+        .expect_err("racing whole-buffer leases must fail the run");
+    assert!(
+        matches!(err, hinch::error::HinchError::LeaseConflict(_)),
+        "expected LeaseConflict, got: {err}"
+    );
 }
