@@ -13,6 +13,10 @@
 //!                                  writes <app>-trace.json (Chrome/Perfetto)
 //!                                  and prints the per-core utilization
 //!                                  summary
+//! paper-figures --insight <app>    trace one simulated run and print the
+//!                                  full insight report: critical path,
+//!                                  stall attribution and the bottleneck
+//!                                  table (same app names as --trace)
 //! paper-figures --fig all          everything
 //!
 //! options:
@@ -38,6 +42,7 @@ struct Options {
     cache_stats: bool,
     predict: bool,
     trace: Option<String>,
+    insight: Option<String>,
     cores: usize,
 }
 
@@ -50,6 +55,7 @@ fn parse_args() -> Result<Options, String> {
         cache_stats: false,
         predict: false,
         trace: None,
+        insight: None,
         cores: 4,
     };
     let mut args = std::env::args().skip(1);
@@ -86,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
             "--cache-stats" => opts.cache_stats = true,
             "--predict" => opts.predict = true,
             "--trace" => opts.trace = Some(args.next().ok_or("--trace needs an app name")?),
+            "--insight" => opts.insight = Some(args.next().ok_or("--insight needs an app name")?),
             "--cores" => {
                 opts.cores = args
                     .next()
@@ -99,11 +106,15 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if opts.fig.is_empty() && !opts.cache_stats && !opts.predict && opts.trace.is_none() {
-        return Err(
-            "nothing to do: pass --fig 7|8|9|10|all, --trace <app>, --cache-stats and/or --predict"
-                .into(),
-        );
+    if opts.fig.is_empty()
+        && !opts.cache_stats
+        && !opts.predict
+        && opts.trace.is_none()
+        && opts.insight.is_none()
+    {
+        return Err("nothing to do: pass --fig 7|8|9|10|all, --trace <app>, \
+                    --insight <app>, --cache-stats and/or --predict"
+            .into());
     }
     Ok(opts)
 }
@@ -137,6 +148,12 @@ fn main() -> ExitCode {
     }
     if let Some(name) = &opts.trace {
         if let Err(e) = run_trace(&opts, name) {
+            eprintln!("paper-figures: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(name) = &opts.insight {
+        if let Err(e) = run_insight(&opts, name) {
             eprintln!("paper-figures: {e}");
             return ExitCode::from(2);
         }
@@ -202,6 +219,33 @@ fn run_trace(opts: &Options, name: &str) -> Result<(), String> {
     println!("wrote {path} — open with Perfetto (ui.perfetto.dev) or chrome://tracing");
     println!();
     println!("{}", utilization_summary(&events, recorder.clock()));
+    Ok(())
+}
+
+/// `--insight <app>`: trace one simulated run and print the full insight
+/// report (critical path, stall attribution, bottleneck table).
+fn run_insight(opts: &Options, name: &str) -> Result<(), String> {
+    let app = parse_app(name).ok_or_else(|| {
+        format!(
+            "unknown app '{name}' (try pip, pip2, pip12, jpip, jpip2, jpip12, blur, blur5, blur35)"
+        )
+    })?;
+    let mut cfg = match opts.scale {
+        Scale::Paper => AppConfig::paper(app),
+        Scale::Small => AppConfig::small(app),
+    };
+    if let Some(frames) = opts.frames {
+        cfg = cfg.frames(frames);
+    }
+    println!(
+        "== insight: {} — {} frames on {} simulated cores ==",
+        app.label(),
+        cfg.frames,
+        opts.cores
+    );
+    let (_, recorder) = run_sim_traced(cfg, opts.cores);
+    let report = insight::analyze(&recorder.events(), recorder.clock());
+    print!("{}", insight::render_human(&report));
     Ok(())
 }
 

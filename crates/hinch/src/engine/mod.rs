@@ -83,6 +83,10 @@ pub struct RunConfig {
     /// Optional flight-recorder sink. `None` (the default) costs one
     /// branch per would-be event and allocates nothing.
     pub trace: Option<Arc<dyn trace::TraceSink>>,
+    /// Optional always-on metrics registry; both engines bump it with one
+    /// relaxed atomic per event (see `trace::metrics`). `None` costs one
+    /// branch per would-be update.
+    pub metrics: Option<Arc<trace::metrics::EngineMetrics>>,
 }
 
 impl std::fmt::Debug for RunConfig {
@@ -93,6 +97,7 @@ impl std::fmt::Debug for RunConfig {
             .field("iterations", &self.iterations)
             .field("overhead", &self.overhead)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .field("metrics", &self.metrics.as_ref().map(|_| "<registry>"))
             .finish()
     }
 }
@@ -105,6 +110,7 @@ impl RunConfig {
             iterations,
             overhead: OverheadModel::default(),
             trace: None,
+            metrics: None,
         }
     }
 
@@ -127,6 +133,13 @@ impl RunConfig {
     /// events and occupancy samples into it (see the `trace` crate).
     pub fn trace(mut self, sink: Arc<dyn trace::TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attach an always-on metrics registry; both engines bump its
+    /// counters/histograms even when no trace sink is attached.
+    pub fn metrics(mut self, registry: Arc<trace::metrics::EngineMetrics>) -> Self {
+        self.metrics = Some(registry);
         self
     }
 

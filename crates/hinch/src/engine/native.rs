@@ -19,8 +19,8 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
-use std::time::Instant;
-use trace::{SpanKind, TraceEvent, TraceSink};
+use std::time::{Duration, Instant};
+use trace::{SpanKind, StallCause, TraceEvent, TraceSink};
 
 struct State {
     tracker: Tracker,
@@ -30,6 +30,12 @@ struct State {
     version: u64,
     reconfigs: u64,
     per_node: std::collections::HashMap<String, (u64, std::time::Duration)>,
+    /// Busy / blocked wall-clock time per worker.
+    core_busy: Vec<Duration>,
+    core_idle: Vec<Duration>,
+    /// When the open quiesce window (drain) started, for the metrics
+    /// registry's quiesce accounting.
+    quiesce_open: Option<Instant>,
     /// Set when a worker panicked; remaining workers drain out.
     aborted: bool,
     /// A lease conflict caught by a worker, surfaced as a structured
@@ -42,13 +48,37 @@ struct Shared {
     cv: Condvar,
     /// Flight-recorder sink; `None` costs one branch per would-be event.
     trace: Option<Arc<dyn TraceSink>>,
+    /// Always-on metrics registry; `None` costs one branch per update.
+    metrics: Option<Arc<trace::metrics::EngineMetrics>>,
     /// Trace timestamps are nanoseconds since this instant.
     epoch: Instant,
+    /// Run bounds, for classifying what an idle worker is blocked on.
+    iterations: u64,
+    pipeline_depth: u64,
 }
 
 impl Shared {
     fn now(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// Classify what a worker finding the ready queue empty is blocked on.
+/// Snapshot taken at wait entry (under the engine lock): a drain window
+/// means quiesce; all iterations admitted means the run is tailing off;
+/// a full pipeline means admission backpressure; otherwise the worker
+/// starves for a dependency to complete.
+fn wait_cause(shared: &Shared, state: &State) -> StallCause {
+    if state.tracker.is_halted() {
+        StallCause::Quiesce
+    } else if state.tracker.next_admit() >= shared.iterations {
+        StallCause::JobQueueEmpty
+    } else if state.tracker.next_admit() - state.tracker.completed_iterations()
+        >= shared.pipeline_depth
+    {
+        StallCause::Backpressure
+    } else {
+        StallCause::Starvation
     }
 }
 
@@ -76,12 +106,18 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
             version: 0,
             reconfigs: 0,
             per_node: std::collections::HashMap::new(),
+            core_busy: vec![Duration::ZERO; cfg.workers],
+            core_idle: vec![Duration::ZERO; cfg.workers],
+            quiesce_open: None,
             aborted: false,
             failure: None,
         }),
         cv: Condvar::new(),
         trace: cfg.trace.clone(),
+        metrics: cfg.metrics.clone(),
         epoch: Instant::now(),
+        iterations: cfg.iterations,
+        pipeline_depth: cfg.pipeline_depth as u64,
     });
     if let Some(sink) = &shared.trace {
         for iter in 0..admitted {
@@ -122,30 +158,67 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
         reconfigs: state.reconfigs,
         workers: cfg.workers,
         per_node: state.per_node.clone(),
+        core_busy: state.core_busy.clone(),
+        core_idle: state.core_idle.clone(),
     })
 }
 
 fn worker_loop(shared: &Shared, core: u32) {
+    let mut busy = Duration::ZERO;
+    let mut idle = Duration::ZERO;
+    let flush = |state: &mut State, busy: Duration, idle: Duration| {
+        state.core_busy[core as usize] += busy;
+        state.core_idle[core as usize] += idle;
+    };
     loop {
         let job = {
             let mut state = shared.state.lock();
             loop {
                 if state.aborted {
+                    flush(&mut state, busy, idle);
                     return;
                 }
                 if let Some(job) = state.ready.pop_front() {
                     break job;
                 }
                 if state.tracker.finished() {
+                    flush(&mut state, busy, idle);
                     shared.cv.notify_all();
                     return;
                 }
+                // Classify the blockage before sleeping; each wait
+                // becomes one stall interval.
+                let cause = wait_cause(shared, &state);
+                let wait_start = shared.now();
+                let waited_from = Instant::now();
                 shared.cv.wait(&mut state);
+                let waited = waited_from.elapsed();
+                idle += waited;
+                if let Some(sink) = &shared.trace {
+                    sink.record(TraceEvent::CoreStall {
+                        core,
+                        cause,
+                        start: wait_start,
+                        end: shared.now(),
+                    });
+                }
+                if let Some(m) = &shared.metrics {
+                    m.on_stall(cause, waited.as_nanos() as u64);
+                }
             }
         };
+        let started = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| execute(shared, job, core)));
+        let span = started.elapsed();
+        busy += span;
+        if result.is_ok() {
+            if let Some(m) = &shared.metrics {
+                m.on_job(span.as_nanos() as u64);
+            }
+        }
         if let Err(payload) = result {
             let mut state = shared.state.lock();
+            flush(&mut state, busy, idle);
             state.aborted = true;
             // A lease conflict is the scheduling-bug detector firing:
             // surface it as a structured error from run_native. Any other
@@ -209,6 +282,13 @@ fn execute(shared: &Shared, job: JobRef, core: u32) {
             let mut state = shared.state.lock();
             let streams = state.inst.streams.clone();
             let (plan, cost) = exec_manager_entry(&mgr, &streams, &state.pending);
+            if let Some(m) = &shared.metrics {
+                m.event_polls.inc();
+                m.events_drained.add(cost.events as u64);
+            }
+            if plan.is_some() && !state.tracker.is_halted() {
+                state.quiesce_open = Some(Instant::now());
+            }
             if let Some(sink) = &shared.trace {
                 let end = shared.now();
                 sink.record(TraceEvent::JobSpan {
@@ -270,6 +350,11 @@ fn finish_locked(shared: &Shared, state: &mut State, job: JobRef) {
     let mut newly = Vec::new();
     let effect = state.tracker.complete(job, &mut newly);
     state.ready.extend(newly);
+    if effect != Effect::None {
+        if let Some(m) = &shared.metrics {
+            m.iterations.inc();
+        }
+    }
     if let Some(sink) = &shared.trace {
         if effect != Effect::None {
             let at = shared.now();
@@ -284,6 +369,12 @@ fn finish_locked(shared: &Shared, state: &mut State, job: JobRef) {
         }
     }
     if effect == Effect::Quiescent {
+        let window = state.quiesce_open.take();
+        if let Some(m) = &shared.metrics {
+            m.quiesce_windows.inc();
+            m.quiesce_time
+                .add(window.map_or(0, |w| w.elapsed().as_nanos() as u64));
+        }
         let plans = std::mem::take(&mut state.pending);
         if plans.is_empty() {
             // halted but no plans (defensive): resume with the same dag
@@ -298,6 +389,9 @@ fn finish_locked(shared: &Shared, state: &mut State, job: JobRef) {
             state.version += 1;
             let outcome = apply_plans(&state.inst, plans, state.version);
             state.reconfigs += outcome.applied;
+            if let Some(m) = &shared.metrics {
+                m.reconfigs.add(outcome.applied);
+            }
             let mut resumed = Vec::new();
             state.tracker.resume_with(outcome.dag, &mut resumed);
             state.ready.extend(resumed);

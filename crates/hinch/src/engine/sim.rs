@@ -26,7 +26,7 @@ use crate::sched::{Effect, JobRef, Tracker};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use trace::{CacheDelta, SpanKind, TraceEvent};
+use trace::{CacheDelta, SpanKind, StallCause, TraceEvent};
 
 /// A ready job awaiting a free core. Priority: the *oldest iteration*
 /// first (bounding latency, keeping one iteration's data hot instead of
@@ -35,11 +35,17 @@ use trace::{CacheDelta, SpanKind, TraceEvent};
 /// queues use so a producer's freshly written data is consumed while
 /// still in the cache. The readiness `time` does not affect priority; it
 /// only lower-bounds the start time.
+///
+/// `gate` names what the job waited on before becoming ready: pipeline
+/// admission (backpressure), a dependency (starvation) or the resync
+/// barrier (quiesce). A core idle before dispatching the job inherits
+/// that cause for its stall interval.
 #[derive(PartialEq, Eq)]
 struct ReadyJob {
     time: u64,
     seq: u64,
     job: JobRef,
+    gate: StallCause,
 }
 
 impl Ord for ReadyJob {
@@ -93,6 +99,7 @@ pub fn run_sim(
 
     let mut core_free = vec![0u64; cores];
     let mut core_busy = vec![0u64; cores];
+    let mut core_idle = vec![0u64; cores];
     let mut ready_q: BinaryHeap<Reverse<ReadyJob>> = BinaryHeap::new();
     let mut running: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -100,6 +107,11 @@ pub fn run_sim(
     let mut clock = 0u64;
     let mut reconfigs = 0u64;
     let mut pending_plans: Vec<PreparedReconfig> = Vec::new();
+    // Quiesce windows (drain begin → resync barrier), kept engine-side so
+    // idle time inside a window is attributed to the quiesce even when the
+    // stalled job itself was gated on something else.
+    let mut open_quiesce: Option<u64> = None;
+    let mut quiesce_windows: Vec<(u64, u64)> = Vec::new();
     let mut per_node: std::collections::HashMap<String, crate::report::NodeProfile> =
         std::collections::HashMap::new();
 
@@ -111,6 +123,7 @@ pub fn run_sim(
             time: barrier,
             seq,
             job,
+            gate: StallCause::Backpressure,
         }));
     }
     if let Some(sink) = &cfg.trace {
@@ -158,9 +171,24 @@ pub fn run_sim(
                         tracker.halt();
                     }
 
+                    // The core sat idle from its last job's end until this
+                    // start; attribute that gap before charging the span.
+                    attribute_gap(
+                        core,
+                        core_free[core],
+                        start,
+                        t.gate,
+                        &quiesce_windows,
+                        cfg,
+                        &mut core_idle,
+                    );
+
                     let end = start + dispatch + cycles;
                     core_free[core] = end;
                     core_busy[core] += dispatch + cycles;
+                    if let Some(m) = &cfg.metrics {
+                        m.on_job(dispatch + cycles);
+                    }
                     let entry = per_node.entry(kind.label()).or_default();
                     entry.jobs += 1;
                     entry.cycles += dispatch + cycles;
@@ -186,9 +214,12 @@ pub fn run_sim(
                                 mem_cycles: delta.mem_cycles,
                             }),
                         });
-                        // The drain window opens when the entry job that
-                        // produced the plan finishes.
-                        if halting && !was_halted {
+                    }
+                    // The drain window opens when the entry job that
+                    // produced the plan finishes.
+                    if halting && !was_halted {
+                        open_quiesce = Some(end);
+                        if let Some(sink) = &cfg.trace {
                             sink.record(TraceEvent::QuiesceBegin { at: end });
                         }
                     }
@@ -217,11 +248,26 @@ pub fn run_sim(
         let effect = tracker.complete(done.job, &mut newly);
         for job in newly.drain(..) {
             seq += 1;
+            // Jobs of an iteration admitted by this retirement were gated
+            // on the pipeline-depth bound (backpressure); jobs of already
+            // running iterations were gated on this completion (a
+            // dependency — starvation while its input was empty).
+            let gate = if job.iter >= admitted_before {
+                StallCause::Backpressure
+            } else {
+                StallCause::Starvation
+            };
             ready_q.push(Reverse(ReadyJob {
                 time: clock.max(barrier),
                 seq,
                 job,
+                gate,
             }));
+        }
+        if let Some(m) = &cfg.metrics {
+            if effect != Effect::None {
+                m.iterations.inc();
+            }
         }
         if let Some(sink) = &cfg.trace {
             if effect != Effect::None {
@@ -251,12 +297,20 @@ pub fn run_sim(
                 let mut resumed = Vec::new();
                 tracker.resume_with(outcome.dag, &mut resumed);
                 barrier = clock + cost;
+                let begin = open_quiesce.take().unwrap_or(clock);
+                quiesce_windows.push((begin, barrier));
+                if let Some(m) = &cfg.metrics {
+                    m.reconfigs.add(outcome.applied);
+                    m.quiesce_windows.inc();
+                    m.quiesce_time.add(barrier - begin);
+                }
                 for job in resumed {
                     seq += 1;
                     ready_q.push(Reverse(ReadyJob {
                         time: barrier,
                         seq,
                         job,
+                        gate: StallCause::Quiesce,
                     }));
                 }
                 if let Some(sink) = &cfg.trace {
@@ -283,15 +337,92 @@ pub fn run_sim(
 
     debug_assert!(tracker.finished() || tracker.is_halted());
     let makespan = core_free.iter().copied().max().unwrap_or(clock).max(clock);
+    // Close a window the run ended inside of, then attribute each core's
+    // trailing idle tail (queue drained — nothing left to run).
+    if let Some(begin) = open_quiesce.take() {
+        quiesce_windows.push((begin, makespan));
+    }
+    for (core, &free) in core_free.iter().enumerate() {
+        attribute_gap(
+            core,
+            free,
+            makespan,
+            StallCause::JobQueueEmpty,
+            &quiesce_windows,
+            cfg,
+            &mut core_idle,
+        );
+    }
+    // Accounting identity the insight crate's stall partition rests on:
+    // every core's timeline is exactly tiled by busy spans + attributed
+    // idle intervals.
+    for core in 0..cores {
+        debug_assert_eq!(
+            core_busy[core] + core_idle[core],
+            makespan,
+            "core {core}: busy + attributed idle must equal the makespan"
+        );
+    }
     Ok(SimReport {
         cycles: makespan,
         iterations: tracker.completed_iterations(),
         jobs_executed: tracker.jobs_executed(),
         reconfigs,
         core_busy,
+        core_idle,
         stats: platform.stats(),
         per_node,
     })
+}
+
+/// Attribute one idle gap `[g0, g1)` on `core`: the part overlapping a
+/// quiesce window is a [`StallCause::Quiesce`] stall, the rest carries
+/// `cause`. Emits one `CoreStall` per non-empty segment and keeps the
+/// per-core idle total exact, so busy spans + stall intervals tile
+/// `[0, makespan]` — the partition invariant the `insight` crate checks.
+fn attribute_gap(
+    core: usize,
+    g0: u64,
+    g1: u64,
+    cause: StallCause,
+    windows: &[(u64, u64)],
+    cfg: &RunConfig,
+    core_idle: &mut [u64],
+) {
+    if g1 <= g0 {
+        return;
+    }
+    core_idle[core] += g1 - g0;
+    let emit = |c: StallCause, s: u64, e: u64| {
+        if e <= s {
+            return;
+        }
+        if let Some(sink) = &cfg.trace {
+            sink.record(TraceEvent::CoreStall {
+                core: core as u32,
+                cause: c,
+                start: s,
+                end: e,
+            });
+        }
+        if let Some(m) = &cfg.metrics {
+            m.on_stall(c, e - s);
+        }
+    };
+    // Windows are chronological and disjoint (each new drain begins after
+    // the previous barrier), so one forward sweep splits the gap.
+    let mut cursor = g0;
+    for &(wb, we) in windows {
+        if we <= cursor || wb >= g1 {
+            continue;
+        }
+        let ov_begin = wb.max(cursor);
+        let ov_end = we.min(g1);
+        emit(cause, cursor, ov_begin);
+        emit(StallCause::Quiesce, ov_begin, ov_end);
+        cursor = ov_end;
+    }
+    emit(cause, cursor, g1);
 }
 
 /// Execute one job on the host, charging its costs to `platform`.
@@ -331,6 +462,10 @@ fn exec_job(
             platform.charge(
                 cfg.overhead.event_poll + cfg.overhead.create_component * cost.created as u64,
             );
+            if let Some(m) = &cfg.metrics {
+                m.event_polls.inc();
+                m.events_drained.add(cost.events as u64);
+            }
             if let Some(sink) = &cfg.trace {
                 sink.record(TraceEvent::EventPoll {
                     manager: mgr.name.clone(),
@@ -451,6 +586,105 @@ mod tests {
             run_sim(&g, &RunConfig::new(20), &mut p).unwrap().cycles
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stalls_and_spans_tile_every_core_timeline() {
+        // 3 cores for a 2-wide pipeline: core 2 never works, cores 0/1
+        // alternate — every idle cycle must come back as a CoreStall.
+        let g = GraphSpec::seq(vec![leaf("a", &[], &["s"], 0), leaf("b", &["s"], &[], 0)]);
+        let rec = std::sync::Arc::new(trace::Recorder::new(trace::Clock::VirtualCycles));
+        let mut p = NullPlatform::new(3);
+        let metrics = std::sync::Arc::new(trace::metrics::EngineMetrics::new());
+        let cfg = RunConfig::new(6).trace(rec.sink()).metrics(metrics.clone());
+        let r = run_sim(&g, &cfg, &mut p).unwrap();
+
+        let mut busy = [0u64; 3];
+        let mut idle = [0u64; 3];
+        for e in rec.events() {
+            match e {
+                TraceEvent::JobSpan {
+                    core, start, end, ..
+                } => busy[core as usize] += end - start,
+                TraceEvent::CoreStall {
+                    core, start, end, ..
+                } => idle[core as usize] += end - start,
+                _ => {}
+            }
+        }
+        for c in 0..3 {
+            assert_eq!(busy[c], r.core_busy[c], "core {c} busy");
+            assert_eq!(idle[c], r.core_idle[c], "core {c} attributed idle");
+            assert_eq!(busy[c] + idle[c], r.cycles, "core {c} tiles the makespan");
+        }
+        // The always-on registry agrees with the trace.
+        assert_eq!(metrics.jobs.get(), r.jobs_executed);
+        assert_eq!(metrics.iterations.get(), r.iterations);
+        assert_eq!(metrics.stalled_total(), idle.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn reconfig_idle_is_attributed_to_quiesce() {
+        struct Injector {
+            queue: EventQueue,
+        }
+        impl Component for Injector {
+            fn class(&self) -> &'static str {
+                "inj"
+            }
+            fn run(&mut self, ctx: &mut RunCtx<'_>) {
+                if ctx.iteration() == 2 {
+                    self.queue.send(Event::new("flip"));
+                }
+                ctx.charge(10);
+            }
+        }
+        let q = EventQueue::new("mq");
+        let qc = q.clone();
+        let inj = factory(
+            move |_p: &Params| -> Box<dyn Component> { Box::new(Injector { queue: qc.clone() }) },
+            Params::new(),
+        );
+        let mgr = ManagerSpec::new("m", q).on("flip", vec![EventAction::Toggle("o".into())]);
+        let g = GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                GraphSpec::Leaf(ComponentSpec::new("inj", "inj", inj)),
+                leaf("a", &[], &["s"], 0),
+                GraphSpec::option("o", false, leaf("extra", &["s"], &["s2"], 0)),
+            ]),
+        );
+        let rec = std::sync::Arc::new(trace::Recorder::new(trace::Clock::VirtualCycles));
+        let metrics = std::sync::Arc::new(trace::metrics::EngineMetrics::new());
+        let mut p = NullPlatform::new(2);
+        let cfg = RunConfig::new(12)
+            .trace(rec.sink())
+            .metrics(metrics.clone());
+        let r = run_sim(&g, &cfg, &mut p).unwrap();
+        assert_eq!(r.reconfigs, 1);
+        let quiesce_stalled: u64 = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::CoreStall {
+                    cause: trace::StallCause::Quiesce,
+                    start,
+                    end,
+                    ..
+                } => Some(end - start),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            quiesce_stalled > 0,
+            "the resync barrier must surface as quiesce stalls"
+        );
+        assert_eq!(metrics.quiesce_windows.get(), 1);
+        assert!(metrics.quiesce_time.get() > 0);
+        // Tiling holds through the reconfiguration too.
+        for c in 0..2 {
+            assert_eq!(r.core_busy[c] + r.core_idle[c], r.cycles, "core {c}");
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub struct RunReport {
     pub workers: usize,
     /// Wall-clock time per graph node (instance label → (jobs, busy)).
     pub per_node: HashMap<String, (u64, Duration)>,
+    /// Busy time per worker (time inside job execution).
+    pub core_busy: Vec<Duration>,
+    /// Idle time per worker (time blocked waiting for a ready job);
+    /// cross-checks the `insight` crate's stall attribution.
+    pub core_idle: Vec<Duration>,
 }
 
 impl RunReport {
@@ -77,6 +82,10 @@ pub struct SimReport {
     pub reconfigs: u64,
     /// Busy cycles per virtual core.
     pub core_busy: Vec<u64>,
+    /// Idle cycles per virtual core. The engine maintains the identity
+    /// `core_busy[c] + core_idle[c] == cycles` for every core, which the
+    /// `insight` crate's stall attribution must reproduce exactly.
+    pub core_idle: Vec<u64>,
     /// Cache / memory statistics from the platform.
     pub stats: PlatformStats,
     /// Cycles per graph node (instance label → profile). Feeds the
@@ -130,6 +139,8 @@ mod tests {
             reconfigs: 0,
             workers: 1,
             per_node: HashMap::new(),
+            core_busy: Vec::new(),
+            core_idle: Vec::new(),
         };
         assert_eq!(r.per_iteration(), Duration::ZERO);
     }
@@ -143,6 +154,8 @@ mod tests {
             reconfigs: 0,
             workers: 1,
             per_node: HashMap::new(),
+            core_busy: Vec::new(),
+            core_idle: Vec::new(),
         };
         assert_eq!(r.per_iteration(), Duration::from_nanos(10));
     }
@@ -156,6 +169,8 @@ mod tests {
             reconfigs: 0,
             workers: 2,
             per_node: HashMap::new(),
+            core_busy: Vec::new(),
+            core_idle: Vec::new(),
         };
         assert_eq!(r.per_iteration(), Duration::from_millis(25));
     }
@@ -168,6 +183,7 @@ mod tests {
             jobs_executed: 30,
             reconfigs: 0,
             core_busy: vec![100, 50],
+            core_idle: vec![0, 50],
             stats: PlatformStats::default(),
             per_node: HashMap::new(),
         };
@@ -205,6 +221,7 @@ mod tests {
             jobs_executed: 8,
             reconfigs: 0,
             core_busy: vec![55],
+            core_idle: vec![0],
             stats: PlatformStats::default(),
             per_node,
         };

@@ -1,0 +1,297 @@
+//! Critical-path extraction over the job-span DAG.
+//!
+//! The trace records *when* each job ran but not the dependency edges, so
+//! the chain is reconstructed from timing: under the engines' greedy
+//! list scheduler, the job that delayed another either occupied its core
+//! until the very moment it started (core chain), produced the input
+//! that made it ready (a dependency completing exactly at its start), or
+//! ended the quiesce window whose resync barrier released it. Walking
+//! those links backward from the span that ends last yields a chain whose
+//! busy + wait time exactly covers `[0, makespan]` — the accounting
+//! identity `busy + wait == makespan` the tests assert.
+
+use crate::Span;
+use std::collections::BTreeMap;
+use trace::Time;
+
+/// How a critical-path step chains to its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Link {
+    /// First step of the path (its `wait` is the lead time from 0).
+    Start,
+    /// The same core ran the previous step back-to-back.
+    CoreChain,
+    /// A producer finished exactly when this step became ready.
+    Dependency,
+    /// The resync barrier of a quiesce window released this step.
+    Quiesce,
+    /// No zero-gap predecessor: the nearest earlier completion, with the
+    /// gap reported as wait (scheduling slack, e.g. a core woke late).
+    Gap,
+}
+
+impl Link {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Link::Start => "start",
+            Link::CoreChain => "core",
+            Link::Dependency => "dependency",
+            Link::Quiesce => "quiesce",
+            Link::Gap => "gap",
+        }
+    }
+}
+
+/// One span on the critical path (chronological order).
+#[derive(Debug, Clone)]
+pub struct PathStep {
+    pub label: String,
+    pub iter: u64,
+    pub core: u32,
+    pub start: Time,
+    pub end: Time,
+    /// Idle time between the predecessor's end and this start (for the
+    /// first step: time from 0 to its start).
+    pub wait: u64,
+    pub link: Link,
+}
+
+/// Per-label aggregate over the path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LabelShare {
+    pub steps: u64,
+    pub busy: u64,
+}
+
+/// Per-iteration aggregate over the path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IterShare {
+    pub steps: u64,
+    pub busy: u64,
+    pub wait: u64,
+}
+
+/// The chain of spans bounding the makespan.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Steps in chronological order.
+    pub steps: Vec<PathStep>,
+    /// Total busy time on the path.
+    pub busy: u64,
+    /// Total wait time on the path (including the first step's lead and
+    /// any trailing wait).
+    pub wait: u64,
+    /// Time between the last span's end and the makespan. Non-zero when
+    /// the run ends in a drain — e.g. a final quiesce window whose
+    /// resync barrier, not a job, bounds the makespan.
+    pub tail_wait: u64,
+    /// Path composition per component label.
+    pub per_label: BTreeMap<String, LabelShare>,
+    /// Path composition per iteration.
+    pub per_iter: BTreeMap<u64, IterShare>,
+}
+
+/// Extract the critical path. `windows` are quiesce windows (begin →
+/// barrier), chronological; `makespan` is the trace's latest timestamp.
+pub fn extract(spans: &[Span], windows: &[(Time, Time)], makespan: u64) -> CriticalPath {
+    if spans.is_empty() {
+        return CriticalPath::default();
+    }
+
+    // Span indices sorted by end time, for predecessor lookups.
+    let mut by_end: Vec<usize> = (0..spans.len()).collect();
+    by_end.sort_by_key(|&i| (spans[i].end, spans[i].start, spans[i].core));
+
+    // All spans ending exactly at `t`.
+    let ending_at = |t: Time| -> &[usize] {
+        let lo = by_end.partition_point(|&i| spans[i].end < t);
+        let hi = by_end.partition_point(|&i| spans[i].end <= t);
+        &by_end[lo..hi]
+    };
+
+    // The terminal span: latest end; ties broken toward the latest start,
+    // then the highest core index — deterministic on a deterministic
+    // trace.
+    let &last = by_end.last().expect("non-empty");
+    debug_assert!(spans[last].end <= makespan);
+    let tail_wait = makespan - spans[last].end;
+
+    let mut rev: Vec<PathStep> = Vec::new();
+    let mut cur = last;
+    loop {
+        let span = &spans[cur];
+        // Every predecessor must be strictly earlier in (start, index)
+        // order, so the walk makes progress even through zero-duration
+        // spans (manager exits, zero-charge components).
+        let precedes =
+            |i: usize| spans[i].start < span.start || (spans[i].start == span.start && i < cur);
+        // 1. Zero-gap predecessor at this span's start: prefer a producer
+        //    of the same iteration (the data dependency that made this
+        //    job ready), then whatever occupied the same core until this
+        //    instant, then any completion at that instant.
+        let candidates = ending_at(span.start);
+        let pick = |pred: &dyn Fn(usize) -> bool| {
+            candidates.iter().copied().find(|&i| precedes(i) && pred(i))
+        };
+        let same_iter = pick(&|i| spans[i].iter == span.iter);
+        let same_core = pick(&|i| spans[i].core == span.core);
+        let any = pick(&|_| true);
+        // 3. Scheduling gap: the nearest completion strictly before this
+        //    start (also the fallback when a quiesce window has no
+        //    traceable opener).
+        let gap_fallback = || {
+            let hi = by_end.partition_point(|&i| spans[i].end <= span.start);
+            let prev = by_end[..hi].iter().rev().copied().find(|&i| precedes(i));
+            let wait = prev
+                .map(|p| span.start - spans[p].end)
+                .unwrap_or(span.start);
+            (
+                prev,
+                if prev.is_some() {
+                    Link::Gap
+                } else {
+                    Link::Start
+                },
+                wait,
+            )
+        };
+        let (prev, link, wait) = if let Some(p) = same_iter {
+            (Some(p), Link::Dependency, 0)
+        } else if let Some(p) = same_core {
+            (Some(p), Link::CoreChain, 0)
+        } else if let Some(p) = any {
+            (Some(p), Link::Dependency, 0)
+        } else if let Some(&(begin, _)) = windows
+            .iter()
+            .rev()
+            .find(|&&(_, barrier)| barrier == span.start)
+        {
+            // 2. Released by a resync barrier: chain through the manager
+            //    entry whose completion opened the drain window.
+            match ending_at(begin).iter().copied().find(|&i| precedes(i)) {
+                Some(p) => (Some(p), Link::Quiesce, span.start - begin),
+                None => gap_fallback(),
+            }
+        } else {
+            gap_fallback()
+        };
+
+        rev.push(PathStep {
+            label: span.label.clone(),
+            iter: span.iter,
+            core: span.core,
+            start: span.start,
+            end: span.end,
+            wait,
+            link,
+        });
+        match prev {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+
+    rev.reverse();
+    let mut cp = CriticalPath {
+        steps: rev,
+        tail_wait,
+        wait: tail_wait,
+        ..Default::default()
+    };
+    for step in &cp.steps {
+        let busy = step.end - step.start;
+        cp.busy += busy;
+        cp.wait += step.wait;
+        let label = cp.per_label.entry(step.label.clone()).or_default();
+        label.steps += 1;
+        label.busy += busy;
+        let iter = cp.per_iter.entry(step.iter).or_default();
+        iter.steps += 1;
+        iter.busy += busy;
+        iter.wait += step.wait;
+    }
+    cp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::SpanKind;
+
+    fn span(label: &str, iter: u64, core: u32, start: u64, end: u64) -> Span {
+        Span {
+            label: label.into(),
+            kind: SpanKind::Component,
+            iter,
+            core,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn chains_through_core_reuse_and_dependencies() {
+        // core 0: a0 [0,10) a1 [10,20)
+        // core 1:            b0 [10,15)   b1 [20,30)
+        let spans = vec![
+            span("a", 0, 0, 0, 10),
+            span("a", 1, 0, 10, 20),
+            span("b", 0, 1, 10, 15),
+            span("b", 1, 1, 20, 30),
+        ];
+        let cp = extract(&spans, &[], 30);
+        assert_eq!(cp.busy + cp.wait, 30);
+        let links: Vec<Link> = cp.steps.iter().map(|s| s.link).collect();
+        assert_eq!(links, [Link::Start, Link::CoreChain, Link::Dependency]);
+        assert_eq!(cp.per_label["a"].busy, 20);
+        assert_eq!(cp.per_label["b"].busy, 10);
+        assert_eq!(cp.per_iter[&1].busy, 20);
+    }
+
+    #[test]
+    fn quiesce_barrier_links_through_the_window() {
+        // entry ends at 10 opening the window; barrier at 50 releases c.
+        let spans = vec![span("m.entry", 0, 0, 0, 10), span("c", 1, 0, 50, 60)];
+        let cp = extract(&spans, &[(10, 50)], 60);
+        assert_eq!(cp.busy, 20);
+        assert_eq!(cp.wait, 40);
+        assert_eq!(cp.busy + cp.wait, 60);
+        assert_eq!(cp.steps[1].link, Link::Quiesce);
+        assert_eq!(cp.steps[1].wait, 40);
+    }
+
+    #[test]
+    fn gap_links_to_nearest_earlier_completion() {
+        let spans = vec![span("a", 0, 0, 0, 10), span("b", 0, 1, 13, 20)];
+        let cp = extract(&spans, &[], 20);
+        assert_eq!(cp.steps[1].link, Link::Gap);
+        assert_eq!(cp.steps[1].wait, 3);
+        assert_eq!(cp.busy + cp.wait, 20);
+    }
+
+    #[test]
+    fn lead_time_counts_as_wait() {
+        let spans = vec![span("a", 0, 0, 5, 10)];
+        let cp = extract(&spans, &[], 10);
+        assert_eq!(cp.steps[0].link, Link::Start);
+        assert_eq!(cp.wait, 5);
+        assert_eq!(cp.busy + cp.wait, 10);
+    }
+
+    #[test]
+    fn trailing_drain_counts_as_tail_wait() {
+        // The run ends at a resync barrier (makespan 50) after the last
+        // span: the drain tail must be charged as wait.
+        let spans = vec![span("a", 0, 0, 0, 30)];
+        let cp = extract(&spans, &[(30, 50)], 50);
+        assert_eq!(cp.tail_wait, 20);
+        assert_eq!(cp.busy + cp.wait, 50);
+    }
+
+    #[test]
+    fn empty_input_is_empty_path() {
+        let cp = extract(&[], &[], 0);
+        assert!(cp.steps.is_empty());
+        assert_eq!(cp.busy + cp.wait, 0);
+    }
+}

@@ -1,0 +1,500 @@
+//! Post-mortem analysis over Hinch flight-recorder traces.
+//!
+//! The `trace` crate records *what happened* (job spans, stalls, quiesce
+//! windows, occupancy samples); this crate answers *why the run took as
+//! long as it did*:
+//!
+//! * **critical path** — the chain of job spans (linked by core reuse,
+//!   dependencies and resync barriers) that bounds the makespan, per
+//!   iteration and aggregated per component ([`critical`]);
+//! * **stall attribution** — every core-idle interval classified by cause
+//!   (starvation, backpressure, quiesce, queue-empty) and charged to the
+//!   component the core was waiting to run;
+//! * **stream statistics** — time-weighted occupancy histograms,
+//!   time-at-capacity;
+//! * **cache attribution** — per-component miss and memory-cycle shares
+//!   from the simulation engine's cache model.
+//!
+//! Everything is a pure function of the event slice, so a deterministic
+//! trace (simulation engine) yields a byte-identical report — the
+//! `hinch-insight` CLI exploits that for its golden tests and the CI
+//! stability gate. Under the simulation engine the report satisfies two
+//! exact accounting identities, checked by this crate's test-suite:
+//! per core, busy + attributed stalls tile `[0, makespan]`; and the
+//! critical path's busy + wait time equals the makespan.
+
+pub mod critical;
+pub mod render;
+
+pub use critical::{CriticalPath, Link, PathStep};
+pub use render::{render_human, render_json};
+
+use std::collections::BTreeMap;
+use trace::{Clock, SpanKind, StallCause, Time, TraceEvent};
+
+/// One executed job span, extracted from the trace.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub label: String,
+    pub kind: SpanKind,
+    pub iter: u64,
+    pub core: u32,
+    pub start: Time,
+    pub end: Time,
+}
+
+/// Per-core busy/stall accounting.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Time inside job spans.
+    pub busy: u64,
+    /// Attributed idle time per cause (indexed by [`StallCause::index`]).
+    pub stalls: [u64; StallCause::ALL.len()],
+}
+
+impl CoreStats {
+    /// Total attributed idle time.
+    pub fn idle(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+}
+
+/// Per-component (graph-node label) aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentStats {
+    pub jobs: u64,
+    /// Total time inside this component's spans.
+    pub busy: u64,
+    /// Spans of this component on the critical path.
+    pub cp_steps: u64,
+    /// Busy time this component contributes to the critical path.
+    pub cp_busy: u64,
+    /// Idle time cores spent *waiting to run this component next*, per
+    /// cause — the "who made me wait" view of stall attribution.
+    pub stall_before: [u64; StallCause::ALL.len()],
+    pub l1_misses: u64,
+    pub l2_misses: u64,
+    /// Memory cycles the cache model charged to this component.
+    pub mem_cycles: u64,
+}
+
+impl ComponentStats {
+    pub fn stall_before_total(&self) -> u64 {
+        self.stall_before.iter().sum()
+    }
+
+    /// Mean L1 misses per invocation.
+    pub fn misses_per_job(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// Time-weighted occupancy statistics for one stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Occupancy samples seen.
+    pub samples: u64,
+    /// Highest live-slot count observed (the stream's working capacity).
+    pub max_slots: u64,
+    /// Time spent at `max_slots` (time-at-capacity: a proxy for how long
+    /// writers were blocked on a full stream).
+    pub time_at_max: u64,
+    /// Time-weighted occupancy histogram: live-slot count → time. Each
+    /// sample extends until the next one (the last until the makespan).
+    pub histogram: BTreeMap<u64, u64>,
+    /// Total observed time (first sample → makespan).
+    pub observed: u64,
+}
+
+impl StreamStats {
+    /// Time-weighted mean occupancy.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.observed == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self.histogram.iter().map(|(slots, t)| slots * t).sum();
+        weighted as f64 / self.observed as f64
+    }
+}
+
+/// The full analysis of one run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub clock: Clock,
+    /// Latest timestamp in the trace.
+    pub makespan: u64,
+    /// Iterations retired.
+    pub iterations: u64,
+    /// Job spans executed.
+    pub jobs: u64,
+    /// Reconfiguration batches applied.
+    pub reconfigs: u64,
+    pub cores: BTreeMap<u32, CoreStats>,
+    /// Aggregate stalled time per cause across all cores.
+    pub stall_totals: [u64; StallCause::ALL.len()],
+    pub components: BTreeMap<String, ComponentStats>,
+    pub streams: BTreeMap<String, StreamStats>,
+    /// Quiesce windows (drain begin → resync barrier).
+    pub quiesce_windows: Vec<(Time, Time)>,
+    pub critical_path: CriticalPath,
+}
+
+impl Report {
+    /// Total busy time across cores.
+    pub fn busy_total(&self) -> u64 {
+        self.cores.values().map(|c| c.busy).sum()
+    }
+
+    /// Total attributed idle time across cores.
+    pub fn stalled_total(&self) -> u64 {
+        self.stall_totals.iter().sum()
+    }
+
+    /// Total memory cycles across components.
+    pub fn mem_cycles_total(&self) -> u64 {
+        self.components.values().map(|c| c.mem_cycles).sum()
+    }
+
+    /// Components ranked by how much they bound the run: critical-path
+    /// busy time first, then total busy time, then label. The first few
+    /// entries are the run's bottlenecks.
+    pub fn bottlenecks(&self) -> Vec<(&str, &ComponentStats)> {
+        let mut out: Vec<_> = self
+            .components
+            .iter()
+            .map(|(label, stats)| (label.as_str(), stats))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.cp_busy
+                .cmp(&a.1.cp_busy)
+                .then(b.1.busy.cmp(&a.1.busy))
+                .then(a.0.cmp(b.0))
+        });
+        out
+    }
+}
+
+/// Analyze a drained trace. `clock` only affects rendering units; the
+/// analysis itself is clock-agnostic.
+pub fn analyze(events: &[TraceEvent], clock: Clock) -> Report {
+    let mut spans: Vec<Span> = Vec::new();
+    let mut stalls: Vec<(u32, StallCause, Time, Time)> = Vec::new();
+    let mut occupancy: BTreeMap<String, Vec<(Time, u64)>> = BTreeMap::new();
+    let mut iterations = 0u64;
+    let mut reconfigs = 0u64;
+    let mut quiesce_open: Option<Time> = None;
+    let mut quiesce_windows: Vec<(Time, Time)> = Vec::new();
+    // The makespan is the last executed cycle: the max over span and
+    // stall ends, which the engines tile exactly (`busy + idle ==
+    // makespan` per core). Marker timestamps are only a fallback — a
+    // resync barrier scheduled at end-of-stream can lie *beyond* the
+    // last executed cycle, and must not stretch the accounting window.
+    let mut makespan = 0u64;
+    let mut marker_max = 0u64;
+
+    for event in events {
+        match event {
+            TraceEvent::JobSpan { end, .. } | TraceEvent::CoreStall { end, .. } => {
+                makespan = makespan.max(*end)
+            }
+            other => marker_max = marker_max.max(other.at()),
+        }
+        match event {
+            TraceEvent::JobSpan {
+                label,
+                kind,
+                iter,
+                core,
+                start,
+                end,
+                ..
+            } => spans.push(Span {
+                label: label.clone(),
+                kind: *kind,
+                iter: *iter,
+                core: *core,
+                start: *start,
+                end: *end,
+            }),
+            TraceEvent::CoreStall {
+                core,
+                cause,
+                start,
+                end,
+            } => stalls.push((*core, *cause, *start, *end)),
+            TraceEvent::IterationRetired { .. } => iterations += 1,
+            TraceEvent::ReconfigApplied { plans, .. } => reconfigs += plans,
+            TraceEvent::QuiesceBegin { at } => quiesce_open = Some(*at),
+            TraceEvent::QuiesceEnd { at } => {
+                quiesce_windows.push((quiesce_open.take().unwrap_or(*at), *at));
+            }
+            TraceEvent::StreamOccupancy {
+                stream,
+                live_slots,
+                at,
+            } => occupancy
+                .entry(stream.clone())
+                .or_default()
+                .push((*at, *live_slots)),
+            _ => {}
+        }
+    }
+
+    if makespan == 0 {
+        makespan = marker_max;
+    }
+
+    // Per-core and per-component busy time + cache attribution.
+    let mut cores: BTreeMap<u32, CoreStats> = BTreeMap::new();
+    let mut components: BTreeMap<String, ComponentStats> = BTreeMap::new();
+    for event in events {
+        if let TraceEvent::JobSpan {
+            label,
+            core,
+            start,
+            end,
+            cache,
+            ..
+        } = event
+        {
+            let busy = end.saturating_sub(*start);
+            cores.entry(*core).or_default().busy += busy;
+            let comp = components.entry(label.clone()).or_default();
+            comp.jobs += 1;
+            comp.busy += busy;
+            if let Some(delta) = cache {
+                comp.l1_misses += delta.l1_misses;
+                comp.l2_misses += delta.l2_misses;
+                comp.mem_cycles += delta.mem_cycles;
+            }
+        }
+    }
+
+    // Stall attribution: per core, charge each stall to the component the
+    // core ran *next* (the job the idle time was spent waiting for).
+    let mut stall_totals = [0u64; StallCause::ALL.len()];
+    let mut by_core_starts: BTreeMap<u32, Vec<(Time, usize)>> = BTreeMap::new();
+    for (i, span) in spans.iter().enumerate() {
+        by_core_starts
+            .entry(span.core)
+            .or_default()
+            .push((span.start, i));
+    }
+    for starts in by_core_starts.values_mut() {
+        starts.sort_unstable();
+    }
+    for &(core, cause, start, end) in &stalls {
+        let t = end.saturating_sub(start);
+        cores.entry(core).or_default().stalls[cause.index()] += t;
+        stall_totals[cause.index()] += t;
+        if let Some(starts) = by_core_starts.get(&core) {
+            // First span starting at or after the stall's end is what the
+            // core was waiting to run. Trailing queue-empty stalls have
+            // none; their time stays in the per-core/cause totals only.
+            let pos = starts.partition_point(|&(s, _)| s < end);
+            if let Some(&(_, idx)) = starts.get(pos) {
+                let comp = components.entry(spans[idx].label.clone()).or_default();
+                comp.stall_before[cause.index()] += t;
+            }
+        }
+    }
+
+    // Stream statistics: each sample holds until the next; the last
+    // extends to the makespan.
+    let mut streams: BTreeMap<String, StreamStats> = BTreeMap::new();
+    for (name, samples) in &mut occupancy {
+        samples.sort_unstable();
+        let stats = streams.entry(name.clone()).or_default();
+        stats.samples = samples.len() as u64;
+        stats.max_slots = samples.iter().map(|&(_, s)| s).max().unwrap_or(0);
+        for (i, &(at, slots)) in samples.iter().enumerate() {
+            let until = samples.get(i + 1).map(|&(t, _)| t).unwrap_or(makespan);
+            let weight = until.saturating_sub(at);
+            *stats.histogram.entry(slots).or_default() += weight;
+            stats.observed += weight;
+            if slots == stats.max_slots {
+                stats.time_at_max += weight;
+            }
+        }
+    }
+
+    let critical_path = critical::extract(&spans, &quiesce_windows, makespan);
+    for step in &critical_path.steps {
+        if let Some(comp) = components.get_mut(&step.label) {
+            comp.cp_steps += 1;
+            comp.cp_busy += step.end - step.start;
+        }
+    }
+
+    Report {
+        clock,
+        makespan,
+        iterations,
+        jobs: spans.len() as u64,
+        reconfigs,
+        cores,
+        stall_totals,
+        components,
+        streams,
+        quiesce_windows,
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::CacheDelta;
+
+    fn span(label: &str, iter: u64, core: u32, start: u64, end: u64) -> TraceEvent {
+        TraceEvent::JobSpan {
+            label: label.into(),
+            kind: SpanKind::Component,
+            iter,
+            core,
+            start,
+            end,
+            cycles: end - start,
+            cache: None,
+        }
+    }
+
+    fn stall(core: u32, cause: StallCause, start: u64, end: u64) -> TraceEvent {
+        TraceEvent::CoreStall {
+            core,
+            cause,
+            start,
+            end,
+        }
+    }
+
+    /// Two cores, two iterations of a 2-stage pipeline:
+    ///   core 0: a@0 [0,10)  a@1 [10,20)          stall(queue) [20,30)
+    ///   core 1: stall(starv) [0,10)  b@0 [10,20)  b@1 [20,30)
+    fn pipeline_events() -> Vec<TraceEvent> {
+        vec![
+            span("a", 0, 0, 0, 10),
+            span("a", 1, 0, 10, 20),
+            stall(1, StallCause::Starvation, 0, 10),
+            span("b", 0, 1, 10, 20),
+            TraceEvent::IterationRetired { iter: 0, at: 20 },
+            span("b", 1, 1, 20, 30),
+            TraceEvent::IterationRetired { iter: 1, at: 30 },
+            stall(0, StallCause::JobQueueEmpty, 20, 30),
+        ]
+    }
+
+    #[test]
+    fn per_core_accounting_tiles_makespan() {
+        let r = analyze(&pipeline_events(), Clock::VirtualCycles);
+        assert_eq!(r.makespan, 30);
+        assert_eq!(r.iterations, 2);
+        assert_eq!(r.jobs, 4);
+        for (core, stats) in &r.cores {
+            assert_eq!(
+                stats.busy + stats.idle(),
+                r.makespan,
+                "core {core} must tile the makespan"
+            );
+        }
+        assert_eq!(r.stalled_total(), 20);
+    }
+
+    #[test]
+    fn stalls_are_charged_to_the_next_component() {
+        let r = analyze(&pipeline_events(), Clock::VirtualCycles);
+        // Core 1's starvation stall precedes b@0 → charged to b.
+        let b = &r.components["b"];
+        assert_eq!(b.stall_before[StallCause::Starvation.index()], 10);
+        // Core 0's trailing queue-empty stall has no next span: kept in
+        // core/cause totals but charged to no component.
+        let a = &r.components["a"];
+        assert_eq!(a.stall_before_total(), 0);
+        assert_eq!(r.cores[&0].stalls[StallCause::JobQueueEmpty.index()], 10);
+    }
+
+    #[test]
+    fn critical_path_spans_the_makespan() {
+        let r = analyze(&pipeline_events(), Clock::VirtualCycles);
+        let cp = &r.critical_path;
+        assert_eq!(cp.busy + cp.wait, r.makespan, "accounting identity");
+        // The binding chain is a@0 → a@1 → b@1 (b@1 starts when a@1 ends).
+        let labels: Vec<&str> = cp.steps.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["a", "a", "b"]);
+        assert_eq!(cp.wait, 0);
+    }
+
+    #[test]
+    fn cache_deltas_fold_per_component() {
+        let mut events = pipeline_events();
+        events.push(TraceEvent::JobSpan {
+            label: "a".into(),
+            kind: SpanKind::Component,
+            iter: 2,
+            core: 0,
+            start: 30,
+            end: 40,
+            cycles: 10,
+            cache: Some(CacheDelta {
+                l1_misses: 6,
+                l2_misses: 2,
+                mem_cycles: 100,
+            }),
+        });
+        let r = analyze(&events, Clock::VirtualCycles);
+        let a = &r.components["a"];
+        assert_eq!(a.l1_misses, 6);
+        assert_eq!(a.mem_cycles, 100);
+        assert_eq!(a.jobs, 3);
+        assert!((a.misses_per_job() - 2.0).abs() < 1e-12);
+        assert_eq!(r.mem_cycles_total(), 100);
+    }
+
+    #[test]
+    fn occupancy_samples_become_time_weighted_histogram() {
+        let events = vec![
+            span("a", 0, 0, 0, 10),
+            TraceEvent::StreamOccupancy {
+                stream: "s".into(),
+                live_slots: 1,
+                at: 2,
+            },
+            TraceEvent::StreamOccupancy {
+                stream: "s".into(),
+                live_slots: 3,
+                at: 6,
+            },
+        ];
+        let r = analyze(&events, Clock::VirtualCycles);
+        let s = &r.streams["s"];
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.max_slots, 3);
+        assert_eq!(s.histogram[&1], 4); // [2, 6)
+        assert_eq!(s.histogram[&3], 4); // [6, 10)
+        assert_eq!(s.time_at_max, 4);
+        assert_eq!(s.observed, 8);
+        assert!((s.mean_occupancy() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottlenecks_rank_by_critical_path_share() {
+        let r = analyze(&pipeline_events(), Clock::VirtualCycles);
+        let ranked = r.bottlenecks();
+        // a contributes 20 busy cycles to the path, b only 10.
+        assert_eq!(ranked[0].0, "a");
+        assert_eq!(ranked[0].1.cp_busy, 20);
+        assert_eq!(ranked[1].0, "b");
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let r = analyze(&[], Clock::VirtualCycles);
+        assert_eq!(r.makespan, 0);
+        assert!(r.components.is_empty());
+        assert!(r.critical_path.steps.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden tests: the JSON report for two committed fixture traces.
+//!
+//! Each `tests/fixtures/<name>.csv` is a trace recorded from one
+//! deterministic simulator run (exported with `hinch-insight
+//! --dump-csv`): a static app (PiP-1) and a reconfiguring one (PiP-12,
+//! which quiesces once mid-run). The analysis pipeline —
+//! `trace::input::events_from_csv` → `insight::analyze` →
+//! `insight::render_json` — must reproduce `<name>.golden.json`
+//! byte-for-byte. Regenerate after an intentional output change with
+//!
+//! ```sh
+//! BLESS_FIXTURES=1 cargo test -p insight --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use trace::Clock;
+
+const FIXTURES: &[&str] = &["pip1_3cores_4frames", "pip12_3cores_8frames"];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn report_json(stem: &str) -> String {
+    let csv = fs::read_to_string(fixture_dir().join(format!("{stem}.csv")))
+        .unwrap_or_else(|e| panic!("{stem}: read fixture: {e}"));
+    let events = trace::input::events_from_csv(&csv)
+        .unwrap_or_else(|e| panic!("{stem}: parse fixture: {e}"));
+    insight::render_json(&insight::analyze(&events, Clock::VirtualCycles))
+}
+
+#[test]
+fn every_fixture_matches_its_golden_json() {
+    let bless = std::env::var_os("BLESS_FIXTURES").is_some();
+    let mut failures = Vec::new();
+    for &stem in FIXTURES {
+        let got = report_json(stem);
+        let golden_path = fixture_dir().join(format!("{stem}.golden.json"));
+        if bless {
+            fs::write(&golden_path, &got).unwrap();
+            continue;
+        }
+        let want = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!("{stem}: missing golden ({e}); bless with BLESS_FIXTURES=1")
+        });
+        if got != want {
+            failures.push(format!("{stem}: report drifted from golden"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{}\n(rerun with BLESS_FIXTURES=1 if the change is intentional)",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn fixture_reports_satisfy_the_accounting_identities() {
+    for &stem in FIXTURES {
+        let csv = fs::read_to_string(fixture_dir().join(format!("{stem}.csv"))).unwrap();
+        let events = trace::input::events_from_csv(&csv).unwrap();
+        let report = insight::analyze(&events, Clock::VirtualCycles);
+        let cp = &report.critical_path;
+        assert_eq!(
+            cp.busy + cp.wait,
+            report.makespan,
+            "{stem}: critical path must span the makespan"
+        );
+        for (core, stats) in &report.cores {
+            assert_eq!(
+                stats.busy + stats.idle(),
+                report.makespan,
+                "{stem}: core {core} busy + idle must tile the makespan"
+            );
+        }
+    }
+}
+
+#[test]
+fn reconfig_fixture_attributes_quiesce_time() {
+    let csv = fs::read_to_string(fixture_dir().join("pip12_3cores_8frames.csv")).unwrap();
+    let events = trace::input::events_from_csv(&csv).unwrap();
+    let report = insight::analyze(&events, Clock::VirtualCycles);
+    assert_eq!(report.reconfigs, 1);
+    assert_eq!(report.quiesce_windows.len(), 1);
+    let quiesce = report.stall_totals[trace::StallCause::Quiesce.index()];
+    assert!(
+        quiesce > 0,
+        "reconfiguration must show up as quiesce stalls"
+    );
+}

@@ -1,0 +1,91 @@
+//! Property: stall intervals partition each core's idle time exactly.
+//!
+//! For any app / core-count / frame-count, the simulation engine's trace
+//! must tile every core's timeline: job spans plus attributed stall
+//! intervals cover `[0, makespan]` with no gaps and no overlap, and the
+//! per-cause totals reproduce the engine's own `core_busy`/`core_idle`
+//! accounting. This is the invariant the whole stall-attribution layer
+//! rests on — if an idle cycle went unclassified or was double-counted,
+//! the partition would break.
+
+use apps::experiment::{run_sim_traced, App, AppConfig};
+use proptest::prelude::*;
+use trace::{Clock, TraceEvent};
+
+const APPS: [App; 9] = [
+    App::Pip1,
+    App::Pip2,
+    App::Jpip1,
+    App::Jpip2,
+    App::Blur3,
+    App::Blur5,
+    App::Pip12,
+    App::Jpip12,
+    App::Blur35,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn stalls_partition_idle_time(
+        app_index in 0usize..APPS.len(),
+        cores in 1usize..5,
+        frames in 1u64..5,
+    ) {
+        let cfg = AppConfig::small(APPS[app_index]).frames(frames);
+        let (report, recorder) = run_sim_traced(cfg, cores);
+        let events = recorder.events();
+        let makespan = report.cycles;
+
+        // Collect each core's spans and stalls as raw intervals.
+        let mut intervals: Vec<Vec<(u64, u64, bool)>> = vec![Vec::new(); cores];
+        for event in &events {
+            match event {
+                TraceEvent::JobSpan { core, start, end, .. } => {
+                    intervals[*core as usize].push((*start, *end, true));
+                }
+                TraceEvent::CoreStall { core, start, end, .. } => {
+                    intervals[*core as usize].push((*start, *end, false));
+                }
+                _ => {}
+            }
+        }
+
+        for (core, list) in intervals.iter_mut().enumerate() {
+            list.sort_by_key(|&(start, end, _)| (start, end));
+            // The intervals must tile [0, makespan]: each begins exactly
+            // where the previous ended.
+            let mut cursor = 0;
+            let (mut busy, mut idle) = (0u64, 0u64);
+            for &(start, end, is_span) in list.iter() {
+                prop_assert_eq!(
+                    start, cursor,
+                    "core {} has a gap or overlap at {} (expected {})",
+                    core, start, cursor
+                );
+                cursor = end;
+                if is_span {
+                    busy += end - start;
+                } else {
+                    idle += end - start;
+                }
+            }
+            prop_assert_eq!(
+                cursor, makespan,
+                "core {} timeline ends at {} instead of the makespan",
+                core, cursor
+            );
+            // And the partition reproduces the engine's own accounting.
+            prop_assert_eq!(busy, report.core_busy[core], "core {} busy", core);
+            prop_assert_eq!(idle, report.core_idle[core], "core {} idle", core);
+        }
+
+        // The insight analysis sees the same totals.
+        let analysis = insight::analyze(&events, Clock::VirtualCycles);
+        prop_assert_eq!(analysis.makespan, makespan);
+        for (core, stats) in &analysis.cores {
+            prop_assert_eq!(stats.busy, report.core_busy[*core as usize]);
+            prop_assert_eq!(stats.idle(), report.core_idle[*core as usize]);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! All exporters are pure functions of the event slice, so a
 //! deterministic trace (simulation engine) exports byte-identically.
 
-use crate::{CacheDelta, Clock, Time, TraceEvent};
+use crate::{CacheDelta, Clock, StallCause, Time, TraceEvent};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -44,7 +44,18 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Clock) -> String {
     ));
     let mut named_cores: Vec<u32> = Vec::new();
     let mut quiesce_open: Option<Time> = None;
+    // Cumulative stalled time per cause, sampled onto one counter track
+    // (one series per cause) every time a stall interval closes.
+    let mut stall_totals = [0u64; StallCause::ALL.len()];
+    // Per-stream occupancy histogram (samples per live-slot count),
+    // summarized as instant events at the end of the export.
+    let mut occupancy: BTreeMap<&str, BTreeMap<u64, u64>> = BTreeMap::new();
+    let mut t_last: Time = 0;
     for event in events {
+        t_last = t_last.max(match event {
+            TraceEvent::JobSpan { end, .. } | TraceEvent::CoreStall { end, .. } => *end,
+            other => other.at(),
+        });
         match event {
             TraceEvent::JobSpan {
                 label,
@@ -105,11 +116,52 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Clock) -> String {
                 live_slots,
                 at,
             } => {
+                *occupancy
+                    .entry(stream.as_str())
+                    .or_default()
+                    .entry(*live_slots)
+                    .or_default() += 1;
                 entries.push(format!(
                     "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":0,\
                      \"args\":{{\"live_slots\":{live_slots}}}}}",
                     json_string(&format!("stream {stream}")),
                     ts(*at),
+                ));
+            }
+            TraceEvent::CoreStall {
+                core,
+                cause,
+                start,
+                end,
+            } => {
+                if !named_cores.contains(core) {
+                    named_cores.push(*core);
+                    entries.push(format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{core},\
+                         \"args\":{{\"name\":\"core {core}\"}}}}"
+                    ));
+                }
+                // The idle interval itself, on the core's lane …
+                entries.push(format!(
+                    "{{\"name\":{},\"cat\":\"stall\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":0,\"tid\":{core},\"args\":{{\"cause\":\"{}\"}}}}",
+                    json_string(&format!("stall: {}", cause.as_str())),
+                    ts(*start),
+                    ts(end.saturating_sub(*start)),
+                    cause.as_str(),
+                ));
+                // … and the cumulative per-cause attribution as a counter
+                // track (one series per cause).
+                stall_totals[cause.index()] += end.saturating_sub(*start);
+                let series: Vec<String> = StallCause::ALL
+                    .iter()
+                    .map(|c| format!("\"{}\":{}", c.as_str(), stall_totals[c.index()]))
+                    .collect();
+                entries.push(format!(
+                    "{{\"name\":\"stalled time\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\
+                     \"args\":{{{}}}}}",
+                    ts(*end),
+                    series.join(","),
                 ));
             }
             other => {
@@ -143,6 +195,22 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Clock) -> String {
             }
         }
     }
+    // Occupancy-histogram summaries: one instant event per sampled
+    // stream at the end of the trace, carrying the sample count per
+    // live-slot level (hover it in Perfetto to read the distribution).
+    for (stream, hist) in &occupancy {
+        let buckets: Vec<String> = hist
+            .iter()
+            .map(|(slots, n)| format!("\"slots_{slots}\":{n}"))
+            .collect();
+        entries.push(format!(
+            "{{\"name\":{},\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":0,\"tid\":{SCHED_TID},\"args\":{{{}}}}}",
+            json_string(&format!("occupancy histogram {stream}")),
+            ts(t_last),
+            buckets.join(","),
+        ));
+    }
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     out.push_str(&entries.join(",\n"));
     out.push_str("\n]}\n");
@@ -166,15 +234,22 @@ pub fn csv(events: &[TraceEvent]) -> String {
                 cycles,
                 cache,
             } => {
-                let c = cache.unwrap_or_default();
+                // Cache fields stay empty when no cache model ran, so the
+                // importer can round-trip `None` (0,0,0 would be a real
+                // measurement).
+                let (l1, l2, mem) = match cache {
+                    Some(c) => (
+                        c.l1_misses.to_string(),
+                        c.l2_misses.to_string(),
+                        c.mem_cycles.to_string(),
+                    ),
+                    None => (String::new(), String::new(), String::new()),
+                };
                 let _ = writeln!(
                     out,
-                    "{},{},{iter},{core},{start},{end},{cycles},{},{},{},",
+                    "{},{},{iter},{core},{start},{end},{cycles},{l1},{l2},{mem},",
                     kind.as_str(),
                     csv_field(label),
-                    c.l1_misses,
-                    c.l2_misses,
-                    c.mem_cycles,
                 );
             }
             TraceEvent::IterationAdmitted { iter, at } => {
@@ -213,6 +288,14 @@ pub fn csv(events: &[TraceEvent]) -> String {
                     csv_field(stream)
                 );
             }
+            TraceEvent::CoreStall {
+                core,
+                cause,
+                start,
+                end,
+            } => {
+                let _ = writeln!(out, "stall,{},,{core},{start},{end},,,,,", cause.as_str());
+            }
         }
     }
     out
@@ -237,6 +320,7 @@ pub fn utilization_summary(events: &[TraceEvent], clock: Clock) -> String {
     let mut spans: Vec<(u32, Time, Time)> = Vec::new();
     let mut quiesce_open: Option<Time> = None;
     let mut windows: Vec<(Time, Time)> = Vec::new();
+    let mut stalls: BTreeMap<u32, [u64; StallCause::ALL.len()]> = BTreeMap::new();
     for event in events {
         match event {
             TraceEvent::JobSpan {
@@ -258,6 +342,14 @@ pub fn utilization_summary(events: &[TraceEvent], clock: Clock) -> String {
             TraceEvent::QuiesceBegin { at } => quiesce_open = Some(*at),
             TraceEvent::QuiesceEnd { at } => {
                 windows.push((quiesce_open.take().unwrap_or(*at), *at));
+            }
+            TraceEvent::CoreStall {
+                core,
+                cause,
+                start,
+                end,
+            } => {
+                stalls.entry(*core).or_default()[cause.index()] += end.saturating_sub(*start);
             }
             _ => {}
         }
@@ -307,6 +399,33 @@ pub fn utilization_summary(events: &[TraceEvent], clock: Clock) -> String {
             node.busy,
             percent(node.busy, total),
         );
+    }
+    if !stalls.is_empty() {
+        let _ = writeln!(out, "-- stall attribution (idle time by cause) --");
+        let mut totals = [0u64; StallCause::ALL.len()];
+        for (&core, causes) in &stalls {
+            let per_core: Vec<String> = StallCause::ALL
+                .iter()
+                .filter(|c| causes[c.index()] > 0)
+                .map(|c| format!("{} {}", c.as_str(), causes[c.index()]))
+                .collect();
+            let _ = writeln!(out, "  core {core}: {}", per_core.join("  "));
+            for c in StallCause::ALL {
+                totals[c.index()] += causes[c.index()];
+            }
+        }
+        let stalled: u64 = totals.iter().sum();
+        for c in StallCause::ALL {
+            let t = totals[c.index()];
+            if t > 0 {
+                let _ = writeln!(
+                    out,
+                    "  total {:<13} {t:>12} {unit} ({:>5.1}% of stalled time)",
+                    c.as_str(),
+                    percent(t, stalled),
+                );
+            }
+        }
     }
     if !windows.is_empty() {
         let _ = writeln!(out, "-- quiesce windows (drain + resync) --");
@@ -429,6 +548,12 @@ mod tests {
                 cycles: 40,
                 cache: None,
             },
+            TraceEvent::CoreStall {
+                core: 1,
+                cause: StallCause::Starvation,
+                start: 60,
+                end: 100,
+            },
             TraceEvent::EventPoll {
                 manager: "m".into(),
                 events: 1,
@@ -494,6 +619,11 @@ mod tests {
         assert!(json.contains("\"name\":\"quiesce\""));
         assert!(json.contains("\"drain_resync\":50"));
         assert!(json.contains("core 1"));
+        assert!(json.contains("\"name\":\"stall: starvation\""));
+        assert!(json.contains("\"name\":\"stalled time\""));
+        assert!(json.contains("\"starvation\":40"));
+        assert!(json.contains("occupancy histogram s"));
+        assert!(json.contains("\"slots_2\":1"));
     }
 
     #[test]
@@ -520,7 +650,9 @@ mod tests {
         assert_eq!(csv.lines().count(), events.len() + 1);
         assert!(csv.starts_with("event,label,"));
         assert!(csv.contains("component,dec,0,0,0,100,100,3,1,40,"));
+        assert!(csv.contains("component,scale,0,1,20,60,40,,,,"));
         assert!(csv.contains("occupancy,s,,,110,110,,,,,2"));
+        assert!(csv.contains("stall,starvation,,1,60,100,,,,,"));
     }
 
     #[test]
@@ -532,6 +664,8 @@ mod tests {
         assert!(summary.contains("critical-path node: dec"), "{summary}");
         assert!(summary.contains("quiesce windows"), "{summary}");
         assert!(summary.contains("50 cycles"), "{summary}");
+        assert!(summary.contains("stall attribution"), "{summary}");
+        assert!(summary.contains("starvation 40"), "{summary}");
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! `trace_overhead` bench.
 
 pub mod export;
+pub mod input;
+pub mod metrics;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -79,6 +81,62 @@ impl SpanKind {
     }
 }
 
+/// Why a core (or worker) sat idle for an interval.
+///
+/// The engines tag every idle interval at the point the core blocks, so
+/// the stalls of one core *partition* its idle time exactly: no two
+/// stall intervals overlap and, together with the job spans, they tile
+/// `[0, makespan]` under the simulation engine (see `crates/insight`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StallCause {
+    /// Stream-empty starvation: the next job's input data was not yet
+    /// produced (waiting on upstream components).
+    Starvation,
+    /// Stream-full backpressure: all pipeline slots were occupied, so no
+    /// new iteration could be admitted until one retired.
+    Backpressure,
+    /// Quiesce window: admission halted for a reconfiguration (pipeline
+    /// drain + resync barrier).
+    Quiesce,
+    /// Job-queue empty: every iteration was admitted and this core had
+    /// no work left (end-of-run drain).
+    JobQueueEmpty,
+}
+
+impl StallCause {
+    /// All causes, in a fixed order (indexes into per-cause arrays).
+    pub const ALL: [StallCause; 4] = [
+        StallCause::Starvation,
+        StallCause::Backpressure,
+        StallCause::Quiesce,
+        StallCause::JobQueueEmpty,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StallCause::Starvation => "starvation",
+            StallCause::Backpressure => "backpressure",
+            StallCause::Quiesce => "quiesce",
+            StallCause::JobQueueEmpty => "queue_empty",
+        }
+    }
+
+    /// Index into [`StallCause::ALL`]-shaped arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            StallCause::Starvation => 0,
+            StallCause::Backpressure => 1,
+            StallCause::Quiesce => 2,
+            StallCause::JobQueueEmpty => 3,
+        }
+    }
+
+    /// Inverse of [`StallCause::as_str`].
+    pub fn parse(s: &str) -> Option<StallCause> {
+        StallCause::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -123,13 +181,22 @@ pub enum TraceEvent {
         live_slots: u64,
         at: Time,
     },
+    /// One idle interval of a core (or native worker), tagged with why
+    /// the core blocked. Emitted at the point the stall *ends* (when the
+    /// core picks up its next job, or at run end for the final drain).
+    CoreStall {
+        core: u32,
+        cause: StallCause,
+        start: Time,
+        end: Time,
+    },
 }
 
 impl TraceEvent {
     /// The primary timestamp of the event (`start` for spans).
     pub fn at(&self) -> Time {
         match self {
-            TraceEvent::JobSpan { start, .. } => *start,
+            TraceEvent::JobSpan { start, .. } | TraceEvent::CoreStall { start, .. } => *start,
             TraceEvent::IterationAdmitted { at, .. }
             | TraceEvent::IterationRetired { at, .. }
             | TraceEvent::QuiesceBegin { at }
@@ -306,6 +373,17 @@ pub fn check_invariants(events: &[TraceEvent]) -> Result<(), String> {
                     }
                 }
                 last_end.insert(*core, (*end, label.clone()));
+            }
+            TraceEvent::CoreStall {
+                core,
+                cause,
+                start,
+                end,
+            } if end < start => {
+                return Err(format!(
+                    "stall ({}) on core {core} ends before it starts",
+                    cause.as_str()
+                ));
             }
             TraceEvent::QuiesceBegin { at } => {
                 if open_quiesce > 0 {

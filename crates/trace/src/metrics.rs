@@ -1,0 +1,339 @@
+//! Always-on counter / histogram registry for the engines.
+//!
+//! Full tracing ([`crate::Recorder`]) buffers every event and is opt-in
+//! per run. This module is the lightweight companion: an
+//! [`EngineMetrics`] registry that both engines bump with **one relaxed
+//! atomic per event** even when no trace sink is attached, so a
+//! production run always has utilization counters and latency
+//! histograms to report. A run without a registry pays one branch per
+//! would-be update, exactly like the disabled trace sink (see the
+//! `metrics_overhead` bench next to `trace_overhead`).
+//!
+//! Times are in the clock of the engine that updates the registry:
+//! virtual cycles under the simulation engine, wall-clock nanoseconds
+//! under the native engine.
+
+use crate::StallCause;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter (relaxed atomics: totals are
+/// exact once the run has joined its workers; mid-run reads are
+/// approximate).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets in a [`LogHistogram`]: bucket 0 holds
+/// value 0, bucket `b` holds values in `[2^(b-1), 2^b)`.
+pub const LOG_BUCKETS: usize = 65;
+
+/// A hand-rolled HDR-style histogram with power-of-two buckets: O(1)
+/// lock-free recording (one relaxed atomic add), ~2x relative error on
+/// percentile estimates, fixed 65 x 8 bytes of storage for the full
+/// `u64` range.
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0u64; LOG_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Bucket index for `value`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `b` (inclusive).
+    pub fn bucket_low(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Upper bound of bucket `b` (inclusive).
+    pub fn bucket_high(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile (`q` in
+    /// [0, 1]); 0 when empty. HDR-style: at most one power of two above
+    /// the true value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_high(b);
+            }
+        }
+        Self::bucket_high(LOG_BUCKETS - 1)
+    }
+
+    /// `(bucket low, bucket high, count)` for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, bucket)| {
+                let n = bucket.load(Ordering::Relaxed);
+                (n > 0).then(|| (Self::bucket_low(b), Self::bucket_high(b), n))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+/// The always-on registry both engines update. Attach one via
+/// `RunConfig::metrics`; share it across runs to aggregate, or use a
+/// fresh one per run and read it afterwards.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Jobs executed (components + manager invocations).
+    pub jobs: Counter,
+    /// Iterations retired.
+    pub iterations: Counter,
+    /// Reconfiguration batches applied.
+    pub reconfigs: Counter,
+    /// Quiesce (drain + resync) windows closed.
+    pub quiesce_windows: Counter,
+    /// Total time inside quiesce windows.
+    pub quiesce_time: Counter,
+    /// Manager event-queue polls.
+    pub event_polls: Counter,
+    /// Events drained by those polls.
+    pub events_drained: Counter,
+    /// Per-job duration histogram (cycles or nanoseconds).
+    pub job_time: LogHistogram,
+    /// Total stalled time per cause (indexed by [`StallCause::index`]).
+    pub stall_time: [Counter; StallCause::ALL.len()],
+    /// Stall intervals per cause.
+    pub stall_intervals: [Counter; StallCause::ALL.len()],
+}
+
+impl EngineMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one executed job of duration `time`.
+    #[inline]
+    pub fn on_job(&self, time: u64) {
+        self.jobs.inc();
+        self.job_time.record(time);
+    }
+
+    /// Record one idle interval.
+    #[inline]
+    pub fn on_stall(&self, cause: StallCause, time: u64) {
+        self.stall_time[cause.index()].add(time);
+        self.stall_intervals[cause.index()].inc();
+    }
+
+    /// Total stalled time across causes.
+    pub fn stalled_total(&self) -> u64 {
+        self.stall_time.iter().map(|c| c.get()).sum()
+    }
+
+    /// Multi-line human-readable dump; `unit` is e.g. `"cycles"` or
+    /// `"ns"` (see [`crate::Clock::unit`]).
+    pub fn render(&self, unit: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== engine metrics ({unit}) ==");
+        let _ = writeln!(
+            out,
+            "jobs {}  iterations {}  reconfigs {}  event polls {} ({} events)",
+            self.jobs.get(),
+            self.iterations.get(),
+            self.reconfigs.get(),
+            self.event_polls.get(),
+            self.events_drained.get(),
+        );
+        let _ = writeln!(
+            out,
+            "job time: mean {:.1} {unit}  p50 <= {}  p99 <= {}  max <= {}",
+            self.job_time.mean(),
+            self.job_time.quantile(0.50),
+            self.job_time.quantile(0.99),
+            self.job_time.quantile(1.0),
+        );
+        let _ = writeln!(
+            out,
+            "quiesce: {} window(s), {} {unit}",
+            self.quiesce_windows.get(),
+            self.quiesce_time.get(),
+        );
+        for cause in StallCause::ALL {
+            let i = cause.index();
+            let _ = writeln!(
+                out,
+                "stall {:<13} {:>8} interval(s)  {:>14} {unit}",
+                cause.as_str(),
+                self.stall_intervals[i].get(),
+                self.stall_time[i].get(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        for b in 1..LOG_BUCKETS {
+            assert_eq!(LogHistogram::bucket_of(LogHistogram::bucket_low(b)), b);
+            assert_eq!(LogHistogram::bucket_of(LogHistogram::bucket_high(b)), b);
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let h = LogHistogram::default();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+        // p50 falls in bucket [2,3]; the estimate is its upper bound.
+        assert_eq!(h.quantile(0.5), 3);
+        // max falls in bucket [64,127]
+        assert_eq!(h.quantile(1.0), 127);
+        assert_eq!(h.quantile(0.0), 1);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|(_, _, n)| n).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LogHistogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn registry_accumulates() {
+        let m = EngineMetrics::new();
+        m.on_job(10);
+        m.on_job(20);
+        m.on_stall(StallCause::Starvation, 5);
+        m.on_stall(StallCause::Quiesce, 7);
+        m.iterations.inc();
+        assert_eq!(m.jobs.get(), 2);
+        assert_eq!(m.job_time.sum(), 30);
+        assert_eq!(m.stalled_total(), 12);
+        assert_eq!(m.stall_time[StallCause::Starvation.index()].get(), 5);
+        let text = m.render("cycles");
+        assert!(text.contains("jobs 2"), "{text}");
+        assert!(text.contains("starvation"), "{text}");
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let m = std::sync::Arc::new(EngineMetrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.on_job(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.jobs.get(), 4000);
+        assert_eq!(m.job_time.count(), 4000);
+    }
+}

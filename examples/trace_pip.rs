@@ -8,7 +8,9 @@
 //!   Gantt chart, iteration admission/retirement marks and stream
 //!   occupancy counters;
 //! * `pip-trace.csv` — one row per event, for ad-hoc analysis;
-//! * the per-core utilization summary, printed below.
+//! * the per-core utilization summary and the top-3 bottleneck
+//!   components from the `insight` critical-path analysis, printed
+//!   below.
 //!
 //! ```sh
 //! cargo run --release --example trace_pip
@@ -49,4 +51,23 @@ fn main() {
     println!("wrote pip-trace.json (Perfetto / chrome://tracing) and pip-trace.csv");
     println!();
     println!("{}", utilization_summary(&events, recorder.clock()));
+
+    // Critical-path analysis: which components bound the makespan?
+    let insight = insight::analyze(&events, recorder.clock());
+    let cp = &insight.critical_path;
+    println!(
+        "critical path: {} cycles over {} steps (busy {} + wait {})",
+        cp.busy + cp.wait,
+        cp.steps.len(),
+        cp.busy,
+        cp.wait
+    );
+    println!("top bottleneck components (by critical-path share):");
+    for (label, stats) in insight.bottlenecks().iter().take(3) {
+        println!(
+            "  {label:<32} {:>4} path step(s), {:>8} cycles on the path, {:>8} busy total",
+            stats.cp_steps, stats.cp_busy, stats.busy
+        );
+    }
+    println!("(full report: cargo run -p insight --bin hinch-insight -- --app pip1)");
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Performance snapshot: figures + tracing/metrics overhead benches.
+#
+#   scripts/bench.sh          # run everything, rewrite BENCH_insight.json
+#
+# Runs the paper-figure harness at small scale, the `trace_overhead` and
+# `metrics_overhead` Criterion benches, and one `hinch-insight` analysis,
+# then folds the key numbers into BENCH_insight.json (committed, so a
+# reviewer can diff perf-relevant changes without rerunning anything).
+# Absolute numbers are machine-dependent; the structure and the
+# ratios/bounds are what matter.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_insight.json
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== figures (small scale) =="
+cargo run --offline --release -q -p bench --bin paper-figures -- \
+    --fig 8 --scale small --frames 8 | tee "$workdir/fig8.txt"
+
+echo "== bench: trace_overhead =="
+cargo bench --offline -q -p bench --bench trace_overhead | tee "$workdir/trace.txt"
+
+echo "== bench: metrics_overhead =="
+cargo bench --offline -q -p bench --bench metrics_overhead | tee "$workdir/metrics.txt"
+
+echo "== insight: PiP-1 (sim, deterministic) =="
+cargo run --offline --release -q -p insight --bin hinch-insight -- \
+    --app pip1 --cores 4 --frames 8 --format json > "$workdir/insight.json"
+
+# "group/name    12.3 ns/iter" (or ns/event) -> "name": 12.3
+bench_pairs() {
+    awk '/ns\/(iter|event)/ {
+        n = split($1, parts, "/");
+        printf "        \"%s\": %s,\n", parts[n], $(NF-1)
+    }' "$1" | sed '$ s/,$//'
+}
+
+{
+    echo '{'
+    echo '    "generated_by": "scripts/bench.sh",'
+    echo '    "note": "absolute numbers are machine-dependent; compare ratios and bounds",'
+    echo '    "trace_overhead_ns_per_event": {'
+    bench_pairs "$workdir/trace.txt"
+    echo '    },'
+    echo '    "metrics_overhead_ns_per_event": {'
+    bench_pairs "$workdir/metrics.txt"
+    echo '    },'
+    echo '    "insight_pip1_small_4cores_8frames":'
+    sed 's/^/    /' "$workdir/insight.json"
+    echo '}'
+} > "$out"
+
+python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+disabled = data["metrics_overhead_ns_per_event"]["disabled_branch"]
+assert disabled <= 25.0, f"disabled metrics path: {disabled} ns/event"
+print(f"{sys.argv[1]}: valid JSON; disabled metrics path {disabled} ns/event")
+EOF
+
+echo "bench: wrote $out"

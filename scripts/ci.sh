@@ -11,6 +11,8 @@
 #   4. cargo test --workspace — every crate's suite
 #   5. xspclc analyze over every generated app spec — zero diagnostics
 #      (warnings included) allowed
+#   6. hinch-insight determinism: the JSON report for one simulated app
+#      must parse and be byte-identical across two separate runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,5 +48,20 @@ for spec in "$specs_dir"/*.xml; do
     fi
     echo "analyze: $spec clean"
 done
+
+echo "== insight (deterministic report) =="
+insight_dir=target/insight-ci
+mkdir -p "$insight_dir"
+for run in 1 2; do
+    cargo run --offline -q -p insight --bin hinch-insight -- \
+        --app pip1 --cores 4 --frames 8 --format json > "$insight_dir/run$run.json"
+done
+if ! cmp -s "$insight_dir/run1.json" "$insight_dir/run2.json"; then
+    echo "insight: report is not stable across two runs" >&2
+    diff "$insight_dir/run1.json" "$insight_dir/run2.json" >&2 || true
+    exit 1
+fi
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$insight_dir/run1.json"
+echo "insight: JSON parses and is byte-identical across runs"
 
 echo "ci: all green"
