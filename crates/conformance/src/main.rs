@@ -1,0 +1,126 @@
+//! `hinch-conformance` — run the differential conformance matrix.
+//!
+//! ```text
+//! hinch-conformance                                  # quick gate matrix
+//! hinch-conformance --full                           # the paper matrix
+//! hinch-conformance --apps pip1,blur3 --cores 1,4 --depths 1,5 --seeds 2
+//! hinch-conformance --apps pip12 --cores 4 --depths 5 --policy shuffle:12648431 --no-native
+//! ```
+//!
+//! Exit status: 0 when every run conforms, 1 on any divergence, 2 on
+//! usage errors. `--format json` prints a deterministic document that is
+//! byte-identical across runs of the same configuration and seed.
+
+use conformance::{render_human, run_matrix, to_json, ConfApp, MatrixConfig};
+use hinch::SchedPolicy;
+
+const USAGE: &str = "usage: hinch-conformance [options]
+
+options:
+  --full               run the full paper matrix (all apps, cores 1,2,4,9,
+                       depths 1,2,5, 8 seeds, 30 frames)
+  --apps a,b,..|all    applications to run (default: gate set pip1,blur3,pip12)
+  --cores 1,4          sim core counts
+  --depths 1,5         pipeline depths
+  --seeds N            number of seeded schedule policies
+  --seed N             base seed for the seeded policies
+  --frames N           iterations per run
+  --workers 1,4        native-engine worker counts
+  --no-native          skip the native-engine sweep
+  --policy P           run exactly one schedule policy
+                       (default|fifo|lifo|shuffle:N|perturb:N)
+  --format human|json  output format (default human)
+
+apps: pip1 pip2 jpip1 jpip2 blur3 blur5 pip12 jpip12 blur35 mosaic telescope";
+
+struct Args {
+    cfg: MatrixConfig,
+    json: bool,
+}
+
+fn parse_usize_list(raw: &str, flag: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("{flag}: {e}"))
+        })
+        .collect()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = MatrixConfig::gate();
+    let mut json = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--full" => cfg = MatrixConfig::full(),
+            "--apps" => {
+                let raw = value()?;
+                if raw == "all" {
+                    cfg.apps = conformance::ALL.to_vec();
+                } else {
+                    cfg.apps = raw
+                        .split(',')
+                        .map(|id| {
+                            ConfApp::parse(id.trim())
+                                .ok_or_else(|| format!("unknown app '{}'", id.trim()))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--cores" => cfg.cores = parse_usize_list(&value()?, "--cores")?,
+            "--depths" => cfg.depths = parse_usize_list(&value()?, "--depths")?,
+            "--workers" => cfg.workers = parse_usize_list(&value()?, "--workers")?,
+            "--no-native" => cfg.workers.clear(),
+            "--seeds" => cfg.seeds = value()?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--seed" => cfg.base_seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--frames" => cfg.frames = value()?.parse().map_err(|e| format!("--frames: {e}"))?,
+            "--policy" => {
+                let raw = value()?;
+                let policy = SchedPolicy::parse(&raw)
+                    .ok_or_else(|| format!("unknown policy '{raw}' (see --help)"))?;
+                cfg.policy_override = Some(vec![policy]);
+            }
+            "--format" => {
+                json = match value()?.as_str() {
+                    "human" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if cfg.apps.is_empty() {
+        return Err("--apps selected no applications".into());
+    }
+    Ok(Args { cfg, json })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let summary = run_matrix(&args.cfg);
+    let rendered = if args.json {
+        to_json(&summary)
+    } else {
+        render_human(&summary)
+    };
+    print!("{rendered}");
+    if !summary.passed() {
+        std::process::exit(1);
+    }
+}

@@ -10,9 +10,11 @@
 //!   virtual cores of a [`crate::meter::Platform`], measured in cycles.
 
 pub mod native;
+pub mod reference;
 pub mod sim;
 
 pub use native::run_native;
+pub use reference::run_reference;
 pub use sim::run_sim;
 
 use crate::error::HinchError;
@@ -20,6 +22,7 @@ use crate::event::Event;
 use crate::graph::flatten::{flatten, Dag};
 use crate::graph::instance::{InstanceGraph, ManagerRt, Node, OptCell, StreamTable};
 use crate::manager::EventAction;
+use crate::sched::SchedPolicy;
 use std::sync::Arc;
 
 /// Cost model for run-time-system operations, in cycles. Only the
@@ -87,6 +90,10 @@ pub struct RunConfig {
     /// relaxed atomic per event (see `trace::metrics`). `None` costs one
     /// branch per would-be update.
     pub metrics: Option<Arc<trace::metrics::EngineMetrics>>,
+    /// Ready-queue tie-break policy. [`SchedPolicy::Default`] is the
+    /// engines' historical order; the other variants explore alternative
+    /// (but equally valid) schedules for conformance testing.
+    pub sched: SchedPolicy,
 }
 
 impl std::fmt::Debug for RunConfig {
@@ -98,6 +105,7 @@ impl std::fmt::Debug for RunConfig {
             .field("overhead", &self.overhead)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
             .field("metrics", &self.metrics.as_ref().map(|_| "<registry>"))
+            .field("sched", &self.sched)
             .finish()
     }
 }
@@ -111,6 +119,7 @@ impl RunConfig {
             overhead: OverheadModel::default(),
             trace: None,
             metrics: None,
+            sched: SchedPolicy::Default,
         }
     }
 
@@ -143,12 +152,21 @@ impl RunConfig {
         self
     }
 
+    /// Select the ready-queue tie-break policy (schedule exploration).
+    pub fn sched(mut self, policy: SchedPolicy) -> Self {
+        self.sched = policy;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), HinchError> {
         if self.workers == 0 {
-            return Err(HinchError::BadConfig("workers must be > 0".into()));
+            return Err(HinchError::invalid_config("workers", "must be > 0"));
         }
         if self.pipeline_depth == 0 {
-            return Err(HinchError::BadConfig("pipeline_depth must be > 0".into()));
+            return Err(HinchError::invalid_config("pipeline_depth", "must be > 0"));
+        }
+        if self.iterations == 0 {
+            return Err(HinchError::invalid_config("iterations", "must be > 0"));
         }
         Ok(())
     }

@@ -14,7 +14,7 @@ use crate::graph::instance::{instantiate_graph, InstanceGraph};
 use crate::graph::GraphSpec;
 use crate::meter::NullMeter;
 use crate::report::RunReport;
-use crate::sched::{Effect, JobRef, Tracker};
+use crate::sched::{splitmix64, Effect, JobRef, SchedPolicy, Tracker};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
@@ -26,6 +26,10 @@ struct State {
     tracker: Tracker,
     inst: InstanceGraph,
     ready: VecDeque<JobRef>,
+    /// Ready-queue tie-break policy (schedule exploration).
+    sched: SchedPolicy,
+    /// Pops so far, seeding the shuffle policy's pick.
+    pops: u64,
     pending: Vec<PreparedReconfig>,
     version: u64,
     reconfigs: u64,
@@ -60,6 +64,42 @@ struct Shared {
 impl Shared {
     fn now(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl State {
+    /// Take the next ready job according to the scheduling policy. Any
+    /// pick is a valid schedule (dependencies are already satisfied); the
+    /// policy only decides which one this run walks. Thread interleaving
+    /// keeps the native engine nondeterministic either way — the policies
+    /// simply bias it towards different corners of the schedule space.
+    fn pop_ready(&mut self) -> Option<JobRef> {
+        let job = match self.sched {
+            SchedPolicy::Default | SchedPolicy::Fifo => self.ready.pop_front(),
+            SchedPolicy::Lifo => self.ready.pop_back(),
+            SchedPolicy::Shuffle(seed) => {
+                if self.ready.is_empty() {
+                    None
+                } else {
+                    let pick = splitmix64(seed ^ splitmix64(self.pops)) as usize % self.ready.len();
+                    self.ready.remove(pick)
+                }
+            }
+            SchedPolicy::Perturb(seed) => {
+                // Oldest iteration first, seeded hash of the node index
+                // as the tie-break — mirrors the sim engine's key.
+                self.ready
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, j)| (j.iter, splitmix64(seed ^ splitmix64(j.idx as u64 + 1))))
+                    .map(|(i, _)| i)
+                    .and_then(|i| self.ready.remove(i))
+            }
+        };
+        if job.is_some() {
+            self.pops += 1;
+        }
+        job
     }
 }
 
@@ -102,6 +142,8 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
             tracker,
             inst,
             ready: ready.into_iter().collect(),
+            sched: cfg.sched,
+            pops: 0,
             pending: Vec::new(),
             version: 0,
             reconfigs: 0,
@@ -178,7 +220,7 @@ fn worker_loop(shared: &Shared, core: u32) {
                     flush(&mut state, busy, idle);
                     return;
                 }
-                if let Some(job) = state.ready.pop_front() {
+                if let Some(job) = state.pop_ready() {
                     break job;
                 }
                 if state.tracker.finished() {
@@ -603,7 +645,7 @@ mod tests {
     fn rejects_zero_workers() {
         let g = leaf("a", &[], &["s"], 0);
         let err = run_native(&g, &RunConfig::new(1).workers(0)).unwrap_err();
-        assert!(matches!(err, HinchError::BadConfig(_)));
+        assert!(matches!(err, HinchError::InvalidConfig { ref param, .. } if param == "workers"));
     }
 
     #[test]

@@ -28,13 +28,16 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use trace::{CacheDelta, SpanKind, StallCause, TraceEvent};
 
-/// A ready job awaiting a free core. Priority: the *oldest iteration*
-/// first (bounding latency, keeping one iteration's data hot instead of
-/// interleaving admitted iterations round-robin); within an iteration the
-/// most recently readied job first — LIFO, the depth-first policy work
-/// queues use so a producer's freshly written data is consumed while
-/// still in the cache. The readiness `time` does not affect priority; it
-/// only lower-bounds the start time.
+/// A ready job awaiting a free core. Priority under the default policy:
+/// the *oldest iteration* first (bounding latency, keeping one
+/// iteration's data hot instead of interleaving admitted iterations
+/// round-robin); within an iteration the most recently readied job first
+/// — LIFO, the depth-first policy work queues use so a producer's freshly
+/// written data is consumed while still in the cache. Other
+/// [`SchedPolicy`] variants substitute their own key; the readiness
+/// sequence number breaks remaining ties, so every policy yields a total
+/// — and therefore fully deterministic — order. The readiness `time` does
+/// not affect priority; it only lower-bounds the start time.
 ///
 /// `gate` names what the job waited on before becoming ready: pipeline
 /// admission (backpressure), a dependency (starvation) or the resync
@@ -42,6 +45,8 @@ use trace::{CacheDelta, SpanKind, StallCause, TraceEvent};
 /// that cause for its stall interval.
 #[derive(PartialEq, Eq)]
 struct ReadyJob {
+    /// Priority key from [`SchedPolicy::key`] (smaller pops first).
+    key: (u64, u64),
     time: u64,
     seq: u64,
     job: JobRef,
@@ -50,8 +55,7 @@ struct ReadyJob {
 
 impl Ord for ReadyJob {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.job.iter, std::cmp::Reverse(self.seq))
-            .cmp(&(other.job.iter, std::cmp::Reverse(other.seq)))
+        (self.key, self.seq).cmp(&(other.key, other.seq))
     }
 }
 impl PartialOrd for ReadyJob {
@@ -89,7 +93,10 @@ pub fn run_sim(
     cfg.validate()?;
     let cores = platform.cores();
     if cores == 0 {
-        return Err(HinchError::BadConfig("platform has no cores".into()));
+        return Err(HinchError::invalid_config(
+            "platform",
+            "platform has no cores",
+        ));
     }
 
     let inst = instantiate_graph(spec);
@@ -120,6 +127,7 @@ pub fn run_sim(
     for job in newly.drain(..) {
         seq += 1;
         ready_q.push(Reverse(ReadyJob {
+            key: cfg.sched.key(job, seq),
             time: barrier,
             seq,
             job,
@@ -258,6 +266,7 @@ pub fn run_sim(
                 StallCause::Starvation
             };
             ready_q.push(Reverse(ReadyJob {
+                key: cfg.sched.key(job, seq),
                 time: clock.max(barrier),
                 seq,
                 job,
@@ -307,6 +316,7 @@ pub fn run_sim(
                 for job in resumed {
                     seq += 1;
                     ready_q.push(Reverse(ReadyJob {
+                        key: cfg.sched.key(job, seq),
                         time: barrier,
                         seq,
                         job,
@@ -586,6 +596,51 @@ mod tests {
             run_sim(&g, &RunConfig::new(20), &mut p).unwrap().cycles
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn policies_explore_schedules_without_losing_work() {
+        use crate::sched::SchedPolicy;
+        let g = GraphSpec::seq(vec![
+            leaf("a", &[], &["s"], 0),
+            GraphSpec::task(vec![
+                leaf("x", &["s"], &["x1"], 0),
+                leaf("y", &["s"], &["y1"], 0),
+                leaf("w", &["s"], &["w1"], 0),
+            ]),
+            leaf("z", &["x1", "y1", "w1"], &[], 0),
+        ]);
+        let run = |policy| {
+            let mut p = NullPlatform::new(2);
+            run_sim(&g, &RunConfig::new(8).sched(policy), &mut p).unwrap()
+        };
+        let baseline = run(SchedPolicy::Default);
+        for policy in [
+            SchedPolicy::Fifo,
+            SchedPolicy::Lifo,
+            SchedPolicy::Shuffle(1),
+            SchedPolicy::Shuffle(2),
+            SchedPolicy::Perturb(1),
+        ] {
+            let r = run(policy);
+            assert_eq!(r.iterations, baseline.iterations, "{}", policy.label());
+            assert_eq!(
+                r.jobs_executed,
+                baseline.jobs_executed,
+                "{}",
+                policy.label()
+            );
+            // Determinism per policy: same policy, same makespan.
+            assert_eq!(r.cycles, run(policy).cycles, "{}", policy.label());
+            for c in 0..2 {
+                assert_eq!(
+                    r.core_busy[c] + r.core_idle[c],
+                    r.cycles,
+                    "{} tiling",
+                    policy.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -32,8 +32,10 @@ pub enum HinchError {
     UnknownOption { option: String, manager: String },
     /// The graph has no leaf components at all.
     EmptyGraph,
-    /// Configuration error (zero workers, zero iterations, ...).
-    BadConfig(String),
+    /// A configuration or structural parameter has an invalid value
+    /// (zero workers, zero pipeline depth, zero iterations, a platform
+    /// without cores, ...). `param` names the offending field.
+    InvalidConfig { param: String, reason: String },
     /// Two graph nodes raced on overlapping regions of a shared buffer.
     /// Detected by the [`crate::sharedbuf::RegionBuf`] lease registry at
     /// run time; the engines catch the conflict and surface it here.
@@ -68,8 +70,20 @@ impl fmt::Display for HinchError {
                 write!(f, "manager '{manager}' refers to unknown option '{option}'")
             }
             HinchError::EmptyGraph => write!(f, "graph contains no components"),
-            HinchError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            HinchError::InvalidConfig { param, reason } => {
+                write!(f, "invalid configuration: {param}: {reason}")
+            }
             HinchError::LeaseConflict(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl HinchError {
+    /// Shorthand constructor for [`HinchError::InvalidConfig`].
+    pub fn invalid_config(param: impl Into<String>, reason: impl Into<String>) -> Self {
+        HinchError::InvalidConfig {
+            param: param.into(),
+            reason: reason.into(),
         }
     }
 }

@@ -300,9 +300,10 @@ impl GraphSpec {
                     // Options inside replicated bodies would need per-copy
                     // manager state; the model (and the paper's apps) keep
                     // options outside slice groups.
-                    return Err(HinchError::BadConfig(format!(
-                        "option '{name}' may not appear inside a slice/crossdep group"
-                    )));
+                    return Err(HinchError::invalid_config(
+                        "graph",
+                        format!("option '{name}' may not appear inside a slice/crossdep group"),
+                    ));
                 }
                 body.validate_structure(inside_data_parallel)
             }
@@ -608,7 +609,10 @@ mod tests {
             2,
             GraphSpec::option("o", true, leaf("x", &[], &["s"], 0)),
         );
-        assert!(matches!(g.validate(), Err(HinchError::BadConfig(_))));
+        assert!(matches!(
+            g.validate(),
+            Err(HinchError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -45,13 +45,15 @@ pub mod sharedbuf;
 pub mod stream;
 
 pub use component::{Component, ParamValue, Params, ReconfigRequest, RunCtx, SliceAssign};
-pub use engine::{run_native, run_sim, RunConfig};
+pub use engine::reference::RefReport;
+pub use engine::{run_native, run_reference, run_sim, RunConfig};
 pub use error::HinchError;
 pub use event::{Event, EventQueue};
 pub use graph::{ComponentFactory, ComponentSpec, GraphSpec, ManagerSpec};
 pub use manager::{EventAction, EventRule};
 pub use meter::{MemAccess, Meter, NullMeter, Platform, PlatformStats};
 pub use report::{RunReport, SimReport};
+pub use sched::SchedPolicy;
 
 /// Re-export of the flight-recorder crate, so downstream users can build
 /// sinks and exporters without a separate dependency (`hinch::trace`).

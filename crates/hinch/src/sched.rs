@@ -26,6 +26,87 @@ pub struct JobRef {
     pub idx: u32,
 }
 
+/// Tie-break policy for the central ready queue.
+///
+/// Whenever more than one job is ready, every choice among them is a
+/// *valid* schedule — the tracker already enforces all dependencies. The
+/// policy only decides which valid schedule the engine walks, which is
+/// exactly the degree of freedom differential testing needs to explore:
+/// a schedule-independent application must produce byte-identical output
+/// under every variant, and each variant is fully deterministic (in the
+/// sim engine) so any divergence replays from `(spec, policy, config)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// The engines' historical order: oldest iteration first, LIFO within
+    /// an iteration (sim); plain queue order (native).
+    #[default]
+    Default,
+    /// Strictly first-ready-first-served.
+    Fifo,
+    /// Strictly last-ready-first-served.
+    Lifo,
+    /// Seeded deterministic shuffle: priority is a hash of the seed and
+    /// the readiness sequence number, ignoring iteration age entirely.
+    Shuffle(u64),
+    /// Keeps oldest-iteration-first but replaces the within-iteration
+    /// LIFO tie-break with a seeded hash of the job's node index.
+    Perturb(u64),
+}
+
+impl SchedPolicy {
+    /// Priority key for a ready job (smaller pops first). `seq` is the
+    /// engine's monotonically increasing readiness sequence number; the
+    /// engines break remaining ties by `seq`, so the order is total.
+    pub fn key(&self, job: JobRef, seq: u64) -> (u64, u64) {
+        match *self {
+            SchedPolicy::Default => (job.iter, u64::MAX - seq),
+            SchedPolicy::Fifo => (0, seq),
+            SchedPolicy::Lifo => (0, u64::MAX - seq),
+            SchedPolicy::Shuffle(seed) => (0, splitmix64(seed ^ splitmix64(seq))),
+            SchedPolicy::Perturb(seed) => {
+                (job.iter, splitmix64(seed ^ splitmix64(job.idx as u64 + 1)))
+            }
+        }
+    }
+
+    /// Stable label for reports and CLI flags (`"shuffle:7"`).
+    pub fn label(&self) -> String {
+        match self {
+            SchedPolicy::Default => "default".into(),
+            SchedPolicy::Fifo => "fifo".into(),
+            SchedPolicy::Lifo => "lifo".into(),
+            SchedPolicy::Shuffle(seed) => format!("shuffle:{seed}"),
+            SchedPolicy::Perturb(seed) => format!("perturb:{seed}"),
+        }
+    }
+
+    /// Parse a [`SchedPolicy::label`] back into a policy.
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s {
+            "default" => return Some(SchedPolicy::Default),
+            "fifo" => return Some(SchedPolicy::Fifo),
+            "lifo" => return Some(SchedPolicy::Lifo),
+            _ => {}
+        }
+        let (kind, seed) = s.split_once(':')?;
+        let seed = seed.parse().ok()?;
+        match kind {
+            "shuffle" => Some(SchedPolicy::Shuffle(seed)),
+            "perturb" => Some(SchedPolicy::Perturb(seed)),
+            _ => None,
+        }
+    }
+}
+
+/// SplitMix64: a full-period 64-bit mixer (Steele et al.), used as the
+/// deterministic hash behind the seeded scheduling policies.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Per-iteration execution state.
 struct IterRun {
     dag: Arc<Dag>,
@@ -281,6 +362,55 @@ mod tests {
             tracker.complete(job, &mut ready);
         }
         order
+    }
+
+    #[test]
+    fn sched_policy_labels_round_trip() {
+        for p in [
+            SchedPolicy::Default,
+            SchedPolicy::Fifo,
+            SchedPolicy::Lifo,
+            SchedPolicy::Shuffle(7),
+            SchedPolicy::Perturb(u64::MAX),
+        ] {
+            assert_eq!(SchedPolicy::parse(&p.label()), Some(p), "{}", p.label());
+        }
+        assert_eq!(SchedPolicy::parse("banana"), None);
+        assert_eq!(SchedPolicy::parse("shuffle:x"), None);
+    }
+
+    #[test]
+    fn default_key_is_oldest_iteration_first_lifo_within() {
+        let p = SchedPolicy::Default;
+        let a = p.key(JobRef { iter: 0, idx: 5 }, 10);
+        let b = p.key(JobRef { iter: 0, idx: 1 }, 11); // readied later
+        let c = p.key(JobRef { iter: 1, idx: 0 }, 3);
+        assert!(b < a, "LIFO within an iteration");
+        assert!(a < c && b < c, "older iteration wins");
+    }
+
+    #[test]
+    fn fifo_and_lifo_keys_ignore_iteration_age() {
+        let young = JobRef { iter: 9, idx: 0 };
+        let old = JobRef { iter: 0, idx: 0 };
+        assert!(SchedPolicy::Fifo.key(young, 1) < SchedPolicy::Fifo.key(old, 2));
+        assert!(SchedPolicy::Lifo.key(old, 2) < SchedPolicy::Lifo.key(young, 1));
+    }
+
+    #[test]
+    fn seeded_policies_are_deterministic_and_seed_sensitive() {
+        let job = JobRef { iter: 3, idx: 7 };
+        assert_eq!(
+            SchedPolicy::Shuffle(42).key(job, 5),
+            SchedPolicy::Shuffle(42).key(job, 5)
+        );
+        assert_ne!(
+            SchedPolicy::Shuffle(42).key(job, 5),
+            SchedPolicy::Shuffle(43).key(job, 5)
+        );
+        // Perturb keeps the iteration as the major key.
+        let (major, _) = SchedPolicy::Perturb(1).key(job, 5);
+        assert_eq!(major, 3);
     }
 
     #[test]

@@ -260,15 +260,31 @@ fn per_node_profile_accounts_every_cycle() {
     assert_eq!(r.per_node["b"].mean(), 57.0);
 }
 
+/// Degenerate `RunConfig`s must be rejected up front with a structured
+/// error naming the offending parameter — on every engine, before any
+/// thread spawns or any job runs.
 #[test]
-fn zero_iterations_is_a_clean_noop() {
+fn zero_config_parameters_are_rejected_up_front() {
+    use hinch::engine::run_reference;
+    use hinch::HinchError;
     let g = tick("a", &[], &["s"], 1, None);
-    let r = run_native(&g, &RunConfig::new(0).workers(2)).unwrap();
-    assert_eq!(r.iterations, 0);
-    assert_eq!(r.jobs_executed, 0);
-    let mut p = NullPlatform::new(2);
-    let r = run_sim(&g, &RunConfig::new(0), &mut p).unwrap();
-    assert_eq!(r.cycles, 0);
+    let configs: [(&str, RunConfig); 3] = [
+        ("workers", RunConfig::new(4).workers(0)),
+        ("pipeline_depth", RunConfig::new(4).pipeline_depth(0)),
+        ("iterations", RunConfig::new(0)),
+    ];
+    for (want, cfg) in configs {
+        let check = |err: HinchError, engine: &str| {
+            let HinchError::InvalidConfig { param, .. } = err else {
+                panic!("{engine}: expected InvalidConfig for {want}, got {err}");
+            };
+            assert_eq!(param, want, "{engine}");
+        };
+        check(run_native(&g, &cfg).unwrap_err(), "native");
+        let mut p = NullPlatform::new(2);
+        check(run_sim(&g, &cfg, &mut p).unwrap_err(), "sim");
+        check(run_reference(&g, &cfg).unwrap_err(), "reference");
+    }
 }
 
 #[test]
@@ -293,15 +309,21 @@ fn native_report_profiles_nodes() {
         tick("b", &["s"], &["t"], 1, None),
         sink("c", &["t"]),
     ]);
+    // Native: structural output checks only — wall-clock bounds flake on
+    // loaded CI machines; cycle accounting is asserted on the sim below.
     let r = run_native(&g, &RunConfig::new(10).workers(2)).unwrap();
     assert_eq!(r.per_node.len(), 3);
     assert_eq!(r.per_node["a"].0, 10);
     assert_eq!(r.per_node["b"].0, 10);
-    let hottest = r.hottest_nodes();
-    assert_eq!(hottest.len(), 3);
-    // total busy time across nodes is bounded by workers × elapsed
-    let busy: std::time::Duration = hottest.iter().map(|(_, _, d)| *d).sum();
-    assert!(busy <= r.elapsed * 2 + std::time::Duration::from_millis(5));
+    assert_eq!(r.hottest_nodes().len(), 3);
+    // Sim: the per-node cycle profile exactly partitions the busy cycles.
+    let mut cfg = RunConfig::new(10);
+    cfg.overhead.job_base = 7;
+    let mut p = NullPlatform::new(2);
+    let s = run_sim(&g, &cfg, &mut p).unwrap();
+    let profiled: u64 = s.per_node.values().map(|pr| pr.cycles).sum();
+    assert_eq!(profiled, s.core_busy.iter().sum::<u64>());
+    assert_eq!(s.per_node["a"].jobs, 10);
 }
 
 #[test]
@@ -401,6 +423,178 @@ fn nested_options_stay_toggleable_after_outer_reenable() {
     );
 }
 
+/// Injector that sends `event` in the iterations listed in `at`.
+struct ScriptedInjector {
+    queue: EventQueue,
+    event: &'static str,
+    at: Vec<u64>,
+    /// Sends per matching iteration (two = back-to-back switch in one poll).
+    times: usize,
+}
+
+impl Component for ScriptedInjector {
+    fn class(&self) -> &'static str {
+        "scripted_injector"
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        if self.at.contains(&ctx.iteration()) {
+            for _ in 0..self.times {
+                self.queue.send(Event::new(self.event));
+            }
+        }
+    }
+}
+
+/// `manager { injector; src -> [option x] }` with a per-run log of the
+/// option body's executions; `at`/`times` script the injector.
+fn toggle_graph(at: Vec<u64>, times: usize) -> (GraphSpec, Log) {
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let q = EventQueue::new("q");
+    let qc = q.clone();
+    let inj = GraphSpec::Leaf(ComponentSpec::new(
+        "inj",
+        "scripted_injector",
+        factory(
+            move |_p: &Params| -> Box<dyn Component> {
+                Box::new(ScriptedInjector {
+                    queue: qc.clone(),
+                    event: "t",
+                    at: at.clone(),
+                    times,
+                })
+            },
+            Params::new(),
+        ),
+    ));
+    let mgr = ManagerSpec::new("m", q).on("t", vec![EventAction::Toggle("o".into())]);
+    let g = GraphSpec::managed(
+        mgr,
+        GraphSpec::seq(vec![
+            inj,
+            tick("a", &[], &["s"], 1, None),
+            GraphSpec::option("o", false, tick("x", &["s"], &["s2"], 1, Some(log.clone()))),
+        ]),
+    );
+    (g, log)
+}
+
+/// Iterations in which the option body ran, from its log.
+fn option_iterations(log: &Log) -> Vec<u64> {
+    log.lock()
+        .iter()
+        .map(|e| e.rsplit('@').next().unwrap().parse::<u64>().unwrap())
+        .collect()
+}
+
+/// A reconfiguration event raised *on the final iteration* either applies
+/// in the run's very last quiescent window (nothing runs after it) or —
+/// when sent by the last iteration itself — is simply never polled. Both
+/// must terminate cleanly on every engine.
+#[test]
+fn reconfig_event_on_the_final_iteration() {
+    use hinch::engine::run_reference;
+    // Sent at iteration 4 of 6 → polled by the entry of iteration 5 (the
+    // final one, depth 1): the plan applies after the final retirement,
+    // so the option flips but its body never executes.
+    let cfg = RunConfig::new(6).pipeline_depth(1);
+    let (g, log) = toggle_graph(vec![4], 1);
+    let r = run_reference(&g, &cfg).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (6, 1));
+    assert!(option_iterations(&log).is_empty(), "nothing runs after it");
+
+    let (g, log) = toggle_graph(vec![4], 1);
+    let mut p = NullPlatform::new(2);
+    let r = run_sim(&g, &cfg, &mut p).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (6, 1));
+    assert!(option_iterations(&log).is_empty());
+
+    let (g, log) = toggle_graph(vec![4], 1);
+    let r = run_native(&g, &cfg.clone().workers(2)).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (6, 1));
+    assert!(option_iterations(&log).is_empty());
+    // Sent by the final iteration itself → no entry left to poll it: the
+    // run terminates with the event still queued and no reconfiguration.
+    let cfg = RunConfig::new(6).pipeline_depth(1);
+    let (g, log) = toggle_graph(vec![5], 1);
+    let r = run_reference(&g, &cfg).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (6, 0));
+    assert!(option_iterations(&log).is_empty());
+    let (g, _) = toggle_graph(vec![5], 1);
+    let mut p = NullPlatform::new(2);
+    let r = run_sim(&g, &cfg, &mut p).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (6, 0));
+    let (g, _) = toggle_graph(vec![5], 1);
+    let r = run_native(&g, &cfg.workers(2)).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (6, 0));
+}
+
+/// Back-to-back option switches with zero completed iterations between
+/// them: events in consecutive iterations produce two quiescent windows
+/// in a row (the iteration admitted after the first window immediately
+/// raises the second), so the option body runs in exactly one iteration.
+#[test]
+fn back_to_back_switches_with_zero_iterations_between() {
+    use hinch::engine::run_reference;
+    let cfg = RunConfig::new(8).pipeline_depth(1);
+    let run_all = || {
+        let (g, log) = toggle_graph(vec![2, 3], 1);
+        let r = run_reference(&g, &cfg).unwrap();
+        let reference = (r.iterations, r.reconfigs, option_iterations(&log));
+        let (g, log) = toggle_graph(vec![2, 3], 1);
+        let mut p = NullPlatform::new(2);
+        let r = run_sim(&g, &cfg, &mut p).unwrap();
+        let sim = (r.iterations, r.reconfigs, option_iterations(&log));
+        let (g, log) = toggle_graph(vec![2, 3], 1);
+        let r = run_native(&g, &cfg.clone().workers(2)).unwrap();
+        let native = (r.iterations, r.reconfigs, option_iterations(&log));
+        (reference, sim, native)
+    };
+    let (reference, sim, native) = run_all();
+    // flip@2 → polled by entry 3, applied after iteration 3 → x covers
+    // iteration 4; flip@3 → polled by entry 4, applied after iteration 4.
+    assert_eq!(reference, (8, 2, vec![4]));
+    assert_eq!(sim, reference, "sim must agree with the oracle");
+    assert_eq!(native, reference, "native must agree with the oracle");
+
+    // Two toggles drained by a *single* poll cancel inside one plan: one
+    // reconfiguration, option ends disabled, body never runs.
+    let (g, log) = toggle_graph(vec![2], 2);
+    let r = run_reference(&g, &cfg).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (8, 1));
+    assert!(option_iterations(&log).is_empty(), "enable+disable cancel");
+    let (g, log) = toggle_graph(vec![2], 2);
+    let mut p = NullPlatform::new(2);
+    let r = run_sim(&g, &cfg, &mut p).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (8, 1));
+    assert!(option_iterations(&log).is_empty());
+}
+
+/// `pipeline_depth = 1` reconfiguration: with no overlap there is nothing
+/// to drain — every retirement is already a quiescent point. All three
+/// executors must agree on when the option body runs.
+#[test]
+fn depth_one_reconfig_has_no_overlap_to_drain() {
+    use hinch::engine::run_reference;
+    let cfg = RunConfig::new(12).pipeline_depth(1);
+    let (g, log) = toggle_graph(vec![1, 6], 1);
+    let r = run_reference(&g, &cfg).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (12, 2));
+    // enabled after iteration 2 retires, disabled after iteration 7.
+    let oracle_iters = option_iterations(&log);
+    assert_eq!(oracle_iters, vec![3, 4, 5, 6, 7]);
+
+    let (g, log) = toggle_graph(vec![1, 6], 1);
+    let mut p = NullPlatform::new(3);
+    let r = run_sim(&g, &cfg, &mut p).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (12, 2));
+    assert_eq!(option_iterations(&log), oracle_iters);
+
+    let (g, log) = toggle_graph(vec![1, 6], 1);
+    let r = run_native(&g, &cfg.workers(3)).unwrap();
+    assert_eq!((r.iterations, r.reconfigs), (12, 2));
+    assert_eq!(option_iterations(&log), oracle_iters);
+}
+
 #[test]
 fn soak_thousands_of_iterations_with_reconfig_churn() {
     struct Churn {
@@ -436,13 +630,9 @@ fn soak_thousands_of_iterations_with_reconfig_churn() {
             GraphSpec::option("o", false, tick("x", &["s"], &["s2"], 1, None)),
         ]),
     );
-    let start = std::time::Instant::now();
+    // Native soak: output/invariant checks only (no wall-clock bound —
+    // completion is the liveness check, timing flakes on loaded CI).
     let r = run_native(&g, &RunConfig::new(3000).workers(4).pipeline_depth(5)).unwrap();
     assert_eq!(r.iterations, 3000);
     assert!(r.reconfigs >= 50, "reconfigs = {}", r.reconfigs);
-    assert!(
-        start.elapsed() < std::time::Duration::from_secs(30),
-        "soak must not crawl: {:?}",
-        start.elapsed()
-    );
 }

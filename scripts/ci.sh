@@ -13,6 +13,9 @@
 #      (warnings included) allowed
 #   6. hinch-insight determinism: the JSON report for one simulated app
 #      must parse and be byte-identical across two separate runs
+#   7. hinch-conformance gate: a quick differential matrix (3 apps ×
+#      2 core counts × 2 seeded policies) must pass and its JSON summary
+#      must be byte-identical across two separate runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,5 +66,20 @@ if ! cmp -s "$insight_dir/run1.json" "$insight_dir/run2.json"; then
 fi
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$insight_dir/run1.json"
 echo "insight: JSON parses and is byte-identical across runs"
+
+echo "== conformance (differential gate) =="
+conf_dir=target/conformance-ci
+mkdir -p "$conf_dir"
+for run in 1 2; do
+    cargo run --offline -q -p conformance --bin hinch-conformance -- \
+        --format json > "$conf_dir/run$run.json"
+done
+if ! cmp -s "$conf_dir/run1.json" "$conf_dir/run2.json"; then
+    echo "conformance: summary is not stable across two runs" >&2
+    diff "$conf_dir/run1.json" "$conf_dir/run2.json" >&2 || true
+    exit 1
+fi
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$conf_dir/run1.json"
+echo "conformance: gate matrix passed, JSON byte-identical across runs"
 
 echo "ci: all green"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full differential conformance matrix — the heavyweight counterpart of
+# the quick gate that scripts/ci.sh runs on every change.
+#
+#   scripts/conformance.sh               # all 11 apps, the paper matrix
+#   scripts/conformance.sh --format json # machine-readable summary
+#
+# Sweeps every shipped application across the reference oracle, the
+# simulation engine (cores 1,2,4,9 × pipeline depths 1,2,5 × 8 seeded
+# schedule policies) and the native thread engine. Extra flags are
+# passed through to `hinch-conformance` (see --help). Expect a few
+# minutes in release mode; run before touching the scheduler, either
+# engine, or the reconfiguration protocol.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --offline --release -q -p conformance --bin hinch-conformance -- \
+    --full "$@"

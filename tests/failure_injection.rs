@@ -214,15 +214,12 @@ fn panicking_component_does_not_hang_other_workers() {
             Box::new(Reader)
         }),
     ]);
-    let start = std::time::Instant::now();
+    // This test *completing* is the liveness assertion — a deadlocked run
+    // trips the harness timeout rather than a flaky wall-clock bound.
     let result = catch_unwind(AssertUnwindSafe(|| {
         let _ = run_native(&g, &RunConfig::new(100).workers(4));
     }));
     assert!(result.is_err());
-    assert!(
-        start.elapsed() < std::time::Duration::from_secs(10),
-        "must not hang"
-    );
 }
 
 #[test]

@@ -1,203 +1,21 @@
 //! Randomized structural testing: arbitrary SPC trees must execute
 //! identically on both engines at any worker/core count and pipeline
 //! depth, and manager reconfiguration must follow an oracle model.
+//!
+//! The random-graph workload (shapes, mixing components, `build_app`)
+//! lives in `conformance::randspec`, shared with that crate's
+//! metamorphic schedule-independence suite.
 
-use hinch::component::{Component, Params, ReconfigRequest, RunCtx, SliceAssign};
+use conformance::randspec::{build_app, shape_strategy};
+use hinch::component::{Component, Params, RunCtx};
 use hinch::engine::{run_native, run_sim, RunConfig};
 use hinch::event::{Event, EventQueue};
 use hinch::graph::{factory, ComponentSpec, GraphSpec, ManagerSpec};
 use hinch::manager::EventAction;
 use hinch::meter::NullPlatform;
-use hinch::sharedbuf::RegionBuf;
 use parking_lot::Mutex;
 use proptest::prelude::*;
 use std::sync::Arc;
-
-// ---------------------------------------------------------------------
-// The workload: every stream carries a shared RegionBuf<i64>; components
-// fold their inputs, mix in a salt, and fill their slice's slots.
-// ---------------------------------------------------------------------
-
-fn mix(a: i64, b: i64) -> i64 {
-    a.wrapping_mul(6364136223846793005)
-        .wrapping_add(b)
-        .rotate_left(17)
-}
-
-fn fold(buf: &RegionBuf<i64>) -> i64 {
-    buf.lease_read_all()
-        .iter()
-        .fold(0i64, |acc, &v| mix(acc, v))
-}
-
-struct Mix {
-    salt: i64,
-    assign: SliceAssign,
-}
-
-impl Component for Mix {
-    fn class(&self) -> &'static str {
-        "mix"
-    }
-    fn run(&mut self, ctx: &mut RunCtx<'_>) {
-        let mut acc = mix(ctx.iteration() as i64, self.salt);
-        for p in 0..ctx.num_inputs() {
-            let buf = ctx.read::<RegionBuf<i64>>(p);
-            acc = mix(acc, fold(&buf));
-        }
-        let total = self.assign.total;
-        let out = ctx.write_shared::<RegionBuf<i64>, _>(0, || RegionBuf::new("mix", total));
-        out.lease_write(self.assign.range(total)).fill(acc);
-        ctx.charge(7);
-    }
-    fn reconfigure(&mut self, req: &ReconfigRequest) {
-        if let ReconfigRequest::Slice(a) = req {
-            self.assign = *a;
-        }
-    }
-}
-
-struct Record {
-    out: Arc<Mutex<Vec<i64>>>,
-}
-
-impl Component for Record {
-    fn class(&self) -> &'static str {
-        "record"
-    }
-    fn run(&mut self, ctx: &mut RunCtx<'_>) {
-        let buf = ctx.read::<RegionBuf<i64>>(0);
-        self.out.lock().push(fold(&buf));
-    }
-}
-
-fn mix_leaf(name: String, inputs: Vec<String>, output: String, salt: i64) -> GraphSpec {
-    let mut c = ComponentSpec::new(
-        name,
-        "mix",
-        factory(
-            move |_p: &Params| -> Box<dyn Component> {
-                Box::new(Mix {
-                    salt,
-                    assign: SliceAssign::WHOLE,
-                })
-            },
-            Params::new(),
-        ),
-    );
-    for i in inputs {
-        c = c.input(i);
-    }
-    c = c.output(output);
-    GraphSpec::Leaf(c)
-}
-
-// ---------------------------------------------------------------------
-// Random SPC shapes
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-enum Shape {
-    Leaf,
-    Seq(Vec<Shape>),
-    Task(Vec<Shape>),
-    Slice(usize, Box<Shape>),
-}
-
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    let leaf = Just(Shape::Leaf);
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Shape::Seq),
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Shape::Task),
-            (2usize..5, inner).prop_map(|(n, s)| Shape::Slice(n, Box::new(s))),
-        ]
-    })
-}
-
-struct GraphGen {
-    counter: usize,
-}
-
-impl GraphGen {
-    fn fresh(&mut self, prefix: &str) -> String {
-        self.counter += 1;
-        format!("{prefix}{}", self.counter)
-    }
-
-    /// Build a subtree consuming `input` and producing `output`.
-    fn build(&mut self, shape: &Shape, input: &str, output: &str) -> GraphSpec {
-        match shape {
-            Shape::Leaf => {
-                let name = self.fresh("leaf");
-                mix_leaf(
-                    name,
-                    vec![input.to_string()],
-                    output.to_string(),
-                    self.counter as i64,
-                )
-            }
-            Shape::Seq(children) => {
-                let mut parts = Vec::new();
-                let mut current = input.to_string();
-                for (i, child) in children.iter().enumerate() {
-                    let next = if i + 1 == children.len() {
-                        output.to_string()
-                    } else {
-                        self.fresh("s")
-                    };
-                    parts.push(self.build(child, &current, &next));
-                    current = next;
-                }
-                GraphSpec::Seq(parts)
-            }
-            Shape::Task(children) => {
-                // children in parallel on separate outputs, then a join
-                let mut parts = Vec::new();
-                let mut outs = Vec::new();
-                for child in children {
-                    let out = self.fresh("t");
-                    parts.push(self.build(child, input, &out));
-                    outs.push(out);
-                }
-                let join = mix_leaf(self.fresh("join"), outs, output.to_string(), 99);
-                GraphSpec::seq(vec![GraphSpec::Task(parts), join])
-            }
-            Shape::Slice(n, body) => {
-                let name = self.fresh("slice");
-                GraphSpec::Slice {
-                    name,
-                    n: *n,
-                    body: Box::new(self.build(body, input, output)),
-                }
-            }
-        }
-    }
-}
-
-fn build_app(shape: &Shape) -> (GraphSpec, Arc<Mutex<Vec<i64>>>) {
-    let mut gen = GraphGen { counter: 0 };
-    let body = gen.build(shape, "src_out", "final");
-    let src = mix_leaf("src".into(), vec![], "src_out".into(), 1);
-    let out = Arc::new(Mutex::new(Vec::new()));
-    let sink_out = out.clone();
-    let sink = GraphSpec::Leaf(
-        ComponentSpec::new(
-            "sink",
-            "record",
-            factory(
-                move |_p: &Params| -> Box<dyn Component> {
-                    Box::new(Record {
-                        out: sink_out.clone(),
-                    })
-                },
-                Params::new(),
-            ),
-        )
-        .input("final"),
-    );
-    (GraphSpec::seq(vec![src, body, sink]), out)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -193,6 +193,37 @@ fn reconfiguring_run_pairs_every_quiesce_window() {
 }
 
 #[test]
+fn csv_export_round_trips_a_full_reconfiguring_trace() {
+    // A reconfiguring run on the cache-modelled sim platform produces the
+    // richest event mix: job spans, core stalls, cache deltas, quiesce
+    // windows, DAG swaps and applied reconfigurations. The CSV exporter
+    // and `trace::input` parser must agree losslessly on all of them.
+    let cfg = AppConfig::small(App::Pip12).frames(30);
+    let (report, recorder) = run_sim_traced(cfg, 2);
+    assert!(report.reconfigs >= 1);
+    let events = recorder.events();
+    assert!(
+        count(&events, |e| matches!(e, TraceEvent::CoreStall { .. })) > 0,
+        "expected CoreStall events in a 2-core run"
+    );
+    assert!(
+        count(&events, |e| matches!(
+            e,
+            TraceEvent::JobSpan { cache: Some(_), .. }
+        )) > 0,
+        "expected cache-delta-carrying spans on the Machine platform"
+    );
+    assert!(
+        count(&events, |e| matches!(e, TraceEvent::ReconfigApplied { .. })) > 0,
+        "expected ReconfigApplied events from the toggle"
+    );
+
+    let text = csv(&events);
+    let parsed = hinch::trace::input::events_from_csv(&text).expect("parse exported CSV");
+    assert_eq!(parsed, events, "CSV round-trip must be lossless");
+}
+
+#[test]
 fn native_reconfiguring_run_pairs_quiesce_windows_too() {
     let cfg = AppConfig::small(App::Pip12).frames(30);
     let (report, recorder) = run_threads_traced(cfg, 2);
