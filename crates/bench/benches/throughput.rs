@@ -1,0 +1,173 @@
+//! Scheduler throughput: the work-stealing runtime vs the centralized
+//! ready queue, on the native engine.
+//!
+//! [`SchedPolicy::Default`] dispatches to the work-stealing path
+//! (per-worker deques + event-count parking); [`SchedPolicy::Fifo`]
+//! replays the pre-work-stealing engine exactly (one mutex-protected
+//! queue, `pop_front`, condvar broadcast on every completion). Running
+//! both in the same binary gives an apples-to-apples before/after
+//! comparison without checking out old code.
+//!
+//! Two workloads:
+//!
+//! * **glue micro-benchmark** — a `Task` of 16 tiny spin components, so
+//!   per-job scheduling overhead dominates. Reported as jobs/sec.
+//! * **end-to-end apps** — PiP-1 and Blur-3×3 at small scale, reported
+//!   as frames/sec.
+//!
+//! Harness-free (`harness = false`, own `main`): emits one JSON document
+//! to `$THROUGHPUT_OUT` (or stdout) for `scripts/bench.sh` to fold into
+//! `BENCH_native.json`. `$THROUGHPUT_QUICK=1` shrinks the run for CI
+//! smoke testing. Human-readable progress goes to stderr.
+
+use apps::experiment::{build, App, AppConfig};
+use hinch::component::{Component, Params, RunCtx};
+use hinch::engine::{run_native, RunConfig};
+use hinch::graph::factory;
+use hinch::{ComponentSpec, GraphSpec, RunReport, SchedPolicy};
+use std::fmt::Write as _;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const MICRO_WIDTH: usize = 16;
+
+struct Spin(u64);
+impl Component for Spin {
+    fn class(&self) -> &'static str {
+        "spin"
+    }
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        // tiny busy-work so dispatch overhead dominates the measurement
+        let mut x = self.0;
+        for _ in 0..16 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        self.0 = x;
+        ctx.charge(16);
+    }
+}
+
+/// `MICRO_WIDTH` independent spin components per iteration: maximum
+/// scheduler pressure, minimum component work.
+fn micro_spec() -> GraphSpec {
+    GraphSpec::task(
+        (0..MICRO_WIDTH)
+            .map(|i| {
+                GraphSpec::Leaf(ComponentSpec::new(
+                    format!("spin{i}"),
+                    "spin",
+                    factory(
+                        |_p: &Params| -> Box<dyn Component> { Box::new(Spin(7)) },
+                        Params::new(),
+                    ),
+                ))
+            })
+            .collect(),
+    )
+}
+
+/// Best-of-`repeats` run; returns the report with the shortest elapsed
+/// time (least scheduler noise).
+fn run_best(
+    spec: &GraphSpec,
+    iters: u64,
+    workers: usize,
+    policy: SchedPolicy,
+    repeats: usize,
+) -> RunReport {
+    let mut best: Option<RunReport> = None;
+    for _ in 0..repeats {
+        let cfg = RunConfig::new(iters).workers(workers).sched(policy);
+        let r = run_native(spec, &cfg).expect("bench run");
+        assert_eq!(r.iterations, iters, "bench run retired too few iterations");
+        if best.as_ref().is_none_or(|b| r.elapsed < b.elapsed) {
+            best = Some(r);
+        }
+    }
+    best.unwrap()
+}
+
+fn jobs_per_sec(r: &RunReport) -> f64 {
+    r.jobs_executed as f64 / r.elapsed.as_secs_f64().max(1e-9)
+}
+
+fn frames_per_sec(r: &RunReport) -> f64 {
+    r.iterations as f64 / r.elapsed.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let quick = std::env::var("THROUGHPUT_QUICK").is_ok();
+    let (micro_iters, frames, repeats) = if quick { (200, 4, 1) } else { (2_000, 32, 5) };
+
+    let mut json = String::from("{\n");
+    json.push_str("    \"generated_by\": \"cargo bench -p bench --bench throughput\",\n");
+    json.push_str("    \"note\": \"work_stealing = SchedPolicy::Default (per-worker deques); centralized = SchedPolicy::Fifo (the pre-work-stealing single-lock engine, byte-identical schedule semantics)\",\n");
+    let _ = writeln!(json, "    \"quick\": {quick},");
+
+    // ---- glue micro-benchmark -------------------------------------------
+    eprintln!(
+        "throughput: glue micro ({MICRO_WIDTH}-wide task, {micro_iters} iterations, best of {repeats})"
+    );
+    let spec = micro_spec();
+    json.push_str("    \"micro_jobs_per_sec\": {\n");
+    let _ = writeln!(json, "        \"width\": {MICRO_WIDTH},");
+    let _ = writeln!(json, "        \"iterations\": {micro_iters},");
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    for (wi, &workers) in WORKERS.iter().enumerate() {
+        let fifo = run_best(&spec, micro_iters, workers, SchedPolicy::Fifo, repeats);
+        let ws = run_best(&spec, micro_iters, workers, SchedPolicy::Default, repeats);
+        let (jf, jw) = (jobs_per_sec(&fifo), jobs_per_sec(&ws));
+        let speedup = jw / jf;
+        speedups.push((workers, speedup));
+        eprintln!(
+            "  workers={workers}: centralized {jf:>12.0} jobs/s | work-stealing {jw:>12.0} jobs/s | {speedup:.2}x"
+        );
+        let _ = writeln!(
+            json,
+            "        \"workers_{workers}\": {{ \"centralized\": {jf:.0}, \"work_stealing\": {jw:.0}, \"speedup\": {speedup:.3} }}{}",
+            if wi + 1 < WORKERS.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    },\n");
+
+    // ---- end-to-end apps ------------------------------------------------
+    json.push_str("    \"apps_frames_per_sec\": {\n");
+    let apps: [(App, &str); 2] = [(App::Pip1, "pip1"), (App::Blur3, "blur3")];
+    for (ai, &(app, name)) in apps.iter().enumerate() {
+        eprintln!("throughput: {name} (small, {frames} frames, best of {repeats})");
+        let built = build(AppConfig::small(app).frames(frames));
+        let _ = writeln!(json, "        \"{name}\": {{");
+        for (wi, &workers) in WORKERS.iter().enumerate() {
+            let fifo = run_best(&built.spec, frames, workers, SchedPolicy::Fifo, repeats);
+            let ws = run_best(&built.spec, frames, workers, SchedPolicy::Default, repeats);
+            let (ff, fw) = (frames_per_sec(&fifo), frames_per_sec(&ws));
+            eprintln!(
+                "  workers={workers}: centralized {ff:>8.1} fps | work-stealing {fw:>8.1} fps"
+            );
+            let _ = writeln!(
+                json,
+                "            \"workers_{workers}\": {{ \"centralized\": {ff:.1}, \"work_stealing\": {fw:.1} }}{}",
+                if wi + 1 < WORKERS.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "        }}{}",
+            if ai + 1 < apps.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    }\n}\n");
+
+    match std::env::var("THROUGHPUT_OUT") {
+        Ok(path) => {
+            std::fs::write(&path, &json).expect("write THROUGHPUT_OUT");
+            eprintln!("throughput: wrote {path}");
+        }
+        Err(_) => print!("{json}"),
+    }
+
+    // The acceptance bar lives in scripts/bench.sh; echo the headline here
+    // so an interactive `cargo bench` run shows it too.
+    for (workers, speedup) in speedups {
+        eprintln!("throughput: micro speedup at {workers} worker(s): {speedup:.2}x");
+    }
+}

@@ -555,11 +555,14 @@ fn run_app(cfg: &MatrixConfig, app: ConfApp) -> AppSummary {
 
     // 4. The native sweep. A seeded pop-order policy biases each cell
     // into a different schedule-space corner (thread interleaving adds
-    // its own nondeterminism on top — outputs must still conform).
+    // its own nondeterminism on top — outputs must still conform), and a
+    // `Default` run per cell covers the work-stealing fast path, which
+    // must stay fingerprint-equal to the oracle like any other schedule.
     for &workers in &cfg.workers {
         for &depth in &cfg.depths {
             let policy = SchedPolicy::Shuffle(cfg.base_seed ^ depth as u64);
             runner.native_run(workers, depth, policy);
+            runner.native_run(workers, depth, SchedPolicy::Default);
         }
     }
     runner.summary

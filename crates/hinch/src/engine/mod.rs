@@ -12,6 +12,7 @@
 pub mod native;
 pub mod reference;
 pub mod sim;
+mod ws;
 
 pub use native::run_native;
 pub use reference::run_reference;

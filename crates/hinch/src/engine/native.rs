@@ -10,7 +10,7 @@ use super::{apply_plans, exec_manager_entry, PreparedReconfig, RunConfig};
 use crate::component::RunCtx;
 use crate::error::HinchError;
 use crate::graph::flatten::{flatten, JobKind};
-use crate::graph::instance::{instantiate_graph, InstanceGraph};
+use crate::graph::instance::{instantiate_graph_sized, InstanceGraph};
 use crate::graph::GraphSpec;
 use crate::meter::NullMeter;
 use crate::report::RunReport;
@@ -130,7 +130,13 @@ fn wait_cause(shared: &Shared, state: &State) -> StallCause {
 pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchError> {
     spec.validate()?;
     cfg.validate()?;
-    let inst = instantiate_graph(spec);
+    if matches!(cfg.sched, crate::sched::SchedPolicy::Default) {
+        // Fast path: the work-stealing runtime. The seeded exploration
+        // policies (fifo/lifo/shuffle/perturb) need a centralized queue to
+        // replay deterministically, so they stay on the engine below.
+        return super::ws::run_ws(spec, cfg);
+    }
+    let inst = instantiate_graph_sized(spec, cfg.pipeline_depth);
     let dag = Arc::new(flatten(&inst.root, &inst.streams, 0));
     let mut tracker = Tracker::new(dag, cfg.pipeline_depth, cfg.iterations);
     let mut ready = Vec::new();
@@ -296,8 +302,14 @@ fn execute(shared: &Shared, job: JobRef, core: u32) {
             let mut meter = NullMeter;
             let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
             {
-                let _node = crate::sharedbuf::enter_node(&leaf.name);
-                leaf.comp.lock().run(&mut ctx);
+                let _node = crate::sharedbuf::enter_node_shared(leaf.tag.clone());
+                // See `LeafRt::comp`: the tracker's per-node self-dependency
+                // guarantees exclusive ownership of this instance for the
+                // duration of the job, so a blocked lock is a scheduler bug.
+                leaf.comp
+                    .try_lock()
+                    .expect("per-node mutual exclusion violated (scheduler bug)")
+                    .run(&mut ctx);
             }
             let busy = started.elapsed();
             if let Some(sink) = &shared.trace {

@@ -23,7 +23,7 @@ use super::{apply_plans, exec_manager_entry, PreparedReconfig, RunConfig};
 use crate::component::RunCtx;
 use crate::error::HinchError;
 use crate::graph::flatten::{flatten, JobKind};
-use crate::graph::instance::instantiate_graph;
+use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
 use crate::meter::NullMeter;
 use crate::sched::{Effect, JobRef, Tracker};
@@ -54,7 +54,8 @@ pub struct RefReport {
 pub fn run_reference(spec: &GraphSpec, cfg: &RunConfig) -> Result<RefReport, HinchError> {
     spec.validate()?;
     cfg.validate()?;
-    let inst = instantiate_graph(spec);
+    // Depth is forced to 1, so single-slot stream rings suffice.
+    let inst = instantiate_graph_sized(spec, 1);
     let mut version = 0u64;
     let dag = Arc::new(flatten(&inst.root, &inst.streams, version));
     let mut tracker = Tracker::new(dag, 1, cfg.iterations);
@@ -77,8 +78,12 @@ pub fn run_reference(spec: &GraphSpec, cfg: &RunConfig) -> Result<RefReport, Hin
                 let mut meter = NullMeter;
                 let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let _node = crate::sharedbuf::enter_node(&leaf.name);
-                    leaf.comp.lock().run(&mut ctx);
+                    let _node = crate::sharedbuf::enter_node_shared(leaf.tag.clone());
+                    // See `LeafRt::comp`: sequential execution, never contended.
+                    leaf.comp
+                        .try_lock()
+                        .expect("per-node mutual exclusion violated (scheduler bug)")
+                        .run(&mut ctx);
                 }));
                 if let Err(payload) = run {
                     match payload.downcast::<crate::sharedbuf::LeaseConflict>() {

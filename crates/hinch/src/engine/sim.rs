@@ -18,7 +18,7 @@ use super::{apply_plans, exec_manager_entry, PreparedReconfig, RunConfig};
 use crate::component::RunCtx;
 use crate::error::HinchError;
 use crate::graph::flatten::{flatten, JobKind};
-use crate::graph::instance::instantiate_graph;
+use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
 use crate::meter::{Platform, PlatformMeter};
 use crate::report::SimReport;
@@ -99,7 +99,7 @@ pub fn run_sim(
         ));
     }
 
-    let inst = instantiate_graph(spec);
+    let inst = instantiate_graph_sized(spec, cfg.pipeline_depth);
     let mut version = 0u64;
     let dag = Arc::new(flatten(&inst.root, &inst.streams, version));
     let mut tracker = Tracker::new(dag, cfg.pipeline_depth, cfg.iterations);
@@ -456,8 +456,13 @@ fn exec_job(
             let mut meter = PlatformMeter::new(platform);
             let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let _node = crate::sharedbuf::enter_node(&leaf.name);
-                leaf.comp.lock().run(&mut ctx);
+                let _node = crate::sharedbuf::enter_node_shared(leaf.tag.clone());
+                // See `LeafRt::comp`: the self-dependency makes contention
+                // here a scheduler bug, not a wait.
+                leaf.comp
+                    .try_lock()
+                    .expect("per-node mutual exclusion violated (scheduler bug)")
+                    .run(&mut ctx);
             }));
             if let Err(payload) = run {
                 match payload.downcast::<crate::sharedbuf::LeaseConflict>() {

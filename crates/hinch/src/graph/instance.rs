@@ -24,18 +24,46 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Shared name → stream table. Grows monotonically; re-enabled options
-/// reconnect to the same streams by key.
-pub type StreamTable = Arc<Mutex<HashMap<String, Arc<Stream>>>>;
+/// reconnect to the same streams by key. Every stream it creates — at
+/// instantiation or mid-run when a manager pre-builds an option body —
+/// carries the same slot capacity, which the engines size from their
+/// pipeline depth (see [`crate::stream::Stream::with_capacity`]).
+pub struct StreamMap {
+    map: Mutex<HashMap<String, Arc<Stream>>>,
+    slot_capacity: usize,
+}
+
+impl StreamMap {
+    /// The name → stream map itself (locked).
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, HashMap<String, Arc<Stream>>> {
+        self.map.lock()
+    }
+
+    /// Ring capacity every stream of this table is created with.
+    pub fn slot_capacity(&self) -> usize {
+        self.slot_capacity
+    }
+}
+
+pub type StreamTable = Arc<StreamMap>;
 
 pub fn new_stream_table() -> StreamTable {
-    Arc::new(Mutex::new(HashMap::new()))
+    new_stream_table_sized(crate::stream::DEFAULT_CAPACITY)
+}
+
+/// A stream table whose streams hold `slot_capacity` ring slots each.
+pub fn new_stream_table_sized(slot_capacity: usize) -> StreamTable {
+    Arc::new(StreamMap {
+        map: Mutex::new(HashMap::new()),
+        slot_capacity: slot_capacity.max(1),
+    })
 }
 
 fn get_or_create(table: &StreamTable, key: &str) -> Arc<Stream> {
     table
         .lock()
         .entry(key.to_string())
-        .or_insert_with(|| Stream::new(key))
+        .or_insert_with(|| Stream::with_capacity(key, table.slot_capacity))
         .clone()
 }
 
@@ -43,14 +71,26 @@ fn get_or_create(table: &StreamTable, key: &str) -> Arc<Stream> {
 pub struct LeafRt {
     pub id: NodeId,
     pub name: String,
+    /// `name` as a shared string, cloned refcount-only per job to tag the
+    /// executing thread (see [`crate::sharedbuf::enter_node_shared`]).
+    pub tag: Arc<str>,
     pub class: String,
     pub inputs: Vec<Arc<Stream>>,
     pub outputs: Vec<Arc<Stream>>,
     /// The composed slice assignment delivered to this instance, if it
     /// lives inside a replication group (for introspection/diagnostics).
     pub slice: Option<SliceAssign>,
-    /// The instance itself. The per-node self-dependency in the scheduler
-    /// guarantees the lock is uncontended during normal execution.
+    /// The instance itself.
+    ///
+    /// # Mutual-exclusion invariant
+    ///
+    /// The scheduler's per-node self-dependency guarantees at most one
+    /// in-flight job per node at any time: iteration *i+1* of a node is
+    /// only released once iteration *i* of the same node completed, and a
+    /// reconfiguration quiesces the whole pipeline before a re-flattened
+    /// DAG (which may reuse this instance) admits new jobs. The engines
+    /// therefore acquire this lock with `try_lock().expect(..)` — a
+    /// blocked acquisition is a scheduler bug, never legitimate waiting.
     pub comp: Mutex<Box<dyn Component>>,
 }
 
@@ -69,9 +109,11 @@ impl LeafRt {
         if let Some(assign) = slice {
             comp.reconfigure(&ReconfigRequest::Slice(assign));
         }
+        let name = format!("{}{}", spec.name, copy_suffix);
         Arc::new(LeafRt {
             id: NodeId::fresh(),
-            name: format!("{}{}", spec.name, copy_suffix),
+            tag: Arc::from(name.as_str()),
+            name,
             class: spec.class.clone(),
             inputs,
             outputs,
@@ -383,9 +425,17 @@ pub struct InstanceGraph {
     pub streams: StreamTable,
 }
 
-/// Instantiate a validated spec.
+/// Instantiate a validated spec with default-capacity streams.
 pub fn instantiate_graph(spec: &GraphSpec) -> InstanceGraph {
-    let streams = new_stream_table();
+    instantiate_graph_sized(spec, crate::stream::DEFAULT_CAPACITY)
+}
+
+/// Instantiate a validated spec; every stream gets `slot_capacity` ring
+/// slots. The engines pass their pipeline depth — the admission controller
+/// keeps at most that many iterations in flight, so the ring never wraps
+/// onto a live slot.
+pub fn instantiate_graph_sized(spec: &GraphSpec, slot_capacity: usize) -> InstanceGraph {
+    let streams = new_stream_table_sized(slot_capacity);
     let mut env = InstEnv {
         streams: streams.clone(),
         rename: HashMap::new(),

@@ -188,11 +188,11 @@ impl Tracker {
     }
 
     /// The DAG executing iteration `iter` (current window's version).
-    pub fn dag_of(&self, iter: u64) -> Arc<Dag> {
-        self.runs
-            .get(&iter)
-            .map(|r| r.dag.clone())
-            .unwrap_or_else(|| self.dag.clone())
+    /// Borrowed, not cloned — the engines hit this on every retirement
+    /// (and the sim on every dispatch), so the refcount stays untouched
+    /// unless a caller actually keeps the `Arc`.
+    pub fn dag_of(&self, iter: u64) -> &Arc<Dag> {
+        self.runs.get(&iter).map(|r| &r.dag).unwrap_or(&self.dag)
     }
 
     pub fn current_dag(&self) -> Arc<Dag> {

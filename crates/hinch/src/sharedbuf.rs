@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use std::cell::{RefCell, UnsafeCell};
 use std::fmt;
 use std::ops::{Deref, DerefMut, Range};
+use std::sync::Arc;
 
 /// Kind of access a lease grants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,23 +85,31 @@ impl fmt::Display for LeaseConflict {
 thread_local! {
     /// Name of the graph node the current thread is executing, set by the
     /// engines around component runs so lease conflicts can name their
-    /// parties.
-    static CURRENT_NODE: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// parties. `Arc<str>` so that tagging a job and capturing the holder
+    /// of a lease are refcount clones, not per-job string allocations.
+    static CURRENT_NODE: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
 }
 
 /// Tag the current thread as executing graph node `name` until the guard
 /// drops. Used by the engines; nesting restores the previous tag.
 pub fn enter_node(name: &str) -> NodeGuard {
-    let prev = CURRENT_NODE.with(|c| c.replace(Some(name.to_string())));
+    enter_node_shared(Arc::from(name))
+}
+
+/// Allocation-free variant of [`enter_node`]: the engines pass the leaf's
+/// pre-built shared tag (`LeafRt::tag`), so the per-job cost is two
+/// refcount bumps.
+pub fn enter_node_shared(name: Arc<str>) -> NodeGuard {
+    let prev = CURRENT_NODE.with(|c| c.replace(Some(name)));
     NodeGuard(prev)
 }
 
-fn current_node() -> Option<String> {
+fn current_node() -> Option<Arc<str>> {
     CURRENT_NODE.with(|c| c.borrow().clone())
 }
 
 /// Restores the previous node tag on drop (see [`enter_node`]).
-pub struct NodeGuard(Option<String>);
+pub struct NodeGuard(Option<Arc<str>>);
 
 impl Drop for NodeGuard {
     fn drop(&mut self) {
@@ -111,8 +120,10 @@ impl Drop for NodeGuard {
 #[derive(Debug)]
 struct Registry {
     /// Outstanding leases as (range, kind, holder). Small (≤ #slice
-    /// copies), so a linear scan is faster than anything clever.
-    active: Vec<(Range<usize>, LeaseKind, Option<String>)>,
+    /// copies), so a linear scan is faster than anything clever. Holders
+    /// are shared tags — owned `String`s only materialize on the cold
+    /// conflict path.
+    active: Vec<(Range<usize>, LeaseKind, Option<Arc<str>>)>,
 }
 
 impl Registry {
@@ -136,10 +147,10 @@ impl Registry {
                     buffer: name.to_string(),
                     requested: range,
                     requested_kind: kind,
-                    requester: current_node(),
+                    requester: current_node().map(|n| n.to_string()),
                     active: r.clone(),
                     active_kind: *k,
-                    holder: holder.clone(),
+                    holder: holder.as_ref().map(|n| n.to_string()),
                 });
             }
         }

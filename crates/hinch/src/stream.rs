@@ -8,34 +8,139 @@
 //! admission controller never lets more than `K` iterations be in flight,
 //! so a stream never holds more than `K` live slots.
 //!
+//! Storage is a fixed ring of `capacity` slots, iteration `i` mapping to
+//! slot `i % capacity`. Each slot carries an atomic *tag* encoding its
+//! state (`EMPTY`, `BUSY(iter)` while a shared writer initializes it, or
+//! `FULL(iter)`) next to an [`UnsafeCell`] holding the payload, so the hot
+//! path — one write and a few reads per stream per iteration — touches no
+//! lock and allocates nothing.
+//!
 //! Writers are single (per iteration) except for *shared* writes used by
 //! sliced groups: every copy of the group calls [`Stream::write_shared`],
 //! the first call allocates the shared payload (e.g. an output frame backed
 //! by [`crate::sharedbuf::RegionBuf`]) and all calls return the same `Arc`,
 //! after which each copy leases its disjoint region and fills it.
+//!
+//! # Safety argument
+//!
+//! The payload cell of a slot is written only (a) by the slot's unique
+//! writer before it publishes the `FULL` tag with `Release`, (b) by the
+//! winner of the `EMPTY → BUSY` CAS of a shared write, again before the
+//! `Release`-publish, or (c) by [`Stream::clear`] at iteration retirement,
+//! which the scheduler orders strictly after every reader of that
+//! iteration (an iteration only retires once all of its jobs are done)
+//! and strictly before any writer of iteration `i + capacity` (admission
+//! never exceeds the pipeline depth, and retirement/admission are ordered
+//! by the engines). Readers observe the tag with `Acquire` before touching
+//! the cell, so the writer's payload store happens-before every read, and
+//! while a slot is `FULL` the cell is immutable — concurrent readers only
+//! clone the `Arc` through a shared reference.
 
 use crate::packet::{pack, unpack, Packet};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cell::UnsafeCell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Slot capacity of [`Stream::new`]. The engines size streams explicitly
+/// from their pipeline depth; the default only serves directly-constructed
+/// streams (tests, analysis passes) and exceeds every default `RunConfig`.
+pub const DEFAULT_CAPACITY: usize = 8;
+
+/// Slot tag encoding. `EMPTY` is 0 so a zeroed slot is empty; a non-empty
+/// tag stores the iteration (shifted) plus a busy/full bit, so a slot can
+/// always tell *which* iteration owns it — a write landing on a slot still
+/// owned by another iteration is a pipeline-depth violation and panics
+/// instead of corrupting data.
+const EMPTY: u64 = 0;
+
+#[inline]
+fn busy(iter: u64) -> u64 {
+    iter * 2 + 1
+}
+
+#[inline]
+fn full(iter: u64) -> u64 {
+    iter * 2 + 2
+}
+
+/// Decodes a non-empty tag into (iteration, is_full).
+#[inline]
+fn decode(tag: u64) -> (u64, bool) {
+    ((tag - 1) / 2, tag.is_multiple_of(2))
+}
+
+struct Slot {
+    tag: AtomicU64,
+    packet: UnsafeCell<Option<Packet>>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            tag: AtomicU64::new(EMPTY),
+            packet: UnsafeCell::new(None),
+        }
+    }
+}
 
 /// An iteration-indexed stream.
 pub struct Stream {
     name: String,
-    slots: Mutex<HashMap<u64, Packet>>,
+    slots: Box<[Slot]>,
 }
 
+// SAFETY: all access to the payload `UnsafeCell`s is ordered through the
+// per-slot atomic tag as laid out in the module-level safety argument.
+unsafe impl Send for Stream {}
+unsafe impl Sync for Stream {}
+
 impl Stream {
+    /// A stream with [`DEFAULT_CAPACITY`] slots.
     pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Self::with_capacity(name, DEFAULT_CAPACITY)
+    }
+
+    /// A stream with a ring of `capacity` slots (at least 1). The engines
+    /// pass their pipeline depth: at most `depth` iterations are in flight,
+    /// so `depth` slots can never collide.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Arc<Self> {
         Arc::new(Self {
             name: name.into(),
-            slots: Mutex::new(HashMap::new()),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
         })
     }
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Number of ring slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot(&self, iter: u64) -> &Slot {
+        &self.slots[(iter % self.slots.len() as u64) as usize]
+    }
+
+    #[cold]
+    fn bad_slot(&self, iter: u64, tag: u64, op: &str) -> ! {
+        let (owner, is_full) = decode(tag);
+        if owner == iter && is_full {
+            panic!(
+                "stream '{}': slot for iteration {iter} written twice (two writers?)",
+                self.name
+            );
+        }
+        panic!(
+            "stream '{}': {op} for iteration {iter} hit a slot still owned by \
+             iteration {owner} — more than {} iterations in flight (pipeline-depth \
+             violation / scheduling bug)",
+            self.name,
+            self.capacity()
+        );
     }
 
     /// Store the packet for `iter`.
@@ -44,27 +149,34 @@ impl Stream {
     /// If the slot is already filled — a stream has a single writer per
     /// iteration (use [`Stream::write_shared`] for sliced groups).
     pub fn write(&self, iter: u64, packet: Packet) {
-        let mut slots = self.slots.lock();
-        let prev = slots.insert(iter, packet);
-        assert!(
-            prev.is_none(),
-            "stream '{}': slot for iteration {iter} written twice (two writers?)",
-            self.name
-        );
+        let slot = self.slot(iter);
+        // Claim the slot; the single-writer discipline means no contention
+        // here, a failed CAS is always a bug we can name.
+        if let Err(tag) =
+            slot.tag
+                .compare_exchange(EMPTY, busy(iter), Ordering::Acquire, Ordering::Acquire)
+        {
+            self.bad_slot(iter, tag, "write");
+        }
+        // SAFETY: the CAS above made this thread the slot's unique owner;
+        // no reader touches the cell until the FULL tag is published.
+        unsafe { *slot.packet.get() = Some(packet) };
+        slot.tag.store(full(iter), Ordering::Release);
     }
 
     /// Store-or-get the shared packet for `iter`.
     ///
     /// The first caller's `init` runs and fills the slot; later callers get
-    /// the same value. Panics if the slot holds a value of a different type.
+    /// the same value (spinning out the short window in which the winner is
+    /// still initializing). Panics if the slot holds a value of a different
+    /// type.
     pub fn write_shared<T, F>(&self, iter: u64, init: F) -> Arc<T>
     where
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let mut slots = self.slots.lock();
-        let packet = slots.entry(iter).or_insert_with(|| pack(init()));
-        unpack::<T>(packet).unwrap_or_else(|| {
+        let packet = self.write_shared_with(iter, || pack(init()));
+        unpack::<T>(&packet).unwrap_or_else(|| {
             panic!(
                 "stream '{}': shared slot for iteration {iter} holds a different payload type",
                 self.name
@@ -79,18 +191,57 @@ impl Stream {
     /// # Panics
     /// If the slot already holds a *different* payload.
     pub fn write_shared_packet(&self, iter: u64, packet: Packet) {
-        let mut slots = self.slots.lock();
-        match slots.entry(iter) {
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(packet);
+        let existing = self.write_shared_with(iter, || packet.clone());
+        assert!(
+            Arc::ptr_eq(&existing, &packet),
+            "stream '{}': iteration {iter} forwarded two different buffers",
+            self.name
+        );
+    }
+
+    /// Shared-write core: first caller's `init` fills the slot, everyone
+    /// gets the stored packet.
+    fn write_shared_with<F: FnOnce() -> Packet>(&self, iter: u64, init: F) -> Packet {
+        let slot = self.slot(iter);
+        let mut init = Some(init);
+        loop {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == EMPTY {
+                if slot
+                    .tag
+                    .compare_exchange(EMPTY, busy(iter), Ordering::Acquire, Ordering::Acquire)
+                    .is_err()
+                {
+                    continue; // lost the race; re-inspect the tag
+                }
+                // Restore EMPTY if `init` unwinds (e.g. a lease-conflict
+                // panic mid-allocation) so spinning co-writers don't hang.
+                struct Unclaim<'a>(&'a Slot);
+                impl Drop for Unclaim<'_> {
+                    fn drop(&mut self) {
+                        self.0.tag.store(EMPTY, Ordering::Release);
+                    }
+                }
+                let guard = Unclaim(slot);
+                let packet = (init.take().expect("init consumed once"))();
+                std::mem::forget(guard);
+                // SAFETY: unique owner via the CAS above, cf. `write`.
+                unsafe { *slot.packet.get() = Some(packet.clone()) };
+                slot.tag.store(full(iter), Ordering::Release);
+                return packet;
             }
-            std::collections::hash_map::Entry::Occupied(o) => {
-                assert!(
-                    Arc::ptr_eq(o.get(), &packet),
-                    "stream '{}': iteration {iter} forwarded two different buffers",
-                    self.name
-                );
+            let (owner, is_full) = decode(tag);
+            if owner != iter {
+                self.bad_slot(iter, tag, "shared write");
             }
+            if is_full {
+                // SAFETY: tag FULL(iter) read with Acquire — the payload
+                // store happened-before; the cell is immutable while FULL.
+                let stored = unsafe { (*slot.packet.get()).clone() };
+                return stored.expect("FULL slot holds a packet");
+            }
+            // Another copy is initializing this very iteration's payload.
+            std::hint::spin_loop();
         }
     }
 
@@ -100,13 +251,18 @@ impl Stream {
     /// If the slot is empty — the task graph must schedule the writer
     /// before every reader, so an empty slot is a scheduling bug.
     pub fn read(&self, iter: u64) -> Packet {
-        self.slots.lock().get(&iter).cloned().unwrap_or_else(|| {
-            panic!(
-                "stream '{}': read of iteration {iter} before it was written \
+        let slot = self.slot(iter);
+        let tag = slot.tag.load(Ordering::Acquire);
+        if tag == full(iter) {
+            // SAFETY: FULL(iter) observed with Acquire, cf. the module docs.
+            let stored = unsafe { (*slot.packet.get()).clone() };
+            return stored.expect("FULL slot holds a packet");
+        }
+        panic!(
+            "stream '{}': read of iteration {iter} before it was written \
                      (scheduling bug)",
-                self.name
-            )
-        })
+            self.name
+        )
     }
 
     /// Read and downcast the packet for `iter`.
@@ -124,17 +280,32 @@ impl Stream {
 
     /// Whether iteration `iter` has been written.
     pub fn has(&self, iter: u64) -> bool {
-        self.slots.lock().contains_key(&iter)
+        self.slot(iter).tag.load(Ordering::Acquire) == full(iter)
     }
 
-    /// Reclaim the slot of a retired iteration.
+    /// Reclaim the slot of a retired iteration (no-op if the iteration
+    /// never wrote the stream, e.g. its writer sits in a disabled option).
+    ///
+    /// The scheduler calls this only after every job of `iter` is done and
+    /// before any job of `iter + capacity` starts, so no reader or writer
+    /// is concurrent with the payload drop.
     pub fn clear(&self, iter: u64) {
-        self.slots.lock().remove(&iter);
+        let slot = self.slot(iter);
+        let tag = slot.tag.load(Ordering::Acquire);
+        if tag != EMPTY && decode(tag).0 == iter {
+            // SAFETY: retirement orders this after all readers of `iter`
+            // and before all writers of `iter + capacity` (see above).
+            unsafe { *slot.packet.get() = None };
+            slot.tag.store(EMPTY, Ordering::Release);
+        }
     }
 
     /// Number of live slots (bounded by the pipeline depth at run time).
     pub fn live_slots(&self) -> usize {
-        self.slots.lock().len()
+        self.slots
+            .iter()
+            .filter(|s| s.tag.load(Ordering::Acquire) != EMPTY)
+            .count()
     }
 }
 
@@ -142,6 +313,7 @@ impl fmt::Debug for Stream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Stream")
             .field("name", &self.name)
+            .field("capacity", &self.capacity())
             .field("live_slots", &self.live_slots())
             .finish()
     }
@@ -205,5 +377,51 @@ mod tests {
         let s = Stream::new("s");
         s.write(0, pack(1u8));
         let _ = s.read_as::<String>(0);
+    }
+
+    #[test]
+    fn ring_reuses_slots_across_wraps() {
+        let s = Stream::with_capacity("s", 2);
+        for iter in 0..10u64 {
+            s.write(iter, pack(iter as i64));
+            assert_eq!(*s.read_as::<i64>(iter), iter as i64);
+            s.clear(iter);
+            assert!(!s.has(iter));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline-depth violation")]
+    fn overfull_ring_panics_instead_of_corrupting() {
+        let s = Stream::with_capacity("s", 2);
+        s.write(0, pack(0u8));
+        s.write(1, pack(1u8));
+        s.write(2, pack(2u8)); // slot of 0 still live
+    }
+
+    #[test]
+    fn clear_of_foreign_iteration_is_a_noop() {
+        let s = Stream::with_capacity("s", 2);
+        s.write(2, pack(9u8));
+        // iteration 0 shares slot 0 with 2 but never wrote; its retirement
+        // must not reclaim iteration 2's payload
+        s.clear(0);
+        assert!(s.has(2));
+        assert_eq!(*s.read_as::<u8>(2), 9);
+    }
+
+    #[test]
+    fn shared_writers_race_to_one_payload() {
+        let s = Stream::with_capacity("s", 4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let v = s.write_shared(0, || vec![7u8; 8]);
+                Arc::as_ptr(&v) as usize
+            }));
+        }
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
     }
 }

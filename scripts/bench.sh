@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Performance snapshot: figures + tracing/metrics overhead benches.
+# Performance snapshot: figures + tracing/metrics overhead benches +
+# scheduler throughput.
 #
 #   scripts/bench.sh          # run everything, rewrite BENCH_insight.json
+#                             # and BENCH_native.json
 #
 # Runs the paper-figure harness at small scale, the `trace_overhead` and
-# `metrics_overhead` Criterion benches, and one `hinch-insight` analysis,
-# then folds the key numbers into BENCH_insight.json (committed, so a
-# reviewer can diff perf-relevant changes without rerunning anything).
-# Absolute numbers are machine-dependent; the structure and the
-# ratios/bounds are what matter.
+# `metrics_overhead` Criterion benches, one `hinch-insight` analysis, and
+# the `throughput` bench (work-stealing vs centralized native engine),
+# then folds the key numbers into BENCH_insight.json and BENCH_native.json
+# (committed, so a reviewer can diff perf-relevant changes without
+# rerunning anything). Absolute numbers are machine-dependent; the
+# structure and the ratios/bounds are what matter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,3 +66,22 @@ print(f"{sys.argv[1]}: valid JSON; disabled metrics path {disabled} ns/event")
 EOF
 
 echo "bench: wrote $out"
+
+echo "== bench: throughput (work-stealing vs centralized) =="
+# Absolute path: cargo runs bench binaries with the package dir as cwd.
+THROUGHPUT_OUT="$PWD/BENCH_native.json" cargo bench --offline -q -p bench --bench throughput
+
+python3 - BENCH_native.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+micro = data["micro_jobs_per_sec"]
+s1, s8 = micro["workers_1"]["speedup"], micro["workers_8"]["speedup"]
+# The work-stealing engine must beat the single-lock engine 2x on the
+# glue micro-benchmark at 8 workers and not regress (>10%) uncontended.
+assert s8 >= 2.0, f"speedup at 8 workers: {s8}x < 2.0x"
+assert s1 >= 0.9, f"regression at 1 worker: {s1}x < 0.9x"
+print(f"{sys.argv[1]}: valid JSON; micro speedup {s1}x @1 worker, {s8}x @8 workers")
+EOF
+
+echo "bench: wrote BENCH_native.json"

@@ -67,6 +67,27 @@ fi
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$insight_dir/run1.json"
 echo "insight: JSON parses and is byte-identical across runs"
 
+echo "== bench smoke: throughput =="
+# One short run: asserts the bench completes and emits sane JSON. No
+# performance threshold here — CI machines are too noisy; the real
+# numbers live in BENCH_native.json via scripts/bench.sh.
+# Absolute path: cargo runs bench binaries with the package dir as cwd.
+smoke=$PWD/target/throughput-smoke.json
+THROUGHPUT_QUICK=1 THROUGHPUT_OUT="$smoke" \
+    cargo bench --offline -q -p bench --bench throughput
+python3 - "$smoke" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+micro = data["micro_jobs_per_sec"]
+for w in (1, 2, 4, 8):
+    cell = micro[f"workers_{w}"]
+    assert cell["centralized"] > 0 and cell["work_stealing"] > 0, cell
+for app in ("pip1", "blur3"):
+    assert "workers_8" in data["apps_frames_per_sec"][app]
+print(f"{sys.argv[1]}: throughput bench completed, JSON sane")
+EOF
+
 echo "== conformance (differential gate) =="
 conf_dir=target/conformance-ci
 mkdir -p "$conf_dir"
