@@ -76,6 +76,40 @@ impl App {
         }
     }
 
+    /// All nine applications, static then reconfigurable.
+    pub const ALL: [App; 9] = [
+        App::Pip1,
+        App::Pip2,
+        App::Jpip1,
+        App::Jpip2,
+        App::Blur3,
+        App::Blur5,
+        App::Pip12,
+        App::Jpip12,
+        App::Blur35,
+    ];
+
+    /// Stable lower-case identifier (CLI / wire format).
+    pub fn id(&self) -> &'static str {
+        match self {
+            App::Pip1 => "pip1",
+            App::Pip2 => "pip2",
+            App::Jpip1 => "jpip1",
+            App::Jpip2 => "jpip2",
+            App::Blur3 => "blur3",
+            App::Blur5 => "blur5",
+            App::Pip12 => "pip12",
+            App::Jpip12 => "jpip12",
+            App::Blur35 => "blur35",
+        }
+    }
+
+    /// Parse an [`App::id`] string (case-insensitive).
+    pub fn parse(s: &str) -> Option<App> {
+        let s = s.to_ascii_lowercase();
+        App::ALL.into_iter().find(|a| a.id() == s)
+    }
+
     /// The static applications whose average the paper divides a
     /// reconfigurable run by (Fig. 10).
     pub fn static_counterparts(&self) -> &'static [App] {
@@ -169,10 +203,35 @@ pub struct Built {
 }
 
 /// Build `cfg.app` (reusing cached inputs).
+///
+/// The returned [`Built`] shares the process-wide asset cache, including
+/// its capture buffers — concurrent runs of the same family would clobber
+/// each other's outputs, so callers serialize (the conformance harness
+/// takes a run lock). For concurrent instances use [`build_isolated`].
 pub fn build(cfg: AppConfig) -> Built {
     let assets = cached_assets(cfg.app, cfg.scale);
     // Fresh capture contents per build/run.
     assets.clear_captures();
+    build_with(cfg, assets)
+}
+
+/// Build `cfg.app` on a *private* asset set: the expensive generated
+/// input videos are adopted (refcount-only) from the process-wide cache,
+/// but captures are fresh and unshared, so any number of isolated
+/// instances can run concurrently — the serving runtime's mode.
+pub fn build_isolated(cfg: AppConfig) -> Built {
+    let shared = cached_assets(cfg.app, cfg.scale);
+    // Warm the process-wide input cache once: generation/encoding is the
+    // expensive step; the discarded spec elaboration is cheap. Generation
+    // runs under the asset-map lock, so concurrent warms don't duplicate.
+    let _ = build_with(cfg, shared.clone());
+    let assets = AppAssets::new();
+    assets.adopt_inputs(&shared);
+    build_with(cfg, assets)
+}
+
+/// Build `cfg.app` against a caller-provided asset set.
+pub fn build_with(cfg: AppConfig, assets: Arc<AppAssets>) -> Built {
     match cfg.app {
         App::Pip1 | App::Pip2 | App::Pip12 => {
             let mut c = match cfg.scale {

@@ -101,6 +101,33 @@ impl AppAssets {
             .clone()
     }
 
+    /// Adopt the *input* assets of `src` (raw/MJPEG videos, antenna
+    /// signals) without touching the output state (captures,
+    /// accumulators). Inputs are immutable `Arc`s, so adopting is
+    /// refcount-only — this is how an isolated per-instance asset set
+    /// (see [`crate::experiment::build_isolated`]) reuses the expensive
+    /// process-wide generated videos while keeping captures private.
+    pub fn adopt_inputs(&self, src: &AppAssets) {
+        {
+            let mut raw = self.raw.lock();
+            for (k, v) in src.raw.lock().iter() {
+                raw.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+        }
+        {
+            let mut mjpeg = self.mjpeg.lock();
+            for (k, v) in src.mjpeg.lock().iter() {
+                mjpeg.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+        }
+        {
+            let mut signals = self.signals.lock();
+            for (k, v) in src.signals.lock().iter() {
+                signals.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+        }
+    }
+
     pub fn signal(&self, name: &str) -> Arc<AntennaSignal> {
         self.signals
             .lock()

@@ -9,11 +9,15 @@
 //! * [`sim`] — a deterministic discrete-event loop placing jobs on the
 //!   virtual cores of a [`crate::meter::Platform`], measured in cycles.
 
+mod core;
+pub mod multi;
 pub mod native;
+mod pool;
 pub mod reference;
 pub mod sim;
 mod ws;
 
+pub use multi::{GraphId, GraphStats, Runtime, RuntimeConfig, ServeError, SpawnOpts};
 pub use native::run_native;
 pub use reference::run_reference;
 pub use sim::run_sim;

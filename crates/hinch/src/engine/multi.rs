@@ -1,0 +1,910 @@
+//! Long-lived multi-graph serving runtime ("hinch-as-a-service").
+//!
+//! [`super::ws`] runs exactly one graph to a fixed iteration count and
+//! tears its worker pool down afterwards. A serving front-end needs the
+//! opposite shape: one **shared, long-lived worker pool** multiplexing
+//! many concurrent graph instances, each with its own lifecycle. This
+//! module provides it:
+//!
+//! * **graph lifecycle** — [`Runtime::spawn`] instantiates a graph and
+//!   registers it as a tenant, [`Runtime::submit`] feeds it frames,
+//!   [`Runtime::drain`] blocks until every accepted frame retired and
+//!   then tears the instance down, verifying that all stream ring slots
+//!   were released;
+//! * **per-graph job tagging** — the worker deques carry [`MJob`]s
+//!   (graph id + [`JobRef`]); stealing is oblivious to graph boundaries,
+//!   so a backlogged tenant's jobs are picked up by whichever worker runs
+//!   dry first (fair stealing across instances);
+//! * **admission control** — each tenant bounds its in-flight frames
+//!   (`max_backlog`); [`Runtime::submit`] accepts at most the spare
+//!   backlog and reports how many frames it took, which is the
+//!   backpressure signal a front-end propagates to clients (shed, buffer
+//!   or slow down — never an unbounded internal queue);
+//! * **reconfiguration over the wire** — [`Runtime::inject`] drops an
+//!   [`Event`] into a named manager queue of a tenant; the manager's next
+//!   entry invocation polls it and the quiesce/re-flatten machinery of
+//!   [`super::core::GraphCore`] applies the reconfiguration exactly as in
+//!   a single run;
+//! * **failure isolation** — a panicking component marks *its* graph
+//!   failed (structured lease-conflict reporting included); queued jobs of
+//!   the failed graph are discarded and every other tenant keeps running.
+//!
+//! Scheduling inside one graph is identical to the single-run driver —
+//! same [`super::core::GraphCore`] protocol, same direct handoff, same
+//! event-count parking — so a lone tenant on the shared pool performs
+//! like a dedicated `run_native` call (the `serve` bench gates this at
+//! ≥ 0.9× aggregate).
+
+use super::core::{GraphCore, RetireHook, Window};
+use super::pool::{EventCount, Injector, LocalQueue};
+use crate::event::Event;
+use crate::graph::flatten::{flatten, JobKind};
+use crate::graph::instance::instantiate_graph_sized;
+use crate::graph::GraphSpec;
+use crate::sched::JobRef;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use trace::metrics::{EngineMetrics, GraphLabel, LabeledMetrics, LogHistogram};
+
+/// Handle to a spawned graph instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphId(pub u32);
+
+impl std::fmt::Display for GraphId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Serving-runtime errors (distinct from [`crate::HinchError`]: these are
+/// lifecycle/tenancy conditions, not graph-construction problems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The graph id is unknown (never spawned, or already drained).
+    UnknownGraph(u32),
+    /// No manager in the graph owns an event queue with this name.
+    UnknownQueue(String),
+    /// The graph failed mid-run; the payload is the failure description.
+    GraphFailed(String),
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownGraph(id) => write!(f, "unknown graph g{id}"),
+            ServeError::UnknownQueue(q) => write!(f, "no manager queue named '{q}'"),
+            ServeError::GraphFailed(msg) => write!(f, "graph failed: {msg}"),
+            ServeError::Shutdown => write!(f, "runtime is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Pool configuration for [`Runtime::new`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads shared by every tenant.
+    pub workers: usize,
+}
+
+impl RuntimeConfig {
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// Per-tenant configuration for [`Runtime::spawn`].
+#[derive(Debug, Clone)]
+pub struct SpawnOpts {
+    /// Iterations kept in flight inside the graph (stream ring depth).
+    pub pipeline_depth: usize,
+    /// Maximum accepted-but-not-retired frames. [`Runtime::submit`]
+    /// accepts at most the spare backlog — the backpressure bound.
+    pub max_backlog: u64,
+    /// Human-readable tenant label (app name) for metrics attribution.
+    pub label: String,
+}
+
+impl SpawnOpts {
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            pipeline_depth: 5,
+            max_backlog: 32,
+            label: label.into(),
+        }
+    }
+
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    pub fn max_backlog(mut self, frames: u64) -> Self {
+        self.max_backlog = frames.max(1);
+        self
+    }
+}
+
+/// Point-in-time snapshot of one tenant.
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    pub id: GraphId,
+    pub label: String,
+    /// Frames accepted so far.
+    pub submitted: u64,
+    /// Frames retired so far.
+    pub completed: u64,
+    /// Accepted-but-not-retired frames.
+    pub inflight: u64,
+    /// Reconfiguration batches applied.
+    pub reconfigs: u64,
+    pub jobs_executed: u64,
+    /// Frame latency (accept → retire), nanoseconds.
+    pub latency_mean_ns: f64,
+    pub latency_p50_ns: u64,
+    pub latency_p99_ns: u64,
+    /// Non-empty latency histogram buckets `(low, high, count)` — same
+    /// power-of-two layout as [`LogHistogram`], so per-tenant histograms
+    /// merge exactly into an aggregate (the load harness does this for a
+    /// fleet-wide p99).
+    pub latency_buckets: Vec<(u64, u64, u64)>,
+    /// Failure description, if the graph died.
+    pub failure: Option<String>,
+}
+
+/// A job token in the shared pool: which graph, which job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MJob {
+    graph: u32,
+    job: JobRef,
+}
+
+/// Frame-latency clock and drain signalling, shared between the tenant
+/// and its retire hook (separate struct to avoid an `Arc` cycle through
+/// [`GraphCore`]'s hook).
+struct FrameClock {
+    /// Accept timestamps, FIFO — retirements are processed in iteration
+    /// order, which is exactly submit order (both advance under the
+    /// tenant's admit lock).
+    times: Mutex<VecDeque<Instant>>,
+    /// Accept → retire latency per frame.
+    latency: LogHistogram,
+    /// Guards the drain condition re-check (lost-wakeup free: the hook
+    /// notifies under this lock *after* `completed` was bumped).
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl FrameClock {
+    fn new() -> Self {
+        Self {
+            times: Mutex::new(VecDeque::new()),
+            latency: LogHistogram::default(),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        let _g = self.gate.lock();
+        self.cv.notify_all();
+    }
+}
+
+struct Tenant {
+    id: u32,
+    label: String,
+    max_backlog: u64,
+    core: GraphCore,
+    clock: Arc<FrameClock>,
+    failure: Mutex<Option<String>>,
+}
+
+impl Tenant {
+    /// Multi-tenant failure isolation: mark this graph failed, discard its
+    /// queued jobs (the workers drop them on pop), wake drain waiters.
+    /// The pool and every other tenant keep running.
+    fn fail(&self, msg: String) {
+        self.core.aborted.store(true, Ordering::SeqCst);
+        self.failure.lock().get_or_insert(msg);
+        self.clock.notify();
+    }
+
+    fn stats(&self) -> GraphStats {
+        let submitted = self.core.total.load(Ordering::SeqCst);
+        let completed = self.core.completed.load(Ordering::SeqCst);
+        GraphStats {
+            id: GraphId(self.id),
+            label: self.label.clone(),
+            submitted,
+            completed,
+            inflight: submitted.saturating_sub(completed),
+            reconfigs: self.core.reconfigs(),
+            jobs_executed: self.core.jobs_executed.load(Ordering::Relaxed),
+            latency_mean_ns: self.clock.latency.mean(),
+            latency_p50_ns: self.clock.latency.quantile(0.50),
+            latency_p99_ns: self.clock.latency.quantile(0.99),
+            latency_buckets: self.clock.latency.nonzero_buckets(),
+            failure: self.failure.lock().clone(),
+        }
+    }
+}
+
+struct MultiShared {
+    graphs: RwLock<HashMap<u32, Arc<Tenant>>>,
+    locals: Box<[LocalQueue<MJob>]>,
+    injector: Injector<MJob>,
+    ec: EventCount,
+    /// Workers not parked — the wake-up throttle (see `ws::WsShared`).
+    active: AtomicUsize,
+    parallelism: usize,
+    shutdown: AtomicBool,
+    /// Per-tenant metrics registry (graph id + app label), for
+    /// `hinch-insight`-style attribution.
+    labels: Arc<LabeledMetrics>,
+}
+
+impl MultiShared {
+    fn wake(&self, jobs: usize) {
+        let spare = self
+            .parallelism
+            .saturating_sub(self.active.load(Ordering::Relaxed));
+        let n = jobs.min(spare);
+        if n > 0 {
+            self.ec.notify(n);
+        }
+    }
+}
+
+/// Local pop → injector → steal sweep over the peers. Stealing is
+/// graph-oblivious: the oldest job wins whoever owns it, which is what
+/// keeps one backlogged tenant from starving the rest.
+fn find_work(shared: &MultiShared, wid: usize) -> Option<MJob> {
+    let me = &shared.locals[wid];
+    if let Some(job) = me.pop() {
+        return Some(job);
+    }
+    if let Some(job) = shared.injector.pop() {
+        return Some(job);
+    }
+    let n = shared.locals.len();
+    for off in 1..n {
+        if let Some(job) = shared.locals[(wid + off) % n].steal() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Render a panic payload for failure reporting.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<crate::sharedbuf::LeaseConflict>() {
+        Ok(conflict) => format!("{conflict}"),
+        Err(payload) => {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "component panicked".to_string()
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &MultiShared, wid: u32) {
+    let me = &shared.locals[wid as usize];
+    let mut per_node: HashMap<String, (u64, Duration)> = HashMap::new();
+    let mut ready: Vec<JobRef> = Vec::new();
+    // Per-worker caches, dropped before parking so an idle pool holds no
+    // tenant references (deterministic teardown — see `Runtime::drain`).
+    let mut tcache: Option<(u32, Arc<Tenant>)> = None;
+    let mut wcache: Option<(u32, u64, Arc<Window>)> = None;
+    let mut handoff: Option<MJob> = None;
+    loop {
+        let mj = if let Some(mj) = handoff.take() {
+            mj
+        } else {
+            loop {
+                if let Some(mj) = find_work(shared, wid as usize) {
+                    break mj;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Park: register interest, re-check everything, sleep.
+                let epoch = shared.ec.prepare();
+                if let Some(mj) = find_work(shared, wid as usize) {
+                    break mj;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                tcache = None;
+                wcache = None;
+                shared.active.fetch_sub(1, Ordering::Relaxed);
+                shared.ec.wait(epoch);
+                shared.active.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let tenant = match &tcache {
+            Some((id, t)) if *id == mj.graph => t.clone(),
+            _ => match shared.graphs.read().get(&mj.graph) {
+                Some(t) => {
+                    let t = t.clone();
+                    tcache = Some((mj.graph, t.clone()));
+                    t
+                }
+                // Graph already torn down (failed + drained): discard.
+                None => continue,
+            },
+        };
+        let g = &tenant.core;
+        if g.aborted.load(Ordering::Acquire) {
+            continue; // failed graph: discard its queued jobs
+        }
+        // The in-flight job pins its graph's window; re-validate the
+        // cached Arc against the per-graph version.
+        let version = g.window_version.load(Ordering::Acquire);
+        let window = match &wcache {
+            Some((id, v, w)) if *id == mj.graph && *v == version => w.clone(),
+            _ => {
+                // SAFETY: holding an in-flight job popped after the swap.
+                let w = unsafe { g.load_window() };
+                wcache = Some((mj.graph, version, w.clone()));
+                w
+            }
+        };
+        let started = Instant::now();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            g.execute(&window, mj.job, wid, started, &mut per_node, &mut ready)
+        }));
+        match result {
+            Ok(retired) => {
+                if let Some(m) = &g.metrics {
+                    m.on_job(started.elapsed().as_nanos() as u64);
+                }
+                // Direct handoff of the oldest readied component job, as
+                // in the single-run driver; the handoff never crosses a
+                // graph boundary (successors share the completer's graph).
+                let keep = matches!(
+                    ready.first().map(|j| &window.dag.jobs[j.idx as usize].kind),
+                    Some(JobKind::Comp(_))
+                );
+                let mut readied = ready.drain(..);
+                handoff = if keep {
+                    readied.next().map(|job| MJob {
+                        graph: mj.graph,
+                        job,
+                    })
+                } else {
+                    None
+                };
+                let mut published = 0;
+                for job in readied {
+                    me.push(
+                        MJob {
+                            graph: mj.graph,
+                            job,
+                        },
+                        &shared.injector,
+                    );
+                    published += 1;
+                }
+                if published > 0 {
+                    shared.wake(published);
+                }
+                if let Some(iter) = retired {
+                    let mut seeded = Vec::new();
+                    g.retire(iter, &mut seeded);
+                    if !seeded.is_empty() {
+                        let n = seeded.len();
+                        shared
+                            .injector
+                            .push_many(seeded.into_iter().map(|job| MJob {
+                                graph: mj.graph,
+                                job,
+                            }));
+                        shared.wake(n);
+                    }
+                }
+            }
+            Err(payload) => {
+                // Unlike the single-run driver, a panic does not take the
+                // pool down: the graph is marked failed and isolated.
+                ready.clear();
+                handoff = None;
+                tenant.fail(panic_message(payload));
+            }
+        }
+    }
+}
+
+/// The shared serving runtime: one worker pool, many graph instances.
+pub struct Runtime {
+    shared: Arc<MultiShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_id: AtomicU32,
+}
+
+impl Runtime {
+    /// Start a pool of `cfg.workers` threads. The pool idles (parked, no
+    /// CPU) until the first submission.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(MultiShared {
+            graphs: RwLock::new(HashMap::new()),
+            locals: (0..workers).map(|_| LocalQueue::new()).collect(),
+            injector: Injector::new(),
+            ec: EventCount::new(),
+            active: AtomicUsize::new(workers),
+            parallelism: workers
+                .min(std::thread::available_parallelism().map_or(workers, |n| n.get())),
+            shutdown: AtomicBool::new(false),
+            labels: Arc::new(LabeledMetrics::new()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hinch-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, i as u32))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+            next_id: AtomicU32::new(0),
+        }
+    }
+
+    fn get(&self, id: GraphId) -> Result<Arc<Tenant>, ServeError> {
+        self.shared
+            .graphs
+            .read()
+            .get(&id.0)
+            .cloned()
+            .ok_or(ServeError::UnknownGraph(id.0))
+    }
+
+    /// Instantiate `spec` as a new tenant. The graph is live immediately
+    /// but runs nothing until [`Runtime::submit`] accepts frames.
+    pub fn spawn(&self, spec: &GraphSpec, opts: SpawnOpts) -> Result<GraphId, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let depth = opts.pipeline_depth.max(1);
+        let inst = instantiate_graph_sized(spec, depth);
+        let dag = Arc::new(flatten(&inst.root, &inst.streams, 0));
+        let metrics = Arc::new(EngineMetrics::new());
+        let clock = Arc::new(FrameClock::new());
+        let hook: RetireHook = {
+            let clock = Arc::clone(&clock);
+            Box::new(move |_iter| {
+                let accepted = clock.times.lock().pop_front();
+                if let Some(at) = accepted {
+                    clock.latency.record(at.elapsed().as_nanos() as u64);
+                }
+                clock.notify();
+            })
+        };
+        let core = GraphCore::new(
+            inst,
+            dag,
+            depth as u64,
+            0,
+            None,
+            Some(Arc::clone(&metrics)),
+            Some(hook),
+        );
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let tenant = Arc::new(Tenant {
+            id,
+            label: opts.label.clone(),
+            max_backlog: opts.max_backlog.max(1),
+            core,
+            clock,
+            failure: Mutex::new(None),
+        });
+        self.shared.labels.register(
+            GraphLabel {
+                graph_id: id as u64,
+                app: opts.label,
+            },
+            metrics,
+        );
+        self.shared.graphs.write().insert(id, tenant);
+        Ok(GraphId(id))
+    }
+
+    /// Offer `n` frames to graph `id`. Accepts at most the tenant's spare
+    /// backlog and returns the accepted count — the backpressure signal
+    /// (0 means "shed or retry later", never "queued unboundedly").
+    pub fn submit(&self, id: GraphId, n: u64) -> Result<u64, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let tenant = self.get(id)?;
+        if let Some(msg) = tenant.failure.lock().clone() {
+            return Err(ServeError::GraphFailed(msg));
+        }
+        if n == 0 {
+            return Ok(0);
+        }
+        let g = &tenant.core;
+        let mut seeded = Vec::new();
+        let accepted;
+        {
+            let _st = g.admit.lock();
+            let total = g.total.load(Ordering::Relaxed);
+            let completed = g.completed.load(Ordering::Relaxed);
+            let backlog = total - completed;
+            accepted = n.min(tenant.max_backlog.saturating_sub(backlog));
+            if accepted == 0 {
+                return Ok(0);
+            }
+            {
+                // Timestamps go in *before* the total grows: the retire
+                // hook (same admit lock) can then never pop an empty deque.
+                let now = Instant::now();
+                let mut times = tenant.clock.times.lock();
+                for _ in 0..accepted {
+                    times.push_back(now);
+                }
+            }
+            g.total.store(total + accepted, Ordering::SeqCst);
+            // While halted (mid-quiesce) admission stays closed; the
+            // quiesce resume admits from the raised total instead.
+            if !g.halted.load(Ordering::SeqCst) {
+                // SAFETY: admit lock held.
+                let window = unsafe { g.load_window() };
+                g.admit_more(&window, &mut seeded);
+            }
+        }
+        if !seeded.is_empty() {
+            let jobs = seeded.len();
+            self.shared
+                .injector
+                .push_many(seeded.into_iter().map(|job| MJob { graph: id.0, job }));
+            self.shared.wake(jobs);
+        }
+        Ok(accepted)
+    }
+
+    /// Drop `event` into the manager queue named `queue` of graph `id`
+    /// (reconfiguration over the wire). The event takes effect when the
+    /// manager's entry job next polls the queue — i.e. with the next
+    /// frame flowing through the graph.
+    pub fn inject(&self, id: GraphId, queue: &str, event: Event) -> Result<(), ServeError> {
+        let tenant = self.get(id)?;
+        let mut mgrs = Vec::new();
+        tenant.core.inst.root.collect_managers(&mut mgrs);
+        let q = mgrs
+            .iter()
+            .find(|m| m.queue.name() == queue)
+            .map(|m| m.queue.clone())
+            .ok_or_else(|| ServeError::UnknownQueue(queue.to_string()))?;
+        q.send(event);
+        Ok(())
+    }
+
+    /// Snapshot one tenant.
+    pub fn stats(&self, id: GraphId) -> Result<GraphStats, ServeError> {
+        Ok(self.get(id)?.stats())
+    }
+
+    /// Snapshot every tenant, ordered by graph id.
+    pub fn all_stats(&self) -> Vec<GraphStats> {
+        let mut all: Vec<GraphStats> = self
+            .shared
+            .graphs
+            .read()
+            .values()
+            .map(|t| t.stats())
+            .collect();
+        all.sort_by_key(|s| s.id.0);
+        all
+    }
+
+    /// Block until every accepted frame of `id` retired, then tear the
+    /// instance down. Verifies on the way out that the drained graph
+    /// released every stream ring slot (the stream rings are part of the
+    /// tenant, but a leaked BUSY/FULL slot would mean a completer raced
+    /// past retirement — the invariant the core's in-order retirement
+    /// protocol exists to protect).
+    ///
+    /// Returns the tenant's final stats. A failed graph is torn down too,
+    /// but reported as [`ServeError::GraphFailed`].
+    pub fn drain(&self, id: GraphId) -> Result<GraphStats, ServeError> {
+        let tenant = self.get(id)?;
+        {
+            let mut gate = tenant.clock.gate.lock();
+            loop {
+                if tenant.failure.lock().is_some() {
+                    break;
+                }
+                let total = tenant.core.total.load(Ordering::SeqCst);
+                let completed = tenant.core.completed.load(Ordering::SeqCst);
+                if completed >= total {
+                    break;
+                }
+                tenant.clock.cv.wait(&mut gate);
+            }
+        }
+        // Teardown: unregister first so new submits/stats see a consistent
+        // "gone" state, then verify resource release.
+        self.shared.graphs.write().remove(&id.0);
+        self.shared.labels.unregister(id.0 as u64);
+        let stats = tenant.stats();
+        if let Some(msg) = stats.failure.clone() {
+            return Err(ServeError::GraphFailed(msg));
+        }
+        for stream in tenant.core.inst.streams.lock().values() {
+            assert_eq!(
+                stream.live_slots(),
+                0,
+                "drained graph {id} leaked ring slots on stream '{}'",
+                stream.name()
+            );
+        }
+        assert!(
+            tenant.clock.times.lock().is_empty(),
+            "drained graph {id} leaked frame timestamps"
+        );
+        Ok(stats)
+    }
+
+    /// Live tenant count.
+    pub fn graph_count(&self) -> usize {
+        self.shared.graphs.read().len()
+    }
+
+    /// Jobs queued in the pool (injector + local rings). Exact only while
+    /// the pool is quiescent; used by teardown/baseline checks.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.injector.len() + self.shared.locals.iter().filter(|q| !q.is_empty()).count()
+    }
+
+    /// Workers currently parked.
+    pub fn idle_workers(&self) -> usize {
+        self.shared.ec.sleepers()
+    }
+
+    pub fn workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// The per-tenant metrics registry (graph id + app label → counters).
+    pub fn labeled_metrics(&self) -> Arc<LabeledMetrics> {
+        Arc::clone(&self.shared.labels)
+    }
+
+    /// Stop the pool: no new spawns/submits, workers exit once their
+    /// queues run dry (in-flight frames of undrained graphs are
+    /// abandoned). Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ec.notify_all();
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+    use crate::graph::testutil::leaf;
+    use crate::graph::{GraphSpec, ManagerSpec};
+    use crate::manager::EventAction;
+
+    fn pipeline_spec() -> GraphSpec {
+        GraphSpec::seq(vec![
+            leaf("src", &[], &["a"], 1),
+            leaf("mid", &["a"], &["b"], 0),
+            leaf("snk", &["b"], &[], 0),
+        ])
+    }
+
+    fn managed_spec(queue: &EventQueue) -> GraphSpec {
+        let mgr = ManagerSpec::new("m", queue.clone())
+            .on("flip", vec![EventAction::Toggle("extra".into())]);
+        GraphSpec::managed(
+            mgr,
+            GraphSpec::seq(vec![
+                leaf("src", &[], &["a"], 1),
+                GraphSpec::option("extra", false, leaf("opt", &["a"], &["c"], 0)),
+                leaf("snk", &["a"], &[], 0),
+            ]),
+        )
+    }
+
+    #[test]
+    fn single_graph_runs_to_completion() {
+        let rt = Runtime::new(RuntimeConfig::new(2));
+        let id = rt
+            .spawn(&pipeline_spec(), SpawnOpts::new("pipe").pipeline_depth(3))
+            .unwrap();
+        let accepted = rt.submit(id, 10).unwrap();
+        assert_eq!(accepted, 10);
+        let stats = rt.drain(id).unwrap();
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.inflight, 0);
+        assert_eq!(stats.jobs_executed, 30);
+        assert!(stats.latency_p99_ns > 0);
+        assert_eq!(rt.graph_count(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn admission_control_bounds_backlog() {
+        let rt = Runtime::new(RuntimeConfig::new(1));
+        let id = rt
+            .spawn(
+                &pipeline_spec(),
+                SpawnOpts::new("pipe").pipeline_depth(2).max_backlog(4),
+            )
+            .unwrap();
+        // A single offer can never exceed the backlog bound.
+        let first = rt.submit(id, 100).unwrap();
+        assert!(first <= 4, "accepted {first} > max_backlog");
+        // Offers keep being accepted as frames retire; the sum converges.
+        let mut total = first;
+        while total < 20 {
+            total += rt.submit(id, 20 - total).unwrap();
+            std::thread::yield_now();
+        }
+        let stats = rt.drain(id).unwrap();
+        assert_eq!(stats.completed, 20);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn many_graphs_share_the_pool() {
+        let rt = Runtime::new(RuntimeConfig::new(4));
+        let ids: Vec<GraphId> = (0..8)
+            .map(|i| {
+                rt.spawn(
+                    &pipeline_spec(),
+                    SpawnOpts::new(format!("pipe-{i}")).pipeline_depth(2),
+                )
+                .unwrap()
+            })
+            .collect();
+        for &id in &ids {
+            assert_eq!(rt.submit(id, 6).unwrap(), 6);
+        }
+        for &id in &ids {
+            let stats = rt.drain(id).unwrap();
+            assert_eq!(stats.completed, 6, "graph {id}");
+        }
+        assert_eq!(rt.graph_count(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn inject_reconfigures_over_the_manager_queue() {
+        let queue = EventQueue::new("mq");
+        let rt = Runtime::new(RuntimeConfig::new(2));
+        let id = rt
+            .spawn(&managed_spec(&queue), SpawnOpts::new("managed"))
+            .unwrap();
+        rt.submit(id, 4).unwrap();
+        rt.drain_frames(id, 4);
+        rt.inject(id, "mq", Event::new("flip")).unwrap();
+        // The event is polled by the next frame's manager entry.
+        rt.submit(id, 4).unwrap();
+        let stats = rt.drain(id).unwrap();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.reconfigs, 1, "flip applied at quiescence");
+        assert!(
+            rt.inject(id, "mq", Event::new("flip")).is_err(),
+            "drained graph rejects injection"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unknown_targets_are_reported() {
+        let rt = Runtime::new(RuntimeConfig::new(1));
+        assert_eq!(rt.submit(GraphId(99), 1), Err(ServeError::UnknownGraph(99)));
+        let queue = EventQueue::new("mq");
+        let id = rt
+            .spawn(&managed_spec(&queue), SpawnOpts::new("managed"))
+            .unwrap();
+        assert_eq!(
+            rt.inject(id, "nope", Event::new("flip")),
+            Err(ServeError::UnknownQueue("nope".into()))
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn failed_graph_is_isolated_from_the_pool() {
+        let rt = Runtime::new(RuntimeConfig::new(2));
+        let bad = rt
+            .spawn(
+                &GraphSpec::seq(vec![
+                    leaf("src", &[], &["a"], 1),
+                    crate::graph::testutil::panicking_leaf("boom", &["a"], &[]),
+                ]),
+                SpawnOpts::new("bad"),
+            )
+            .unwrap();
+        let good = rt.spawn(&pipeline_spec(), SpawnOpts::new("good")).unwrap();
+        rt.submit(bad, 2).unwrap();
+        rt.submit(good, 8).unwrap();
+        // The panicking tenant fails; the healthy tenant still completes.
+        assert!(matches!(rt.drain(bad), Err(ServeError::GraphFailed(_))));
+        let stats = rt.drain(good).unwrap();
+        assert_eq!(stats.completed, 8);
+        // The pool survives for future tenants.
+        let again = rt.spawn(&pipeline_spec(), SpawnOpts::new("again")).unwrap();
+        rt.submit(again, 3).unwrap();
+        assert_eq!(rt.drain(again).unwrap().completed, 3);
+        rt.shutdown();
+    }
+
+    /// Satellite regression: 100 spawn/drain cycles return the pool to
+    /// baseline — no tenants, no queued jobs, no leaked ring slots (drain
+    /// itself asserts slot release per stream) and every worker parked.
+    #[test]
+    fn teardown_returns_pool_to_baseline() {
+        let rt = Runtime::new(RuntimeConfig::new(3));
+        for round in 0..100 {
+            let id = rt
+                .spawn(
+                    &pipeline_spec(),
+                    SpawnOpts::new(format!("r{round}")).pipeline_depth(2),
+                )
+                .unwrap();
+            assert_eq!(rt.submit(id, 5).unwrap(), 5);
+            let stats = rt.drain(id).unwrap();
+            assert_eq!(stats.completed, 5, "round {round}");
+        }
+        assert_eq!(rt.graph_count(), 0);
+        assert_eq!(rt.queued_jobs(), 0);
+        assert!(rt.labeled_metrics().snapshot().is_empty());
+        // Workers drop their tenant caches and park once the pool is dry.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.idle_workers() < rt.workers() {
+            assert!(
+                Instant::now() < deadline,
+                "workers failed to park: {}/{} idle",
+                rt.idle_workers(),
+                rt.workers()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        rt.shutdown();
+    }
+
+    impl Runtime {
+        /// Test helper: wait until `id` retired at least `n` frames.
+        fn drain_frames(&self, id: GraphId, n: u64) {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while self.stats(id).unwrap().completed < n {
+                assert!(Instant::now() < deadline, "timeout waiting for frames");
+                std::thread::yield_now();
+            }
+        }
+    }
+}

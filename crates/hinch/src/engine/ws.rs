@@ -8,379 +8,48 @@
 //! module is the scalable path [`super::native::run_native`] dispatches to
 //! for [`crate::sched::SchedPolicy::Default`]:
 //!
-//! * **per-worker bounded deques** ([`LocalQueue`]) with a global overflow
-//!   [`Injector`]: a worker pushes the jobs its own completions ready onto
-//!   its local ring and steals from a peer (oldest-first) when it runs
-//!   dry;
-//! * **atomic dependency tracking** ([`Window`]/[`IterSlot`]): per-job
+//! * **per-worker bounded deques** ([`super::pool::LocalQueue`]) with a
+//!   global overflow [`super::pool::Injector`]: a worker pushes the jobs
+//!   its own completions ready onto its local ring and steals from a peer
+//!   (oldest-first) when it runs dry;
+//! * **atomic dependency tracking** ([`super::core::GraphCore`]): per-job
 //!   pending counters and per-node cross-iteration ordering are plain
 //!   atomics, so publishing successors after a completion takes no lock at
-//!   all;
-//! * **event-count parking** ([`EventCount`]): an idle worker registers
-//!   interest, re-checks, and sleeps; a producer with no sleepers pays two
-//!   uncontended atomic ops instead of a broadcast `notify_all` per job.
-//!   Wake-ups are one-per-job and gated on spare hardware parallelism
-//!   ([`WsShared::wake`]);
+//!   all — the full ordering protocol is documented in `engine/core.rs`;
+//! * **event-count parking** ([`super::pool::EventCount`]): an idle worker
+//!   registers interest, re-checks, and sleeps; a producer with no
+//!   sleepers pays two uncontended atomic ops instead of a broadcast
+//!   `notify_all` per job. Wake-ups are one-per-job and gated on spare
+//!   hardware parallelism ([`WsShared::wake`]);
 //! * **direct handoff**: a completion keeps the oldest component job it
 //!   readied as its own next job, so the steady-state hot path executes
 //!   entire iterations with no queue traffic and no wake-ups at all.
 //!
-//! A small mutex ([`WsShared::admit`]) remains for the *cold* once-per-
+//! A small mutex (`GraphCore::admit`) remains for the *cold* once-per-
 //! iteration work — retirement, admission, manager-entry event polls — and
-//! for the quiesce/reconfigure path, which rebuilds the whole [`Window`]
-//! at a quiescent point exactly like `Tracker::resume_with`.
+//! for the quiesce/reconfigure path, which rebuilds the whole window at a
+//! quiescent point exactly like `Tracker::resume_with`.
 //!
-//! # Ordering protocol (why the lock-free part is correct)
-//!
-//! Iteration `j` occupies window slot `(j - window.start) % depth`.
-//! Admission (under the admit lock) initializes the slot's counters with
-//! plain stores, then publishes the `admitted = j + 1` watermark with a
-//! `SeqCst` store. A completer of job `(j, idx)` stores `done[idx]`
-//! (`SeqCst`), then loads the watermark (`SeqCst`): if `j + 1` is already
-//! admitted it delivers the self-dependency to slot `j + 1` itself. The
-//! admitter symmetrically sweeps `done` *after* publishing the watermark.
-//! The `SeqCst` store/load pairs guarantee at least one side observes the
-//! other; the `self_delivered` flag (an atomic `swap`) guarantees exactly
-//! one of them decrements.
-//!
-//! Slot reuse is safe because retirements are processed *in iteration
-//! order* (see `AdmitState::pending_retires`) and every completer bumps
-//! the slot's `ndone` only **after** all its decrements: reusing slot
-//! `j % depth` for `j + depth` requires `j + 1` retired, hence `j`
-//! retired, hence every completer of `j` past its last slot access.
-//! The same argument orders [`crate::stream::Stream::clear`] at
-//! retirement against the ring-slot writers of iteration `j + depth`.
+//! This driver runs exactly one graph to a fixed iteration count; the
+//! long-lived multi-graph variant over the same building blocks is
+//! [`super::multi`].
 
-use super::{apply_plans, exec_manager_entry, PreparedReconfig, RunConfig};
-use crate::component::RunCtx;
+use super::core::{GraphCore, Window};
+use super::pool::{EventCount, Injector, LocalQueue};
+use super::RunConfig;
 use crate::error::HinchError;
-use crate::graph::flatten::{flatten, Dag, JobKind};
-use crate::graph::instance::{instantiate_graph_sized, InstanceGraph};
+use crate::graph::flatten::{flatten, JobKind};
+use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
-use crate::meter::NullMeter;
 use crate::report::RunReport;
 use crate::sched::JobRef;
-use parking_lot::{Condvar, Mutex};
-use std::cell::UnsafeCell;
-use std::collections::{HashMap, VecDeque};
-use std::mem::MaybeUninit;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use trace::{SpanKind, StallCause, TraceEvent, TraceSink};
-
-// ---------------------------------------------------------------------------
-// Local work-stealing queue
-
-/// Capacity of each worker's local ring. Power of two; overflow spills to
-/// the global injector, so this only bounds burstiness, not correctness.
-const LOCAL_CAP: usize = 256;
-
-/// A bounded single-producer multi-consumer ring (the owner pushes at the
-/// tail; the owner pops and thieves steal at the head, both oldest-first —
-/// matching the centralized engine's historical `pop_front` order).
-///
-/// `head` packs two `u32` indices: `steal` (the claim frontier — trails
-/// while a thief is mid-copy) and `real` (the consumption frontier). The
-/// owner's capacity check runs against `steal`, so a claimed-but-uncopied
-/// slot is never overwritten. One thief at a time: a second thief seeing
-/// `steal != real` backs off to the next victim instead of spinning.
-struct LocalQueue {
-    head: AtomicU64,
-    /// Owner-only writes.
-    tail: AtomicU32,
-    slots: Box<[UnsafeCell<MaybeUninit<JobRef>>]>,
-}
-
-// SAFETY: slot `i` is written only by the owner's `push` while `i` lies in
-// `[steal, tail + CAP)`'s free region, and read exactly once by whichever
-// side (owner `pop` / thief `steal`) claimed index `i` through a CAS on
-// `head`. Publication is `tail`'s Release store, consumption is ordered by
-// the Acquire loads of `tail`/`head` — see the method comments.
-unsafe impl Send for LocalQueue {}
-unsafe impl Sync for LocalQueue {}
-
-impl LocalQueue {
-    fn new() -> Self {
-        Self {
-            head: AtomicU64::new(0),
-            tail: AtomicU32::new(0),
-            slots: (0..LOCAL_CAP)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-                .collect(),
-        }
-    }
-
-    #[inline]
-    fn pack(steal: u32, real: u32) -> u64 {
-        ((steal as u64) << 32) | real as u64
-    }
-
-    #[inline]
-    fn unpack(v: u64) -> (u32, u32) {
-        ((v >> 32) as u32, v as u32)
-    }
-
-    #[inline]
-    fn slot(&self, index: u32) -> *mut MaybeUninit<JobRef> {
-        self.slots[(index as usize) & (LOCAL_CAP - 1)].get()
-    }
-
-    /// Owner-only: enqueue at the tail; a full ring spills to the injector.
-    fn push(&self, job: JobRef, injector: &Injector) {
-        let tail = self.tail.load(Ordering::Relaxed);
-        let (steal, _) = Self::unpack(self.head.load(Ordering::Acquire));
-        if tail.wrapping_sub(steal) < LOCAL_CAP as u32 {
-            // SAFETY: `[steal, tail]` never wraps onto an unconsumed slot
-            // (capacity check above); only the owner writes slots.
-            unsafe { (*self.slot(tail)).write(job) };
-            self.tail.store(tail.wrapping_add(1), Ordering::Release);
-        } else {
-            injector.push(job);
-        }
-    }
-
-    /// Owner-only: dequeue the oldest job.
-    fn pop(&self) -> Option<JobRef> {
-        let mut head = self.head.load(Ordering::Acquire);
-        loop {
-            let (steal, real) = Self::unpack(head);
-            let tail = self.tail.load(Ordering::Relaxed);
-            if real == tail {
-                return None;
-            }
-            let next_real = real.wrapping_add(1);
-            // No thief active → move both frontiers; thief active → only
-            // the consumption frontier (the thief owns its claimed slot).
-            let next = if steal == real {
-                Self::pack(next_real, next_real)
-            } else {
-                Self::pack(steal, next_real)
-            };
-            match self
-                .head
-                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
-            {
-                // SAFETY: the CAS claimed index `real` exclusively; the
-                // owner itself wrote it, so it is initialized and visible.
-                Ok(_) => return Some(unsafe { (*self.slot(real)).assume_init_read() }),
-                Err(h) => head = h,
-            }
-        }
-    }
-
-    /// Thief: claim, copy and release one job from the head. Returns
-    /// `None` when empty or when another thief holds the claim.
-    fn steal(&self) -> Option<JobRef> {
-        let head = self.head.load(Ordering::Acquire);
-        let (steal, real) = Self::unpack(head);
-        if steal != real {
-            return None; // another thief is mid-steal
-        }
-        let tail = self.tail.load(Ordering::Acquire);
-        if real == tail {
-            return None;
-        }
-        let claimed = Self::pack(real, real.wrapping_add(1));
-        if self
-            .head
-            .compare_exchange(head, claimed, Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
-            return None;
-        }
-        // SAFETY: the CAS claimed index `real`; the Acquire load of `tail`
-        // observed `tail > real`, synchronizing with the owner's Release
-        // store after it wrote the slot.
-        let job = unsafe { (*self.slot(real)).assume_init_read() };
-        // Release the claim by advancing `steal` all the way to `real`:
-        // every slot below it is consumed (ours by the copy above, the
-        // rest by owner pops that overtook the claim).
-        let mut cur = self.head.load(Ordering::Acquire);
-        loop {
-            let (_, r) = Self::unpack(cur);
-            let next = Self::pack(r, r);
-            match self
-                .head
-                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
-            {
-                Ok(_) => return Some(job),
-                Err(c) => cur = c,
-            }
-        }
-    }
-}
-
-/// Global overflow / seed queue. Only touched on admission, resume, local-
-/// ring overflow and by dry workers — never on the per-completion fast path.
-struct Injector {
-    q: Mutex<VecDeque<JobRef>>,
-}
-
-impl Injector {
-    fn new() -> Self {
-        Self {
-            q: Mutex::new(VecDeque::new()),
-        }
-    }
-
-    fn push(&self, job: JobRef) {
-        self.q.lock().push_back(job);
-    }
-
-    fn push_many(&self, jobs: impl IntoIterator<Item = JobRef>) {
-        self.q.lock().extend(jobs);
-    }
-
-    fn pop(&self) -> Option<JobRef> {
-        self.q.lock().pop_front()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Event-count parking
-
-/// Lost-wakeup-free parking without a broadcast per completion.
-///
-/// Waiter: `prepare()` (reads the epoch), re-check for work, `wait(epoch)`.
-/// Producer: publish work, then `notify()` — bump the epoch, and only touch
-/// the mutex/condvar when somebody is actually asleep.
-///
-/// `wait` increments `sleepers` *before* validating the epoch (both under
-/// the mutex). If the waiter's epoch load misses a concurrent bump, then in
-/// the `SeqCst` total order its `sleepers` increment precedes the
-/// notifier's bump, so the notifier's `sleepers` load sees it and takes the
-/// mutex — which it can only acquire once the waiter is parked in
-/// `cv.wait`, guaranteeing delivery.
-struct EventCount {
-    epoch: AtomicU64,
-    sleepers: AtomicUsize,
-    mutex: Mutex<()>,
-    cv: Condvar,
-}
-
-impl EventCount {
-    fn new() -> Self {
-        Self {
-            epoch: AtomicU64::new(0),
-            sleepers: AtomicUsize::new(0),
-            mutex: Mutex::new(()),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn prepare(&self) -> u64 {
-        self.epoch.load(Ordering::SeqCst)
-    }
-
-    fn wait(&self, epoch: u64) {
-        let mut guard = self.mutex.lock();
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        if self.epoch.load(Ordering::SeqCst) == epoch {
-            self.cv.wait(&mut guard);
-        }
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// Wake up to `jobs` parked workers — one per published job. Waking
-    /// fewer than the sleeper count is safe: every job sits in some awake
-    /// owner's local ring (or in the injector behind a [`Self::notify_all`]
-    /// site), so an un-woken sleeper is never the only thread that could
-    /// run it.
-    fn notify(&self, jobs: usize) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.mutex.lock();
-            for _ in 0..jobs {
-                self.cv.notify_one();
-            }
-        }
-    }
-
-    /// Broadcast wake-up for lifecycle edges every worker must observe:
-    /// run completion, abort, and admission reopening after a retirement
-    /// (which may have seeded the injector with a whole window of jobs).
-    fn notify_all(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.mutex.lock();
-            self.cv.notify_all();
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Atomic iteration window
-
-/// Per-admitted-iteration dependency state (one ring slot of a [`Window`]).
-struct IterSlot {
-    /// Unsatisfied dependencies per job: structural preds, plus one
-    /// self-dependency on the previous iteration for every job after the
-    /// window start.
-    pending: Box<[AtomicU32]>,
-    /// Completion flags, read by the next iteration's self-dep hand-off.
-    done: Box<[AtomicBool]>,
-    /// Dedup flag: completer-side and admitter-side self-dep delivery may
-    /// both fire; whoever swaps this first decrements.
-    self_delivered: Box<[AtomicBool]>,
-    ndone: AtomicUsize,
-}
-
-impl IterSlot {
-    fn new(njobs: usize) -> Self {
-        Self {
-            pending: (0..njobs).map(|_| AtomicU32::new(0)).collect(),
-            done: (0..njobs).map(|_| AtomicBool::new(false)).collect(),
-            self_delivered: (0..njobs).map(|_| AtomicBool::new(false)).collect(),
-            ndone: AtomicUsize::new(0),
-        }
-    }
-}
-
-/// One DAG version's in-flight window: `depth` iteration slots over a
-/// single [`Dag`]. Replaced wholesale at a quiescent reconfiguration,
-/// mirroring `Tracker::resume_with` — self-dependencies never cross a
-/// window boundary.
-struct Window {
-    dag: Arc<Dag>,
-    start: u64,
-    slots: Box<[IterSlot]>,
-}
-
-impl Window {
-    fn new(dag: Arc<Dag>, start: u64, depth: usize) -> Self {
-        let njobs = dag.jobs.len();
-        Self {
-            dag,
-            start,
-            slots: (0..depth).map(|_| IterSlot::new(njobs)).collect(),
-        }
-    }
-
-    #[inline]
-    fn slot(&self, iter: u64) -> &IterSlot {
-        debug_assert!(iter >= self.start);
-        &self.slots[((iter - self.start) as usize) % self.slots.len()]
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Shared engine state
-
-/// Cold state under the admit lock: reconfiguration plans, the in-order
-/// retirement queue, and version bookkeeping.
-struct AdmitState {
-    pending: Vec<PreparedReconfig>,
-    /// Retirements detected out of order (worker A may finish iteration
-    /// `j+1`'s last job and grab the lock before worker B processes `j`).
-    /// They are *applied* strictly in iteration order — stream-ring and
-    /// slot-reuse safety depend on it.
-    pending_retires: Vec<u64>,
-    version: u64,
-    reconfigs: u64,
-    quiesce_open: Option<Instant>,
-}
+use trace::TraceEvent;
 
 /// Per-run results merged from the workers when they exit.
 struct Collected {
@@ -391,23 +60,9 @@ struct Collected {
 }
 
 struct WsShared {
-    /// Current window. Written only at a quiescent resume (under the admit
-    /// lock); read by workers holding an in-flight job and by lock holders.
-    window: UnsafeCell<Arc<Window>>,
-    /// Bumped after each window swap; workers cheaply re-validate their
-    /// cached `Arc<Window>` against it per job.
-    window_version: AtomicU64,
-    /// Admission watermark: iterations `< admitted` have initialized slots.
-    admitted: AtomicU64,
-    /// Retired iterations (processed in order).
-    completed: AtomicU64,
-    halted: AtomicBool,
-    aborted: AtomicBool,
-    jobs_executed: AtomicU64,
-    total: u64,
-    depth: u64,
-    locals: Box<[LocalQueue]>,
-    injector: Injector,
+    core: GraphCore,
+    locals: Box<[LocalQueue<JobRef>]>,
+    injector: Injector<JobRef>,
     ec: EventCount,
     /// Workers not parked. Producers wake sleepers only while this is
     /// below [`WsShared::parallelism`] — an oversubscribed wake-up buys no
@@ -417,26 +72,10 @@ struct WsShared {
     active: AtomicUsize,
     /// `min(workers, hardware threads)` — the wake-up throttle ceiling.
     parallelism: usize,
-    admit: Mutex<AdmitState>,
     collect: Mutex<Collected>,
-    inst: InstanceGraph,
-    trace: Option<Arc<dyn TraceSink>>,
-    metrics: Option<Arc<trace::metrics::EngineMetrics>>,
-    epoch: Instant,
 }
 
-// SAFETY: every field but `window` is synchronized by its own type; the
-// `window` cell follows the protocol documented on the field and on
-// `load_window` — writes only at quiescent points under the admit lock,
-// reads only under that lock or while holding a job that was enqueued
-// after the last swap (the queue hand-off provides the happens-before).
-unsafe impl Sync for WsShared {}
-
 impl WsShared {
-    fn now(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
-    }
-
     /// Wake up to `jobs` parked workers, bounded by the spare hardware
     /// parallelism. Skipping a wake-up never strands work: the caller (a
     /// worker, hence awake) pops its own ring and the injector before it
@@ -451,381 +90,6 @@ impl WsShared {
             self.ec.notify(n);
         }
     }
-
-    /// Clone the current window.
-    ///
-    /// # Safety
-    /// Caller must hold the admit lock, or hold an in-flight job popped
-    /// after the last window swap (swaps only happen at quiescent points,
-    /// so a live job pins its window).
-    unsafe fn load_window(&self) -> Arc<Window> {
-        (*self.window.get()).clone()
-    }
-}
-
-/// Classify what an idle worker is blocked on, from the atomic counters
-/// (mirrors the centralized engine's `wait_cause`).
-fn ws_wait_cause(shared: &WsShared) -> StallCause {
-    // Load order matters: `completed` first, so the subtraction below
-    // cannot see a `completed` newer than `admitted`.
-    let completed = shared.completed.load(Ordering::SeqCst);
-    let admitted = shared.admitted.load(Ordering::SeqCst);
-    if shared.halted.load(Ordering::SeqCst) {
-        StallCause::Quiesce
-    } else if admitted >= shared.total {
-        StallCause::JobQueueEmpty
-    } else if admitted.saturating_sub(completed) >= shared.depth {
-        StallCause::Backpressure
-    } else {
-        StallCause::Starvation
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Admission / completion / retirement
-
-/// Deliver the self-dependency for `(iter, idx)`: the completer of the
-/// previous iteration and the admitter's sweep may both get here; the
-/// `swap` lets exactly one decrement.
-fn deliver_self(slot: &IterSlot, iter: u64, idx: usize, ready: &mut Vec<JobRef>) {
-    if !slot.self_delivered[idx].swap(true, Ordering::SeqCst) {
-        let prev = slot.pending[idx].fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev >= 1, "self-dep underflow at iter {iter} job {idx}");
-        if prev == 1 {
-            ready.push(JobRef {
-                iter,
-                idx: idx as u32,
-            });
-        }
-    }
-}
-
-/// Initialize iteration `j`'s slot and publish the admission watermark.
-/// Must run under the admit lock (admissions are sequential).
-fn admit_one(shared: &WsShared, window: &Window, j: u64, ready: &mut Vec<JobRef>) {
-    let slot = window.slot(j);
-    let njobs = window.dag.jobs.len();
-    // A self-dependency is only owed while iteration j-1 is still in
-    // flight (mirrors `Tracker::admit`'s "previous run exists" check).
-    // Crucially, with pipeline depth 1 the previous iteration always
-    // retired before this admission *and* `slot(j-1)` is this very slot —
-    // sweeping it after the reset below would read back our own cleared
-    // `done` flags and strand the self-dep forever.
-    let self_dep = j > window.start && shared.completed.load(Ordering::Relaxed) < j;
-    for idx in 0..njobs {
-        let mut p = window.dag.jobs[idx].preds.len() as u32;
-        if self_dep {
-            p += 1; // self-dependency on iteration j-1 of the same node
-        }
-        slot.pending[idx].store(p, Ordering::Relaxed);
-        slot.done[idx].store(false, Ordering::Relaxed);
-        slot.self_delivered[idx].store(false, Ordering::Relaxed);
-    }
-    slot.ndone.store(0, Ordering::Relaxed);
-    // Publish: completers loading `admitted >= j + 2` afterwards see the
-    // initialized slot (SeqCst store is also a release).
-    shared.admitted.store(j + 1, Ordering::SeqCst);
-    if !self_dep {
-        // No previous iteration in flight: sources are ready immediately.
-        for (idx, jd) in window.dag.jobs.iter().enumerate() {
-            if jd.preds.is_empty() {
-                ready.push(JobRef {
-                    iter: j,
-                    idx: idx as u32,
-                });
-            }
-        }
-    } else {
-        // Sweep for self-deps whose source already completed before the
-        // watermark was published (the completer's own delivery is gated
-        // on observing `admitted >= j + 1`; SeqCst guarantees at least
-        // one side fires, `self_delivered` that at most one decrements).
-        let prev = window.slot(j - 1);
-        for idx in 0..njobs {
-            if prev.done[idx].load(Ordering::SeqCst) {
-                deliver_self(slot, j, idx, ready);
-            }
-        }
-    }
-    if let Some(sink) = &shared.trace {
-        sink.record(TraceEvent::IterationAdmitted {
-            iter: j,
-            at: shared.now(),
-        });
-    }
-}
-
-/// Admit as many iterations as the pipeline depth allows, seeding the
-/// injector. Under the admit lock. Returns the number of jobs seeded —
-/// zero at steady state, where every admitted job still waits on its
-/// self-dependency and becomes ready through a completer instead.
-fn admit_more(shared: &WsShared, window: &Window) -> usize {
-    let mut ready = Vec::new();
-    let completed = shared.completed.load(Ordering::Relaxed);
-    let mut admitted = shared.admitted.load(Ordering::Relaxed);
-    while admitted < shared.total && admitted - completed < shared.depth {
-        admit_one(shared, window, admitted, &mut ready);
-        admitted += 1;
-    }
-    let seeded = ready.len();
-    if !ready.is_empty() {
-        shared.injector.push_many(ready);
-    }
-    seeded
-}
-
-/// Lock-free completion: decrement in-iteration successors, publish the
-/// completion flag, hand the self-dependency to the next iteration.
-/// Returns `Some(iter)` if this was the iteration's last job.
-///
-/// The `ndone` increment stays *last*: slot reuse and stream clearing both
-/// reason from "retired ⇒ every completer finished all its slot accesses".
-fn complete_ws(
-    shared: &WsShared,
-    window: &Window,
-    job: JobRef,
-    ready: &mut Vec<JobRef>,
-) -> Option<u64> {
-    let slot = window.slot(job.iter);
-    let idx = job.idx as usize;
-    let was_done = slot.done[idx].swap(true, Ordering::SeqCst);
-    debug_assert!(!was_done, "double completion of job ({}, {idx})", job.iter);
-    for &s in &window.dag.jobs[idx].succs {
-        let prev = slot.pending[s as usize].fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev >= 1, "pending underflow at iter {} job {s}", job.iter);
-        if prev == 1 {
-            ready.push(JobRef {
-                iter: job.iter,
-                idx: s,
-            });
-        }
-    }
-    if shared.admitted.load(Ordering::SeqCst) >= job.iter + 2 {
-        deliver_self(window.slot(job.iter + 1), job.iter + 1, idx, ready);
-    }
-    shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
-    if slot.ndone.fetch_add(1, Ordering::AcqRel) + 1 == window.dag.jobs.len() {
-        Some(job.iter)
-    } else {
-        None
-    }
-}
-
-/// Process a detected retirement: queue it, then apply every retirement
-/// that is next in iteration order (out-of-order detections wait their
-/// turn in `pending_retires`). Returns the number of jobs seeded into the
-/// injector, so the caller wakes peers only when there is work to take.
-fn retire(shared: &WsShared, iter: u64) -> usize {
-    let mut st = shared.admit.lock();
-    st.pending_retires.push(iter);
-    let mut seeded = 0;
-    loop {
-        let next = shared.completed.load(Ordering::Relaxed);
-        let Some(pos) = st.pending_retires.iter().position(|&i| i == next) else {
-            break;
-        };
-        st.pending_retires.swap_remove(pos);
-        seeded += process_retire(shared, &mut st, next);
-    }
-    seeded
-}
-
-/// Apply one in-order retirement. Under the admit lock. Returns the
-/// number of jobs seeded into the injector.
-fn process_retire(shared: &WsShared, st: &mut AdmitState, iter: u64) -> usize {
-    // SAFETY: admit lock held.
-    let window = unsafe { shared.load_window() };
-    for s in &window.dag.streams {
-        s.clear(iter);
-    }
-    shared.completed.fetch_add(1, Ordering::SeqCst);
-    if let Some(m) = &shared.metrics {
-        m.iterations.inc();
-    }
-    if let Some(sink) = &shared.trace {
-        let at = shared.now();
-        sink.record(TraceEvent::IterationRetired { iter, at });
-        for stream in window.dag.streams.iter() {
-            sink.record(TraceEvent::StreamOccupancy {
-                stream: stream.name().to_string(),
-                live_slots: stream.live_slots() as u64,
-                at,
-            });
-        }
-    }
-    if shared.halted.load(Ordering::SeqCst) {
-        if shared.completed.load(Ordering::Relaxed) == shared.admitted.load(Ordering::Relaxed) {
-            quiesce_resume(shared, st)
-        } else {
-            0
-        }
-    } else {
-        admit_more(shared, &window)
-    }
-}
-
-/// The pipeline is quiescent and halted: apply pending plans (or resume
-/// as-is), install the new window, and re-open admission. Under the admit
-/// lock — this is the *only* place the window is replaced. Returns the
-/// number of jobs seeded into the injector.
-fn quiesce_resume(shared: &WsShared, st: &mut AdmitState) -> usize {
-    let open = st.quiesce_open.take();
-    if let Some(m) = &shared.metrics {
-        m.quiesce_windows.inc();
-        m.quiesce_time
-            .add(open.map_or(0, |w| w.elapsed().as_nanos() as u64));
-    }
-    let plans = std::mem::take(&mut st.pending);
-    let start = shared.admitted.load(Ordering::Relaxed);
-    let (dag, applied) = if plans.is_empty() {
-        // halted but no plans (defensive): resume with the same dag
-        // SAFETY: admit lock held.
-        (unsafe { shared.load_window() }.dag.clone(), None)
-    } else {
-        st.version += 1;
-        let outcome = apply_plans(&shared.inst, plans, st.version);
-        st.reconfigs += outcome.applied;
-        if let Some(m) = &shared.metrics {
-            m.reconfigs.add(outcome.applied);
-        }
-        (outcome.dag, Some((outcome.applied, outcome.grafted)))
-    };
-    let window = Arc::new(Window::new(dag, start, shared.depth as usize));
-    // SAFETY: quiescent — no in-flight job references the old window, and
-    // workers only reload after popping a job pushed below, which happens
-    // after this store (the queue hand-off carries the happens-before).
-    unsafe { *shared.window.get() = window.clone() };
-    shared.window_version.fetch_add(1, Ordering::Release);
-    shared.halted.store(false, Ordering::SeqCst);
-    if let Some(sink) = &shared.trace {
-        let at = shared.now();
-        if let Some((applied, grafted)) = applied {
-            sink.record(TraceEvent::ReconfigApplied {
-                plans: applied,
-                grafted: grafted as u64,
-                at,
-            });
-            sink.record(TraceEvent::DagSwap {
-                version: st.version,
-                at,
-            });
-        }
-        sink.record(TraceEvent::QuiesceEnd { at });
-    }
-    admit_more(shared, &window)
-}
-
-// ---------------------------------------------------------------------------
-// Execution
-
-/// Run one job against its window and feed the completion back. Returns
-/// `Some(iter)` when the job retired its iteration.
-fn execute_ws(
-    shared: &WsShared,
-    window: &Window,
-    job: JobRef,
-    core: u32,
-    // The caller's per-job stopwatch, reused here so the hot component
-    // path pays one clock read (the `elapsed` below), not two.
-    started: Instant,
-    per_node: &mut HashMap<String, (u64, Duration)>,
-    ready: &mut Vec<JobRef>,
-) -> Option<u64> {
-    match &window.dag.jobs[job.idx as usize].kind {
-        JobKind::Comp(leaf) => {
-            let mut meter = NullMeter;
-            let mut ctx = RunCtx::new(job.iter, &leaf.inputs, &leaf.outputs, &mut meter);
-            {
-                let _node = crate::sharedbuf::enter_node_shared(leaf.tag.clone());
-                // See `LeafRt::comp`: the self-dependency makes contention
-                // here a scheduler bug, not a wait.
-                leaf.comp
-                    .try_lock()
-                    .expect("per-node mutual exclusion violated (scheduler bug)")
-                    .run(&mut ctx);
-            }
-            let busy = started.elapsed();
-            if let Some(sink) = &shared.trace {
-                let end = shared.now();
-                sink.record(TraceEvent::JobSpan {
-                    label: leaf.name.clone(),
-                    kind: SpanKind::Component,
-                    iter: job.iter,
-                    core,
-                    start: end.saturating_sub(busy.as_nanos() as u64),
-                    end,
-                    cycles: 0,
-                    cache: None,
-                });
-            }
-            match per_node.get_mut(&leaf.name) {
-                Some(e) => {
-                    e.0 += 1;
-                    e.1 += busy;
-                }
-                None => {
-                    per_node.insert(leaf.name.clone(), (1, busy));
-                }
-            }
-        }
-        JobKind::MgrEntry(mgr) => {
-            // Manager machinery stays centralized: one admit-lock hold per
-            // manager per iteration, consulting/extending pending plans.
-            let start = shared.trace.as_ref().map(|_| shared.now());
-            let mut st = shared.admit.lock();
-            let (plan, cost) = exec_manager_entry(mgr, &shared.inst.streams, &st.pending);
-            if let Some(m) = &shared.metrics {
-                m.event_polls.inc();
-                m.events_drained.add(cost.events as u64);
-            }
-            let newly_halted = plan.is_some() && !shared.halted.load(Ordering::SeqCst);
-            if newly_halted {
-                st.quiesce_open = Some(Instant::now());
-            }
-            if let Some(sink) = &shared.trace {
-                let end = shared.now();
-                sink.record(TraceEvent::JobSpan {
-                    label: format!("{}.entry", mgr.name),
-                    kind: SpanKind::ManagerEntry,
-                    iter: job.iter,
-                    core,
-                    start: start.unwrap_or(end),
-                    end,
-                    cycles: 0,
-                    cache: None,
-                });
-                sink.record(TraceEvent::EventPoll {
-                    manager: mgr.name.clone(),
-                    events: cost.events as u64,
-                    at: end,
-                });
-                if newly_halted {
-                    sink.record(TraceEvent::QuiesceBegin { at: end });
-                }
-            }
-            if let Some(plan) = plan {
-                st.pending.push(plan);
-                shared.halted.store(true, Ordering::SeqCst);
-            }
-        }
-        JobKind::MgrExit(mgr) => {
-            // Synchronization point only.
-            if let Some(sink) = &shared.trace {
-                let now = shared.now();
-                sink.record(TraceEvent::JobSpan {
-                    label: format!("{}.exit", mgr.name),
-                    kind: SpanKind::ManagerExit,
-                    iter: job.iter,
-                    core,
-                    start: now,
-                    end: now,
-                    cycles: 0,
-                    cache: None,
-                });
-            }
-        }
-    }
-    complete_ws(shared, window, job, ready)
 }
 
 /// Local pop → injector → steal sweep over the peers.
@@ -847,7 +111,9 @@ fn find_work(shared: &WsShared, core: u32) -> Option<JobRef> {
 }
 
 fn worker_loop(shared: &WsShared, mut window: Arc<Window>, core: u32) {
+    let g = &shared.core;
     let me = &shared.locals[core as usize];
+    let total = g.total.load(Ordering::Relaxed);
     // Paired with the `window` argument captured at spawn time — NOT a
     // fresh load: a worker may start only after a reconfiguration already
     // bumped the version, and a fresh load would mis-pair the new version
@@ -874,21 +140,21 @@ fn worker_loop(shared: &WsShared, mut window: Arc<Window>, core: u32) {
     let mut handoff: Option<JobRef> = None;
     loop {
         let job = if let Some(job) = handoff.take() {
-            if shared.aborted.load(Ordering::Acquire) {
+            if g.aborted.load(Ordering::Acquire) {
                 flush(busy, idle, &mut per_node);
                 return;
             }
             job
         } else {
             loop {
-                if shared.aborted.load(Ordering::Acquire) {
+                if g.aborted.load(Ordering::Acquire) {
                     flush(busy, idle, &mut per_node);
                     return;
                 }
                 if let Some(job) = find_work(shared, core) {
                     break job;
                 }
-                if shared.completed.load(Ordering::Acquire) >= shared.total {
+                if g.completed.load(Ordering::Acquire) >= total {
                     flush(busy, idle, &mut per_node);
                     return;
                 }
@@ -897,56 +163,47 @@ fn worker_loop(shared: &WsShared, mut window: Arc<Window>, core: u32) {
                 if let Some(job) = find_work(shared, core) {
                     break job;
                 }
-                if shared.aborted.load(Ordering::Acquire)
-                    || shared.completed.load(Ordering::Acquire) >= shared.total
+                if g.aborted.load(Ordering::Acquire) || g.completed.load(Ordering::Acquire) >= total
                 {
                     continue; // exit through the checks above
                 }
-                let cause = ws_wait_cause(shared);
-                let wait_start = shared.now();
+                let cause = g.wait_cause();
+                let wait_start = g.now();
                 let waited_from = Instant::now();
                 shared.active.fetch_sub(1, Ordering::Relaxed);
                 shared.ec.wait(epoch);
                 shared.active.fetch_add(1, Ordering::Relaxed);
                 let waited = waited_from.elapsed();
                 idle += waited;
-                if let Some(sink) = &shared.trace {
+                if let Some(sink) = &g.trace {
                     sink.record(TraceEvent::CoreStall {
                         core,
                         cause,
                         start: wait_start,
-                        end: shared.now(),
+                        end: g.now(),
                     });
                 }
-                if let Some(m) = &shared.metrics {
+                if let Some(m) = &g.metrics {
                     m.on_stall(cause, waited.as_nanos() as u64);
                 }
             }
         };
         // The job pins its window: re-validate the cached Arc.
-        let version = shared.window_version.load(Ordering::Acquire);
+        let version = g.window_version.load(Ordering::Acquire);
         if version != cached_version {
             // SAFETY: holding an in-flight job popped after the swap.
-            window = unsafe { shared.load_window() };
+            window = unsafe { g.load_window() };
             cached_version = version;
         }
         let started = Instant::now();
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            execute_ws(
-                shared,
-                &window,
-                job,
-                core,
-                started,
-                &mut per_node,
-                &mut ready,
-            )
+            g.execute(&window, job, core, started, &mut per_node, &mut ready)
         }));
         let span = started.elapsed();
         busy += span;
         match result {
             Ok(retired) => {
-                if let Some(m) = &shared.metrics {
+                if let Some(m) = &g.metrics {
                     m.on_job(span.as_nanos() as u64);
                 }
                 // Keep the *oldest* readied successor for ourselves when
@@ -976,22 +233,25 @@ fn worker_loop(shared: &WsShared, mut window: Arc<Window>, core: u32) {
                     shared.wake(published);
                 }
                 if let Some(iter) = retired {
-                    let seeded = retire(shared, iter);
-                    if shared.completed.load(Ordering::Acquire) >= shared.total {
+                    let mut seeded = Vec::new();
+                    g.retire(iter, &mut seeded);
+                    if g.completed.load(Ordering::Acquire) >= total {
                         // Run over: every parked worker must observe it.
                         shared.ec.notify_all();
-                    } else if seeded > 0 {
+                    } else if !seeded.is_empty() {
                         // Admission (or a quiesce resume) published fresh
                         // source jobs. At steady state nothing is seeded —
                         // admitted jobs wait on self-dependencies that
                         // completers deliver — so retirement stays silent
                         // instead of waking every sleeper each iteration.
-                        shared.wake(seeded);
+                        let n = seeded.len();
+                        shared.injector.push_many(seeded);
+                        shared.wake(n);
                     }
                 }
             }
             Err(payload) => {
-                shared.aborted.store(true, Ordering::SeqCst);
+                g.aborted.store(true, Ordering::SeqCst);
                 flush(busy, idle, &mut per_node);
                 // A lease conflict is the scheduling-bug detector firing:
                 // surface it as a structured error from run_native. Any
@@ -1022,17 +282,17 @@ pub(super) fn run_ws(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, Hin
     let inst = instantiate_graph_sized(spec, cfg.pipeline_depth);
     let dag = Arc::new(flatten(&inst.root, &inst.streams, 0));
     let depth = cfg.pipeline_depth.max(1) as u64;
-    let window = Arc::new(Window::new(dag, 0, depth as usize));
-    let shared = Arc::new(WsShared {
-        window: UnsafeCell::new(window.clone()),
-        window_version: AtomicU64::new(0),
-        admitted: AtomicU64::new(0),
-        completed: AtomicU64::new(0),
-        halted: AtomicBool::new(false),
-        aborted: AtomicBool::new(false),
-        jobs_executed: AtomicU64::new(0),
-        total: cfg.iterations,
+    let core = GraphCore::new(
+        inst,
+        dag,
         depth,
+        cfg.iterations,
+        cfg.trace.clone(),
+        cfg.metrics.clone(),
+        None,
+    );
+    let shared = Arc::new(WsShared {
+        core,
         locals: (0..cfg.workers).map(|_| LocalQueue::new()).collect(),
         injector: Injector::new(),
         ec: EventCount::new(),
@@ -1040,27 +300,20 @@ pub(super) fn run_ws(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, Hin
         parallelism: cfg
             .workers
             .min(std::thread::available_parallelism().map_or(cfg.workers, |n| n.get())),
-        admit: Mutex::new(AdmitState {
-            pending: Vec::new(),
-            pending_retires: Vec::new(),
-            version: 0,
-            reconfigs: 0,
-            quiesce_open: None,
-        }),
         collect: Mutex::new(Collected {
             per_node: HashMap::new(),
             core_busy: vec![Duration::ZERO; cfg.workers],
             core_idle: vec![Duration::ZERO; cfg.workers],
             failure: None,
         }),
-        inst,
-        trace: cfg.trace.clone(),
-        metrics: cfg.metrics.clone(),
-        epoch: Instant::now(),
     });
+    // SAFETY: no worker is running yet; the spawner is the only thread.
+    let window = unsafe { shared.core.load_window() };
     {
-        let _st = shared.admit.lock();
-        admit_more(&shared, &window);
+        let _st = shared.core.admit.lock();
+        let mut seeded = Vec::new();
+        shared.core.admit_more(&window, &mut seeded);
+        shared.injector.push_many(seeded);
     }
 
     let start = Instant::now();
@@ -1090,139 +343,14 @@ pub(super) fn run_ws(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, Hin
     if let Some(failure) = collected.failure.clone() {
         return Err(failure);
     }
-    let st = shared.admit.lock();
     Ok(RunReport {
-        iterations: shared.completed.load(Ordering::Relaxed),
+        iterations: shared.core.completed.load(Ordering::Relaxed),
         elapsed,
-        jobs_executed: shared.jobs_executed.load(Ordering::Relaxed),
-        reconfigs: st.reconfigs,
+        jobs_executed: shared.core.jobs_executed.load(Ordering::Relaxed),
+        reconfigs: shared.core.reconfigs(),
         workers: cfg.workers,
         per_node: collected.per_node.clone(),
         core_busy: collected.core_busy.clone(),
         core_idle: collected.core_idle.clone(),
     })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn job(iter: u64, idx: u32) -> JobRef {
-        JobRef { iter, idx }
-    }
-
-    #[test]
-    fn local_queue_is_fifo() {
-        let q = LocalQueue::new();
-        let inj = Injector::new();
-        for i in 0..5 {
-            q.push(job(0, i), &inj);
-        }
-        for i in 0..5 {
-            assert_eq!(q.pop(), Some(job(0, i)));
-        }
-        assert_eq!(q.pop(), None);
-        assert!(inj.pop().is_none());
-    }
-
-    #[test]
-    fn local_queue_overflows_to_injector() {
-        let q = LocalQueue::new();
-        let inj = Injector::new();
-        for i in 0..(LOCAL_CAP as u32 + 10) {
-            q.push(job(1, i), &inj);
-        }
-        // the first LOCAL_CAP landed locally, the rest spilled
-        let mut spilled = 0;
-        while inj.pop().is_some() {
-            spilled += 1;
-        }
-        assert_eq!(spilled, 10);
-        let mut local = 0;
-        while q.pop().is_some() {
-            local += 1;
-        }
-        assert_eq!(local, LOCAL_CAP);
-    }
-
-    #[test]
-    fn steal_takes_oldest() {
-        let q = LocalQueue::new();
-        let inj = Injector::new();
-        q.push(job(0, 0), &inj);
-        q.push(job(0, 1), &inj);
-        assert_eq!(q.steal(), Some(job(0, 0)));
-        assert_eq!(q.pop(), Some(job(0, 1)));
-        assert_eq!(q.steal(), None);
-    }
-
-    #[test]
-    fn concurrent_steals_conserve_jobs() {
-        const N: u32 = 50_000;
-        let q = Arc::new(LocalQueue::new());
-        let inj = Arc::new(Injector::new());
-        let taken = Arc::new(AtomicU64::new(0));
-        let done = Arc::new(AtomicBool::new(false));
-        let thieves: Vec<_> = (0..3)
-            .map(|_| {
-                let q = q.clone();
-                let taken = taken.clone();
-                let done = done.clone();
-                std::thread::spawn(move || {
-                    while !done.load(Ordering::Acquire) || q.steal().is_some() {
-                        if q.steal().is_some() {
-                            taken.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                })
-            })
-            .collect();
-        let mut owner_got = 0u64;
-        for i in 0..N {
-            q.push(job(0, i), &inj);
-            if i % 3 == 0 && q.pop().is_some() {
-                owner_got += 1;
-            }
-        }
-        while q.pop().is_some() {
-            owner_got += 1;
-        }
-        done.store(true, Ordering::Release);
-        for t in thieves {
-            t.join().unwrap();
-        }
-        let mut overflow = 0u64;
-        while inj.pop().is_some() {
-            overflow += 1;
-        }
-        assert_eq!(
-            owner_got + taken.load(Ordering::Relaxed) + overflow,
-            N as u64,
-            "every pushed job is consumed exactly once"
-        );
-    }
-
-    #[test]
-    fn eventcount_delivers_wakeups() {
-        let ec = Arc::new(EventCount::new());
-        let flag = Arc::new(AtomicU64::new(0));
-        let waiter = {
-            let ec = ec.clone();
-            let flag = flag.clone();
-            std::thread::spawn(move || loop {
-                if flag.load(Ordering::SeqCst) == 1 {
-                    return;
-                }
-                let e = ec.prepare();
-                if flag.load(Ordering::SeqCst) == 1 {
-                    return;
-                }
-                ec.wait(e);
-            })
-        };
-        std::thread::sleep(Duration::from_millis(10));
-        flag.store(1, Ordering::SeqCst);
-        ec.notify(1);
-        waiter.join().unwrap();
-    }
 }

@@ -221,6 +221,35 @@ impl Node {
         v.len()
     }
 
+    /// Collect every live manager below this node, including managers
+    /// inside currently-enabled option bodies. Used by the serving
+    /// runtime to route externally-injected events to a manager queue by
+    /// name (reconfiguration over the wire).
+    pub fn collect_managers(&self, out: &mut Vec<Arc<ManagerRt>>) {
+        match self {
+            Node::Leaf(_) => {}
+            Node::Seq(cs) | Node::Par(cs) => {
+                for c in cs {
+                    c.collect_managers(out);
+                }
+            }
+            Node::CrossDep { blocks } => {
+                for c in blocks.iter().flat_map(|b| b.iter()) {
+                    c.collect_managers(out);
+                }
+            }
+            Node::Managed { mgr, body } => {
+                out.push(mgr.clone());
+                body.collect_managers(out);
+            }
+            Node::Opt(cell) => {
+                if let Some(body) = &cell.state.lock().body {
+                    body.collect_managers(out);
+                }
+            }
+        }
+    }
+
     /// Find the managed subtree of a manager (by entry id).
     pub fn find_managed(&self, entry_id: NodeId) -> Option<&Node> {
         match self {

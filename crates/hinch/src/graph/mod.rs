@@ -513,6 +513,32 @@ pub(crate) mod testutil {
         )
     }
 
+    /// A component that panics on every invocation — exercises the
+    /// engines' failure paths.
+    pub struct Panicker;
+
+    impl Component for Panicker {
+        fn class(&self) -> &'static str {
+            "panicker"
+        }
+        fn run(&mut self, _ctx: &mut RunCtx<'_>) {
+            panic!("injected component failure");
+        }
+    }
+
+    /// Leaf spec for [`Panicker`].
+    pub fn panicking_leaf(name: &str, inputs: &[&str], outputs: &[&str]) -> GraphSpec {
+        let f: ComponentFactory = Arc::new(|| Box::new(Panicker));
+        let mut c = ComponentSpec::new(name, "panicker", f);
+        for i in inputs {
+            c = c.input(*i);
+        }
+        for o in outputs {
+            c = c.output(*o);
+        }
+        GraphSpec::Leaf(c)
+    }
+
     pub fn leaf(name: &str, inputs: &[&str], outputs: &[&str], add: i64) -> GraphSpec {
         let mut c = ComponentSpec::new(name, "adder", adder(add));
         for i in inputs {

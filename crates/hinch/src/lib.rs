@@ -46,7 +46,10 @@ pub mod stream;
 
 pub use component::{Component, ParamValue, Params, ReconfigRequest, RunCtx, SliceAssign};
 pub use engine::reference::RefReport;
-pub use engine::{run_native, run_reference, run_sim, RunConfig};
+pub use engine::{
+    run_native, run_reference, run_sim, GraphId, GraphStats, RunConfig, Runtime, RuntimeConfig,
+    ServeError, SpawnOpts,
+};
 pub use error::HinchError;
 pub use event::{Event, EventQueue};
 pub use graph::{ComponentFactory, ComponentSpec, GraphSpec, ManagerSpec};

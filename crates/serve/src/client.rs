@@ -1,0 +1,133 @@
+//! Typed client for the frame protocol (used by the load harness, the
+//! smoke gate and external tools).
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ALL_GRAPHS};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side errors: transport failures vs errors the server reported.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(io::Error),
+    /// The server answered with an error response (its message).
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Server(msg) => write!(f, "server: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a serving front-end. Requests are synchronous:
+/// write a frame, read the response frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Raw request/response round trip.
+    pub fn request(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let body = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        match Response::decode(&body)? {
+            Response::Ok(payload) => Ok(payload),
+            Response::Err(msg) => Err(ClientError::Server(msg)),
+        }
+    }
+
+    /// Spawn an app instance; returns its graph id.
+    pub fn spawn(
+        &mut self,
+        app: &str,
+        pipeline_depth: u32,
+        max_backlog: u64,
+    ) -> Result<u32, ClientError> {
+        let payload = self.request(&Request::Spawn {
+            app: app.to_string(),
+            pipeline_depth,
+            max_backlog,
+        })?;
+        let bytes: [u8; 4] = payload
+            .try_into()
+            .map_err(|_| ClientError::Server("malformed spawn response".into()))?;
+        Ok(u32::from_be_bytes(bytes))
+    }
+
+    /// Offer `frames` frames; returns how many the server accepted
+    /// (admission control — 0 means shed, retry later).
+    pub fn submit(&mut self, graph: u32, frames: u64) -> Result<u64, ClientError> {
+        let payload = self.request(&Request::Submit { graph, frames })?;
+        let bytes: [u8; 8] = payload
+            .try_into()
+            .map_err(|_| ClientError::Server("malformed submit response".into()))?;
+        Ok(u64::from_be_bytes(bytes))
+    }
+
+    /// Inject a manager event (reconfiguration over the wire).
+    pub fn inject(
+        &mut self,
+        graph: u32,
+        queue: &str,
+        kind: &str,
+        payload: i64,
+    ) -> Result<(), ClientError> {
+        self.request(&Request::Inject {
+            graph,
+            queue: queue.to_string(),
+            kind: kind.to_string(),
+            payload,
+        })?;
+        Ok(())
+    }
+
+    /// Stats of one graph as a JSON string.
+    pub fn stats(&mut self, graph: u32) -> Result<String, ClientError> {
+        let payload = self.request(&Request::Stats { graph })?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+
+    /// Stats of every live graph as a JSON array string.
+    pub fn all_stats(&mut self) -> Result<String, ClientError> {
+        self.stats(ALL_GRAPHS)
+    }
+
+    /// Drain a graph to completion and tear it down; returns its final
+    /// stats as a JSON string.
+    pub fn drain(&mut self, graph: u32) -> Result<String, ClientError> {
+        let payload = self.request(&Request::Drain { graph })?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Ping)?;
+        Ok(())
+    }
+
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown)?;
+        Ok(())
+    }
+}

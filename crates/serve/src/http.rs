@@ -1,0 +1,172 @@
+//! Minimal HTTP/1.1 gateway over the same request semantics as the
+//! binary frame protocol — `curl`-able frame submission and manager-event
+//! injection, flowd-style.
+//!
+//! Routes (all responses are JSON, `Connection: close`):
+//!
+//! | route | maps to |
+//! |-------|---------|
+//! | `GET  /healthz` | liveness probe |
+//! | `GET  /stats[?graph=N]` | [`Request::Stats`] |
+//! | `POST /spawn?app=pip1[&depth=5][&backlog=32]` | [`Request::Spawn`] |
+//! | `POST /submit?graph=N&frames=K` | [`Request::Submit`] — response carries `accepted` (admission control) |
+//! | `POST /inject?graph=N&queue=mq&event=flip[&payload=0]` | [`Request::Inject`] |
+//! | `POST /drain?graph=N` | [`Request::Drain`] |
+//! | `POST /shutdown` | [`Request::Shutdown`] |
+//!
+//! Hand-rolled on `std::net` — request line + headers are read and the
+//! body (none of the routes needs one) is ignored. Not a general HTTP
+//! server; just enough for scripted ingress and smoke tests.
+
+use crate::protocol::{Request, Response, ALL_GRAPHS};
+use crate::server::Inner;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub(crate) fn accept_loop(listener: TcpListener, inner: Arc<Inner>, tcp_addr: SocketAddr) {
+    for conn in listener.incoming() {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(stream) = conn {
+            let _ = handle(stream, &inner);
+        }
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    // Unblock the frame-protocol accept loop so shutdown initiated over
+    // HTTP propagates (and vice versa — poking an already-closed
+    // listener is harmless).
+    let _ = TcpStream::connect(tcp_addr);
+}
+
+fn parse_query(query: &str) -> HashMap<&str, &str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .collect()
+}
+
+fn param<T: std::str::FromStr>(
+    q: &HashMap<&str, &str>,
+    key: &str,
+    default: Option<T>,
+) -> Result<T, String> {
+    match q.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("bad parameter '{key}'")),
+        None => default.ok_or(format!("missing parameter '{key}'")),
+    }
+}
+
+/// Translate one HTTP request into a protocol [`Request`], run it, and
+/// render the JSON body. Returns `(http status, body)`.
+fn route(method: &str, path: &str, query: &str, inner: &Inner) -> (u16, String) {
+    let q = parse_query(query);
+    let run = |req: Request| -> Result<Response, String> { Ok(inner.handle(req)) };
+    let result: Result<String, String> = (|| match (method, path) {
+        ("GET", "/healthz") => Ok("{\"ok\":true}".to_string()),
+        ("GET", "/stats") => {
+            let graph = param(&q, "graph", Some(ALL_GRAPHS))?;
+            match run(Request::Stats { graph })? {
+                Response::Ok(json) => Ok(String::from_utf8_lossy(&json).into_owned()),
+                Response::Err(e) => Err(e),
+            }
+        }
+        ("POST", "/spawn") => {
+            let req = Request::Spawn {
+                app: param::<String>(&q, "app", None)?,
+                pipeline_depth: param(&q, "depth", Some(5))?,
+                max_backlog: param(&q, "backlog", Some(32))?,
+            };
+            match run(req)? {
+                Response::Ok(b) if b.len() == 4 => {
+                    let id = u32::from_be_bytes(b.try_into().unwrap());
+                    Ok(format!("{{\"graph\":{id}}}"))
+                }
+                Response::Ok(_) => Err("malformed spawn response".into()),
+                Response::Err(e) => Err(e),
+            }
+        }
+        ("POST", "/submit") => {
+            let req = Request::Submit {
+                graph: param(&q, "graph", None)?,
+                frames: param(&q, "frames", None)?,
+            };
+            match run(req)? {
+                Response::Ok(b) if b.len() == 8 => {
+                    let accepted = u64::from_be_bytes(b.try_into().unwrap());
+                    Ok(format!("{{\"accepted\":{accepted}}}"))
+                }
+                Response::Ok(_) => Err("malformed submit response".into()),
+                Response::Err(e) => Err(e),
+            }
+        }
+        ("POST", "/inject") => {
+            let req = Request::Inject {
+                graph: param(&q, "graph", None)?,
+                queue: param::<String>(&q, "queue", None)?,
+                kind: param::<String>(&q, "event", None)?,
+                payload: param(&q, "payload", Some(0))?,
+            };
+            match run(req)? {
+                Response::Ok(_) => Ok("{\"ok\":true}".to_string()),
+                Response::Err(e) => Err(e),
+            }
+        }
+        ("POST", "/drain") => {
+            let req = Request::Drain {
+                graph: param(&q, "graph", None)?,
+            };
+            match run(req)? {
+                Response::Ok(json) => Ok(String::from_utf8_lossy(&json).into_owned()),
+                Response::Err(e) => Err(e),
+            }
+        }
+        ("POST", "/shutdown") => match run(Request::Shutdown)? {
+            Response::Ok(_) => Ok("{\"ok\":true}".to_string()),
+            Response::Err(e) => Err(e),
+        },
+        _ => Err(format!("no route {method} {path}")),
+    })();
+    match result {
+        Ok(body) => (200, body),
+        Err(e) => (400, format!("{{\"error\":\"{}\"}}", e.replace('"', "\\\""))),
+    }
+}
+
+fn handle(stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    // Drain the headers; no route carries a body.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let (status, body) = if method.is_empty() || target.is_empty() {
+        (400, "{\"error\":\"malformed request line\"}".to_string())
+    } else {
+        route(&method, path, query, inner)
+    };
+    let reason = if status == 200 { "OK" } else { "Bad Request" };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}

@@ -1,0 +1,111 @@
+//! Multi-graph serving front-end for the hinch runtime.
+//!
+//! The coordination language's runtime traditionally executes one graph
+//! per process run. This crate turns it into a *service*: many graph
+//! instances multiplexed over one shared worker pool
+//! ([`hinch::Runtime`]), fed over the network — a length-prefixed TCP
+//! frame protocol ([`protocol`]) plus a minimal HTTP gateway ([`http`])
+//! for frame submission and manager-event injection (reconfiguration
+//! over the wire) — with per-tenant admission control and an open-loop
+//! load harness ([`load`]) that measures concurrent-graph throughput and
+//! p99 frame latency for `BENCH_serve.json`.
+//!
+//! See `docs/SERVING.md` for the protocol framing, admission-control
+//! semantics and load-generator usage; `hinch-serve --help` for the CLI.
+
+pub mod client;
+pub mod http;
+pub mod load;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use load::{run_open_loop, run_saturated, Burst, LoadConfig, LoadReport, SaturatedReport};
+pub use protocol::{Request, Response, ALL_GRAPHS, MAX_FRAME};
+pub use server::{stats_json, Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::experiment::Scale;
+
+    /// End-to-end over real sockets: spawn, feed, reconfigure over the
+    /// wire, drain, shut down.
+    #[test]
+    fn tcp_round_trip_serves_and_reconfigures() {
+        let server = Server::bind(
+            ServerConfig {
+                workers: 2,
+                scale: Scale::Small,
+            },
+            "127.0.0.1:0",
+            None,
+        )
+        .expect("bind");
+        let addr = server.tcp_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+        let mut c = Client::connect(addr).expect("connect");
+        c.ping().expect("ping");
+        // pip12 carries a manager ("m") on queue "mq" with a `flip` rule.
+        let g = c.spawn("pip12", 2, 64).expect("spawn");
+        assert_eq!(c.submit(g, 4).expect("submit"), 4);
+        c.inject(g, "mq", "flip", 0).expect("inject");
+        // These frames' manager entries run after the injection: the flip
+        // is picked up and applied at quiescence.
+        assert_eq!(c.submit(g, 4).expect("submit"), 4);
+        let drained = c.drain(g).expect("drain");
+        assert!(drained.contains("\"completed\":8"), "{drained}");
+        assert!(!drained.contains("\"reconfigs\":0"), "{drained}");
+        // Unknown app and unknown graph are reported, not fatal.
+        assert!(matches!(c.spawn("nope", 1, 1), Err(ClientError::Server(_))));
+        assert!(matches!(c.submit(77, 1), Err(ClientError::Server(_))));
+        c.shutdown().expect("shutdown");
+        drop(c);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn http_gateway_round_trip() {
+        use std::io::{Read, Write};
+        let server = Server::bind(
+            ServerConfig {
+                workers: 2,
+                scale: Scale::Small,
+            },
+            "127.0.0.1:0",
+            Some("127.0.0.1:0"),
+        )
+        .expect("bind");
+        let http = server.http_addr().expect("http addr");
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+        let get = |path: &str| -> String {
+            let mut s = std::net::TcpStream::connect(http).expect("http connect");
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let post = |path: &str| -> String {
+            let mut s = std::net::TcpStream::connect(http).expect("http connect");
+            write!(s, "POST {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+
+        assert!(get("/healthz").contains("{\"ok\":true}"));
+        let spawned = post("/spawn?app=blur3&depth=2&backlog=16");
+        assert!(spawned.contains("\"graph\":0"), "{spawned}");
+        let submitted = post("/submit?graph=0&frames=3");
+        assert!(submitted.contains("\"accepted\":3"), "{submitted}");
+        let drained = post("/drain?graph=0");
+        assert!(drained.contains("\"completed\":3"), "{drained}");
+        assert!(get("/stats").contains("[]"));
+        assert!(post("/submit?graph=0&frames=1").contains("400"), "drained");
+        assert!(post("/nope").contains("400"));
+        post("/shutdown");
+        handle.join().expect("server thread");
+    }
+}

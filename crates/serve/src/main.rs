@@ -1,0 +1,363 @@
+//! `hinch-serve` — the serving runtime CLI.
+//!
+//! ```text
+//! hinch-serve serve  [--addr 127.0.0.1:7070] [--http 127.0.0.1:7071]
+//!                    [--workers N] [--scale small|paper]
+//! hinch-serve load   [--graphs N] [--workers N] [--rate FPS]
+//!                    [--duration-ms MS] [--seed S] [--mix pip1,blur3,...]
+//!                    [--depth D] [--backlog B] [--no-burst] [--json PATH]
+//! hinch-serve bench  [--json BENCH_serve.json] [--graphs N] [--duration-ms MS]
+//! hinch-serve smoke  [--frames N]
+//! ```
+//!
+//! * `serve` — run the front-end until a `Shutdown` request arrives;
+//! * `load` — in-process open-loop load run, report as JSON;
+//! * `bench` — the `BENCH_serve.json` producer: open-loop fleet run plus
+//!   the saturated multi-vs-solo throughput probe (gated in
+//!   `scripts/bench.sh`);
+//! * `smoke` — end-to-end self-test over real sockets (used by
+//!   `scripts/ci.sh`): start a server, push frames over TCP, inject a
+//!   reconfiguration event, verify responses and clean shutdown.
+
+use apps::experiment::{App, Scale};
+use serve::load::{run_open_loop, run_saturated, LoadConfig, LoadReport, SaturatedReport};
+use serve::{Client, Server, ServerConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hinch-serve serve [--addr A] [--http A] [--workers N] [--scale small|paper]\n\
+         \x20      hinch-serve load  [--graphs N] [--workers N] [--rate FPS] [--duration-ms MS]\n\
+         \x20                        [--seed S] [--mix a,b,..] [--depth D] [--backlog B]\n\
+         \x20                        [--no-burst] [--json PATH]\n\
+         \x20      hinch-serve bench [--json PATH] [--graphs N] [--duration-ms MS]\n\
+         \x20      hinch-serve smoke [--frames N]"
+    );
+    ExitCode::from(2)
+}
+
+/// `--key value` pairs after the subcommand.
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("bad value for {key}: {v}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "small" => Ok(Scale::Small),
+        "paper" => Ok(Scale::Paper),
+        _ => Err(format!("bad scale '{s}' (small|paper)")),
+    }
+}
+
+fn parse_mix(s: &str) -> Result<Vec<App>, String> {
+    s.split(',')
+        .map(|id| App::parse(id).ok_or(format!("unknown app '{id}' in --mix")))
+        .collect()
+}
+
+fn load_json(r: &LoadReport, cfg: &LoadConfig) -> String {
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "        \"graphs\": {},", r.graphs);
+    let _ = writeln!(j, "        \"workers\": {},", r.workers);
+    let _ = writeln!(
+        j,
+        "        \"mix\": [{}],",
+        cfg.mix
+            .iter()
+            .map(|a| format!("\"{}\"", a.id()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(j, "        \"seed\": {},", cfg.seed);
+    let _ = writeln!(j, "        \"rate_fps\": {:.1},", cfg.rate_fps);
+    let _ = writeln!(
+        j,
+        "        \"burst\": {},",
+        match cfg.burst {
+            Some(b) => format!(
+                "{{\"period_ms\": {}, \"len_ms\": {}, \"factor\": {:.1}}}",
+                b.period.as_millis(),
+                b.len.as_millis(),
+                b.factor
+            ),
+            None => "null".to_string(),
+        }
+    );
+    let _ = writeln!(j, "        \"duration_ms\": {},", cfg.duration.as_millis());
+    let _ = writeln!(j, "        \"offered\": {},", r.offered);
+    let _ = writeln!(j, "        \"accepted\": {},", r.accepted);
+    let _ = writeln!(j, "        \"shed\": {},", r.shed);
+    let _ = writeln!(j, "        \"completed\": {},", r.completed);
+    let _ = writeln!(j, "        \"reconfigs\": {},", r.reconfigs);
+    let _ = writeln!(j, "        \"elapsed_ms\": {},", r.elapsed.as_millis());
+    let _ = writeln!(j, "        \"agg_fps\": {:.1},", r.agg_fps);
+    let _ = writeln!(j, "        \"latency_mean_ns\": {:.1},", r.latency_mean_ns);
+    let _ = writeln!(j, "        \"latency_p50_ns\": {},", r.latency_p50_ns);
+    let _ = writeln!(j, "        \"latency_p99_ns\": {}", r.latency_p99_ns);
+    j.push_str("    }");
+    j
+}
+
+fn saturated_json(r: &SaturatedReport, app: App) -> String {
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "        \"app\": \"{}\",", app.id());
+    let _ = writeln!(j, "        \"graphs\": {},", r.graphs);
+    let _ = writeln!(j, "        \"workers\": {},", r.workers);
+    let _ = writeln!(j, "        \"frames_per_graph\": {},", r.frames_per_graph);
+    let _ = writeln!(
+        j,
+        "        \"multi_elapsed_ms\": {},",
+        r.multi_elapsed.as_millis()
+    );
+    let _ = writeln!(
+        j,
+        "        \"solo_elapsed_ms\": {},",
+        r.solo_elapsed.as_millis()
+    );
+    let _ = writeln!(j, "        \"multi_fps\": {:.1},", r.multi_fps);
+    let _ = writeln!(j, "        \"solo_fps\": {:.1},", r.solo_fps);
+    let _ = writeln!(j, "        \"ratio\": {:.3}", r.ratio);
+    j.push_str("    }");
+    j
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("--addr").unwrap_or("127.0.0.1:7070");
+    let http = args.get("--http");
+    let cfg = ServerConfig {
+        workers: args.parse("--workers", 4usize)?,
+        scale: parse_scale(args.get("--scale").unwrap_or("small"))?,
+    };
+    let server = Server::bind(cfg, addr, http).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!(
+        "hinch-serve: frame protocol on {}{}",
+        server.tcp_addr().map_err(|e| e.to_string())?,
+        match server.http_addr() {
+            Some(a) => format!(", http on {a}"),
+            None => String::new(),
+        }
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn build_load_config(args: &Args) -> Result<LoadConfig, String> {
+    let defaults = LoadConfig::default();
+    let mut cfg = LoadConfig {
+        graphs: args.parse("--graphs", defaults.graphs)?,
+        workers: args.parse("--workers", defaults.workers)?,
+        rate_fps: args.parse("--rate", defaults.rate_fps)?,
+        duration: Duration::from_millis(
+            args.parse("--duration-ms", defaults.duration.as_millis() as u64)?,
+        ),
+        seed: args.parse("--seed", defaults.seed)?,
+        pipeline_depth: args.parse("--depth", defaults.pipeline_depth)?,
+        max_backlog: args.parse("--backlog", defaults.max_backlog)?,
+        ..defaults
+    };
+    if let Some(mix) = args.get("--mix") {
+        cfg.mix = parse_mix(mix)?;
+    }
+    if args.flag("--no-burst") {
+        cfg.burst = None;
+    }
+    Ok(cfg)
+}
+
+fn cmd_load(args: &Args) -> Result<(), String> {
+    let cfg = build_load_config(args)?;
+    eprintln!(
+        "hinch-serve load: {} graphs / {} workers, {:.0} fps offered for {} ms",
+        cfg.graphs,
+        cfg.workers,
+        cfg.rate_fps,
+        cfg.duration.as_millis()
+    );
+    let report = run_open_loop(&cfg);
+    let json = format!("{{\n    \"open_loop\": {}\n}}\n", load_json(&report, &cfg));
+    match args.get("--json") {
+        Some(path) => std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?,
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "hinch-serve load: {} offered, {} accepted ({} shed), {:.0} frames/s, p99 {} ns",
+        report.offered, report.accepted, report.shed, report.agg_fps, report.latency_p99_ns
+    );
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let out = args.get("--json").unwrap_or("BENCH_serve.json");
+    let mut cfg = build_load_config(args)?;
+    cfg.graphs = cfg.graphs.max(64); // the acceptance floor
+    eprintln!(
+        "bench serve: open loop — {} graphs / {} workers, {:.0} fps offered for {} ms",
+        cfg.graphs,
+        cfg.workers,
+        cfg.rate_fps,
+        cfg.duration.as_millis()
+    );
+    let open = run_open_loop(&cfg);
+    eprintln!(
+        "bench serve: open loop — {} accepted ({} shed), {:.0} frames/s, p99 {} ns",
+        open.accepted, open.shed, open.agg_fps, open.latency_p99_ns
+    );
+
+    let app = App::Pip1;
+    let (graphs, frames, workers, depth) = (8, 64, 8, 3);
+    eprintln!(
+        "bench serve: saturated — {graphs} x {} @ {frames} frames, {workers} workers, multi vs solo",
+        app.id()
+    );
+    let sat = run_saturated(app, Scale::Small, graphs, frames, workers, depth);
+    eprintln!(
+        "bench serve: saturated — multi {:.0} fps vs solo {:.0} fps (ratio {:.3})",
+        sat.multi_fps, sat.solo_fps, sat.ratio
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("    \"generated_by\": \"hinch-serve bench\",\n");
+    json.push_str(
+        "    \"note\": \"absolute numbers are machine-dependent; compare ratios and bounds. \
+         open_loop = seeded Poisson arrivals over a mixed-app fleet with per-tenant admission \
+         control; saturated = N instances on one shared pool vs the same N as dedicated \
+         back-to-back single-graph runs\",\n",
+    );
+    let _ = writeln!(json, "    \"open_loop\": {},", load_json(&open, &cfg));
+    let _ = writeln!(json, "    \"saturated\": {}", saturated_json(&sat, app));
+    json.push_str("}\n");
+    std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("bench serve: wrote {out}");
+    Ok(())
+}
+
+fn cmd_smoke(args: &Args) -> Result<(), String> {
+    let frames: u64 = args.parse("--frames", 6u64)?;
+    let server = Server::bind(
+        ServerConfig {
+            workers: 2,
+            scale: Scale::Small,
+        },
+        "127.0.0.1:0",
+        Some("127.0.0.1:0"),
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.tcp_addr().map_err(|e| e.to_string())?;
+    let http = server.http_addr().ok_or("no http addr")?;
+    let handle = std::thread::spawn(move || server.run());
+
+    let step = |r: Result<(), String>| r;
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    step(c.ping().map_err(|e| format!("ping: {e}")))?;
+
+    // A reconfigurable app: manager "m" on queue "mq", flip rule.
+    let g = c
+        .spawn("pip12", 3, frames * 2)
+        .map_err(|e| format!("spawn: {e}"))?;
+    let first = c.submit(g, frames).map_err(|e| format!("submit: {e}"))?;
+    if first != frames {
+        return Err(format!("submit accepted {first}/{frames}"));
+    }
+    c.inject(g, "mq", "flip", 0)
+        .map_err(|e| format!("inject: {e}"))?;
+    let second = c.submit(g, frames).map_err(|e| format!("submit2: {e}"))?;
+    if second != frames {
+        return Err(format!("second submit accepted {second}/{frames}"));
+    }
+    let drained = c.drain(g).map_err(|e| format!("drain: {e}"))?;
+    let want = format!("\"completed\":{}", frames * 2);
+    if !drained.contains(&want) {
+        return Err(format!("drain stats missing {want}: {drained}"));
+    }
+    if drained.contains("\"reconfigs\":0,") {
+        return Err(format!("injected flip was not applied: {drained}"));
+    }
+
+    // HTTP path: health + spawn/submit/drain a second tenant.
+    use std::io::{Read, Write as _};
+    let http_req = |req: String| -> Result<String, String> {
+        let mut s = std::net::TcpStream::connect(http).map_err(|e| format!("http: {e}"))?;
+        write!(s, "{req}").map_err(|e| format!("http write: {e}"))?;
+        let mut out = String::new();
+        s.read_to_string(&mut out)
+            .map_err(|e| format!("http read: {e}"))?;
+        Ok(out)
+    };
+    let health = http_req("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".into())?;
+    if !health.contains("{\"ok\":true}") {
+        return Err(format!("healthz: {health}"));
+    }
+    let spawned =
+        http_req("POST /spawn?app=blur3&depth=2&backlog=8 HTTP/1.1\r\nHost: x\r\n\r\n".into())?;
+    let gid: u32 = spawned
+        .rsplit_once("\"graph\":")
+        .and_then(|(_, tail)| tail.trim_end_matches(['}', '\r', '\n']).parse().ok())
+        .ok_or(format!("spawn over http: {spawned}"))?;
+    let submitted = http_req(format!(
+        "POST /submit?graph={gid}&frames=2 HTTP/1.1\r\nHost: x\r\n\r\n"
+    ))?;
+    if !submitted.contains("\"accepted\":2") {
+        return Err(format!("submit over http: {submitted}"));
+    }
+    let drained = http_req(format!(
+        "POST /drain?graph={gid} HTTP/1.1\r\nHost: x\r\n\r\n"
+    ))?;
+    if !drained.contains("\"completed\":2") {
+        return Err(format!("drain over http: {drained}"));
+    }
+
+    c.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    drop(c);
+    match handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(format!("server exit: {e}")),
+        Err(_) => return Err("server thread panicked".into()),
+    }
+    println!(
+        "serve smoke: OK ({} frames over TCP + 1 wire reconfig + http tenant, clean shutdown)",
+        frames * 2
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let args = Args(argv[1..].to_vec());
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(&args),
+        "load" => cmd_load(&args),
+        "bench" => cmd_bench(&args),
+        "smoke" => cmd_smoke(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hinch-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

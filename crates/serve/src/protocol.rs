@@ -1,0 +1,345 @@
+//! Length-prefixed binary frame protocol for graph serving.
+//!
+//! Every message — request or response — is one *frame* on the wire:
+//!
+//! ```text
+//! u32 BE body length | body
+//! ```
+//!
+//! A request body is an opcode byte followed by opcode-specific fields; a
+//! response body is a status byte (`0` ok, `1` error) followed by a
+//! payload (for errors: the message as raw UTF-8). Integers are
+//! big-endian; strings are `u16 BE length + UTF-8 bytes`.
+//!
+//! | opcode | request fields | ok-response payload |
+//! |--------|----------------|---------------------|
+//! | `0x01` Spawn    | app `str`, depth `u32`, max_backlog `u64` | graph id `u32` |
+//! | `0x02` Submit   | graph `u32`, frames `u64`                 | accepted `u64` |
+//! | `0x03` Inject   | graph `u32`, queue `str`, kind `str`, payload `i64` | — |
+//! | `0x04` Stats    | graph `u32` (`0xFFFF_FFFF` = all)         | JSON `str` |
+//! | `0x05` Drain    | graph `u32`                               | JSON `str` |
+//! | `0x06` Ping     | —                                         | — |
+//! | `0x07` Shutdown | —                                         | — |
+//!
+//! `Submit` is where admission control surfaces: the response carries how
+//! many of the offered frames the server *accepted* (possibly 0) — the
+//! client's backpressure signal. `Inject` is reconfiguration over the
+//! wire: the event lands in the named manager queue and takes effect at
+//! the graph's next quiescent point, exactly as an in-process event.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame body; guards the server against a garbage
+/// length prefix allocating gigabytes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Wildcard graph id in a `Stats` request: report every tenant.
+pub const ALL_GRAPHS: u32 = u32::MAX;
+
+/// Request opcodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Spawn {
+        app: String,
+        pipeline_depth: u32,
+        max_backlog: u64,
+    },
+    Submit {
+        graph: u32,
+        frames: u64,
+    },
+    Inject {
+        graph: u32,
+        queue: String,
+        kind: String,
+        payload: i64,
+    },
+    Stats {
+        graph: u32,
+    },
+    Drain {
+        graph: u32,
+    },
+    Ping,
+    Shutdown,
+}
+
+/// A decoded response: `Ok` with opcode-specific payload bytes, or an
+/// error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Ok(Vec<u8>),
+    Err(String),
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---- primitive codecs ---------------------------------------------------
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).expect("string over u16::MAX bytes");
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("overflow"))?;
+        if end > self.buf.len() {
+            return Err(bad("truncated frame"));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> io::Result<String> {
+        let len = u16::from_be_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+    }
+
+    pub(crate) fn done(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes in frame"))
+        }
+    }
+}
+
+// ---- framing ------------------------------------------------------------
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len()).map_err(|_| bad("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(bad("frame too large"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `None` on clean EOF at a
+/// frame boundary (peer hung up between requests).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame length {len} exceeds {MAX_FRAME}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// ---- request codec ------------------------------------------------------
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Request::Spawn {
+                app,
+                pipeline_depth,
+                max_backlog,
+            } => {
+                b.push(0x01);
+                put_str(&mut b, app);
+                b.extend_from_slice(&pipeline_depth.to_be_bytes());
+                b.extend_from_slice(&max_backlog.to_be_bytes());
+            }
+            Request::Submit { graph, frames } => {
+                b.push(0x02);
+                b.extend_from_slice(&graph.to_be_bytes());
+                b.extend_from_slice(&frames.to_be_bytes());
+            }
+            Request::Inject {
+                graph,
+                queue,
+                kind,
+                payload,
+            } => {
+                b.push(0x03);
+                b.extend_from_slice(&graph.to_be_bytes());
+                put_str(&mut b, queue);
+                put_str(&mut b, kind);
+                b.extend_from_slice(&payload.to_be_bytes());
+            }
+            Request::Stats { graph } => {
+                b.push(0x04);
+                b.extend_from_slice(&graph.to_be_bytes());
+            }
+            Request::Drain { graph } => {
+                b.push(0x05);
+                b.extend_from_slice(&graph.to_be_bytes());
+            }
+            Request::Ping => b.push(0x06),
+            Request::Shutdown => b.push(0x07),
+        }
+        b
+    }
+
+    pub fn decode(body: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            0x01 => Request::Spawn {
+                app: c.str()?,
+                pipeline_depth: c.u32()?,
+                max_backlog: c.u64()?,
+            },
+            0x02 => Request::Submit {
+                graph: c.u32()?,
+                frames: c.u64()?,
+            },
+            0x03 => Request::Inject {
+                graph: c.u32()?,
+                queue: c.str()?,
+                kind: c.str()?,
+                payload: c.i64()?,
+            },
+            0x04 => Request::Stats { graph: c.u32()? },
+            0x05 => Request::Drain { graph: c.u32()? },
+            0x06 => Request::Ping,
+            0x07 => Request::Shutdown,
+            op => return Err(bad(format!("unknown opcode 0x{op:02x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+// ---- response codec -----------------------------------------------------
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(payload) => {
+                let mut b = Vec::with_capacity(1 + payload.len());
+                b.push(0);
+                b.extend_from_slice(payload);
+                b
+            }
+            Response::Err(msg) => {
+                let mut b = Vec::with_capacity(1 + msg.len());
+                b.push(1);
+                b.extend_from_slice(msg.as_bytes());
+                b
+            }
+        }
+    }
+
+    pub fn decode(body: &[u8]) -> io::Result<Response> {
+        let (&status, payload) = body.split_first().ok_or_else(|| bad("empty response"))?;
+        match status {
+            0 => Ok(Response::Ok(payload.to_vec())),
+            1 => Ok(Response::Err(String::from_utf8_lossy(payload).into_owned())),
+            s => Err(bad(format!("unknown response status {s}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Spawn {
+                app: "pip1".into(),
+                pipeline_depth: 5,
+                max_backlog: 32,
+            },
+            Request::Submit {
+                graph: 3,
+                frames: 17,
+            },
+            Request::Inject {
+                graph: 0,
+                queue: "mq".into(),
+                kind: "flip".into(),
+                payload: -7,
+            },
+            Request::Stats { graph: ALL_GRAPHS },
+            Request::Drain { graph: 9 },
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok(vec![1, 2, 3]),
+            Response::Ok(vec![]),
+            Response::Err("no such graph".into()),
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xff]).is_err());
+        // Truncated Submit.
+        assert!(Request::decode(&[0x02, 0, 0]).is_err());
+        // Trailing garbage.
+        let mut b = Request::Ping.encode();
+        b.push(0);
+        assert!(Request::decode(&b).is_err());
+        // Oversized length prefix.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(read_frame(&mut &wire[..]).is_err());
+    }
+}

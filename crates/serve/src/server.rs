@@ -1,0 +1,263 @@
+//! The serving front-end: TCP frame-protocol ingress over a shared
+//! [`Runtime`], plus a minimal HTTP/1.1 gateway (see [`crate::http`]).
+//!
+//! One handler thread per TCP connection; requests on a connection are
+//! processed in order. All connections share the one runtime, so graphs
+//! spawned over one connection can be fed or drained over another (ids
+//! are global).
+//!
+//! Graph specs come from the paper's application corpus
+//! ([`apps::experiment::App`]): a `Spawn` request names an app id
+//! (`pip1`, `jpip2`, `blur35`, …) and the server builds an *isolated*
+//! instance — inputs shared refcount-only with the process-wide cache,
+//! captures private — so any number of instances of the same app serve
+//! concurrently (see [`apps::experiment::build_isolated`]).
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ALL_GRAPHS};
+use apps::experiment::{build_isolated, App, AppConfig, Scale};
+use hinch::{Event, GraphId, GraphStats, Runtime, RuntimeConfig, ServeError, SpawnOpts};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads of the shared runtime.
+    pub workers: usize,
+    /// Scale the apps are built at.
+    pub scale: Scale,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            scale: Scale::Small,
+        }
+    }
+}
+
+/// Render one [`GraphStats`] as a JSON object (hand-rolled: the
+/// workspace is dependency-free by design).
+pub fn stats_json(s: &GraphStats) -> String {
+    let failure = match &s.failure {
+        Some(msg) => format!("\"{}\"", msg.replace('\\', "\\\\").replace('"', "\\\"")),
+        None => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\"id\":{},\"label\":\"{}\",\"submitted\":{},\"completed\":{},",
+            "\"inflight\":{},\"reconfigs\":{},\"jobs_executed\":{},",
+            "\"latency_mean_ns\":{:.1},\"latency_p50_ns\":{},\"latency_p99_ns\":{},",
+            "\"failure\":{}}}"
+        ),
+        s.id.0,
+        s.label,
+        s.submitted,
+        s.completed,
+        s.inflight,
+        s.reconfigs,
+        s.jobs_executed,
+        s.latency_mean_ns,
+        s.latency_p50_ns,
+        s.latency_p99_ns,
+        failure,
+    )
+}
+
+fn stats_array_json(all: &[GraphStats]) -> String {
+    let items: Vec<String> = all.iter().map(stats_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// The shared server state handler threads operate on.
+pub(crate) struct Inner {
+    pub(crate) runtime: Runtime,
+    pub(crate) scale: Scale,
+    pub(crate) stop: AtomicBool,
+}
+
+impl Inner {
+    /// Execute one request against the runtime. Used by both the TCP and
+    /// the HTTP front-end — the protocols differ, the semantics don't.
+    pub(crate) fn handle(&self, req: Request) -> Response {
+        match self.apply(req) {
+            Ok(payload) => Response::Ok(payload),
+            Err(e) => Response::Err(e),
+        }
+    }
+
+    fn apply(&self, req: Request) -> Result<Vec<u8>, String> {
+        let serve = |r: Result<Vec<u8>, ServeError>| r.map_err(|e| e.to_string());
+        match req {
+            Request::Spawn {
+                app,
+                pipeline_depth,
+                max_backlog,
+            } => {
+                let app = App::parse(&app).ok_or(format!(
+                    "unknown app '{app}' (expected one of pip1..blur35)"
+                ))?;
+                let built = build_isolated(AppConfig {
+                    app,
+                    scale: self.scale,
+                    frames: 0, // frames are streamed in via Submit
+                });
+                let opts = SpawnOpts::new(app.id())
+                    .pipeline_depth(pipeline_depth.max(1) as usize)
+                    .max_backlog(max_backlog.max(1));
+                let id = self
+                    .runtime
+                    .spawn(&built.spec, opts)
+                    .map_err(|e| e.to_string())?;
+                Ok(id.0.to_be_bytes().to_vec())
+            }
+            Request::Submit { graph, frames } => serve(
+                self.runtime
+                    .submit(GraphId(graph), frames)
+                    .map(|accepted| accepted.to_be_bytes().to_vec()),
+            ),
+            Request::Inject {
+                graph,
+                queue,
+                kind,
+                payload,
+            } => serve(
+                self.runtime
+                    .inject(GraphId(graph), &queue, Event::with_payload(kind, payload))
+                    .map(|()| Vec::new()),
+            ),
+            Request::Stats { graph } => {
+                let json = if graph == ALL_GRAPHS {
+                    stats_array_json(&self.runtime.all_stats())
+                } else {
+                    stats_json(
+                        &self
+                            .runtime
+                            .stats(GraphId(graph))
+                            .map_err(|e| e.to_string())?,
+                    )
+                };
+                Ok(json.into_bytes())
+            }
+            Request::Drain { graph } => serve(
+                self.runtime
+                    .drain(GraphId(graph))
+                    .map(|stats| stats_json(&stats).into_bytes()),
+            ),
+            Request::Ping => Ok(Vec::new()),
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(Vec::new())
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until a
+/// `Shutdown` request arrives (over TCP or HTTP).
+pub struct Server {
+    inner: Arc<Inner>,
+    tcp: TcpListener,
+    http: Option<TcpListener>,
+}
+
+impl Server {
+    /// Bind the frame-protocol listener on `addr` and optionally the
+    /// HTTP gateway on `http_addr`. Use port 0 for an ephemeral port and
+    /// read it back via [`Server::tcp_addr`] / [`Server::http_addr`].
+    pub fn bind(
+        cfg: ServerConfig,
+        addr: impl ToSocketAddrs,
+        http_addr: Option<&str>,
+    ) -> io::Result<Server> {
+        let tcp = TcpListener::bind(addr)?;
+        let http = match http_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        Ok(Server {
+            inner: Arc::new(Inner {
+                runtime: Runtime::new(RuntimeConfig::new(cfg.workers)),
+                scale: cfg.scale,
+                stop: AtomicBool::new(false),
+            }),
+            tcp,
+            http,
+        })
+    }
+
+    pub fn tcp_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.tcp.local_addr()
+    }
+
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Accept and serve connections until shutdown. Handler threads for
+    /// open connections exit when their peer disconnects or the next
+    /// request completes after shutdown.
+    pub fn run(self) -> io::Result<()> {
+        let Server { inner, tcp, http } = self;
+        let tcp_addr = tcp.local_addr()?;
+        let mut joins = Vec::new();
+        let http_addr = http.as_ref().and_then(|l| l.local_addr().ok());
+        if let Some(http) = http {
+            let inner = Arc::clone(&inner);
+            joins.push(
+                std::thread::Builder::new()
+                    .name("serve-http".into())
+                    .spawn(move || crate::http::accept_loop(http, inner, tcp_addr))?,
+            );
+        }
+        for conn in tcp.incoming() {
+            if inner.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let inner = Arc::clone(&inner);
+            joins.push(
+                std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &inner);
+                        // The connection that carried Shutdown unblocks
+                        // the accept loop by poking it.
+                        if inner.stop.load(Ordering::SeqCst) {
+                            let _ = TcpStream::connect(tcp_addr);
+                        }
+                    })?,
+            );
+        }
+        // Unblock the HTTP accept loop (shutdown may have arrived over
+        // the frame protocol).
+        if let Some(addr) = http_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        for j in joins {
+            let _ = j.join();
+        }
+        inner.runtime.shutdown();
+        Ok(())
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    while let Some(body) = read_frame(&mut stream)? {
+        let resp = match Request::decode(&body) {
+            Ok(req) => inner.handle(req),
+            Err(e) => Response::Err(format!("bad request: {e}")),
+        };
+        write_frame(&mut stream, &resp.encode())?;
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -248,6 +248,77 @@ impl EngineMetrics {
     }
 }
 
+/// Identity of one graph instance in a multi-tenant runtime: numeric id
+/// plus the human-readable application name it was spawned with.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GraphLabel {
+    pub graph_id: u64,
+    pub app: String,
+}
+
+/// Registry of per-graph-instance [`EngineMetrics`], keyed by
+/// [`GraphLabel`], so stall and throughput numbers can be attributed per
+/// tenant (hinch-insight reads this). Registration is cold-path only —
+/// the hot path stays the per-graph `EngineMetrics` relaxed atomics, so
+/// the disabled-path overhead of the engines is unchanged.
+///
+/// Uses `std::sync::Mutex` (this crate is dependency-free by design).
+#[derive(Debug, Default)]
+pub struct LabeledMetrics {
+    entries: std::sync::Mutex<Vec<(GraphLabel, std::sync::Arc<EngineMetrics>)>>,
+}
+
+impl LabeledMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a tenant's registry. A re-registration under the same
+    /// graph id replaces the previous entry.
+    pub fn register(&self, label: GraphLabel, metrics: std::sync::Arc<EngineMetrics>) {
+        let mut entries = self.entries.lock().unwrap();
+        entries.retain(|(l, _)| l.graph_id != label.graph_id);
+        entries.push((label, metrics));
+    }
+
+    /// Drop the entry for `graph_id` (graph drained / torn down).
+    pub fn unregister(&self, graph_id: u64) {
+        self.entries
+            .lock()
+            .unwrap()
+            .retain(|(l, _)| l.graph_id != graph_id);
+    }
+
+    /// Snapshot of the live entries, ordered by graph id.
+    pub fn snapshot(&self) -> Vec<(GraphLabel, std::sync::Arc<EngineMetrics>)> {
+        let mut all = self.entries.lock().unwrap().clone();
+        all.sort_by_key(|(l, _)| l.graph_id);
+        all
+    }
+
+    /// Per-tenant one-liners (jobs, iterations, stalled time) followed by
+    /// each tenant's full [`EngineMetrics::render`]; `unit` as there.
+    pub fn render(&self, unit: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let snapshot = self.snapshot();
+        let _ = writeln!(out, "== per-graph metrics: {} tenant(s) ==", snapshot.len());
+        for (label, m) in &snapshot {
+            let _ = writeln!(
+                out,
+                "g{} [{}]: jobs {}  iterations {}  reconfigs {}  stalled {} {unit}",
+                label.graph_id,
+                label.app,
+                m.jobs.get(),
+                m.iterations.get(),
+                m.reconfigs.get(),
+                m.stalled_total(),
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +386,51 @@ mod tests {
         let text = m.render("cycles");
         assert!(text.contains("jobs 2"), "{text}");
         assert!(text.contains("starvation"), "{text}");
+    }
+
+    #[test]
+    fn labeled_registry_attributes_per_graph() {
+        let reg = LabeledMetrics::new();
+        let a = std::sync::Arc::new(EngineMetrics::new());
+        let b = std::sync::Arc::new(EngineMetrics::new());
+        reg.register(
+            GraphLabel {
+                graph_id: 0,
+                app: "pip".into(),
+            },
+            a.clone(),
+        );
+        reg.register(
+            GraphLabel {
+                graph_id: 1,
+                app: "blur".into(),
+            },
+            b.clone(),
+        );
+        a.on_job(10);
+        b.on_job(20);
+        b.on_job(30);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0.app, "pip");
+        assert_eq!(snap[0].1.jobs.get(), 1);
+        assert_eq!(snap[1].1.jobs.get(), 2);
+        let text = reg.render("ns");
+        assert!(text.contains("g1 [blur]: jobs 2"), "{text}");
+        reg.unregister(0);
+        assert_eq!(reg.snapshot().len(), 1);
+        // Same-id re-registration replaces.
+        reg.register(
+            GraphLabel {
+                graph_id: 1,
+                app: "blur2".into(),
+            },
+            std::sync::Arc::new(EngineMetrics::new()),
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0.app, "blur2");
+        assert_eq!(snap[0].1.jobs.get(), 0);
     }
 
     #[test]

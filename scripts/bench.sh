@@ -2,16 +2,18 @@
 # Performance snapshot: figures + tracing/metrics overhead benches +
 # scheduler throughput.
 #
-#   scripts/bench.sh          # run everything, rewrite BENCH_insight.json
-#                             # and BENCH_native.json
+#   scripts/bench.sh          # run everything, rewrite BENCH_insight.json,
+#                             # BENCH_native.json and BENCH_serve.json
 #
 # Runs the paper-figure harness at small scale, the `trace_overhead` and
-# `metrics_overhead` Criterion benches, one `hinch-insight` analysis, and
-# the `throughput` bench (work-stealing vs centralized native engine),
-# then folds the key numbers into BENCH_insight.json and BENCH_native.json
-# (committed, so a reviewer can diff perf-relevant changes without
-# rerunning anything). Absolute numbers are machine-dependent; the
-# structure and the ratios/bounds are what matter.
+# `metrics_overhead` Criterion benches, one `hinch-insight` analysis, the
+# `throughput` bench (work-stealing vs centralized native engine), and
+# the `hinch-serve bench` serving-runtime snapshot (open-loop fleet +
+# saturated multi-vs-solo probe), then folds the key numbers into
+# BENCH_insight.json, BENCH_native.json and BENCH_serve.json (committed,
+# so a reviewer can diff perf-relevant changes without rerunning
+# anything). Absolute numbers are machine-dependent; the structure and
+# the ratios/bounds are what matter.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,3 +87,30 @@ print(f"{sys.argv[1]}: valid JSON; micro speedup {s1}x @1 worker, {s8}x @8 worke
 EOF
 
 echo "bench: wrote BENCH_native.json"
+
+echo "== bench: serve (multi-graph open loop + saturated probe) =="
+cargo run --offline --release -q -p serve --bin hinch-serve -- \
+    bench --json BENCH_serve.json
+
+python3 - BENCH_serve.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+ol = data["open_loop"]
+# The acceptance floor: a real concurrent fleet under seeded open-loop
+# load, with latency percentiles actually recorded.
+assert ol["graphs"] >= 64, f"open loop ran {ol['graphs']} graphs < 64"
+assert ol["completed"] > 0 and ol["agg_fps"] > 0, ol
+assert ol["latency_p99_ns"] > 0, "p99 latency not recorded"
+assert ol["latency_p50_ns"] <= ol["latency_p99_ns"], ol
+sat = data["saturated"]
+# Multiplexing N graphs on one shared pool must retain >= 0.9x the
+# throughput of N dedicated back-to-back single-graph runs.
+assert sat["workers"] == 8, sat
+assert sat["ratio"] >= 0.9, f"multi/solo throughput ratio {sat['ratio']} < 0.9"
+print(f"{sys.argv[1]}: valid JSON; {ol['graphs']} graphs, "
+      f"{ol['agg_fps']:.0f} fps aggregate, p99 {ol['latency_p99_ns']} ns; "
+      f"saturated multi/solo ratio {sat['ratio']}")
+EOF
+
+echo "bench: wrote BENCH_serve.json"

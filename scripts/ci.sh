@@ -16,6 +16,10 @@
 #   7. hinch-conformance gate: a quick differential matrix (3 apps ×
 #      2 core counts × 2 seeded policies) must pass and its JSON summary
 #      must be byte-identical across two separate runs
+#   8. hinch-serve smoke: start the serving front-end on real sockets,
+#      push frames over the TCP frame protocol, inject one
+#      reconfiguration event over the wire, exercise the HTTP gateway,
+#      assert responses and clean shutdown
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -102,5 +106,8 @@ if ! cmp -s "$conf_dir/run1.json" "$conf_dir/run2.json"; then
 fi
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$conf_dir/run1.json"
 echo "conformance: gate matrix passed, JSON byte-identical across runs"
+
+echo "== serve smoke (sockets + wire reconfig) =="
+cargo run --offline -q --release -p serve --bin hinch-serve -- smoke
 
 echo "ci: all green"
