@@ -66,6 +66,9 @@ impl std::fmt::Display for GraphId {
 pub enum ServeError {
     /// The graph id is unknown (never spawned, or already drained).
     UnknownGraph(u32),
+    /// A [`Runtime::drain`] is in progress: admission is closed and the
+    /// instance is on its way out.
+    Draining(u32),
     /// No manager in the graph owns an event queue with this name.
     UnknownQueue(String),
     /// The graph failed mid-run; the payload is the failure description.
@@ -78,6 +81,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnknownGraph(id) => write!(f, "unknown graph g{id}"),
+            ServeError::Draining(id) => write!(f, "graph g{id} is draining"),
             ServeError::UnknownQueue(q) => write!(f, "no manager queue named '{q}'"),
             ServeError::GraphFailed(msg) => write!(f, "graph failed: {msg}"),
             ServeError::Shutdown => write!(f, "runtime is shutting down"),
@@ -207,6 +211,10 @@ struct Tenant {
     core: GraphCore,
     clock: Arc<FrameClock>,
     failure: Mutex<Option<String>>,
+    /// Set (under the admit lock) when a [`Runtime::drain`] starts:
+    /// admission is closed, so the drain's quiescence wait cannot race a
+    /// concurrent submit accepting frames into a tenant being torn down.
+    draining: AtomicBool,
 }
 
 impl Tenant {
@@ -254,6 +262,10 @@ struct MultiShared {
 }
 
 impl MultiShared {
+    /// Throttled wake for jobs published from *worker* context. Safe to
+    /// skip the notify when `spare == 0` only because the pusher is an
+    /// awake worker that drains its own ring and the injector before it
+    /// parks — the published jobs always have at least one live consumer.
     fn wake(&self, jobs: usize) {
         let spare = self
             .parallelism
@@ -262,6 +274,18 @@ impl MultiShared {
         if n > 0 {
             self.ec.notify(n);
         }
+    }
+
+    /// Wake for jobs published by a *non-worker* thread
+    /// ([`Runtime::submit`]). The spare-parallelism throttle above is not
+    /// lost-wakeup free here: a client thread has no drain-before-park
+    /// backstop, so if every worker sits between its pre-park re-check
+    /// and its `active` decrement (`spare == 0`), a throttled wake would
+    /// skip the notify and the submitted jobs would sit in the injector
+    /// with the whole pool parked. Always bump the epoch so any worker
+    /// mid-park re-checks the queues.
+    fn wake_external(&self, jobs: usize) {
+        self.ec.notify(jobs);
     }
 }
 
@@ -515,6 +539,7 @@ impl Runtime {
             core,
             clock,
             failure: Mutex::new(None),
+            draining: AtomicBool::new(false),
         });
         self.shared.labels.register(
             GraphLabel {
@@ -546,6 +571,12 @@ impl Runtime {
         let accepted;
         {
             let _st = g.admit.lock();
+            // The draining flag is set under this same lock, so either
+            // this submit's frames land before the drain's quiescence
+            // wait begins (and are waited for), or the submit is refused.
+            if tenant.draining.load(Ordering::SeqCst) {
+                return Err(ServeError::Draining(id.0));
+            }
             let total = g.total.load(Ordering::Relaxed);
             let completed = g.completed.load(Ordering::Relaxed);
             let backlog = total - completed;
@@ -576,7 +607,7 @@ impl Runtime {
             self.shared
                 .injector
                 .push_many(seeded.into_iter().map(|job| MJob { graph: id.0, job }));
-            self.shared.wake(jobs);
+            self.shared.wake_external(jobs);
         }
         Ok(accepted)
     }
@@ -627,6 +658,17 @@ impl Runtime {
     /// but reported as [`ServeError::GraphFailed`].
     pub fn drain(&self, id: GraphId) -> Result<GraphStats, ServeError> {
         let tenant = self.get(id)?;
+        // Close admission first (under the admit lock, which serializes
+        // against in-flight submits): any submit that already accepted
+        // frames raised `total` before we get here, so the quiescence
+        // wait below covers them; any later submit is refused. Without
+        // this, a racing submit could accept frames between the
+        // quiescence check and the teardown — frames the workers would
+        // silently discard once the graph leaves the map.
+        {
+            let _st = tenant.core.admit.lock();
+            tenant.draining.store(true, Ordering::SeqCst);
+        }
         {
             let mut gate = tenant.clock.gate.lock();
             loop {
@@ -861,6 +903,62 @@ mod tests {
         rt.submit(again, 3).unwrap();
         assert_eq!(rt.drain(again).unwrap().completed, 3);
         rt.shutdown();
+    }
+
+    /// Regression: submissions come from client threads, which have no
+    /// drain-before-park backstop — a spare-parallelism-throttled wake
+    /// that skips the notify while every worker is mid-park would strand
+    /// the frames in the injector with the whole pool parked (the next
+    /// wait would time out). See [`MultiShared::wake_external`].
+    #[test]
+    fn client_thread_submit_wakes_parking_workers() {
+        let rt = Runtime::new(RuntimeConfig::new(1));
+        let id = rt
+            .spawn(&pipeline_spec(), SpawnOpts::new("pipe").pipeline_depth(1))
+            .unwrap();
+        for round in 0..300u64 {
+            assert_eq!(rt.submit(id, 1).unwrap(), 1);
+            rt.drain_frames(id, round + 1);
+        }
+        let stats = rt.drain(id).unwrap();
+        assert_eq!(stats.completed, 300);
+        rt.shutdown();
+    }
+
+    /// Regression: drain closes admission (per-tenant draining flag,
+    /// set under the admit lock) before its quiescence wait, so a racing
+    /// submit can neither trip the teardown leak assertions nor have its
+    /// accepted frames silently discarded after the graph leaves the map.
+    #[test]
+    fn drain_refuses_concurrent_submissions() {
+        for _ in 0..20 {
+            let rt = Runtime::new(RuntimeConfig::new(2));
+            let id = rt.spawn(&pipeline_spec(), SpawnOpts::new("pipe")).unwrap();
+            let mut accepted = rt.submit(id, 3).unwrap();
+            std::thread::scope(|s| {
+                let submitter = s.spawn(|| {
+                    let mut n = 0u64;
+                    loop {
+                        match rt.submit(id, 1) {
+                            Ok(k) => n += k,
+                            Err(e) => {
+                                assert!(matches!(
+                                    e,
+                                    ServeError::Draining(_) | ServeError::UnknownGraph(_)
+                                ));
+                                break n;
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+                let stats = rt.drain(id).unwrap();
+                accepted += submitter.join().unwrap();
+                // Every frame the client was told was accepted retired.
+                assert_eq!(stats.completed, accepted);
+            });
+            rt.shutdown();
+        }
     }
 
     /// Satellite regression: 100 spawn/drain cycles return the pool to

@@ -19,29 +19,57 @@
 //! server; just enough for scripted ingress and smoke tests.
 
 use crate::protocol::{Request, Response, ALL_GRAPHS};
-use crate::server::Inner;
+use crate::server::{json_escape, Inner};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A connection that sends no complete request within this window is
+/// dropped — an idle client must not pin its handler thread (or delay
+/// shutdown joins) indefinitely.
+const HTTP_READ_TIMEOUT: Duration = Duration::from_secs(5);
 
 pub(crate) fn accept_loop(listener: TcpListener, inner: Arc<Inner>, tcp_addr: SocketAddr) {
+    // One handler thread per connection, mirroring the frame-protocol
+    // front-end: a slow or idle client stalls only its own request, never
+    // the accept loop or other clients.
+    let http_addr = listener.local_addr().ok();
+    let mut joins = Vec::new();
     for conn in listener.incoming() {
         if inner.stop.load(Ordering::SeqCst) {
             break;
         }
         if let Ok(stream) = conn {
-            let _ = handle(stream, &inner);
-        }
-        if inner.stop.load(Ordering::SeqCst) {
-            break;
+            let inner = Arc::clone(&inner);
+            if let Ok(j) = std::thread::Builder::new()
+                .name("serve-http-conn".into())
+                .spawn(move || {
+                    let _ = handle(stream, &inner);
+                    // The handler that carried a shutdown request pokes
+                    // its own accept loop awake so it can exit.
+                    if inner.stop.load(Ordering::SeqCst) {
+                        if let Some(addr) = http_addr {
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                })
+            {
+                joins.push(j);
+            }
         }
     }
     // Unblock the frame-protocol accept loop so shutdown initiated over
     // HTTP propagates (and vice versa — poking an already-closed
     // listener is harmless).
     let _ = TcpStream::connect(tcp_addr);
+    // Handlers terminate on their own: each reads with a timeout and a
+    // connection serves exactly one request.
+    for j in joins {
+        let _ = j.join();
+    }
 }
 
 fn parse_query(query: &str) -> HashMap<&str, &str> {
@@ -134,11 +162,13 @@ fn route(method: &str, path: &str, query: &str, inner: &Inner) -> (u16, String) 
     })();
     match result {
         Ok(body) => (200, body),
-        Err(e) => (400, format!("{{\"error\":\"{}\"}}", e.replace('"', "\\\""))),
+        Err(e) => (400, format!("{{\"error\":\"{}\"}}", json_escape(&e))),
     }
 }
 
 fn handle(stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    stream.set_read_timeout(Some(HTTP_READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(HTTP_READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;

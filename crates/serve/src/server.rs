@@ -13,13 +13,20 @@
 //! captures private — so any number of instances of the same app serve
 //! concurrently (see [`apps::experiment::build_isolated`]).
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ALL_GRAPHS};
+use crate::protocol::{write_frame, Request, Response, ALL_GRAPHS, MAX_FRAME};
 use apps::experiment::{build_isolated, App, AppConfig, Scale};
 use hinch::{Event, GraphId, GraphStats, Runtime, RuntimeConfig, ServeError, SpawnOpts};
-use std::io;
+use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Read-timeout granularity on accepted frame-protocol streams: how
+/// often a handler blocked waiting for the next request re-checks the
+/// stop flag, so [`Server::run`]'s join cannot hang on an idle-but-
+/// connected client after a shutdown request.
+const READ_POLL: Duration = Duration::from_millis(250);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -39,11 +46,30 @@ impl Default for ServerConfig {
     }
 }
 
+/// Escape a string for embedding inside a JSON string literal
+/// (backslash, quote, and control characters — panic messages carry
+/// newlines, labels are arbitrary caller input via [`Runtime::spawn`]).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render one [`GraphStats`] as a JSON object (hand-rolled: the
 /// workspace is dependency-free by design).
 pub fn stats_json(s: &GraphStats) -> String {
     let failure = match &s.failure {
-        Some(msg) => format!("\"{}\"", msg.replace('\\', "\\\\").replace('"', "\\\"")),
+        Some(msg) => format!("\"{}\"", json_escape(msg)),
         None => "null".to_string(),
     };
     format!(
@@ -54,7 +80,7 @@ pub fn stats_json(s: &GraphStats) -> String {
             "\"failure\":{}}}"
         ),
         s.id.0,
-        s.label,
+        json_escape(&s.label),
         s.submitted,
         s.completed,
         s.inflight,
@@ -249,7 +275,8 @@ impl Server {
 }
 
 fn serve_connection(mut stream: TcpStream, inner: &Inner) -> io::Result<()> {
-    while let Some(body) = read_frame(&mut stream)? {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    while let Some(body) = read_frame_interruptible(&mut stream, &inner.stop)? {
         let resp = match Request::decode(&body) {
             Ok(req) => inner.handle(req),
             Err(e) => Response::Err(format!("bad request: {e}")),
@@ -260,4 +287,74 @@ fn serve_connection(mut stream: TcpStream, inner: &Inner) -> io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// [`crate::protocol::read_frame`] over a stream with a read timeout:
+/// timeout wakeups re-check `stop` instead of tearing the connection
+/// down, so an idle client keeps its connection across quiet periods yet
+/// cannot block [`Server::run`]'s handler joins after shutdown. Partial
+/// reads are buffered across wakeups — a slow client mid-frame never
+/// desyncs the stream.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    if !read_full(stream, &mut len_buf, stop)? {
+        return Ok(None); // clean EOF or shutdown at a frame boundary
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    if !read_full(stream, &mut body, stop)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated frame",
+        ));
+    }
+    Ok(Some(body))
+}
+
+/// Fill `buf`, tolerating read-timeout wakeups. Returns `Ok(false)`
+/// when the peer closed or `stop` was raised before the first byte of
+/// `buf` arrived; EOF or shutdown mid-buffer is an error.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return if filled == 0 {
+                        Ok(false)
+                    } else {
+                        Err(io::Error::new(io::ErrorKind::TimedOut, "shutting down"))
+                    };
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
 }
