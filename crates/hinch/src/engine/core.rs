@@ -38,10 +38,10 @@ use crate::graph::flatten::{Dag, JobKind};
 use crate::graph::instance::InstanceGraph;
 use crate::meter::NullMeter;
 use crate::sched::JobRef;
-use parking_lot::Mutex;
-use std::cell::UnsafeCell;
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::cell::ModelCell;
+use crate::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trace::{SpanKind, StallCause, TraceEvent, TraceSink};
@@ -123,7 +123,7 @@ pub(super) type RetireHook = Box<dyn Fn(u64) + Send + Sync>;
 pub(super) struct GraphCore {
     /// Current window. Written only at a quiescent resume (under the admit
     /// lock); read by workers holding an in-flight job and by lock holders.
-    window: UnsafeCell<Arc<Window>>,
+    window: ModelCell<Arc<Window>>,
     /// Bumped after each window swap; workers cheaply re-validate their
     /// cached `Arc<Window>` against it per job.
     pub(super) window_version: AtomicU64,
@@ -165,7 +165,7 @@ impl GraphCore {
     ) -> Self {
         let window = Arc::new(Window::new(dag, 0, depth as usize));
         Self {
-            window: UnsafeCell::new(window),
+            window: ModelCell::new(window),
             window_version: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -200,7 +200,7 @@ impl GraphCore {
     /// after the last window swap (swaps only happen at quiescent points,
     /// so a live job pins its window).
     pub(super) unsafe fn load_window(&self) -> Arc<Window> {
-        (*self.window.get()).clone()
+        self.window.with(|p| (*p).clone())
     }
 
     /// Classify what an idle worker is blocked on, from the atomic
@@ -407,7 +407,7 @@ impl GraphCore {
         // SAFETY: quiescent — no in-flight job references the old window,
         // and workers only reload after popping a job published after this
         // store (the queue hand-off carries the happens-before).
-        unsafe { *self.window.get() = window.clone() };
+        self.window.with_mut(|p| unsafe { *p = window.clone() });
         self.window_version.fetch_add(1, Ordering::Release);
         self.halted.store(false, Ordering::SeqCst);
         if let Some(sink) = &self.trace {

@@ -12,6 +12,11 @@
 mod core;
 pub mod multi;
 pub mod native;
+/// Worker-pool primitives. Public under `--cfg hinch_model` so the
+/// schedcheck model tests can drive the protocols directly.
+#[cfg(hinch_model)]
+pub mod pool;
+#[cfg(not(hinch_model))]
 mod pool;
 pub mod reference;
 pub mod sim;

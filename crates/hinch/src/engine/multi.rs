@@ -42,10 +42,10 @@ use crate::graph::flatten::{flatten, JobKind};
 use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
 use crate::sched::JobRef;
-use parking_lot::{Condvar, Mutex, RwLock};
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use crate::sync::{thread, Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trace::metrics::{EngineMetrics, GraphLabel, LabeledMetrics, LogHistogram};
@@ -456,7 +456,7 @@ fn worker_loop(shared: &MultiShared, wid: u32) {
 /// The shared serving runtime: one worker pool, many graph instances.
 pub struct Runtime {
     shared: Arc<MultiShared>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
     next_id: AtomicU32,
 }
 
@@ -471,15 +471,14 @@ impl Runtime {
             injector: Injector::new(),
             ec: EventCount::new(),
             active: AtomicUsize::new(workers),
-            parallelism: workers
-                .min(std::thread::available_parallelism().map_or(workers, |n| n.get())),
+            parallelism: workers.min(crate::sync::hardware_parallelism(workers)),
             shutdown: AtomicBool::new(false),
             labels: Arc::new(LabeledMetrics::new()),
         });
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("hinch-serve-{i}"))
                     .spawn(move || worker_loop(&shared, i as u32))
                     .expect("spawn worker")
@@ -607,6 +606,17 @@ impl Runtime {
             self.shared
                 .injector
                 .push_many(seeded.into_iter().map(|job| MJob { graph: id.0, job }));
+            // Model-mode fault regression: with the fault armed, use the
+            // worker-context throttled wake here instead — the exact bug
+            // `wake_external` exists to fix. The model checker must find
+            // the whole-pool-parked stranding (see sync::faults).
+            #[cfg(hinch_model)]
+            if crate::sync::faults::throttled_submit_wake() {
+                self.shared.wake(jobs);
+            } else {
+                self.shared.wake_external(jobs);
+            }
+            #[cfg(not(hinch_model))]
             self.shared.wake_external(jobs);
         }
         Ok(accepted)
@@ -665,7 +675,15 @@ impl Runtime {
         // this, a racing submit could accept frames between the
         // quiescence check and the teardown — frames the workers would
         // silently discard once the graph leaves the map.
-        {
+        // Model-mode fault regression: with the fault armed, leave
+        // admission open — the original bug this close exists to fix. The
+        // model checker must find the accepted-then-discarded frame (the
+        // teardown leak asserts below fire). See sync::faults.
+        #[cfg(hinch_model)]
+        let close_admission = !crate::sync::faults::drain_skips_admission_close();
+        #[cfg(not(hinch_model))]
+        let close_admission = true;
+        if close_admission {
             let _st = tenant.core.admit.lock();
             tenant.draining.store(true, Ordering::SeqCst);
         }
@@ -812,7 +830,7 @@ mod tests {
         let mut total = first;
         while total < 20 {
             total += rt.submit(id, 20 - total).unwrap();
-            std::thread::yield_now();
+            thread::yield_now();
         }
         let stats = rt.drain(id).unwrap();
         assert_eq!(stats.completed, 20);
@@ -935,7 +953,7 @@ mod tests {
             let rt = Runtime::new(RuntimeConfig::new(2));
             let id = rt.spawn(&pipeline_spec(), SpawnOpts::new("pipe")).unwrap();
             let mut accepted = rt.submit(id, 3).unwrap();
-            std::thread::scope(|s| {
+            thread::scope(|s| {
                 let submitter = s.spawn(|| {
                     let mut n = 0u64;
                     loop {
@@ -949,7 +967,7 @@ mod tests {
                                 break n;
                             }
                         }
-                        std::thread::yield_now();
+                        thread::yield_now();
                     }
                 });
                 let stats = rt.drain(id).unwrap();
@@ -990,7 +1008,7 @@ mod tests {
                 rt.idle_workers(),
                 rt.workers()
             );
-            std::thread::sleep(Duration::from_millis(1));
+            thread::sleep(Duration::from_millis(1));
         }
         rt.shutdown();
     }
@@ -1001,7 +1019,7 @@ mod tests {
             let deadline = Instant::now() + Duration::from_secs(10);
             while self.stats(id).unwrap().completed < n {
                 assert!(Instant::now() < deadline, "timeout waiting for frames");
-                std::thread::yield_now();
+                thread::yield_now();
             }
         }
     }

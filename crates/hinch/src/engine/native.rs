@@ -15,7 +15,7 @@ use crate::graph::GraphSpec;
 use crate::meter::NullMeter;
 use crate::report::RunReport;
 use crate::sched::{splitmix64, Effect, JobRef, SchedPolicy, Tracker};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{thread, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -177,7 +177,7 @@ pub fn run_native(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, HinchE
     let workers: Vec<_> = (0..cfg.workers)
         .map(|i| {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name(format!("hinch-worker-{i}"))
                 .spawn(move || worker_loop(&shared, i as u32))
                 .expect("spawn worker")
@@ -483,7 +483,7 @@ mod tests {
     use crate::graph::{factory, ComponentSpec, GraphSpec, ManagerSpec};
     use crate::manager::EventAction;
     use crate::sharedbuf::RegionBuf;
-    use parking_lot::Mutex as PMutex;
+    use crate::sync::Mutex as PMutex;
     use std::sync::Arc;
 
     /// Sink that records the i64 it reads each iteration.
@@ -697,7 +697,7 @@ mod tests {
                     ctx.write_shared::<RegionBuf<i64>, _>(0, || RegionBuf::new("greedy.out", 32));
                 let mut w = buf.lease_write(0..32);
                 w[0] = 1;
-                std::thread::sleep(std::time::Duration::from_millis(5));
+                crate::sync::thread::sleep(std::time::Duration::from_millis(5));
             }
         }
         let f = factory(

@@ -7,16 +7,21 @@
 //! [`crate::sched::JobRef`]s, the serving runtime tags each job with its
 //! graph instance. The synchronization protocols are identical in both —
 //! they are documented here once and relied on by both drivers.
+//!
+//! All synchronization goes through [`crate::sync`]: under
+//! `--cfg hinch_model` these exact protocols run on the model checker
+//! (`crates/schedcheck/tests/engine_model.rs`), with the ring slots
+//! vector-clock race-checked through [`ModelCell`].
 
-use parking_lot::{Condvar, Mutex};
-use std::cell::UnsafeCell;
+use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::cell::ModelCell;
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Capacity of each worker's local ring. Power of two; overflow spills to
 /// the global injector, so this only bounds burstiness, not correctness.
-pub(super) const LOCAL_CAP: usize = 256;
+pub const LOCAL_CAP: usize = 256;
 
 /// A bounded single-producer multi-consumer ring (the owner pushes at the
 /// tail; the owner pops and thieves steal at the head, both oldest-first —
@@ -27,28 +32,27 @@ pub(super) const LOCAL_CAP: usize = 256;
 /// owner's capacity check runs against `steal`, so a claimed-but-uncopied
 /// slot is never overwritten. One thief at a time: a second thief seeing
 /// `steal != real` backs off to the next victim instead of spinning.
-pub(super) struct LocalQueue<T> {
+pub struct LocalQueue<T> {
     head: AtomicU64,
     /// Owner-only writes.
     tail: AtomicU32,
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    // SAFETY argument for the cell accesses: slot `i` is written only by
+    // the owner's `push` while `i` lies in `[steal, tail + CAP)`'s free
+    // region, and read exactly once by whichever side (owner `pop` /
+    // thief `steal`) claimed index `i` through a CAS on `head`.
+    // Publication is `tail`'s Release store, consumption is ordered by
+    // the Acquire loads of `tail`/`head` — model runs check this claim
+    // with vector clocks on every slot access.
+    slots: Box<[ModelCell<MaybeUninit<T>>]>,
 }
 
-// SAFETY: slot `i` is written only by the owner's `push` while `i` lies in
-// `[steal, tail + CAP)`'s free region, and read exactly once by whichever
-// side (owner `pop` / thief `steal`) claimed index `i` through a CAS on
-// `head`. Publication is `tail`'s Release store, consumption is ordered by
-// the Acquire loads of `tail`/`head` — see the method comments.
-unsafe impl<T: Send> Send for LocalQueue<T> {}
-unsafe impl<T: Send> Sync for LocalQueue<T> {}
-
 impl<T: Copy> LocalQueue<T> {
-    pub(super) fn new() -> Self {
+    pub fn new() -> Self {
         Self {
             head: AtomicU64::new(0),
             tail: AtomicU32::new(0),
             slots: (0..LOCAL_CAP)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .map(|_| ModelCell::new(MaybeUninit::uninit()))
                 .collect(),
         }
     }
@@ -64,18 +68,18 @@ impl<T: Copy> LocalQueue<T> {
     }
 
     #[inline]
-    fn slot(&self, index: u32) -> *mut MaybeUninit<T> {
-        self.slots[(index as usize) & (LOCAL_CAP - 1)].get()
+    fn slot(&self, index: u32) -> &ModelCell<MaybeUninit<T>> {
+        &self.slots[(index as usize) & (LOCAL_CAP - 1)]
     }
 
     /// Owner-only: enqueue at the tail; a full ring spills to the injector.
-    pub(super) fn push(&self, job: T, injector: &Injector<T>) {
+    pub fn push(&self, job: T, injector: &Injector<T>) {
         let tail = self.tail.load(Ordering::Relaxed);
         let (steal, _) = Self::unpack(self.head.load(Ordering::Acquire));
         if tail.wrapping_sub(steal) < LOCAL_CAP as u32 {
             // SAFETY: `[steal, tail]` never wraps onto an unconsumed slot
             // (capacity check above); only the owner writes slots.
-            unsafe { (*self.slot(tail)).write(job) };
+            self.slot(tail).with_mut(|p| unsafe { (*p).write(job) });
             self.tail.store(tail.wrapping_add(1), Ordering::Release);
         } else {
             injector.push(job);
@@ -83,7 +87,7 @@ impl<T: Copy> LocalQueue<T> {
     }
 
     /// Owner-only: dequeue the oldest job.
-    pub(super) fn pop(&self) -> Option<T> {
+    pub fn pop(&self) -> Option<T> {
         let mut head = self.head.load(Ordering::Acquire);
         loop {
             let (steal, real) = Self::unpack(head);
@@ -105,7 +109,7 @@ impl<T: Copy> LocalQueue<T> {
             {
                 // SAFETY: the CAS claimed index `real` exclusively; the
                 // owner itself wrote it, so it is initialized and visible.
-                Ok(_) => return Some(unsafe { (*self.slot(real)).assume_init_read() }),
+                Ok(_) => return Some(self.slot(real).with(|p| unsafe { (*p).assume_init_read() })),
                 Err(h) => head = h,
             }
         }
@@ -113,7 +117,7 @@ impl<T: Copy> LocalQueue<T> {
 
     /// Thief: claim, copy and release one job from the head. Returns
     /// `None` when empty or when another thief holds the claim.
-    pub(super) fn steal(&self) -> Option<T> {
+    pub fn steal(&self) -> Option<T> {
         let head = self.head.load(Ordering::Acquire);
         let (steal, real) = Self::unpack(head);
         if steal != real {
@@ -134,7 +138,7 @@ impl<T: Copy> LocalQueue<T> {
         // SAFETY: the CAS claimed index `real`; the Acquire load of `tail`
         // observed `tail > real`, synchronizing with the owner's Release
         // store after it wrote the slot.
-        let job = unsafe { (*self.slot(real)).assume_init_read() };
+        let job = self.slot(real).with(|p| unsafe { (*p).assume_init_read() });
         // Release the claim by advancing `steal` all the way to `real`:
         // every slot below it is consumed (ours by the copy above, the
         // rest by owner pops that overtook the claim).
@@ -155,7 +159,7 @@ impl<T: Copy> LocalQueue<T> {
     /// Whether the ring currently holds no jobs (approximate outside of
     /// quiescent states; exact when no producer/thief is active — used by
     /// the serving runtime's teardown checks).
-    pub(super) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         let (_, real) = Self::unpack(self.head.load(Ordering::Acquire));
         real == self.tail.load(Ordering::Acquire)
     }
@@ -163,30 +167,30 @@ impl<T: Copy> LocalQueue<T> {
 
 /// Global overflow / seed queue. Only touched on admission, resume, local-
 /// ring overflow and by dry workers — never on the per-completion fast path.
-pub(super) struct Injector<T> {
+pub struct Injector<T> {
     q: Mutex<VecDeque<T>>,
 }
 
 impl<T> Injector<T> {
-    pub(super) fn new() -> Self {
+    pub fn new() -> Self {
         Self {
             q: Mutex::new(VecDeque::new()),
         }
     }
 
-    pub(super) fn push(&self, job: T) {
+    pub fn push(&self, job: T) {
         self.q.lock().push_back(job);
     }
 
-    pub(super) fn push_many(&self, jobs: impl IntoIterator<Item = T>) {
+    pub fn push_many(&self, jobs: impl IntoIterator<Item = T>) {
         self.q.lock().extend(jobs);
     }
 
-    pub(super) fn pop(&self) -> Option<T> {
+    pub fn pop(&self) -> Option<T> {
         self.q.lock().pop_front()
     }
 
-    pub(super) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.q.lock().len()
     }
 }
@@ -203,7 +207,7 @@ impl<T> Injector<T> {
 /// notifier's bump, so the notifier's `sleepers` load sees it and takes the
 /// mutex — which it can only acquire once the waiter is parked in
 /// `cv.wait`, guaranteeing delivery.
-pub(super) struct EventCount {
+pub struct EventCount {
     epoch: AtomicU64,
     sleepers: AtomicUsize,
     mutex: Mutex<()>,
@@ -211,7 +215,7 @@ pub(super) struct EventCount {
 }
 
 impl EventCount {
-    pub(super) fn new() -> Self {
+    pub fn new() -> Self {
         Self {
             epoch: AtomicU64::new(0),
             sleepers: AtomicUsize::new(0),
@@ -220,11 +224,11 @@ impl EventCount {
         }
     }
 
-    pub(super) fn prepare(&self) -> u64 {
+    pub fn prepare(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
     }
 
-    pub(super) fn wait(&self, epoch: u64) {
+    pub fn wait(&self, epoch: u64) {
         let mut guard = self.mutex.lock();
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         if self.epoch.load(Ordering::SeqCst) == epoch {
@@ -238,7 +242,7 @@ impl EventCount {
     /// owner's local ring (or in the injector behind a [`Self::notify_all`]
     /// site), so an un-woken sleeper is never the only thread that could
     /// run it.
-    pub(super) fn notify(&self, jobs: usize) {
+    pub fn notify(&self, jobs: usize) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.mutex.lock();
@@ -252,7 +256,7 @@ impl EventCount {
     /// run completion, abort, shutdown, and admission reopening after a
     /// retirement (which may have seeded the injector with a whole window
     /// of jobs).
-    pub(super) fn notify_all(&self) {
+    pub fn notify_all(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.mutex.lock();
@@ -261,7 +265,7 @@ impl EventCount {
     }
 
     /// Number of workers currently parked (diagnostics / teardown tests).
-    pub(super) fn sleepers(&self) -> usize {
+    pub fn sleepers(&self) -> usize {
         self.sleepers.load(Ordering::SeqCst)
     }
 }
@@ -270,9 +274,10 @@ impl EventCount {
 mod tests {
     use super::*;
     use crate::sched::JobRef;
-    use std::sync::atomic::AtomicBool;
+    use crate::sync::atomic::AtomicBool;
+    use crate::sync::thread;
     use std::sync::Arc;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     fn job(iter: u64, idx: u32) -> JobRef {
         JobRef { iter, idx }
@@ -336,7 +341,7 @@ mod tests {
                 let q = q.clone();
                 let taken = taken.clone();
                 let done = done.clone();
-                std::thread::spawn(move || {
+                thread::spawn(move || {
                     while !done.load(Ordering::Acquire) || q.steal().is_some() {
                         if q.steal().is_some() {
                             taken.fetch_add(1, Ordering::Relaxed);
@@ -377,7 +382,7 @@ mod tests {
         let waiter = {
             let ec = ec.clone();
             let flag = flag.clone();
-            std::thread::spawn(move || loop {
+            thread::spawn(move || loop {
                 if flag.load(Ordering::SeqCst) == 1 {
                     return;
                 }
@@ -388,9 +393,130 @@ mod tests {
                 ec.wait(e);
             })
         };
-        std::thread::sleep(Duration::from_millis(10));
+        thread::sleep(Duration::from_millis(10));
         flag.store(1, Ordering::SeqCst);
         ec.notify(1);
         waiter.join().unwrap();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Drive `producers × items` work units through an [`EventCount`]
+        /// parking protocol with real threads. Checks the PR-7 issue's
+        /// stated properties: every wake published after a `prepare` is
+        /// observed (no lost wakeup ⇒ all items get consumed without the
+        /// final broadcast's help), the sleeper counter never underflows
+        /// (it would jump past the consumer count), and the epoch only
+        /// moves forward.
+        fn exchange(producers: usize, consumers: usize, items: u64) -> Result<(), String> {
+            let ec = Arc::new(EventCount::new());
+            let work = Arc::new(AtomicU64::new(0));
+            let consumed = Arc::new(AtomicU64::new(0));
+            let done = Arc::new(AtomicBool::new(false));
+            let total = producers as u64 * items;
+            let epoch_before = ec.prepare();
+
+            let consumer_threads: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let (ec, work, consumed, done) =
+                        (ec.clone(), work.clone(), consumed.clone(), done.clone());
+                    thread::spawn(move || loop {
+                        let e = ec.prepare();
+                        let mut cur = work.load(Ordering::SeqCst);
+                        let mut took = false;
+                        while cur > 0 {
+                            match work.compare_exchange(
+                                cur,
+                                cur - 1,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            ) {
+                                Ok(_) => {
+                                    took = true;
+                                    break;
+                                }
+                                Err(c) => cur = c,
+                            }
+                        }
+                        if took {
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                            continue;
+                        }
+                        if done.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        ec.wait(e);
+                    })
+                })
+                .collect();
+
+            let producer_threads: Vec<_> = (0..producers)
+                .map(|_| {
+                    let (ec, work) = (ec.clone(), work.clone());
+                    thread::spawn(move || {
+                        for _ in 0..items {
+                            work.fetch_add(1, Ordering::SeqCst);
+                            ec.notify(1);
+                        }
+                    })
+                })
+                .collect();
+
+            for p in producer_threads {
+                p.join().unwrap();
+            }
+            // All work is published; if no wakeup was lost the consumers
+            // drain it without any further notifications from us.
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while consumed.load(Ordering::SeqCst) < total {
+                if ec.sleepers() > consumers {
+                    return Err(format!(
+                        "sleepers() = {} with only {consumers} consumers: counter underflow",
+                        ec.sleepers()
+                    ));
+                }
+                if Instant::now() > deadline {
+                    return Err(format!(
+                        "lost wakeup: consumed {}/{} with {} sleepers",
+                        consumed.load(Ordering::SeqCst),
+                        total,
+                        ec.sleepers()
+                    ));
+                }
+                thread::yield_now();
+            }
+            done.store(true, Ordering::SeqCst);
+            ec.notify_all();
+            for c in consumer_threads {
+                c.join().unwrap();
+            }
+
+            if consumed.load(Ordering::SeqCst) != total {
+                return Err("consumed more items than were produced".into());
+            }
+            if ec.sleepers() != 0 {
+                return Err(format!("{} sleepers leaked past join", ec.sleepers()));
+            }
+            if ec.prepare() < epoch_before {
+                return Err("epoch moved backwards".into());
+            }
+            Ok(())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            #[test]
+            fn eventcount_wake_after_prepare_observed(
+                producers in 1usize..3,
+                consumers in 1usize..4,
+                items in 1u64..60,
+            ) {
+                if let Err(msg) = exchange(producers, consumers, items) {
+                    prop_assert!(false, "{}", msg);
+                }
+            }
+        }
     }
 }

@@ -130,7 +130,7 @@ mod tests {
     use crate::graph::testutil::leaf;
     use crate::graph::{factory, ComponentSpec, GraphSpec, ManagerSpec};
     use crate::manager::EventAction;
-    use parking_lot::Mutex as PMutex;
+    use crate::sync::Mutex as PMutex;
     use std::sync::Arc;
 
     /// Sink recording the i64 it reads each iteration.

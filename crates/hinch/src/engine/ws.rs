@@ -43,10 +43,10 @@ use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
 use crate::report::RunReport;
 use crate::sched::JobRef;
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{thread, Mutex};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trace::TraceEvent;
@@ -299,7 +299,7 @@ pub(super) fn run_ws(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, Hin
         active: AtomicUsize::new(cfg.workers),
         parallelism: cfg
             .workers
-            .min(std::thread::available_parallelism().map_or(cfg.workers, |n| n.get())),
+            .min(crate::sync::hardware_parallelism(cfg.workers)),
         collect: Mutex::new(Collected {
             per_node: HashMap::new(),
             core_busy: vec![Duration::ZERO; cfg.workers],
@@ -321,7 +321,7 @@ pub(super) fn run_ws(spec: &GraphSpec, cfg: &RunConfig) -> Result<RunReport, Hin
         .map(|i| {
             let shared = Arc::clone(&shared);
             let window = window.clone();
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name(format!("hinch-ws-{i}"))
                 .spawn(move || worker_loop(&shared, window, i as u32))
                 .expect("spawn worker")

@@ -43,6 +43,7 @@ pub mod report;
 pub mod sched;
 pub mod sharedbuf;
 pub mod stream;
+pub mod sync;
 
 pub use component::{Component, ParamValue, Params, ReconfigRequest, RunCtx, SliceAssign};
 pub use engine::reference::RefReport;

@@ -1,0 +1,83 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! One entry per modeled thread; clocks grow lazily as threads spawn.
+//! Missing entries read as 0, so a clock taken before a spawn is
+//! automatically ⊑ any clock that has seen the new thread.
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    pub(crate) fn new() -> Self {
+        VectorClock(Vec::new())
+    }
+
+    pub(crate) fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    fn grow_to(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+    }
+
+    /// Advance thread `i`'s own component.
+    pub(crate) fn tick(&mut self, i: usize) {
+        self.grow_to(i);
+        self.0[i] += 1;
+    }
+
+    /// Raise component `i` to at least `v`.
+    pub(crate) fn set_max(&mut self, i: usize, v: u64) {
+        self.grow_to(i);
+        if self.0[i] < v {
+            self.0[i] = v;
+        }
+    }
+
+    /// Pointwise maximum: `self ← self ⊔ other`.
+    pub(crate) fn join(&mut self, other: &VectorClock) {
+        self.grow_to(other.0.len().saturating_sub(1));
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self ⊑ other`: everything self has seen, other has seen too.
+    pub(crate) fn leq(&self, other: &VectorClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leq() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 0);
+        assert_eq!(b.get(2), 1);
+    }
+
+    #[test]
+    fn empty_is_bottom() {
+        let empty = VectorClock::new();
+        let mut c = VectorClock::new();
+        c.tick(5);
+        assert!(empty.leq(&c));
+        assert!(empty.leq(&empty));
+    }
+}

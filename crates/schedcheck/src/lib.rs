@@ -1,0 +1,276 @@
+//! Deterministic concurrency model checking for the engine's sync
+//! layer (loom/shuttle-style, self-contained).
+//!
+//! [`explore`] runs a closure many times; each iteration executes the
+//! closure's threads *serialized* — real OS threads passing a token, so
+//! only one runs at a time — with the interleaving chosen at every
+//! modeled sync operation by a seeded strategy:
+//!
+//! - **random walk**: mostly run on, preempt with probability 1/4 at
+//!   each yield point (optionally bounded by `preemption_bound`);
+//! - **PCT** (probabilistic concurrency testing): random thread
+//!   priorities plus `depth − 1` random priority-change points —
+//!   strong at finding bugs that need few ordering constraints.
+//!
+//! The default [`Strategy::Mixed`] alternates the two per iteration.
+//!
+//! Failures — panics in modeled code, deadlocks (every live thread
+//! parked), step-budget livelocks, and vector-clock data races on
+//! [`sync::cell::ModelCell`] accesses — abort the iteration and report
+//! a [`Failure`] carrying the per-iteration seed, the strategy, and
+//! the tail of the schedule trace. Re-running the same closure with the
+//! same seed and strategy replays the identical interleaving
+//! ([`replay`]), which is what makes these bugs debuggable.
+//!
+//! The engine is wired in through the `hinch::sync` facade: normal
+//! builds re-export std/parking_lot primitives, `--cfg hinch_model`
+//! builds route every engine sync op through [`sync`] here. See
+//! `docs/TESTING.md` § "Model checking".
+
+mod clock;
+mod exec;
+mod rng;
+pub mod sync;
+
+use exec::{ModelAbort, ResolvedStrategy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Schedule-exploration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Mostly run on; preempt with probability 1/4 at each yield point.
+    RandomWalk,
+    /// Randomized thread priorities with `depth − 1` priority-change
+    /// points ("A Randomized Scheduler with Probabilistic Guarantees of
+    /// Finding Bugs", Burckhardt et al.).
+    Pct { depth: u32 },
+    /// Alternate random walk (even iterations) and PCT depth 3 (odd).
+    Mixed,
+}
+
+impl Strategy {
+    fn resolve(self, iteration: u64) -> ResolvedStrategy {
+        match self {
+            Strategy::RandomWalk => ResolvedStrategy::RandomWalk,
+            Strategy::Pct { .. } => ResolvedStrategy::Pct,
+            Strategy::Mixed => {
+                if iteration.is_multiple_of(2) {
+                    ResolvedStrategy::RandomWalk
+                } else {
+                    ResolvedStrategy::Pct
+                }
+            }
+        }
+    }
+
+    fn label(self, iteration: u64) -> &'static str {
+        match self.resolve(iteration) {
+            ResolvedStrategy::RandomWalk => "random-walk",
+            ResolvedStrategy::Pct => "pct",
+        }
+    }
+}
+
+/// Exploration budget and knobs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// How many schedules to try.
+    pub iterations: u64,
+    /// Per-iteration step budget; exceeding it is reported as a
+    /// livelock failure.
+    pub max_steps: u64,
+    /// Random-walk only: cap on involuntary context switches per
+    /// iteration (`None` = unbounded).
+    pub preemption_bound: Option<u32>,
+    pub strategy: Strategy,
+    /// Base seed; iteration `i` runs with `mix(seed, i)`.
+    pub seed: u64,
+    /// How many trailing schedule steps a failure report keeps.
+    pub trace_capacity: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            iterations: 256,
+            max_steps: 100_000,
+            preemption_bound: None,
+            strategy: Strategy::Mixed,
+            seed: 0xC0FFEE,
+            trace_capacity: 48,
+        }
+    }
+}
+
+impl Config {
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    pub fn preemption_bound(mut self, n: u32) -> Self {
+        self.preemption_bound = Some(n);
+        self
+    }
+
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// Read an iteration budget from the environment (`SCHEDCHECK_ITERS`),
+/// falling back to `default`. CI smoke gates pass a small budget; deep
+/// runs (`MODEL_DEEP=1` in `scripts/ci.sh`) raise it.
+pub fn env_iters(default: u64) -> u64 {
+    std::env::var("SCHEDCHECK_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A failing interleaving.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Per-iteration seed: replaying with this seed and `strategy`
+    /// reproduces the exact schedule.
+    pub seed: u64,
+    pub iteration: u64,
+    pub strategy: &'static str,
+    pub message: String,
+    /// Tail of the schedule trace, oldest first.
+    pub trace: Vec<String>,
+    pub steps: u64,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model failure (iteration {}, seed {:#018x}, strategy {}):",
+            self.iteration, self.seed, self.strategy
+        )?;
+        writeln!(f, "  {}", self.message)?;
+        writeln!(f, "last {} of {} steps:", self.trace.len(), self.steps)?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        write!(
+            f,
+            "replay: SCHEDCHECK_REPLAY={:#x} (env), or schedcheck::replay(&cfg, {:#x}, f)",
+            self.seed, self.seed
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Summary of a clean exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    pub iterations: u64,
+    pub total_steps: u64,
+}
+
+fn run_one<F: Fn()>(
+    cfg: &Config,
+    strategy: ResolvedStrategy,
+    seed: u64,
+    f: &F,
+) -> (u64, Option<String>, Vec<String>) {
+    exec::install_panic_hook();
+    let exec = exec::Execution::new(cfg, strategy, seed);
+    exec::set_current(Some((exec.clone(), 0)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    exec::set_current(None);
+    if let Err(payload) = result {
+        if payload.downcast_ref::<ModelAbort>().is_none() {
+            // The panic hook normally records this first; keep a
+            // fallback for panics that somehow bypassed it.
+            exec.fail(format!(
+                "main thread panicked: {}",
+                exec::payload_str(payload.as_ref())
+            ));
+        }
+    }
+    exec.finish_thread(0);
+    exec.wait_all_finished();
+    let st = exec.lock_state();
+    (st.steps, st.failure.clone(), st.render_trace())
+}
+
+/// Explore schedules of `f` under `cfg`. Returns the first failing
+/// interleaving, or a [`Report`] if every iteration ran clean.
+///
+/// If `SCHEDCHECK_REPLAY=<hex seed>` is set in the environment, runs
+/// exactly that seed once under each strategy instead of exploring —
+/// the fast path for debugging a reported failure.
+pub fn explore<F: Fn()>(cfg: &Config, f: F) -> Result<Report, Failure> {
+    if let Ok(v) = std::env::var("SCHEDCHECK_REPLAY") {
+        let raw = v.trim().trim_start_matches("0x");
+        let seed = u64::from_str_radix(raw, 16)
+            .unwrap_or_else(|_| panic!("SCHEDCHECK_REPLAY must be a hex seed, got '{v}'"));
+        return replay(cfg, seed, f);
+    }
+    let mut total_steps = 0;
+    for i in 0..cfg.iterations {
+        let seed = rng::mix(cfg.seed, i);
+        let strategy = cfg.strategy.resolve(i);
+        let (steps, failure, trace) = run_one(cfg, strategy, seed, &f);
+        total_steps += steps;
+        if let Some(message) = failure {
+            return Err(Failure {
+                seed,
+                iteration: i,
+                strategy: cfg.strategy.label(i),
+                message,
+                trace,
+                steps,
+            });
+        }
+    }
+    Ok(Report {
+        iterations: cfg.iterations,
+        total_steps,
+    })
+}
+
+/// Re-run one specific per-iteration seed (from [`Failure::seed`])
+/// under both strategies. Returns the failure if it reproduces.
+pub fn replay<F: Fn()>(cfg: &Config, seed: u64, f: F) -> Result<Report, Failure> {
+    let mut total_steps = 0;
+    for (i, strategy) in [ResolvedStrategy::RandomWalk, ResolvedStrategy::Pct]
+        .into_iter()
+        .enumerate()
+    {
+        let (steps, failure, trace) = run_one(cfg, strategy, seed, &f);
+        total_steps += steps;
+        if let Some(message) = failure {
+            return Err(Failure {
+                seed,
+                iteration: i as u64,
+                strategy: match strategy {
+                    ResolvedStrategy::RandomWalk => "random-walk",
+                    ResolvedStrategy::Pct => "pct",
+                },
+                message,
+                trace,
+                steps,
+            });
+        }
+    }
+    Ok(Report {
+        iterations: 2,
+        total_steps,
+    })
+}

@@ -1,0 +1,47 @@
+//! Seeded PRNG for schedule decisions (splitmix64).
+//!
+//! Every scheduling choice in an execution draws from one of these,
+//! seeded per iteration, so a failing interleaving is replayed exactly
+//! by re-running with the reported seed. Deliberately not the vendored
+//! `rand` shim: the checker must not share generator state with the
+//! code under test.
+
+#[derive(Clone, Debug)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n`. `n` must be non-zero.
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// True with probability `num/den`.
+    pub(crate) fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+/// Derive the per-iteration seed from the configured base seed, so each
+/// iteration explores a different schedule yet any single iteration is
+/// reproducible from its derived seed alone.
+pub(crate) fn mix(seed: u64, iteration: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x243F_6A88_85A3_08D3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

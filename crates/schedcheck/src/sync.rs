@@ -1,0 +1,998 @@
+//! Modeled sync primitives, API-compatible with the subset of
+//! `std::sync::atomic` / `parking_lot` / `std::thread` the engine uses
+//! (via the `hinch::sync` facade).
+//!
+//! Every operation is a scheduler yield point when the calling OS
+//! thread belongs to a model execution; outside one (or while
+//! unwinding) each primitive falls back to a real *passthrough*
+//! implementation:
+//!
+//! - atomics store their value in a real `std` atomic (SeqCst), so the
+//!   modeled and passthrough paths always agree on the value;
+//! - `Mutex`/`RwLock` pair the model's lock table with a real spin bit
+//!   that both paths acquire, so exclusion holds even when an aborting
+//!   execution mixes modeled and unwinding threads;
+//! - passthrough `Condvar::wait` returns immediately (a legal spurious
+//!   wakeup) and passthrough notify is a no-op — an aborting execution
+//!   wakes every parked thread itself.
+//!
+//! Memory model: sequentially consistent. Orderings are accepted and
+//! ignored; atomics create acquire/release happens-before edges for
+//! the race detector regardless of the ordering argument. That never
+//! reports a false race; it can miss bugs that only exist under weak
+//! memory. The engine's protocols are documented SeqCst, so this is
+//! the semantics we actually want to check.
+
+use std::cell::UnsafeCell;
+use std::io;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicU64 as RawU64;
+use std::sync::atomic::Ordering as RawOrdering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::exec::{
+    self, abort_panic, acquire_edge, ctx, release_edge, ExecState, Execution, ModelAbort, ObjKind,
+    Status,
+};
+
+pub use std::sync::atomic::Ordering;
+
+// ---- lazy per-execution object registration ------------------------------
+
+/// A sync object's model identity, assigned on first use within an
+/// execution. Packed `(generation << 20) | (id + 1)` so objects that
+/// outlive one iteration (statics, leaked Arcs) re-register cleanly in
+/// the next: a stale stamp from a previous generation simply misses.
+pub(crate) struct OnceId(RawU64);
+
+const ID_BITS: u32 = 20;
+const ID_MASK: u64 = (1 << ID_BITS) - 1;
+
+impl OnceId {
+    pub(crate) const fn new() -> Self {
+        OnceId(RawU64::new(0))
+    }
+
+    pub(crate) fn get(&self, exec: &Arc<Execution>, kind: ObjKind) -> usize {
+        let packed = self.0.load(RawOrdering::Relaxed);
+        if packed != 0 && packed >> ID_BITS == exec.generation {
+            return (packed & ID_MASK) as usize - 1;
+        }
+        let mut st = exec.lock_state();
+        let packed = self.0.load(RawOrdering::Relaxed);
+        if packed != 0 && packed >> ID_BITS == exec.generation {
+            return (packed & ID_MASK) as usize - 1;
+        }
+        let id = Execution::register_object(&mut st, kind);
+        assert!((id as u64) < ID_MASK, "too many modeled sync objects");
+        self.0.store(
+            (exec.generation << ID_BITS) | (id as u64 + 1),
+            RawOrdering::Relaxed,
+        );
+        id
+    }
+}
+
+// ---- atomics -------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($name:ident, $raw:ident, $ty:ty) => {
+        pub struct $name {
+            id: OnceId,
+            v: std::sync::atomic::$raw,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    id: OnceId::new(),
+                    v: std::sync::atomic::$raw::new(v),
+                }
+            }
+
+            fn on_op(&self, op: &'static str, edge: Edge) {
+                if let Some((exec, me)) = ctx() {
+                    let id = self.id.get(&exec, ObjKind::Atomic);
+                    let mut st = exec.op(me, op, Some(id));
+                    match edge {
+                        Edge::Acquire => acquire_edge(&mut st, me, id),
+                        Edge::Release => release_edge(&mut st, me, id),
+                        Edge::Both => {
+                            acquire_edge(&mut st, me, id);
+                            release_edge(&mut st, me, id);
+                        }
+                    }
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $ty {
+                self.on_op("atomic.load", Edge::Acquire);
+                self.v.load(RawOrdering::SeqCst)
+            }
+
+            pub fn store(&self, val: $ty, _order: Ordering) {
+                self.on_op("atomic.store", Edge::Release);
+                self.v.store(val, RawOrdering::SeqCst)
+            }
+
+            pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                self.on_op("atomic.swap", Edge::Both);
+                self.v.swap(val, RawOrdering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.on_op("atomic.cas", Edge::Both);
+                self.v
+                    .compare_exchange(current, new, RawOrdering::SeqCst, RawOrdering::SeqCst)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                // No spurious failures in the model: fewer uninteresting
+                // retry interleavings, identical success semantics.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.v.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.v.get_mut()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.v.load(RawOrdering::SeqCst))
+                    .finish()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $raw:ident, $ty:ty) => {
+        model_atomic!($name, $raw, $ty);
+
+        impl $name {
+            pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                self.on_op("atomic.rmw", Edge::Both);
+                self.v.fetch_add(val, RawOrdering::SeqCst)
+            }
+
+            pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                self.on_op("atomic.rmw", Edge::Both);
+                self.v.fetch_sub(val, RawOrdering::SeqCst)
+            }
+
+            pub fn fetch_max(&self, val: $ty, _order: Ordering) -> $ty {
+                self.on_op("atomic.rmw", Edge::Both);
+                self.v.fetch_max(val, RawOrdering::SeqCst)
+            }
+
+            pub fn fetch_min(&self, val: $ty, _order: Ordering) -> $ty {
+                self.on_op("atomic.rmw", Edge::Both);
+                self.v.fetch_min(val, RawOrdering::SeqCst)
+            }
+        }
+    };
+}
+
+enum Edge {
+    Acquire,
+    Release,
+    Both,
+}
+
+model_atomic!(AtomicBool, AtomicBool, bool);
+model_atomic_int!(AtomicU32, AtomicU32, u32);
+model_atomic_int!(AtomicU64, AtomicU64, u64);
+model_atomic_int!(AtomicUsize, AtomicUsize, usize);
+
+impl AtomicBool {
+    pub fn fetch_or(&self, val: bool, _order: Ordering) -> bool {
+        self.on_op("atomic.rmw", Edge::Both);
+        self.v.fetch_or(val, RawOrdering::SeqCst)
+    }
+
+    pub fn fetch_and(&self, val: bool, _order: Ordering) -> bool {
+        self.on_op("atomic.rmw", Edge::Both);
+        self.v.fetch_and(val, RawOrdering::SeqCst)
+    }
+}
+
+pub mod atomic {
+    pub use super::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+// ---- mutex ---------------------------------------------------------------
+
+/// Run the model-side part of a guard release. An aborting execution
+/// panics inside `op`; the caller must still release its real bit, so
+/// the unwind is caught, the bit released by the caller, and the abort
+/// re-raised.
+fn guarded_model<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Send>> {
+    catch_unwind(AssertUnwindSafe(f))
+}
+
+pub struct Mutex<T: ?Sized> {
+    id: OnceId,
+    /// Real exclusion bit; both the modeled and the passthrough path
+    /// acquire it, so the data is protected even mid-abort.
+    locked: std::sync::atomic::AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            id: OnceId::new(),
+            locked: std::sync::atomic::AtomicBool::new(false),
+            data: UnsafeCell::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn acquire_bit(&self) {
+        while self
+            .locked
+            .compare_exchange(false, true, RawOrdering::Acquire, RawOrdering::Relaxed)
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
+    }
+
+    fn release_bit(&self) {
+        self.locked.store(false, RawOrdering::Release);
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some((exec, me)) = ctx() {
+            let id = self.id.get(&exec, ObjKind::Mutex);
+            let mut st = exec.op(me, "mutex.lock", Some(id));
+            if st.objects[id].held_by.is_some() {
+                st.objects[id].waiters.push_back((me, true));
+                st.threads[me].status = Status::Blocked("mutex");
+                st = exec.block(st, me);
+                debug_assert_eq!(st.objects[id].held_by, Some(me));
+            } else {
+                st.objects[id].held_by = Some(me);
+            }
+            acquire_edge(&mut st, me, id);
+        }
+        self.acquire_bit();
+        MutexGuard {
+            lock: self,
+            bit_held: true,
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if let Some((exec, me)) = ctx() {
+            let id = self.id.get(&exec, ObjKind::Mutex);
+            let mut st = exec.op(me, "mutex.try_lock", Some(id));
+            if st.objects[id].held_by.is_some() {
+                return None;
+            }
+            st.objects[id].held_by = Some(me);
+            acquire_edge(&mut st, me, id);
+            drop(st);
+            self.acquire_bit();
+            return Some(MutexGuard {
+                lock: self,
+                bit_held: true,
+            });
+        }
+        if self
+            .locked
+            .compare_exchange(false, true, RawOrdering::Acquire, RawOrdering::Relaxed)
+            .is_ok()
+        {
+            Some(MutexGuard {
+                lock: self,
+                bit_held: true,
+            })
+        } else {
+            None
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// False while a condvar wait has custody of the lock: the guard's
+    /// drop (e.g. during an abort unwind out of the wait) must not
+    /// release a bit it doesn't hold.
+    bit_held: bool,
+    // !Send, like a real mutex guard.
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Release a mutex in the model's lock table: transfer ownership
+/// directly to a randomly chosen waiter (it wakes already owning the
+/// lock), or mark it free.
+fn grant_next(st: &mut ExecState, id: usize) {
+    let n = st.objects[id].waiters.len();
+    if n == 0 {
+        st.objects[id].held_by = None;
+        return;
+    }
+    let k = st.rng.below(n);
+    let (w, _) = st.objects[id].waiters.remove(k).expect("index in bounds");
+    st.objects[id].held_by = Some(w);
+    st.threads[w].status = Status::Runnable;
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.bit_held {
+            return;
+        }
+        if let Some((exec, me)) = ctx() {
+            let r = guarded_model(|| {
+                let id = self.lock.id.get(&exec, ObjKind::Mutex);
+                let mut st = exec.op(me, "mutex.unlock", Some(id));
+                release_edge(&mut st, me, id);
+                if st.objects[id].held_by == Some(me) {
+                    grant_next(&mut st, id);
+                }
+            });
+            self.lock.release_bit();
+            if let Err(p) = r {
+                resume_unwind(p);
+            }
+        } else {
+            self.lock.release_bit();
+        }
+    }
+}
+
+// ---- condvar -------------------------------------------------------------
+
+pub struct Condvar {
+    id: OnceId,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { id: OnceId::new() }
+    }
+
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some((exec, me)) = ctx() {
+            let mid = guard.lock.id.get(&exec, ObjKind::Mutex);
+            let cid = self.id.get(&exec, ObjKind::Condvar);
+            guard.lock.release_bit();
+            guard.bit_held = false;
+            let mut st = exec.op(me, "condvar.wait", Some(cid));
+            release_edge(&mut st, me, mid);
+            debug_assert_eq!(st.objects[mid].held_by, Some(me));
+            grant_next(&mut st, mid);
+            st.objects[cid].cv_waiters.push((me, mid));
+            st.threads[me].status = Status::Blocked("condvar");
+            st = exec.block(st, me);
+            // A notifier moved us through the mutex queue; by the time
+            // the scheduler picked us, the mutex was granted to us.
+            debug_assert_eq!(st.objects[mid].held_by, Some(me));
+            acquire_edge(&mut st, me, cid);
+            acquire_edge(&mut st, me, mid);
+            drop(st);
+            guard.lock.acquire_bit();
+            guard.bit_held = true;
+        } else {
+            // Passthrough: an immediate spurious wakeup. Code written
+            // against condvars must re-check its predicate anyway.
+            guard.lock.release_bit();
+            guard.bit_held = false;
+            std::thread::yield_now();
+            guard.lock.acquire_bit();
+            guard.bit_held = true;
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.notify(false)
+    }
+
+    pub fn notify_all(&self) {
+        self.notify(true)
+    }
+
+    fn notify(&self, all: bool) {
+        if let Some((exec, me)) = ctx() {
+            let cid = self.id.get(&exec, ObjKind::Condvar);
+            let opname = if all {
+                "condvar.notify_all"
+            } else {
+                "condvar.notify_one"
+            };
+            let mut st = exec.op(me, opname, Some(cid));
+            release_edge(&mut st, me, cid);
+            loop {
+                let n = st.objects[cid].cv_waiters.len();
+                if n == 0 {
+                    break;
+                }
+                let k = if all { 0 } else { st.rng.below(n) };
+                let (w, mid) = st.objects[cid].cv_waiters.swap_remove(k);
+                // Move the waiter through the mutex: grant directly if
+                // free, else queue it (it stays blocked until the
+                // holder releases).
+                if st.objects[mid].held_by.is_none() {
+                    st.objects[mid].held_by = Some(w);
+                    st.threads[w].status = Status::Runnable;
+                } else {
+                    st.objects[mid].waiters.push_back((w, true));
+                    st.threads[w].status = Status::Blocked("mutex");
+                }
+                if !all {
+                    break;
+                }
+            }
+        }
+        // Passthrough: no-op. Execution teardown wakes parked threads
+        // itself via the abort broadcast.
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+// ---- rwlock --------------------------------------------------------------
+
+const WRITER: usize = usize::MAX;
+
+pub struct RwLock<T: ?Sized> {
+    id: OnceId,
+    /// Real protection: 0 free, WRITER exclusive, else reader count.
+    state: std::sync::atomic::AtomicUsize,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> Self {
+        RwLock {
+            id: OnceId::new(),
+            state: std::sync::atomic::AtomicUsize::new(0),
+            data: UnsafeCell::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn acquire_read_bit(&self) {
+        loop {
+            let s = self.state.load(RawOrdering::Relaxed);
+            if s != WRITER
+                && self
+                    .state
+                    .compare_exchange(s, s + 1, RawOrdering::Acquire, RawOrdering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn release_read_bit(&self) {
+        self.state.fetch_sub(1, RawOrdering::Release);
+    }
+
+    fn acquire_write_bit(&self) {
+        while self
+            .state
+            .compare_exchange(0, WRITER, RawOrdering::Acquire, RawOrdering::Relaxed)
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
+    }
+
+    fn release_write_bit(&self) {
+        self.state.store(0, RawOrdering::Release);
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some((exec, me)) = ctx() {
+            let id = self.id.get(&exec, ObjKind::RwLock);
+            let mut st = exec.op(me, "rwlock.read", Some(id));
+            if st.objects[id].held_by.is_some() {
+                st.objects[id].waiters.push_back((me, false));
+                st.threads[me].status = Status::Blocked("rwlock");
+                st = exec.block(st, me);
+                debug_assert!(st.objects[id].readers.contains(&me));
+            } else {
+                st.objects[id].readers.push(me);
+            }
+            acquire_edge(&mut st, me, id);
+        }
+        self.acquire_read_bit();
+        RwLockReadGuard { lock: self }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some((exec, me)) = ctx() {
+            let id = self.id.get(&exec, ObjKind::RwLock);
+            let mut st = exec.op(me, "rwlock.write", Some(id));
+            if st.objects[id].held_by.is_some() || !st.objects[id].readers.is_empty() {
+                st.objects[id].waiters.push_back((me, true));
+                st.threads[me].status = Status::Blocked("rwlock");
+                st = exec.block(st, me);
+                debug_assert_eq!(st.objects[id].held_by, Some(me));
+            } else {
+                st.objects[id].held_by = Some(me);
+            }
+            acquire_edge(&mut st, me, id);
+        }
+        self.acquire_write_bit();
+        RwLockWriteGuard { lock: self }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+/// If the rwlock just became free, admit the next wave: a randomly
+/// chosen waiting writer, or every waiting reader.
+fn grant_rw(st: &mut ExecState, id: usize) {
+    if st.objects[id].held_by.is_some() || !st.objects[id].readers.is_empty() {
+        return;
+    }
+    let n = st.objects[id].waiters.len();
+    if n == 0 {
+        return;
+    }
+    let k = st.rng.below(n);
+    if st.objects[id].waiters[k].1 {
+        let (w, _) = st.objects[id].waiters.remove(k).expect("index in bounds");
+        st.objects[id].held_by = Some(w);
+        st.threads[w].status = Status::Runnable;
+    } else {
+        let mut i = 0;
+        while i < st.objects[id].waiters.len() {
+            if !st.objects[id].waiters[i].1 {
+                let (w, _) = st.objects[id].waiters.remove(i).expect("index in bounds");
+                st.objects[id].readers.push(w);
+                st.threads[w].status = Status::Runnable;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((exec, me)) = ctx() {
+            let r = guarded_model(|| {
+                let id = self.lock.id.get(&exec, ObjKind::RwLock);
+                let mut st = exec.op(me, "rwlock.unread", Some(id));
+                release_edge(&mut st, me, id);
+                st.objects[id].readers.retain(|&t| t != me);
+                grant_rw(&mut st, id);
+            });
+            self.lock.release_read_bit();
+            if let Err(p) = r {
+                resume_unwind(p);
+            }
+        } else {
+            self.lock.release_read_bit();
+        }
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((exec, me)) = ctx() {
+            let r = guarded_model(|| {
+                let id = self.lock.id.get(&exec, ObjKind::RwLock);
+                let mut st = exec.op(me, "rwlock.unwrite", Some(id));
+                release_edge(&mut st, me, id);
+                if st.objects[id].held_by == Some(me) {
+                    st.objects[id].held_by = None;
+                    grant_rw(&mut st, id);
+                }
+            });
+            self.lock.release_write_bit();
+            if let Err(p) = r {
+                resume_unwind(p);
+            }
+        } else {
+            self.lock.release_write_bit();
+        }
+    }
+}
+
+// ---- race-checked cell ---------------------------------------------------
+
+pub mod cell {
+    use super::*;
+
+    /// An `UnsafeCell` whose accesses are vector-clock race-checked in
+    /// model runs. The engine's invariant-bearing cells (queue slots,
+    /// the quiesce window pointer) route through this so "the SAFETY
+    /// comment says the atomics order these accesses" becomes a checked
+    /// claim instead of a trusted one.
+    pub struct ModelCell<T: ?Sized> {
+        id: OnceId,
+        v: UnsafeCell<T>,
+    }
+
+    unsafe impl<T: ?Sized + Send> Send for ModelCell<T> {}
+    unsafe impl<T: ?Sized + Send> Sync for ModelCell<T> {}
+
+    impl<T> ModelCell<T> {
+        pub const fn new(v: T) -> Self {
+            ModelCell {
+                id: OnceId::new(),
+                v: UnsafeCell::new(v),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.v.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> ModelCell<T> {
+        fn check(&self, op: &'static str, write: bool) {
+            if let Some((exec, me)) = ctx() {
+                let id = self.id.get(&exec, ObjKind::Cell);
+                let mut st = exec.op(me, op, Some(id));
+                let tc = st.threads[me].clock.clone();
+                let racy_write = !st.objects[id].write_clock.leq(&tc);
+                let racy_read = write && !st.objects[id].read_clock.leq(&tc);
+                if racy_write || racy_read {
+                    let label = st.thread_label(me);
+                    let kind = if write { "write" } else { "read" };
+                    let other = if racy_write { "write" } else { "read" };
+                    let msg = format!(
+                        "data race: {label} {kind} of cell s{id} is concurrent with an earlier {other} (no happens-before edge orders them)"
+                    );
+                    exec.fail_now(st, msg);
+                }
+                let own = tc.get(me);
+                if write {
+                    st.objects[id].write_clock.set_max(me, own);
+                } else {
+                    st.objects[id].read_clock.set_max(me, own);
+                }
+            }
+        }
+
+        /// Race-checked shared read access.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            self.check("cell.read", false);
+            f(self.v.get())
+        }
+
+        /// Race-checked exclusive access.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            self.check("cell.write", true);
+            f(self.v.get())
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.v.get() }
+        }
+    }
+
+    impl<T: Default> Default for ModelCell<T> {
+        fn default() -> Self {
+            ModelCell::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized> std::fmt::Debug for ModelCell<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("ModelCell { .. }")
+        }
+    }
+}
+
+// ---- threads -------------------------------------------------------------
+
+pub mod thread {
+    use super::*;
+
+    enum Inner<T> {
+        Real(std::thread::JoinHandle<T>),
+        Model {
+            exec: Arc<Execution>,
+            tid: usize,
+            result: Arc<std::sync::Mutex<Option<std::thread::Result<T>>>>,
+            real: Option<std::thread::JoinHandle<()>>,
+        },
+    }
+
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Real(h) => h.join(),
+                Inner::Model {
+                    exec,
+                    tid,
+                    result,
+                    real,
+                } => {
+                    let model_ctx = match ctx() {
+                        Some((cur, me)) if Arc::ptr_eq(&cur, &exec) => Some(me),
+                        _ => None,
+                    };
+                    if let Some(me) = model_ctx {
+                        let mut st = exec.op(me, "join", None);
+                        if st.threads[tid].status != Status::Finished {
+                            st.join_waiters.push((me, tid));
+                            st.threads[me].status = Status::Blocked("join");
+                            st = exec.block(st, me);
+                        }
+                        debug_assert_eq!(st.threads[tid].status, Status::Finished);
+                        let child_clock = st.threads[tid].clock.clone();
+                        st.threads[me].clock.join(&child_clock);
+                        drop(st);
+                        if let Some(h) = real {
+                            let _ = h.join();
+                        }
+                        match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                            Some(r) => r,
+                            // Child unwound via abort without a value.
+                            None => abort_panic(),
+                        }
+                    } else {
+                        // Passthrough (unwinding, or a foreign thread):
+                        // spin until the model slot finishes — abort
+                        // teardown guarantees it will.
+                        loop {
+                            {
+                                let st = exec.lock_state();
+                                if st.threads[tid].status == Status::Finished {
+                                    break;
+                                }
+                            }
+                            std::thread::yield_now();
+                        }
+                        if let Some(h) = real {
+                            let _ = h.join();
+                        }
+                        match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                            Some(r) => r,
+                            None => Err(Box::new("model execution aborted")
+                                as Box<dyn std::any::Any + Send>),
+                        }
+                    }
+                }
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match &self.inner {
+                Inner::Real(h) => h.is_finished(),
+                Inner::Model { exec, tid, .. } => {
+                    exec.lock_state().threads[*tid].status == Status::Finished
+                }
+            }
+        }
+    }
+
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Builder {
+            Builder { name: None }
+        }
+
+        pub fn name(mut self, name: String) -> Builder {
+            self.name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            if let Some((exec, me)) = ctx() {
+                let name = self.name.unwrap_or_else(|| "model".to_string());
+                let tid = {
+                    let mut st = exec.op(me, "spawn", None);
+                    Execution::add_thread(&mut st, me, name.clone())
+                };
+                let result = Arc::new(std::sync::Mutex::new(None));
+                let stash = Arc::clone(&result);
+                let child_exec = Arc::clone(&exec);
+                let real = std::thread::Builder::new().name(name).spawn(move || {
+                    exec::set_current(Some((Arc::clone(&child_exec), tid)));
+                    if child_exec.wait_for_start(tid) {
+                        match catch_unwind(AssertUnwindSafe(f)) {
+                            Ok(v) => {
+                                *stash.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                            }
+                            Err(p) => {
+                                // Real panics were recorded as failures
+                                // by the panic hook before unwinding;
+                                // quiet aborts stash nothing.
+                                if p.downcast_ref::<ModelAbort>().is_none() {
+                                    *stash.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(p));
+                                }
+                            }
+                        }
+                    }
+                    exec::set_current(None);
+                    child_exec.finish_thread(tid);
+                })?;
+                Ok(JoinHandle {
+                    inner: Inner::Model {
+                        exec,
+                        tid,
+                        result,
+                        real: Some(real),
+                    },
+                })
+            } else {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                Ok(JoinHandle {
+                    inner: Inner::Real(b.spawn(f)?),
+                })
+            }
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("failed to spawn thread")
+    }
+
+    /// A modeled yield: a pure scheduling point with no effect.
+    pub fn yield_now() {
+        if let Some((exec, me)) = ctx() {
+            drop(exec.op(me, "yield", None));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Time does not pass in the model; sleeping is just a yield.
+    pub fn sleep(_dur: Duration) {
+        yield_now();
+    }
+}
+
+/// Modeled machines report unbounded parallelism so `workers.min(...)`
+/// clamps resolve to the configured worker count, keeping scenarios
+/// host-independent.
+pub fn hardware_parallelism(_default: usize) -> usize {
+    usize::MAX
+}

@@ -1,0 +1,317 @@
+//! Model-checked engine protocols (build with `RUSTFLAGS="--cfg hinch_model"`).
+//!
+//! These tests drive real `hinch` engine code — the worker-pool primitives
+//! and the full multi-graph serving runtime — on the schedcheck executor.
+//! Under `--cfg hinch_model`, every atomic access, lock, park and spawn in
+//! `crates/hinch/src/engine/` routes through `hinch::sync` into the
+//! modeled primitives, so the explorer controls each interleaving and the
+//! vector clocks check every `ModelCell` slot access.
+//!
+//! The two `pr6_*` tests are pinned regressions for the races fixed in
+//! PR 6: each arms a fault flag (`hinch::sync::faults`) that re-introduces
+//! the original bug, and asserts the model checker finds it within the
+//! smoke iteration budget — with a replayable seed — while the unfaulted
+//! protocol explores clean.
+//!
+//! Budgets scale with `SCHEDCHECK_ITERS` (CI sets it; `MODEL_DEEP=1` runs
+//! raise it — see `scripts/ci.sh`).
+
+#![cfg(hinch_model)]
+
+use hinch::engine::pool::{EventCount, Injector, LocalQueue};
+use hinch::graph::{factory, ComponentSpec, GraphSpec};
+use hinch::sync::faults;
+use hinch::{Component, Params, RunCtx, Runtime, RuntimeConfig, SpawnOpts};
+use schedcheck::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use schedcheck::{env_iters, Config, Strategy};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+/// The fault flags and the runtime's worker pools are process-global, so
+/// every test that builds a `Runtime` or arms a fault serializes here
+/// (cargo's test harness runs tests on parallel threads).
+fn runtime_lock() -> StdMutexGuard<'static, ()> {
+    static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| StdMutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Reset both fault flags when a test exits, pass or fail.
+struct FaultReset;
+impl Drop for FaultReset {
+    fn drop(&mut self) {
+        faults::set_throttled_submit_wake(false);
+        faults::set_drain_skips_admission_close(false);
+    }
+}
+
+struct Nop;
+impl Component for Nop {
+    fn class(&self) -> &'static str {
+        "nop"
+    }
+    fn run(&mut self, _ctx: &mut RunCtx<'_>) {}
+}
+
+/// Single no-op leaf: the smallest graph the serving runtime accepts.
+/// One job per frame keeps the schedule space small enough to explore.
+fn nop_spec() -> GraphSpec {
+    GraphSpec::leaf(ComponentSpec::new(
+        "nop",
+        "nop",
+        factory(
+            |_p: &Params| -> Box<dyn Component> { Box::new(Nop) },
+            Params::new(),
+        ),
+    ))
+}
+
+#[test]
+fn local_queue_ops_linearize() {
+    let cfg = Config::default().iterations(env_iters(192)).seed(0x10CA1);
+    schedcheck::explore(&cfg, || {
+        let q = Arc::new(LocalQueue::<u32>::new());
+        let inj = Arc::new(Injector::<u32>::new());
+        let taken = Arc::new(StdMutex::new(Vec::<u32>::new()));
+        let thief = {
+            let (q, taken) = (q.clone(), taken.clone());
+            schedcheck::sync::thread::spawn(move || {
+                for _ in 0..2 {
+                    if let Some(v) = q.steal() {
+                        taken.lock().unwrap().push(v);
+                    }
+                }
+            })
+        };
+        let mut got = Vec::new();
+        for v in 1..=3u32 {
+            q.push(v, &inj);
+            if let Some(v) = q.pop() {
+                got.push(v);
+            }
+        }
+        thief.join().unwrap();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        while let Some(v) = inj.pop() {
+            got.push(v);
+        }
+        got.extend(taken.lock().unwrap().iter().copied());
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "each pushed job consumed exactly once");
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+#[test]
+fn eventcount_never_loses_a_wakeup() {
+    let cfg = Config::default()
+        .iterations(env_iters(192))
+        .seed(0xEC0)
+        .strategy(Strategy::Mixed);
+    schedcheck::explore(&cfg, || {
+        let ec = Arc::new(EventCount::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let consumer = {
+            let (ec, flag) = (ec.clone(), flag.clone());
+            schedcheck::sync::thread::spawn(move || loop {
+                if flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                let e = ec.prepare();
+                if flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A notify between the `prepare` above and this `wait`
+                // must still be delivered — the protocol under test.
+                ec.wait(e);
+            })
+        };
+        flag.store(true, Ordering::SeqCst);
+        ec.notify(1);
+        consumer.join().unwrap();
+        assert_eq!(ec.sleepers(), 0);
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+#[test]
+fn eventcount_counts_concurrent_sleepers() {
+    let cfg = Config::default().iterations(env_iters(128)).seed(0xEC1);
+    schedcheck::explore(&cfg, || {
+        let ec = Arc::new(EventCount::new());
+        let produced = Arc::new(AtomicU64::new(0));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let (ec, produced) = (ec.clone(), produced.clone());
+                schedcheck::sync::thread::spawn(move || loop {
+                    if produced.load(Ordering::SeqCst) == 1 {
+                        return;
+                    }
+                    let e = ec.prepare();
+                    if produced.load(Ordering::SeqCst) == 1 {
+                        return;
+                    }
+                    ec.wait(e);
+                })
+            })
+            .collect();
+        produced.store(1, Ordering::SeqCst);
+        // Lifecycle edge: both sleepers must observe it.
+        ec.notify_all();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(ec.sleepers(), 0, "sleeper count returns to zero");
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+#[test]
+fn runtime_submit_drain_teardown_is_clean() {
+    let _serial = runtime_lock();
+    let cfg = Config::default().iterations(env_iters(96)).seed(0x5E12E);
+    schedcheck::explore(&cfg, || {
+        let rt = Runtime::new(RuntimeConfig::new(1));
+        let id = rt
+            .spawn(&nop_spec(), SpawnOpts::new("m").pipeline_depth(1))
+            .unwrap();
+        assert_eq!(rt.submit(id, 1).unwrap(), 1);
+        let stats = rt.drain(id).unwrap();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(rt.graph_count(), 0);
+        assert_eq!(rt.queued_jobs(), 0, "teardown leaves no queued jobs");
+        rt.shutdown();
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+#[test]
+fn runtime_two_rounds_restore_baseline() {
+    let _serial = runtime_lock();
+    let cfg = Config::default().iterations(env_iters(48)).seed(0xBA5E);
+    schedcheck::explore(&cfg, || {
+        let rt = Runtime::new(RuntimeConfig::new(1));
+        for round in 0..2u32 {
+            let id = rt
+                .spawn(
+                    &nop_spec(),
+                    SpawnOpts::new(format!("r{round}")).pipeline_depth(1),
+                )
+                .unwrap();
+            assert_eq!(rt.submit(id, 2).unwrap(), 2);
+            let stats = rt.drain(id).unwrap();
+            assert_eq!(stats.completed, 2, "round {round}");
+        }
+        assert_eq!(rt.graph_count(), 0);
+        assert_eq!(rt.queued_jobs(), 0);
+        rt.shutdown();
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// Pinned PR-6 regression #1: `Runtime::submit` must use the unconditional
+/// external wake. With the fault armed, submit uses the worker-context
+/// spare-parallelism-throttled wake instead; a submit landing while the
+/// lone worker sits between its park-preparation and its `active`
+/// decrement skips the notify entirely, the worker parks on a stale epoch
+/// with the frame stranded in the injector, and drain blocks forever —
+/// which the model checker reports as a deadlock with a replayable seed.
+#[test]
+fn pr6_submit_wake_race_is_caught() {
+    let _serial = runtime_lock();
+    let _reset = FaultReset;
+
+    let scenario = || {
+        let rt = Runtime::new(RuntimeConfig::new(1));
+        let id = rt
+            .spawn(&nop_spec(), SpawnOpts::new("m").pipeline_depth(1))
+            .unwrap();
+        assert_eq!(rt.submit(id, 1).unwrap(), 1);
+        let stats = rt.drain(id).unwrap();
+        assert_eq!(stats.completed, 1);
+        rt.shutdown();
+    };
+
+    // Floor at the proven discovery budget: the global smoke knob
+    // (`SCHEDCHECK_ITERS`) may scale the protocol tests down, but a
+    // pinned regression that stops *finding* its bug is worthless.
+    let cfg = Config::default()
+        .iterations(env_iters(300).max(300))
+        .seed(0x9126);
+
+    faults::set_throttled_submit_wake(true);
+    let failure = schedcheck::explore(&cfg, scenario)
+        .expect_err("model checker must catch the reverted submit-wake fix");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock report, got: {failure}"
+    );
+    // The failure replays from its seed alone.
+    let replayed = schedcheck::replay(&cfg, failure.seed, scenario)
+        .expect_err("recorded seed must reproduce the failure");
+    assert_eq!(replayed.message, failure.message);
+
+    faults::set_throttled_submit_wake(false);
+    schedcheck::explore(&cfg, scenario).unwrap_or_else(|f| {
+        panic!("fixed protocol must explore clean, got: {f}");
+    });
+}
+
+/// Pinned PR-6 regression #2: `Runtime::drain` must close admission (the
+/// per-tenant draining flag, set under the admit lock) before its
+/// quiescence wait. With the fault armed the flag is never set, so a
+/// racing submit can be accepted after drain observed quiescence; the
+/// frame is silently discarded by teardown and drain's leak asserts fire
+/// (frame timestamps left behind) — a panic the model checker reports
+/// with a replayable seed.
+#[test]
+fn pr6_drain_admission_race_is_caught() {
+    let _serial = runtime_lock();
+    let _reset = FaultReset;
+
+    let scenario = || {
+        let rt = Arc::new(Runtime::new(RuntimeConfig::new(1)));
+        let id = rt
+            .spawn(&nop_spec(), SpawnOpts::new("m").pipeline_depth(1))
+            .unwrap();
+        assert_eq!(rt.submit(id, 1).unwrap(), 1);
+        let submitter = {
+            let rt = rt.clone();
+            schedcheck::sync::thread::spawn(move || match rt.submit(id, 1) {
+                Ok(n) => n,
+                Err(_) => 0, // draining / already gone: correctly refused
+            })
+        };
+        let accepted = 1 + match rt.drain(id) {
+            Ok(_) => submitter.join().unwrap(),
+            Err(e) => panic!("drain failed: {e}"),
+        };
+        // Every frame the client was told was accepted must have retired;
+        // with admission left open, teardown's leak asserts fire first.
+        let _ = accepted;
+        rt.shutdown();
+    };
+
+    // Same floor as above: never below the proven discovery budget.
+    let cfg = Config::default()
+        .iterations(env_iters(300).max(300))
+        .seed(0xD2A1);
+
+    faults::set_drain_skips_admission_close(true);
+    let failure = schedcheck::explore(&cfg, scenario)
+        .expect_err("model checker must catch the reverted drain-admission fix");
+    assert!(
+        failure.message.contains("leaked") || failure.message.contains("deadlock"),
+        "expected the teardown leak assert (or a stranded-frame deadlock), got: {failure}"
+    );
+    let replayed = schedcheck::replay(&cfg, failure.seed, scenario)
+        .expect_err("recorded seed must reproduce the failure");
+    assert_eq!(replayed.message, failure.message);
+
+    faults::set_drain_skips_admission_close(false);
+    schedcheck::explore(&cfg, scenario).unwrap_or_else(|f| {
+        panic!("fixed protocol must explore clean, got: {f}");
+    });
+}

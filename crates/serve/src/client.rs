@@ -1,16 +1,20 @@
 //! Typed client for the frame protocol (used by the load harness, the
 //! smoke gate and external tools).
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ALL_GRAPHS};
+use crate::protocol::{read_frame, write_frame, Request, Response, WireDiagnostic, ALL_GRAPHS};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
-/// Client-side errors: transport failures vs errors the server reported.
+/// Client-side errors: transport failures vs errors the server reported
+/// vs spawns the server's static analyzer rejected.
 #[derive(Debug)]
 pub enum ClientError {
     Io(io::Error),
     /// The server answered with an error response (its message).
     Server(String),
+    /// The server's static analyzer rejected the spawn; the `XA0xx`
+    /// diagnostics say why.
+    Rejected(Vec<WireDiagnostic>),
 }
 
 impl std::fmt::Display for ClientError {
@@ -18,6 +22,17 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport: {e}"),
             ClientError::Server(msg) => write!(f, "server: {msg}"),
+            ClientError::Rejected(diags) => {
+                write!(
+                    f,
+                    "rejected by static analysis ({} finding(s))",
+                    diags.len()
+                )?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -45,7 +60,7 @@ impl Client {
 
     /// Raw request/response round trip.
     pub fn request(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
+        write_frame(&mut self.stream, &req.encode()?)?;
         let body = read_frame(&mut self.stream)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -55,6 +70,7 @@ impl Client {
         match Response::decode(&body)? {
             Response::Ok(payload) => Ok(payload),
             Response::Err(msg) => Err(ClientError::Server(msg)),
+            Response::Rejected(diags) => Err(ClientError::Rejected(diags)),
         }
     }
 
@@ -67,6 +83,26 @@ impl Client {
     ) -> Result<u32, ClientError> {
         let payload = self.request(&Request::Spawn {
             app: app.to_string(),
+            pipeline_depth,
+            max_backlog,
+        })?;
+        let bytes: [u8; 4] = payload
+            .try_into()
+            .map_err(|_| ClientError::Server("malformed spawn response".into()))?;
+        Ok(u32::from_be_bytes(bytes))
+    }
+
+    /// Spawn a graph from XSPCL source shipped over the wire; the server
+    /// statically analyzes and elaborates it first. Returns the graph id,
+    /// or [`ClientError::Rejected`] with the analyzer's diagnostics.
+    pub fn spawn_xspcl(
+        &mut self,
+        source: &str,
+        pipeline_depth: u32,
+        max_backlog: u64,
+    ) -> Result<u32, ClientError> {
+        let payload = self.request(&Request::SpawnXspcl {
+            source: source.to_string(),
             pipeline_depth,
             max_backlog,
         })?;

@@ -18,7 +18,7 @@
 //! body (none of the routes needs one) is ignored. Not a general HTTP
 //! server; just enough for scripted ingress and smoke tests.
 
-use crate::protocol::{Request, Response, ALL_GRAPHS};
+use crate::protocol::{Request, Response, WireDiagnostic, ALL_GRAPHS};
 use crate::server::{json_escape, Inner};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -90,79 +90,100 @@ fn param<T: std::str::FromStr>(
     }
 }
 
+fn error_json(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", json_escape(msg))
+}
+
+/// Render analyzer diagnostics as the 422 response body.
+fn reject_json(diags: &[WireDiagnostic]) -> String {
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}",
+                if d.is_error() { "error" } else { "warning" },
+                json_escape(&d.code),
+                json_escape(&d.message),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"error\":\"rejected by static analysis\",\"diagnostics\":[{}]}}",
+        items.join(",")
+    )
+}
+
+/// Unwrap a protocol response into its payload, or the `(status, body)`
+/// to answer with: server errors are 400, analyzer rejections 422.
+fn expect_ok(resp: Response) -> Result<Vec<u8>, (u16, String)> {
+    match resp {
+        Response::Ok(b) => Ok(b),
+        Response::Err(e) => Err((400, error_json(&e))),
+        Response::Rejected(diags) => Err((422, reject_json(&diags))),
+    }
+}
+
 /// Translate one HTTP request into a protocol [`Request`], run it, and
 /// render the JSON body. Returns `(http status, body)`.
 fn route(method: &str, path: &str, query: &str, inner: &Inner) -> (u16, String) {
     let q = parse_query(query);
-    let run = |req: Request| -> Result<Response, String> { Ok(inner.handle(req)) };
-    let result: Result<String, String> = (|| match (method, path) {
+    let bad = |e: String| (400u16, error_json(&e));
+    let result: Result<String, (u16, String)> = (|| match (method, path) {
         ("GET", "/healthz") => Ok("{\"ok\":true}".to_string()),
         ("GET", "/stats") => {
-            let graph = param(&q, "graph", Some(ALL_GRAPHS))?;
-            match run(Request::Stats { graph })? {
-                Response::Ok(json) => Ok(String::from_utf8_lossy(&json).into_owned()),
-                Response::Err(e) => Err(e),
-            }
+            let graph = param(&q, "graph", Some(ALL_GRAPHS)).map_err(bad)?;
+            let json = expect_ok(inner.handle(Request::Stats { graph }))?;
+            Ok(String::from_utf8_lossy(&json).into_owned())
         }
         ("POST", "/spawn") => {
             let req = Request::Spawn {
-                app: param::<String>(&q, "app", None)?,
-                pipeline_depth: param(&q, "depth", Some(5))?,
-                max_backlog: param(&q, "backlog", Some(32))?,
+                app: param::<String>(&q, "app", None).map_err(bad)?,
+                pipeline_depth: param(&q, "depth", Some(5)).map_err(bad)?,
+                max_backlog: param(&q, "backlog", Some(32)).map_err(bad)?,
             };
-            match run(req)? {
-                Response::Ok(b) if b.len() == 4 => {
-                    let id = u32::from_be_bytes(b.try_into().unwrap());
-                    Ok(format!("{{\"graph\":{id}}}"))
-                }
-                Response::Ok(_) => Err("malformed spawn response".into()),
-                Response::Err(e) => Err(e),
+            let b = expect_ok(inner.handle(req))?;
+            match <[u8; 4]>::try_from(b.as_slice()) {
+                Ok(id) => Ok(format!("{{\"graph\":{}}}", u32::from_be_bytes(id))),
+                Err(_) => Err(bad("malformed spawn response".into())),
             }
         }
         ("POST", "/submit") => {
             let req = Request::Submit {
-                graph: param(&q, "graph", None)?,
-                frames: param(&q, "frames", None)?,
+                graph: param(&q, "graph", None).map_err(bad)?,
+                frames: param(&q, "frames", None).map_err(bad)?,
             };
-            match run(req)? {
-                Response::Ok(b) if b.len() == 8 => {
-                    let accepted = u64::from_be_bytes(b.try_into().unwrap());
-                    Ok(format!("{{\"accepted\":{accepted}}}"))
-                }
-                Response::Ok(_) => Err("malformed submit response".into()),
-                Response::Err(e) => Err(e),
+            let b = expect_ok(inner.handle(req))?;
+            match <[u8; 8]>::try_from(b.as_slice()) {
+                Ok(n) => Ok(format!("{{\"accepted\":{}}}", u64::from_be_bytes(n))),
+                Err(_) => Err(bad("malformed submit response".into())),
             }
         }
         ("POST", "/inject") => {
             let req = Request::Inject {
-                graph: param(&q, "graph", None)?,
-                queue: param::<String>(&q, "queue", None)?,
-                kind: param::<String>(&q, "event", None)?,
-                payload: param(&q, "payload", Some(0))?,
+                graph: param(&q, "graph", None).map_err(bad)?,
+                queue: param::<String>(&q, "queue", None).map_err(bad)?,
+                kind: param::<String>(&q, "event", None).map_err(bad)?,
+                payload: param(&q, "payload", Some(0)).map_err(bad)?,
             };
-            match run(req)? {
-                Response::Ok(_) => Ok("{\"ok\":true}".to_string()),
-                Response::Err(e) => Err(e),
-            }
+            expect_ok(inner.handle(req))?;
+            Ok("{\"ok\":true}".to_string())
         }
         ("POST", "/drain") => {
             let req = Request::Drain {
-                graph: param(&q, "graph", None)?,
+                graph: param(&q, "graph", None).map_err(bad)?,
             };
-            match run(req)? {
-                Response::Ok(json) => Ok(String::from_utf8_lossy(&json).into_owned()),
-                Response::Err(e) => Err(e),
-            }
+            let json = expect_ok(inner.handle(req))?;
+            Ok(String::from_utf8_lossy(&json).into_owned())
         }
-        ("POST", "/shutdown") => match run(Request::Shutdown)? {
-            Response::Ok(_) => Ok("{\"ok\":true}".to_string()),
-            Response::Err(e) => Err(e),
-        },
-        _ => Err(format!("no route {method} {path}")),
+        ("POST", "/shutdown") => {
+            expect_ok(inner.handle(Request::Shutdown))?;
+            Ok("{\"ok\":true}".to_string())
+        }
+        _ => Err(bad(format!("no route {method} {path}"))),
     })();
     match result {
         Ok(body) => (200, body),
-        Err(e) => (400, format!("{{\"error\":\"{}\"}}", json_escape(&e))),
+        Err((status, body)) => (status, body),
     }
 }
 
@@ -191,7 +212,11 @@ fn handle(stream: TcpStream, inner: &Inner) -> io::Result<()> {
     } else {
         route(&method, path, query, inner)
     };
-    let reason = if status == 200 { "OK" } else { "Bad Request" };
+    let reason = match status {
+        200 => "OK",
+        422 => "Unprocessable Entity",
+        _ => "Bad Request",
+    };
     let mut stream = reader.into_inner();
     write!(
         stream,

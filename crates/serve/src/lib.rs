@@ -21,7 +21,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use load::{run_open_loop, run_saturated, Burst, LoadConfig, LoadReport, SaturatedReport};
-pub use protocol::{Request, Response, ALL_GRAPHS, MAX_FRAME};
+pub use protocol::{Request, Response, WireDiagnostic, ALL_GRAPHS, MAX_FRAME};
 pub use server::{stats_json, Server, ServerConfig};
 
 #[cfg(test)]
@@ -62,6 +62,86 @@ mod tests {
         assert!(matches!(c.submit(77, 1), Err(ClientError::Server(_))));
         c.shutdown().expect("shutdown");
         drop(c);
+        handle.join().expect("server thread");
+    }
+
+    /// The static-analysis admission gate, end-to-end: an unsound XSPCL
+    /// document shipped over the wire comes back as a structured
+    /// rejection with its `XA0xx` diagnostics; a sound document naming a
+    /// missing asset fails with a structured error (the factory panic is
+    /// caught); and in both cases the connection and the runtime keep
+    /// serving.
+    #[test]
+    fn xspcl_spawn_analysis_gate_over_the_wire() {
+        let server = Server::bind(
+            ServerConfig {
+                workers: 2,
+                scale: Scale::Small,
+            },
+            "127.0.0.1:0",
+            None,
+        )
+        .expect("bind");
+        let addr = server.tcp_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+        let mut c = Client::connect(addr).expect("connect");
+
+        // Analyze-dirty: 'snk' reads a stream nothing writes (XA014).
+        let dirty = r#"<xspcl>
+          <procedure name="main">
+            <stream name="s"/><stream name="ghost"/>
+            <body>
+              <component name="src" class="gen"><out port="o" stream="s"/></component>
+              <component name="snk" class="sink">
+                <in port="a" stream="s"/><in port="b" stream="ghost"/>
+              </component>
+            </body>
+          </procedure>
+        </xspcl>"#;
+        match c.spawn_xspcl(dirty, 1, 8) {
+            Err(ClientError::Rejected(diags)) => {
+                assert!(
+                    diags.iter().any(|d| d.code == "XA014" && d.is_error()),
+                    "expected an XA014 error, got {diags:?}"
+                );
+            }
+            other => panic!("expected a static-analysis rejection, got {other:?}"),
+        }
+
+        // An unreadable document is an error, not a rejection.
+        assert!(matches!(
+            c.spawn_xspcl("<xspcl", 1, 8),
+            Err(ClientError::Server(_))
+        ));
+
+        // Analysis-clean but naming an asset the server never
+        // provisioned: the component factory's panic is caught and
+        // surfaced as a structured error.
+        let clean = r#"<xspcl>
+          <procedure name="main">
+            <stream name="y"/><stream name="out"/>
+            <body>
+              <component name="src" class="plane_source">
+                <out port="o" stream="y"/>
+                <param name="file" value="nosuch"/><param name="field" value="0"/>
+              </component>
+              <component name="p" class="pass"><in port="i" stream="y"/><out port="o" stream="out"/></component>
+            </body>
+          </procedure>
+        </xspcl>"#;
+        match c.spawn_xspcl(clean, 1, 8) {
+            Err(ClientError::Server(msg)) => {
+                assert!(msg.contains("not registered"), "{msg}")
+            }
+            other => panic!("expected a structured spawn failure, got {other:?}"),
+        }
+
+        // The connection and the shared runtime both survived all three.
+        c.ping().expect("ping after rejected spawns");
+        let g = c.spawn("pip1", 1, 8).expect("regular spawn still works");
+        assert_eq!(c.submit(g, 1).expect("submit"), 1);
+        c.drain(g).expect("drain");
+        c.shutdown().expect("shutdown");
         handle.join().expect("server thread");
     }
 

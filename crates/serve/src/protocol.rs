@@ -7,25 +7,34 @@
 //! ```
 //!
 //! A request body is an opcode byte followed by opcode-specific fields; a
-//! response body is a status byte (`0` ok, `1` error) followed by a
-//! payload (for errors: the message as raw UTF-8). Integers are
-//! big-endian; strings are `u16 BE length + UTF-8 bytes`.
+//! response body is a status byte (`0` ok, `1` error, `2` rejected)
+//! followed by a payload (for errors: the message as raw UTF-8; for
+//! rejections: a list of structured diagnostics — see
+//! [`WireDiagnostic`]). Integers are big-endian; strings are `u16 BE
+//! length + UTF-8 bytes` unless noted.
 //!
 //! | opcode | request fields | ok-response payload |
 //! |--------|----------------|---------------------|
-//! | `0x01` Spawn    | app `str`, depth `u32`, max_backlog `u64` | graph id `u32` |
-//! | `0x02` Submit   | graph `u32`, frames `u64`                 | accepted `u64` |
-//! | `0x03` Inject   | graph `u32`, queue `str`, kind `str`, payload `i64` | — |
-//! | `0x04` Stats    | graph `u32` (`0xFFFF_FFFF` = all)         | JSON `str` |
-//! | `0x05` Drain    | graph `u32`                               | JSON `str` |
-//! | `0x06` Ping     | —                                         | — |
-//! | `0x07` Shutdown | —                                         | — |
+//! | `0x01` Spawn      | app `str`, depth `u32`, max_backlog `u64` | graph id `u32` |
+//! | `0x02` Submit     | graph `u32`, frames `u64`                 | accepted `u64` |
+//! | `0x03` Inject     | graph `u32`, queue `str`, kind `str`, payload `i64` | — |
+//! | `0x04` Stats      | graph `u32` (`0xFFFF_FFFF` = all)         | JSON `str` |
+//! | `0x05` Drain      | graph `u32`                               | JSON `str` |
+//! | `0x06` Ping       | —                                         | — |
+//! | `0x07` Shutdown   | —                                         | — |
+//! | `0x08` SpawnXspcl | source `lstr` (u32 BE length), depth `u32`, max_backlog `u64` | graph id `u32` |
 //!
 //! `Submit` is where admission control surfaces: the response carries how
 //! many of the offered frames the server *accepted* (possibly 0) — the
 //! client's backpressure signal. `Inject` is reconfiguration over the
 //! wire: the event lands in the named manager queue and takes effect at
 //! the graph's next quiescent point, exactly as an in-process event.
+//!
+//! `Spawn`/`SpawnXspcl` are where the static analyzer surfaces: before a
+//! graph is admitted the server runs `crates/analyze` over the spec, and
+//! an analysis error rejects the spawn with status `2` carrying the
+//! `XA0xx` diagnostics, so the client sees *why* the spec is unsound
+//! rather than an opaque failure (or worse, a graph that deadlocks).
 
 use std::io::{self, Read, Write};
 
@@ -62,14 +71,51 @@ pub enum Request {
     },
     Ping,
     Shutdown,
+    /// Spawn from XSPCL source shipped over the wire: the server parses,
+    /// statically analyzes and elaborates the document against its
+    /// component registry before admitting the graph.
+    SpawnXspcl {
+        source: String,
+        pipeline_depth: u32,
+        max_backlog: u64,
+    },
 }
 
-/// A decoded response: `Ok` with opcode-specific payload bytes, or an
-/// error message.
+/// One static-analysis finding carried over the wire: the stable `XA0xx`
+/// code, its severity and the human-readable message. A flattened
+/// [`analyze::Diagnostic`] — spans and fix-its stay server-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDiagnostic {
+    /// 0 = warning, 1 = error.
+    pub severity: u8,
+    /// Stable machine-readable code (`XA001`, `XA090`, ...).
+    pub code: String,
+    pub message: String,
+}
+
+impl WireDiagnostic {
+    pub fn is_error(&self) -> bool {
+        self.severity == SEVERITY_ERROR
+    }
+}
+
+impl std::fmt::Display for WireDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = if self.is_error() { "error" } else { "warning" };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)
+    }
+}
+
+pub const SEVERITY_WARNING: u8 = 0;
+pub const SEVERITY_ERROR: u8 = 1;
+
+/// A decoded response: `Ok` with opcode-specific payload bytes, an error
+/// message, or a spawn rejected by static analysis with its diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     Ok(Vec<u8>),
     Err(String),
+    Rejected(Vec<WireDiagnostic>),
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -78,10 +124,26 @@ fn bad(msg: impl Into<String>) -> io::Error {
 
 // ---- primitive codecs ---------------------------------------------------
 
-pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
-    let len = u16::try_from(s.len()).expect("string over u16::MAX bytes");
+/// Append a `u16 BE length + UTF-8` string. Fails (instead of panicking)
+/// on strings over `u16::MAX` bytes — a client bug surfaced as a
+/// structured error, not a poisoned connection.
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    let len = u16::try_from(s.len()).map_err(|_| bad("string over u16::MAX bytes"))?;
     buf.extend_from_slice(&len.to_be_bytes());
     buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Append a `u32 BE length + UTF-8` *long* string (XSPCL sources can
+/// exceed 64 KiB). Still bounded by [`MAX_FRAME`] at framing time.
+pub(crate) fn put_lstr(buf: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    let len = u32::try_from(s.len()).map_err(|_| bad("string over u32::MAX bytes"))?;
+    if len > MAX_FRAME {
+        return Err(bad("string exceeds maximum frame size"));
+    }
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
 pub(crate) struct Cursor<'a> {
@@ -104,25 +166,47 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// Take exactly `N` bytes as a fixed-size array. Infallible once
+    /// `take` succeeds — no `try_into().unwrap()` on the decode path.
+    fn array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     pub(crate) fn u8(&mut self) -> io::Result<u8> {
         Ok(self.take(1)?[0])
     }
 
+    pub(crate) fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(self.array()?))
+    }
+
     pub(crate) fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     pub(crate) fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     pub(crate) fn i64(&mut self) -> io::Result<i64> {
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_be_bytes(self.array()?))
     }
 
     pub(crate) fn str(&mut self) -> io::Result<String> {
-        let len = u16::from_be_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        let len = self.u16()? as usize;
         let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("non-UTF-8 string"))
+    }
+
+    /// Long-string counterpart of [`Cursor::str`] (`u32 BE` length).
+    pub(crate) fn lstr(&mut self) -> io::Result<String> {
+        let len = self.u32()?;
+        if len > MAX_FRAME {
+            return Err(bad("string length exceeds maximum frame size"));
+        }
+        let bytes = self.take(len as usize)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| bad("non-UTF-8 string"))
     }
 
@@ -169,7 +253,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 // ---- request codec ------------------------------------------------------
 
 impl Request {
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
         let mut b = Vec::new();
         match self {
             Request::Spawn {
@@ -178,7 +262,7 @@ impl Request {
                 max_backlog,
             } => {
                 b.push(0x01);
-                put_str(&mut b, app);
+                put_str(&mut b, app)?;
                 b.extend_from_slice(&pipeline_depth.to_be_bytes());
                 b.extend_from_slice(&max_backlog.to_be_bytes());
             }
@@ -195,8 +279,8 @@ impl Request {
             } => {
                 b.push(0x03);
                 b.extend_from_slice(&graph.to_be_bytes());
-                put_str(&mut b, queue);
-                put_str(&mut b, kind);
+                put_str(&mut b, queue)?;
+                put_str(&mut b, kind)?;
                 b.extend_from_slice(&payload.to_be_bytes());
             }
             Request::Stats { graph } => {
@@ -209,8 +293,18 @@ impl Request {
             }
             Request::Ping => b.push(0x06),
             Request::Shutdown => b.push(0x07),
+            Request::SpawnXspcl {
+                source,
+                pipeline_depth,
+                max_backlog,
+            } => {
+                b.push(0x08);
+                put_lstr(&mut b, source)?;
+                b.extend_from_slice(&pipeline_depth.to_be_bytes());
+                b.extend_from_slice(&max_backlog.to_be_bytes());
+            }
         }
-        b
+        Ok(b)
     }
 
     pub fn decode(body: &[u8]) -> io::Result<Request> {
@@ -235,6 +329,11 @@ impl Request {
             0x05 => Request::Drain { graph: c.u32()? },
             0x06 => Request::Ping,
             0x07 => Request::Shutdown,
+            0x08 => Request::SpawnXspcl {
+                source: c.lstr()?,
+                pipeline_depth: c.u32()?,
+                max_backlog: c.u64()?,
+            },
             op => return Err(bad(format!("unknown opcode 0x{op:02x}"))),
         };
         c.done()?;
@@ -245,19 +344,31 @@ impl Request {
 // ---- response codec -----------------------------------------------------
 
 impl Response {
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
         match self {
             Response::Ok(payload) => {
                 let mut b = Vec::with_capacity(1 + payload.len());
                 b.push(0);
                 b.extend_from_slice(payload);
-                b
+                Ok(b)
             }
             Response::Err(msg) => {
                 let mut b = Vec::with_capacity(1 + msg.len());
                 b.push(1);
                 b.extend_from_slice(msg.as_bytes());
-                b
+                Ok(b)
+            }
+            Response::Rejected(diags) => {
+                let mut b = Vec::new();
+                b.push(2);
+                let count = u16::try_from(diags.len()).map_err(|_| bad("too many diagnostics"))?;
+                b.extend_from_slice(&count.to_be_bytes());
+                for d in diags {
+                    b.push(d.severity);
+                    put_str(&mut b, &d.code)?;
+                    put_str(&mut b, &d.message)?;
+                }
+                Ok(b)
             }
         }
     }
@@ -267,6 +378,20 @@ impl Response {
         match status {
             0 => Ok(Response::Ok(payload.to_vec())),
             1 => Ok(Response::Err(String::from_utf8_lossy(payload).into_owned())),
+            2 => {
+                let mut c = Cursor::new(payload);
+                let count = c.u16()? as usize;
+                let mut diags = Vec::with_capacity(count.min(64));
+                for _ in 0..count {
+                    diags.push(WireDiagnostic {
+                        severity: c.u8()?,
+                        code: c.str()?,
+                        message: c.str()?,
+                    });
+                }
+                c.done()?;
+                Ok(Response::Rejected(diags))
+            }
             s => Err(bad(format!("unknown response status {s}"))),
         }
     }
@@ -275,6 +400,8 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn requests_round_trip() {
@@ -298,9 +425,14 @@ mod tests {
             Request::Drain { graph: 9 },
             Request::Ping,
             Request::Shutdown,
+            Request::SpawnXspcl {
+                source: "<application name=\"x\"/>".into(),
+                pipeline_depth: 2,
+                max_backlog: 8,
+            },
         ];
         for req in reqs {
-            let decoded = Request::decode(&req.encode()).unwrap();
+            let decoded = Request::decode(&req.encode().unwrap()).unwrap();
             assert_eq!(decoded, req);
         }
     }
@@ -311,9 +443,48 @@ mod tests {
             Response::Ok(vec![1, 2, 3]),
             Response::Ok(vec![]),
             Response::Err("no such graph".into()),
+            Response::Rejected(vec![]),
+            Response::Rejected(vec![
+                WireDiagnostic {
+                    severity: SEVERITY_ERROR,
+                    code: "XA002".into(),
+                    message: "stream-dependency cycle: a -> b -> a".into(),
+                },
+                WireDiagnostic {
+                    severity: SEVERITY_WARNING,
+                    code: "XA010".into(),
+                    message: "stream 'dead' written but never read".into(),
+                },
+            ]),
         ] {
-            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+            assert_eq!(Response::decode(&resp.encode().unwrap()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn oversized_strings_are_errors_not_panics() {
+        let big = "x".repeat(u16::MAX as usize + 1);
+        let req = Request::Spawn {
+            app: big.clone(),
+            pipeline_depth: 1,
+            max_backlog: 1,
+        };
+        assert!(req.encode().is_err(), "u16 strings over 64 KiB must fail");
+        // The long-string field takes it fine.
+        let req = Request::SpawnXspcl {
+            source: big,
+            pipeline_depth: 1,
+            max_backlog: 1,
+        };
+        let decoded = Request::decode(&req.encode().unwrap()).unwrap();
+        assert_eq!(decoded, req);
+        // ... up to the frame cap.
+        let req = Request::SpawnXspcl {
+            source: "x".repeat(MAX_FRAME as usize + 1),
+            pipeline_depth: 1,
+            max_backlog: 1,
+        };
+        assert!(req.encode().is_err(), "lstr is still bounded by MAX_FRAME");
     }
 
     #[test]
@@ -334,12 +505,86 @@ mod tests {
         // Truncated Submit.
         assert!(Request::decode(&[0x02, 0, 0]).is_err());
         // Trailing garbage.
-        let mut b = Request::Ping.encode();
+        let mut b = Request::Ping.encode().unwrap();
         b.push(0);
+        assert!(Request::decode(&b).is_err());
+        // Rejected response whose diagnostic count exceeds its payload.
+        assert!(Response::decode(&[2, 0xff, 0xff]).is_err());
+        // SpawnXspcl whose lstr length points past the frame cap.
+        let mut b = vec![0x08];
+        b.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
         assert!(Request::decode(&b).is_err());
         // Oversized length prefix.
         let mut wire = Vec::new();
         wire.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
         assert!(read_frame(&mut &wire[..]).is_err());
+    }
+
+    /// Feed the decoders random garbage and random mutations of valid
+    /// frames: they must return structured errors, never panic. This is
+    /// the wire-path audit as a test — any `unwrap` on attacker-supplied
+    /// bytes shows up here as a test abort.
+    #[test]
+    fn decode_survives_fuzzed_frames() {
+        let mut rng = StdRng::seed_from_u64(0xF422);
+        // Pure garbage, all lengths 0..64, first byte swept over all
+        // opcodes/statuses so every decode arm sees hostile input.
+        for round in 0..2000u32 {
+            let len = rng.gen_range(0usize..64);
+            let mut body: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+            if !body.is_empty() {
+                body[0] = (round % 12) as u8; // cover 0x00..=0x0b
+            }
+            let _ = Request::decode(&body);
+            let _ = Response::decode(&body);
+        }
+        // Mutations of valid encodings: truncations and single-byte
+        // corruptions of every request and a Rejected response.
+        let valid: Vec<Vec<u8>> = [
+            Request::Spawn {
+                app: "pip1".into(),
+                pipeline_depth: 5,
+                max_backlog: 32,
+            }
+            .encode()
+            .unwrap(),
+            Request::Inject {
+                graph: 1,
+                queue: "mq".into(),
+                kind: "flip".into(),
+                payload: -1,
+            }
+            .encode()
+            .unwrap(),
+            Request::SpawnXspcl {
+                source: "<application name=\"x\"/>".into(),
+                pipeline_depth: 1,
+                max_backlog: 4,
+            }
+            .encode()
+            .unwrap(),
+            Response::Rejected(vec![WireDiagnostic {
+                severity: SEVERITY_ERROR,
+                code: "XA014".into(),
+                message: "stream read but never written".into(),
+            }])
+            .encode()
+            .unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        for body in &valid {
+            for cut in 0..body.len() {
+                let _ = Request::decode(&body[..cut]);
+                let _ = Response::decode(&body[..cut]);
+            }
+            for _ in 0..200 {
+                let mut mutated = body.clone();
+                let idx = rng.gen_range(0usize..mutated.len());
+                mutated[idx] ^= 1 << rng.gen_range(0u32..8);
+                let _ = Request::decode(&mutated);
+                let _ = Response::decode(&mutated);
+            }
+        }
     }
 }

@@ -13,8 +13,13 @@
 //! captures private — so any number of instances of the same app serve
 //! concurrently (see [`apps::experiment::build_isolated`]).
 
-use crate::protocol::{write_frame, Request, Response, ALL_GRAPHS, MAX_FRAME};
+use crate::protocol::{
+    write_frame, Request, Response, WireDiagnostic, ALL_GRAPHS, MAX_FRAME, SEVERITY_ERROR,
+    SEVERITY_WARNING,
+};
+use analyze::{AnalyzeOptions, Diagnostics, Severity};
 use apps::experiment::{build_isolated, App, AppConfig, Scale};
+use apps::registry::{registry, AppAssets};
 use hinch::{Event, GraphId, GraphStats, Runtime, RuntimeConfig, ServeError, SpawnOpts};
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -98,6 +103,48 @@ fn stats_array_json(all: &[GraphStats]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Why a request was not served: an operational error (unknown graph,
+/// backpressure, bad input) or a spawn *rejected* by the static analyzer
+/// with its structured diagnostics.
+pub(crate) enum Refusal {
+    Error(String),
+    Rejected(Vec<WireDiagnostic>),
+}
+
+impl From<String> for Refusal {
+    fn from(msg: String) -> Self {
+        Refusal::Error(msg)
+    }
+}
+
+/// Flatten analyzer diagnostics for the wire (spans and fix-its stay
+/// server-side; the stable code + severity + message travel).
+pub(crate) fn wire_diagnostics(diags: &Diagnostics) -> Vec<WireDiagnostic> {
+    diags
+        .iter()
+        .map(|d| WireDiagnostic {
+            severity: match d.severity {
+                Severity::Error => SEVERITY_ERROR,
+                Severity::Warning => SEVERITY_WARNING,
+            },
+            code: d.code.to_string(),
+            message: d.message.clone(),
+        })
+        .collect()
+}
+
+/// Gate a spawn on the analyzer's verdict: any `Severity::Error` finding
+/// rejects the graph before it reaches the runtime. Warnings pass (the
+/// client can still see them in the server log someday; they don't make
+/// the graph unsound).
+fn admit(diags: &Diagnostics) -> Result<(), Refusal> {
+    if diags.has_errors() {
+        Err(Refusal::Rejected(wire_diagnostics(diags)))
+    } else {
+        Ok(())
+    }
+}
+
 /// The shared server state handler threads operate on.
 pub(crate) struct Inner {
     pub(crate) runtime: Runtime,
@@ -111,12 +158,13 @@ impl Inner {
     pub(crate) fn handle(&self, req: Request) -> Response {
         match self.apply(req) {
             Ok(payload) => Response::Ok(payload),
-            Err(e) => Response::Err(e),
+            Err(Refusal::Error(e)) => Response::Err(e),
+            Err(Refusal::Rejected(diags)) => Response::Rejected(diags),
         }
     }
 
-    fn apply(&self, req: Request) -> Result<Vec<u8>, String> {
-        let serve = |r: Result<Vec<u8>, ServeError>| r.map_err(|e| e.to_string());
+    fn apply(&self, req: Request) -> Result<Vec<u8>, Refusal> {
+        let serve = |r: Result<Vec<u8>, ServeError>| r.map_err(|e| Refusal::Error(e.to_string()));
         match req {
             Request::Spawn {
                 app,
@@ -131,14 +179,30 @@ impl Inner {
                     scale: self.scale,
                     frames: 0, // frames are streamed in via Submit
                 });
-                let opts = SpawnOpts::new(app.id())
-                    .pipeline_depth(pipeline_depth.max(1) as usize)
-                    .max_backlog(max_backlog.max(1));
-                let id = self
-                    .runtime
-                    .spawn(&built.spec, opts)
-                    .map_err(|e| e.to_string())?;
-                Ok(id.0.to_be_bytes().to_vec())
+                // Static gate: the corpus self-checks clean, but specs
+                // still pass through the analyzer so a corrupted build
+                // (or a future app regression) is rejected with XA
+                // diagnostics instead of admitted and left to misbehave.
+                admit(&analyze::check_spec(&built.spec))?;
+                self.spawn_spec(&built.spec, app.id(), pipeline_depth, max_backlog)
+            }
+            Request::SpawnXspcl {
+                source,
+                pipeline_depth,
+                max_backlog,
+            } => {
+                // Full static analysis first (stubbed registry — no
+                // component instantiation), so unsound documents are
+                // rejected with their XA diagnostics before any real
+                // elaboration work happens.
+                let diags = analyze::check_source(&source, &AnalyzeOptions::default())
+                    .map_err(|e| format!("unreadable XSPCL document: {e}"))?;
+                admit(&diags)?;
+                let assets = AppAssets::new();
+                let elaborated =
+                    xspcl::compile(&source, &registry(&assets)).map_err(|e| e.to_string())?;
+                let label = format!("xspcl:{:.32}", doc_name(&source));
+                self.spawn_spec(&elaborated.spec, &label, pipeline_depth, max_backlog)
             }
             Request::Submit { graph, frames } => serve(
                 self.runtime
@@ -180,6 +244,49 @@ impl Inner {
             }
         }
     }
+
+    /// Instantiate and admit an analyzer-approved spec. Component
+    /// factories can still panic (e.g. an XSPCL document naming an
+    /// unregistered video asset — a resource question the static
+    /// analyzer cannot settle); instantiation runs before the runtime
+    /// mutates any shared state, so the panic is caught here and
+    /// surfaced as a structured error instead of killing the connection
+    /// handler.
+    fn spawn_spec(
+        &self,
+        spec: &hinch::GraphSpec,
+        label: &str,
+        pipeline_depth: u32,
+        max_backlog: u64,
+    ) -> Result<Vec<u8>, Refusal> {
+        let opts = SpawnOpts::new(label)
+            .pipeline_depth(pipeline_depth.max(1) as usize)
+            .max_backlog(max_backlog.max(1));
+        let spawned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.runtime.spawn(spec, opts)
+        }))
+        .map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("component factory panicked");
+            Refusal::Error(format!("spawn failed: {msg}"))
+        })?;
+        let id = spawned.map_err(|e| Refusal::Error(e.to_string()))?;
+        Ok(id.0.to_be_bytes().to_vec())
+    }
+}
+
+/// Best-effort application name out of an XSPCL document, for the graph
+/// label (the document has already parsed by the time this runs — this
+/// is cosmetic, not parsing).
+fn doc_name(source: &str) -> &str {
+    source
+        .split_once("name=\"")
+        .and_then(|(_, rest)| rest.split_once('"'))
+        .map(|(name, _)| name)
+        .unwrap_or("anonymous")
 }
 
 /// A bound, not-yet-running server. [`Server::run`] blocks until a
@@ -281,7 +388,14 @@ fn serve_connection(mut stream: TcpStream, inner: &Inner) -> io::Result<()> {
             Ok(req) => inner.handle(req),
             Err(e) => Response::Err(format!("bad request: {e}")),
         };
-        write_frame(&mut stream, &resp.encode())?;
+        let frame = resp.encode().unwrap_or_else(|e| {
+            // `Response::Err` encoding is infallible (status byte + raw
+            // UTF-8), so a failed payload still yields a clean frame.
+            let mut b = format!("response encoding failed: {e}").into_bytes();
+            b.insert(0, 1);
+            b
+        });
+        write_frame(&mut stream, &frame)?;
         if inner.stop.load(Ordering::SeqCst) {
             break;
         }

@@ -32,6 +32,28 @@ cargo fmt --all -- --check
 echo "== clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== facade lint (engine sync goes through hinch::sync) =="
+# Everything under crates/hinch/src/engine/ must route its concurrency
+# through the crate::sync facade so `--cfg hinch_model` builds can model
+# it — raw primitive imports silently escape the model checker.
+if grep -RnE 'std::sync::atomic|std::thread|parking_lot' crates/hinch/src/engine/; then
+    echo "facade lint: engine code must use crate::sync, not raw sync primitives" >&2
+    exit 1
+fi
+echo "facade lint: clean"
+
+echo "== schedcheck (model-checked engine protocols) =="
+# Seeded, bounded exploration of the engine's sync protocols under
+# `--cfg hinch_model` (separate target dir: the cfg changes every
+# crate's build). The smoke budget keeps CI fast; MODEL_DEEP=1 runs the
+# same tests with a much larger schedule budget.
+model_iters=96
+[[ "${MODEL_DEEP:-0}" == "1" ]] && model_iters=1024
+RUSTFLAGS="--cfg hinch_model" CARGO_TARGET_DIR=target/hinch_model \
+    SCHEDCHECK_ITERS=$model_iters \
+    cargo test --offline -q -p schedcheck
+echo "schedcheck: model gate passed (SCHEDCHECK_ITERS=$model_iters)"
+
 if [[ $quick -eq 0 ]]; then
     echo "== build (release) =="
     cargo build --offline --release
