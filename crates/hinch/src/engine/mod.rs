@@ -22,7 +22,10 @@ pub mod reference;
 pub mod sim;
 mod ws;
 
-pub use multi::{GraphId, GraphStats, Runtime, RuntimeConfig, ServeError, SpawnOpts};
+pub use multi::{
+    GraphId, GraphStats, PoolTelemetry, Runtime, RuntimeConfig, ServeError, SpawnOpts,
+    WorkerTelemetry, DEFAULT_RING_CAPACITY,
+};
 pub use native::run_native;
 pub use reference::run_reference;
 pub use sim::run_sim;

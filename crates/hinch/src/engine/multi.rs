@@ -42,13 +42,16 @@ use crate::graph::flatten::{flatten, JobKind};
 use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
 use crate::sched::JobRef;
-use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{thread, Condvar, Mutex, RwLock};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trace::metrics::{EngineMetrics, GraphLabel, LabeledMetrics, LogHistogram};
+use trace::ring::{Ring, RingEvent, RingSet};
+use trace::StallCause;
 
 /// Handle to a spawned graph instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,18 +94,34 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Default per-worker flight-recorder capacity (slots). 4096 events at
+/// 40 bytes/slot is 160 KiB per worker — cheap enough to stay always on.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
 /// Pool configuration for [`Runtime::new`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Worker threads shared by every tenant.
     pub workers: usize,
+    /// Per-worker flight-recorder ring capacity (slots, rounded up to a
+    /// power of two). 0 disables ring recording entirely — the
+    /// telemetry-off baseline the serve bench compares against. The
+    /// default is on ([`DEFAULT_RING_CAPACITY`]): the serving runtime's
+    /// flight recorder is an always-on facility.
+    pub ring_capacity: usize,
 }
 
 impl RuntimeConfig {
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            ring_capacity: DEFAULT_RING_CAPACITY,
         }
+    }
+
+    pub fn ring_capacity(mut self, slots: usize) -> Self {
+        self.ring_capacity = slots;
+        self
     }
 }
 
@@ -161,6 +180,10 @@ pub struct GraphStats {
     /// merge exactly into an aggregate (the load harness does this for a
     /// fleet-wide p99).
     pub latency_buckets: Vec<(u64, u64, u64)>,
+    /// Frames offered to [`Runtime::submit`] but refused by admission
+    /// control (the tenant's backlog was full) — the shed/rejection
+    /// counter a front-end exports.
+    pub shed: u64,
     /// Failure description, if the graph died.
     pub failure: Option<String>,
 }
@@ -211,6 +234,8 @@ struct Tenant {
     core: GraphCore,
     clock: Arc<FrameClock>,
     failure: Mutex<Option<String>>,
+    /// Frames offered but refused by admission control.
+    shed: AtomicU64,
     /// Set (under the admit lock) when a [`Runtime::drain`] starts:
     /// admission is closed, so the drain's quiescence wait cannot race a
     /// concurrent submit accepting frames into a tenant being torn down.
@@ -242,9 +267,50 @@ impl Tenant {
             latency_p50_ns: self.clock.latency.quantile(0.50),
             latency_p99_ns: self.clock.latency.quantile(0.99),
             latency_buckets: self.clock.latency.nonzero_buckets(),
+            shed: self.shed.load(Ordering::Relaxed),
             failure: self.failure.lock().clone(),
         }
     }
+}
+
+/// Per-worker telemetry counters: relaxed atomics bumped only by the
+/// owning worker (readers get an approximate-but-monotone view).
+#[derive(Default)]
+struct WorkerStats {
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    jobs: AtomicU64,
+    parks: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// Point-in-time per-worker counters, from [`Runtime::telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerTelemetry {
+    /// Time spent executing jobs, nanoseconds.
+    pub busy_ns: u64,
+    /// Time spent parked, nanoseconds.
+    pub idle_ns: u64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Park (sleep) episodes.
+    pub parks: u64,
+    /// Jobs obtained by stealing from a peer's deque.
+    pub steals: u64,
+}
+
+/// Point-in-time pool counters, from [`Runtime::telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct PoolTelemetry {
+    /// One entry per worker, indexed by worker id.
+    pub workers: Vec<WorkerTelemetry>,
+    /// Jobs visibly queued (injector + non-empty local deques).
+    pub queued_jobs: usize,
+    /// Workers currently parked.
+    pub idle_workers: usize,
+    /// Nanoseconds since the runtime started (the flight-recorder
+    /// timestamps share this epoch).
+    pub uptime_ns: u64,
 }
 
 struct MultiShared {
@@ -259,6 +325,63 @@ struct MultiShared {
     /// Per-tenant metrics registry (graph id + app label), for
     /// `hinch-insight`-style attribution.
     labels: Arc<LabeledMetrics>,
+    /// Common time base for flight-recorder timestamps and uptime.
+    epoch: Instant,
+    /// Always-on per-worker flight recorder (None when
+    /// [`RuntimeConfig::ring_capacity`] is 0).
+    rings: Option<Arc<RingSet>>,
+    /// Per-worker busy/idle/steal/park counters (one slot per worker).
+    wstats: Box<[WorkerStats]>,
+}
+
+impl MultiShared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+thread_local! {
+    /// The flight-recorder ring owned by the current worker thread, set
+    /// on `worker_loop` entry. The per-frame retire hook runs on
+    /// whichever worker performs the retirement; routing its events
+    /// through this cell upholds the ring's single-writer contract.
+    static WORKER_RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+}
+
+/// Record into the current worker's ring, if this thread is a
+/// telemetry-enabled worker (no-op on client threads).
+fn ring_record(ev: RingEvent) {
+    WORKER_RING.with(|cell| {
+        if let Some(ring) = cell.borrow().as_ref() {
+            ring.record(ev);
+        }
+    });
+}
+
+/// Classify why a worker is about to park, from the tenants' admission
+/// state (cold path — runs once per park, right before the sleep).
+/// Quiesce dominates (a reconfiguration is in flight), then
+/// backpressure, then starvation; a pool with no unfinished work parks
+/// as queue-empty.
+fn classify_park(shared: &MultiShared) -> StallCause {
+    let graphs = shared.graphs.read();
+    let mut cause = StallCause::JobQueueEmpty;
+    for t in graphs.values() {
+        if t.core.aborted.load(Ordering::Relaxed) {
+            continue;
+        }
+        match t.core.wait_cause() {
+            StallCause::Quiesce => return StallCause::Quiesce,
+            StallCause::Backpressure => cause = StallCause::Backpressure,
+            StallCause::Starvation => {
+                if cause == StallCause::JobQueueEmpty {
+                    cause = StallCause::Starvation;
+                }
+            }
+            StallCause::JobQueueEmpty => {}
+        }
+    }
+    cause
 }
 
 impl MultiShared {
@@ -303,6 +426,7 @@ fn find_work(shared: &MultiShared, wid: usize) -> Option<MJob> {
     let n = shared.locals.len();
     for off in 1..n {
         if let Some(job) = shared.locals[(wid + off) % n].steal() {
+            shared.wstats[wid].steals.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
     }
@@ -327,6 +451,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 fn worker_loop(shared: &MultiShared, wid: u32) {
     let me = &shared.locals[wid as usize];
+    let ws = &shared.wstats[wid as usize];
+    let ring = shared.rings.as_ref().map(|rs| rs.ring(wid as usize));
+    if let Some(r) = &ring {
+        WORKER_RING.with(|cell| *cell.borrow_mut() = Some(Arc::clone(r)));
+    }
     let mut per_node: HashMap<String, (u64, Duration)> = HashMap::new();
     let mut ready: Vec<JobRef> = Vec::new();
     // Per-worker caches, dropped before parking so an idle pool holds no
@@ -355,9 +484,27 @@ fn worker_loop(shared: &MultiShared, wid: u32) {
                 }
                 tcache = None;
                 wcache = None;
+                // Telemetry: classify the stall *at park time* (the
+                // tenants' admission state explains why there is no
+                // work), time the sleep, and record it on this worker's
+                // ring when it ends.
+                let cause = classify_park(shared);
+                let parked = Instant::now();
                 shared.active.fetch_sub(1, Ordering::Relaxed);
                 shared.ec.wait(epoch);
                 shared.active.fetch_add(1, Ordering::Relaxed);
+                let idle = parked.elapsed().as_nanos() as u64;
+                ws.parks.fetch_add(1, Ordering::Relaxed);
+                ws.idle_ns.fetch_add(idle, Ordering::Relaxed);
+                if let Some(r) = &ring {
+                    let end = shared.now_ns();
+                    r.record(RingEvent::Stall {
+                        worker: wid,
+                        cause,
+                        start: end.saturating_sub(idle),
+                        end,
+                    });
+                }
             }
         };
         let tenant = match &tcache {
@@ -394,8 +541,20 @@ fn worker_loop(shared: &MultiShared, wid: u32) {
         }));
         match result {
             Ok(retired) => {
+                let busy = started.elapsed().as_nanos() as u64;
                 if let Some(m) = &g.metrics {
-                    m.on_job(started.elapsed().as_nanos() as u64);
+                    m.on_job(busy);
+                }
+                ws.jobs.fetch_add(1, Ordering::Relaxed);
+                ws.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                if let Some(r) = &ring {
+                    let start = started.duration_since(shared.epoch).as_nanos() as u64;
+                    r.record(RingEvent::Job {
+                        graph: mj.graph,
+                        node: mj.job.idx,
+                        start,
+                        end: start + busy,
+                    });
                 }
                 // Direct handoff of the oldest readied component job, as
                 // in the single-run driver; the handoff never crosses a
@@ -474,6 +633,10 @@ impl Runtime {
             parallelism: workers.min(crate::sync::hardware_parallelism(workers)),
             shutdown: AtomicBool::new(false),
             labels: Arc::new(LabeledMetrics::new()),
+            epoch: Instant::now(),
+            rings: (cfg.ring_capacity > 0)
+                .then(|| Arc::new(RingSet::new(workers, cfg.ring_capacity))),
+            wstats: (0..workers).map(|_| WorkerStats::default()).collect(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -511,12 +674,23 @@ impl Runtime {
         let dag = Arc::new(flatten(&inst.root, &inst.streams, 0));
         let metrics = Arc::new(EngineMetrics::new());
         let clock = Arc::new(FrameClock::new());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let hook: RetireHook = {
             let clock = Arc::clone(&clock);
-            Box::new(move |_iter| {
+            let epoch = self.shared.epoch;
+            Box::new(move |iter| {
                 let accepted = clock.times.lock().pop_front();
                 if let Some(at) = accepted {
-                    clock.latency.record(at.elapsed().as_nanos() as u64);
+                    let latency = at.elapsed().as_nanos() as u64;
+                    clock.latency.record(latency);
+                    // The hook runs on the retiring worker's thread, so
+                    // this lands on that worker's single-writer ring.
+                    ring_record(RingEvent::Retire {
+                        graph: id,
+                        iter: iter as u32,
+                        at: epoch.elapsed().as_nanos() as u64,
+                        latency,
+                    });
                 }
                 clock.notify();
             })
@@ -530,7 +704,6 @@ impl Runtime {
             Some(Arc::clone(&metrics)),
             Some(hook),
         );
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let tenant = Arc::new(Tenant {
             id,
             label: opts.label.clone(),
@@ -538,6 +711,7 @@ impl Runtime {
             core,
             clock,
             failure: Mutex::new(None),
+            shed: AtomicU64::new(0),
             draining: AtomicBool::new(false),
         });
         self.shared.labels.register(
@@ -580,6 +754,9 @@ impl Runtime {
             let completed = g.completed.load(Ordering::Relaxed);
             let backlog = total - completed;
             accepted = n.min(tenant.max_backlog.saturating_sub(backlog));
+            if accepted < n {
+                tenant.shed.fetch_add(n - accepted, Ordering::Relaxed);
+            }
             if accepted == 0 {
                 return Ok(0);
             }
@@ -747,6 +924,37 @@ impl Runtime {
     /// The per-tenant metrics registry (graph id + app label → counters).
     pub fn labeled_metrics(&self) -> Arc<LabeledMetrics> {
         Arc::clone(&self.shared.labels)
+    }
+
+    /// The per-worker flight recorder, when enabled
+    /// ([`RuntimeConfig::ring_capacity`] > 0). Consumers keep their own
+    /// cursor set (`rings().cursors()`) and call `snapshot` on it —
+    /// draining never pauses the workers.
+    pub fn rings(&self) -> Option<Arc<RingSet>> {
+        self.shared.rings.clone()
+    }
+
+    /// Point-in-time per-worker and pool counters (busy/idle time,
+    /// jobs, parks, steals, queue depth). Relaxed reads: monotone but
+    /// approximate while the pool is running.
+    pub fn telemetry(&self) -> PoolTelemetry {
+        PoolTelemetry {
+            workers: self
+                .shared
+                .wstats
+                .iter()
+                .map(|w| WorkerTelemetry {
+                    busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                    idle_ns: w.idle_ns.load(Ordering::Relaxed),
+                    jobs: w.jobs.load(Ordering::Relaxed),
+                    parks: w.parks.load(Ordering::Relaxed),
+                    steals: w.steals.load(Ordering::Relaxed),
+                })
+                .collect(),
+            queued_jobs: self.queued_jobs(),
+            idle_workers: self.idle_workers(),
+            uptime_ns: self.shared.now_ns(),
+        }
     }
 
     /// Stop the pool: no new spawns/submits, workers exit once their
@@ -1010,6 +1218,75 @@ mod tests {
             );
             thread::sleep(Duration::from_millis(1));
         }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn flight_recorder_captures_jobs_and_retirements() {
+        let rt = Runtime::new(RuntimeConfig::new(2));
+        let rings = rt.rings().expect("flight recorder is on by default");
+        let mut curs = rings.cursors();
+        let id = rt
+            .spawn(&pipeline_spec(), SpawnOpts::new("pipe").pipeline_depth(2))
+            .unwrap();
+        assert_eq!(rt.submit(id, 8).unwrap(), 8);
+        rt.drain(id).unwrap();
+        let snap = rings.snapshot(&mut curs);
+        assert_eq!(snap.dropped, 0);
+        let (mut jobs, mut retires) = (0u64, 0u64);
+        for (w, ev) in &snap.events {
+            assert!((*w as usize) < rt.workers());
+            match ev {
+                RingEvent::Job {
+                    graph, start, end, ..
+                } => {
+                    assert_eq!(*graph, id.0);
+                    assert!(end >= start);
+                    jobs += 1;
+                }
+                RingEvent::Retire { graph, latency, .. } => {
+                    assert_eq!(*graph, id.0);
+                    assert!(*latency > 0);
+                    retires += 1;
+                }
+                RingEvent::Stall { worker, .. } => {
+                    assert!((*worker as usize) < rt.workers());
+                }
+            }
+        }
+        assert_eq!(jobs, 24, "8 frames x 3 nodes");
+        assert_eq!(retires, 8);
+        let t = rt.telemetry();
+        assert_eq!(t.workers.len(), 2);
+        assert_eq!(t.workers.iter().map(|w| w.jobs).sum::<u64>(), 24);
+        assert!(t.workers.iter().map(|w| w.busy_ns).sum::<u64>() > 0);
+        assert!(t.uptime_ns > 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ring_capacity_zero_disables_recording() {
+        let rt = Runtime::new(RuntimeConfig::new(1).ring_capacity(0));
+        assert!(rt.rings().is_none());
+        let id = rt.spawn(&pipeline_spec(), SpawnOpts::new("p")).unwrap();
+        rt.submit(id, 3).unwrap();
+        assert_eq!(rt.drain(id).unwrap().completed, 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shed_counts_refused_frames() {
+        let rt = Runtime::new(RuntimeConfig::new(1));
+        let id = rt
+            .spawn(
+                &pipeline_spec(),
+                SpawnOpts::new("p").pipeline_depth(1).max_backlog(2),
+            )
+            .unwrap();
+        let accepted = rt.submit(id, 10).unwrap();
+        assert!(accepted <= 2);
+        assert_eq!(rt.stats(id).unwrap().shed, 10 - accepted);
+        rt.drain(id).unwrap();
         rt.shutdown();
     }
 

@@ -48,8 +48,8 @@ pub mod sync;
 pub use component::{Component, ParamValue, Params, ReconfigRequest, RunCtx, SliceAssign};
 pub use engine::reference::RefReport;
 pub use engine::{
-    run_native, run_reference, run_sim, GraphId, GraphStats, RunConfig, Runtime, RuntimeConfig,
-    ServeError, SpawnOpts,
+    run_native, run_reference, run_sim, GraphId, GraphStats, PoolTelemetry, RunConfig, Runtime,
+    RuntimeConfig, ServeError, SpawnOpts, WorkerTelemetry,
 };
 pub use error::HinchError;
 pub use event::{Event, EventQueue};

@@ -24,9 +24,11 @@
 //! critical path's busy + wait time equals the makespan.
 
 pub mod critical;
+pub mod live;
 pub mod render;
 
 pub use critical::{CriticalPath, Link, PathStep};
+pub use live::{Dominant, GraphSample, GraphWindow, LiveAnalyzer, LiveSummary};
 pub use render::{render_human, render_json};
 
 use std::collections::BTreeMap;

@@ -157,6 +157,14 @@ impl Client {
         Ok(String::from_utf8_lossy(&payload).into_owned())
     }
 
+    /// Fetch one live-telemetry snapshot, rendered server-side in the
+    /// requested format (`crate::telemetry::{FORMAT_JSON,
+    /// FORMAT_PROMETHEUS, FORMAT_TABLE}`).
+    pub fn telemetry(&mut self, format: u8) -> Result<String, ClientError> {
+        let payload = self.request(&Request::Telemetry { format })?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Ping)?;
         Ok(())

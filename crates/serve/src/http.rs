@@ -7,6 +7,7 @@
 //! | route | maps to |
 //! |-------|---------|
 //! | `GET  /healthz` | liveness probe |
+//! | `GET  /metrics` | Prometheus text exposition ([`crate::telemetry`]) — the one non-JSON route |
 //! | `GET  /stats[?graph=N]` | [`Request::Stats`] |
 //! | `POST /spawn?app=pip1[&depth=5][&backlog=32]` | [`Request::Spawn`] |
 //! | `POST /submit?graph=N&frames=K` | [`Request::Submit`] — response carries `accepted` (admission control) |
@@ -18,8 +19,10 @@
 //! body (none of the routes needs one) is ignored. Not a general HTTP
 //! server; just enough for scripted ingress and smoke tests.
 
+use crate::json::{array, JsonObject};
 use crate::protocol::{Request, Response, WireDiagnostic, ALL_GRAPHS};
-use crate::server::{json_escape, Inner};
+use crate::server::Inner;
+use crate::telemetry::FORMAT_PROMETHEUS;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -91,26 +94,22 @@ fn param<T: std::str::FromStr>(
 }
 
 fn error_json(msg: &str) -> String {
-    format!("{{\"error\":\"{}\"}}", json_escape(msg))
+    JsonObject::new().str("error", msg).build()
 }
 
 /// Render analyzer diagnostics as the 422 response body.
 fn reject_json(diags: &[WireDiagnostic]) -> String {
-    let items: Vec<String> = diags
-        .iter()
-        .map(|d| {
-            format!(
-                "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\"}}",
-                if d.is_error() { "error" } else { "warning" },
-                json_escape(&d.code),
-                json_escape(&d.message),
-            )
-        })
-        .collect();
-    format!(
-        "{{\"error\":\"rejected by static analysis\",\"diagnostics\":[{}]}}",
-        items.join(",")
-    )
+    let items = diags.iter().map(|d| {
+        JsonObject::new()
+            .str("severity", if d.is_error() { "error" } else { "warning" })
+            .str("code", &d.code)
+            .str("message", &d.message)
+            .build()
+    });
+    JsonObject::new()
+        .str("error", "rejected by static analysis")
+        .raw("diagnostics", &array(items))
+        .build()
 }
 
 /// Unwrap a protocol response into its payload, or the `(status, body)`
@@ -123,9 +122,21 @@ fn expect_ok(resp: Response) -> Result<Vec<u8>, (u16, String)> {
     }
 }
 
+const CT_JSON: &str = "application/json";
+/// Prometheus text exposition format 0.0.4 — what scrapers negotiate.
+const CT_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Translate one HTTP request into a protocol [`Request`], run it, and
-/// render the JSON body. Returns `(http status, body)`.
-fn route(method: &str, path: &str, query: &str, inner: &Inner) -> (u16, String) {
+/// render the body. Returns `(http status, content type, body)` — every
+/// route is JSON except `GET /metrics`, which serves Prometheus text.
+fn route(method: &str, path: &str, query: &str, inner: &Inner) -> (u16, &'static str, String) {
+    if (method, path) == ("GET", "/metrics") {
+        return match inner.telemetry_payload(FORMAT_PROMETHEUS) {
+            Ok(body) => (200, CT_PROM, body),
+            Err(crate::server::Refusal::Error(e)) => (400, CT_JSON, error_json(&e)),
+            Err(crate::server::Refusal::Rejected(d)) => (422, CT_JSON, reject_json(&d)),
+        };
+    }
     let q = parse_query(query);
     let bad = |e: String| (400u16, error_json(&e));
     let result: Result<String, (u16, String)> = (|| match (method, path) {
@@ -182,8 +193,8 @@ fn route(method: &str, path: &str, query: &str, inner: &Inner) -> (u16, String) 
         _ => Err(bad(format!("no route {method} {path}"))),
     })();
     match result {
-        Ok(body) => (200, body),
-        Err((status, body)) => (status, body),
+        Ok(body) => (200, CT_JSON, body),
+        Err((status, body)) => (status, CT_JSON, body),
     }
 }
 
@@ -207,8 +218,12 @@ fn handle(stream: TcpStream, inner: &Inner) -> io::Result<()> {
         Some((p, q)) => (p, q),
         None => (target.as_str(), ""),
     };
-    let (status, body) = if method.is_empty() || target.is_empty() {
-        (400, "{\"error\":\"malformed request line\"}".to_string())
+    let (status, content_type, body) = if method.is_empty() || target.is_empty() {
+        (
+            400,
+            CT_JSON,
+            "{\"error\":\"malformed request line\"}".to_string(),
+        )
     } else {
         route(&method, path, query, inner)
     };
@@ -220,7 +235,7 @@ fn handle(stream: TcpStream, inner: &Inner) -> io::Result<()> {
     let mut stream = reader.into_inner();
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()

@@ -15,14 +15,23 @@
 
 pub mod client;
 pub mod http;
+mod json;
 pub mod load;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{Client, ClientError};
-pub use load::{run_open_loop, run_saturated, Burst, LoadConfig, LoadReport, SaturatedReport};
+pub use load::{
+    run_open_loop, run_saturated, run_telemetry_probe, Burst, LoadConfig, LoadReport,
+    SaturatedReport, TelemetryProbe,
+};
 pub use protocol::{Request, Response, WireDiagnostic, ALL_GRAPHS, MAX_FRAME};
 pub use server::{stats_json, Server, ServerConfig};
+pub use telemetry::{
+    prometheus_text, render_top, telemetry_json, validate_prometheus, Telemetry, FORMAT_JSON,
+    FORMAT_PROMETHEUS, FORMAT_TABLE,
+};
 
 #[cfg(test)]
 mod tests {

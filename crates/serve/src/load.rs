@@ -25,7 +25,7 @@
 //!   workers better than one).
 
 use apps::experiment::{build_isolated, App, AppConfig, Scale};
-use hinch::engine::{run_native, RunConfig};
+use hinch::engine::{run_native, RunConfig, DEFAULT_RING_CAPACITY};
 use hinch::trace::metrics::{LogHistogram, LOG_BUCKETS};
 use hinch::{GraphId, GraphStats, Runtime, RuntimeConfig, SpawnOpts};
 use rand::rngs::StdRng;
@@ -59,6 +59,9 @@ pub struct LoadConfig {
     pub duration: Duration,
     pub burst: Option<Burst>,
     pub seed: u64,
+    /// Flight-recorder ring slots per worker (0 disables telemetry —
+    /// the A/B knob behind [`run_telemetry_probe`]).
+    pub ring_capacity: usize,
 }
 
 impl Default for LoadConfig {
@@ -78,6 +81,7 @@ impl Default for LoadConfig {
                 factor: 3.0,
             }),
             seed: 42,
+            ring_capacity: DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -150,7 +154,7 @@ fn exp_interval(rng: &mut StdRng, rate: f64) -> Duration {
 /// `cfg.duration`, drain everything, aggregate.
 pub fn run_open_loop(cfg: &LoadConfig) -> LoadReport {
     assert!(cfg.graphs > 0 && !cfg.mix.is_empty() && cfg.rate_fps > 0.0);
-    let runtime = Runtime::new(RuntimeConfig::new(cfg.workers));
+    let runtime = Runtime::new(RuntimeConfig::new(cfg.workers).ring_capacity(cfg.ring_capacity));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Fleet: instances cycle over the app mix.
@@ -272,30 +276,15 @@ pub fn run_saturated(
     // Shared pool: all instances at once. Backlog bound = frames, i.e.
     // admission control is open — this probe measures scheduling, not
     // shedding.
-    let runtime = Runtime::new(RuntimeConfig::new(workers));
-    let ids: Vec<GraphId> = (0..graphs)
-        .map(|_| {
-            let built = build_isolated(cfg);
-            runtime
-                .spawn(
-                    &built.spec,
-                    SpawnOpts::new(app.id())
-                        .pipeline_depth(pipeline_depth)
-                        .max_backlog(frames),
-                )
-                .expect("spawn saturated instance")
-        })
-        .collect();
-    let multi_start = Instant::now();
-    for &id in &ids {
-        assert_eq!(runtime.submit(id, frames).expect("submit"), frames);
-    }
-    for &id in &ids {
-        let stats = runtime.drain(id).expect("drain");
-        assert_eq!(stats.completed, frames);
-    }
-    let multi_elapsed = multi_start.elapsed();
-    runtime.shutdown();
+    let multi_elapsed = shared_pool_elapsed(
+        app,
+        scale,
+        graphs,
+        frames,
+        workers,
+        pipeline_depth,
+        DEFAULT_RING_CAPACITY,
+    );
 
     let total = (graphs as u64 * frames) as f64;
     let multi_fps = total / multi_elapsed.as_secs_f64().max(1e-9);
@@ -309,6 +298,107 @@ pub fn run_saturated(
         multi_fps,
         solo_fps,
         ratio: multi_fps / solo_fps,
+    }
+}
+
+/// Wall time to run `graphs` saturated instances of `app` concurrently
+/// on one shared pool, with the flight recorder at `ring_capacity` slots
+/// per worker (0 = telemetry off).
+fn shared_pool_elapsed(
+    app: App,
+    scale: Scale,
+    graphs: usize,
+    frames: u64,
+    workers: usize,
+    pipeline_depth: usize,
+    ring_capacity: usize,
+) -> Duration {
+    let cfg = AppConfig { app, scale, frames };
+    let runtime = Runtime::new(RuntimeConfig::new(workers).ring_capacity(ring_capacity));
+    let ids: Vec<GraphId> = (0..graphs)
+        .map(|_| {
+            let built = build_isolated(cfg);
+            runtime
+                .spawn(
+                    &built.spec,
+                    SpawnOpts::new(app.id())
+                        .pipeline_depth(pipeline_depth)
+                        .max_backlog(frames),
+                )
+                .expect("spawn saturated instance")
+        })
+        .collect();
+    let start = Instant::now();
+    for &id in &ids {
+        assert_eq!(runtime.submit(id, frames).expect("submit"), frames);
+    }
+    for &id in &ids {
+        let stats = runtime.drain(id).expect("drain");
+        assert_eq!(stats.completed, frames);
+    }
+    let elapsed = start.elapsed();
+    runtime.shutdown();
+    elapsed
+}
+
+/// A/B result of the flight-recorder overhead probe (the `telemetry`
+/// section of `BENCH_serve.json`).
+#[derive(Debug, Clone)]
+pub struct TelemetryProbe {
+    pub graphs: usize,
+    pub workers: usize,
+    pub frames_per_graph: u64,
+    /// Runs per side; each side reports its best (least-noise) run.
+    pub trials: usize,
+    /// Best throughput with the flight recorder on (default capacity).
+    pub on_fps: f64,
+    /// Best throughput with the flight recorder off (`ring_capacity 0`).
+    pub off_fps: f64,
+    /// on / off — `>= 0.97` means always-on telemetry costs <= 3%.
+    pub ratio: f64,
+}
+
+/// Measure the always-on flight recorder's throughput cost: the same
+/// saturated shared-pool workload with rings at default capacity vs
+/// disabled, best-of-`trials` per side (wall-clock noise on a shared
+/// machine easily exceeds the recorder's per-job seqlock write, so the
+/// minimum is the honest comparison).
+pub fn run_telemetry_probe(
+    app: App,
+    scale: Scale,
+    graphs: usize,
+    frames: u64,
+    workers: usize,
+    pipeline_depth: usize,
+    trials: usize,
+) -> TelemetryProbe {
+    let best = |ring_capacity: usize| -> f64 {
+        let total = (graphs as u64 * frames) as f64;
+        (0..trials.max(1))
+            .map(|_| {
+                let elapsed = shared_pool_elapsed(
+                    app,
+                    scale,
+                    graphs,
+                    frames,
+                    workers,
+                    pipeline_depth,
+                    ring_capacity,
+                );
+                total / elapsed.as_secs_f64().max(1e-9)
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let off_fps = best(0);
+    let on_fps = best(DEFAULT_RING_CAPACITY);
+    TelemetryProbe {
+        graphs,
+        workers,
+        frames_per_graph: frames,
+        trials: trials.max(1),
+        on_fps,
+        off_fps,
+        ratio: on_fps / off_fps.max(1e-9),
     }
 }
 
@@ -386,6 +476,7 @@ mod tests {
             latency_p50_ns: h.quantile(0.5),
             latency_p99_ns: h.quantile(0.99),
             latency_buckets: h.nonzero_buckets(),
+            shed: 0,
             failure: None,
         };
         let (mean, p50, p99) = merge_latencies(&[stats]);
@@ -399,5 +490,82 @@ mod tests {
         let r = run_saturated(App::Pip1, Scale::Small, 2, 4, 2, 2);
         assert_eq!(r.graphs, 2);
         assert!(r.multi_fps > 0.0 && r.solo_fps > 0.0 && r.ratio > 0.0);
+    }
+
+    fn graph_stats_for(id: u32, h: &LogHistogram) -> GraphStats {
+        let n: u64 = h.count();
+        GraphStats {
+            id: GraphId(id),
+            label: format!("g{id}"),
+            submitted: n,
+            completed: n,
+            inflight: 0,
+            reconfigs: 0,
+            jobs_executed: 0,
+            latency_mean_ns: h.mean(),
+            latency_p50_ns: h.quantile(0.5),
+            latency_p99_ns: h.quantile(0.99),
+            latency_buckets: h.nonzero_buckets(),
+            shed: 0,
+            failure: None,
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        // Satellite: bucket-merged p50/p99 equals (a) the quantile of a
+        // single histogram over the whole stream *exactly*, and (b) the
+        // true percentile of the unmerged value stream within one
+        // bucket width — with values adversarially hugging the
+        // power-of-two bucket edges (2^k - 1, 2^k, 2^k + 1), where an
+        // off-by-one in the merge re-bucketing would shift the result a
+        // whole bucket.
+        #[test]
+        fn merged_quantiles_match_unmerged_stream(
+            raw in proptest::collection::vec(
+                (0u32..41, -1i64..=1, 0usize..6),
+                1..200,
+            ),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let values: Vec<(u64, usize)> = raw
+                .iter()
+                .map(|&(k, off, g)| ((((1u64 << k) as i64) + off).max(0) as u64, g))
+                .collect();
+
+            // Partition the stream across up to 6 per-graph histograms.
+            let per_graph: Vec<LogHistogram> =
+                (0..6).map(|_| LogHistogram::default()).collect();
+            let combined = LogHistogram::default();
+            for &(v, g) in &values {
+                per_graph[g].record(v);
+                combined.record(v);
+            }
+            let stats: Vec<GraphStats> = per_graph
+                .iter()
+                .enumerate()
+                .map(|(i, h)| graph_stats_for(i as u32, h))
+                .collect();
+            let (_, p50, p99) = merge_latencies(&stats);
+
+            // (a) merge is exact against the single-histogram quantile.
+            prop_assert_eq!(p50, combined.quantile(0.5));
+            prop_assert_eq!(p99, combined.quantile(0.99));
+
+            // (b) against the raw stream: same bucket, so within one
+            // bucket width.
+            let mut sorted: Vec<u64> = values.iter().map(|&(v, _)| v).collect();
+            sorted.sort_unstable();
+            for (q, merged) in [(0.5f64, p50), (0.99, p99)] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+                let exact = sorted[rank - 1];
+                prop_assert_eq!(
+                    merged,
+                    LogHistogram::bucket_high(LogHistogram::bucket_of(exact)),
+                    "q={} exact={} merged={}", q, exact, merged
+                );
+            }
+        }
     }
 }

@@ -7,21 +7,30 @@
 //!                    [--duration-ms MS] [--seed S] [--mix pip1,blur3,...]
 //!                    [--depth D] [--backlog B] [--no-burst] [--json PATH]
 //! hinch-serve bench  [--json BENCH_serve.json] [--graphs N] [--duration-ms MS]
+//! hinch-serve top    [--addr 127.0.0.1:7070] [--once] [--interval-ms MS] [--count N]
 //! hinch-serve smoke  [--frames N]
 //! ```
 //!
 //! * `serve` — run the front-end until a `Shutdown` request arrives;
 //! * `load` — in-process open-loop load run, report as JSON;
-//! * `bench` — the `BENCH_serve.json` producer: open-loop fleet run plus
-//!   the saturated multi-vs-solo throughput probe (gated in
-//!   `scripts/bench.sh`);
+//! * `bench` — the `BENCH_serve.json` producer: open-loop fleet run, the
+//!   saturated multi-vs-solo throughput probe, and the flight-recorder
+//!   overhead A/B (all gated in `scripts/bench.sh`);
+//! * `top` — live rolling-window view of a running server (throughput,
+//!   p50/p99, backlog, dominant stall per graph), rendered server-side
+//!   from the flight recorder; `--once` prints one snapshot and exits
+//!   (deterministic for a fixed runtime state);
 //! * `smoke` — end-to-end self-test over real sockets (used by
 //!   `scripts/ci.sh`): start a server, push frames over TCP, inject a
-//!   reconfiguration event, verify responses and clean shutdown.
+//!   reconfiguration event, scrape and validate `GET /metrics`, render
+//!   `top --once`, verify responses and clean shutdown.
 
 use apps::experiment::{App, Scale};
-use serve::load::{run_open_loop, run_saturated, LoadConfig, LoadReport, SaturatedReport};
-use serve::{Client, Server, ServerConfig};
+use serve::load::{
+    run_open_loop, run_saturated, run_telemetry_probe, LoadConfig, LoadReport, SaturatedReport,
+    TelemetryProbe,
+};
+use serve::{Client, Server, ServerConfig, FORMAT_JSON, FORMAT_PROMETHEUS, FORMAT_TABLE};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,6 +42,7 @@ fn usage() -> ExitCode {
          \x20                        [--seed S] [--mix a,b,..] [--depth D] [--backlog B]\n\
          \x20                        [--no-burst] [--json PATH]\n\
          \x20      hinch-serve bench [--json PATH] [--graphs N] [--duration-ms MS]\n\
+         \x20      hinch-serve top   [--addr A] [--once] [--interval-ms MS] [--count N]\n\
          \x20      hinch-serve smoke [--frames N]"
     );
     ExitCode::from(2)
@@ -235,20 +245,77 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         sat.multi_fps, sat.solo_fps, sat.ratio
     );
 
+    // Flight-recorder overhead A/B at the acceptance fleet size: same
+    // saturated workload, rings at default capacity vs disabled.
+    let (tel_graphs, tel_frames, tel_trials) = (cfg.graphs, 32, 3);
+    eprintln!(
+        "bench serve: telemetry — {tel_graphs} x {} @ {tel_frames} frames, recorder on vs off, best of {tel_trials}",
+        app.id()
+    );
+    let tel = run_telemetry_probe(
+        app,
+        Scale::Small,
+        tel_graphs,
+        tel_frames,
+        workers,
+        depth,
+        tel_trials,
+    );
+    eprintln!(
+        "bench serve: telemetry — on {:.0} fps vs off {:.0} fps (ratio {:.3})",
+        tel.on_fps, tel.off_fps, tel.ratio
+    );
+
     let mut json = String::from("{\n");
     json.push_str("    \"generated_by\": \"hinch-serve bench\",\n");
     json.push_str(
         "    \"note\": \"absolute numbers are machine-dependent; compare ratios and bounds. \
          open_loop = seeded Poisson arrivals over a mixed-app fleet with per-tenant admission \
          control; saturated = N instances on one shared pool vs the same N as dedicated \
-         back-to-back single-graph runs\",\n",
+         back-to-back single-graph runs; telemetry = the same saturated workload with the \
+         flight recorder on vs off (ratio >= 0.97 means always-on telemetry costs <= 3%)\",\n",
     );
     let _ = writeln!(json, "    \"open_loop\": {},", load_json(&open, &cfg));
-    let _ = writeln!(json, "    \"saturated\": {}", saturated_json(&sat, app));
+    let _ = writeln!(json, "    \"saturated\": {},", saturated_json(&sat, app));
+    let _ = writeln!(json, "    \"telemetry\": {}", telemetry_probe_json(&tel));
     json.push_str("}\n");
     std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("bench serve: wrote {out}");
     Ok(())
+}
+
+fn telemetry_probe_json(t: &TelemetryProbe) -> String {
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "        \"graphs\": {},", t.graphs);
+    let _ = writeln!(j, "        \"workers\": {},", t.workers);
+    let _ = writeln!(j, "        \"frames_per_graph\": {},", t.frames_per_graph);
+    let _ = writeln!(j, "        \"trials\": {},", t.trials);
+    let _ = writeln!(j, "        \"on_fps\": {:.1},", t.on_fps);
+    let _ = writeln!(j, "        \"off_fps\": {:.1},", t.off_fps);
+    let _ = writeln!(j, "        \"ratio\": {:.3}", t.ratio);
+    j.push_str("    }");
+    j
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = args.get("--addr").unwrap_or("127.0.0.1:7070");
+    let once = args.flag("--once");
+    let interval = Duration::from_millis(args.parse("--interval-ms", 1000u64)?);
+    let count: u64 = args.parse("--count", 0u64)?; // 0 = until interrupted
+    let mut c = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut shown = 0u64;
+    loop {
+        let table = c
+            .telemetry(FORMAT_TABLE)
+            .map_err(|e| format!("telemetry: {e}"))?;
+        print!("{table}");
+        shown += 1;
+        if once || (count > 0 && shown >= count) {
+            return Ok(());
+        }
+        println!();
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_smoke(args: &Args) -> Result<(), String> {
@@ -319,6 +386,60 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
     if !submitted.contains("\"accepted\":2") {
         return Err(format!("submit over http: {submitted}"));
     }
+
+    // Telemetry plane. Wait for the tenant's frames to retire so the
+    // /metrics body carries a populated latency histogram, then scrape
+    // and validate the exposition with the in-repo parser — the same
+    // check a real scraper would fail on.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = c.stats(gid).map_err(|e| format!("stats: {e}"))?;
+        if stats.contains("\"completed\":2") {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(format!("frames did not retire in time: {stats}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let metrics = http_req("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n".into())?;
+    if !metrics.contains("Content-Type: text/plain") {
+        return Err(format!("/metrics content type: {metrics}"));
+    }
+    let body = metrics
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .ok_or("no /metrics body")?;
+    let samples =
+        serve::validate_prometheus(body).map_err(|e| format!("/metrics invalid: {e}\n{body}"))?;
+    for want in [
+        "hinch_graph_completed_total",
+        "hinch_graph_frame_latency_ns_bucket",
+        "hinch_worker_busy_seconds_total",
+        "hinch_live_stall_seconds",
+    ] {
+        if !body.contains(want) {
+            return Err(format!("/metrics missing {want}:\n{body}"));
+        }
+    }
+    // The wire Telemetry opcode (JSON) and the `top` table path.
+    let tj = c
+        .telemetry(FORMAT_JSON)
+        .map_err(|e| format!("telemetry json: {e}"))?;
+    if !tj.contains("\"uptime_ns\":") || !tj.contains("\"workers\":[{") {
+        return Err(format!("telemetry json malformed: {tj}"));
+    }
+    let prom_wire = c
+        .telemetry(FORMAT_PROMETHEUS)
+        .map_err(|e| format!("telemetry prometheus: {e}"))?;
+    serve::validate_prometheus(&prom_wire).map_err(|e| format!("wire prometheus invalid: {e}"))?;
+    cmd_top(&Args(vec![
+        "--addr".into(),
+        addr.to_string(),
+        "--once".into(),
+    ]))
+    .map_err(|e| format!("top --once: {e}"))?;
+
     let drained = http_req(format!(
         "POST /drain?graph={gid} HTTP/1.1\r\nHost: x\r\n\r\n"
     ))?;
@@ -334,8 +455,9 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
         Err(_) => return Err("server thread panicked".into()),
     }
     println!(
-        "serve smoke: OK ({} frames over TCP + 1 wire reconfig + http tenant, clean shutdown)",
-        frames * 2
+        "serve smoke: OK ({} frames over TCP + 1 wire reconfig + http tenant + {} validated metrics samples, clean shutdown)",
+        frames * 2,
+        samples
     );
     Ok(())
 }
@@ -350,6 +472,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "load" => cmd_load(&args),
         "bench" => cmd_bench(&args),
+        "top" => cmd_top(&args),
         "smoke" => cmd_smoke(&args),
         _ => return usage(),
     };

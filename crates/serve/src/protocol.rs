@@ -23,6 +23,7 @@
 //! | `0x06` Ping       | —                                         | — |
 //! | `0x07` Shutdown   | —                                         | — |
 //! | `0x08` SpawnXspcl | source `lstr` (u32 BE length), depth `u32`, max_backlog `u64` | graph id `u32` |
+//! | `0x09` Telemetry  | format `u8` (0 json, 1 prometheus, 2 table)  | rendered text |
 //!
 //! `Submit` is where admission control surfaces: the response carries how
 //! many of the offered frames the server *accepted* (possibly 0) — the
@@ -78,6 +79,13 @@ pub enum Request {
         source: String,
         pipeline_depth: u32,
         max_backlog: u64,
+    },
+    /// Live-telemetry export: the server samples its flight recorder and
+    /// returns one rendered snapshot. `format` selects the rendering
+    /// (see `crate::telemetry::{FORMAT_JSON, FORMAT_PROMETHEUS,
+    /// FORMAT_TABLE}`), so clients stay parser-free.
+    Telemetry {
+        format: u8,
     },
 }
 
@@ -303,6 +311,10 @@ impl Request {
                 b.extend_from_slice(&pipeline_depth.to_be_bytes());
                 b.extend_from_slice(&max_backlog.to_be_bytes());
             }
+            Request::Telemetry { format } => {
+                b.push(0x09);
+                b.push(*format);
+            }
         }
         Ok(b)
     }
@@ -334,6 +346,7 @@ impl Request {
                 pipeline_depth: c.u32()?,
                 max_backlog: c.u64()?,
             },
+            0x09 => Request::Telemetry { format: c.u8()? },
             op => return Err(bad(format!("unknown opcode 0x{op:02x}"))),
         };
         c.done()?;
@@ -430,6 +443,7 @@ mod tests {
                 pipeline_depth: 2,
                 max_backlog: 8,
             },
+            Request::Telemetry { format: 1 },
         ];
         for req in reqs {
             let decoded = Request::decode(&req.encode().unwrap()).unwrap();

@@ -13,10 +13,12 @@
 //! captures private — so any number of instances of the same app serve
 //! concurrently (see [`apps::experiment::build_isolated`]).
 
+use crate::json::{array, JsonObject};
 use crate::protocol::{
     write_frame, Request, Response, WireDiagnostic, ALL_GRAPHS, MAX_FRAME, SEVERITY_ERROR,
     SEVERITY_WARNING,
 };
+use crate::telemetry::{self, Telemetry};
 use analyze::{AnalyzeOptions, Diagnostics, Severity};
 use apps::experiment::{build_isolated, App, AppConfig, Scale};
 use apps::registry::{registry, AppAssets};
@@ -32,6 +34,12 @@ use std::time::Duration;
 /// stop flag, so [`Server::run`]'s join cannot hang on an idle-but-
 /// connected client after a shutdown request.
 const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Cadence of the background telemetry collector: each wakeup drains the
+/// flight recorder (wait-free for the workers) and closes one rolling-
+/// window interval. Also bounds shutdown latency of the collector
+/// thread, so it doubles as its stop-poll granularity.
+const COLLECT_INTERVAL: Duration = Duration::from_millis(250);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -51,56 +59,28 @@ impl Default for ServerConfig {
     }
 }
 
-/// Escape a string for embedding inside a JSON string literal
-/// (backslash, quote, and control characters — panic messages carry
-/// newlines, labels are arbitrary caller input via [`Runtime::spawn`]).
-pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Render one [`GraphStats`] as a JSON object (hand-rolled: the
-/// workspace is dependency-free by design).
+/// Render one [`GraphStats`] as a JSON object, via the crate's single
+/// JSON writer ([`crate::json`] — the workspace is dependency-free by
+/// design, so JSON is hand-rolled, but only once).
 pub fn stats_json(s: &GraphStats) -> String {
-    let failure = match &s.failure {
-        Some(msg) => format!("\"{}\"", json_escape(msg)),
-        None => "null".to_string(),
-    };
-    format!(
-        concat!(
-            "{{\"id\":{},\"label\":\"{}\",\"submitted\":{},\"completed\":{},",
-            "\"inflight\":{},\"reconfigs\":{},\"jobs_executed\":{},",
-            "\"latency_mean_ns\":{:.1},\"latency_p50_ns\":{},\"latency_p99_ns\":{},",
-            "\"failure\":{}}}"
-        ),
-        s.id.0,
-        json_escape(&s.label),
-        s.submitted,
-        s.completed,
-        s.inflight,
-        s.reconfigs,
-        s.jobs_executed,
-        s.latency_mean_ns,
-        s.latency_p50_ns,
-        s.latency_p99_ns,
-        failure,
-    )
+    JsonObject::new()
+        .num("id", s.id.0)
+        .str("label", &s.label)
+        .num("submitted", s.submitted)
+        .num("completed", s.completed)
+        .num("inflight", s.inflight)
+        .num("reconfigs", s.reconfigs)
+        .num("jobs_executed", s.jobs_executed)
+        .f1("latency_mean_ns", s.latency_mean_ns)
+        .num("latency_p50_ns", s.latency_p50_ns)
+        .num("latency_p99_ns", s.latency_p99_ns)
+        .num("shed", s.shed)
+        .opt_str("failure", s.failure.as_deref())
+        .build()
 }
 
 fn stats_array_json(all: &[GraphStats]) -> String {
-    let items: Vec<String> = all.iter().map(stats_json).collect();
-    format!("[{}]", items.join(","))
+    array(all.iter().map(stats_json))
 }
 
 /// Why a request was not served: an operational error (unknown graph,
@@ -150,6 +130,8 @@ pub(crate) struct Inner {
     pub(crate) runtime: Runtime,
     pub(crate) scale: Scale,
     pub(crate) stop: AtomicBool,
+    /// Live-telemetry state: flight-recorder cursors + windowed analyzer.
+    pub(crate) telemetry: Telemetry,
 }
 
 impl Inner {
@@ -237,11 +219,30 @@ impl Inner {
                     .drain(GraphId(graph))
                     .map(|stats| stats_json(&stats).into_bytes()),
             ),
+            Request::Telemetry { format } => Ok(self.telemetry_payload(format)?.into_bytes()),
             Request::Ping => Ok(Vec::new()),
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);
                 Ok(Vec::new())
             }
+        }
+    }
+
+    /// Sample the flight recorder and render one consistent telemetry
+    /// snapshot in the requested format. Shared by the wire `Telemetry`
+    /// opcode and the HTTP `GET /metrics` route.
+    pub(crate) fn telemetry_payload(&self, format: u8) -> Result<String, Refusal> {
+        self.telemetry.sample(&self.runtime);
+        let live = self.telemetry.summary();
+        let pool = self.runtime.telemetry();
+        let stats = self.runtime.all_stats();
+        match format {
+            telemetry::FORMAT_JSON => Ok(telemetry::telemetry_json(&pool, &stats, &live)),
+            telemetry::FORMAT_PROMETHEUS => Ok(telemetry::prometheus_text(&pool, &stats, &live)),
+            telemetry::FORMAT_TABLE => Ok(telemetry::render_top(&pool, &live)),
+            other => Err(Refusal::Error(format!(
+                "unknown telemetry format {other} (0 json, 1 prometheus, 2 table)"
+            ))),
         }
     }
 
@@ -316,6 +317,7 @@ impl Server {
                 runtime: Runtime::new(RuntimeConfig::new(cfg.workers)),
                 scale: cfg.scale,
                 stop: AtomicBool::new(false),
+                telemetry: Telemetry::new(),
             }),
             tcp,
             http,
@@ -344,6 +346,23 @@ impl Server {
                 std::thread::Builder::new()
                     .name("serve-http".into())
                     .spawn(move || crate::http::accept_loop(http, inner, tcp_addr))?,
+            );
+        }
+        // Collector: drains the flight recorder and closes one analyzer
+        // interval at a fixed cadence, so the rolling window advances
+        // even when nobody is scraping. Checks the stop flag every
+        // sleep slice, so shutdown joins promptly.
+        {
+            let inner = Arc::clone(&inner);
+            joins.push(
+                std::thread::Builder::new()
+                    .name("serve-telemetry".into())
+                    .spawn(move || {
+                        while !inner.stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(COLLECT_INTERVAL);
+                            inner.telemetry.sample(&inner.runtime);
+                        }
+                    })?,
             );
         }
         for conn in tcp.incoming() {

@@ -184,6 +184,21 @@ pub fn chrome_trace_json(events: &[TraceEvent], clock: Clock) -> String {
                     TraceEvent::EventPoll {
                         manager, events, ..
                     } => (format!("poll {manager}"), format!("\"events\":{events}")),
+                    TraceEvent::FrameRetired {
+                        graph,
+                        iter,
+                        latency,
+                        ..
+                    } => (
+                        format!("frame retired g{graph}"),
+                        format!("\"graph\":{graph},\"iteration\":{iter},\"latency\":{latency}"),
+                    ),
+                    TraceEvent::RingDrop {
+                        worker, dropped, ..
+                    } => (
+                        format!("ring drop w{worker}"),
+                        format!("\"worker\":{worker},\"dropped\":{dropped}"),
+                    ),
                     _ => unreachable!("span/quiesce/occupancy handled above"),
                 };
                 entries.push(format!(
@@ -295,6 +310,21 @@ pub fn csv(events: &[TraceEvent]) -> String {
                 end,
             } => {
                 let _ = writeln!(out, "stall,{},,{core},{start},{end},,,,,", cause.as_str());
+            }
+            TraceEvent::FrameRetired {
+                graph,
+                iter,
+                latency,
+                at,
+            } => {
+                let _ = writeln!(out, "frame_retired,,{iter},{graph},{at},{at},,,,,{latency}");
+            }
+            TraceEvent::RingDrop {
+                worker,
+                dropped,
+                at,
+            } => {
+                let _ = writeln!(out, "ring_drop,,,{worker},{at},{at},,,,,{dropped}");
             }
         }
     }

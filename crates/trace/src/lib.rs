@@ -23,6 +23,7 @@
 pub mod export;
 pub mod input;
 pub mod metrics;
+pub mod ring;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,6 +191,18 @@ pub enum TraceEvent {
         start: Time,
         end: Time,
     },
+    /// Frame `iter` of serving-runtime graph `graph` retired; `latency`
+    /// is its admission-to-retirement time. The multi-graph runtime's
+    /// flight recorder ([`ring`]) emits these per retired frame.
+    FrameRetired {
+        graph: u32,
+        iter: u64,
+        latency: u64,
+        at: Time,
+    },
+    /// A flight-recorder consumer on `worker`'s ring fell behind and
+    /// `dropped` events were overwritten before they could be drained.
+    RingDrop { worker: u32, dropped: u64, at: Time },
 }
 
 impl TraceEvent {
@@ -204,7 +217,9 @@ impl TraceEvent {
             | TraceEvent::DagSwap { at, .. }
             | TraceEvent::ReconfigApplied { at, .. }
             | TraceEvent::EventPoll { at, .. }
-            | TraceEvent::StreamOccupancy { at, .. } => *at,
+            | TraceEvent::StreamOccupancy { at, .. }
+            | TraceEvent::FrameRetired { at, .. }
+            | TraceEvent::RingDrop { at, .. } => *at,
         }
     }
 }

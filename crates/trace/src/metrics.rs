@@ -143,6 +143,65 @@ impl LogHistogram {
             })
             .collect()
     }
+
+    /// Raw per-bucket counts, full fixed width. Two snapshots taken at
+    /// different times can be subtracted element-wise to get the
+    /// distribution of values recorded *between* them (counters are
+    /// monotonic), which is how `insight::live` computes windowed
+    /// percentiles without per-value storage.
+    pub fn bucket_counts(&self) -> [u64; LOG_BUCKETS] {
+        let mut out = [0u64; LOG_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Prometheus-style cumulative buckets: `(upper bound, count of
+    /// values <= bound)` for every bucket up to and including the
+    /// highest non-empty one. The implicit `+Inf` bucket equals
+    /// [`LogHistogram::count`]. Empty histogram yields no entries.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        Self::cumulative_from_counts(&self.bucket_counts())
+    }
+
+    /// [`LogHistogram::cumulative_buckets`] over an explicit counts
+    /// array (e.g. a window diff of two [`LogHistogram::bucket_counts`]
+    /// snapshots).
+    pub fn cumulative_from_counts(counts: &[u64]) -> Vec<(u64, u64)> {
+        let last = match counts.iter().rposition(|&n| n > 0) {
+            Some(b) => b,
+            None => return Vec::new(),
+        };
+        let mut seen = 0u64;
+        counts[..=last]
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| {
+                seen += n;
+                (Self::bucket_high(b), seen)
+            })
+            .collect()
+    }
+
+    /// Quantile estimate over an explicit counts array (same convention
+    /// as [`LogHistogram::quantile`]: upper bound of the rank bucket,
+    /// 0 when empty).
+    pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_high(b);
+            }
+        }
+        Self::bucket_high(counts.len().saturating_sub(1))
+    }
 }
 
 impl std::fmt::Debug for LogHistogram {
@@ -369,6 +428,45 @@ mod tests {
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.mean(), 0.0);
         assert!(h.nonzero_buckets().is_empty());
+        assert!(h.cumulative_buckets().is_empty());
+        assert_eq!(LogHistogram::quantile_from_counts(&[0; 4], 0.5), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let h = LogHistogram::default();
+        for v in [0u64, 1, 2, 3, 4, 100, 100] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        // Dense up to the last non-empty bucket (bucket_of(100) = 7).
+        assert_eq!(cum.len(), 8);
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(cum.last().unwrap().1, h.count());
+        assert_eq!(cum[0], (0, 1)); // le=0 holds the one zero value
+    }
+
+    #[test]
+    fn window_diff_recovers_interval_quantiles() {
+        let h = LogHistogram::default();
+        for v in [1u64, 1, 1, 1] {
+            h.record(v);
+        }
+        let before = h.bucket_counts();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let after = h.bucket_counts();
+        let diff: Vec<u64> = after.iter().zip(before).map(|(a, b)| a - b).collect();
+        assert_eq!(diff.iter().sum::<u64>(), 3);
+        // All three window values land in [64, 511]; p50 over the window
+        // ignores the pre-window 1s entirely.
+        assert_eq!(
+            LogHistogram::quantile_from_counts(&diff, 0.5),
+            LogHistogram::bucket_high(LogHistogram::bucket_of(200))
+        );
+        // ... while the full histogram's p50 is still dominated by the 1s.
+        assert_eq!(h.quantile(0.5), 1);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 # `metrics_overhead` Criterion benches, one `hinch-insight` analysis, the
 # `throughput` bench (work-stealing vs centralized native engine), and
 # the `hinch-serve bench` serving-runtime snapshot (open-loop fleet +
-# saturated multi-vs-solo probe), then folds the key numbers into
+# saturated multi-vs-solo probe + telemetry on/off overhead probe), then
+# folds the key numbers into
 # BENCH_insight.json, BENCH_native.json and BENCH_serve.json (committed,
 # so a reviewer can diff perf-relevant changes without rerunning
 # anything). Absolute numbers are machine-dependent; the structure and
@@ -108,9 +109,14 @@ sat = data["saturated"]
 # throughput of N dedicated back-to-back single-graph runs.
 assert sat["workers"] == 8, sat
 assert sat["ratio"] >= 0.9, f"multi/solo throughput ratio {sat['ratio']} < 0.9"
+tel = data["telemetry"]
+# The always-on flight recorder must cost <= 3% saturated throughput
+# (rings-on vs rings-off, best-of-trials on each side).
+assert tel["ratio"] >= 0.97, f"telemetry on/off throughput ratio {tel['ratio']} < 0.97"
 print(f"{sys.argv[1]}: valid JSON; {ol['graphs']} graphs, "
       f"{ol['agg_fps']:.0f} fps aggregate, p99 {ol['latency_p99_ns']} ns; "
-      f"saturated multi/solo ratio {sat['ratio']}")
+      f"saturated multi/solo ratio {sat['ratio']}; "
+      f"telemetry on/off ratio {tel['ratio']}")
 EOF
 
 echo "bench: wrote BENCH_serve.json"

@@ -19,7 +19,10 @@
 #   8. hinch-serve smoke: start the serving front-end on real sockets,
 #      push frames over the TCP frame protocol, inject one
 #      reconfiguration event over the wire, exercise the HTTP gateway,
-#      assert responses and clean shutdown
+#      scrape GET /metrics and validate the exposition as Prometheus
+#      text (TYPE lines, label syntax, monotone histogram buckets),
+#      fetch wire telemetry in all three formats, render one `top`
+#      snapshot, assert responses and clean shutdown
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -129,7 +132,7 @@ fi
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$conf_dir/run1.json"
 echo "conformance: gate matrix passed, JSON byte-identical across runs"
 
-echo "== serve smoke (sockets + wire reconfig) =="
+echo "== serve smoke (sockets + wire reconfig + /metrics validation) =="
 cargo run --offline -q --release -p serve --bin hinch-serve -- smoke
 
 echo "ci: all green"
