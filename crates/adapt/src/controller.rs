@@ -1,0 +1,415 @@
+//! The decision function: a pure, deterministic fold over observation
+//! windows.
+//!
+//! Relief moves (overload) prefer the cheapest actuation first: a
+//! quality toggle needs no drain, a depth step or slice resize costs a
+//! drain + respawn. Recovery moves restore full quality first, then walk
+//! depth and slices back towards the initial configuration. Every
+//! proposal is pre-filtered by the [`Planner`]: the controller only
+//! moves to configurations `predict::model` marks deadline-feasible, and
+//! after any actuation it holds for the policy's cooldown.
+
+use crate::plan::Planner;
+use crate::policy::{Action, CandidateConfig, Decision, Quality, SloPolicy};
+use insight::live::GraphWindow;
+
+/// One distilled observation window (from `insight::live` live windows
+/// or the virtual scenario simulator — the controller cannot tell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowObs {
+    /// Windowed p99 admission-to-retire latency (ns live, cycles in the
+    /// simulator).
+    pub p99_ns: u64,
+    /// Frames completed in the window.
+    pub completed: u64,
+    /// Frames admitted but not yet retired (queued + in flight).
+    pub backlog: u64,
+}
+
+impl WindowObs {
+    /// Distill a live telemetry window.
+    pub fn from_window(w: &GraphWindow) -> Self {
+        Self {
+            p99_ns: w.p99_ns,
+            completed: w.completed,
+            backlog: w.backlog,
+        }
+    }
+}
+
+/// Running totals per action kind, for telemetry exposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCounters {
+    pub hold: u64,
+    pub toggle: u64,
+    pub resize: u64,
+    pub step_depth: u64,
+}
+
+impl DecisionCounters {
+    pub fn actuations(&self) -> u64 {
+        self.toggle + self.resize + self.step_depth
+    }
+}
+
+/// Closed-loop SLO controller for one graph.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    policy: SloPolicy,
+    planner: Planner,
+    initial: CandidateConfig,
+    current: CandidateConfig,
+    cooldown: u32,
+    tick: u64,
+    counters: DecisionCounters,
+}
+
+impl Controller {
+    pub fn new(policy: SloPolicy, planner: Planner, initial: CandidateConfig) -> Self {
+        Self {
+            policy,
+            planner,
+            initial,
+            current: initial,
+            cooldown: 0,
+            tick: 0,
+            counters: DecisionCounters::default(),
+        }
+    }
+
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The configuration currently in force (tracks decisions, not the
+    /// actuation lag).
+    pub fn current(&self) -> CandidateConfig {
+        self.current
+    }
+
+    pub fn counters(&self) -> DecisionCounters {
+        self.counters
+    }
+
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Feed one observation window; returns the decision for it. Pure in
+    /// the controller state and `obs`: the same state and window always
+    /// produce the same decision.
+    pub fn observe(&mut self, obs: &WindowObs) -> Decision {
+        self.tick += 1;
+        let d = self.decide(obs);
+        match d.action {
+            Action::Hold => self.counters.hold += 1,
+            Action::Toggle { to } => {
+                self.counters.toggle += 1;
+                self.current.quality = to;
+                self.cooldown = self.policy.cooldown_ticks;
+            }
+            Action::Resize { slices } => {
+                self.counters.resize += 1;
+                self.current.slices = slices;
+                self.cooldown = self.policy.cooldown_ticks;
+            }
+            Action::StepDepth { depth } => {
+                self.counters.step_depth += 1;
+                self.current.pipeline_depth = depth;
+                self.cooldown = self.policy.cooldown_ticks;
+            }
+        }
+        Decision {
+            config_after: self.current,
+            ..d
+        }
+    }
+
+    fn decide(&mut self, obs: &WindowObs) -> Decision {
+        let hold = |reason, current, tick| Decision {
+            tick,
+            action: Action::Hold,
+            reason,
+            config_after: current,
+        };
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return hold("cooldown", self.current, self.tick);
+        }
+        let target = self.policy.target_p99_ns;
+        let overloaded = obs.p99_ns > target || obs.backlog > self.policy.max_backlog;
+        if overloaded {
+            if let Some((action, reason)) = self.relief_move() {
+                return Decision {
+                    tick: self.tick,
+                    action,
+                    reason,
+                    config_after: self.current,
+                };
+            }
+            return hold("no-feasible-relief", self.current, self.tick);
+        }
+        if obs.completed < self.policy.min_samples {
+            return hold("window-underfilled", self.current, self.tick);
+        }
+        // Backlog ≤ 1: at moderate utilization the in-service frame is
+        // almost always outstanding; demanding an exactly-empty queue
+        // would starve recovery.
+        let low = (self.policy.low_watermark * target as f64) as u64;
+        let underloaded = obs.p99_ns < low && obs.backlog <= 1;
+        if underloaded {
+            if let Some((action, reason)) = self.recovery_move() {
+                return Decision {
+                    tick: self.tick,
+                    action,
+                    reason,
+                    config_after: self.current,
+                };
+            }
+        }
+        hold("steady", self.current, self.tick)
+    }
+
+    /// Cheapest feasible move that strictly lowers the predicted period.
+    fn relief_move(&self) -> Option<(Action, &'static str)> {
+        let here = self.planner.lookup(&self.current).map(|r| r.period);
+        let improves = |c: &CandidateConfig| match (here, self.planner.lookup(c)) {
+            (Some(h), Some(r)) => r.feasible && r.period < h,
+            (None, Some(r)) => r.feasible,
+            _ => false,
+        };
+        if self.current.quality == Quality::Full {
+            let c = CandidateConfig {
+                quality: Quality::Degraded,
+                ..self.current
+            };
+            if improves(&c) {
+                return Some((
+                    Action::Toggle {
+                        to: Quality::Degraded,
+                    },
+                    "slo-over:degrade",
+                ));
+            }
+        }
+        let deeper = CandidateConfig {
+            pipeline_depth: self.current.pipeline_depth + 1,
+            ..self.current
+        };
+        if improves(&deeper) {
+            return Some((
+                Action::StepDepth {
+                    depth: deeper.pipeline_depth,
+                },
+                "slo-over:deepen",
+            ));
+        }
+        // Widest feasible improving slice count, preferring more copies.
+        let mut best: Option<&crate::plan::RatedConfig> = None;
+        for r in self.planner.rated() {
+            let c = &r.config;
+            let better = match best {
+                None => true,
+                Some(b) => r.period < b.period,
+            };
+            if c.quality == self.current.quality
+                && c.pipeline_depth == self.current.pipeline_depth
+                && c.slices != self.current.slices
+                && improves(c)
+                && better
+            {
+                best = Some(r);
+            }
+        }
+        best.map(|r| {
+            (
+                Action::Resize {
+                    slices: r.config.slices,
+                },
+                "slo-over:resize",
+            )
+        })
+    }
+
+    /// Restore quality first, then walk depth/slices back towards the
+    /// initial configuration — one axis per window, all feasible.
+    fn recovery_move(&self) -> Option<(Action, &'static str)> {
+        if self.current.quality == Quality::Degraded {
+            let c = CandidateConfig {
+                quality: Quality::Full,
+                ..self.current
+            };
+            if self.planner.feasible(&c) {
+                return Some((Action::Toggle { to: Quality::Full }, "slo-under:recover"));
+            }
+            return None;
+        }
+        if self.current.pipeline_depth != self.initial.pipeline_depth {
+            let c = CandidateConfig {
+                pipeline_depth: self.initial.pipeline_depth,
+                ..self.current
+            };
+            if self.planner.feasible(&c) {
+                return Some((
+                    Action::StepDepth {
+                        depth: self.initial.pipeline_depth,
+                    },
+                    "slo-under:relax-depth",
+                ));
+            }
+        }
+        if self.current.slices != self.initial.slices {
+            let c = CandidateConfig {
+                slices: self.initial.slices,
+                ..self.current
+            };
+            if self.planner.feasible(&c) {
+                return Some((
+                    Action::Resize {
+                        slices: self.initial.slices,
+                    },
+                    "slo-under:relax-slices",
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RatedConfig;
+
+    fn cfg(q: Quality, s: usize, d: usize) -> CandidateConfig {
+        CandidateConfig {
+            quality: q,
+            slices: s,
+            pipeline_depth: d,
+        }
+    }
+
+    fn planner() -> Planner {
+        // Full quality: 120 at depth 2, 200 at depth 1; degraded: 60/100.
+        let mk = |c, period| RatedConfig {
+            config: c,
+            period,
+            feasible: false,
+        };
+        Planner::new(
+            vec![
+                mk(cfg(Quality::Full, 4, 1), 200.0),
+                mk(cfg(Quality::Full, 4, 2), 120.0),
+                mk(cfg(Quality::Full, 8, 2), 110.0),
+                mk(cfg(Quality::Degraded, 4, 1), 100.0),
+                mk(cfg(Quality::Degraded, 4, 2), 60.0),
+            ],
+            150.0,
+        )
+    }
+
+    fn ctl() -> Controller {
+        let mut policy = SloPolicy::new(1_000);
+        policy.cooldown_ticks = 2;
+        policy.min_samples = 1;
+        Controller::new(policy, planner(), cfg(Quality::Full, 4, 2))
+    }
+
+    fn over() -> WindowObs {
+        WindowObs {
+            p99_ns: 5_000,
+            completed: 10,
+            backlog: 4,
+        }
+    }
+
+    fn under() -> WindowObs {
+        WindowObs {
+            p99_ns: 100,
+            completed: 10,
+            backlog: 0,
+        }
+    }
+
+    #[test]
+    fn overload_degrades_then_cools_down() {
+        let mut c = ctl();
+        let d = c.observe(&over());
+        assert_eq!(
+            d.action,
+            Action::Toggle {
+                to: Quality::Degraded
+            }
+        );
+        assert_eq!(c.current().quality, Quality::Degraded);
+        // cooldown: two holds even though still overloaded
+        assert_eq!(c.observe(&over()).action, Action::Hold);
+        assert_eq!(c.observe(&over()).action, Action::Hold);
+        // already degraded, no deeper/wider feasible improvement from
+        // degraded/4/2 (60 is the floor) → hold
+        assert_eq!(c.observe(&over()).reason, "no-feasible-relief");
+    }
+
+    #[test]
+    fn recovery_restores_full_quality() {
+        let mut c = ctl();
+        c.observe(&over());
+        c.observe(&under()); // cooldown
+        c.observe(&under()); // cooldown
+        let d = c.observe(&under());
+        assert_eq!(d.action, Action::Toggle { to: Quality::Full });
+        assert_eq!(c.current().quality, Quality::Full);
+    }
+
+    #[test]
+    fn depth_step_when_already_degraded_at_depth_one() {
+        let mut policy = SloPolicy::new(1_000);
+        policy.cooldown_ticks = 0;
+        policy.min_samples = 1;
+        let mut c = Controller::new(policy, planner(), cfg(Quality::Degraded, 4, 1));
+        let d = c.observe(&over());
+        assert_eq!(d.action, Action::StepDepth { depth: 2 });
+        assert_eq!(c.current().pipeline_depth, 2);
+    }
+
+    #[test]
+    fn infeasible_targets_are_never_proposed() {
+        // Deadline below every candidate: nothing is feasible, the
+        // controller can only hold.
+        let planner = Planner::new(planner().rated().to_vec(), 10.0);
+        let mut policy = SloPolicy::new(1_000);
+        policy.cooldown_ticks = 0;
+        policy.min_samples = 1;
+        let mut c = Controller::new(policy, planner, cfg(Quality::Full, 4, 2));
+        for _ in 0..8 {
+            assert_eq!(c.observe(&over()).action, Action::Hold);
+        }
+    }
+
+    #[test]
+    fn steady_windows_hold() {
+        let mut c = ctl();
+        let obs = WindowObs {
+            p99_ns: 800,
+            completed: 10,
+            backlog: 0,
+        };
+        assert_eq!(c.observe(&obs).reason, "steady");
+        assert_eq!(c.counters().actuations(), 0);
+    }
+
+    #[test]
+    fn underfilled_windows_hold() {
+        let mut c = ctl();
+        let obs = WindowObs {
+            p99_ns: 0,
+            completed: 0,
+            backlog: 0,
+        };
+        assert_eq!(c.observe(&obs).reason, "window-underfilled");
+    }
+}

@@ -1,0 +1,33 @@
+//! Closed-loop SLO adaptation for the serving runtime.
+//!
+//! The paper's reconfigurable applications (PiP-12, JPiP-12, Blur-35)
+//! toggle quality options on a *scripted* schedule; this crate closes the
+//! loop instead: a [`Controller`] watches windowed telemetry
+//! ([`insight::live`] windows distilled into [`WindowObs`]) and decides —
+//! with hysteresis and a cooldown — when to switch a quality option,
+//! resize a data-parallel slice group, or step the pipeline depth so a
+//! graph holds a configurable latency SLO. Candidate configurations are
+//! rated up front by [`predict::model`]; the controller only ever
+//! proposes configurations the model marks deadline-feasible.
+//!
+//! Everything here is deterministic by construction: the decision
+//! function is a pure fold over observation windows, the
+//! [`scenario`] module replays seeded bursty traffic in *virtual* time
+//! (no wall clocks, no threads), and the planner's costs come from a
+//! cycle-deterministic simulation profile. Two runs of the same seed
+//! produce byte-identical replay logs — `scripts/ci.sh` diffs them.
+//!
+//! See `docs/ADAPTATION.md` for the control loop, policy format and
+//! determinism guarantees.
+
+pub mod controller;
+pub mod plan;
+pub mod policy;
+pub mod scenario;
+
+pub use controller::{Controller, DecisionCounters, WindowObs};
+pub use plan::{Lattice, Planner, RatedConfig};
+pub use policy::{Action, CandidateConfig, Decision, Quality, SloPolicy};
+pub use scenario::{
+    run_scenario, AdaptiveRun, DecisionRecord, ScenarioReport, ScenarioSpec, StaticRun,
+};

@@ -1,0 +1,157 @@
+//! SLO policy and the configuration/action vocabulary of the controller.
+
+/// Quality mode of a reconfigurable app: `Full` is the expensive variant
+/// (both pictures / 5×5 kernel), `Degraded` the cheap one. Matches the
+/// order of [`apps::App::static_counterparts`]: index 0 is the degraded
+/// counterpart, index 1 the full one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quality {
+    Degraded,
+    Full,
+}
+
+impl Quality {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Quality::Degraded => "degraded",
+            Quality::Full => "full",
+        }
+    }
+}
+
+/// One point of the candidate lattice: a quality mode, a data-parallel
+/// slice count and a pipeline depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CandidateConfig {
+    pub quality: Quality,
+    pub slices: usize,
+    pub pipeline_depth: usize,
+}
+
+impl CandidateConfig {
+    pub fn label(&self) -> String {
+        format!(
+            "{}/s{}/d{}",
+            self.quality.label(),
+            self.slices,
+            self.pipeline_depth
+        )
+    }
+}
+
+/// The latency service-level objective a controller holds for one graph.
+///
+/// Thresholds form a hysteresis band: relief moves trigger when the
+/// windowed p99 exceeds `target_p99_ns` (or the backlog exceeds
+/// `max_backlog`), recovery moves only when p99 falls below
+/// `low_watermark * target_p99_ns` *and* the backlog is empty. After any
+/// actuation the controller holds for `cooldown_ticks` observation
+/// windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloPolicy {
+    /// Latency objective: windowed p99 admission-to-retire latency. In
+    /// the live plane this is wall nanoseconds; in the virtual scenario
+    /// simulator it is predicted cycles. The controller is agnostic.
+    pub target_p99_ns: u64,
+    /// Recovery watermark as a fraction of the target, in (0, 1].
+    pub low_watermark: f64,
+    /// Observation windows to hold after an actuation.
+    pub cooldown_ticks: u32,
+    /// Minimum completed frames in a window before acting on its p99.
+    pub min_samples: u64,
+    /// Backlog (queued + in-flight frames) that declares overload even
+    /// when the latency window is under-filled.
+    pub max_backlog: u64,
+}
+
+impl SloPolicy {
+    pub fn new(target_p99_ns: u64) -> Self {
+        Self {
+            target_p99_ns,
+            low_watermark: 0.5,
+            cooldown_ticks: 2,
+            min_samples: 4,
+            max_backlog: 16,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.target_p99_ns == 0 {
+            return Err("target_p99_ns must be positive".into());
+        }
+        if !(self.low_watermark > 0.0 && self.low_watermark <= 1.0) {
+            return Err(format!(
+                "low_watermark {} outside (0, 1]",
+                self.low_watermark
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the controller decided to do with one observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// No actuation this window.
+    Hold,
+    /// Switch the quality option (live: a manager-queue event at
+    /// quiescence; no drain required).
+    Toggle { to: Quality },
+    /// Rebuild the graph with a different slice count (drain + respawn).
+    Resize { slices: usize },
+    /// Rebuild the graph with a different pipeline depth (drain +
+    /// respawn).
+    StepDepth { depth: usize },
+}
+
+impl Action {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Action::Hold => "hold",
+            Action::Toggle { .. } => "toggle",
+            Action::Resize { .. } => "resize",
+            Action::StepDepth { .. } => "step_depth",
+        }
+    }
+}
+
+/// One decision: the action plus why it was taken and the configuration
+/// in force afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    pub tick: u64,
+    pub action: Action,
+    pub reason: &'static str,
+    pub config_after: CandidateConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_validates() {
+        assert!(SloPolicy::new(1_000).validate().is_ok());
+        assert!(SloPolicy::new(0).validate().is_err());
+        let mut p = SloPolicy::new(1_000);
+        p.low_watermark = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let c = CandidateConfig {
+            quality: Quality::Full,
+            slices: 4,
+            pipeline_depth: 3,
+        };
+        assert_eq!(c.label(), "full/s4/d3");
+        assert_eq!(
+            Action::Toggle {
+                to: Quality::Degraded
+            }
+            .label(),
+            "toggle"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Property layer for the SLO controller and the scenario harness.
+//!
+//! Three controller properties over synthetic planners and random window
+//! sequences — stability (same windows → same decisions), cooldown
+//! discipline, and predict-feasibility of every proposal — plus a seeded
+//! end-to-end property that the bursty-replay scenario renders
+//! byte-identically across two runs in the same process. (The cross-
+//! process two-run diff lives in `scripts/ci.sh`.)
+
+use adapt::{
+    Action, CandidateConfig, Controller, Planner, Quality, RatedConfig, ScenarioSpec, SloPolicy,
+    WindowObs,
+};
+use apps::App;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The fixed config grid the synthetic planner rates: 2 qualities × 3
+/// slice counts × 3 depths.
+fn grid() -> Vec<CandidateConfig> {
+    let mut out = Vec::new();
+    for quality in [Quality::Degraded, Quality::Full] {
+        for slices in [2usize, 4, 8] {
+            for pipeline_depth in [1usize, 2, 3] {
+                out.push(CandidateConfig {
+                    quality,
+                    slices,
+                    pipeline_depth,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Build a planner from sampled per-config periods and a deadline.
+/// `Planner::new` recomputes feasibility from the deadline, so the
+/// sampled `feasible` seed value is irrelevant.
+fn planner_from(periods: &[u32], deadline: u32) -> Planner {
+    let rated: Vec<RatedConfig> = grid()
+        .into_iter()
+        .zip(periods.iter())
+        .map(|(config, &p)| RatedConfig {
+            config,
+            period: p as f64 + 1.0,
+            feasible: false,
+        })
+        .collect();
+    Planner::new(rated, deadline as f64 + 1.0)
+}
+
+fn policy_from(target: u64, cooldown: u32, min_samples: u64, max_backlog: u64) -> SloPolicy {
+    let mut p = SloPolicy::new(target);
+    p.cooldown_ticks = cooldown;
+    p.min_samples = min_samples;
+    p.max_backlog = max_backlog;
+    p
+}
+
+fn obs_from(raw: &[(u64, u64, u64)]) -> Vec<WindowObs> {
+    raw.iter()
+        .map(|&(p99_ns, completed, backlog)| WindowObs {
+            p99_ns,
+            completed,
+            backlog,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Same planner, same policy, same window sequence → the two
+    // controllers emit identical decision sequences and end in
+    // identical states. The decision function is a pure fold.
+    #[test]
+    fn decision_function_is_stable(
+        periods in vec(1u32..5_000, 18..19),
+        deadline in 1u32..5_000,
+        target in 100u64..10_000,
+        cooldown in 0u32..4,
+        start in 0usize..18,
+        raw in vec((0u64..20_000, 0u64..20, 0u64..12), 1..40),
+    ) {
+        let windows = obs_from(&raw);
+        let initial = grid()[start];
+        let mk = || Controller::new(
+            policy_from(target, cooldown, 2, 8),
+            planner_from(&periods, deadline),
+            initial,
+        );
+        let (mut a, mut b) = (mk(), mk());
+        for w in &windows {
+            prop_assert_eq!(a.observe(w), b.observe(w));
+        }
+        prop_assert_eq!(a.current(), b.current());
+        prop_assert_eq!(a.counters(), b.counters());
+    }
+
+    // After any actuation the next `cooldown_ticks` decisions are Hold,
+    // whatever the windows look like.
+    #[test]
+    fn cooldown_is_respected(
+        periods in vec(1u32..5_000, 18..19),
+        deadline in 1u32..5_000,
+        target in 100u64..10_000,
+        cooldown in 1u32..5,
+        start in 0usize..18,
+        raw in vec((0u64..20_000, 0u64..20, 0u64..12), 1..60),
+    ) {
+        let windows = obs_from(&raw);
+        let mut c = Controller::new(
+            policy_from(target, cooldown, 2, 8),
+            planner_from(&periods, deadline),
+            grid()[start],
+        );
+        let mut quiet_until = 0u64; // ticks that must Hold
+        for w in &windows {
+            let d = c.observe(w);
+            if quiet_until > 0 {
+                prop_assert_eq!(
+                    d.action, Action::Hold,
+                    "actuated inside cooldown at tick {}", d.tick
+                );
+                quiet_until -= 1;
+            } else if d.action != Action::Hold {
+                quiet_until = cooldown as u64;
+            }
+        }
+    }
+
+    // Every non-Hold decision lands on a configuration the planner
+    // marks deadline-feasible: the controller never proposes a config
+    // `predict::model` rejects.
+    #[test]
+    fn only_feasible_configs_are_proposed(
+        periods in vec(1u32..5_000, 18..19),
+        deadline in 1u32..5_000,
+        target in 100u64..10_000,
+        start in 0usize..18,
+        raw in vec((0u64..20_000, 0u64..20, 0u64..12), 1..60),
+    ) {
+        let windows = obs_from(&raw);
+        let planner = planner_from(&periods, deadline);
+        let mut c = Controller::new(
+            policy_from(target, 0, 2, 8),
+            planner.clone(),
+            grid()[start],
+        );
+        for w in &windows {
+            let d = c.observe(w);
+            if d.action != Action::Hold {
+                prop_assert!(
+                    planner.feasible(&d.config_after),
+                    "tick {}: proposed infeasible {}", d.tick, d.config_after.label()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // The end-to-end scenario runs a calibration sim per (app, scale) —
+    // cached — and a 480-frame virtual-time simulation per run; keep the
+    // case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The bursty-replay scenario is byte-deterministic in its seed: two
+    // runs render identical replay transcripts, decision for decision.
+    #[test]
+    fn scenario_replay_is_byte_deterministic(seed in 0u64..1 << 32) {
+        let spec = ScenarioSpec::small(App::Pip12, seed);
+        let a = adapt::run_scenario(&spec);
+        let b = adapt::run_scenario(&spec);
+        prop_assert_eq!(a.render_replay(), b.render_replay());
+        prop_assert_eq!(a.decisions.len(), b.decisions.len());
+        prop_assert_eq!(a.adaptive.misses, b.adaptive.misses);
+    }
+}

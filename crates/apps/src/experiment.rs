@@ -220,6 +220,26 @@ pub fn build(cfg: AppConfig) -> Built {
 /// but captures are fresh and unshared, so any number of isolated
 /// instances can run concurrently — the serving runtime's mode.
 pub fn build_isolated(cfg: AppConfig) -> Built {
+    build_isolated_sliced(cfg, None)
+}
+
+/// [`build_isolated`] with the data-parallel slice count overridden
+/// (`None` keeps the scale's default). The adaptation controller uses
+/// this to respawn a graph at a different parallelization.
+pub fn build_isolated_sliced(cfg: AppConfig, slices: Option<usize>) -> Built {
+    isolated_assets_then(cfg, |assets| build_with_opts(cfg, assets, slices, false))
+}
+
+/// [`build_isolated_sliced`] for *externally driven* reconfiguration: the
+/// manager, options and event rules of a reconfig app are wired exactly
+/// as usual, but the in-graph injector's cadence is parked past any real
+/// run, so the only reconfigurations are events delivered from outside
+/// (`Runtime::inject`). Static apps build unchanged.
+pub fn build_isolated_adaptive(cfg: AppConfig, slices: Option<usize>) -> Built {
+    isolated_assets_then(cfg, |assets| build_with_opts(cfg, assets, slices, true))
+}
+
+fn isolated_assets_then(cfg: AppConfig, f: impl FnOnce(Arc<AppAssets>) -> Built) -> Built {
     let shared = cached_assets(cfg.app, cfg.scale);
     // Warm the process-wide input cache once: generation/encoding is the
     // expensive step; the discarded spec elaboration is cheap. Generation
@@ -227,11 +247,92 @@ pub fn build_isolated(cfg: AppConfig) -> Built {
     let _ = build_with(cfg, shared.clone());
     let assets = AppAssets::new();
     assets.adopt_inputs(&shared);
-    build_with(cfg, assets)
+    f(assets)
+}
+
+/// Injector cadence that never fires within a real run (see
+/// [`build_isolated_adaptive`]).
+pub const EXTERNAL_RECONFIG_CADENCE: u64 = u64::MAX / 2;
+
+/// How to reconfigure `app` from outside the graph: the manager queue,
+/// the event kind, and the payloads that select the degraded / full
+/// variant.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconfigHandle {
+    pub queue: &'static str,
+    pub event: &'static str,
+    /// Payload selecting the cheap variant (ignored by toggle rules).
+    pub degraded_payload: i64,
+    /// Payload selecting the expensive variant.
+    pub full_payload: i64,
+    /// `true` if the manager rule *toggles* option state (send one event
+    /// per change of mind), `false` if the payload *sets* it
+    /// (idempotent).
+    pub toggles: bool,
+}
+
+/// The external-reconfiguration handle of `app`, `None` for static apps.
+/// Reconfig graphs spawn in their degraded variant (second picture
+/// disabled / 3×3 kernel).
+pub fn reconfig_handle(app: App) -> Option<ReconfigHandle> {
+    match app {
+        App::Pip12 | App::Jpip12 => Some(ReconfigHandle {
+            queue: "mq",
+            event: "flip",
+            degraded_payload: 0,
+            full_payload: 0,
+            toggles: true,
+        }),
+        App::Blur35 => Some(ReconfigHandle {
+            queue: "mq",
+            event: "switch",
+            degraded_payload: 3,
+            full_payload: 5,
+            toggles: false,
+        }),
+        _ => None,
+    }
+}
+
+/// The scale's default data-parallel slice count for `cfg.app`'s family
+/// (the reference point for slice-resizing candidates).
+pub fn default_slices(app: App, scale: Scale) -> usize {
+    match (app.family(), scale) {
+        (Family::Pip, Scale::Paper) => pip::PipConfig::paper(1).slices,
+        (Family::Pip, Scale::Small) => pip::PipConfig::small(1).slices,
+        (Family::Jpip, Scale::Paper) => jpip::JpipConfig::paper(1).slices,
+        (Family::Jpip, Scale::Small) => jpip::JpipConfig::small(1).slices,
+        (Family::Blur, Scale::Paper) => blur::BlurConfig::paper(3).slices,
+        (Family::Blur, Scale::Small) => blur::BlurConfig::small(3).slices,
+    }
 }
 
 /// Build `cfg.app` against a caller-provided asset set.
 pub fn build_with(cfg: AppConfig, assets: Arc<AppAssets>) -> Built {
+    build_with_sliced(cfg, assets, None)
+}
+
+/// [`build_with`] with an optional slice-count override.
+pub fn build_with_sliced(cfg: AppConfig, assets: Arc<AppAssets>, slices: Option<usize>) -> Built {
+    build_with_opts(cfg, assets, slices, false)
+}
+
+/// Reconfig cadence: the paper's 12-frame stimulus, or parked for
+/// externally driven graphs.
+fn cadence(external: bool) -> Option<u64> {
+    Some(if external {
+        EXTERNAL_RECONFIG_CADENCE
+    } else {
+        12
+    })
+}
+
+fn build_with_opts(
+    cfg: AppConfig,
+    assets: Arc<AppAssets>,
+    slices: Option<usize>,
+    external: bool,
+) -> Built {
     match cfg.app {
         App::Pip1 | App::Pip2 | App::Pip12 => {
             let mut c = match cfg.scale {
@@ -239,7 +340,10 @@ pub fn build_with(cfg: AppConfig, assets: Arc<AppAssets>) -> Built {
                 Scale::Small => pip::PipConfig::small(if cfg.app == App::Pip1 { 1 } else { 2 }),
             };
             if cfg.app == App::Pip12 {
-                c.reconfig_every = Some(12);
+                c.reconfig_every = cadence(external);
+            }
+            if let Some(s) = slices {
+                c.slices = s;
             }
             let app = pip::build_on(&c, assets).expect("PiP compiles");
             Built {
@@ -256,7 +360,10 @@ pub fn build_with(cfg: AppConfig, assets: Arc<AppAssets>) -> Built {
                 Scale::Small => jpip::JpipConfig::small(if cfg.app == App::Jpip1 { 1 } else { 2 }),
             };
             if cfg.app == App::Jpip12 {
-                c.reconfig_every = Some(12);
+                c.reconfig_every = cadence(external);
+            }
+            if let Some(s) = slices {
+                c.slices = s;
             }
             let app = jpip::build_on(&c, assets).expect("JPiP compiles");
             Built {
@@ -273,7 +380,10 @@ pub fn build_with(cfg: AppConfig, assets: Arc<AppAssets>) -> Built {
                 Scale::Small => blur::BlurConfig::small(if cfg.app == App::Blur5 { 5 } else { 3 }),
             };
             if cfg.app == App::Blur35 {
-                c.reconfig_every = Some(12);
+                c.reconfig_every = cadence(external);
+            }
+            if let Some(s) = slices {
+                c.slices = s;
             }
             let app = blur::build_on(&c, assets).expect("Blur compiles");
             Built {

@@ -182,8 +182,11 @@ impl MatrixSummary {
 }
 
 /// Check that every output frame matches the same-index frame of one of
-/// the counterpart renderings, all ports agreeing on the variant.
-fn check_admissible(output: &Ports, variants: &[Ports]) -> Result<(), String> {
+/// the counterpart renderings, all ports agreeing on the variant. Public
+/// because the controller-driven differential runs
+/// (`tests/adapt_scenarios.rs`) apply the same admissibility criterion
+/// to replayed SLO-scenario outputs.
+pub fn check_admissible(output: &Ports, variants: &[Ports]) -> Result<(), String> {
     let frames = output.first().map(Vec::len).unwrap_or(0);
     for (p, port) in output.iter().enumerate() {
         if port.len() != frames {

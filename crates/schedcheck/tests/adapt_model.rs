@@ -1,0 +1,177 @@
+//! Model-checked adaptation plane (build with `RUSTFLAGS="--cfg hinch_model"`).
+//!
+//! The serving runtime's SLO controller (`crates/adapt` wired through
+//! `serve::server`) runs as a collector-thread tick: reap-check via
+//! `Runtime::stats`, observe a telemetry window, actuate by
+//! `Runtime::inject` — all while clients concurrently submit frames,
+//! inject wire events into the same manager queue, and `drain()` the
+//! graph out from under it. These tests drive that exact interleaving on
+//! the schedcheck executor and hold the protocol to three invariants:
+//!
+//! * **no deadlock** — a tick racing teardown must never strand the
+//!   collector or the drainer (the explorer reports any stuck schedule
+//!   with a replayable seed);
+//! * **no double-apply** — one accepted decision event reconfigures the
+//!   graph at most once, whatever the manager's quiescent-point poll
+//!   interleaves with (`reconfigs <= accepted events`);
+//! * **no torn telemetry** — the stats snapshot a tick acts on is
+//!   internally consistent (`completed <= submitted`, inflight is their
+//!   difference) even mid-retirement.
+//!
+//! Exploration of the unfaulted protocol came back clean — no new race
+//! was found, so (unlike the `pr6_*` regressions in `engine_model.rs`)
+//! there is no fault flag to pin here; these stay as standing model
+//! coverage for the controller-tick / quiesce / drain seam.
+
+#![cfg(hinch_model)]
+
+use hinch::graph::{factory, ComponentSpec, GraphSpec};
+use hinch::{
+    Component, Event, EventAction, EventQueue, ManagerSpec, Params, RunCtx, Runtime, RuntimeConfig,
+    SpawnOpts,
+};
+use schedcheck::{env_iters, Config};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+/// The runtime's worker pools are process-global; serialize with any
+/// other test building a `Runtime` (same idiom as `engine_model.rs`).
+fn runtime_lock() -> StdMutexGuard<'static, ()> {
+    static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| StdMutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct Nop;
+impl Component for Nop {
+    fn class(&self) -> &'static str {
+        "nop"
+    }
+    fn run(&mut self, _ctx: &mut RunCtx<'_>) {}
+}
+
+fn nop_leaf(name: &str) -> GraphSpec {
+    GraphSpec::leaf(ComponentSpec::new(
+        name,
+        "nop",
+        factory(
+            |_p: &Params| -> Box<dyn Component> { Box::new(Nop) },
+            Params::new(),
+        ),
+    ))
+}
+
+/// The smallest reconfigurable graph: a manager on queue `mq` whose
+/// `flip` rule toggles an option — the same shape the corpus apps'
+/// quality options reduce to, with one job per frame so the schedule
+/// space stays explorable.
+fn managed_spec() -> GraphSpec {
+    GraphSpec::managed(
+        ManagerSpec::new("m", EventQueue::new("mq"))
+            .on("flip", vec![EventAction::Toggle("opt".into())]),
+        GraphSpec::seq(vec![
+            nop_leaf("a"),
+            GraphSpec::option("opt", false, nop_leaf("b")),
+        ]),
+    )
+}
+
+/// One controller tick, as the serving runtime's collector runs it:
+/// reap-check via stats, sanity-check the observed window, actuate with
+/// a best-effort inject. Returns the number of accepted events (0 if
+/// the graph was already reaped or the inject was refused).
+fn controller_tick(rt: &Runtime, id: hinch::GraphId) -> u64 {
+    match rt.stats(id) {
+        Ok(s) => {
+            assert!(
+                s.completed <= s.submitted,
+                "torn stats snapshot: completed {} > submitted {}",
+                s.completed,
+                s.submitted
+            );
+            assert_eq!(
+                s.inflight,
+                s.submitted - s.completed,
+                "torn stats snapshot: inflight disagrees with its counters"
+            );
+            u64::from(rt.inject(id, "mq", Event::new("flip")).is_ok())
+        }
+        // Governor reaped: the graph is gone, the tick holds.
+        Err(_) => 0,
+    }
+}
+
+/// An SLO decision racing `drain()`: the tick may observe the graph
+/// alive and inject into a tenant that is quiescing, mid-teardown, or
+/// already gone. Whatever interleaves, drain retires every accepted
+/// frame, the decision applies at most once, and teardown is clean.
+#[test]
+fn slo_tick_races_drain_without_deadlock_or_double_apply() {
+    let _serial = runtime_lock();
+    let cfg = Config::default().iterations(env_iters(96)).seed(0xADA7);
+    schedcheck::explore(&cfg, || {
+        let rt = Arc::new(Runtime::new(RuntimeConfig::new(1)));
+        let id = rt
+            .spawn(&managed_spec(), SpawnOpts::new("g").pipeline_depth(1))
+            .unwrap();
+        assert_eq!(rt.submit(id, 2).unwrap(), 2);
+        let controller = {
+            let rt = rt.clone();
+            schedcheck::sync::thread::spawn(move || controller_tick(&rt, id))
+        };
+        let stats = rt.drain(id).unwrap();
+        let accepted = controller.join().unwrap();
+        assert_eq!(stats.completed, 2, "drain retired every accepted frame");
+        assert!(
+            stats.reconfigs <= accepted,
+            "decision double-applied: {} reconfigs from {accepted} accepted event(s)",
+            stats.reconfigs
+        );
+        assert_eq!(rt.graph_count(), 0);
+        assert_eq!(rt.queued_jobs(), 0, "race left stranded jobs");
+        rt.shutdown();
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+/// A controller decision racing a wire `Inject` into the same manager
+/// queue while frames keep flowing: both events go through the same
+/// quiescent-point poll, each applies at most once, and the graph still
+/// drains to completion.
+#[test]
+fn slo_tick_races_wire_inject_and_submit_cleanly() {
+    let _serial = runtime_lock();
+    let cfg = Config::default().iterations(env_iters(96)).seed(0xADA8);
+    schedcheck::explore(&cfg, || {
+        let rt = Arc::new(Runtime::new(RuntimeConfig::new(1)));
+        let id = rt
+            .spawn(&managed_spec(), SpawnOpts::new("g").pipeline_depth(1))
+            .unwrap();
+        assert_eq!(rt.submit(id, 1).unwrap(), 1);
+        let controller = {
+            let rt = rt.clone();
+            schedcheck::sync::thread::spawn(move || controller_tick(&rt, id))
+        };
+        let wire = {
+            let rt = rt.clone();
+            schedcheck::sync::thread::spawn(move || {
+                u64::from(rt.inject(id, "mq", Event::new("flip")).is_ok())
+            })
+        };
+        // The second frame's manager entry may poll zero, one or both
+        // events — every outcome must stay single-apply-per-event.
+        assert_eq!(rt.submit(id, 1).unwrap(), 1);
+        let accepted = controller.join().unwrap() + wire.join().unwrap();
+        let stats = rt.drain(id).unwrap();
+        assert_eq!(stats.completed, 2, "drain retired every accepted frame");
+        assert!(
+            stats.reconfigs <= accepted,
+            "events double-applied: {} reconfigs from {accepted} accepted event(s)",
+            stats.reconfigs
+        );
+        assert_eq!(rt.graph_count(), 0);
+        assert_eq!(rt.queued_jobs(), 0, "race left stranded jobs");
+        rt.shutdown();
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}

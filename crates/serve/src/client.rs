@@ -165,6 +165,38 @@ impl Client {
         Ok(String::from_utf8_lossy(&payload).into_owned())
     }
 
+    /// Attach (or replace) a latency SLO policy on a graph: the server's
+    /// closed-loop controller then holds the objective by toggling the
+    /// app's quality option at the graph's quiescent points. Returns the
+    /// attach summary (initial config, candidate count) as a JSON string.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attach_slo(
+        &mut self,
+        graph: u32,
+        target_p99_ns: u64,
+        low_watermark: f64,
+        cooldown_ticks: u32,
+        min_samples: u64,
+        max_backlog: u64,
+    ) -> Result<String, ClientError> {
+        let payload = self.request(&Request::AttachSlo {
+            graph,
+            target_p99_ns,
+            low_watermark_bits: low_watermark.to_bits(),
+            cooldown_ticks,
+            min_samples,
+            max_backlog,
+        })?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+
+    /// Detach the SLO policy from a graph; returns the controller's final
+    /// decision counters as a JSON string.
+    pub fn detach_slo(&mut self, graph: u32) -> Result<String, ClientError> {
+        let payload = self.request(&Request::DetachSlo { graph })?;
+        Ok(String::from_utf8_lossy(&payload).into_owned())
+    }
+
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Ping)?;
         Ok(())

@@ -23,14 +23,14 @@ pub mod telemetry;
 
 pub use client::{Client, ClientError};
 pub use load::{
-    run_open_loop, run_saturated, run_telemetry_probe, Burst, LoadConfig, LoadReport,
-    SaturatedReport, TelemetryProbe,
+    run_burst_replay, run_open_loop, run_saturated, run_telemetry_probe, Burst, LoadConfig,
+    LoadReport, ReplayConfig, ReplayReport, SaturatedReport, TelemetryProbe,
 };
 pub use protocol::{Request, Response, WireDiagnostic, ALL_GRAPHS, MAX_FRAME};
 pub use server::{stats_json, Server, ServerConfig};
 pub use telemetry::{
-    prometheus_text, render_top, telemetry_json, validate_prometheus, Telemetry, FORMAT_JSON,
-    FORMAT_PROMETHEUS, FORMAT_TABLE,
+    prometheus_text, render_top, telemetry_json, validate_prometheus, AdaptStatus, Telemetry,
+    FORMAT_JSON, FORMAT_PROMETHEUS, FORMAT_TABLE,
 };
 
 #[cfg(test)]
@@ -151,6 +151,101 @@ mod tests {
         assert_eq!(c.submit(g, 1).expect("submit"), 1);
         c.drain(g).expect("drain");
         c.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+    }
+
+    /// The closed-loop SLO plane, end-to-end over real sockets: attach a
+    /// policy whose target no real graph can meet (1 ns p99), watch the
+    /// collector-driven controller degrade quality, see the decision in
+    /// both telemetry exports, and detach with the final counters. Also
+    /// covers the refusal paths: unknown graph, non-reconfigurable app,
+    /// detach without attach.
+    #[test]
+    fn slo_policy_attaches_and_decides_over_the_wire() {
+        let server = Server::bind(
+            ServerConfig {
+                workers: 2,
+                scale: Scale::Small,
+            },
+            "127.0.0.1:0",
+            None,
+        )
+        .expect("bind");
+        let addr = server.tcp_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+        let mut c = Client::connect(addr).expect("connect");
+
+        // Refusals: no such graph; an app without a quality option.
+        assert!(matches!(
+            c.attach_slo(99, 1_000, 0.5, 0, 1, 1 << 30),
+            Err(ClientError::Server(_))
+        ));
+        let static_g = c.spawn("pip1", 1, 8).expect("spawn pip1");
+        match c.attach_slo(static_g, 1_000, 0.5, 0, 1, 1 << 30) {
+            Err(ClientError::Server(msg)) => assert!(msg.contains("quality option"), "{msg}"),
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+        assert!(matches!(
+            c.detach_slo(static_g),
+            Err(ClientError::Server(_))
+        ));
+        c.drain(static_g).expect("drain pip1");
+
+        // blur35 carries a set-style quality option (kernel size over
+        // queue "mq"). A 1 ns target overloads on the first populated
+        // window, so the controller must degrade.
+        let g = c.spawn("blur35", 2, 1 << 20).expect("spawn blur35");
+        let attached = c.attach_slo(g, 1, 0.5, 0, 1, 1 << 30).expect("attach slo");
+        assert!(attached.contains("\"app\":\"blur35\""), "{attached}");
+        assert!(attached.contains("\"config\":\"full/"), "{attached}");
+        // Re-attach replaces the governor rather than erroring.
+        c.attach_slo(g, 1, 0.5, 0, 1, 1 << 30).expect("re-attach");
+
+        // Keep windows populated until the controller toggles (the
+        // collector ticks every 250 ms; allow a generous deadline).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let mut submitted = 0u64;
+        let decided = loop {
+            submitted += c.submit(g, 4).expect("submit");
+            let tj = c.telemetry(FORMAT_JSON).expect("telemetry json");
+            assert!(tj.contains("\"adapt\":[{"), "{tj}");
+            // The toggle *counter* is monotone; `last_action` is
+            // overwritten by the holds that follow, so don't race it.
+            if tj.contains("\"toggle\":1") {
+                break tj;
+            }
+            if std::time::Instant::now() > deadline {
+                panic!("controller never toggled: {tj}");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        };
+        assert!(decided.contains("\"app\":\"blur35\""), "{decided}");
+        assert!(decided.contains("\"full_quality\":false"), "{decided}");
+
+        // The same decision in the Prometheus exposition, and the body
+        // still validates.
+        let prom = c.telemetry(FORMAT_PROMETHEUS).expect("telemetry prom");
+        validate_prometheus(&prom).expect("valid exposition");
+        assert!(prom.contains("hinch_adapt_target_p99_ns{graph="), "{prom}");
+        assert!(
+            prom.contains("action=\"toggle\"} 1"),
+            "one toggle so far:\n{prom}"
+        );
+
+        // Detach reports the final counters; a second detach is an error.
+        let detached = c.detach_slo(g).expect("detach");
+        assert!(detached.contains("\"toggle\":1"), "{detached}");
+        assert!(matches!(c.detach_slo(g), Err(ClientError::Server(_))));
+        let after = c.telemetry(FORMAT_JSON).expect("telemetry json");
+        assert!(after.contains("\"adapt\":[]"), "{after}");
+
+        let drained = c.drain(g).expect("drain");
+        assert!(
+            drained.contains(&format!("\"completed\":{submitted}")),
+            "{drained}"
+        );
+        c.shutdown().expect("shutdown");
+        drop(c);
         handle.join().expect("server thread");
     }
 

@@ -24,10 +24,13 @@
 //!   throughput (in practice it wins: N small graphs interleave across
 //!   workers better than one).
 
-use apps::experiment::{build_isolated, App, AppConfig, Scale};
+use adapt::{run_scenario, Action, Quality, ScenarioReport, ScenarioSpec};
+use apps::experiment::{
+    build_isolated, build_isolated_adaptive, reconfig_handle, App, AppConfig, Built, Scale,
+};
 use hinch::engine::{run_native, RunConfig, DEFAULT_RING_CAPACITY};
 use hinch::trace::metrics::{LogHistogram, LOG_BUCKETS};
-use hinch::{GraphId, GraphStats, Runtime, RuntimeConfig, SpawnOpts};
+use hinch::{Event, GraphId, GraphStats, Runtime, RuntimeConfig, SpawnOpts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -150,12 +153,38 @@ fn exp_interval(rng: &mut StdRng, rate: f64) -> Duration {
     Duration::from_secs_f64((-u.ln() / rate).min(1.0))
 }
 
+/// The complete arrival schedule of an open-loop run — `(offset from
+/// start, target graph index)` pairs — as a pure function of the config.
+///
+/// Burst windows are gated on the *scheduled virtual time*, not the wall
+/// clock at emission: pacing jitter (a slow submit, a descheduled
+/// generator thread) must not change which arrivals land inside a burst,
+/// or replay files would differ run to run with the same seed.
+pub fn arrival_schedule(cfg: &LoadConfig) -> Vec<(Duration, usize)> {
+    assert!(cfg.graphs > 0 && cfg.rate_fps > 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut t = Duration::ZERO;
+    let mut out = Vec::new();
+    loop {
+        let rate = match cfg.burst {
+            Some(b) if t.as_nanos() % b.period.as_nanos() < b.len.as_nanos() => {
+                cfg.rate_fps * b.factor
+            }
+            _ => cfg.rate_fps,
+        };
+        t += exp_interval(&mut rng, rate);
+        if t >= cfg.duration {
+            return out;
+        }
+        out.push((t, rng.gen_range(0..cfg.graphs)));
+    }
+}
+
 /// Run the open-loop harness: spawn the fleet, emit Poisson arrivals for
 /// `cfg.duration`, drain everything, aggregate.
 pub fn run_open_loop(cfg: &LoadConfig) -> LoadReport {
     assert!(cfg.graphs > 0 && !cfg.mix.is_empty() && cfg.rate_fps > 0.0);
     let runtime = Runtime::new(RuntimeConfig::new(cfg.workers).ring_capacity(cfg.ring_capacity));
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Fleet: instances cycle over the app mix.
     let ids: Vec<GraphId> = (0..cfg.graphs)
@@ -177,28 +206,22 @@ pub fn run_open_loop(cfg: &LoadConfig) -> LoadReport {
         })
         .collect();
 
+    // The schedule is precomputed — arrival times, burst windows and
+    // targets are all captured by the seed; the loop below only paces it
+    // against the wall clock. An arrival whose time already passed fires
+    // immediately: open loop means arrivals never wait for the system.
+    let schedule = arrival_schedule(cfg);
     let start = Instant::now();
     let mut offered = 0u64;
     let mut accepted = 0u64;
-    let mut next_arrival = start;
-    while start.elapsed() < cfg.duration {
+    for &(at, target) in &schedule {
+        let due = start + at;
         let now = Instant::now();
-        if now < next_arrival {
-            std::thread::sleep(next_arrival - now);
+        if due > now {
+            std::thread::sleep(due - now);
         }
-        // Open loop: arrivals never wait for the system. If we fell
-        // behind the schedule, the backlog of arrivals fires immediately
-        // (that's what "offered load" means).
-        let rate = match cfg.burst {
-            Some(b) if start.elapsed().as_nanos() % b.period.as_nanos() < b.len.as_nanos() => {
-                cfg.rate_fps * b.factor
-            }
-            _ => cfg.rate_fps,
-        };
-        next_arrival += exp_interval(&mut rng, rate);
-        let target = ids[rng.gen_range(0..ids.len())];
         offered += 1;
-        accepted += runtime.submit(target, 1).expect("fleet submit");
+        accepted += runtime.submit(ids[target], 1).expect("fleet submit");
     }
 
     let mut per_graph: Vec<GraphStats> = ids
@@ -402,6 +425,215 @@ pub fn run_telemetry_probe(
     }
 }
 
+/// Configuration of the real-runtime burst-replay harness.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    pub scenario: ScenarioSpec,
+    /// Worker threads of the runtime executing the replay.
+    pub workers: usize,
+    /// Cap on real frames executed: the virtual scenario's arrival count
+    /// can exceed a test budget; decisions past the cap are not replayed.
+    pub max_frames: u64,
+}
+
+impl ReplayConfig {
+    pub fn small(app: App, seed: u64) -> Self {
+        Self {
+            scenario: ScenarioSpec::small(app, seed),
+            workers: 2,
+            max_frames: 60,
+        }
+    }
+}
+
+/// Result of re-executing a scenario's decision schedule on the real
+/// runtime (quality toggles via `Runtime::inject`, resizes / depth steps
+/// via drain + respawn).
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// The virtual-time scenario whose decisions were replayed (carries
+    /// the deadline-miss accounting and the replay log).
+    pub scenario: ScenarioReport,
+    /// Real frames executed (≤ the scenario's arrival count).
+    pub frames: u64,
+    /// Quality-toggle events injected into the live graph.
+    pub toggles: u64,
+    /// Drain + respawn rebuilds (slice resize or depth step).
+    pub rebuilds: u64,
+    /// Reconfigurations the runtime observed across all incarnations.
+    pub reconfigs: u64,
+    /// FNV-1a/64 over every captured output frame, per incarnation in
+    /// retirement order — byte-determinism fingerprint of the replay.
+    pub output_digest: String,
+    pub completed: u64,
+    pub latency_p99_ns: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv_bytes(h, &v.to_le_bytes())
+}
+
+/// Fold one incarnation's captured outputs into the digest (structure
+/// before content, so a missing frame can never alias a shifted one).
+fn fold_outputs(mut h: u64, built: &Built) -> u64 {
+    h = fnv_u64(h, built.capture_ports as u64);
+    for p in 0..built.capture_ports {
+        let frames = built.assets.captured(built.capture, p);
+        h = fnv_u64(h, frames.len() as u64);
+        for f in &frames {
+            h = fnv_u64(h, f.len() as u64);
+            h = fnv_bytes(h, f);
+        }
+    }
+    h
+}
+
+fn wait_quiescent(rt: &Runtime, id: GraphId) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = rt.stats(id).expect("replay stats");
+        if s.inflight == 0 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "replay never quiesced: {s:?}");
+        std::thread::yield_now();
+    }
+}
+
+/// Replay the scenario's decision schedule against the real runtime.
+///
+/// The graph is drip-fed in segments bounded by the scenario's decision
+/// points (`after_frames`); at each boundary the harness waits for
+/// quiescence, then actuates exactly what the controller decided: a
+/// quality toggle becomes a manager-queue event (the graph keeps
+/// running), a resize or depth step becomes a drain + respawn at the new
+/// configuration. Because every actuation lands at a quiescent,
+/// frame-exact boundary, the captured outputs — and hence
+/// `output_digest` — are a pure function of the scenario spec.
+pub fn run_burst_replay(cfg: &ReplayConfig) -> ReplayReport {
+    let scenario = run_scenario(&cfg.scenario);
+    let frames = scenario.arrivals.min(cfg.max_frames);
+    let app = cfg.scenario.app;
+    let handle = reconfig_handle(app);
+
+    let runtime = Runtime::new(RuntimeConfig::new(cfg.workers));
+    let spawn = |slices: usize, depth: usize| -> (Built, GraphId) {
+        let built = build_isolated_adaptive(
+            AppConfig {
+                app,
+                scale: cfg.scenario.scale,
+                frames: 0,
+            },
+            Some(slices),
+        );
+        let id = runtime
+            .spawn(
+                &built.spec,
+                SpawnOpts::new(app.id())
+                    .pipeline_depth(depth)
+                    .max_backlog(frames.max(1)),
+            )
+            .expect("spawn replay graph");
+        (built, id)
+    };
+    // Reconfig graphs spawn degraded (second picture disabled / 3×3
+    // kernel); one idempotent event brings a fresh incarnation to the
+    // wanted quality before any frame flows.
+    let sync_quality = |id: GraphId, live: &mut Quality, want: Quality| {
+        if let Some(h) = handle {
+            if *live != want {
+                let payload = match want {
+                    Quality::Full => h.full_payload,
+                    Quality::Degraded => h.degraded_payload,
+                };
+                runtime
+                    .inject(id, h.queue, Event::with_payload(h.event, payload))
+                    .expect("replay inject");
+                *live = want;
+            }
+        }
+    };
+
+    let mut current = scenario.initial;
+    let (mut built, mut id) = spawn(current.slices, current.pipeline_depth);
+    let mut live_quality = Quality::Degraded;
+    sync_quality(id, &mut live_quality, current.quality);
+
+    let mut toggles = 0u64;
+    let mut rebuilds = 0u64;
+    let mut reconfigs = 0u64;
+    let mut completed = 0u64;
+    let mut digest = FNV_OFFSET;
+    let mut retired: Vec<GraphStats> = Vec::new();
+    let mut done = 0u64;
+
+    for d in scenario
+        .decisions
+        .iter()
+        .filter(|d| d.after_frames < frames)
+    {
+        if d.after_frames > done {
+            let n = d.after_frames - done;
+            assert_eq!(runtime.submit(id, n).expect("replay submit"), n);
+            done = d.after_frames;
+        }
+        wait_quiescent(&runtime, id);
+        match d.action {
+            Action::Hold => {}
+            // The next rebuild's `config_after` carries the cumulative
+            // quality, so toggles don't need to update `current`.
+            Action::Toggle { to } => {
+                sync_quality(id, &mut live_quality, to);
+                toggles += 1;
+            }
+            Action::Resize { .. } | Action::StepDepth { .. } => {
+                current = d.config_after;
+                let stats = runtime.drain(id).expect("replay drain");
+                reconfigs += stats.reconfigs;
+                completed += stats.completed;
+                digest = fold_outputs(digest, &built);
+                retired.push(stats);
+                rebuilds += 1;
+                (built, id) = spawn(current.slices, current.pipeline_depth);
+                live_quality = Quality::Degraded;
+                sync_quality(id, &mut live_quality, current.quality);
+            }
+        }
+    }
+    if frames > done {
+        let n = frames - done;
+        assert_eq!(runtime.submit(id, n).expect("replay submit"), n);
+    }
+    let stats = runtime.drain(id).expect("replay drain");
+    reconfigs += stats.reconfigs;
+    completed += stats.completed;
+    digest = fold_outputs(digest, &built);
+    retired.push(stats);
+    runtime.shutdown();
+
+    let (_, _, latency_p99_ns) = merge_latencies(&retired);
+    ReplayReport {
+        scenario,
+        frames,
+        toggles,
+        rebuilds,
+        reconfigs,
+        output_digest: format!("{digest:016x}"),
+        completed,
+        latency_p99_ns,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,29 +664,91 @@ mod tests {
 
     #[test]
     fn open_loop_is_seed_reproducible_in_offered_schedule() {
-        // The arrival schedule (offered count) is a pure function of the
-        // seed and clock pacing; acceptance depends on scheduling, so
-        // only the generator side is asserted.
+        // The arrival schedule is a pure function of the config (burst
+        // windows gate on scheduled virtual time, not the wall clock), so
+        // the offered count is *exactly* reproducible; acceptance depends
+        // on scheduling, so only the generator side is asserted.
         let cfg = LoadConfig {
             graphs: 2,
             workers: 2,
             mix: vec![App::Pip1],
             rate_fps: 500.0,
             duration: Duration::from_millis(200),
-            burst: None,
             ..LoadConfig::default()
         };
         let a = run_open_loop(&cfg);
         let b = run_open_loop(&cfg);
-        // Same seed, same duration, same rate: offered counts land close
-        // (wall-clock pacing wobbles, the schedule does not).
-        let (lo, hi) = (a.offered.min(b.offered), a.offered.max(b.offered));
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.offered, arrival_schedule(&cfg).len() as u64);
+    }
+
+    #[test]
+    fn arrival_schedule_is_pure_and_burst_sensitive() {
+        let cfg = LoadConfig {
+            rate_fps: 5_000.0,
+            duration: Duration::from_secs(1),
+            ..LoadConfig::default()
+        };
+        assert_eq!(arrival_schedule(&cfg), arrival_schedule(&cfg));
+        // Bursts raise the rate, so dropping them must lower the count.
+        let flat = LoadConfig {
+            burst: None,
+            ..cfg.clone()
+        };
         assert!(
-            hi - lo <= hi / 2 + 10,
-            "offered drifted: {} vs {}",
-            a.offered,
-            b.offered
+            arrival_schedule(&cfg).len() > arrival_schedule(&flat).len(),
+            "burst windows must add arrivals"
         );
+        // Every target index is in range; times are non-decreasing.
+        let sched = arrival_schedule(&cfg);
+        for w in sched.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(sched.iter().all(|&(_, g)| g < cfg.graphs));
+    }
+
+    #[test]
+    fn burst_replay_executes_decision_schedule() {
+        let cfg = ReplayConfig::small(App::Pip12, 42);
+        let r = run_burst_replay(&cfg);
+        assert_eq!(r.completed, r.frames);
+        assert!(
+            r.toggles + r.rebuilds > 0,
+            "the bursty scenario must actuate within the replayed prefix"
+        );
+        // Every injected toggle reaches the graph as a reconfiguration;
+        // the parked in-graph injector contributes none, and each
+        // incarnation adds at most one quality-sync event.
+        assert!(
+            r.reconfigs >= r.toggles && r.reconfigs <= r.toggles + r.rebuilds + 1,
+            "reconfigs {} outside [{}, {}]",
+            r.reconfigs,
+            r.toggles,
+            r.toggles + r.rebuilds + 1
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+
+        // Satellite: the end-to-end burst replay is byte-deterministic —
+        // same seed, same decision schedule, same captured output bytes.
+        #[test]
+        fn burst_replay_is_byte_deterministic(seed in 0u64..1 << 32) {
+            use proptest::prelude::prop_assert_eq;
+            let mut cfg = ReplayConfig::small(App::Pip12, seed);
+            cfg.max_frames = 36;
+            let a = run_burst_replay(&cfg);
+            let b = run_burst_replay(&cfg);
+            prop_assert_eq!(&a.output_digest, &b.output_digest);
+            prop_assert_eq!(a.toggles, b.toggles);
+            prop_assert_eq!(a.rebuilds, b.rebuilds);
+            prop_assert_eq!(a.completed, b.completed);
+            prop_assert_eq!(
+                a.scenario.render_replay(),
+                b.scenario.render_replay()
+            );
+        }
     }
 
     #[test]

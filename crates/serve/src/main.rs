@@ -9,13 +9,21 @@
 //! hinch-serve bench  [--json BENCH_serve.json] [--graphs N] [--duration-ms MS]
 //! hinch-serve top    [--addr 127.0.0.1:7070] [--once] [--interval-ms MS] [--count N]
 //! hinch-serve smoke  [--frames N]
+//! hinch-serve scenario [--app pip12] [--seed S] [--stepped] [--execute] [--max-frames N]
 //! ```
 //!
 //! * `serve` — run the front-end until a `Shutdown` request arrives;
 //! * `load` — in-process open-loop load run, report as JSON;
 //! * `bench` — the `BENCH_serve.json` producer: open-loop fleet run, the
-//!   saturated multi-vs-solo throughput probe, and the flight-recorder
-//!   overhead A/B (all gated in `scripts/bench.sh`);
+//!   saturated multi-vs-solo throughput probe, the flight-recorder
+//!   overhead A/B, and the closed-loop SLO scenario sweep (all gated in
+//!   `scripts/bench.sh`);
+//! * `scenario` — the seeded bursty-replay scenario (`crates/adapt`):
+//!   prints the deterministic replay log (decision schedule, static
+//!   sweep, adaptive-vs-best-static verdict); `--execute` additionally
+//!   re-executes the decision schedule on the real runtime and prints
+//!   the output digest. Byte-identical across runs of the same seed —
+//!   `scripts/ci.sh` diffs two runs;
 //! * `top` — live rolling-window view of a running server (throughput,
 //!   p50/p99, backlog, dominant stall per graph), rendered server-side
 //!   from the flight recorder; `--once` prints one snapshot and exits
@@ -27,8 +35,8 @@
 
 use apps::experiment::{App, Scale};
 use serve::load::{
-    run_open_loop, run_saturated, run_telemetry_probe, LoadConfig, LoadReport, SaturatedReport,
-    TelemetryProbe,
+    run_burst_replay, run_open_loop, run_saturated, run_telemetry_probe, LoadConfig, LoadReport,
+    ReplayConfig, SaturatedReport, TelemetryProbe,
 };
 use serve::{Client, Server, ServerConfig, FORMAT_JSON, FORMAT_PROMETHEUS, FORMAT_TABLE};
 use std::fmt::Write as _;
@@ -43,7 +51,9 @@ fn usage() -> ExitCode {
          \x20                        [--no-burst] [--json PATH]\n\
          \x20      hinch-serve bench [--json PATH] [--graphs N] [--duration-ms MS]\n\
          \x20      hinch-serve top   [--addr A] [--once] [--interval-ms MS] [--count N]\n\
-         \x20      hinch-serve smoke [--frames N]"
+         \x20      hinch-serve smoke [--frames N]\n\
+         \x20      hinch-serve scenario [--app pip12] [--seed S] [--stepped] [--execute]\n\
+         \x20                        [--max-frames N]"
     );
     ExitCode::from(2)
 }
@@ -266,6 +276,24 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         tel.on_fps, tel.off_fps, tel.ratio
     );
 
+    // Closed-loop SLO controller vs the best static configuration: the
+    // seeded bursty-replay scenario, one per reconfigurable app. Fully
+    // deterministic (virtual time); gated adaptive <= best-static in
+    // scripts/bench.sh.
+    let mut adapt_rows = Vec::new();
+    for app in App::RECONFIG {
+        let r = adapt::run_scenario(&adapt::ScenarioSpec::small(app, 42));
+        let best = r.best_static();
+        eprintln!(
+            "bench serve: adapt — {} adaptive miss rate {:.4} vs best static {} {:.4}",
+            app.id(),
+            r.adaptive.miss_rate,
+            best.config.label(),
+            best.miss_rate
+        );
+        adapt_rows.push(adapt_scenario_json(&r));
+    }
+
     let mut json = String::from("{\n");
     json.push_str("    \"generated_by\": \"hinch-serve bench\",\n");
     json.push_str(
@@ -273,14 +301,87 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
          open_loop = seeded Poisson arrivals over a mixed-app fleet with per-tenant admission \
          control; saturated = N instances on one shared pool vs the same N as dedicated \
          back-to-back single-graph runs; telemetry = the same saturated workload with the \
-         flight recorder on vs off (ratio >= 0.97 means always-on telemetry costs <= 3%)\",\n",
+         flight recorder on vs off (ratio >= 0.97 means always-on telemetry costs <= 3%); \
+         adapt = the deterministic seeded bursty-replay scenario per reconfigurable app \
+         (deadline-miss rate, closed-loop controller vs the best static configuration)\",\n",
     );
     let _ = writeln!(json, "    \"open_loop\": {},", load_json(&open, &cfg));
     let _ = writeln!(json, "    \"saturated\": {},", saturated_json(&sat, app));
-    let _ = writeln!(json, "    \"telemetry\": {}", telemetry_probe_json(&tel));
+    let _ = writeln!(json, "    \"telemetry\": {},", telemetry_probe_json(&tel));
+    let _ = writeln!(json, "    \"adapt\": [{}]", adapt_rows.join(", "));
     json.push_str("}\n");
     std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("bench serve: wrote {out}");
+    Ok(())
+}
+
+fn adapt_scenario_json(r: &adapt::ScenarioReport) -> String {
+    let best = r.best_static();
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "        \"app\": \"{}\",", r.spec.app.id());
+    let _ = writeln!(j, "        \"seed\": {},", r.spec.seed);
+    let _ = writeln!(j, "        \"frames\": {},", r.spec.frames);
+    let _ = writeln!(j, "        \"deadline_cycles\": {:.1},", r.deadline);
+    let _ = writeln!(j, "        \"initial\": \"{}\",", r.initial.label());
+    let _ = writeln!(j, "        \"adaptive_misses\": {},", r.adaptive.misses);
+    let _ = writeln!(
+        j,
+        "        \"adaptive_miss_rate\": {:.4},",
+        r.adaptive.miss_rate
+    );
+    let _ = writeln!(
+        j,
+        "        \"degraded_frames\": {},",
+        r.adaptive.degraded_frames
+    );
+    let _ = writeln!(j, "        \"toggles\": {},", r.adaptive.counters.toggle);
+    let _ = writeln!(j, "        \"resizes\": {},", r.adaptive.counters.resize);
+    let _ = writeln!(
+        j,
+        "        \"depth_steps\": {},",
+        r.adaptive.counters.step_depth
+    );
+    let _ = writeln!(j, "        \"best_static\": \"{}\",", best.config.label());
+    let _ = writeln!(j, "        \"best_static_misses\": {},", best.misses);
+    let _ = writeln!(
+        j,
+        "        \"best_static_miss_rate\": {:.4}",
+        best.miss_rate
+    );
+    j.push_str("    }");
+    j
+}
+
+/// The seeded bursty-replay scenario: print the deterministic replay
+/// log; with `--execute`, re-run the decision schedule on the real
+/// runtime and print the (deterministic) execution summary. ci.sh diffs
+/// two runs of this command byte-for-byte.
+fn cmd_scenario(args: &Args) -> Result<(), String> {
+    let app_id = args.get("--app").unwrap_or("pip12");
+    let app = App::parse(app_id).ok_or(format!("unknown app '{app_id}'"))?;
+    if !App::RECONFIG.contains(&app) {
+        return Err(format!("app '{app_id}' has no quality option to adapt"));
+    }
+    let seed: u64 = args.parse("--seed", 42u64)?;
+    let spec = if args.flag("--stepped") {
+        adapt::ScenarioSpec::stepped(app, seed)
+    } else {
+        adapt::ScenarioSpec::small(app, seed)
+    };
+    let report = adapt::run_scenario(&spec);
+    print!("{}", report.render_replay());
+    if args.flag("--execute") {
+        let mut cfg = ReplayConfig::small(app, seed);
+        cfg.scenario = spec;
+        cfg.max_frames = args.parse("--max-frames", cfg.max_frames)?;
+        let r = run_burst_replay(&cfg);
+        // Wall-clock latency is machine-dependent; print only the
+        // deterministic fields so the two-run diff stays meaningful.
+        println!(
+            "execute frames={} toggles={} rebuilds={} reconfigs={} completed={} digest={}",
+            r.frames, r.toggles, r.rebuilds, r.reconfigs, r.completed, r.output_digest
+        );
+    }
     Ok(())
 }
 
@@ -474,6 +575,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&args),
         "top" => cmd_top(&args),
         "smoke" => cmd_smoke(&args),
+        "scenario" => cmd_scenario(&args),
         _ => return usage(),
     };
     match result {

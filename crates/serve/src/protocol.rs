@@ -24,6 +24,8 @@
 //! | `0x07` Shutdown   | —                                         | — |
 //! | `0x08` SpawnXspcl | source `lstr` (u32 BE length), depth `u32`, max_backlog `u64` | graph id `u32` |
 //! | `0x09` Telemetry  | format `u8` (0 json, 1 prometheus, 2 table)  | rendered text |
+//! | `0x0A` AttachSlo  | graph `u32`, target_p99_ns `u64`, low_watermark `u64` (f64 bits), cooldown_ticks `u32`, min_samples `u64`, max_backlog `u64` | JSON `str` |
+//! | `0x0B` DetachSlo  | graph `u32`                               | JSON `str` |
 //!
 //! `Submit` is where admission control surfaces: the response carries how
 //! many of the offered frames the server *accepted* (possibly 0) — the
@@ -86,6 +88,26 @@ pub enum Request {
     /// FORMAT_TABLE}`), so clients stay parser-free.
     Telemetry {
         format: u8,
+    },
+    /// Attach (or replace) a latency SLO policy on a graph: the server's
+    /// closed-loop controller (`crates/adapt`) then watches the graph's
+    /// rolling telemetry windows and toggles its quality option to hold
+    /// the objective. `low_watermark` travels as raw `f64` bits so the
+    /// encoding is exact. Decisions surface in the `Telemetry` export
+    /// (`hinch_adapt_*`).
+    AttachSlo {
+        graph: u32,
+        target_p99_ns: u64,
+        /// `f64::to_bits` of the recovery watermark in (0, 1].
+        low_watermark_bits: u64,
+        cooldown_ticks: u32,
+        min_samples: u64,
+        max_backlog: u64,
+    },
+    /// Detach the SLO policy from a graph; the response carries the
+    /// controller's final decision counters as JSON.
+    DetachSlo {
+        graph: u32,
     },
 }
 
@@ -315,6 +337,26 @@ impl Request {
                 b.push(0x09);
                 b.push(*format);
             }
+            Request::AttachSlo {
+                graph,
+                target_p99_ns,
+                low_watermark_bits,
+                cooldown_ticks,
+                min_samples,
+                max_backlog,
+            } => {
+                b.push(0x0a);
+                b.extend_from_slice(&graph.to_be_bytes());
+                b.extend_from_slice(&target_p99_ns.to_be_bytes());
+                b.extend_from_slice(&low_watermark_bits.to_be_bytes());
+                b.extend_from_slice(&cooldown_ticks.to_be_bytes());
+                b.extend_from_slice(&min_samples.to_be_bytes());
+                b.extend_from_slice(&max_backlog.to_be_bytes());
+            }
+            Request::DetachSlo { graph } => {
+                b.push(0x0b);
+                b.extend_from_slice(&graph.to_be_bytes());
+            }
         }
         Ok(b)
     }
@@ -347,6 +389,15 @@ impl Request {
                 max_backlog: c.u64()?,
             },
             0x09 => Request::Telemetry { format: c.u8()? },
+            0x0a => Request::AttachSlo {
+                graph: c.u32()?,
+                target_p99_ns: c.u64()?,
+                low_watermark_bits: c.u64()?,
+                cooldown_ticks: c.u32()?,
+                min_samples: c.u64()?,
+                max_backlog: c.u64()?,
+            },
+            0x0b => Request::DetachSlo { graph: c.u32()? },
             op => return Err(bad(format!("unknown opcode 0x{op:02x}"))),
         };
         c.done()?;
@@ -444,6 +495,15 @@ mod tests {
                 max_backlog: 8,
             },
             Request::Telemetry { format: 1 },
+            Request::AttachSlo {
+                graph: 4,
+                target_p99_ns: 2_000_000,
+                low_watermark_bits: 0.5f64.to_bits(),
+                cooldown_ticks: 2,
+                min_samples: 4,
+                max_backlog: 16,
+            },
+            Request::DetachSlo { graph: 4 },
         ];
         for req in reqs {
             let decoded = Request::decode(&req.encode().unwrap()).unwrap();
@@ -574,6 +634,16 @@ mod tests {
                 source: "<application name=\"x\"/>".into(),
                 pipeline_depth: 1,
                 max_backlog: 4,
+            }
+            .encode()
+            .unwrap(),
+            Request::AttachSlo {
+                graph: 0,
+                target_p99_ns: 1_000_000,
+                low_watermark_bits: 0.4f64.to_bits(),
+                cooldown_ticks: 1,
+                min_samples: 2,
+                max_backlog: 8,
             }
             .encode()
             .unwrap(),

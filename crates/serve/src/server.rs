@@ -18,15 +18,21 @@ use crate::protocol::{
     write_frame, Request, Response, WireDiagnostic, ALL_GRAPHS, MAX_FRAME, SEVERITY_ERROR,
     SEVERITY_WARNING,
 };
-use crate::telemetry::{self, Telemetry};
+use crate::telemetry::{self, AdaptStatus, Telemetry};
+use adapt::{
+    Action, CandidateConfig, Controller, Decision, Lattice, Planner, Quality, SloPolicy, WindowObs,
+};
 use analyze::{AnalyzeOptions, Diagnostics, Severity};
-use apps::experiment::{build_isolated, App, AppConfig, Scale};
+use apps::experiment::{
+    build_isolated, default_slices, reconfig_handle, App, AppConfig, ReconfigHandle, Scale,
+};
 use apps::registry::{registry, AppAssets};
 use hinch::{Event, GraphId, GraphStats, Runtime, RuntimeConfig, ServeError, SpawnOpts};
+use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Read-timeout granularity on accepted frame-protocol streams: how
@@ -125,13 +131,35 @@ fn admit(diags: &Diagnostics) -> Result<(), Refusal> {
     }
 }
 
+/// One graph's closed-loop SLO governor: the `crates/adapt` controller
+/// plus the app's external-reconfiguration handle and the last decision,
+/// for telemetry exposition.
+///
+/// The live controller holds *quality-only* authority: its candidate
+/// lattice is pinned to the graph's spawned slice count and depth, so
+/// every relief/recovery move is a quality toggle — actuated as a
+/// manager-queue event via [`Runtime::inject`], which the graph applies
+/// at its next quiescent point. Slice / depth moves need a drain +
+/// respawn (a new graph id) and live in the scenario harness
+/// (`adapt::scenario`, `serve::load::run_burst_replay`) instead.
+struct SloGov {
+    app: App,
+    controller: Controller,
+    handle: ReconfigHandle,
+    last: Option<Decision>,
+}
+
 /// The shared server state handler threads operate on.
 pub(crate) struct Inner {
     pub(crate) runtime: Runtime,
     pub(crate) scale: Scale,
+    workers: usize,
     pub(crate) stop: AtomicBool,
     /// Live-telemetry state: flight-recorder cursors + windowed analyzer.
     pub(crate) telemetry: Telemetry,
+    /// Attached SLO governors, keyed by graph id. Ticked by the
+    /// collector thread after each telemetry sample.
+    adapt: Mutex<HashMap<u32, SloGov>>,
 }
 
 impl Inner {
@@ -220,6 +248,24 @@ impl Inner {
                     .map(|stats| stats_json(&stats).into_bytes()),
             ),
             Request::Telemetry { format } => Ok(self.telemetry_payload(format)?.into_bytes()),
+            Request::AttachSlo {
+                graph,
+                target_p99_ns,
+                low_watermark_bits,
+                cooldown_ticks,
+                min_samples,
+                max_backlog,
+            } => self.attach_slo(
+                graph,
+                SloPolicy {
+                    target_p99_ns,
+                    low_watermark: f64::from_bits(low_watermark_bits),
+                    cooldown_ticks,
+                    min_samples,
+                    max_backlog,
+                },
+            ),
+            Request::DetachSlo { graph } => self.detach_slo(graph),
             Request::Ping => Ok(Vec::new()),
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);
@@ -236,14 +282,178 @@ impl Inner {
         let live = self.telemetry.summary();
         let pool = self.runtime.telemetry();
         let stats = self.runtime.all_stats();
+        let adapt = self.adapt_status();
         match format {
-            telemetry::FORMAT_JSON => Ok(telemetry::telemetry_json(&pool, &stats, &live)),
-            telemetry::FORMAT_PROMETHEUS => Ok(telemetry::prometheus_text(&pool, &stats, &live)),
+            telemetry::FORMAT_JSON => Ok(telemetry::telemetry_json(&pool, &stats, &live, &adapt)),
+            telemetry::FORMAT_PROMETHEUS => {
+                Ok(telemetry::prometheus_text(&pool, &stats, &live, &adapt))
+            }
             telemetry::FORMAT_TABLE => Ok(telemetry::render_top(&pool, &live)),
             other => Err(Refusal::Error(format!(
                 "unknown telemetry format {other} (0 json, 1 prometheus, 2 table)"
             ))),
         }
+    }
+
+    /// Attach (or replace) an SLO governor on a live graph. The graph
+    /// must run one of the corpus's *reconfigurable* apps — only they
+    /// carry a quality option the controller can actuate without a
+    /// drain. The candidate lattice is pinned to the app's default slice
+    /// count at depth 1 with an unbounded frame budget: the planner
+    /// still orders the quality modes by predicted period (that ordering
+    /// is what relief moves need), while absolute cycle budgets belong
+    /// to the virtual scenario harness where deadline and period share
+    /// units.
+    fn attach_slo(&self, graph: u32, policy: SloPolicy) -> Result<Vec<u8>, Refusal> {
+        let stats = self
+            .runtime
+            .stats(GraphId(graph))
+            .map_err(|e| Refusal::Error(e.to_string()))?;
+        let app = App::parse(&stats.label).ok_or_else(|| {
+            Refusal::Error(format!(
+                "graph {graph} runs '{}', which is not a corpus app",
+                stats.label
+            ))
+        })?;
+        let handle = reconfig_handle(app).ok_or_else(|| {
+            Refusal::Error(format!(
+                "app '{}' has no quality option to govern (reconfigurable: pip12, jpip12, blur35)",
+                app.id()
+            ))
+        })?;
+        policy.validate().map_err(Refusal::Error)?;
+        let target_p99_ns = policy.target_p99_ns;
+        let slices = default_slices(app, self.scale);
+        let lattice = Lattice {
+            slices: vec![slices],
+            depths: vec![1],
+        };
+        let rated = adapt::plan::rate_app(app, self.scale, &lattice, self.workers);
+        let candidates = rated.len();
+        let planner = Planner::new(rated, f64::MAX);
+        let initial = CandidateConfig {
+            quality: Quality::Full,
+            slices,
+            pipeline_depth: 1,
+        };
+        // Set-style handles are idempotent: sync the graph to the
+        // controller's optimistic initial quality so belief and graph
+        // state agree from the first tick. Toggle-style handles have no
+        // idempotent sync; the controller steers relatively.
+        if !handle.toggles {
+            let _ = self.runtime.inject(
+                GraphId(graph),
+                handle.queue,
+                Event::with_payload(handle.event, handle.full_payload),
+            );
+        }
+        let json = JsonObject::new()
+            .num("graph", graph)
+            .str("app", app.id())
+            .str("config", &initial.label())
+            .num("target_p99_ns", target_p99_ns)
+            .num("candidates", candidates as u64)
+            .build();
+        self.adapt.lock().unwrap().insert(
+            graph,
+            SloGov {
+                app,
+                controller: Controller::new(policy, planner, initial),
+                handle,
+                last: None,
+            },
+        );
+        Ok(json.into_bytes())
+    }
+
+    /// Detach a graph's SLO governor; reports its final counters.
+    fn detach_slo(&self, graph: u32) -> Result<Vec<u8>, Refusal> {
+        let gov =
+            self.adapt.lock().unwrap().remove(&graph).ok_or_else(|| {
+                Refusal::Error(format!("no SLO policy attached to graph {graph}"))
+            })?;
+        let c = gov.controller.counters();
+        Ok(JsonObject::new()
+            .num("graph", graph)
+            .str("app", gov.app.id())
+            .num("ticks", gov.controller.ticks())
+            .num("hold", c.hold)
+            .num("toggle", c.toggle)
+            .num("resize", c.resize)
+            .num("step_depth", c.step_depth)
+            .build()
+            .into_bytes())
+    }
+
+    /// One controller tick for every attached governor, fed from the
+    /// rolling telemetry window closed by the latest sample. Quality
+    /// toggles are actuated as manager-queue events ([`Runtime::inject`]
+    /// applies them at the graph's next quiescent point); governors
+    /// whose graph has been drained are reaped.
+    pub(crate) fn adapt_tick(&self) {
+        let mut govs = self.adapt.lock().unwrap();
+        if govs.is_empty() {
+            return;
+        }
+        govs.retain(|gid, _| self.runtime.stats(GraphId(*gid)).is_ok());
+        let live = self.telemetry.summary();
+        for (gid, gov) in govs.iter_mut() {
+            let Some(w) = live.graphs.iter().find(|g| g.graph == *gid) else {
+                continue; // no window yet (graph younger than a tick)
+            };
+            let d = gov.controller.observe(&WindowObs::from_window(w));
+            if let Action::Toggle { to } = d.action {
+                let payload = match to {
+                    Quality::Degraded => gov.handle.degraded_payload,
+                    Quality::Full => gov.handle.full_payload,
+                };
+                // A failed inject means the graph raced a drain; the
+                // governor is reaped on the next tick.
+                let _ = self.runtime.inject(
+                    GraphId(*gid),
+                    gov.handle.queue,
+                    Event::with_payload(gov.handle.event, payload),
+                );
+            }
+            gov.last = Some(d);
+        }
+    }
+
+    /// Snapshot every governor for the telemetry exporters, in graph-id
+    /// order (deterministic output for a fixed state).
+    fn adapt_status(&self) -> Vec<AdaptStatus> {
+        let govs = self.adapt.lock().unwrap();
+        let mut out: Vec<AdaptStatus> = govs
+            .iter()
+            .map(|(gid, gov)| {
+                let c = gov.controller.counters();
+                let cur = gov.controller.current();
+                AdaptStatus {
+                    graph: *gid,
+                    app: gov.app.id().to_string(),
+                    config: cur.label(),
+                    quality_full: cur.quality == Quality::Full,
+                    target_p99_ns: gov.controller.policy().target_p99_ns,
+                    ticks: gov.controller.ticks(),
+                    hold: c.hold,
+                    toggle: c.toggle,
+                    resize: c.resize,
+                    step_depth: c.step_depth,
+                    last_action: gov
+                        .last
+                        .as_ref()
+                        .map(|d| d.action.label().to_string())
+                        .unwrap_or_default(),
+                    last_reason: gov
+                        .last
+                        .as_ref()
+                        .map(|d| d.reason.to_string())
+                        .unwrap_or_default(),
+                }
+            })
+            .collect();
+        out.sort_by_key(|a| a.graph);
+        out
     }
 
     /// Instantiate and admit an analyzer-approved spec. Component
@@ -316,8 +526,10 @@ impl Server {
             inner: Arc::new(Inner {
                 runtime: Runtime::new(RuntimeConfig::new(cfg.workers)),
                 scale: cfg.scale,
+                workers: cfg.workers,
                 stop: AtomicBool::new(false),
                 telemetry: Telemetry::new(),
+                adapt: Mutex::new(HashMap::new()),
             }),
             tcp,
             http,
@@ -350,8 +562,10 @@ impl Server {
         }
         // Collector: drains the flight recorder and closes one analyzer
         // interval at a fixed cadence, so the rolling window advances
-        // even when nobody is scraping. Checks the stop flag every
-        // sleep slice, so shutdown joins promptly.
+        // even when nobody is scraping; each closed interval then feeds
+        // one observation window to every attached SLO governor
+        // (`adapt_tick`). Checks the stop flag every sleep slice, so
+        // shutdown joins promptly.
         {
             let inner = Arc::clone(&inner);
             joins.push(
@@ -361,6 +575,7 @@ impl Server {
                         while !inner.stop.load(Ordering::SeqCst) {
                             std::thread::sleep(COLLECT_INTERVAL);
                             inner.telemetry.sample(&inner.runtime);
+                            inner.adapt_tick();
                         }
                     })?,
             );

@@ -14,8 +14,11 @@
 //! * the renderers: [`prometheus_text`] (the HTTP `GET /metrics` body),
 //!   [`telemetry_json`] (the wire `Telemetry` opcode payload) and
 //!   [`render_top`] (the `hinch-serve top` table) are pure functions of
-//!   one `(PoolTelemetry, Vec<GraphStats>, LiveSummary)` snapshot, so
-//!   the three views can never disagree about what the pool is doing.
+//!   one `(PoolTelemetry, Vec<GraphStats>, LiveSummary, [AdaptStatus])`
+//!   snapshot, so the views can never disagree about what the pool is
+//!   doing. [`AdaptStatus`] carries the closed-loop SLO controllers'
+//!   state (`crates/adapt`, attached per graph over the wire), exported
+//!   as the `hinch_adapt_*` series.
 //!
 //! [`validate_prometheus`] is a small exposition-format checker (TYPE
 //! lines, sample syntax, cumulative histogram invariants) used by the
@@ -39,6 +42,33 @@ pub const FORMAT_TABLE: u8 = 2;
 
 /// How many closed intervals the rolling window spans.
 const WINDOW_TICKS: usize = 8;
+
+/// One attached SLO controller's state, snapshotted for the exporters:
+/// the policy target, the configuration the controller believes is in
+/// force, its decision counters and the last decision taken. Produced by
+/// the server from its `crates/adapt` governors; rendered as the
+/// `hinch_adapt_*` Prometheus families and the `"adapt"` JSON array.
+#[derive(Debug, Clone)]
+pub struct AdaptStatus {
+    pub graph: u32,
+    pub app: String,
+    /// `CandidateConfig::label()` of the config in force.
+    pub config: String,
+    /// `true` when the controller holds the app at full quality.
+    pub quality_full: bool,
+    pub target_p99_ns: u64,
+    /// Observation windows consumed.
+    pub ticks: u64,
+    pub hold: u64,
+    pub toggle: u64,
+    pub resize: u64,
+    pub step_depth: u64,
+    /// Action label of the most recent decision (`"hold"`, `"toggle"`,
+    /// ...), empty before the first tick.
+    pub last_action: String,
+    /// Reason of the most recent decision, empty before the first tick.
+    pub last_reason: String,
+}
 
 struct State {
     analyzer: LiveAnalyzer,
@@ -115,7 +145,12 @@ fn prom_type(out: &mut String, name: &str, kind: &str) {
 /// latency-bucket histograms, plus the rolling stall attribution from
 /// the flight recorder. Validated by [`validate_prometheus`] in tests
 /// and the smoke gate.
-pub fn prometheus_text(pool: &PoolTelemetry, stats: &[GraphStats], live: &LiveSummary) -> String {
+pub fn prometheus_text(
+    pool: &PoolTelemetry,
+    stats: &[GraphStats],
+    live: &LiveSummary,
+    adapt: &[AdaptStatus],
+) -> String {
     let mut o = String::new();
 
     prom_type(&mut o, "hinch_uptime_seconds", "gauge");
@@ -233,6 +268,48 @@ pub fn prometheus_text(pool: &PoolTelemetry, stats: &[GraphStats], live: &LiveSu
             g.throughput_fps
         );
     }
+
+    // Closed-loop SLO controllers (crates/adapt), one set of series per
+    // attached graph.
+    if !adapt.is_empty() {
+        prom_type(&mut o, "hinch_adapt_target_p99_ns", "gauge");
+        for a in adapt {
+            let _ = writeln!(
+                o,
+                "hinch_adapt_target_p99_ns{{graph=\"{}\",app=\"{}\"}} {}",
+                a.graph,
+                prom_escape(&a.app),
+                a.target_p99_ns
+            );
+        }
+        prom_type(&mut o, "hinch_adapt_full_quality", "gauge");
+        for a in adapt {
+            let _ = writeln!(
+                o,
+                "hinch_adapt_full_quality{{graph=\"{}\",app=\"{}\",config=\"{}\"}} {}",
+                a.graph,
+                prom_escape(&a.app),
+                prom_escape(&a.config),
+                u8::from(a.quality_full)
+            );
+        }
+        prom_type(&mut o, "hinch_adapt_decisions_total", "counter");
+        for a in adapt {
+            for (action, count) in [
+                ("hold", a.hold),
+                ("toggle", a.toggle),
+                ("resize", a.resize),
+                ("step_depth", a.step_depth),
+            ] {
+                let _ = writeln!(
+                    o,
+                    "hinch_adapt_decisions_total{{graph=\"{}\",app=\"{}\",action=\"{action}\"}} {count}",
+                    a.graph,
+                    prom_escape(&a.app),
+                );
+            }
+        }
+    }
     o
 }
 
@@ -263,9 +340,35 @@ fn live_graph_json(g: &insight::live::GraphWindow) -> String {
         .build()
 }
 
-/// The wire `Telemetry` payload: pool, per-worker and rolling-window
-/// state as one JSON document (all through the crate's single writer).
-pub fn telemetry_json(pool: &PoolTelemetry, stats: &[GraphStats], live: &LiveSummary) -> String {
+fn adapt_json(a: &AdaptStatus) -> String {
+    JsonObject::new()
+        .num("graph", a.graph)
+        .str("app", &a.app)
+        .str("config", &a.config)
+        .raw(
+            "full_quality",
+            if a.quality_full { "true" } else { "false" },
+        )
+        .num("target_p99_ns", a.target_p99_ns)
+        .num("ticks", a.ticks)
+        .num("hold", a.hold)
+        .num("toggle", a.toggle)
+        .num("resize", a.resize)
+        .num("step_depth", a.step_depth)
+        .str("last_action", &a.last_action)
+        .str("last_reason", &a.last_reason)
+        .build()
+}
+
+/// The wire `Telemetry` payload: pool, per-worker, rolling-window and
+/// SLO-controller state as one JSON document (all through the crate's
+/// single writer).
+pub fn telemetry_json(
+    pool: &PoolTelemetry,
+    stats: &[GraphStats],
+    live: &LiveSummary,
+    adapt: &[AdaptStatus],
+) -> String {
     let stalls = StallCause::ALL
         .into_iter()
         .map(|c| {
@@ -294,6 +397,7 @@ pub fn telemetry_json(pool: &PoolTelemetry, stats: &[GraphStats], live: &LiveSum
         .num("ring_dropped", live.dropped)
         .raw("stalls", &array(stalls))
         .raw("live", &array(live.graphs.iter().map(live_graph_json)))
+        .raw("adapt", &array(adapt.iter().map(adapt_json)))
         .build()
 }
 
@@ -612,10 +716,27 @@ mod tests {
         (pool, stats, la.summary())
     }
 
+    fn adapt_status() -> Vec<AdaptStatus> {
+        vec![AdaptStatus {
+            graph: 0,
+            app: "pip1\"x".into(), // hostile label: must be escaped
+            config: "full/s4/d1".into(),
+            quality_full: true,
+            target_p99_ns: 2_000_000,
+            ticks: 9,
+            hold: 7,
+            toggle: 2,
+            resize: 0,
+            step_depth: 0,
+            last_action: "toggle".into(),
+            last_reason: "slo-under:recover".into(),
+        }]
+    }
+
     #[test]
     fn metrics_body_passes_the_validator() {
         let (pool, stats, live) = snapshot();
-        let text = prometheus_text(&pool, &stats, &live);
+        let text = prometheus_text(&pool, &stats, &live, &adapt_status());
         let samples = validate_prometheus(&text).expect("valid exposition");
         assert!(samples > 20, "suspiciously few samples: {samples}\n{text}");
         for want in [
@@ -626,15 +747,23 @@ mod tests {
             "hinch_live_stall_seconds{cause=\"backpressure\"}",
             "hinch_worker_steals_total",
             "hinch_worker_parks_total",
+            "hinch_adapt_target_p99_ns{graph=\"0\",app=\"pip1\\\"x\"} 2000000",
+            "hinch_adapt_full_quality{graph=\"0\",app=\"pip1\\\"x\",config=\"full/s4/d1\"} 1",
+            "hinch_adapt_decisions_total{graph=\"0\",app=\"pip1\\\"x\",action=\"toggle\"} 2",
         ] {
             assert!(text.contains(want), "missing {want}:\n{text}");
         }
+        // No controllers attached → no hinch_adapt_* series at all (not
+        // even empty TYPE declarations).
+        let bare = prometheus_text(&pool, &stats, &live, &[]);
+        validate_prometheus(&bare).expect("valid exposition without adapt");
+        assert!(!bare.contains("hinch_adapt_"), "{bare}");
     }
 
     #[test]
     fn telemetry_json_carries_the_snapshot() {
         let (pool, stats, live) = snapshot();
-        let json = telemetry_json(&pool, &stats, &live);
+        let json = telemetry_json(&pool, &stats, &live, &adapt_status());
         for want in [
             "\"uptime_ns\":5000000000",
             "\"workers\":[{\"worker\":0,",
@@ -642,9 +771,17 @@ mod tests {
             "\"app\":\"pip1\\\"x\"",
             "\"stalls\":[{\"cause\":\"starvation\"",
             "\"backlog\":1",
+            "\"adapt\":[{\"graph\":0,",
+            "\"config\":\"full/s4/d1\"",
+            "\"full_quality\":true",
+            "\"last_reason\":\"slo-under:recover\"",
         ] {
             assert!(json.contains(want), "missing {want}:\n{json}");
         }
+        assert!(
+            telemetry_json(&pool, &stats, &live, &[]).contains("\"adapt\":[]"),
+            "empty adapt array when nothing is attached"
+        );
     }
 
     #[test]

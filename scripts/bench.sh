@@ -9,8 +9,8 @@
 # `metrics_overhead` Criterion benches, one `hinch-insight` analysis, the
 # `throughput` bench (work-stealing vs centralized native engine), and
 # the `hinch-serve bench` serving-runtime snapshot (open-loop fleet +
-# saturated multi-vs-solo probe + telemetry on/off overhead probe), then
-# folds the key numbers into
+# saturated multi-vs-solo probe + telemetry on/off overhead probe +
+# closed-loop SLO adaptation sweep), then folds the key numbers into
 # BENCH_insight.json, BENCH_native.json and BENCH_serve.json (committed,
 # so a reviewer can diff perf-relevant changes without rerunning
 # anything). Absolute numbers are machine-dependent; the structure and
@@ -89,7 +89,7 @@ EOF
 
 echo "bench: wrote BENCH_native.json"
 
-echo "== bench: serve (multi-graph open loop + saturated probe) =="
+echo "== bench: serve (open loop + saturated probe + SLO adaptation) =="
 cargo run --offline --release -q -p serve --bin hinch-serve -- \
     bench --json BENCH_serve.json
 
@@ -113,10 +113,23 @@ tel = data["telemetry"]
 # The always-on flight recorder must cost <= 3% saturated throughput
 # (rings-on vs rings-off, best-of-trials on each side).
 assert tel["ratio"] >= 0.97, f"telemetry on/off throughput ratio {tel['ratio']} < 0.97"
+adapt = data["adapt"]
+# The closed-loop SLO controller, on seeded bursty arrivals, must never
+# miss more deadlines than the best static configuration would have on
+# the byte-identical arrival schedule (deterministic: virtual time).
+assert len(adapt) >= 3, f"adapt sweep covered {len(adapt)} apps < 3"
+for row in adapt:
+    a, s = row["adaptive_misses"], row["best_static_misses"]
+    assert a <= s, (f"{row['app']}: adaptive missed {a} deadlines > "
+                    f"best static ({row['best_static']}) {s}")
+    assert row["toggles"] >= 1, f"{row['app']}: controller never actuated"
+adapt_line = ", ".join(f"{r['app']} {r['adaptive_misses']}/{r['best_static_misses']}"
+                       for r in adapt)
 print(f"{sys.argv[1]}: valid JSON; {ol['graphs']} graphs, "
       f"{ol['agg_fps']:.0f} fps aggregate, p99 {ol['latency_p99_ns']} ns; "
       f"saturated multi/solo ratio {sat['ratio']}; "
-      f"telemetry on/off ratio {tel['ratio']}")
+      f"telemetry on/off ratio {tel['ratio']}; "
+      f"adapt misses vs best static: {adapt_line}")
 EOF
 
 echo "bench: wrote BENCH_serve.json"

@@ -23,6 +23,9 @@
 #      text (TYPE lines, label syntax, monotone histogram buckets),
 #      fetch wire telemetry in all three formats, render one `top`
 #      snapshot, assert responses and clean shutdown
+#   9. hinch-serve scenario determinism: the SLO controller's seeded
+#      bursty-replay scenario — replay log plus a capped real-runtime
+#      execution digest — must be byte-identical across two runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -134,5 +137,27 @@ echo "conformance: gate matrix passed, JSON byte-identical across runs"
 
 echo "== serve smoke (sockets + wire reconfig + /metrics validation) =="
 cargo run --offline -q --release -p serve --bin hinch-serve -- smoke
+
+echo "== adapt scenario (seeded decision-plane determinism) =="
+# The closed-loop SLO controller's decision path must replay identically
+# from its seed: two runs of the virtual scenario plus a capped execution
+# on the real runtime (toggles over inject, output digest) byte-compared.
+adapt_dir=target/adapt-ci
+mkdir -p "$adapt_dir"
+for run in 1 2; do
+    cargo run --offline -q --release -p serve --bin hinch-serve -- \
+        scenario --app pip12 --seed 42 --execute --max-frames 24 \
+        > "$adapt_dir/run$run.txt"
+done
+if ! cmp -s "$adapt_dir/run1.txt" "$adapt_dir/run2.txt"; then
+    echo "adapt: scenario replay is not stable across two runs" >&2
+    diff "$adapt_dir/run1.txt" "$adapt_dir/run2.txt" >&2 || true
+    exit 1
+fi
+grep -q '^execute frames=24 ' "$adapt_dir/run1.txt" || {
+    echo "adapt: real-runtime execution line missing from scenario output" >&2
+    exit 1
+}
+echo "adapt: scenario replay + execution digest byte-identical across runs"
 
 echo "ci: all green"
