@@ -364,6 +364,42 @@ mod tests {
     }
 
     #[test]
+    fn quality_relief_never_inverts_pointwise() {
+        // Regression for the kernel/fusion cost recalibration: at *every*
+        // lattice point (not just the per-quality best), dropping quality
+        // must still be predicted cheaper. The controller's relief move
+        // assumes this pointwise — a silent inversion would make a
+        // degrade step look like a slowdown and wedge the feedback loop,
+        // and the bench's adaptive_misses ≤ best_static_misses gate
+        // depends on relief actually relieving.
+        for app in App::RECONFIG {
+            let lattice = Lattice::around_default(app, Scale::Small);
+            let rated = rate_app(app, Scale::Small, &lattice, 4);
+            let planner = Planner::new(rated, f64::MAX);
+            for &s in &lattice.slices {
+                for &d in &lattice.depths {
+                    let at = |quality| {
+                        planner
+                            .lookup(&CandidateConfig {
+                                quality,
+                                slices: s,
+                                pipeline_depth: d,
+                            })
+                            .unwrap_or_else(|| panic!("{} missing s={s} d={d}", app.label()))
+                            .period
+                    };
+                    let (deg, full) = (at(Quality::Degraded), at(Quality::Full));
+                    assert!(
+                        deg < full,
+                        "{} s={s} d={d}: degraded {deg} !< full {full}",
+                        app.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn deeper_pipelines_never_predict_slower() {
         let lattice = Lattice {
             slices: vec![4],

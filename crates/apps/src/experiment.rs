@@ -164,7 +164,7 @@ impl AppConfig {
     }
 }
 
-#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+#[derive(Debug, PartialEq, Eq, Hash, Clone, Copy)]
 enum Family {
     Pip,
     Jpip,
@@ -227,7 +227,23 @@ pub fn build_isolated(cfg: AppConfig) -> Built {
 /// (`None` keeps the scale's default). The adaptation controller uses
 /// this to respawn a graph at a different parallelization.
 pub fn build_isolated_sliced(cfg: AppConfig, slices: Option<usize>) -> Built {
-    isolated_assets_then(cfg, |assets| build_with_opts(cfg, assets, slices, false))
+    isolated_assets_then(cfg, |assets| {
+        build_with_opts(cfg, assets, slices, false, false)
+    })
+}
+
+/// [`build_isolated`] with tile-granular decode+IDCT fusion enabled.
+/// JPiP apps only — fusion is the JPiP cache-tax fix; other families
+/// have no decode/IDCT boundary to fuse.
+pub fn build_isolated_fused(cfg: AppConfig) -> Built {
+    assert_eq!(
+        cfg.app.family(),
+        Family::Jpip,
+        "fusion applies to JPiP apps only"
+    );
+    isolated_assets_then(cfg, |assets| {
+        build_with_opts(cfg, assets, None, false, true)
+    })
 }
 
 /// [`build_isolated_sliced`] for *externally driven* reconfiguration: the
@@ -236,7 +252,9 @@ pub fn build_isolated_sliced(cfg: AppConfig, slices: Option<usize>) -> Built {
 /// run, so the only reconfigurations are events delivered from outside
 /// (`Runtime::inject`). Static apps build unchanged.
 pub fn build_isolated_adaptive(cfg: AppConfig, slices: Option<usize>) -> Built {
-    isolated_assets_then(cfg, |assets| build_with_opts(cfg, assets, slices, true))
+    isolated_assets_then(cfg, |assets| {
+        build_with_opts(cfg, assets, slices, true, false)
+    })
 }
 
 fn isolated_assets_then(cfg: AppConfig, f: impl FnOnce(Arc<AppAssets>) -> Built) -> Built {
@@ -314,7 +332,17 @@ pub fn build_with(cfg: AppConfig, assets: Arc<AppAssets>) -> Built {
 
 /// [`build_with`] with an optional slice-count override.
 pub fn build_with_sliced(cfg: AppConfig, assets: Arc<AppAssets>, slices: Option<usize>) -> Built {
-    build_with_opts(cfg, assets, slices, false)
+    build_with_opts(cfg, assets, slices, false, false)
+}
+
+/// [`build_with`] with tile-granular decode+IDCT fusion (JPiP only).
+pub fn build_with_fused(cfg: AppConfig, assets: Arc<AppAssets>) -> Built {
+    assert_eq!(
+        cfg.app.family(),
+        Family::Jpip,
+        "fusion applies to JPiP apps only"
+    );
+    build_with_opts(cfg, assets, None, false, true)
 }
 
 /// Reconfig cadence: the paper's 12-frame stimulus, or parked for
@@ -332,7 +360,12 @@ fn build_with_opts(
     assets: Arc<AppAssets>,
     slices: Option<usize>,
     external: bool,
+    fuse: bool,
 ) -> Built {
+    assert!(
+        !fuse || cfg.app.family() == Family::Jpip,
+        "fusion applies to JPiP apps only"
+    );
     match cfg.app {
         App::Pip1 | App::Pip2 | App::Pip12 => {
             let mut c = match cfg.scale {
@@ -365,6 +398,7 @@ fn build_with_opts(
             if let Some(s) = slices {
                 c.slices = s;
             }
+            c.fuse = fuse;
             let app = jpip::build_on(&c, assets).expect("JPiP compiles");
             Built {
                 spec: app.elaborated.spec,
@@ -397,18 +431,44 @@ fn build_with_opts(
     }
 }
 
+/// [`build`] with tile-granular decode+IDCT fusion on the shared asset
+/// cache (JPiP only; callers serialize like [`build`]'s).
+pub fn build_fused(cfg: AppConfig) -> Built {
+    let assets = cached_assets(cfg.app, cfg.scale);
+    assets.clear_captures();
+    build_with_fused(cfg, assets)
+}
+
 /// Run `cfg.app` on a simulated tile with `cores` cores (the paper's
 /// measurement mode). Pipeline depth 5, as in §4.
 pub fn run_sim(cfg: AppConfig, cores: usize) -> SimReport {
-    let built = build(cfg);
+    sim_built(build(cfg), cfg.frames, cores)
+}
+
+/// [`run_sim`] with tile-granular decode+IDCT fusion (JPiP only) — the
+/// post-fusion Fig. 8 measurement.
+pub fn run_sim_fused(cfg: AppConfig, cores: usize) -> SimReport {
+    sim_built(build_fused(cfg), cfg.frames, cores)
+}
+
+fn sim_built(built: Built, frames: u64, cores: usize) -> SimReport {
     let mut machine = Machine::new(TileConfig::with_cores(cores));
-    let run_cfg = RunConfig::new(cfg.frames).pipeline_depth(5);
+    let run_cfg = RunConfig::new(frames).pipeline_depth(5);
     hinch_run_sim(&built.spec, &run_cfg, &mut machine).expect("sim run")
 }
 
 /// Run `cfg.app` on native worker threads (wall-clock mode).
 pub fn run_threads(cfg: AppConfig, workers: usize) -> RunReport {
     let built = build(cfg);
+    let run_cfg = RunConfig::new(cfg.frames)
+        .pipeline_depth(5)
+        .workers(workers);
+    run_native(&built.spec, &run_cfg).expect("native run")
+}
+
+/// [`run_threads`] with tile-granular decode+IDCT fusion (JPiP only).
+pub fn run_threads_fused(cfg: AppConfig, workers: usize) -> RunReport {
+    let built = build_fused(cfg);
     let run_cfg = RunConfig::new(cfg.frames)
         .pipeline_depth(5)
         .workers(workers);

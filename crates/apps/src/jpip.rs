@@ -40,6 +40,13 @@ pub struct JpipConfig {
     pub distinct_frames: usize,
     pub seed: u64,
     pub reconfig_every: Option<u64>,
+    /// Tile-granular fusion: replace the `jpeg_decode` → stream →
+    /// `sliced_idct` pipeline with per-field `jpeg_decode_idct`
+    /// components, so coefficient tiles never round-trip whole planes
+    /// through stream buffers (trades the ×`slices` IDCT data
+    /// parallelism for the sequential baseline's block locality; fields
+    /// stay task-parallel).
+    pub fuse: bool,
 }
 
 impl JpipConfig {
@@ -55,6 +62,7 @@ impl JpipConfig {
             distinct_frames: 4,
             seed: 1729,
             reconfig_every: None,
+            fuse: false,
         }
     }
 
@@ -78,7 +86,14 @@ impl JpipConfig {
             distinct_frames: 2,
             seed: 11,
             reconfig_every: None,
+            fuse: false,
         }
+    }
+
+    /// Enable tile-granular decode+IDCT fusion.
+    pub fn fused(mut self) -> Self {
+        self.fuse = true;
+        self
     }
 
     pub fn position(&self, k: usize) -> (usize, usize) {
@@ -124,6 +139,46 @@ pub(crate) const JPEG_PROCS: &str = r#"
   </procedure>
 "#;
 
+/// Fused input procedure: the compressed stream feeds three per-field
+/// `jpeg_decode_idct` components that emit pixel planes directly — no
+/// coefficient streams, no sliced IDCT stage.
+pub(crate) const JPEG_FUSED_PROCS: &str = r#"
+  <procedure name="jpeg_in_fused">
+    <formal name="file"/>
+    <formalstream name="py"/><formalstream name="pu"/><formalstream name="pv"/>
+    <stream name="compressed"/>
+    <body>
+      <component name="input" class="mjpeg_source">
+        <out port="output" stream="compressed"/>
+        <param name="file" value="$file"/>
+      </component>
+      <parallel shape="task" name="fields">
+        <parblock>
+          <component name="f0" class="jpeg_decode_idct">
+            <in port="input" stream="compressed"/>
+            <out port="output" stream="py"/>
+            <param name="field" value="0"/>
+          </component>
+        </parblock>
+        <parblock>
+          <component name="f1" class="jpeg_decode_idct">
+            <in port="input" stream="compressed"/>
+            <out port="output" stream="pu"/>
+            <param name="field" value="1"/>
+          </component>
+        </parblock>
+        <parblock>
+          <component name="f2" class="jpeg_decode_idct">
+            <in port="input" stream="compressed"/>
+            <out port="output" stream="pv"/>
+            <param name="field" value="2"/>
+          </component>
+        </parblock>
+      </parallel>
+    </body>
+  </procedure>
+"#;
+
 /// Emit the XSPCL document for `cfg`.
 pub fn jpip_xml(cfg: &JpipConfig) -> String {
     assert!(
@@ -134,12 +189,24 @@ pub fn jpip_xml(cfg: &JpipConfig) -> String {
     if cfg.reconfig_every.is_some() {
         s.push_str("  <queue name=\"mq\"/>\n");
     }
-    s.push_str(JPEG_PROCS);
+    if cfg.fuse {
+        s.push_str(JPEG_FUSED_PROCS);
+    } else {
+        s.push_str(JPEG_PROCS);
+    }
     s.push_str(crate::pip::SLICED_OPS);
     s.push_str("  <procedure name=\"main\">\n");
+    let fuse = cfg.fuse;
     let streams_of = |v: &str| -> String {
         (0..3)
-            .map(|f| format!("    <stream name=\"c_{v}_{f}\"/><stream name=\"px_{v}_{f}\"/>\n"))
+            .map(|f| {
+                if fuse {
+                    // fused: pixel planes come straight out of the decode
+                    format!("    <stream name=\"px_{v}_{f}\"/>\n")
+                } else {
+                    format!("    <stream name=\"c_{v}_{f}\"/><stream name=\"px_{v}_{f}\"/>\n")
+                }
+            })
             .collect()
     };
     s.push_str(&streams_of("bg"));
@@ -176,9 +243,15 @@ pub fn jpip_xml(cfg: &JpipConfig) -> String {
     }
 
     let jpeg_in_call = |v: &str, file: &str| {
-        format!(
-            "<call procedure=\"jpeg_in\"><param name=\"file\" value=\"{file}\"/><bind formal=\"cy\" stream=\"c_{v}_0\"/><bind formal=\"cu\" stream=\"c_{v}_1\"/><bind formal=\"cv\" stream=\"c_{v}_2\"/></call>"
-        )
+        if fuse {
+            format!(
+                "<call procedure=\"jpeg_in_fused\"><param name=\"file\" value=\"{file}\"/><bind formal=\"py\" stream=\"px_{v}_0\"/><bind formal=\"pu\" stream=\"px_{v}_1\"/><bind formal=\"pv\" stream=\"px_{v}_2\"/></call>"
+            )
+        } else {
+            format!(
+                "<call procedure=\"jpeg_in\"><param name=\"file\" value=\"{file}\"/><bind formal=\"cy\" stream=\"c_{v}_0\"/><bind formal=\"cu\" stream=\"c_{v}_1\"/><bind formal=\"cv\" stream=\"c_{v}_2\"/></call>"
+            )
+        }
     };
     let idct_call = |v: &str, f: usize, slices: usize| {
         format!(
@@ -197,17 +270,19 @@ pub fn jpip_xml(cfg: &JpipConfig) -> String {
         jpeg_in_call("p1", "pip1")
     ));
     s.push_str("      </parallel>\n");
-    // IDCTs for all fields of bg and p1 (one operation, fields concurrent)
-    s.push_str("      <parallel shape=\"task\" name=\"idcts\">\n");
-    for v in ["bg", "p1"] {
-        for f in 0..3 {
-            s.push_str(&format!(
-                "        <parblock>{}</parblock>\n",
-                idct_call(v, f, cfg.slices)
-            ));
+    if !fuse {
+        // IDCTs for all fields of bg and p1 (one operation, fields concurrent)
+        s.push_str("      <parallel shape=\"task\" name=\"idcts\">\n");
+        for v in ["bg", "p1"] {
+            for f in 0..3 {
+                s.push_str(&format!(
+                    "        <parblock>{}</parblock>\n",
+                    idct_call(v, f, cfg.slices)
+                ));
+            }
         }
+        s.push_str("      </parallel>\n");
     }
-    s.push_str("      </parallel>\n");
     // down scales of picture 1
     s.push_str("      <parallel shape=\"task\" name=\"scales\">\n");
     for f in 0..3 {
@@ -233,14 +308,17 @@ pub fn jpip_xml(cfg: &JpipConfig) -> String {
         let chain2 = {
             let mut c = String::new();
             c.push_str(&format!("        {}\n", jpeg_in_call("p2", "pip2")));
-            c.push_str("        <parallel shape=\"task\" name=\"idct2\">\n");
-            for f in 0..3 {
-                c.push_str(&format!(
-                    "          <parblock>{}</parblock>\n",
-                    idct_call("p2", f, cfg.slices)
-                ));
+            if !fuse {
+                c.push_str("        <parallel shape=\"task\" name=\"idct2\">\n");
+                for f in 0..3 {
+                    c.push_str(&format!(
+                        "          <parblock>{}</parblock>\n",
+                        idct_call("p2", f, cfg.slices)
+                    ));
+                }
+                c.push_str("        </parallel>\n");
             }
-            c.push_str("        </parallel>\n        <parallel shape=\"task\" name=\"scale2\">\n");
+            c.push_str("        <parallel shape=\"task\" name=\"scale2\">\n");
             for f in 0..3 {
                 c.push_str(&format!(
                     "          <parblock><call procedure=\"sliced_downscale\"><bind formal=\"input\" stream=\"px_p2_{f}\"/><bind formal=\"output\" stream=\"small2_{f}\"/><param name=\"factor\" value=\"{}\"/><param name=\"slices\" value=\"{}\"/></call></parblock>\n",
@@ -528,6 +606,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_structure_replaces_decode_and_idct() {
+        // fused: 2 sources, 6 per-field fused decodes, no separate
+        // decode/IDCT stages; scalers/blenders/sink unchanged
+        let app = build(&JpipConfig::small(1).fused()).unwrap();
+        let mut classes = std::collections::HashMap::new();
+        app.elaborated.spec.visit_leaves(&mut |c| {
+            *classes.entry(c.class.clone()).or_insert(0) += 1;
+        });
+        assert_eq!(classes["mjpeg_source"], 2);
+        assert_eq!(classes["jpeg_decode_idct"], 6);
+        assert!(!classes.contains_key("jpeg_decode"));
+        assert!(!classes.contains_key("idct"));
+        assert_eq!(classes["downscale"], 3);
+        assert_eq!(classes["blend"], 3);
+        assert_eq!(classes["frame_sink"], 1);
+    }
+
+    #[test]
+    fn fused_output_matches_sequential_baseline() {
+        for pips in [1, 2] {
+            let cfg = JpipConfig::small(pips).fused();
+            let app = build(&cfg).unwrap();
+            let frames = 4u64;
+            run_native(&app.elaborated.spec, &RunConfig::new(frames).workers(3)).unwrap();
+            let mut meter = NullMeter;
+            let want = sequential(&cfg, &app.assets, frames, &mut meter);
+            for field in [0, 1, 2] {
+                let got = app.assets.captured("out", field);
+                assert_eq!(got.len(), frames as usize);
+                for (i, frame) in got.iter().enumerate() {
+                    assert_eq!(
+                        frame, &want[i][field],
+                        "fused pips={pips} field={field} frame={i} differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_reconfigurable_variant_runs() {
+        let cfg = JpipConfig {
+            reconfig_every: Some(3),
+            ..JpipConfig::small(2)
+        }
+        .fused();
+        let app = build(&cfg).unwrap();
+        let report = run_native(&app.elaborated.spec, &RunConfig::new(9).workers(2)).unwrap();
+        assert_eq!(report.iterations, 9);
+        assert!(report.reconfigs >= 1);
+        assert_eq!(app.assets.captured("out", 0).len(), 9);
     }
 
     #[test]

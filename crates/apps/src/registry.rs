@@ -14,6 +14,7 @@
 //! | `plane_source` | `file`, `field` | [`media::components::PlaneSource`] |
 //! | `mjpeg_source` | `file` | [`media::components::MjpegSource`] |
 //! | `jpeg_decode` | — | [`media::components::JpegDecode`] |
+//! | `jpeg_decode_idct` | `field` | [`media::components::JpegDecodeIdct`] |
 //! | `idct` | — | [`media::components::Idct`] |
 //! | `downscale` | `factor` | [`media::components::Downscale`] |
 //! | `blend` | `x`, `y` | [`media::components::Blend`] |
@@ -29,8 +30,8 @@ use dsp::components::{
 };
 use dsp::signal::AntennaSignal;
 use media::components::{
-    capture, Blend, BlurH, BlurV, Capture, Downscale, FrameSink, Idct, JpegDecode, MjpegSource,
-    PlaneSource,
+    capture, Blend, BlurH, BlurV, Capture, Downscale, FrameSink, Idct, JpegDecode, JpegDecodeIdct,
+    MjpegSource, PlaneSource,
 };
 use media::jpeg::MjpegVideo;
 use media::video::RawVideo;
@@ -227,6 +228,14 @@ pub fn registry(assets: &Arc<AppAssets>) -> ComponentRegistry {
         Box::new(JpegDecode::new(p.str_or("label", "dec").to_string()))
     });
 
+    reg.register("jpeg_decode_idct", |p| {
+        let field = p.int("field") as usize;
+        Box::new(JpegDecodeIdct::new(
+            field,
+            format!("{}[{}]", p.str_or("label", "fused"), field),
+        ))
+    });
+
     reg.register("idct", |p| {
         Box::new(Idct::new(p.str_or("label", "idct").to_string()))
     });
@@ -324,6 +333,7 @@ mod tests {
             "plane_source",
             "mjpeg_source",
             "jpeg_decode",
+            "jpeg_decode_idct",
             "idct",
             "downscale",
             "blend",

@@ -12,15 +12,15 @@
 //!
 //! * **glue micro-benchmark** — a `Task` of 16 tiny spin components, so
 //!   per-job scheduling overhead dominates. Reported as jobs/sec.
-//! * **end-to-end apps** — PiP-1 and Blur-3×3 at small scale, reported
-//!   as frames/sec.
+//! * **end-to-end apps** — PiP-1, Blur-3×3 and JPiP-1 (unfused and
+//!   tile-fused) at small scale, reported as frames/sec.
 //!
 //! Harness-free (`harness = false`, own `main`): emits one JSON document
 //! to `$THROUGHPUT_OUT` (or stdout) for `scripts/bench.sh` to fold into
 //! `BENCH_native.json`. `$THROUGHPUT_QUICK=1` shrinks the run for CI
 //! smoke testing. Human-readable progress goes to stderr.
 
-use apps::experiment::{build, App, AppConfig};
+use apps::experiment::{build, build_fused, App, AppConfig};
 use hinch::component::{Component, Params, RunCtx};
 use hinch::engine::{run_native, RunConfig};
 use hinch::graph::factory;
@@ -131,10 +131,19 @@ fn main() {
 
     // ---- end-to-end apps ------------------------------------------------
     json.push_str("    \"apps_frames_per_sec\": {\n");
-    let apps: [(App, &str); 2] = [(App::Pip1, "pip1"), (App::Blur3, "blur3")];
-    for (ai, &(app, name)) in apps.iter().enumerate() {
+    // `jpip1_fused` is the tile-granular decode+IDCT fusion of the same
+    // graph — the configuration the BENCH_native.json jpip fps floor in
+    // scripts/bench.sh is gated on.
+    let apps: [(App, &str, bool); 4] = [
+        (App::Pip1, "pip1", false),
+        (App::Blur3, "blur3", false),
+        (App::Jpip1, "jpip1", false),
+        (App::Jpip1, "jpip1_fused", true),
+    ];
+    for (ai, &(app, name, fused)) in apps.iter().enumerate() {
         eprintln!("throughput: {name} (small, {frames} frames, best of {repeats})");
-        let built = build(AppConfig::small(app).frames(frames));
+        let cfg = AppConfig::small(app).frames(frames);
+        let built = if fused { build_fused(cfg) } else { build(cfg) };
         let _ = writeln!(json, "        \"{name}\": {{");
         for (wi, &workers) in WORKERS.iter().enumerate() {
             let fifo = run_best(&built.spec, frames, workers, SchedPolicy::Fifo, repeats);

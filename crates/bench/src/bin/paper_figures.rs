@@ -338,6 +338,7 @@ fn print_cache_stats(opts: &Options) {
         "app", "xspcl L1 miss", "seq L1 miss", "ratio", "xspcl memcyc", "seq memcyc"
     );
     let frames = opts.frames.unwrap_or(8);
+    let mut gates = Vec::new();
     for app in [App::Jpip1, App::Pip1, App::Blur3] {
         let c = cache_comparison(app, opts.scale, frames);
         println!(
@@ -345,11 +346,31 @@ fn print_cache_stats(opts: &Options) {
             c.app.label(),
             c.xspcl.l1_misses,
             c.sequential.l1_misses,
-            c.xspcl.l1_misses as f64 / c.sequential.l1_misses.max(1) as f64,
+            c.l1_ratio(),
             c.xspcl.mem_cycles,
             c.sequential.mem_cycles,
         );
+        if let (Some(fused), Some(ratio)) = (&c.fused, c.fused_l1_ratio()) {
+            println!(
+                "{:<10} {:>14} {:>14} {:>8.2}x {:>14} {:>14}",
+                format!("{} fused", c.app.label()),
+                fused.l1_misses,
+                c.sequential.l1_misses,
+                ratio,
+                fused.mem_cycles,
+                c.sequential.mem_cycles,
+            );
+            gates.push((c.app, c.l1_ratio(), ratio));
+        }
     }
     println!("(paper: JPiP XSPCL has significantly more misses; Blur identical)");
+    // One line per fused app in `key=value` form so scripts/bench.sh can
+    // gate the post-fusion ratio without re-deriving it from the table.
+    for (app, unfused, fused) in gates {
+        println!(
+            "cache-gate: app={} unfused_l1_ratio={unfused:.3} fused_l1_ratio={fused:.3}",
+            app.label()
+        );
+    }
     println!();
 }

@@ -233,6 +233,25 @@ pub struct CacheComparison {
     pub app: App,
     pub xspcl: PlatformStats,
     pub sequential: PlatformStats,
+    /// Same XSPCL graph with tile-granular decode+IDCT fusion — the
+    /// post-fusion side of the Fig. 8 gate. `None` for apps the fusion
+    /// transform does not apply to (everything but JPiP).
+    pub fused: Option<PlatformStats>,
+}
+
+impl CacheComparison {
+    /// XSPCL L1-miss count over the sequential baseline's (§4.1's 3.19×).
+    pub fn l1_ratio(&self) -> f64 {
+        self.xspcl.l1_misses as f64 / self.sequential.l1_misses.max(1) as f64
+    }
+
+    /// Fused-XSPCL L1-miss count over the sequential baseline's — the
+    /// number the `scripts/bench.sh` gate holds at ≤ 2.0 for JPiP-1.
+    pub fn fused_l1_ratio(&self) -> Option<f64> {
+        self.fused
+            .as_ref()
+            .map(|f| f.l1_misses as f64 / self.sequential.l1_misses.max(1) as f64)
+    }
 }
 
 /// Compare cache behaviour of the XSPCL app and its baseline on one core.
@@ -242,6 +261,10 @@ pub fn cache_comparison(app: App, scale: Scale, frames: u64) -> CacheComparison 
         Scale::Small => AppConfig::small(app).frames(frames),
     };
     let xspcl = run_sim(cfg, 1).stats;
+    let fused = match app {
+        App::Jpip1 | App::Jpip2 => Some(apps::experiment::run_sim_fused(cfg, 1).stats),
+        _ => None,
+    };
     // rerun the baseline on a fresh solo machine to get its stats
     let built = apps::experiment::build(cfg);
     let mut solo = spacecake::Solo::new();
@@ -253,6 +276,7 @@ pub fn cache_comparison(app: App, scale: Scale, frames: u64) -> CacheComparison 
         app,
         xspcl,
         sequential: solo.stats(),
+        fused,
     }
 }
 
@@ -303,6 +327,32 @@ mod tests {
                 s.app.label()
             );
         }
+    }
+
+    #[test]
+    fn fused_jpip_cache_ratio_meets_fig8_gate() {
+        // The Fig. 8 acceptance claim, pinned deterministically on the
+        // simulator's tile model at the experiment's own configuration
+        // (paper scale, 8 frames — the setup that measured §4.1's
+        // 3.19×): tile-granular decode+IDCT fusion cuts JPiP-1's
+        // XSPCL/sequential L1-miss ratio to ≤ 2.0×. `scripts/bench.sh`
+        // re-checks the same bound on the committed figure run; this
+        // test keeps it from regressing in plain `cargo test`.
+        let c = cache_comparison(App::Jpip1, Scale::Paper, 8);
+        let unfused = c.l1_ratio();
+        let fused = c.fused_l1_ratio().expect("JPiP-1 has a fused variant");
+        assert!(
+            fused < unfused,
+            "fusion did not reduce the L1-miss ratio: {fused:.2}x !< {unfused:.2}x"
+        );
+        assert!(
+            fused <= 2.0,
+            "fused JPiP-1 L1-miss ratio {fused:.2}x above the 2.0x gate"
+        );
+        // Blur has no fused variant — the Option stays honest.
+        assert!(cache_comparison(App::Blur3, Scale::Small, 4)
+            .fused
+            .is_none());
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The application corpus: every shipped app spec behind one uniform
 //! build–run–collect interface.
 //!
-//! Eleven applications ship with the repository: the paper's six static
-//! apps (PiP-1/2, JPiP-1/2, Blur-3x3/5x5), its three reconfigurable
-//! variants (PiP-12, JPiP-12, Blur-35) and the two extensions (Mosaic,
-//! Telescope). The harness reduces each run to the same shape —
+//! Thirteen applications ship with the repository: the paper's six
+//! static apps (PiP-1/2, JPiP-1/2, Blur-3x3/5x5), its three
+//! reconfigurable variants (PiP-12, JPiP-12, Blur-35), the two
+//! extensions (Mosaic, Telescope), and the tile-granular *fused*
+//! variants of the JPiP apps (decode+IDCT merged per color field — same
+//! pixels, different graph). The harness reduces each run to the same
+//! shape —
 //! `ports[p][frame] -> bytes` — whatever the app actually produces:
 //! video planes for the media apps, the bit-exact integrated spectrum
 //! for the telescope.
@@ -29,16 +32,22 @@ use parking_lot::Mutex;
 use spacecake::Machine;
 use std::sync::Arc;
 
-/// One of the eleven shipped applications.
+/// One of the thirteen shipped applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConfApp {
     Experiment(App),
+    /// A static JPiP app with tile-granular decode+IDCT fusion. Same
+    /// output pixels as the unfused graph by construction — which makes
+    /// it a pure differential subject: every engine/schedule cell must
+    /// stay fingerprint-equal to its own reference run, and that run is
+    /// byte-identical to the unfused app's (checked in `apps::jpip`).
+    Fused(App),
     Mosaic,
     Telescope,
 }
 
 /// Every shipped application, in presentation order.
-pub const ALL: [ConfApp; 11] = [
+pub const ALL: [ConfApp; 13] = [
     ConfApp::Experiment(App::Pip1),
     ConfApp::Experiment(App::Pip2),
     ConfApp::Experiment(App::Jpip1),
@@ -48,6 +57,8 @@ pub const ALL: [ConfApp; 11] = [
     ConfApp::Experiment(App::Pip12),
     ConfApp::Experiment(App::Jpip12),
     ConfApp::Experiment(App::Blur35),
+    ConfApp::Fused(App::Jpip1),
+    ConfApp::Fused(App::Jpip2),
     ConfApp::Mosaic,
     ConfApp::Telescope,
 ];
@@ -65,6 +76,9 @@ impl ConfApp {
             ConfApp::Experiment(App::Pip12) => "pip12",
             ConfApp::Experiment(App::Jpip12) => "jpip12",
             ConfApp::Experiment(App::Blur35) => "blur35",
+            ConfApp::Fused(App::Jpip1) => "jpip1-fused",
+            ConfApp::Fused(App::Jpip2) => "jpip2-fused",
+            ConfApp::Fused(_) => unreachable!("fusion is JPiP-only"),
             ConfApp::Mosaic => "mosaic",
             ConfApp::Telescope => "telescope",
         }
@@ -74,6 +88,9 @@ impl ConfApp {
     pub fn label(self) -> &'static str {
         match self {
             ConfApp::Experiment(a) => a.label(),
+            ConfApp::Fused(App::Jpip1) => "JPiP-1 (fused)",
+            ConfApp::Fused(App::Jpip2) => "JPiP-2 (fused)",
+            ConfApp::Fused(_) => unreachable!("fusion is JPiP-only"),
             ConfApp::Mosaic => "Mosaic",
             ConfApp::Telescope => "Telescope",
         }
@@ -169,6 +186,17 @@ fn build(app: ConfApp, frames: u64) -> (GraphSpec, Collector) {
     match app {
         ConfApp::Experiment(a) => {
             let built = experiment::build(AppConfig::small(a).frames(frames));
+            let ports = built.capture_ports;
+            (
+                built.spec,
+                Collector::Frames {
+                    assets: built.assets,
+                    ports,
+                },
+            )
+        }
+        ConfApp::Fused(a) => {
+            let built = experiment::build_fused(AppConfig::small(a).frames(frames));
             let ports = built.capture_ports;
             (
                 built.spec,

@@ -11,7 +11,9 @@
 //! case index). The engine configuration of the failing run is named in
 //! the assertion message, completing the `(spec, seed, config)` triple.
 
+use apps::experiment::App;
 use conformance::randspec::{build_app, shape_strategy};
+use conformance::{corpus, ConfApp};
 use hinch::engine::{run_native, run_reference, run_sim, RunConfig};
 use hinch::meter::NullPlatform;
 use hinch::SchedPolicy;
@@ -85,6 +87,44 @@ proptest! {
             "native diverged from the oracle: depth={} seed={}",
             depth,
             seed
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    // Metamorphic relation for the fusion transform: merging a JPiP
+    // app's decode and IDCT stages into the tile-granular fused
+    // component is an *identity* on the output — for any app variant,
+    // frame count, pipeline depth, worker count and schedule seed, the
+    // fused graph's fingerprint equals the unfused oracle's.
+    #[test]
+    fn fused_jpip_is_output_invariant_under_random_schedules(
+        pip in prop_oneof![Just(App::Jpip1), Just(App::Jpip2)],
+        frames in 3u64..8,
+        depth in 1usize..4,
+        workers in 2usize..9,
+        seed in 0u64..1 << 48,
+    ) {
+        let want = corpus::run_reference(ConfApp::Experiment(pip), frames)
+            .unwrap_or_else(|e| panic!("unfused reference failed: {e}"))
+            .digest();
+        let fused_ref = corpus::run_reference(ConfApp::Fused(pip), frames)
+            .unwrap_or_else(|e| panic!("fused reference failed: {e}"))
+            .digest();
+        prop_assert_eq!(fused_ref, want, "fusion changed the reference output");
+        let sim = corpus::run_sim(ConfApp::Fused(pip), frames, 3, depth, SchedPolicy::Perturb(seed))
+            .unwrap_or_else(|e| panic!("fused sim run failed: {e}"));
+        prop_assert_eq!(
+            sim.digest(), want,
+            "fused sim diverged: depth={} seed={}", depth, seed
+        );
+        let native =
+            corpus::run_native(ConfApp::Fused(pip), frames, workers, depth, SchedPolicy::Shuffle(seed))
+                .unwrap_or_else(|e| panic!("fused native run failed: {e}"));
+        prop_assert_eq!(
+            native.digest(), want,
+            "fused native diverged: workers={} depth={} seed={}", workers, depth, seed
         );
     }
 }

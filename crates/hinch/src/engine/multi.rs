@@ -38,7 +38,7 @@
 use super::core::{GraphCore, RetireHook, Window};
 use super::pool::{EventCount, Injector, LocalQueue};
 use crate::event::Event;
-use crate::graph::flatten::{flatten, JobKind};
+use crate::graph::flatten::flatten;
 use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
 use crate::sched::JobRef;
@@ -556,24 +556,17 @@ fn worker_loop(shared: &MultiShared, wid: u32) {
                         end: start + busy,
                     });
                 }
-                // Direct handoff of the oldest readied component job, as
-                // in the single-run driver; the handoff never crosses a
-                // graph boundary (successors share the completer's graph).
-                let keep = matches!(
-                    ready.first().map(|j| &window.dag.jobs[j.idx as usize].kind),
-                    Some(JobKind::Comp(_))
-                );
-                let mut readied = ready.drain(..);
-                handoff = if keep {
-                    readied.next().map(|job| MJob {
-                        graph: mj.graph,
-                        job,
-                    })
-                } else {
-                    None
-                };
+                // Direct handoff of a readied component job — slice-
+                // affine first, else oldest, as in the single-run driver
+                // (policy in `Dag::handoff_pick`); the handoff never
+                // crosses a graph boundary (successors share the
+                // completer's graph).
+                handoff = window.dag.handoff_pick(mj.job.idx, &ready).map(|pos| MJob {
+                    graph: mj.graph,
+                    job: ready.remove(pos),
+                });
                 let mut published = 0;
-                for job in readied {
+                for job in ready.drain(..) {
                     me.push(
                         MJob {
                             graph: mj.graph,

@@ -38,7 +38,7 @@ use super::core::{GraphCore, Window};
 use super::pool::{EventCount, Injector, LocalQueue};
 use super::RunConfig;
 use crate::error::HinchError;
-use crate::graph::flatten::{flatten, JobKind};
+use crate::graph::flatten::flatten;
 use crate::graph::instance::instantiate_graph_sized;
 use crate::graph::GraphSpec;
 use crate::report::RunReport;
@@ -206,26 +206,21 @@ fn worker_loop(shared: &WsShared, mut window: Arc<Window>, core: u32) {
                 if let Some(m) = &g.metrics {
                     m.on_job(span.as_nanos() as u64);
                 }
-                // Keep the *oldest* readied successor for ourselves when
-                // it is a plain component job: it is the structural
-                // successor inside the same iteration, whose input stream
-                // slot we just wrote (warm data), and the job the
-                // centralized engine's `pop_front` would have run next.
-                // Manager jobs never ride the handoff — they are once-per-
-                // iteration control points (admit lock, halt decisions),
-                // and routing them through the queues preserves the
-                // centralized engine's manager/body interleaving instead
-                // of letting one worker run a whole iteration depth-first
-                // past them. The rest are published with one targeted
-                // wake-up each.
-                let keep = matches!(
-                    ready.first().map(|j| &window.dag.jobs[j.idx as usize].kind),
-                    Some(JobKind::Comp(_))
-                );
-                let mut readied = ready.drain(..);
-                handoff = if keep { readied.next() } else { None };
+                // Keep one readied component successor for ourselves:
+                // slice-affine first (same replication-group copy index —
+                // the next stage over the band of rows we just wrote),
+                // else the oldest readied component job (the structural
+                // successor inside the same iteration, the job the
+                // centralized engine's `pop_front` would have run next).
+                // Selection policy — including why manager jobs never
+                // ride the handoff — lives in `Dag::handoff_pick`. The
+                // rest are published with one targeted wake-up each.
+                handoff = window
+                    .dag
+                    .handoff_pick(job.idx, &ready)
+                    .map(|pos| ready.remove(pos));
                 let mut published = 0;
-                for j in readied {
+                for j in ready.drain(..) {
                     me.push(j, &shared.injector);
                     published += 1;
                 }

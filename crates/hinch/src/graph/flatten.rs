@@ -56,6 +56,16 @@ pub struct JobDef {
     pub kind: JobKind,
     pub preds: Vec<u32>,
     pub succs: Vec<u32>,
+    /// Slice-affinity scheduling hint: the copy index of the replication
+    /// (`slice`/`crossdep`) group this component belongs to, composed
+    /// across nesting exactly like [`crate::component::SliceAssign`].
+    /// Structurally aligned stages of a data-parallel pipeline (e.g. the
+    /// horizontal and vertical passes over one band of rows) share the
+    /// index, so a work-stealing completer that prefers an
+    /// affinity-matching successor keeps the band it just wrote in its
+    /// own cache instead of handing it to whichever worker steals first.
+    /// `None` for managers and for components outside any group.
+    pub affinity: Option<u32>,
 }
 
 /// The flattened per-iteration dependency DAG.
@@ -97,6 +107,39 @@ impl Dag {
         seen == self.jobs.len()
     }
 
+    /// Which of the jobs a completion just readied should the completing
+    /// worker keep as its direct handoff? Returns an index into `ready`.
+    ///
+    /// Preference order:
+    ///
+    /// 1. a *component* successor whose [`JobDef::affinity`] matches the
+    ///    completed job's — the structurally aligned next stage of the
+    ///    same slice, whose input rows this worker just wrote (warm in
+    ///    its private cache);
+    /// 2. otherwise the oldest readied component job — the structural
+    ///    successor the centralized engine's `pop_front` would run next.
+    ///
+    /// Manager jobs never ride the handoff: they are once-per-iteration
+    /// control points (admit lock, halt decisions), and routing them
+    /// through the queues preserves the centralized engine's manager/body
+    /// interleaving instead of letting one worker run a whole iteration
+    /// depth-first past them.
+    pub fn handoff_pick(&self, completed: u32, ready: &[crate::sched::JobRef]) -> Option<usize> {
+        if let Some(aff) = self.jobs[completed as usize].affinity {
+            let pos = ready.iter().position(|j| {
+                let jd = &self.jobs[j.idx as usize];
+                jd.affinity == Some(aff) && matches!(jd.kind, JobKind::Comp(_))
+            });
+            if pos.is_some() {
+                return pos;
+            }
+        }
+        match ready.first().map(|j| &self.jobs[j.idx as usize].kind) {
+            Some(JobKind::Comp(_)) => Some(0),
+            _ => None,
+        }
+    }
+
     /// Render the DAG in Graphviz DOT format (used by `xspclc --dot`).
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
@@ -131,10 +174,15 @@ struct Builder {
 impl Builder {
     fn push(&mut self, kind: JobKind) -> u32 {
         let idx = self.jobs.len() as u32;
+        let affinity = match &kind {
+            JobKind::Comp(l) => l.slice.map(|s| s.index as u32),
+            _ => None,
+        };
         self.jobs.push(JobDef {
             kind,
             preds: Vec::new(),
             succs: Vec::new(),
+            affinity,
         });
         idx
     }
@@ -420,6 +468,110 @@ mod tests {
         assert!(dot.contains("digraph"));
         assert!(dot.contains("label=\"a\""));
         assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn slice_copies_carry_affinity_hint() {
+        let d = flat(&GraphSpec::seq(vec![
+            leaf("src", &[], &["in"], 0),
+            GraphSpec::slice("sl", 4, leaf("w", &["in"], &["out"], 0)),
+            leaf("snk", &["out"], &[], 0),
+        ]));
+        let la = labels(&d);
+        for i in 0..4u32 {
+            let j = la.iter().position(|l| l == &format!("w#{i}")).unwrap();
+            assert_eq!(d.jobs[j].affinity, Some(i), "copy {i} carries its index");
+        }
+        let src = la.iter().position(|l| l == "src").unwrap();
+        let snk = la.iter().position(|l| l == "snk").unwrap();
+        assert_eq!(d.jobs[src].affinity, None, "unsliced leaf has no affinity");
+        assert_eq!(d.jobs[snk].affinity, None);
+    }
+
+    #[test]
+    fn manager_jobs_have_no_affinity() {
+        let mgr = ManagerSpec::new("m", EventQueue::new("q"));
+        let d = flat(&GraphSpec::managed(
+            mgr,
+            GraphSpec::slice("sl", 2, leaf("w", &[], &["s"], 0)),
+        ));
+        for j in &d.jobs {
+            if !matches!(j.kind, JobKind::Comp(_)) {
+                assert_eq!(j.affinity, None);
+            }
+        }
+    }
+
+    #[test]
+    fn crossdep_copies_carry_affinity_hint() {
+        // Fig. 5 structure: both blocks of copy i share affinity i, so a
+        // completer of h.b0#i prefers v.b1#i over a neighbouring copy.
+        let d = flat(&GraphSpec::seq(vec![
+            leaf("src", &[], &["in"], 0),
+            GraphSpec::crossdep(
+                "cd",
+                3,
+                vec![
+                    leaf("h", &["in"], &["m"], 0),
+                    leaf("v", &["m"], &["out"], 0),
+                ],
+            ),
+            leaf("snk", &["out"], &[], 0),
+        ]));
+        let la = labels(&d);
+        for i in 0..3u32 {
+            let h = la.iter().position(|l| l == &format!("h.b0#{i}")).unwrap();
+            let v = la.iter().position(|l| l == &format!("v.b1#{i}")).unwrap();
+            assert_eq!(d.jobs[h].affinity, Some(i));
+            assert_eq!(d.jobs[v].affinity, Some(i));
+        }
+    }
+
+    #[test]
+    fn handoff_prefers_affinity_matching_successor() {
+        use crate::sched::JobRef;
+        let d = flat(&GraphSpec::seq(vec![
+            leaf("src", &[], &["in"], 0),
+            GraphSpec::crossdep(
+                "cd",
+                3,
+                vec![
+                    leaf("h", &["in"], &["m"], 0),
+                    leaf("v", &["m"], &["out"], 0),
+                ],
+            ),
+            leaf("snk", &["out"], &[], 0),
+        ]));
+        let la = labels(&d);
+        let at = |name: &str| la.iter().position(|l| l == name).unwrap() as u32;
+        let jr = |idx: u32| JobRef { iter: 0, idx };
+        // Completing h.b0#1 with neighbours v.b1#0, v.b1#1, v.b1#2 all
+        // ready: pick the same-copy successor even though it is not first.
+        let ready = [jr(at("v.b1#0")), jr(at("v.b1#1")), jr(at("v.b1#2"))];
+        assert_eq!(d.handoff_pick(at("h.b0#1"), &ready), Some(1));
+        // No affinity match among the readied jobs: fall back to the
+        // oldest component job.
+        let ready = [jr(at("v.b1#0")), jr(at("v.b1#2"))];
+        assert_eq!(d.handoff_pick(at("h.b0#1"), &ready), Some(0));
+        // Completer without affinity keeps the oldest component job.
+        let ready = [jr(at("h.b0#2")), jr(at("h.b0#0"))];
+        assert_eq!(d.handoff_pick(at("src"), &ready), Some(0));
+        // Nothing ready → nothing to keep.
+        assert_eq!(d.handoff_pick(at("snk"), &[]), None);
+    }
+
+    #[test]
+    fn handoff_never_keeps_manager_jobs() {
+        use crate::sched::JobRef;
+        let mgr = ManagerSpec::new("m", EventQueue::new("q"));
+        let d = flat(&GraphSpec::managed(mgr, leaf("x", &[], &["s"], 0)));
+        let la = labels(&d);
+        let at = |name: &str| la.iter().position(|l| l == name).unwrap() as u32;
+        let ready = [JobRef {
+            iter: 0,
+            idx: at("m.exit"),
+        }];
+        assert_eq!(d.handoff_pick(at("x"), &ready), None);
     }
 
     #[test]

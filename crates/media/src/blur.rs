@@ -22,6 +22,24 @@ pub fn kernel(ksize: usize) -> &'static [u32] {
     }
 }
 
+/// Hoisted per-instance kernel: weights and radius resolved once, not per
+/// row-band call (the blur components construct one per instance and per
+/// reconfiguration instead of re-matching the kernel size on every run).
+#[derive(Debug, Clone, Copy)]
+pub struct Taps {
+    pub weights: &'static [u32],
+    pub radius: usize,
+}
+
+impl Taps {
+    pub fn new(ksize: usize) -> Self {
+        Self {
+            weights: kernel(ksize),
+            radius: ksize / 2,
+        }
+    }
+}
+
 #[inline]
 fn clamp_idx(i: isize, max: usize) -> usize {
     i.clamp(0, max as isize - 1) as usize
@@ -38,27 +56,61 @@ pub fn blur_h_rows(
     rows: Range<usize>,
     dst: &mut [u8],
 ) -> u64 {
+    blur_h_rows_with(Taps::new(ksize), src, w, h, rows, dst)
+}
+
+/// [`blur_h_rows`] with pre-resolved taps; dispatches to the fastest
+/// byte-exact host path.
+pub fn blur_h_rows_with(
+    taps: Taps,
+    src: &[u8],
+    w: usize,
+    h: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
     assert_eq!(src.len(), w * h);
     assert_eq!(
         dst.len(),
         rows.len() * w,
         "destination must cover exactly the requested rows"
     );
-    let k = kernel(ksize);
-    let r = (ksize / 2) as isize;
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::use_sse2() {
+        // SAFETY: use_sse2() implies the host supports SSE2.
+        return unsafe { x86::blur_h_rows_sse2(taps, src, w, rows, dst) };
+    }
+    blur_h_rows_scalar(taps, src, w, rows, dst)
+}
+
+/// Scalar horizontal phase — the byte-exact reference.
+pub fn blur_h_rows_scalar(
+    taps: Taps,
+    src: &[u8],
+    w: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
     for (ri, y) in rows.clone().enumerate() {
         let src_row = &src[y * w..(y + 1) * w];
         let dst_row = &mut dst[ri * w..(ri + 1) * w];
-        for (x, out) in dst_row.iter_mut().enumerate() {
-            let mut acc: u32 = 128; // rounding
-            for (ki, &kw) in k.iter().enumerate() {
-                let sx = clamp_idx(x as isize + ki as isize - r, w);
-                acc += kw * src_row[sx] as u32;
-            }
-            *out = (acc >> 8) as u8;
-        }
+        blur_h_span(taps, src_row, w, 0..w, dst_row);
     }
     (rows.len() * w) as u64
+}
+
+/// Scalar horizontal kernel over columns `xs` of one row.
+#[inline]
+fn blur_h_span(taps: Taps, src_row: &[u8], w: usize, xs: Range<usize>, dst_row: &mut [u8]) {
+    let r = taps.radius as isize;
+    for x in xs {
+        let mut acc: u32 = 128; // rounding
+        for (ki, &kw) in taps.weights.iter().enumerate() {
+            let sx = clamp_idx(x as isize + ki as isize - r, w);
+            acc += kw * src_row[sx] as u32;
+        }
+        dst_row[x] = (acc >> 8) as u8;
+    }
 }
 
 /// Vertical phase over absolute rows `rows`.
@@ -74,18 +126,47 @@ pub fn blur_v_rows(
     rows: Range<usize>,
     dst: &mut [u8],
 ) -> u64 {
+    blur_v_rows_with(Taps::new(ksize), src, w, h, rows, dst)
+}
+
+/// [`blur_v_rows`] with pre-resolved taps; dispatches to the fastest
+/// byte-exact host path.
+pub fn blur_v_rows_with(
+    taps: Taps,
+    src: &[u8],
+    w: usize,
+    h: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
     assert_eq!(src.len(), w * h);
     assert_eq!(
         dst.len(),
         rows.len() * w,
         "destination must cover exactly the requested rows"
     );
-    let k = kernel(ksize);
-    let r = (ksize / 2) as isize;
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::use_sse2() {
+        // SAFETY: use_sse2() implies the host supports SSE2.
+        return unsafe { x86::blur_v_rows_sse2(taps, src, w, h, rows, dst) };
+    }
+    blur_v_rows_scalar(taps, src, w, h, rows, dst)
+}
+
+/// Scalar vertical phase — the byte-exact reference.
+pub fn blur_v_rows_scalar(
+    taps: Taps,
+    src: &[u8],
+    w: usize,
+    h: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
+    let r = taps.radius as isize;
     for (ri, y) in rows.clone().enumerate() {
         for x in 0..w {
             let mut acc: u32 = 128;
-            for (ki, &kw) in k.iter().enumerate() {
+            for (ki, &kw) in taps.weights.iter().enumerate() {
                 let sy = clamp_idx(y as isize + ki as isize - r, h);
                 acc += kw * src[sy * w + x] as u32;
             }
@@ -93,6 +174,136 @@ pub fn blur_v_rows(
         }
     }
     (rows.len() * w) as u64
+}
+
+/// Parity-test hook: run the SSE2 horizontal path whenever the host
+/// supports SSE2 (ignoring dispatch), else `None`.
+pub fn blur_h_rows_sse2_checked(
+    taps: Taps,
+    src: &[u8],
+    w: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse2") {
+        // SAFETY: feature checked above.
+        return Some(unsafe { x86::blur_h_rows_sse2(taps, src, w, rows, dst) });
+    }
+    let _ = (taps, src, w, rows, dst);
+    None
+}
+
+/// Parity-test hook: run the SSE2 vertical path whenever the host
+/// supports SSE2 (ignoring dispatch), else `None`.
+pub fn blur_v_rows_sse2_checked(
+    taps: Taps,
+    src: &[u8],
+    w: usize,
+    h: usize,
+    rows: Range<usize>,
+    dst: &mut [u8],
+) -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse2") {
+        // SAFETY: feature checked above.
+        return Some(unsafe { x86::blur_v_rows_sse2(taps, src, w, h, rows, dst) });
+    }
+    let _ = (taps, src, w, h, rows, dst);
+    None
+}
+
+/// Vector blur paths. Integer multiply-accumulate in u16 lanes: with
+/// weights summing to 256 the worst-case accumulator is
+/// `128 + 256·255 = 65408 < 2¹⁶`, so 16-bit lanes are exact and every
+/// reassociation is of integer adds — byte-identical to the scalar
+/// reference by construction.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{blur_h_span, clamp_idx, Taps};
+    use std::arch::x86_64::*;
+    use std::ops::Range;
+
+    /// # Safety
+    /// Caller must ensure the host supports SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn blur_h_rows_sse2(
+        taps: Taps,
+        src: &[u8],
+        w: usize,
+        rows: Range<usize>,
+        dst: &mut [u8],
+    ) -> u64 {
+        let r = taps.radius;
+        let zero = _mm_setzero_si128();
+        let bias = _mm_set1_epi16(128);
+        for (ri, y) in rows.clone().enumerate() {
+            let src_row = &src[y * w..(y + 1) * w];
+            let dst_row = &mut dst[ri * w..(ri + 1) * w];
+            // clamped borders scalar; interior in 8-pixel chunks
+            let left = r.min(w);
+            blur_h_span(taps, src_row, w, 0..left, dst_row);
+            let mut x = left;
+            while x + 8 + r <= w {
+                let mut acc = bias;
+                for (ki, &kw) in taps.weights.iter().enumerate() {
+                    let p = _mm_loadl_epi64(src_row[x + ki - r..].as_ptr() as *const __m128i);
+                    let p16 = _mm_unpacklo_epi8(p, zero);
+                    acc = _mm_add_epi16(acc, _mm_mullo_epi16(p16, _mm_set1_epi16(kw as i16)));
+                }
+                let res = _mm_srli_epi16::<8>(acc);
+                let packed = _mm_packus_epi16(res, res);
+                _mm_storel_epi64(dst_row[x..].as_mut_ptr() as *mut __m128i, packed);
+                x += 8;
+            }
+            blur_h_span(taps, src_row, w, x..w, dst_row);
+        }
+        (rows.len() * w) as u64
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn blur_v_rows_sse2(
+        taps: Taps,
+        src: &[u8],
+        w: usize,
+        h: usize,
+        rows: Range<usize>,
+        dst: &mut [u8],
+    ) -> u64 {
+        let r = taps.radius as isize;
+        let zero = _mm_setzero_si128();
+        let bias = _mm_set1_epi16(128);
+        let mut sy = [0usize; 5];
+        for (ri, y) in rows.clone().enumerate() {
+            for (ki, s) in sy.iter_mut().take(taps.weights.len()).enumerate() {
+                *s = clamp_idx(y as isize + ki as isize - r, h);
+            }
+            let mut x = 0usize;
+            while x + 8 <= w {
+                let mut acc = bias;
+                for (ki, &kw) in taps.weights.iter().enumerate() {
+                    let p = _mm_loadl_epi64(src[sy[ki] * w + x..].as_ptr() as *const __m128i);
+                    let p16 = _mm_unpacklo_epi8(p, zero);
+                    acc = _mm_add_epi16(acc, _mm_mullo_epi16(p16, _mm_set1_epi16(kw as i16)));
+                }
+                let res = _mm_srli_epi16::<8>(acc);
+                let packed = _mm_packus_epi16(res, res);
+                _mm_storel_epi64(dst[ri * w + x..].as_mut_ptr() as *mut __m128i, packed);
+                x += 8;
+            }
+            // column tail scalar
+            for x in x..w {
+                let mut acc: u32 = 128;
+                for (ki, &kw) in taps.weights.iter().enumerate() {
+                    acc += kw * src[sy[ki] * w + x] as u32;
+                }
+                dst[ri * w + x] = (acc >> 8) as u8;
+            }
+        }
+        (rows.len() * w) as u64
+    }
 }
 
 /// Convenience: full two-phase blur (used by the sequential baseline and

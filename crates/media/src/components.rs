@@ -8,10 +8,12 @@
 //! writing into the iteration's shared output plane.
 
 use crate::blend::unpack_pos;
-use crate::blur::{blur_h_rows, blur_v_rows, v_input_rows};
+use crate::blur::{blur_h_rows_with, blur_v_rows_with, v_input_rows, Taps};
 use crate::costs::*;
 use crate::frame::{CoefPlane, Plane};
-use crate::jpeg::codec::{decode_scan, idct_block_rows, JpegImage};
+use crate::jpeg::codec::{
+    decode_scan, idct_block_rows, idct_block_to_pixels, JpegImage, ScanDecoder,
+};
 use crate::jpeg::mjpeg::MjpegVideo;
 use crate::scale::{downscale_rows, scaled_dims};
 use crate::video::RawVideo;
@@ -285,6 +287,9 @@ impl Component for Blend {
 /// `{ key: "ksize", value: 3|5 }`.
 pub struct BlurH {
     ksize: usize,
+    /// Kernel taps, hoisted per instance (re-resolved only on a `ksize`
+    /// reconfiguration, not per run).
+    taps: Taps,
     assign: SliceAssign,
     label: String,
 }
@@ -293,6 +298,7 @@ impl BlurH {
     pub fn new(ksize: usize, label: impl Into<String>) -> Self {
         Self {
             ksize,
+            taps: Taps::new(ksize),
             assign: SliceAssign::WHOLE,
             label: label.into(),
         }
@@ -317,7 +323,7 @@ impl Component for BlurH {
             let src_px = src.read_rows(rows.clone());
             let mut dst = out.write_rows(rows.clone());
             // horizontal phase only needs its own rows
-            blur_h_band(&src_px, w, self.ksize, rows.len(), &mut dst)
+            blur_h_band(&src_px, w, self.taps, rows.len(), &mut dst)
         };
         src.touch_read(ctx, rows.clone());
         out.touch_write(ctx, rows);
@@ -336,6 +342,7 @@ impl Component for BlurH {
                 if let Some(k) = value.as_int() {
                     assert!(k == 3 || k == 5, "ksize must be 3 or 5");
                     self.ksize = k as usize;
+                    self.taps = Taps::new(self.ksize);
                 }
             }
             _ => {}
@@ -344,14 +351,17 @@ impl Component for BlurH {
 }
 
 /// Horizontal blur over a self-contained row band.
-fn blur_h_band(band: &[u8], w: usize, ksize: usize, n_rows: usize, dst: &mut [u8]) -> u64 {
-    blur_h_rows(band, w, n_rows, ksize, 0..n_rows, dst)
+fn blur_h_band(band: &[u8], w: usize, taps: Taps, n_rows: usize, dst: &mut [u8]) -> u64 {
+    blur_h_rows_with(taps, band, w, n_rows, 0..n_rows, dst)
 }
 
 /// Vertical Gaussian blur phase (the crossdep consumer): reads its rows
 /// plus the kernel radius from the neighbors.
 pub struct BlurV {
     ksize: usize,
+    /// Kernel taps, hoisted per instance (re-resolved only on a `ksize`
+    /// reconfiguration, not per run).
+    taps: Taps,
     assign: SliceAssign,
     label: String,
 }
@@ -360,6 +370,7 @@ impl BlurV {
     pub fn new(ksize: usize, label: impl Into<String>) -> Self {
         Self {
             ksize,
+            taps: Taps::new(ksize),
             assign: SliceAssign::WHOLE,
             label: label.into(),
         }
@@ -384,14 +395,7 @@ impl Component for BlurV {
         let px = {
             let src_px = src.read_rows(input.clone());
             let mut dst = out.write_rows(rows.clone());
-            blur_v_band(
-                &src_px,
-                w,
-                input.clone(),
-                self.ksize,
-                rows.clone(),
-                &mut dst,
-            )
+            blur_v_band(&src_px, w, input.clone(), self.taps, rows.clone(), &mut dst)
         };
         src.touch_read(ctx, input);
         out.touch_write(ctx, rows);
@@ -410,6 +414,7 @@ impl Component for BlurV {
                 if let Some(k) = value.as_int() {
                     assert!(k == 3 || k == 5, "ksize must be 3 or 5");
                     self.ksize = k as usize;
+                    self.taps = Taps::new(self.ksize);
                 }
             }
             _ => {}
@@ -422,7 +427,7 @@ fn blur_v_band(
     band: &[u8],
     w: usize,
     input: std::ops::Range<usize>,
-    ksize: usize,
+    taps: Taps,
     rows: std::ops::Range<usize>,
     dst: &mut [u8],
 ) -> u64 {
@@ -430,7 +435,7 @@ fn blur_v_band(
     // at the band edges equals clamping at the plane edges because the
     // band already includes the radius except at the real borders.
     let local_rows = rows.start - input.start..rows.end - input.start;
-    blur_v_rows(band, w, input.len(), ksize, local_rows, dst)
+    blur_v_rows_with(taps, band, w, input.len(), local_rows, dst)
 }
 
 // ---------------------------------------------------------------------
@@ -525,6 +530,71 @@ impl Component for Idct {
         if let ReconfigRequest::Slice(a) = req {
             self.assign = *a;
         }
+    }
+}
+
+/// Fused entropy decode + IDCT of **one** color field: input
+/// `Arc<JpegImage>`, output the pixel [`Plane`] directly. Each 8×8 block
+/// is inverse-transformed immediately after it is entropy-decoded — the
+/// coefficients never leave the decoder's working set, so no coefficient
+/// plane round-trips through a stream buffer (the locality the
+/// sequential baseline enjoys, exposed as a component). Memory traffic
+/// is reported stripe-granular: one write sweep per 8-pixel-row block
+/// stripe, mirroring the tile model of the fused baseline.
+pub struct JpegDecodeIdct {
+    field: usize,
+    label: String,
+}
+
+impl JpegDecodeIdct {
+    pub fn new(field: usize, label: impl Into<String>) -> Self {
+        assert!(field < 3, "field must be 0..3");
+        Self {
+            field,
+            label: label.into(),
+        }
+    }
+}
+
+impl Component for JpegDecodeIdct {
+    fn class(&self) -> &'static str {
+        "jpeg_decode_idct"
+    }
+
+    fn run(&mut self, ctx: &mut RunCtx<'_>) {
+        let img = ctx.read::<JpegImage>(0);
+        let (w, h) = (img.w, img.h);
+        let label = self.label.clone();
+        let out = ctx.write_shared::<Plane, _>(0, || Plane::new(&label, w, h));
+        let blocks_w = w / 8;
+        let blocks_h = h / 8;
+        let mut dec = ScanDecoder::new(
+            &img.scans[self.field],
+            w,
+            h,
+            JpegImage::channel_of(self.field),
+            img.quality,
+        );
+        let mut coefs = [0i16; 64];
+        let mut pix = [0u8; 64];
+        for by in 0..blocks_h {
+            let rows = by * 8..(by + 1) * 8;
+            {
+                let mut dst = out.write_rows(rows.clone());
+                for bx in 0..blocks_w {
+                    let ok = dec.next_block(&mut coefs);
+                    debug_assert!(ok);
+                    idct_block_to_pixels(&coefs, &mut pix);
+                    for y in 0..8 {
+                        let o = y * w + bx * 8;
+                        dst[o..o + 8].copy_from_slice(&pix[y * 8..(y + 1) * 8]);
+                    }
+                }
+            }
+            out.touch_write(ctx, rows);
+        }
+        ctx.touch(img.scan_access(self.field));
+        ctx.charge(cyc_fused_scan(dec.stats.blocks, dec.stats.coded_coefs));
     }
 }
 
@@ -704,6 +774,35 @@ mod tests {
             85,
         );
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fused_decode_idct_matches_unfused_pipeline() {
+        let spec = VideoSpec::new(32, 16, 1, 3);
+        let raw = RawVideo::generate(spec);
+        let mj = Arc::new(MjpegVideo::from_raw(&raw, 85));
+        let cstream = Stream::new("jpeg");
+        let mut src = MjpegSource::new(mj.clone());
+        run_component(&mut src, &[], std::slice::from_ref(&cstream), 0);
+        for field in 0..3 {
+            let pix = Stream::new("px");
+            let mut fused = JpegDecodeIdct::new(field, "fused");
+            run_component(
+                &mut fused,
+                std::slice::from_ref(&cstream),
+                std::slice::from_ref(&pix),
+                0,
+            );
+            let got = pix.read_as::<Plane>(0).to_vec();
+            let (want, _) = crate::jpeg::codec::decode_plane(
+                &mj.frame(0).scans[field],
+                32,
+                16,
+                JpegImage::channel_of(field),
+                85,
+            );
+            assert_eq!(got, want, "field {field}");
+        }
     }
 
     #[test]

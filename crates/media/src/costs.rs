@@ -45,6 +45,30 @@ pub const CYC_ENTROPY_BLOCK: u64 = 60;
 /// of the paper's uncompressed inputs).
 pub const CYC_SOURCE_PX: u64 = 1;
 
+/// Total compute charge of the *fused* decode+IDCT component
+/// (`jpeg_decode_idct`) for a scan of `blocks` 8×8 blocks carrying
+/// `coded` non-zero coefficients.
+///
+/// Fusion changes *where* a block is transformed (immediately after its
+/// entropy decode, while the coefficients are hot in L1), never *how
+/// much* arithmetic runs — so the fused charge is exactly the split
+/// pipeline's entropy charge plus its IDCT charge, built from the same
+/// constants. Keeping the totals identical is what lets a cost database
+/// calibrated on the unfused pipeline stay honest for fused variants:
+/// only the *memory* side (the cache model driven by `touch` sweeps)
+/// distinguishes the two, which is precisely the paper's §4.1 claim.
+///
+/// Host-side SIMD (the SSE2/AVX2 kernels behind the same components) is
+/// likewise invisible here: these constants model the simulated TriMedia
+/// tile core, not the host, so vectorizing the host kernels required no
+/// constant changes — the recalibration audit is the conservation check
+/// below plus the parity suite in `tests/simd_parity.rs`.
+pub const fn cyc_fused_scan(blocks: u64, coded: u64) -> u64 {
+    let split_entropy = CYC_ENTROPY_BLOCK * blocks + CYC_ENTROPY_COEF * coded;
+    let split_idct = CYC_IDCT_BLOCK * blocks;
+    split_entropy + split_idct
+}
+
 // Compile-time checks that the constants preserve the paper's regime:
 // blur does much more compute per pixel than blend/scale (that is why
 // Blur has the best compute-to-communication ratio, §4.2), an IDCT block
@@ -53,3 +77,9 @@ pub const CYC_SOURCE_PX: u64 = 1;
 const _: () = assert!(CYC_BLUR_H5_PX + CYC_BLUR_V5_PX > 4 * (CYC_BLEND_PX + CYC_COPY_PX));
 const _: () = assert!(CYC_IDCT_BLOCK / 64 > CYC_BLEND_PX);
 const _: () = assert!(CYC_BLUR_H5_PX > 2 * CYC_BLUR_H3_PX);
+// Work conservation: the fused decode+IDCT path charges exactly what the
+// split pipeline would for the same scan (locality changes, totals don't).
+const _: () = assert!(
+    cyc_fused_scan(45, 117)
+        == (CYC_ENTROPY_BLOCK * 45 + CYC_ENTROPY_COEF * 117) + CYC_IDCT_BLOCK * 45
+);

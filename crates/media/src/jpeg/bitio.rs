@@ -50,20 +50,75 @@ impl BitWriter {
     }
 }
 
-/// MSB-first bit reader.
+/// MSB-first bit reader with a 64-bit refill accumulator.
+///
+/// ## The refill invariant
+///
+/// After [`refill`](Self::refill), at least **57 valid bits** sit at the
+/// top of the accumulator. Bits past the end of the stream read as 1s
+/// (the accumulator refills with `0xFF` bytes), which matches
+/// [`BitWriter::finish`]'s padding and makes a truncated stream decode to
+/// garbage rather than panic.
+///
+/// This invariant is what lets the hot decode path drop per-bit bounds
+/// checks: one refill covers a full Huffman code (≤ 16 bits, enforced by
+/// [`super::huffman::Decoder::get`]) *plus* the longest magnitude field
+/// that can follow it (≤ 16 bits), so [`peek16`](Self::peek16) /
+/// [`consume`](Self::consume) / [`bits`](Self::bits) touch only the
+/// accumulator — the only bounds check left is the one per refilled byte.
+/// The pre-refill implementation (one bounds check per *bit*) is kept as
+/// [`reference::BitReader`], the behavioral twin the parity tests decode
+/// against.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     data: &'a [u8],
-    byte: usize,
-    bit: u32,
+    /// Next byte of `data` to feed into the accumulator.
+    pos: usize,
+    /// MSB-aligned accumulator: the next unread bit is bit 63.
+    acc: u64,
+    /// Number of valid bits at the top of `acc`.
+    have: u32,
+    /// Total bits consumed so far (for [`exhausted`](Self::exhausted)).
+    consumed: u64,
 }
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
         Self {
             data,
-            byte: 0,
-            bit: 0,
+            pos: 0,
+            acc: 0,
+            have: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Top up the accumulator to ≥ 57 valid bits (see the type docs for
+    /// the invariant). Past-end bytes read as `0xFF`.
+    #[inline]
+    fn refill(&mut self) {
+        if self.have > 56 {
+            return;
+        }
+        if self.pos + 8 <= self.data.len() {
+            // fast path: splice as many whole bytes as fit in one load
+            let word = u64::from_be_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+            let take = (64 - self.have) / 8; // 1..=8 bytes fit
+            self.acc |= (word >> (64 - 8 * take)) << (64 - self.have - 8 * take);
+            self.pos += take as usize;
+            self.have += 8 * take;
+            return;
+        }
+        while self.have <= 56 {
+            let byte = if self.pos < self.data.len() {
+                let b = self.data[self.pos];
+                self.pos += 1;
+                b
+            } else {
+                0xFF
+            };
+            self.acc |= (byte as u64) << (56 - self.have);
+            self.have += 8;
         }
     }
 
@@ -71,30 +126,101 @@ impl<'a> BitReader<'a> {
     /// makes a truncated stream decode to garbage rather than panicking).
     #[inline]
     pub fn bit(&mut self) -> u32 {
-        if self.byte >= self.data.len() {
-            return 1;
-        }
-        let b = (self.data[self.byte] >> (7 - self.bit)) & 1;
-        self.bit += 1;
-        if self.bit == 8 {
-            self.bit = 0;
-            self.byte += 1;
-        }
-        b as u32
+        self.refill();
+        let b = (self.acc >> 63) as u32;
+        self.acc <<= 1;
+        self.have -= 1;
+        self.consumed += 1;
+        b
     }
 
     /// Read `n` bits (n ≤ 24), MSB first.
+    #[inline]
     pub fn bits(&mut self, n: u32) -> u32 {
-        let mut v = 0;
-        for _ in 0..n {
-            v = (v << 1) | self.bit();
+        debug_assert!(n <= 24);
+        if n == 0 {
+            return 0;
         }
+        self.refill();
+        let v = (self.acc >> (64 - n)) as u32;
+        self.acc <<= n;
+        self.have -= n;
+        self.consumed += n as u64;
         v
+    }
+
+    /// Look at the next 16 bits without consuming them (refill-backed;
+    /// past-end bits are 1s).
+    #[inline]
+    pub fn peek16(&mut self) -> u32 {
+        self.refill();
+        (self.acc >> 48) as u32
+    }
+
+    /// Consume `n` bits previously seen via [`peek16`](Self::peek16)
+    /// (n ≤ 16; the refill invariant guarantees they are valid).
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        debug_assert!(n <= 16 && n <= self.have);
+        self.acc <<= n;
+        self.have -= n;
+        self.consumed += n as u64;
     }
 
     /// Whether the reader consumed all complete bytes.
     pub fn exhausted(&self) -> bool {
-        self.byte >= self.data.len()
+        self.consumed >= 8 * self.data.len() as u64
+    }
+}
+
+/// The pre-refill bit reader: one bounds check per bit. Byte-exact
+/// behavioral reference for [`BitReader`], kept for the parity tests.
+pub mod reference {
+    /// MSB-first bit reader (reference implementation).
+    #[derive(Debug)]
+    pub struct BitReader<'a> {
+        data: &'a [u8],
+        byte: usize,
+        bit: u32,
+    }
+
+    impl<'a> BitReader<'a> {
+        pub fn new(data: &'a [u8]) -> Self {
+            Self {
+                data,
+                byte: 0,
+                bit: 0,
+            }
+        }
+
+        /// Next bit; 1-bits past the end.
+        #[inline]
+        pub fn bit(&mut self) -> u32 {
+            if self.byte >= self.data.len() {
+                return 1;
+            }
+            let b = (self.data[self.byte] >> (7 - self.bit)) & 1;
+            self.bit += 1;
+            if self.bit == 8 {
+                self.bit = 0;
+                self.byte += 1;
+            }
+            b as u32
+        }
+
+        /// Read `n` bits (n ≤ 24), MSB first.
+        pub fn bits(&mut self, n: u32) -> u32 {
+            let mut v = 0;
+            for _ in 0..n {
+                v = (v << 1) | self.bit();
+            }
+            v
+        }
+
+        /// Whether the reader consumed all complete bytes.
+        pub fn exhausted(&self) -> bool {
+            self.byte >= self.data.len()
+        }
     }
 }
 

@@ -20,6 +20,24 @@ fn cos_table() -> &'static [[f32; 8]; 8] {
     })
 }
 
+/// `COS_T[u][x] = COS[x][u]` — the transposed table the vectorized row
+/// pass loads contiguously (lanes across `x`).
+#[cfg(target_arch = "x86_64")]
+fn cos_t_table() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let cos = cos_table();
+        let mut t = [[0.0f32; 8]; 8];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = cos[x][u];
+            }
+        }
+        t
+    })
+}
+
 #[inline]
 fn c(u: usize) -> f32 {
     if u == 0 {
@@ -58,8 +76,24 @@ pub fn fdct(samples: &[i16; 64]) -> [f32; 64] {
 }
 
 /// Inverse DCT: natural-order coefficients → level-shifted samples
-/// (caller adds 128 and clamps).
+/// (caller adds 128 and clamps). Dispatches to the fastest byte-exact
+/// host path; [`idct_scalar`] is the reference.
 pub fn idct(coefs: &[i16; 64]) -> [i16; 64] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match crate::simd::level() {
+            // SAFETY: level() only reports Avx2/Sse2 when the host CPU
+            // supports the corresponding feature.
+            crate::simd::Level::Avx2 => return unsafe { x86::idct_avx2(coefs) },
+            crate::simd::Level::Sse2 => return unsafe { x86::idct_sse2(coefs) },
+            crate::simd::Level::Scalar => {}
+        }
+    }
+    idct_scalar(coefs)
+}
+
+/// The scalar inverse DCT — the byte-exact reference for the vector paths.
+pub fn idct_scalar(coefs: &[i16; 64]) -> [i16; 64] {
     let cos = cos_table();
     let mut tmp = [0.0f32; 64];
     // columns first
@@ -83,6 +117,134 @@ pub fn idct(coefs: &[i16; 64]) -> [i16; 64] {
         }
     }
     out
+}
+
+/// SSE2 IDCT if the host supports it (parity-test hook).
+pub fn idct_sse2_checked(coefs: &[i16; 64]) -> Option<[i16; 64]> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse2") {
+        // SAFETY: feature checked above.
+        return Some(unsafe { x86::idct_sse2(coefs) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = coefs;
+    None
+}
+
+/// AVX2 IDCT if the host supports it (parity-test hook).
+pub fn idct_avx2_checked(coefs: &[i16; 64]) -> Option<[i16; 64]> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature checked above.
+        return Some(unsafe { x86::idct_avx2(coefs) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = coefs;
+    None
+}
+
+/// Vector IDCT paths.
+///
+/// Byte-exactness: both passes vectorize *across output elements* — each
+/// SIMD lane performs exactly the scalar reference's operation sequence
+/// for its element (`(c·coef)·cos` products accumulated in `v`/`u` order,
+/// separate mul + add, no FMA), so every lane reproduces the scalar f32
+/// result bit for bit. The only reordering is hoisting the `c(v)·coef`
+/// products out of the `y` loop, which reuses an identical intermediate
+/// instead of recomputing it.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{c, cos_t_table, cos_table};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure the host supports SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn idct_sse2(coefs: &[i16; 64]) -> [i16; 64] {
+        let cos = cos_table();
+        let cost = cos_t_table();
+        // c(v) * coefs[v*8+u] for every v, lanes across u (lo = u 0..4).
+        let mut cv_lo = [_mm_setzero_ps(); 8];
+        let mut cv_hi = [_mm_setzero_ps(); 8];
+        for v in 0..8 {
+            // 8 i16 -> two f32x4 (exact conversion, as in `coef as f32`)
+            let row = _mm_loadu_si128(coefs[v * 8..].as_ptr() as *const __m128i);
+            let sign = _mm_srai_epi16::<15>(row);
+            let lo = _mm_cvtepi32_ps(_mm_unpacklo_epi16(row, sign));
+            let hi = _mm_cvtepi32_ps(_mm_unpackhi_epi16(row, sign));
+            let cv = _mm_set1_ps(c(v));
+            cv_lo[v] = _mm_mul_ps(cv, lo);
+            cv_hi[v] = _mm_mul_ps(cv, hi);
+        }
+        // columns pass: tmp[y*8+u] = sum_v (c(v)*coef) * cos[y][v]
+        let mut tmp = [0.0f32; 64];
+        for y in 0..8 {
+            let mut acc_lo = _mm_setzero_ps();
+            let mut acc_hi = _mm_setzero_ps();
+            for v in 0..8 {
+                let cyv = _mm_set1_ps(cos[y][v]);
+                acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(cv_lo[v], cyv));
+                acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(cv_hi[v], cyv));
+            }
+            _mm_storeu_ps(tmp[y * 8..].as_mut_ptr(), acc_lo);
+            _mm_storeu_ps(tmp[y * 8 + 4..].as_mut_ptr(), acc_hi);
+        }
+        // rows pass: out[y*8+x] = round(0.25 * sum_u (c(u)*tmp) * cos[x][u])
+        let mut out = [0i16; 64];
+        for y in 0..8 {
+            let mut acc_lo = _mm_setzero_ps();
+            let mut acc_hi = _mm_setzero_ps();
+            for u in 0..8 {
+                let s = _mm_set1_ps(c(u) * tmp[y * 8 + u]);
+                acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(s, _mm_loadu_ps(cost[u].as_ptr())));
+                acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(s, _mm_loadu_ps(cost[u][4..].as_ptr())));
+            }
+            let mut acc = [0.0f32; 8];
+            _mm_storeu_ps(acc.as_mut_ptr(), acc_lo);
+            _mm_storeu_ps(acc[4..].as_mut_ptr(), acc_hi);
+            for x in 0..8 {
+                // identical final ops to the scalar reference
+                out[y * 8 + x] = (0.25 * acc[x]).round() as i16;
+            }
+        }
+        out
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn idct_avx2(coefs: &[i16; 64]) -> [i16; 64] {
+        let cos = cos_table();
+        let cost = cos_t_table();
+        let mut cv = [_mm256_setzero_ps(); 8];
+        for v in 0..8 {
+            let row = _mm_loadu_si128(coefs[v * 8..].as_ptr() as *const __m128i);
+            let f = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(row));
+            cv[v] = _mm256_mul_ps(_mm256_set1_ps(c(v)), f);
+        }
+        let mut tmp = [0.0f32; 64];
+        for y in 0..8 {
+            let mut acc = _mm256_setzero_ps();
+            for v in 0..8 {
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(cv[v], _mm256_set1_ps(cos[y][v])));
+            }
+            _mm256_storeu_ps(tmp[y * 8..].as_mut_ptr(), acc);
+        }
+        let mut out = [0i16; 64];
+        for y in 0..8 {
+            let mut accv = _mm256_setzero_ps();
+            for u in 0..8 {
+                let s = _mm256_set1_ps(c(u) * tmp[y * 8 + u]);
+                accv = _mm256_add_ps(accv, _mm256_mul_ps(s, _mm256_loadu_ps(cost[u].as_ptr())));
+            }
+            let mut acc = [0.0f32; 8];
+            _mm256_storeu_ps(acc.as_mut_ptr(), accv);
+            for x in 0..8 {
+                out[y * 8 + x] = (0.25 * acc[x]).round() as i16;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +291,27 @@ mod tests {
         let back = roundtrip(samples);
         assert!((back[0] - 127).abs() <= 1);
         assert!((back[63] + 128).abs() <= 1);
+    }
+
+    #[test]
+    fn vector_paths_match_scalar_reference() {
+        // dense deterministic sweep; the proptest suite covers random blocks
+        let mut coefs = [0i16; 64];
+        for trial in 0..64 {
+            for (i, q) in coefs.iter_mut().enumerate() {
+                let x = (trial * 64 + i) as i64;
+                // spread over the full dequantized coefficient range
+                *q = ((x * 2654435761 % 4093) - 2046) as i16;
+            }
+            let want = idct_scalar(&coefs);
+            assert_eq!(idct(&coefs), want, "dispatch parity, trial {trial}");
+            if let Some(got) = idct_sse2_checked(&coefs) {
+                assert_eq!(got, want, "sse2 parity, trial {trial}");
+            }
+            if let Some(got) = idct_avx2_checked(&coefs) {
+                assert_eq!(got, want, "avx2 parity, trial {trial}");
+            }
+        }
     }
 
     #[test]

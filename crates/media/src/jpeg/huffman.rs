@@ -96,13 +96,21 @@ impl Encoder {
     }
 }
 
-/// Decoder side: canonical mincode/maxcode/valptr (T.81 F.2.2.3).
+/// Decoder side: canonical mincode/maxcode/valptr (T.81 F.2.2.3), with a
+/// first-level lookup table for codes of ≤ [`LUT_BITS`] bits (every code
+/// the Annex K tables emit at typical qualities).
 pub struct Decoder {
     mincode: [i32; 17],
     maxcode: [i32; 17],
     valptr: [usize; 17],
     values: &'static [u8],
+    /// `lut[p]` for an 8-bit peek `p`: `(len << 8) | symbol` when the top
+    /// bits of `p` are a complete code of `len ≤ 8` bits, else 0.
+    lut: [u16; 1 << LUT_BITS],
 }
+
+/// Width of the decoder's first-level lookup table.
+pub const LUT_BITS: u32 = 8;
 
 impl Decoder {
     pub fn new(spec: &TableSpec) -> Self {
@@ -111,6 +119,7 @@ impl Decoder {
             maxcode: [-1; 17],
             valptr: [0; 17],
             values: spec.values,
+            lut: [0; 1 << LUT_BITS],
         };
         let mut code = 0i32;
         let mut k = 0usize;
@@ -127,14 +136,59 @@ impl Decoder {
             }
             code <<= 1;
         }
+        // first-level LUT: every 8-bit pattern starting with a short code
+        // maps straight to (length, symbol)
+        for l in 1..=LUT_BITS as usize {
+            if d.maxcode[l] < 0 {
+                continue;
+            }
+            for code in d.mincode[l]..=d.maxcode[l] {
+                let sym = d.values[d.valptr[l] + (code - d.mincode[l]) as usize];
+                let base = (code as usize) << (LUT_BITS as usize - l);
+                for tail in 0..1usize << (LUT_BITS as usize - l) {
+                    d.lut[base | tail] = ((l as u16) << 8) | sym as u16;
+                }
+            }
+        }
         d
     }
 
     /// Decode one symbol.
     ///
+    /// Fast path: peek [`LUT_BITS`] bits, one table hit. Slow path (codes
+    /// of 9..=16 bits): compare the 16-bit peek against `maxcode` per
+    /// length — bit-for-bit the canonical F.2.2.3 walk, without touching
+    /// the reader per bit. Both lean on the [`BitReader`] refill
+    /// invariant: a peek always yields 16 valid bits (1s past the end).
+    ///
     /// # Panics
     /// On a code longer than 16 bits (corrupt stream).
     pub fn get(&self, r: &mut BitReader<'_>) -> u8 {
+        let peek = r.peek16();
+        let e = self.lut[(peek >> (16 - LUT_BITS)) as usize];
+        if e != 0 {
+            r.consume((e >> 8) as u32);
+            return e as u8;
+        }
+        let mut l = LUT_BITS as usize + 1;
+        loop {
+            assert!(l <= 16, "corrupt Huffman stream: code longer than 16 bits");
+            let code = (peek >> (16 - l)) as i32;
+            if code <= self.maxcode[l] {
+                r.consume(l as u32);
+                return self.values[self.valptr[l] + (code - self.mincode[l]) as usize];
+            }
+            l += 1;
+        }
+    }
+
+    /// The canonical bit-at-a-time decode (T.81 F.2.2.3) — the behavioral
+    /// reference [`get`](Self::get) must match symbol for symbol; kept for
+    /// the parity tests.
+    ///
+    /// # Panics
+    /// On a code longer than 16 bits (corrupt stream).
+    pub fn get_bitwise(&self, r: &mut super::bitio::reference::BitReader<'_>) -> u8 {
         let mut code = r.bit() as i32;
         let mut l = 1usize;
         while code > self.maxcode[l] {

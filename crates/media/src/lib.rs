@@ -17,6 +17,9 @@
 //! * [`jpeg`] — a baseline-JPEG-style codec (DCT, quantization, zigzag,
 //!   Annex-K Huffman tables) whose decoder is split exactly at the paper's
 //!   component boundary: entropy decode → coefficient planes → IDCT;
+//! * [`simd`] — runtime dispatch between the byte-exact scalar reference
+//!   kernels and their SSE2/AVX2 twins (`HINCH_FORCE_SCALAR` pins the
+//!   reference path);
 //! * [`components`] — the Hinch [`hinch::Component`] wrappers for all of
 //!   the above (sources, sinks, filters), each charging its documented
 //!   compute cost and reporting its memory sweeps for the SpaceCAKE cache
@@ -33,6 +36,7 @@ pub mod costs;
 pub mod frame;
 pub mod jpeg;
 pub mod scale;
+pub mod simd;
 pub mod video;
 
 pub use frame::{CoefPlane, Plane};

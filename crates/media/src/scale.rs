@@ -30,6 +30,25 @@ pub fn downscale_rows(
         out_rows.len() * ow,
         "destination must cover exactly the requested rows"
     );
+    // Wide factors (JPiP uses 8 and 16) amortize a vector horizontal sum
+    // per row segment; narrower ones stay scalar.
+    #[cfg(target_arch = "x86_64")]
+    if factor >= 8 && crate::simd::use_sse2() {
+        // SAFETY: use_sse2() implies the host supports SSE2.
+        return unsafe { x86::downscale_rows_sse2(src, sw, factor, out_rows, dst) };
+    }
+    downscale_rows_scalar(src, sw, factor, out_rows, dst)
+}
+
+/// Scalar box filter — the byte-exact reference.
+pub fn downscale_rows_scalar(
+    src: &[u8],
+    sw: usize,
+    factor: usize,
+    out_rows: Range<usize>,
+    dst: &mut [u8],
+) -> u64 {
+    let ow = sw / factor;
     let area = (factor * factor) as u32;
     for (ri, oy) in out_rows.clone().enumerate() {
         let iy0 = oy * factor;
@@ -44,6 +63,84 @@ pub fn downscale_rows(
         }
     }
     (out_rows.len() * ow * factor * factor) as u64
+}
+
+/// Parity-test hook: run the SSE2 box filter whenever the host supports
+/// SSE2 (ignoring dispatch), else `None`.
+pub fn downscale_rows_sse2_checked(
+    src: &[u8],
+    sw: usize,
+    factor: usize,
+    out_rows: Range<usize>,
+    dst: &mut [u8],
+) -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse2") {
+        // SAFETY: feature checked above.
+        return Some(unsafe { x86::downscale_rows_sse2(src, sw, factor, out_rows, dst) });
+    }
+    let _ = (src, sw, factor, out_rows, dst);
+    None
+}
+
+/// Vector box filter. `_mm_sad_epu8` against zero yields exact unsigned
+/// byte sums (integer adds reassociate freely), so the result is
+/// byte-identical to the scalar reference.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+    use std::ops::Range;
+
+    /// Exact sum of a byte segment using SAD; scalar tail for `len % 8`.
+    #[inline]
+    unsafe fn sum_bytes_sse2(seg: &[u8]) -> u32 {
+        let zero = _mm_setzero_si128();
+        let mut acc: u32 = 0;
+        let mut i = 0usize;
+        while i + 16 <= seg.len() {
+            let v = _mm_loadu_si128(seg.as_ptr().add(i) as *const __m128i);
+            let s = _mm_sad_epu8(v, zero);
+            acc += _mm_cvtsi128_si32(s) as u32;
+            acc += _mm_cvtsi128_si32(_mm_srli_si128::<8>(s)) as u32;
+            i += 16;
+        }
+        if i + 8 <= seg.len() {
+            let v = _mm_loadl_epi64(seg.as_ptr().add(i) as *const __m128i);
+            acc += _mm_cvtsi128_si32(_mm_sad_epu8(v, zero)) as u32;
+            i += 8;
+        }
+        for &p in &seg[i..] {
+            acc += p as u32;
+        }
+        acc
+    }
+
+    /// # Safety
+    /// Caller must ensure the host supports SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn downscale_rows_sse2(
+        src: &[u8],
+        sw: usize,
+        factor: usize,
+        out_rows: Range<usize>,
+        dst: &mut [u8],
+    ) -> u64 {
+        let ow = sw / factor;
+        let area = (factor * factor) as u32;
+        for (ri, oy) in out_rows.clone().enumerate() {
+            let iy0 = oy * factor;
+            for ox in 0..ow {
+                let ix0 = ox * factor;
+                let mut acc: u32 = 0;
+                for dy in 0..factor {
+                    let base = (iy0 + dy) * sw + ix0;
+                    acc += sum_bytes_sse2(&src[base..base + factor]);
+                }
+                dst[ri * ow + ox] = ((acc + area / 2) / area) as u8;
+            }
+        }
+        (out_rows.len() * ow * factor * factor) as u64
+    }
 }
 
 /// Output dimensions for a `w`×`h` input scaled down by `factor`.

@@ -8,7 +8,9 @@
 #   1. cargo fmt --check      — no unformatted code
 #   2. cargo clippy -D warnings (workspace, all targets)
 #   3. tier-1 verify: cargo build --release && cargo test -q
-#   4. cargo test --workspace — every crate's suite
+#   4. cargo test --workspace — every crate's suite; then the media
+#      crate once more under HINCH_FORCE_SCALAR=1 so the scalar kernel
+#      references run even on hosts whose SIMD paths won the dispatch
 #   5. xspclc analyze over every generated app spec — zero diagnostics
 #      (warnings included) allowed
 #   6. hinch-insight determinism: the JSON report for one simulated app
@@ -70,6 +72,15 @@ cargo test --offline -q
 
 echo "== test (workspace) =="
 cargo test --offline --workspace -q
+
+echo "== test (media: forced-scalar kernel path) =="
+# The workspace run above exercised the media crate with native SIMD
+# dispatch (SSE2/AVX2 where the host has them). Run it again with
+# HINCH_FORCE_SCALAR pinning every kernel to its scalar reference, so
+# both sides of the scalar-vs-SIMD parity contract are executed on every
+# host regardless of its feature set.
+HINCH_FORCE_SCALAR=1 cargo test --offline -q -p media
+echo "media: scalar fallback suite passed"
 
 echo "== analyze (all app specs) =="
 specs_dir=target/specs

@@ -2,7 +2,7 @@
 # Full differential conformance matrix — the heavyweight counterpart of
 # the quick gate that scripts/ci.sh runs on every change.
 #
-#   scripts/conformance.sh               # all 11 apps, the paper matrix
+#   scripts/conformance.sh               # all 13 apps (fused JPiP included), the paper matrix
 #   scripts/conformance.sh --format json # machine-readable summary
 #
 # Sweeps every shipped application across the reference oracle, the
